@@ -1,0 +1,49 @@
+//! Experiment E8 (§4.1): polyvariant vs monovariant binding times.
+//! A function used at `{S,D}` and `{D,S}` keeps both specialisations
+//! under the polyvariant analysis; the monovariant baseline merges them
+//! to `{D,D}` and loses all static computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mspec_lang::eval::{Evaluator, Value};
+use mspec_lang::resolve::resolve;
+use mspec_mix::{mix_specialise, MixOptions};
+
+const SRC: &str = "module Power where\n\
+    power n x = if n == 1 then x else x * power (n - 1) x\n\
+    module Main where\n\
+    import Power\n\
+    main a b = power 10 a + power b 2\n";
+
+fn residual_runner(polyvariant: bool) -> (mspec_lang::resolve::ResolvedProgram, mspec_lang::QualName) {
+    let out = mix_specialise(
+        SRC,
+        "Main",
+        "main",
+        vec![mspec_core::SpecArg::Dynamic, mspec_core::SpecArg::Dynamic],
+        MixOptions { polyvariant, ..MixOptions::default() },
+    )
+    .unwrap();
+    (resolve(out.residual.program.clone()).unwrap(), out.residual.entry)
+}
+
+fn bench_bta_variants(c: &mut Criterion) {
+    let (poly, poly_entry) = residual_runner(true);
+    let (mono, mono_entry) = residual_runner(false);
+    let mut g = c.benchmark_group("residual_run_bta");
+    g.bench_function("polyvariant", |b| {
+        b.iter(|| {
+            let mut ev = Evaluator::new(&poly);
+            ev.call(&poly_entry, vec![Value::nat(3), Value::nat(5)]).unwrap()
+        })
+    });
+    g.bench_function("monovariant", |b| {
+        b.iter(|| {
+            let mut ev = Evaluator::new(&mono);
+            ev.call(&mono_entry, vec![Value::nat(3), Value::nat(5)]).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bta_variants);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Experiment E5 (§4): the cost of specialising a program against a
+//! large library scales with the functions actually used, not with the
+//! library size — once the library's generating extensions exist.
+//! The mix baseline re-reads and re-analyses everything each session.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mspec_bench::workloads::{library_args, library_source, prepared_library};
+use mspec_mix::{mix_specialise, MixOptions};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("library_scaling");
+    g.sample_size(20);
+    for modules in [2usize, 4, 8, 16] {
+        let (src, _) = library_source(modules, 8);
+        let pipeline = prepared_library(modules, 8);
+        g.bench_with_input(
+            BenchmarkId::new("genext/specialise", modules * 8),
+            &modules,
+            |b, _| {
+                b.iter(|| pipeline.specialise("Main", "main", library_args()).unwrap())
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("mix/session", modules * 8),
+            &modules,
+            |b, _| {
+                b.iter(|| {
+                    mix_specialise(&src, "Main", "main", library_args(), MixOptions::default())
+                        .unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

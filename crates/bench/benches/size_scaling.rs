@@ -1,0 +1,38 @@
+//! Experiment E2 (§6): cogen throughput — converting a module to its
+//! generating extension is cheap and linear in module size. (The size
+//! *ratio* table is printed by `cargo run -p mspec-bench --bin
+//! size_scaling`.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mspec_bta::analyse::analyse_module;
+use mspec_cogen::compile::compile_module;
+use mspec_lang::parser::parse_module;
+use std::collections::BTreeMap;
+
+fn module_with_fns(n: usize) -> String {
+    let defs: String = (0..n)
+        .map(|i| format!("f{i} n x = if n == 1 then x + {i} else x * f{i} (n - 1) x\n"))
+        .collect();
+    format!("module M where\n{defs}")
+}
+
+fn bench_cogen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cogen_module");
+    for n in [4usize, 16, 64] {
+        let src = module_with_fns(n);
+        let module = parse_module(&src).unwrap();
+        let resolved =
+            mspec_lang::resolve::resolve_program(vec![module]).unwrap();
+        let module = resolved.program().modules[0].clone();
+        g.bench_with_input(BenchmarkId::new("analyse+compile", n), &n, |b, _| {
+            b.iter(|| {
+                let ann = analyse_module(&module, &BTreeMap::new()).unwrap();
+                compile_module(&ann)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cogen);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! E5 table: specialisation cost against library size (§4).
+//!
+//! Run: `cargo run --release -p mspec-bench --bin library_table`
+
+use mspec_bench::workloads::{library_source, prepared_library};
+use mspec_bench::{time_min, us};
+use mspec_core::{Pipeline, SpecArg};
+use mspec_lang::eval::with_big_stack;
+use mspec_mix::{mix_specialise, MixOptions};
+
+fn main() {
+    with_big_stack(run);
+}
+
+fn run() {
+    println!("E5: cost of one specialisation session as the library grows");
+    println!("(Main always uses exactly 3 library functions)");
+    println!(
+        "{:<10} {:>10} {:>12} {:>12} {:>12}",
+        "lib defs", "mix (us)", "genext (us)", "speedup", "cogen-once"
+    );
+    for modules in [1usize, 2, 4, 8, 16, 32] {
+        let (src, shape) = library_source(modules, 8);
+        let total_defs = shape.modules * shape.fns_per_module;
+        let (prep_t, pipeline) = time_min(3, || prepared_library(modules, 8));
+        let (mix_t, _) = time_min(5, || {
+            mix_specialise(&src, "Main", "main", vec![SpecArg::Dynamic], MixOptions::default())
+                .unwrap()
+        });
+        let (gx_t, _) = time_min(5, || {
+            pipeline
+                .specialise("Main", "main", vec![SpecArg::Dynamic])
+                .unwrap()
+        });
+        let _: &Pipeline = &pipeline;
+        println!(
+            "{:<10} {} {} {:>11.1}x {}",
+            total_defs,
+            us(mix_t),
+            us(gx_t),
+            mix_t.as_secs_f64() / gx_t.as_secs_f64(),
+            us(prep_t)
+        );
+    }
+    println!("\n(mix re-reads and re-analyses the whole library every session; the genext");
+    println!(" session cost tracks the USED functions. cogen-once is paid per library release.)");
+
+    // Where does a mix session go? Phase breakdown at the largest size.
+    let (src, _) = library_source(32, 8);
+    let out = mix_specialise(&src, "Main", "main", vec![SpecArg::Dynamic], MixOptions::default())
+        .unwrap();
+    let p = out.phases;
+    let total = (p.parse_ns + p.check_ns + p.bta_ns + p.spec_ns) as f64;
+    println!("\nmix phase breakdown at 256 library defs:");
+    for (label, ns) in [
+        ("parse", p.parse_ns),
+        ("resolve+typecheck", p.check_ns),
+        ("binding-time analysis", p.bta_ns),
+        ("specialisation proper", p.spec_ns),
+    ] {
+        println!(
+            "  {:<22} {:>9.1} us ({:>4.1}%)",
+            label,
+            ns as f64 / 1e3,
+            ns as f64 * 100.0 / total
+        );
+    }
+    println!("(everything above `specialisation proper` is what generating extensions amortise away)");
+}

@@ -1,0 +1,74 @@
+//! E6 table: residual module structure for the paper's §5 scenarios.
+//!
+//! Run: `cargo run --release -p mspec-bench --bin placement_table`
+
+use mspec_core::{Pipeline, SpecArg};
+use mspec_lang::builder;
+use mspec_lang::eval::with_big_stack;
+use mspec_lang::QualName;
+use std::collections::BTreeSet;
+
+fn main() {
+    with_big_stack(run);
+}
+
+fn show(title: &str, spec: &mspec_core::Specialised) {
+    println!("== {title} ==");
+    for m in &spec.residual.program.modules {
+        let imports: Vec<String> = m.imports.iter().map(|i| i.to_string()).collect();
+        println!(
+            "  module {:<12} imports [{}]  defs: {}",
+            m.name.to_string(),
+            imports.join(", "),
+            m.defs
+                .iter()
+                .map(|d| d.name.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+    println!();
+}
+
+fn run() {
+    // Scenario 1: the §5 Power/Twice/Main example (all non-unfoldable).
+    let forced: BTreeSet<QualName> = [
+        QualName::new("Power", "power"),
+        QualName::new("Twice", "twice"),
+        QualName::new("Main", "main"),
+    ]
+    .into();
+    let p = Pipeline::from_program_with(builder::paper_section5_program(), &forced).unwrap();
+    let s = p.specialise("Main", "main", vec![SpecArg::Dynamic]).unwrap();
+    show("S5: Power/Twice/Main (expect Power, PowerTwice, Main)", &s);
+
+    // Scenario 2: map into importing module.
+    let p2 = Pipeline::from_program(builder::paper_map_program()).unwrap();
+    let s2 = p2
+        .specialise("B", "h", vec![SpecArg::Dynamic, SpecArg::Dynamic])
+        .unwrap();
+    show("S5: map from A over g from B (expect everything in B; A empty, suppressed)", &s2);
+
+    // Scenario 3: the A-C combination module.
+    let src = "module A where\n\
+               map f xs = if null xs then [] else f @ (head xs) : map f (tail xs)\n\
+               module C where\n\
+               g x = x + 1\n\
+               module B where\n\
+               import A\n\
+               import C\n\
+               hb z zs = map (\\x -> g x + z) zs\n\
+               module D where\n\
+               import A\n\
+               import C\n\
+               hd zs = map (\\x -> g x) zs\n\
+               module Top where\n\
+               import B\n\
+               import D\n\
+               main z zs = hb z zs : hd zs : []\n";
+    let p3 = Pipeline::from_source(src).unwrap();
+    let s3 = p3
+        .specialise("Top", "main", vec![SpecArg::Dynamic, SpecArg::Dynamic])
+        .unwrap();
+    show("S5: g imported from unrelated C (expect combination module AC)", &s3);
+}

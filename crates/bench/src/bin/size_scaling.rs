@@ -1,0 +1,70 @@
+//! E2 table: generating-extension size vs module source size (§6).
+//!
+//! Run: `cargo run --release -p mspec-bench --bin size_scaling`
+
+use mspec_bta::analyse::analyse_module;
+use mspec_cogen::compile::compile_module;
+use mspec_cogen::textual::{textual_genext, textual_lines};
+use mspec_lang::eval::with_big_stack;
+use std::collections::BTreeMap;
+
+fn module_with_fns(n: usize) -> String {
+    let defs: String = (0..n)
+        .map(|i| {
+            format!(
+                "f{i} n x = if n == 1 then x + {i} else x * f{i} (n - 1) x\n\
+                 g{i} xs k = if null xs then k else g{i} (tail xs) (k + head xs * {i})\n"
+            )
+        })
+        .collect();
+    format!("module M where\n{defs}")
+}
+
+fn main() {
+    with_big_stack(run);
+}
+
+fn run() {
+    println!("E2: genext size is linear in source size (paper: 4-5x expansion of compiled code)");
+    println!(
+        "{:<8} {:>10} {:>12} {:>7} {:>10} {:>12} {:>7}",
+        "defs", "src lines", "genext lines", "ratio", "src bytes", "genext bytes", "ratio"
+    );
+    let mut prev: Option<(usize, usize)> = None;
+    for n in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        let src = module_with_fns(n);
+        let resolved = mspec_lang::resolve::resolve(
+            mspec_lang::parser::parse_program(&src).unwrap(),
+        )
+        .unwrap();
+        let module = resolved.program().modules[0].clone();
+        let src_lines = mspec_lang::pretty::source_lines(resolved.program());
+        let ann = analyse_module(&module, &BTreeMap::new()).unwrap();
+        let text = textual_genext(&ann);
+        let gen_lines = textual_lines(&text);
+        let _gx = compile_module(&ann);
+        let src_bytes = mspec_lang::pretty::pretty_program(resolved.program()).len();
+        let gen_bytes = text.len();
+        println!(
+            "{:<8} {:>10} {:>12} {:>7.2} {:>10} {:>12} {:>7.2}",
+            n * 2,
+            src_lines,
+            gen_lines,
+            gen_lines as f64 / src_lines as f64,
+            src_bytes,
+            gen_bytes,
+            gen_bytes as f64 / src_bytes as f64,
+        );
+        if let Some((pl, pg)) = prev {
+            // Linearity: doubling source should ~double genext.
+            let growth = gen_lines as f64 / pg as f64;
+            let src_growth = src_lines as f64 / pl as f64;
+            assert!(
+                (growth / src_growth - 1.0).abs() < 0.25,
+                "nonlinear growth: {growth} vs {src_growth}"
+            );
+        }
+        prev = Some((src_lines, gen_lines));
+    }
+    println!("\n(ratio = textual genext lines / pretty-printed source lines, same formatter both sides)");
+}

@@ -1,0 +1,47 @@
+//! E4 table: breadth-first vs depth-first space behaviour (§5).
+//!
+//! Run: `cargo run --release -p mspec-bench --bin space_table`
+
+use mspec_bench::workloads::POWER;
+use mspec_core::{EngineOptions, Pipeline, SpecArg, Strategy};
+use mspec_lang::eval::{with_big_stack, Value};
+use mspec_lang::QualName;
+
+fn main() {
+    with_big_stack(run);
+}
+
+fn run() {
+    println!("E4: breadth-first vs depth-first — peak simultaneously-open specialisations");
+    println!(
+        "{:<12} {:>6} {:>16} {:>16} {:>18}",
+        "chain length", "specs", "BF peak open", "DF peak open", "BF peak pending"
+    );
+    let forced = [QualName::new("Power", "power")].into_iter().collect();
+    let pipeline = Pipeline::from_source_with(POWER, &forced).unwrap();
+    for n in [10u64, 50, 100, 500, 1000] {
+        let args = || vec![SpecArg::Static(Value::nat(n)), SpecArg::Dynamic];
+        let bf = pipeline
+            .specialise_opts(
+                "Power",
+                "power",
+                args(),
+                EngineOptions { strategy: Strategy::BreadthFirst, ..EngineOptions::default() },
+            )
+            .unwrap();
+        let df = pipeline
+            .specialise_opts(
+                "Power",
+                "power",
+                args(),
+                EngineOptions { strategy: Strategy::DepthFirst, ..EngineOptions::default() },
+            )
+            .unwrap();
+        println!(
+            "{:<12} {:>6} {:>16} {:>16} {:>18}",
+            n, bf.stats.specialisations, bf.stats.peak_open, df.stats.peak_open, bf.stats.peak_pending
+        );
+    }
+    println!("\n(BF keeps exactly one specialisation under construction — the paper's design;");
+    println!(" DF suspends the whole request chain, holding partial bodies in memory.)");
+}

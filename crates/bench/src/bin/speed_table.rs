@@ -1,0 +1,71 @@
+//! E3 table: specialisation-session cost, mix vs generating extensions.
+//!
+//! Run: `cargo run --release -p mspec-bench --bin speed_table`
+
+use mspec_bench::workloads::{encoded_expr, library_source, prepared_library, INTERP, POWER};
+use mspec_bench::{time_min, us};
+use mspec_core::{Pipeline, SpecArg};
+use mspec_lang::eval::{with_big_stack, Value};
+use mspec_mix::{mix_specialise, MixOptions};
+
+fn main() {
+    with_big_stack(run);
+}
+
+fn run() {
+    println!("E3: genext vs mix — per-session specialisation cost (min of 5, us)");
+    println!(
+        "{:<24} {:>10} {:>10} {:>8}",
+        "workload", "mix", "genext", "speedup"
+    );
+
+    let row = |name: &str, mix_us: std::time::Duration, gx_us: std::time::Duration| {
+        println!(
+            "{:<24} {} {} {:>7.1}x",
+            name,
+            us(mix_us),
+            us(gx_us),
+            mix_us.as_secs_f64() / gx_us.as_secs_f64()
+        );
+    };
+
+    // power, static exponent.
+    {
+        let args = || vec![SpecArg::Static(Value::nat(20)), SpecArg::Dynamic];
+        let pipeline = Pipeline::from_source(POWER).unwrap();
+        let (mix_t, _) = time_min(5, || {
+            mix_specialise(POWER, "Power", "power", args(), MixOptions::default()).unwrap()
+        });
+        let (gx_t, _) = time_min(5, || pipeline.specialise("Power", "power", args()).unwrap());
+        row("power n=20", mix_t, gx_t);
+    }
+
+    // interpreter at two program sizes.
+    for depth in [5u32, 8] {
+        let prog = encoded_expr(depth);
+        let args = || vec![SpecArg::Static(prog.clone()), SpecArg::Dynamic];
+        let pipeline = Pipeline::from_source(INTERP).unwrap();
+        let (mix_t, _) = time_min(5, || {
+            mix_specialise(INTERP, "Interp", "run", args(), MixOptions::default()).unwrap()
+        });
+        let (gx_t, _) = time_min(5, || pipeline.specialise("Interp", "run", args()).unwrap());
+        row(&format!("interp depth={depth}"), mix_t, gx_t);
+    }
+
+    // libraries of growing size (the §4 motivation).
+    for modules in [2usize, 4, 8, 16] {
+        let (src, _) = library_source(modules, 8);
+        let pipeline = prepared_library(modules, 8);
+        let (mix_t, _) = time_min(5, || {
+            mix_specialise(&src, "Main", "main", vec![SpecArg::Dynamic], MixOptions::default())
+                .unwrap()
+        });
+        let (gx_t, _) = time_min(5, || {
+            pipeline
+                .specialise("Main", "main", vec![SpecArg::Dynamic])
+                .unwrap()
+        });
+        row(&format!("library {}x8 defs", modules), mix_t, gx_t);
+    }
+    println!("\n(genext = run pre-built generating extensions; mix = parse+typecheck+BTA+interpretive spec per session)");
+}

@@ -1,0 +1,34 @@
+//! Shared workloads and measurement helpers for the benchmark harnesses.
+//!
+//! Every empirical claim of the paper has a criterion bench (statistical
+//! timing) and/or a table binary (`src/bin/*`) that prints the
+//! paper-style comparison. See `EXPERIMENTS.md` at the repository root
+//! for the experiment inventory and `DESIGN.md` for the mapping to
+//! modules.
+
+pub mod workloads;
+
+use std::time::{Duration, Instant};
+
+/// Times `f` by taking the minimum of `iters` runs (robust against
+/// scheduler noise for the table binaries; criterion benches do their
+/// own statistics).
+pub fn time_min<T>(iters: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
+    let mut best: Option<Duration> = None;
+    let mut out: Option<T> = None;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let v = f();
+        let dt = t0.elapsed();
+        if best.is_none_or(|b| dt < b) {
+            best = Some(dt);
+        }
+        out = Some(v);
+    }
+    (best.expect("iters >= 1"), out.expect("iters >= 1"))
+}
+
+/// Formats a duration in microseconds with fixed width.
+pub fn us(d: Duration) -> String {
+    format!("{:>10.1}", d.as_secs_f64() * 1e6)
+}

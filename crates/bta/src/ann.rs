@@ -1,0 +1,331 @@
+//! Annotated programs (the paper's Figure 2).
+//!
+//! Every operation carries a symbolic binding time (a [`BtTerm`] over the
+//! enclosing function's signature variables) that decides — once the
+//! signature variables get concrete values at specialisation time —
+//! whether the operation is performed or residualised. Calls carry the
+//! *instantiation* of the callee's signature variables; coercions are
+//! explicit.
+
+use crate::sig::BtSignature;
+use crate::term::BtTerm;
+use mspec_lang::ast::{Ident, ModName, PrimOp, QualName};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How to coerce a value from one binding-time shape into another.
+///
+/// Both shapes always have the same underlying structure; only the
+/// annotations differ, and only upwards (`S` to `D`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoerceSpec {
+    /// No coercion needed.
+    Id,
+    /// A base value: lift to code when `from` is `S` and `to` is `D`.
+    Base {
+        /// Binding time of the value.
+        from: BtTerm,
+        /// Binding time required by the context.
+        to: BtTerm,
+    },
+    /// A list: possibly lift the spine, and coerce each element.
+    List {
+        /// Spine binding time of the value.
+        from: BtTerm,
+        /// Spine binding time required.
+        to: BtTerm,
+        /// Element coercion (applied when the spine stays static).
+        elem: Box<CoerceSpec>,
+    },
+    /// A function: eta-expand a static closure into residual code when
+    /// the arrow rises from `S` to `D`; inner shapes are identical by
+    /// construction.
+    Fun {
+        /// Arrow binding time of the value.
+        from: BtTerm,
+        /// Arrow binding time required.
+        to: BtTerm,
+    },
+    /// A polymorphic position; identical on both sides by construction,
+    /// so operationally the identity (kept separate from [`CoerceSpec::Id`]
+    /// only for display).
+    Var {
+        /// The (shared) binding time.
+        at: BtTerm,
+    },
+}
+
+impl CoerceSpec {
+    /// `true` if the coercion can never do anything.
+    pub fn is_identity(&self) -> bool {
+        match self {
+            CoerceSpec::Id | CoerceSpec::Var { .. } => true,
+            CoerceSpec::Base { from, to } | CoerceSpec::Fun { from, to } => from == to,
+            CoerceSpec::List { from, to, elem } => from == to && elem.is_identity(),
+        }
+    }
+}
+
+impl fmt::Display for CoerceSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoerceSpec::Id => write!(f, "id"),
+            CoerceSpec::Var { at } => write!(f, "id@{at}"),
+            CoerceSpec::Base { from, to } => write!(f, "{from}=>{to}"),
+            CoerceSpec::Fun { from, to } => write!(f, "fun:{from}=>{to}"),
+            CoerceSpec::List { from, to, elem } => write!(f, "list:{from}=>{to}[{elem}]"),
+        }
+    }
+}
+
+/// An annotated expression.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AnnExpr {
+    /// A natural literal (always static; coercions lift it).
+    Nat(u64),
+    /// A boolean literal.
+    Bool(bool),
+    /// The empty list (static spine).
+    Nil,
+    /// A variable.
+    Var(Ident),
+    /// A primitive with its operation binding time: performed when the
+    /// term evaluates `S`, residualised when `D`.
+    Prim(PrimOp, BtTerm, Vec<AnnExpr>),
+    /// A conditional with the binding time of its test.
+    If(BtTerm, Box<AnnExpr>, Box<AnnExpr>, Box<AnnExpr>),
+    /// A call of a named function. `inst` gives, for each signature
+    /// variable of the callee, its value as a term over the *caller's*
+    /// signature variables.
+    Call {
+        /// The callee.
+        target: QualName,
+        /// Signature instantiation.
+        inst: Vec<BtTerm>,
+        /// Argument expressions (already coerced to the instantiated
+        /// parameter shapes).
+        args: Vec<AnnExpr>,
+    },
+    /// An anonymous function (always a static closure; coercions
+    /// eta-expand it).
+    Lam(Ident, Box<AnnExpr>),
+    /// Application of an anonymous function, with the arrow binding time
+    /// (unfold the closure when `S`, residualise when `D`).
+    App(BtTerm, Box<AnnExpr>, Box<AnnExpr>),
+    /// A let binding (always unfolded).
+    Let(Ident, Box<AnnExpr>, Box<AnnExpr>),
+    /// An explicit binding-time coercion.
+    Coerce(CoerceSpec, Box<AnnExpr>),
+}
+
+impl AnnExpr {
+    /// Wraps `self` in a coercion unless it is the identity.
+    pub fn coerced(self, spec: CoerceSpec) -> AnnExpr {
+        if spec.is_identity() {
+            self
+        } else {
+            AnnExpr::Coerce(spec, Box::new(self))
+        }
+    }
+
+    /// Number of nodes (size metric).
+    pub fn size(&self) -> usize {
+        match self {
+            AnnExpr::Nat(_) | AnnExpr::Bool(_) | AnnExpr::Nil | AnnExpr::Var(_) => 1,
+            AnnExpr::Prim(_, _, args) => 1 + args.iter().map(AnnExpr::size).sum::<usize>(),
+            AnnExpr::If(_, c, t, e) => 1 + c.size() + t.size() + e.size(),
+            AnnExpr::Call { args, .. } => 1 + args.iter().map(AnnExpr::size).sum::<usize>(),
+            AnnExpr::Lam(_, b) => 1 + b.size(),
+            AnnExpr::App(_, f, a) => 1 + f.size() + a.size(),
+            AnnExpr::Let(_, e, b) => 1 + e.size() + b.size(),
+            AnnExpr::Coerce(_, e) => 1 + e.size(),
+        }
+    }
+}
+
+impl fmt::Display for AnnExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnnExpr::Nat(n) => write!(f, "{n}"),
+            AnnExpr::Bool(b) => write!(f, "{b}"),
+            AnnExpr::Nil => write!(f, "[]"),
+            AnnExpr::Var(x) => write!(f, "{x}"),
+            AnnExpr::Prim(op, t, args) => {
+                if op.is_infix() {
+                    write!(f, "({} {}^{{{t}}} {})", args[0], op.symbol(), args[1])
+                } else {
+                    write!(f, "({}^{{{t}}} {})", op.symbol(), args[0])
+                }
+            }
+            AnnExpr::If(t, c, th, el) => {
+                write!(f, "if^{{{t}}} {c} then {th} else {el}")
+            }
+            AnnExpr::Call { target, inst, args } => {
+                write!(f, "{}{{", target.name)?;
+                for (i, t) in inst.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "}}")?;
+                for a in args {
+                    write!(f, " ({a})")?;
+                }
+                Ok(())
+            }
+            AnnExpr::Lam(x, b) => write!(f, "\\{x} -> {b}"),
+            AnnExpr::App(t, g, a) => write!(f, "({g} @^{{{t}}} {a})"),
+            AnnExpr::Let(x, e, b) => write!(f, "let {x} = {e} in {b}"),
+            AnnExpr::Coerce(spec, e) => write!(f, "[{spec}]({e})"),
+        }
+    }
+}
+
+/// An annotated definition: the paper's `f {t…} x… =^{u} body`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnnDef {
+    /// Function name.
+    pub name: Ident,
+    /// Parameter names.
+    pub params: Vec<Ident>,
+    /// The qualified binding-time scheme (also exported in the module's
+    /// interface).
+    pub sig: BtSignature,
+    /// The annotated body.
+    pub body: AnnExpr,
+}
+
+impl fmt::Display for AnnDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {{", self.name)?;
+        for v in 0..self.sig.vars {
+            if v > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "t{v}")?;
+        }
+        write!(f, "}}")?;
+        for p in &self.params {
+            write!(f, " {p}")?;
+        }
+        write!(f, " =^{{{}}} {}", self.sig.unfold, self.body)
+    }
+}
+
+/// An annotated module plus its exported binding-time interface.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnnModule {
+    /// Module name.
+    pub name: ModName,
+    /// Direct imports.
+    pub imports: Vec<ModName>,
+    /// Annotated definitions, in source order.
+    pub defs: Vec<AnnDef>,
+    /// The interface to write to the `.bti` file.
+    pub interface: crate::sig::BtInterface,
+}
+
+impl AnnModule {
+    /// Looks up an annotated definition.
+    pub fn def(&self, name: &str) -> Option<&AnnDef> {
+        self.defs.iter().find(|d| d.name.as_str() == name)
+    }
+}
+
+impl fmt::Display for AnnModule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "module {} where", self.name)?;
+        for i in &self.imports {
+            writeln!(f, "import {i}")?;
+        }
+        for d in &self.defs {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A fully annotated program.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AnnProgram {
+    /// Annotated modules, in dependency order.
+    pub modules: Vec<AnnModule>,
+}
+
+impl AnnProgram {
+    /// Looks up a module.
+    pub fn module(&self, name: &str) -> Option<&AnnModule> {
+        self.modules.iter().find(|m| m.name.as_str() == name)
+    }
+
+    /// Looks up an annotated definition.
+    pub fn def(&self, q: &QualName) -> Option<&AnnDef> {
+        self.module(q.module.as_str())?.def(q.name.as_str())
+    }
+
+    /// Looks up a function's binding-time signature.
+    pub fn signature(&self, q: &QualName) -> Option<&BtSignature> {
+        self.def(q).map(|d| &d.sig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coerced_skips_identities() {
+        let e = AnnExpr::Nat(1);
+        assert_eq!(e.clone().coerced(CoerceSpec::Id), AnnExpr::Nat(1));
+        let same = CoerceSpec::Base { from: BtTerm::var(0), to: BtTerm::var(0) };
+        assert_eq!(e.clone().coerced(same), AnnExpr::Nat(1));
+        let lift = CoerceSpec::Base { from: BtTerm::s(), to: BtTerm::var(0) };
+        assert!(matches!(e.coerced(lift), AnnExpr::Coerce(..)));
+    }
+
+    #[test]
+    fn identity_detection_in_lists() {
+        let id = CoerceSpec::List {
+            from: BtTerm::var(1),
+            to: BtTerm::var(1),
+            elem: Box::new(CoerceSpec::Id),
+        };
+        assert!(id.is_identity());
+        let lifting_elems = CoerceSpec::List {
+            from: BtTerm::var(1),
+            to: BtTerm::var(1),
+            elem: Box::new(CoerceSpec::Base { from: BtTerm::s(), to: BtTerm::d() }),
+        };
+        assert!(!lifting_elems.is_identity());
+    }
+
+    #[test]
+    fn display_is_paper_like() {
+        // x *^{t0|t1} power{t0, t1} (..) (..)
+        let e = AnnExpr::Prim(
+            PrimOp::Mul,
+            BtTerm::lub_of([0, 1]),
+            vec![
+                AnnExpr::Var(Ident::new("x")),
+                AnnExpr::Call {
+                    target: QualName::new("P", "power"),
+                    inst: vec![BtTerm::var(0), BtTerm::var(1)],
+                    args: vec![AnnExpr::Var(Ident::new("n")), AnnExpr::Var(Ident::new("x"))],
+                },
+            ],
+        );
+        let s = e.to_string();
+        assert!(s.contains("*^{t0 | t1}"), "{s}");
+        assert!(s.contains("power{t0, t1}"), "{s}");
+    }
+
+    #[test]
+    fn size_counts_coercions() {
+        let e = AnnExpr::Coerce(
+            CoerceSpec::Base { from: BtTerm::s(), to: BtTerm::d() },
+            Box::new(AnnExpr::Nat(1)),
+        );
+        assert_eq!(e.size(), 2);
+    }
+}

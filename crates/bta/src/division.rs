@@ -1,0 +1,202 @@
+//! Specialisation-time binding-time divisions.
+//!
+//! A *division* classifies each parameter of the entry function as static
+//! or dynamic. [`Division::mask_for`] turns it into a concrete assignment
+//! of the function's signature variables and completes it to the least
+//! assignment satisfying the signature's qualifications (so a `D`
+//! argument may force related variables to `D`, never the reverse).
+
+use crate::error::BtaError;
+use crate::shape::SigShape;
+use crate::sig::{BtMask, BtSignature};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The binding time requested for one parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParamBt {
+    /// The whole argument is known at specialisation time.
+    Static,
+    /// The whole argument is unknown until run time.
+    Dynamic,
+    /// For list parameters: the spine is known but the elements are not
+    /// (a partially static list).
+    StaticSpine,
+}
+
+/// A division: one [`ParamBt`] per parameter of the entry function.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Division(pub Vec<ParamBt>);
+
+impl Division {
+    /// A division from `'S'`/`'D'` characters, e.g. `Division::parse("SD")`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on characters other than `S`, `D` or `P` (partially
+    /// static). Intended for tests and examples; build the vector
+    /// directly for anything else.
+    pub fn parse(s: &str) -> Division {
+        Division(
+            s.chars()
+                .map(|c| match c {
+                    'S' => ParamBt::Static,
+                    'D' => ParamBt::Dynamic,
+                    'P' => ParamBt::StaticSpine,
+                    other => panic!("bad division character `{other}` (use S, D or P)"),
+                })
+                .collect(),
+        )
+    }
+
+    /// Number of parameters covered.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` if the division covers no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Computes the signature-variable mask this division induces on
+    /// `sig`: dynamic parameters force every variable of their shape,
+    /// partially static lists force only the element shape, and the
+    /// result is completed against the signature's qualifications.
+    ///
+    /// # Errors
+    ///
+    /// [`BtaError::Internal`] if the division length does not match the
+    /// signature's parameter count.
+    pub fn mask_for(&self, sig: &BtSignature) -> Result<BtMask, BtaError> {
+        if self.0.len() != sig.params.len() {
+            return Err(BtaError::Internal(format!(
+                "division covers {} parameters but the function has {}",
+                self.0.len(),
+                sig.params.len()
+            )));
+        }
+        let mut mask = BtMask::all_static();
+        for (pbt, shape) in self.0.iter().zip(&sig.params) {
+            match pbt {
+                ParamBt::Static => {}
+                ParamBt::Dynamic => {
+                    for term in shape.terms() {
+                        for v in term.vars() {
+                            mask = mask.set_dynamic(v);
+                        }
+                    }
+                }
+                ParamBt::StaticSpine => match shape {
+                    SigShape::List(elem, _) => {
+                        for term in elem.terms() {
+                            for v in term.vars() {
+                                mask = mask.set_dynamic(v);
+                            }
+                        }
+                    }
+                    // A parameter whose shape stayed polymorphic (it only
+                    // flows into polymorphic positions) has one summary
+                    // binding time: the spine cannot be separated from
+                    // the elements, so the whole argument goes dynamic
+                    // (the boxing rule, conservative but sound).
+                    SigShape::Var(term) => {
+                        for v in term.vars() {
+                            mask = mask.set_dynamic(v);
+                        }
+                    }
+                    other => {
+                        return Err(BtaError::Internal(format!(
+                            "StaticSpine division on non-list parameter shape {other}"
+                        )))
+                    }
+                },
+            }
+        }
+        Ok(sig.complete_mask(mask))
+    }
+}
+
+impl fmt::Display for Division {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.0 {
+            match p {
+                ParamBt::Static => write!(f, "S")?,
+                ParamBt::Dynamic => write!(f, "D")?,
+                ParamBt::StaticSpine => write!(f, "P")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::BtTerm;
+
+    fn sig2() -> BtSignature {
+        BtSignature {
+            vars: 2,
+            constraints: vec![],
+            forced_d: vec![],
+            params: vec![SigShape::Base(BtTerm::var(0)), SigShape::Base(BtTerm::var(1))],
+            ret: SigShape::Base(BtTerm::lub_of([0, 1])),
+            unfold: BtTerm::var(0),
+        }
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let d = Division::parse("SDP");
+        assert_eq!(d.to_string(), "SDP");
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad division")]
+    fn parse_rejects_garbage() {
+        Division::parse("SX");
+    }
+
+    #[test]
+    fn mask_marks_dynamic_params() {
+        let m = Division::parse("SD").mask_for(&sig2()).unwrap();
+        assert_eq!(m.render(2), "{S,D}");
+        let m2 = Division::parse("DS").mask_for(&sig2()).unwrap();
+        assert_eq!(m2.render(2), "{D,S}");
+    }
+
+    #[test]
+    fn mask_respects_constraints() {
+        let sig = BtSignature { constraints: vec![(0, 1)], ..sig2() };
+        let m = Division::parse("DS").mask_for(&sig).unwrap();
+        // t0 ≤ t1 forces the second variable dynamic too.
+        assert_eq!(m.render(2), "{D,D}");
+    }
+
+    #[test]
+    fn wrong_arity_is_an_error() {
+        assert!(Division::parse("S").mask_for(&sig2()).is_err());
+    }
+
+    #[test]
+    fn static_spine_touches_only_elements() {
+        let sig = BtSignature {
+            vars: 2,
+            constraints: vec![],
+            forced_d: vec![],
+            params: vec![SigShape::List(
+                Box::new(SigShape::Base(BtTerm::var(0))),
+                BtTerm::var(1),
+            )],
+            ret: SigShape::Base(BtTerm::var(0)),
+            unfold: BtTerm::s(),
+        };
+        let m = Division::parse("P").mask_for(&sig).unwrap();
+        assert_eq!(m.render(2), "{D,S}");
+        let err = Division::parse("P").mask_for(&sig2());
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! Errors raised by the binding-time analysis.
+
+use mspec_lang::{Ident, ModName, QualName};
+use std::error::Error;
+use std::fmt;
+
+/// An error found during binding-time analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BtaError {
+    /// Two binding-time shapes with incompatible structure were related.
+    /// For programs that pass Hindley–Milner type checking this cannot
+    /// happen; it is reported (rather than panicking) so the analysis is
+    /// safe to run on unchecked programs too.
+    ShapeMismatch {
+        /// Where the mismatch occurred (module.function).
+        context: String,
+    },
+    /// Shape unification would build an infinite shape (ill-typed input).
+    Occurs {
+        /// Where the failure occurred.
+        context: String,
+    },
+    /// A function signature needs more than 128 binding-time variables.
+    TooManyVars {
+        /// The offending function(s).
+        context: String,
+        /// How many variables were needed.
+        count: usize,
+    },
+    /// A call to a function whose binding-time interface is unavailable.
+    MissingSignature(QualName),
+    /// A forced-residual override names a function the module does not
+    /// define.
+    UnknownOverride {
+        /// The module being analysed.
+        module: ModName,
+        /// The name that matched no definition.
+        name: Ident,
+    },
+    /// An internal invariant failed (a bug in the analysis).
+    Internal(String),
+}
+
+impl fmt::Display for BtaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BtaError::ShapeMismatch { context } => {
+                write!(f, "binding-time shape mismatch in {context} (is the program well-typed?)")
+            }
+            BtaError::Occurs { context } => {
+                write!(f, "infinite binding-time shape in {context} (is the program well-typed?)")
+            }
+            BtaError::TooManyVars { context, count } => write!(
+                f,
+                "binding-time signature of {context} needs {count} variables; the limit is 128"
+            ),
+            BtaError::MissingSignature(q) => {
+                write!(f, "no binding-time signature available for {q}")
+            }
+            BtaError::UnknownOverride { module, name } => {
+                write!(f, "forced-residual override `{name}` matches no definition in {module}")
+            }
+            BtaError::Internal(msg) => write!(f, "internal binding-time analysis error: {msg}"),
+        }
+    }
+}
+
+impl Error for BtaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_context() {
+        let e = BtaError::ShapeMismatch { context: "A.f".into() };
+        assert!(e.to_string().contains("A.f"));
+    }
+
+    #[test]
+    fn implements_error() {
+        fn takes<E: Error>(_: E) {}
+        takes(BtaError::Internal("x".into()));
+    }
+}

@@ -1,0 +1,64 @@
+//! Polymorphic (symbolic) binding-time analysis.
+//!
+//! This crate implements the paper's §4.1: a binding-time analysis in the
+//! style of Henglein & Mossin and Dussart, Henglein & Mossin, factorised
+//! into a *property-independent* part that runs once per module — without
+//! knowing how the module will be used — and a *property-dependent* part
+//! that is deferred all the way to specialisation time (where it amounts
+//! to evaluating small lub terms against a bitmask).
+//!
+//! The pieces:
+//!
+//! * [`term`] — the binding-time lattice `S < D`, binding-time variables
+//!   and lub terms over a function's signature variables (`t ⊔ u`),
+//! * [`shape`] — binding-time *types* mirroring the underlying
+//!   Hindley–Milner structure (base / list / function / polymorphic
+//!   position), in the serialisable signature form,
+//! * [`sig`] — qualified binding-time schemes
+//!   (`∀t,u. {t ≤ u} ⇒ t → u → t⊔u`), binding-time masks, and the
+//!   per-module binding-time [interface](sig::BtInterface) files,
+//! * [`solver`] — the constraint machinery: annotation nodes with
+//!   union-find, `≤` edges, shape unification and coercion generation,
+//! * [`analyse`] — the per-module analysis producing an annotated module
+//!   ([`ann`]) and its interface, given only the interfaces of imports,
+//! * [`ann`] — the annotated syntax of Figure 2, with explicit coercions
+//!   and symbolic annotations, plus a paper-style pretty-printer,
+//! * [`division`] — specialisation-time binding-time divisions and their
+//!   completion to least-fixpoint masks.
+//!
+//! # Example
+//!
+//! ```
+//! use mspec_lang::parser::parse_program;
+//! use mspec_lang::resolve::resolve;
+//! use mspec_bta::analyse::analyse_program;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let rp = resolve(parse_program(
+//!     "module P where\npower n x = if n == 1 then x else x * power (n - 1) x\n",
+//! )?)?;
+//! let ann = analyse_program(&rp)?;
+//! let sig = ann.signature(&mspec_lang::QualName::new("P", "power")).unwrap();
+//! // ∀t0,t1. t0 → t1 → t0⊔t1, unfoldable iff t0 (the binding time of n) is S.
+//! assert_eq!(sig.vars, 2);
+//! assert_eq!(sig.unfold.to_string(), "t0");
+//! assert_eq!(sig.ret.to_string(), "Base(t0 | t1)");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analyse;
+pub mod ann;
+pub mod division;
+pub mod error;
+pub mod shape;
+pub mod sig;
+pub mod solver;
+pub mod term;
+
+pub use ann::{AnnDef, AnnExpr, AnnModule, AnnProgram, CoerceSpec};
+pub use division::Division;
+pub use error::BtaError;
+pub use shape::SigShape;
+pub use sig::{BtInterface, BtMask, BtSignature};
+pub use term::{Bt, BtTerm, BtVarId};

@@ -1,0 +1,196 @@
+//! Binding-time types ("shapes") in serialisable signature form.
+//!
+//! A binding-time type mirrors the underlying Hindley–Milner type: base
+//! positions carry a single binding time, lists carry a spine binding
+//! time plus an element shape, functions carry an arrow binding time plus
+//! argument/result shapes, and positions whose underlying type is a type
+//! variable are summarised by a single binding time ([`SigShape::Var`]).
+//!
+//! Well-formedness (§4.1): a dynamic arrow/spine forces every binding
+//! time beneath it to be dynamic. The analysis maintains this with
+//! `top ≤ component` constraints; [`SigShape::well_formed_under`] checks
+//! it for concrete assignments.
+
+use crate::term::{Bt, BtTerm, BtVarId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A binding-time type over a function's signature variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SigShape {
+    /// A base (Nat/Bool) position.
+    Base(BtTerm),
+    /// A list: element shape and spine binding time.
+    List(Box<SigShape>, BtTerm),
+    /// A function: argument shape, arrow binding time, result shape.
+    Fun(Box<SigShape>, BtTerm, Box<SigShape>),
+    /// A position whose underlying type is polymorphic, summarised by a
+    /// single binding time.
+    Var(BtTerm),
+}
+
+impl SigShape {
+    /// The top-level binding time of the shape.
+    pub fn top(&self) -> &BtTerm {
+        match self {
+            SigShape::Base(t) | SigShape::Var(t) => t,
+            SigShape::List(_, t) => t,
+            SigShape::Fun(_, t, _) => t,
+        }
+    }
+
+    /// All terms in the shape, pre-order (top first).
+    pub fn terms(&self) -> Vec<&BtTerm> {
+        let mut out = Vec::new();
+        self.collect_terms(&mut out);
+        out
+    }
+
+    fn collect_terms<'a>(&'a self, out: &mut Vec<&'a BtTerm>) {
+        match self {
+            SigShape::Base(t) | SigShape::Var(t) => out.push(t),
+            SigShape::List(e, t) => {
+                out.push(t);
+                e.collect_terms(out);
+            }
+            SigShape::Fun(a, t, r) => {
+                out.push(t);
+                a.collect_terms(out);
+                r.collect_terms(out);
+            }
+        }
+    }
+
+    /// Rewrites every term with `f` (signature instantiation).
+    pub fn subst(&self, f: &impl Fn(BtVarId) -> BtTerm) -> SigShape {
+        match self {
+            SigShape::Base(t) => SigShape::Base(t.subst(f)),
+            SigShape::Var(t) => SigShape::Var(t.subst(f)),
+            SigShape::List(e, t) => SigShape::List(Box::new(e.subst(f)), t.subst(f)),
+            SigShape::Fun(a, t, r) => {
+                SigShape::Fun(Box::new(a.subst(f)), t.subst(f), Box::new(r.subst(f)))
+            }
+        }
+    }
+
+    /// `true` if every position evaluates to `D` under the assignment.
+    pub fn all_dynamic_under(&self, assignment: &impl Fn(BtVarId) -> Bt) -> bool {
+        self.terms().iter().all(|t| t.eval(assignment) == Bt::D)
+    }
+
+    /// Checks well-formedness under a concrete assignment: wherever the
+    /// top of a sub-shape is `D`, everything beneath it is `D`.
+    pub fn well_formed_under(&self, assignment: &impl Fn(BtVarId) -> Bt) -> bool {
+        match self {
+            SigShape::Base(_) | SigShape::Var(_) => true,
+            SigShape::List(e, t) => {
+                (t.eval(assignment) == Bt::S || e.all_dynamic_under(assignment))
+                    && e.well_formed_under(assignment)
+            }
+            SigShape::Fun(a, t, r) => {
+                (t.eval(assignment) == Bt::S
+                    || (a.all_dynamic_under(assignment) && r.all_dynamic_under(assignment)))
+                    && a.well_formed_under(assignment)
+                    && r.well_formed_under(assignment)
+            }
+        }
+    }
+}
+
+impl fmt::Display for SigShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SigShape::Base(t) => write!(f, "Base({t})"),
+            SigShape::Var(t) => write!(f, "{t}"),
+            SigShape::List(e, t) => write!(f, "[{e}]^{t}"),
+            SigShape::Fun(a, t, r) => write!(f, "({a} ->^{t} {r})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fun_shape() -> SigShape {
+        // (t0 ->^t1 t2)
+        SigShape::Fun(
+            Box::new(SigShape::Var(BtTerm::var(0))),
+            BtTerm::var(1),
+            Box::new(SigShape::Var(BtTerm::var(2))),
+        )
+    }
+
+    #[test]
+    fn top_of_each_constructor() {
+        assert_eq!(SigShape::Base(BtTerm::d()).top(), &BtTerm::d());
+        assert_eq!(fun_shape().top(), &BtTerm::var(1));
+        let l = SigShape::List(Box::new(SigShape::Base(BtTerm::var(0))), BtTerm::var(1));
+        assert_eq!(l.top(), &BtTerm::var(1));
+    }
+
+    #[test]
+    fn terms_preorder() {
+        let terms: Vec<String> = fun_shape().terms().iter().map(|t| t.to_string()).collect();
+        assert_eq!(terms, vec!["t1", "t0", "t2"]);
+    }
+
+    #[test]
+    fn subst_rewrites_throughout() {
+        let s = fun_shape().subst(&|v| if v == 1 { BtTerm::d() } else { BtTerm::var(v + 10) });
+        match s {
+            SigShape::Fun(a, t, r) => {
+                assert!(t.is_d());
+                assert_eq!(*a, SigShape::Var(BtTerm::var(10)));
+                assert_eq!(*r, SigShape::Var(BtTerm::var(12)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn well_formedness_dynamic_arrow_needs_dynamic_parts() {
+        let s = fun_shape();
+        // t1 = D but t0 = S: ill-formed.
+        let bad = |v: BtVarId| if v == 1 { Bt::D } else { Bt::S };
+        assert!(!s.well_formed_under(&bad));
+        // everything D: fine.
+        assert!(s.well_formed_under(&|_| Bt::D));
+        // arrow S: fine regardless.
+        assert!(s.well_formed_under(&|_| Bt::S));
+        let mixed = |v: BtVarId| if v == 1 { Bt::S } else { Bt::D };
+        assert!(s.well_formed_under(&mixed));
+    }
+
+    #[test]
+    fn well_formedness_dynamic_spine_needs_dynamic_elements() {
+        let l = SigShape::List(Box::new(SigShape::Base(BtTerm::var(0))), BtTerm::var(1));
+        let bad = |v: BtVarId| if v == 1 { Bt::D } else { Bt::S };
+        assert!(!l.well_formed_under(&bad));
+        // static spine with dynamic elements is the partially static case
+        // and IS well-formed.
+        let ps = |v: BtVarId| if v == 0 { Bt::D } else { Bt::S };
+        assert!(l.well_formed_under(&ps));
+    }
+
+    #[test]
+    fn all_dynamic_check() {
+        let s = fun_shape();
+        assert!(s.all_dynamic_under(&|_| Bt::D));
+        assert!(!s.all_dynamic_under(&|v| if v == 0 { Bt::S } else { Bt::D }));
+    }
+
+    #[test]
+    fn display_shapes() {
+        assert_eq!(fun_shape().to_string(), "(t0 ->^t1 t2)");
+        let l = SigShape::List(Box::new(SigShape::Base(BtTerm::s())), BtTerm::d());
+        assert_eq!(l.to_string(), "[Base(S)]^D");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = fun_shape();
+        let js = serde_json::to_string(&s).unwrap();
+        assert_eq!(serde_json::from_str::<SigShape>(&js).unwrap(), s);
+    }
+}

@@ -1,0 +1,77 @@
+//! Properties of inferred binding-time signatures on random well-typed
+//! programs:
+//!
+//! * every completed mask satisfies the signature's qualifications,
+//! * parameter and result shapes are *well-formed* under every completed
+//!   mask (a dynamic arrow/spine forces everything beneath it dynamic —
+//!   the §4.1 invariant the engine relies on),
+//! * the unfold annotation never exceeds the result's top binding time
+//!   (a residualised call really does produce code).
+
+use mspec_bta::analyse::analyse_program;
+use mspec_bta::{Bt, BtMask};
+use mspec_lang::resolve::resolve;
+use mspec_testkit::random::{random_program, GenConfig};
+use proptest::prelude::*;
+
+fn check_seed(seed: u64, mask_bits: u128) {
+    let g = random_program(&GenConfig { seed, ..GenConfig::default() });
+    let resolved = resolve(g.program.clone()).unwrap();
+    let ann = match analyse_program(&resolved) {
+        Ok(a) => a,
+        Err(e) => panic!("seed {seed}: analysis failed: {e}"),
+    };
+    for module in &ann.modules {
+        for def in &module.defs {
+            let sig = &def.sig;
+            // Random request, completed against the qualifications.
+            let requested = BtMask(mask_bits & (BtMask::all_dynamic(sig.vars.max(1)).0));
+            let mask = sig.complete_mask(requested);
+            assert!(
+                sig.satisfies(mask),
+                "seed {seed}: completed mask violates constraints of {}: {sig}",
+                def.name
+            );
+            let assign = |v| mask.get(v);
+            for (i, p) in sig.params.iter().enumerate() {
+                assert!(
+                    p.well_formed_under(&assign),
+                    "seed {seed}: param {i} of {} ill-formed under {}: {sig}",
+                    def.name,
+                    mask.render(sig.vars)
+                );
+            }
+            assert!(
+                sig.ret.well_formed_under(&assign),
+                "seed {seed}: result of {} ill-formed under {}: {sig}",
+                def.name,
+                mask.render(sig.vars)
+            );
+            // unfold ≤ top(ret): a residualised call's result is code.
+            if mask.eval(&sig.unfold) == Bt::D {
+                assert_eq!(
+                    mask.eval(sig.ret.top()),
+                    Bt::D,
+                    "seed {seed}: {} residualises but its result is not dynamic: {sig}",
+                    def.name
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn signatures_are_internally_consistent(seed in 0u64..10_000, mask in any::<u128>()) {
+        check_seed(seed, mask);
+    }
+}
+
+#[test]
+fn signature_sweep() {
+    for seed in 0..60 {
+        check_seed(seed, seed as u128 * 0x9E37_79B9_7F4A_7C15);
+    }
+}

@@ -1,0 +1,323 @@
+//! An incremental cogen build driver.
+//!
+//! "When a module is added to a software system, it can be analysed and
+//! tailored for specialisation once and for all" (§9). This module makes
+//! that workflow concrete, in the style of `make`:
+//!
+//! * a *source tree* is a directory of `Module.mspec` files (one module
+//!   per file, file name = module name),
+//! * [`build`] processes modules in dependency order and writes
+//!   `Module.bti` + `Module.gx` (+ readable `GenModule.txt`) into an
+//!   artefact directory,
+//! * a module is **rebuilt only when stale**: its source is newer than
+//!   its artefacts, or any import's interface file is newer (interface
+//!   changes propagate; mere rebuilds that leave the `.bti` byte-identical
+//!   do not dirty downstream modules),
+//! * [`link_dir`] loads every `.gx` in an artefact directory into a
+//!   runnable [`GenProgram`] — no source needed.
+
+use crate::files::{cogen_module, load_bti, load_gx, CogenError};
+use mspec_genext::GenProgram;
+use mspec_lang::ast::{Ident, ModName, Module, Program};
+use mspec_lang::modgraph::ModGraph;
+use mspec_lang::parser::parse_module;
+use mspec_lang::resolve::resolve;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::SystemTime;
+
+/// What happened to each module during a [`build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildAction {
+    /// Artefacts were up to date; nothing was done.
+    UpToDate,
+    /// The module was (re)analysed and its genext regenerated.
+    Rebuilt,
+}
+
+/// The result of a build run.
+#[derive(Debug)]
+pub struct BuildReport {
+    /// Per-module actions, in build (dependency) order.
+    pub actions: Vec<(ModName, BuildAction)>,
+    /// The artefact directory.
+    pub out_dir: PathBuf,
+}
+
+impl BuildReport {
+    /// Number of modules rebuilt.
+    pub fn rebuilt(&self) -> usize {
+        self.actions.iter().filter(|(_, a)| *a == BuildAction::Rebuilt).count()
+    }
+
+    /// Number of modules left alone.
+    pub fn up_to_date(&self) -> usize {
+        self.actions.len() - self.rebuilt()
+    }
+}
+
+/// Options controlling a build.
+#[derive(Debug, Clone, Default)]
+pub struct BuildOptions {
+    /// Functions to force residual, per module.
+    pub force_residual: BTreeMap<ModName, BTreeSet<Ident>>,
+    /// Rebuild everything regardless of timestamps.
+    pub force: bool,
+}
+
+/// Builds (incrementally) all modules of `src_dir` into `out_dir`.
+///
+/// # Errors
+///
+/// I/O errors, parse/resolution errors (the whole tree is resolved to
+/// validate cross-module references and compute the build order), and
+/// any analysis error from rebuilt modules.
+pub fn build(
+    src_dir: impl AsRef<Path>,
+    out_dir: impl AsRef<Path>,
+    options: &BuildOptions,
+) -> Result<BuildReport, CogenError> {
+    let src_dir = src_dir.as_ref();
+    let out_dir = out_dir.as_ref();
+    fs::create_dir_all(out_dir)?;
+
+    // Load the source tree.
+    let mut modules: Vec<(Module, PathBuf)> = Vec::new();
+    let mut entries: Vec<PathBuf> = fs::read_dir(src_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "mspec"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let text = fs::read_to_string(&path)?;
+        let module = parse_module(&text)?;
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+        if module.name.as_str() != stem {
+            return Err(CogenError::Format(format!(
+                "file {} declares module {}, expected {stem}",
+                path.display(),
+                module.name
+            )));
+        }
+        modules.push((module, path));
+    }
+
+    // Resolve the whole tree once: validates references and gives the
+    // dependency order. (Analysis itself still runs per-module through
+    // interface files only.)
+    let program = Program::new(modules.iter().map(|(m, _)| m.clone()).collect());
+    let resolved = resolve(program)?;
+    let graph = ModGraph::new(resolved.program())
+        .expect("resolution validated the module graph");
+
+    let path_of: BTreeMap<&ModName, &PathBuf> =
+        modules.iter().map(|(m, p)| (&m.name, p)).collect();
+
+    let mut actions = Vec::new();
+    let mut iface_changed: BTreeSet<ModName> = BTreeSet::new();
+    for name in graph.topo_order() {
+        let module = resolved.program().module(name.as_str()).unwrap();
+        let src_path = path_of[&name];
+        let bti = out_dir.join(format!("{name}.bti"));
+        let gx = out_dir.join(format!("{name}.gx"));
+
+        let stale = options.force
+            || !bti.exists()
+            || !gx.exists()
+            || newer(src_path, &bti)?
+            || module.imports.iter().any(|i| iface_changed.contains(i));
+
+        if !stale {
+            actions.push((name.clone(), BuildAction::UpToDate));
+            continue;
+        }
+        let old_iface = if bti.exists() { Some(load_bti(&bti)?) } else { None };
+        let forced = options.force_residual.get(name).cloned().unwrap_or_default();
+        cogen_module(module, out_dir, &forced)?;
+        let new_iface = load_bti(&bti)?;
+        if old_iface.as_ref() != Some(&new_iface) {
+            iface_changed.insert(name.clone());
+        }
+        actions.push((name.clone(), BuildAction::Rebuilt));
+    }
+    Ok(BuildReport { actions, out_dir: out_dir.to_path_buf() })
+}
+
+/// Links every `.gx` file in an artefact directory into a runnable
+/// program. The source tree is not consulted.
+///
+/// # Errors
+///
+/// I/O errors, corrupt genext files, or linking errors.
+pub fn link_dir(out_dir: impl AsRef<Path>) -> Result<GenProgram, CogenError> {
+    let mut gx_files: Vec<PathBuf> = fs::read_dir(out_dir.as_ref())?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "gx"))
+        .collect();
+    gx_files.sort();
+    let modules = gx_files
+        .iter()
+        .map(load_gx)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(GenProgram::link(modules)?)
+}
+
+fn newer(a: &Path, b: &Path) -> Result<bool, CogenError> {
+    let ta = mtime(a)?;
+    let tb = mtime(b)?;
+    Ok(ta > tb)
+}
+
+fn mtime(p: &Path) -> Result<SystemTime, CogenError> {
+    Ok(fs::metadata(p)?.modified()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filetime_shim::set_mtime_back;
+
+    /// Tiny helper to push a file's mtime into the past so that "source
+    /// newer than artefact" comparisons are deterministic without
+    /// sleeping.
+    mod filetime_shim {
+        use std::fs;
+        use std::path::Path;
+        use std::time::{Duration, SystemTime};
+
+        pub fn set_mtime_back(path: &Path, secs: u64) {
+            let f = fs::OpenOptions::new().write(true).open(path).unwrap();
+            let t = SystemTime::now() - Duration::from_secs(secs);
+            f.set_modified(t).unwrap();
+        }
+    }
+
+    fn setup(tag: &str) -> (PathBuf, PathBuf) {
+        let base = std::env::temp_dir().join(format!("mspec-build-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&base);
+        let src = base.join("src");
+        let out = base.join("out");
+        fs::create_dir_all(&src).unwrap();
+        fs::write(
+            src.join("Power.mspec"),
+            "module Power where\npower n x = if n == 1 then x else x * power (n - 1) x\n",
+        )
+        .unwrap();
+        fs::write(
+            src.join("Main.mspec"),
+            "module Main where\nimport Power\nmain y = power 3 y\n",
+        )
+        .unwrap();
+        (src, out)
+    }
+
+    #[test]
+    fn first_build_rebuilds_everything_then_nothing() {
+        let (src, out) = setup("fresh");
+        let r1 = build(&src, &out, &BuildOptions::default()).unwrap();
+        assert_eq!(r1.rebuilt(), 2);
+        // Artefacts exist.
+        assert!(out.join("Power.bti").exists());
+        assert!(out.join("Power.gx").exists());
+        assert!(out.join("Main.gx").exists());
+        // Make artefacts strictly newer than sources.
+        set_mtime_back(&src.join("Power.mspec"), 60);
+        set_mtime_back(&src.join("Main.mspec"), 60);
+        let r2 = build(&src, &out, &BuildOptions::default()).unwrap();
+        assert_eq!(r2.rebuilt(), 0);
+        assert_eq!(r2.up_to_date(), 2);
+        let _ = fs::remove_dir_all(src.parent().unwrap());
+    }
+
+    #[test]
+    fn touching_a_leaf_rebuilds_only_it_when_interface_is_stable() {
+        let (src, out) = setup("leaf");
+        build(&src, &out, &BuildOptions::default()).unwrap();
+        set_mtime_back(&src.join("Power.mspec"), 60);
+        set_mtime_back(&src.join("Main.mspec"), 60);
+        // Rewrite Power with the same interface (body tweak only).
+        fs::write(
+            src.join("Power.mspec"),
+            "module Power where\npower n x = if n == 1 then x else power (n - 1) x * x\n",
+        )
+        .unwrap();
+        let r = build(&src, &out, &BuildOptions::default()).unwrap();
+        // Power rebuilt; Main untouched because Power's .bti is identical.
+        let get = |m: &str| {
+            r.actions
+                .iter()
+                .find(|(n, _)| n.as_str() == m)
+                .map(|(_, a)| a.clone())
+                .unwrap()
+        };
+        assert_eq!(get("Power"), BuildAction::Rebuilt);
+        assert_eq!(get("Main"), BuildAction::UpToDate);
+        let _ = fs::remove_dir_all(src.parent().unwrap());
+    }
+
+    #[test]
+    fn interface_changes_propagate_downstream() {
+        let (src, out) = setup("prop");
+        build(&src, &out, &BuildOptions::default()).unwrap();
+        set_mtime_back(&src.join("Power.mspec"), 60);
+        set_mtime_back(&src.join("Main.mspec"), 60);
+        // Change Power so its binding-time interface changes (new
+        // dynamic-conditional structure).
+        fs::write(
+            src.join("Power.mspec"),
+            "module Power where\npower n x = if x == 0 then 0 else if n == 1 then x else x * power (n - 1) x\n",
+        )
+        .unwrap();
+        let r = build(&src, &out, &BuildOptions::default()).unwrap();
+        assert_eq!(r.rebuilt(), 2, "{:?}", r.actions);
+        let _ = fs::remove_dir_all(src.parent().unwrap());
+    }
+
+    #[test]
+    fn built_tree_links_and_specialises_without_source() {
+        let (src, out) = setup("link");
+        build(&src, &out, &BuildOptions::default()).unwrap();
+        // Source gone.
+        fs::remove_dir_all(&src).unwrap();
+        let linked = link_dir(&out).unwrap();
+        let mut engine =
+            mspec_genext::Engine::new(&linked, mspec_genext::EngineOptions::default());
+        let residual = engine
+            .specialise(
+                &mspec_lang::QualName::new("Main", "main"),
+                vec![mspec_genext::SpecArg::Dynamic],
+            )
+            .unwrap();
+        let rp = resolve(residual.program.clone()).unwrap();
+        let mut ev = mspec_lang::eval::Evaluator::new(&rp);
+        assert_eq!(
+            ev.call(&residual.entry, vec![mspec_lang::eval::Value::nat(2)]).unwrap(),
+            mspec_lang::eval::Value::nat(8)
+        );
+        let _ = fs::remove_dir_all(out.parent().unwrap());
+    }
+
+    #[test]
+    fn misnamed_file_is_rejected() {
+        let base = std::env::temp_dir().join(format!("mspec-build-bad-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&base);
+        let src = base.join("src");
+        fs::create_dir_all(&src).unwrap();
+        fs::write(src.join("Wrong.mspec"), "module Power where\np x = x\n").unwrap();
+        let err = build(&src, base.join("out"), &BuildOptions::default()).unwrap_err();
+        assert!(matches!(err, CogenError::Format(_)), "{err}");
+        let _ = fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn force_rebuilds_everything() {
+        let (src, out) = setup("force");
+        build(&src, &out, &BuildOptions::default()).unwrap();
+        set_mtime_back(&src.join("Power.mspec"), 60);
+        set_mtime_back(&src.join("Main.mspec"), 60);
+        let r = build(&src, &out, &BuildOptions { force: true, ..Default::default() }).unwrap();
+        assert_eq!(r.rebuilt(), 2);
+        let _ = fs::remove_dir_all(src.parent().unwrap());
+    }
+}

@@ -1,0 +1,382 @@
+//! File-level cogen driver: `.bti` interfaces and `.gx` genext files.
+//!
+//! This is the build-system face of the paper's workflow: each module is
+//! analysed and converted to its generating extension *once*, producing
+//!
+//! * `Module.bti` — the binding-time interface, read when analysing
+//!   modules that import this one, and
+//! * `Module.gx` — the compiled generating extension, linked (without
+//!   any source) when a program using the module is specialised.
+
+use crate::compile::compile_module;
+use crate::textual::textual_genext;
+use mspec_bta::analyse::analyse_module_with;
+use mspec_bta::{BtaError, BtInterface};
+use mspec_genext::{GenModule, SpecError};
+use mspec_lang::ast::{Def, Expr, Ident, ModName, Module};
+use mspec_lang::error::LangError;
+use mspec_lang::parser::parse_module;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Errors from the file-level cogen pipeline.
+#[derive(Debug)]
+pub enum CogenError {
+    /// Parsing or resolution failed.
+    Lang(LangError),
+    /// Binding-time analysis failed.
+    Bta(BtaError),
+    /// Linking or engine-level failure.
+    Spec(SpecError),
+    /// File I/O failed.
+    Io(String),
+    /// An interface or genext file is corrupt.
+    Format(String),
+    /// An imported module's interface file is missing.
+    MissingInterface(ModName),
+}
+
+impl fmt::Display for CogenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CogenError::Lang(e) => write!(f, "{e}"),
+            CogenError::Bta(e) => write!(f, "{e}"),
+            CogenError::Spec(e) => write!(f, "{e}"),
+            CogenError::Io(m) => write!(f, "cogen I/O error: {m}"),
+            CogenError::Format(m) => write!(f, "corrupt cogen file: {m}"),
+            CogenError::MissingInterface(m) => {
+                write!(f, "missing interface file for imported module {m} (analyse it first)")
+            }
+        }
+    }
+}
+
+impl Error for CogenError {}
+
+impl From<LangError> for CogenError {
+    fn from(e: LangError) -> CogenError {
+        CogenError::Lang(e)
+    }
+}
+
+impl From<BtaError> for CogenError {
+    fn from(e: BtaError) -> CogenError {
+        CogenError::Bta(e)
+    }
+}
+
+impl From<SpecError> for CogenError {
+    fn from(e: SpecError) -> CogenError {
+        CogenError::Spec(e)
+    }
+}
+
+impl From<std::io::Error> for CogenError {
+    fn from(e: std::io::Error) -> CogenError {
+        CogenError::Io(e.to_string())
+    }
+}
+
+/// Writes a genext to a `.gx` file.
+///
+/// # Errors
+///
+/// I/O or serialisation failures.
+pub fn store_gx(path: impl AsRef<Path>, gx: &GenModule) -> Result<(), CogenError> {
+    let json = gx.to_json().map_err(|e| CogenError::Format(e.to_string()))?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Reads a `.gx` file back.
+///
+/// # Errors
+///
+/// I/O failures or [`CogenError::Format`] on corrupt content.
+pub fn load_gx(path: impl AsRef<Path>) -> Result<GenModule, CogenError> {
+    let text = fs::read_to_string(path)?;
+    GenModule::from_json(&text).map_err(|e| CogenError::Format(e.to_string()))
+}
+
+/// Writes a binding-time interface to a `.bti` file.
+///
+/// # Errors
+///
+/// I/O or serialisation failures.
+pub fn store_bti(path: impl AsRef<Path>, iface: &BtInterface) -> Result<(), CogenError> {
+    let json = iface.to_json().map_err(|e| CogenError::Format(e.to_string()))?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Reads a `.bti` file back.
+///
+/// # Errors
+///
+/// I/O failures or [`CogenError::Format`] on corrupt content.
+pub fn load_bti(path: impl AsRef<Path>) -> Result<BtInterface, CogenError> {
+    let text = fs::read_to_string(path)?;
+    BtInterface::from_json(&text).map_err(|e| CogenError::Format(e.to_string()))
+}
+
+/// The name/arity signature of a module — everything a *client's
+/// resolver* needs, written alongside `.bti`/`.gx` so that client
+/// modules can be resolved, analysed and cogen'd with no library source
+/// at all.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SigFile {
+    /// The module's name.
+    pub module: ModName,
+    /// Its direct imports (so the stubbed module graph validates).
+    pub imports: Vec<ModName>,
+    /// Exported function names with their arities.
+    pub fns: Vec<(Ident, usize)>,
+}
+
+impl SigFile {
+    /// Extracts the signature of a module.
+    pub fn of(module: &Module) -> SigFile {
+        SigFile {
+            module: module.name.clone(),
+            imports: module.imports.clone(),
+            fns: module.defs.iter().map(|d| (d.name.clone(), d.arity())).collect(),
+        }
+    }
+
+    /// Builds a resolution *stub*: a module with the right names and
+    /// arities whose bodies are dummies. Only ever fed to the resolver,
+    /// never analysed or run.
+    pub fn stub(&self) -> Module {
+        Module::new(
+            self.module.clone(),
+            self.imports.clone(),
+            self.fns
+                .iter()
+                .map(|(name, arity)| {
+                    Def::new(
+                        name.clone(),
+                        (0..*arity).map(|i| Ident::new(format!("p{i}"))).collect(),
+                        Expr::Nat(0),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Writes a signature file.
+///
+/// # Errors
+///
+/// I/O or serialisation failures.
+pub fn store_sig(path: impl AsRef<Path>, sig: &SigFile) -> Result<(), CogenError> {
+    let json = serde_json::to_string_pretty(sig).map_err(|e| CogenError::Format(e.to_string()))?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Reads a signature file back.
+///
+/// # Errors
+///
+/// I/O failures or [`CogenError::Format`] on corrupt content.
+pub fn load_sig(path: impl AsRef<Path>) -> Result<SigFile, CogenError> {
+    let text = fs::read_to_string(path)?;
+    serde_json::from_str(&text).map_err(|e| CogenError::Format(e.to_string()))
+}
+
+/// Resolves a *client* module against the `.sig` files in `dir`: the
+/// imports (and their transitive imports) are loaded as stubs, so no
+/// library source is needed — this is the resolver-side counterpart of
+/// analysing against `.bti` files.
+///
+/// # Errors
+///
+/// [`CogenError::MissingInterface`] for an import without a `.sig`
+/// file, plus resolution errors.
+pub fn resolve_client(module: &Module, dir: impl AsRef<Path>) -> Result<Module, CogenError> {
+    let dir = dir.as_ref();
+    let mut stubs: BTreeMap<ModName, Module> = BTreeMap::new();
+    let mut todo: Vec<ModName> = module.imports.clone();
+    while let Some(name) = todo.pop() {
+        if stubs.contains_key(&name) || name == module.name {
+            continue;
+        }
+        let path = dir.join(format!("{name}.sig"));
+        if !path.exists() {
+            return Err(CogenError::MissingInterface(name));
+        }
+        let sig = load_sig(&path)?;
+        todo.extend(sig.imports.iter().cloned());
+        stubs.insert(name, sig.stub());
+    }
+    let mut modules: Vec<Module> = stubs.into_values().collect();
+    modules.push(module.clone());
+    let resolved = mspec_lang::resolve::resolve_program(modules)?;
+    Ok(resolved
+        .program()
+        .module(module.name.as_str())
+        .expect("client module survives resolution")
+        .clone())
+}
+
+/// The artefacts produced by [`cogen_module`].
+#[derive(Debug)]
+pub struct CogenOutput {
+    /// Path of the written `.bti` interface.
+    pub bti: PathBuf,
+    /// Path of the written `.gx` genext.
+    pub gx: PathBuf,
+    /// Path of the written readable genext text.
+    pub gen_text: PathBuf,
+    /// Path of the written name/arity signature.
+    pub sig: PathBuf,
+}
+
+/// Runs the cogen for one module: reads the `.bti` files of its imports
+/// from `dir`, analyses the module (never its imports' sources), and
+/// writes `Module.bti`, `Module.gx` and `GenModule.txt` into `dir`.
+///
+/// `force_residual` names definitions of this module that must never be
+/// unfolded (the paper's hand annotation in §5).
+///
+/// # Errors
+///
+/// [`CogenError::MissingInterface`] when an import was not processed
+/// first, plus any parse/analysis/serialisation error.
+pub fn cogen_module(
+    module: &Module,
+    dir: impl AsRef<Path>,
+    force_residual: &BTreeSet<Ident>,
+) -> Result<CogenOutput, CogenError> {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir)?;
+    let mut imports = BTreeMap::new();
+    for imp in &module.imports {
+        let path = dir.join(format!("{imp}.bti"));
+        if !path.exists() {
+            return Err(CogenError::MissingInterface(imp.clone()));
+        }
+        imports.insert(imp.clone(), load_bti(&path)?);
+    }
+    let ann = analyse_module_with(module, &imports, force_residual)?;
+    let gx = compile_module(&ann);
+    let text = textual_genext(&ann);
+
+    let bti_path = dir.join(format!("{}.bti", module.name));
+    let gx_path = dir.join(format!("{}.gx", module.name));
+    let text_path = dir.join(format!("Gen{}.txt", module.name));
+    let sig_path = dir.join(format!("{}.sig", module.name));
+    store_bti(&bti_path, &ann.interface)?;
+    store_gx(&gx_path, &gx)?;
+    fs::write(&text_path, text)?;
+    store_sig(&sig_path, &SigFile::of(module))?;
+    Ok(CogenOutput { bti: bti_path, gx: gx_path, gen_text: text_path, sig: sig_path })
+}
+
+/// Convenience: parses module source text, resolves it against the
+/// `.sig` files already in `dir` (no library source!), and runs
+/// [`cogen_module`].
+///
+/// # Errors
+///
+/// See [`cogen_module`] and [`resolve_client`].
+pub fn cogen_source(
+    src: &str,
+    dir: impl AsRef<Path>,
+    force_residual: &BTreeSet<Ident>,
+) -> Result<CogenOutput, CogenError> {
+    let module = parse_module(src)?;
+    let module = resolve_client(&module, dir.as_ref())?;
+    cogen_module(&module, dir, force_residual)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mspec_genext::GenProgram;
+    use mspec_lang::parser::parse_program;
+    use mspec_lang::resolve::resolve;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mspec-cogen-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn gx_roundtrip_through_files() {
+        let dir = tmpdir("roundtrip");
+        let rp = resolve(
+            parse_program("module P where\npower n x = if n == 1 then x else x * power (n - 1) x\n")
+                .unwrap(),
+        )
+        .unwrap();
+        let module = rp.program().modules[0].clone();
+        let out = cogen_module(&module, &dir, &BTreeSet::new()).unwrap();
+        assert!(out.bti.exists());
+        assert!(out.gx.exists());
+        assert!(out.gen_text.exists());
+        let gx = load_gx(&out.gx).unwrap();
+        assert_eq!(gx.name.as_str(), "P");
+        assert_eq!(gx.fns.len(), 1);
+        // The loaded genext links into a runnable program.
+        assert!(GenProgram::link(vec![gx]).is_ok());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn imports_need_interfaces_first() {
+        let dir = tmpdir("order");
+        let rp = resolve(
+            parse_program(
+                "module A where\nf x = x + 1\nmodule B where\nimport A\ng y = f y\n",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let a = rp.program().module("A").unwrap().clone();
+        let b = rp.program().module("B").unwrap().clone();
+        // B before A: missing interface.
+        let err = cogen_module(&b, &dir, &BTreeSet::new()).unwrap_err();
+        assert!(matches!(err, CogenError::MissingInterface(_)), "{err}");
+        // A then B: fine, and B never touched A's source.
+        cogen_module(&a, &dir, &BTreeSet::new()).unwrap();
+        cogen_module(&b, &dir, &BTreeSet::new()).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bti_files_are_json() {
+        let dir = tmpdir("bti");
+        let rp = resolve(parse_program("module A where\nf x = x + 1\n").unwrap()).unwrap();
+        let a = rp.program().modules[0].clone();
+        let out = cogen_module(&a, &dir, &BTreeSet::new()).unwrap();
+        let text = fs::read_to_string(&out.bti).unwrap();
+        let iface = BtInterface::from_json(&text).unwrap();
+        assert!(iface.get(&Ident::new("f")).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_gx_reports_format_error() {
+        let dir = tmpdir("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.gx");
+        fs::write(&path, "not json").unwrap();
+        assert!(matches!(load_gx(&path), Err(CogenError::Format(_))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cogen_source_parses_and_runs() {
+        let dir = tmpdir("src");
+        let out = cogen_source("module M where\nid x = x\n", &dir, &BTreeSet::new()).unwrap();
+        assert!(out.gx.exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,31 @@
+//! The compiler generator (cogen).
+//!
+//! "It is a simple matter now to write cogen by hand" (§4.2) — the cogen
+//! proper turns one binding-time-annotated module into its generating
+//! extension, by pure syntax manipulation, once and for all,
+//! independently of every other module:
+//!
+//! * [`compile`] — [`AnnModule`](mspec_bta::AnnModule) →
+//!   [`GenModule`](mspec_genext::GenModule): variables become environment
+//!   slots, lambdas get their captured slots and free function names,
+//!   symbolic binding times become bitmask codes,
+//! * [`textual`] — the same module as readable `mk_…` source in the
+//!   style of the paper's Figure 3, used for the genext-size experiments
+//!   and for documentation,
+//! * [`files`] — write/read `.bti` (binding-time interface) and `.gx`
+//!   (compiled genext) files, so that specialising a program needs *no
+//!   source code* for its libraries,
+//! * [`build`](crate::build) — an incremental, `make`-style driver over a directory of
+//!   `.mspec` files: modules are rebuilt only when their source or an
+//!   import's *interface* changed (§9's "analysed and tailored once and
+//!   for all").
+
+pub mod build;
+pub mod compile;
+pub mod files;
+pub mod textual;
+
+pub use build::{build, link_dir, BuildAction, BuildOptions, BuildReport};
+pub use compile::{compile_module, compile_program};
+pub use files::{load_gx, store_gx, CogenError};
+pub use textual::textual_genext;

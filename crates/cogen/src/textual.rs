@@ -1,0 +1,291 @@
+//! Readable textual generating extensions (the paper's Figure 3).
+//!
+//! For every definition `f {t u} p q = body` the emitted text contains a
+//! `mk_f` driver (the `mk_resid` wrapper deciding unfold-vs-residualise)
+//! and a `mk_f_body` builder in which every operation has become a
+//! `mk_op` call with an explicit binding-time argument, every call a
+//! `mk_resid`-mediated generating call, and every coercion an explicit
+//! `coerce`. The engine executes the *compiled* form; this text exists
+//! so genext sizes can be measured in the same units (pretty-printed
+//! source lines) as the original module — the §6 size claims.
+
+use mspec_bta::{AnnDef, AnnExpr, AnnModule, CoerceSpec};
+use std::fmt::Write as _;
+
+/// Renders the textual generating extension of a module.
+pub fn textual_genext(ann: &AnnModule) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "module Gen{} where", ann.name);
+    for i in &ann.imports {
+        let _ = writeln!(out, "import Gen{i}");
+    }
+    let _ = writeln!(out, "import SpecLib");
+    for d in &ann.defs {
+        out.push('\n');
+        emit_def(&mut out, d);
+    }
+    out
+}
+
+/// Counts the non-blank lines of a textual genext (the size metric).
+pub fn textual_lines(text: &str) -> usize {
+    text.lines().filter(|l| !l.trim().is_empty()).count()
+}
+
+fn emit_def(out: &mut String, d: &AnnDef) {
+    let ts: Vec<String> = (0..d.sig.vars).map(|v| format!("t{v}")).collect();
+    let ps: Vec<String> = d.params.iter().map(|p| p.to_string()).collect();
+    let tlist = ts.join(" ");
+    let plist = ps.join(" ");
+
+    // The mk_f driver (Fig. 3's mk_power).
+    let _ = writeln!(out, "mk_{} {} {} =", d.name, tlist, plist);
+    let _ = writeln!(
+        out,
+        "  mk_resid {{{}}} (\"{}\", [{}], [{}])",
+        d.sig.unfold,
+        d.name,
+        ts.join(", "),
+        ps.join(", ")
+    );
+    let _ = writeln!(out, "    (mk_{}_body {} {})", d.name, tlist, plist);
+    let _ = writeln!(
+        out,
+        "    (\\[{}] -> mk_{}_body {} {})",
+        ps.iter().map(|p| format!("{p}'")).collect::<Vec<_>>().join(", "),
+        d.name,
+        tlist,
+        ps.iter().map(|p| format!("{p}'")).collect::<Vec<_>>().join(" ")
+    );
+
+    // The mk_f_body builder.
+    let _ = writeln!(out, "mk_{}_body {} {} =", d.name, tlist, plist);
+    let body = render(&d.body);
+    for line in layout(&body, 2) {
+        let _ = writeln!(out, "{line}");
+    }
+}
+
+/// Renders an annotated expression as a flat `mk_*` call tree.
+fn render(e: &AnnExpr) -> String {
+    match e {
+        AnnExpr::Nat(n) => format!("(mk_nat {n})"),
+        AnnExpr::Bool(b) => format!("(mk_bool {b})"),
+        AnnExpr::Nil => "(mk_nil)".to_string(),
+        AnnExpr::Var(x) => x.to_string(),
+        AnnExpr::Prim(op, t, args) => {
+            let mut s = format!("(mk_{} {{{t}}}", prim_name(*op));
+            for a in args {
+                s.push(' ');
+                s.push_str(&render(a));
+            }
+            s.push(')');
+            s
+        }
+        AnnExpr::If(t, c, th, el) => format!(
+            "(mk_if {{{t}}} {} {} {})",
+            render(c),
+            render(th),
+            render(el)
+        ),
+        AnnExpr::Call { target, inst, args } => {
+            let mut s = format!("(mk_{} {{", target.name);
+            for (i, t) in inst.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "{t}");
+            }
+            s.push('}');
+            for a in args {
+                s.push(' ');
+                s.push_str(&render(a));
+            }
+            s.push(')');
+            s
+        }
+        AnnExpr::Lam(x, b) => format!("(mk_close (\\{x} -> {}))", render(b)),
+        AnnExpr::App(t, f, a) => {
+            format!("(mk_app {{{t}}} {} {})", render(f), render(a))
+        }
+        AnnExpr::Let(x, rhs, b) => {
+            format!("(let {x} = {} in {})", render(rhs), render(b))
+        }
+        AnnExpr::Coerce(spec, inner) => {
+            format!("(coerce {} {})", render_spec(spec), render(inner))
+        }
+    }
+}
+
+fn render_spec(spec: &CoerceSpec) -> String {
+    format!("{{{spec}}}")
+}
+
+fn prim_name(op: mspec_lang::PrimOp) -> &'static str {
+    use mspec_lang::PrimOp::*;
+    match op {
+        Add => "add",
+        Sub => "sub",
+        Mul => "mul",
+        Div => "div",
+        Eq => "eq",
+        Lt => "lt",
+        Leq => "leq",
+        And => "and",
+        Or => "or",
+        Not => "not",
+        Cons => "cons",
+        Head => "head",
+        Tail => "tail",
+        Null => "null",
+    }
+}
+
+/// Breaks a flat rendering into indented lines of reasonable width, so
+/// the line-count metric behaves like hand-formatted source: arguments
+/// are packed greedily onto lines, and only over-long arguments recurse.
+fn layout(s: &str, indent: usize) -> Vec<String> {
+    const WIDTH: usize = 78;
+    let pad = " ".repeat(indent);
+    if s.len() + indent <= WIDTH {
+        return vec![format!("{pad}{s}")];
+    }
+    if let Some((head, args)) = split_top_level(s) {
+        let mut out = vec![format!("{pad}({head}")];
+        let inner_pad = " ".repeat(indent + 2);
+        let mut current = String::new();
+        let flush = |current: &mut String, out: &mut Vec<String>| {
+            if !current.is_empty() {
+                out.push(format!("{inner_pad}{}", current.trim_end()));
+                current.clear();
+            }
+        };
+        for a in args {
+            if a.len() + indent + 2 > WIDTH {
+                // Too big even alone: recurse.
+                flush(&mut current, &mut out);
+                out.extend(layout(&a, indent + 2));
+            } else if current.len() + a.len() + indent + 3 > WIDTH {
+                flush(&mut current, &mut out);
+                current.push_str(&a);
+                current.push(' ');
+            } else {
+                current.push_str(&a);
+                current.push(' ');
+            }
+        }
+        flush(&mut current, &mut out);
+        if let Some(last) = out.last_mut() {
+            last.push(')');
+        }
+        return out;
+    }
+    vec![format!("{pad}{s}")]
+}
+
+/// Splits `(head arg arg …)` into head and top-level args.
+fn split_top_level(s: &str) -> Option<(String, Vec<String>)> {
+    let inner = s.strip_prefix('(')?.strip_suffix(')')?;
+    let mut depth = 0usize;
+    let mut brace = 0usize;
+    let mut parts: Vec<String> = Vec::new();
+    let mut cur = String::new();
+    for c in inner.chars() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            '{' => brace += 1,
+            '}' => brace = brace.saturating_sub(1),
+            ' ' if depth == 0 && brace == 0 => {
+                if !cur.is_empty() {
+                    parts.push(std::mem::take(&mut cur));
+                }
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(c);
+    }
+    if !cur.is_empty() {
+        parts.push(cur);
+    }
+    if parts.len() < 2 {
+        return None;
+    }
+    let args = parts.split_off(1);
+    // Re-join head tokens (e.g. `mk_if {t0}`).
+    Some((parts.remove(0), args))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mspec_bta::analyse::analyse_program;
+    use mspec_lang::parser::parse_program;
+    use mspec_lang::resolve::resolve;
+
+    fn textual(src: &str) -> String {
+        let rp = resolve(parse_program(src).unwrap()).unwrap();
+        let ann = analyse_program(&rp).unwrap();
+        textual_genext(&ann.modules[0])
+    }
+
+    const POWER: &str =
+        "module Power where\npower n x = if n == 1 then x else x * power (n - 1) x\n";
+
+    #[test]
+    fn power_genext_has_fig3_shape() {
+        let text = textual(POWER);
+        // Collapse layout whitespace so assertions are wrap-agnostic.
+        let flat = text.split_whitespace().collect::<Vec<_>>().join(" ");
+        assert!(flat.contains("mk_power t0 t1 n x ="), "{flat}");
+        assert!(flat.contains("mk_resid {t0}"), "{flat}");
+        assert!(flat.contains("mk_power_body"), "{flat}");
+        assert!(flat.contains("(mk_if {t0}"), "{flat}");
+        assert!(flat.contains("(mk_mul {t0 | t1}"), "{flat}");
+        assert!(flat.contains("coerce {S=>t0} (mk_nat 1)"), "{flat}");
+        assert!(flat.contains("mk_power {t0, t1}"), "{flat}");
+        assert!(flat.contains("(\\[n', x'] -> mk_power_body t0 t1 n' x')"), "{flat}");
+    }
+
+    #[test]
+    fn genext_header_links_speclib_and_imports() {
+        let rp = resolve(
+            parse_program("module A where\ng y = y\nmodule B where\nimport A\nf x = g x\n")
+                .unwrap(),
+        )
+        .unwrap();
+        let ann = analyse_program(&rp).unwrap();
+        let b = ann.module("B").unwrap();
+        let text = textual_genext(b);
+        assert!(text.starts_with("module GenB where"), "{text}");
+        assert!(text.contains("import GenA"), "{text}");
+        assert!(text.contains("import SpecLib"), "{text}");
+    }
+
+    #[test]
+    fn long_bodies_wrap_to_lines() {
+        let body = (0..20).map(|i| format!("x{i}")).collect::<Vec<_>>().join(" + ");
+        let params = (0..20).map(|i| format!("x{i}")).collect::<Vec<_>>().join(" ");
+        let src = format!("module M where\nf {params} = {body}\n");
+        let text = textual(&src);
+        assert!(text.lines().count() > 8, "{text}");
+        // Wrapping keeps the deeply nested body lines short; the only
+        // long lines are the flat driver lines listing all parameters.
+        let body_lines: Vec<&str> = text.lines().filter(|l| l.starts_with(' ')).collect();
+        assert!(!body_lines.is_empty());
+    }
+
+    #[test]
+    fn size_ratio_is_measured_against_source() {
+        let rp = resolve(parse_program(POWER).unwrap()).unwrap();
+        let ann = analyse_program(&rp).unwrap();
+        let text = textual_genext(&ann.modules[0]);
+        let gen_lines = textual_lines(&text);
+        let src_lines = mspec_lang::pretty::source_lines(rp.program());
+        // The paper reports 4–5× for compiled code; textual genexts land
+        // in the same ballpark. Just check it expands but stays bounded.
+        let ratio = gen_lines as f64 / src_lines as f64;
+        assert!(ratio > 1.5 && ratio < 12.0, "ratio {ratio} ({gen_lines}/{src_lines})");
+    }
+}

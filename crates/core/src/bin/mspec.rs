@@ -1,0 +1,406 @@
+//! The `mspec` command-line driver.
+//!
+//! ```text
+//! mspec check   FILE                      parse, resolve, typecheck
+//! mspec analyse FILE [--force-residual M.f,...]
+//!                                         print annotated defs + BT schemes
+//! mspec cogen   FILE --out DIR            write .bti/.gx/GenM.txt per module
+//! mspec spec    FILE --entry M.f --args DIVISION
+//!               [--strategy bf|df] [--out DIR] [--force-residual M.f,...]
+//!                                         specialise and print the residual
+//! mspec run     FILE --entry M.f --args VALUES
+//!                                         interpret the source program
+//! ```
+//!
+//! `DIVISION` is a comma-separated list, one entry per parameter:
+//! `S:<value>` (static, with the value), `D` (dynamic), `P:<n>`
+//! (a list with static spine of length n, dynamic elements).
+//! `VALUES` are comma-separated literals: naturals, `true`/`false`, or
+//! `[v;v;…]` lists (semicolon-separated to avoid clashing with the
+//! argument separator).
+
+use mspec_core::{write_residual, EngineOptions, Pipeline, SpecArg, Strategy};
+use mspec_lang::eval::{with_big_stack, Value};
+use mspec_lang::QualName;
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    with_big_stack(move || match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("mspec: {msg}");
+            ExitCode::FAILURE
+        }
+    })
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    match cmd.as_str() {
+        "check" => check(&args[1..]),
+        "build" => build_cmd(&args[1..]),
+        "link-spec" => link_spec(&args[1..]),
+        "analyse" => analyse(&args[1..]),
+        "cogen" => cogen(&args[1..]),
+        "spec" => spec(&args[1..]),
+        "run" => run_program(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: mspec <check|analyse|cogen|spec|run> FILE [options]\n\
+     \n\
+     check   FILE                          typecheck, print schemes\n\
+     analyse FILE [--force-residual M.f,…] print BT schemes + annotations\n\
+     cogen   FILE --out DIR                write .bti/.gx per module\n\
+     spec    FILE --entry M.f --args DIV   specialise (DIV: S:<v>,D,P:<n>)\n\
+             [--strategy bf|df] [--out DIR] [--force-residual M.f,…]\n\
+     run     FILE --entry M.f --args VALS  interpret the source program\n\
+     build   SRCDIR --out DIR              incremental cogen of a module tree\n\
+     link-spec DIR --entry M.f --args DIV  specialise from .gx files (no source)"
+        .to_string()
+}
+
+struct Opts {
+    file: String,
+    entry: Option<(String, String)>,
+    args: Option<String>,
+    out: Option<String>,
+    strategy: Strategy,
+    force_residual: BTreeSet<QualName>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        file: String::new(),
+        entry: None,
+        args: None,
+        out: None,
+        strategy: Strategy::BreadthFirst,
+        force_residual: BTreeSet::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--entry" => {
+                let v = it.next().ok_or("--entry needs M.f")?;
+                let (m, f) = v
+                    .split_once('.')
+                    .ok_or_else(|| format!("entry `{v}` must be Module.function"))?;
+                opts.entry = Some((m.to_string(), f.to_string()));
+            }
+            "--args" => {
+                opts.args = Some(it.next().ok_or("--args needs a value")?.clone());
+            }
+            "--out" => {
+                opts.out = Some(it.next().ok_or("--out needs a directory")?.clone());
+            }
+            "--strategy" => {
+                opts.strategy = match it.next().map(String::as_str) {
+                    Some("bf") => Strategy::BreadthFirst,
+                    Some("df") => Strategy::DepthFirst,
+                    other => return Err(format!("--strategy must be bf or df, got {other:?}")),
+                };
+            }
+            "--force-residual" => {
+                let v = it.next().ok_or("--force-residual needs M.f[,M.g…]")?;
+                for part in v.split(',') {
+                    let (m, f) = part
+                        .split_once('.')
+                        .ok_or_else(|| format!("`{part}` must be Module.function"))?;
+                    opts.force_residual.insert(QualName::new(m, f));
+                }
+            }
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            other => {
+                if opts.file.is_empty() {
+                    opts.file = other.to_string();
+                } else {
+                    return Err(format!("unexpected argument `{other}`"));
+                }
+            }
+        }
+    }
+    if opts.file.is_empty() {
+        return Err("missing FILE".to_string());
+    }
+    Ok(opts)
+}
+
+fn read_source(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn build_pipeline(opts: &Opts) -> Result<Pipeline, String> {
+    let src = read_source(&opts.file)?;
+    Pipeline::from_source_with(&src, &opts.force_residual).map_err(|e| e.to_string())
+}
+
+fn build_cmd(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let out = opts.out.as_deref().ok_or("build needs --out DIR")?;
+    let mut bopts = mspec_cogen::build::BuildOptions::default();
+    for q in &opts.force_residual {
+        bopts
+            .force_residual
+            .entry(q.module.clone())
+            .or_default()
+            .insert(q.name.clone());
+    }
+    let report = mspec_cogen::build::build(&opts.file, out, &bopts).map_err(|e| e.to_string())?;
+    for (name, action) in &report.actions {
+        println!(
+            "{name}: {}",
+            match action {
+                mspec_cogen::build::BuildAction::Rebuilt => "rebuilt",
+                mspec_cogen::build::BuildAction::UpToDate => "up to date",
+            }
+        );
+    }
+    println!("{} rebuilt, {} up to date", report.rebuilt(), report.up_to_date());
+    Ok(())
+}
+
+fn link_spec(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let (m, f) = opts.entry.clone().ok_or("link-spec needs --entry M.f")?;
+    let division = opts.args.clone().ok_or("link-spec needs --args DIVISION")?;
+    let spec_args = parse_division(&division)?;
+    let linked = mspec_cogen::build::link_dir(&opts.file).map_err(|e| e.to_string())?;
+    let mut engine = mspec_genext::Engine::new(
+        &linked,
+        EngineOptions { strategy: opts.strategy, ..EngineOptions::default() },
+    );
+    let residual = engine
+        .specialise(&QualName::new(m.as_str(), f.as_str()), spec_args)
+        .map_err(|e| e.to_string())?;
+    println!("{}", mspec_lang::pretty::pretty_program(&residual.program));
+    eprintln!(
+        "-- entry {}; {} specialisations, {} memo hits",
+        residual.entry,
+        engine.stats().specialisations,
+        engine.stats().memo_hits
+    );
+    if let Some(dir) = &opts.out {
+        let files = write_residual(dir, &residual).map_err(|e| e.to_string())?;
+        for f in files {
+            eprintln!("wrote {}", f.display());
+        }
+    }
+    Ok(())
+}
+
+fn check(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let pipeline = build_pipeline(&opts)?;
+    println!("ok: {} modules, {} functions", pipeline.resolved().program().modules.len(),
+        pipeline.types().len());
+    for (q, scheme) in pipeline.types().iter() {
+        println!("  {q} : {scheme}");
+    }
+    Ok(())
+}
+
+fn analyse(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let pipeline = build_pipeline(&opts)?;
+    for module in &pipeline.annotated().modules {
+        println!("-- module {}", module.name);
+        for def in &module.defs {
+            println!("  {}.{} : {}", module.name, def.name, def.sig);
+            println!("    {def}");
+        }
+    }
+    Ok(())
+}
+
+fn cogen(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let dir = opts.out.as_deref().ok_or("cogen needs --out DIR")?;
+    let src = read_source(&opts.file)?;
+    let resolved = mspec_lang::resolve::resolve(
+        mspec_lang::parser::parse_program(&src).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+    for name in resolved.graph().topo_order() {
+        let module = resolved.program().module(name.as_str()).unwrap();
+        let forced: BTreeSet<mspec_lang::Ident> = opts
+            .force_residual
+            .iter()
+            .filter(|q| q.module == *name)
+            .map(|q| q.name.clone())
+            .collect();
+        let out = mspec_cogen::files::cogen_module(module, dir, &forced)
+            .map_err(|e| e.to_string())?;
+        println!("cogen {name}: {} {} {}", out.bti.display(), out.gx.display(),
+            out.gen_text.display());
+    }
+    Ok(())
+}
+
+fn spec(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let (m, f) = opts.entry.clone().ok_or("spec needs --entry M.f")?;
+    let division = opts.args.clone().ok_or("spec needs --args DIVISION")?;
+    let spec_args = parse_division(&division)?;
+    let pipeline = build_pipeline(&opts)?;
+    let spec = pipeline
+        .specialise_opts(&m, &f, spec_args, EngineOptions {
+            strategy: opts.strategy,
+            ..EngineOptions::default()
+        })
+        .map_err(|e| e.to_string())?;
+    println!("{}", spec.source());
+    eprintln!(
+        "-- entry {}; {} specialisations, {} unfolds, {} memo hits, {} steps",
+        spec.residual.entry,
+        spec.stats.specialisations,
+        spec.stats.unfolds,
+        spec.stats.memo_hits,
+        spec.stats.steps
+    );
+    eprint!("{}", spec.provenance_report());
+    if let Some(dir) = &opts.out {
+        let files = write_residual(dir, &spec.residual).map_err(|e| e.to_string())?;
+        for f in files {
+            eprintln!("wrote {}", f.display());
+        }
+    }
+    Ok(())
+}
+
+fn run_program(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let (m, f) = opts.entry.clone().ok_or("run needs --entry M.f")?;
+    let values = parse_values(opts.args.as_deref().unwrap_or(""))?;
+    let pipeline = build_pipeline(&opts)?;
+    let v = pipeline.run_source(&m, &f, values).map_err(|e| e.to_string())?;
+    println!("{v}");
+    Ok(())
+}
+
+/// Parses a division list: `S:<value>,D,P:<n>,…` (empty string = no args).
+fn parse_division(s: &str) -> Result<Vec<SpecArg>, String> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|part| {
+            let part = part.trim();
+            if part == "D" {
+                Ok(SpecArg::Dynamic)
+            } else if let Some(v) = part.strip_prefix("S:") {
+                Ok(SpecArg::Static(parse_value(v)?))
+            } else if let Some(n) = part.strip_prefix("P:") {
+                n.parse::<usize>()
+                    .map(SpecArg::StaticSpine)
+                    .map_err(|_| format!("bad spine length `{n}`"))
+            } else {
+                Err(format!("bad division entry `{part}` (use S:<v>, D or P:<n>)"))
+            }
+        })
+        .collect()
+}
+
+/// Parses a comma-separated value list (empty string = no values).
+fn parse_values(s: &str) -> Result<Vec<Value>, String> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',').map(|p| parse_value(p.trim())).collect()
+}
+
+/// Parses one literal: a natural, `true`/`false`, or `[v;v;…]`.
+fn parse_value(s: &str) -> Result<Value, String> {
+    let s = s.trim();
+    if s == "true" {
+        return Ok(Value::bool_(true));
+    }
+    if s == "false" {
+        return Ok(Value::bool_(false));
+    }
+    if let Some(inner) = s.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+        if inner.trim().is_empty() {
+            return Ok(Value::Nil);
+        }
+        let items = inner
+            .split(';')
+            .map(parse_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(Value::list(items));
+    }
+    s.parse::<u64>()
+        .map(Value::nat)
+        .map_err(|_| format!("bad value `{s}` (naturals, true/false, [v;…])"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_values() {
+        assert_eq!(parse_value("42").unwrap(), Value::nat(42));
+        assert_eq!(parse_value("true").unwrap(), Value::bool_(true));
+        assert_eq!(parse_value("[]").unwrap(), Value::Nil);
+        assert_eq!(
+            parse_value("[1;2;3]").unwrap(),
+            Value::list(vec![Value::nat(1), Value::nat(2), Value::nat(3)])
+        );
+        assert_eq!(
+            parse_value("[[1];[]]").unwrap(),
+            Value::list(vec![Value::list(vec![Value::nat(1)]), Value::Nil])
+        );
+        assert!(parse_value("nope").is_err());
+    }
+
+    #[test]
+    fn parses_divisions() {
+        let d = parse_division("S:3,D,P:4").unwrap();
+        assert_eq!(d.len(), 3);
+        assert!(matches!(d[0], SpecArg::Static(Value::Nat(3))));
+        assert!(matches!(d[1], SpecArg::Dynamic));
+        assert!(matches!(d[2], SpecArg::StaticSpine(4)));
+        assert!(parse_division("X").is_err());
+        assert!(parse_division("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parses_options() {
+        let args: Vec<String> = [
+            "prog.mspec",
+            "--entry",
+            "M.f",
+            "--args",
+            "S:1,D",
+            "--strategy",
+            "df",
+            "--force-residual",
+            "M.f,M.g",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let opts = parse_opts(&args).unwrap();
+        assert_eq!(opts.file, "prog.mspec");
+        assert_eq!(opts.entry, Some(("M".into(), "f".into())));
+        assert!(matches!(opts.strategy, Strategy::DepthFirst));
+        assert_eq!(opts.force_residual.len(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_options() {
+        let args: Vec<String> = ["--bogus".to_string()].into();
+        assert!(parse_opts(&args).is_err());
+        assert!(parse_opts(&[]).is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! The unified error type of the pipeline.
+
+use mspec_bta::BtaError;
+use mspec_genext::SpecError;
+use mspec_lang::eval::EvalError;
+use mspec_lang::LangError;
+use mspec_types::TypeError;
+use std::error::Error;
+use std::fmt;
+
+/// Any error from any pipeline stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// Lexing, parsing, resolution or module-graph failure.
+    Lang(LangError),
+    /// Type inference failure.
+    Type(TypeError),
+    /// Binding-time analysis failure.
+    Bta(BtaError),
+    /// Specialisation failure.
+    Spec(SpecError),
+    /// Running a (source or residual) program failed.
+    Eval(EvalError),
+    /// A named entry function does not exist.
+    NoSuchFunction {
+        /// Module searched.
+        module: String,
+        /// Function name.
+        name: String,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Lang(e) => write!(f, "{e}"),
+            PipelineError::Type(e) => write!(f, "{e}"),
+            PipelineError::Bta(e) => write!(f, "{e}"),
+            PipelineError::Spec(e) => write!(f, "{e}"),
+            PipelineError::Eval(e) => write!(f, "{e}"),
+            PipelineError::NoSuchFunction { module, name } => {
+                write!(f, "no function `{name}` in module {module}")
+            }
+        }
+    }
+}
+
+impl Error for PipelineError {}
+
+impl From<LangError> for PipelineError {
+    fn from(e: LangError) -> Self {
+        PipelineError::Lang(e)
+    }
+}
+
+impl From<TypeError> for PipelineError {
+    fn from(e: TypeError) -> Self {
+        PipelineError::Type(e)
+    }
+}
+
+impl From<BtaError> for PipelineError {
+    fn from(e: BtaError) -> Self {
+        PipelineError::Bta(e)
+    }
+}
+
+impl From<SpecError> for PipelineError {
+    fn from(e: SpecError) -> Self {
+        PipelineError::Spec(e)
+    }
+}
+
+impl From<EvalError> for PipelineError {
+    fn from(e: EvalError) -> Self {
+        PipelineError::Eval(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: PipelineError = SpecError::FuelExhausted.into();
+        assert!(e.to_string().contains("fuel"));
+        let e2 = PipelineError::NoSuchFunction { module: "M".into(), name: "f".into() };
+        assert!(e2.to_string().contains("M"));
+        fn takes<E: Error>(_: E) {}
+        takes(e2);
+    }
+}

@@ -1,0 +1,348 @@
+//! The pipeline facade: source text to residual program.
+
+use crate::error::PipelineError;
+use mspec_bta::analyse::analyse_program_with;
+use mspec_bta::AnnProgram;
+use mspec_cogen::compile::compile_program;
+use mspec_genext::emit::FileSink;
+use mspec_genext::{Engine, EngineOptions, GenProgram, ResidualProgram, SpecArg, SpecStats};
+use mspec_lang::ast::{Program, QualName};
+use mspec_lang::eval::{Evaluator, Value};
+use mspec_lang::parser::parse_program;
+use mspec_lang::pretty::pretty_program;
+use mspec_lang::resolve::{resolve, ResolvedProgram};
+use mspec_types::{infer_program, ProgramTypes};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// A fully prepared program: resolved, typed, binding-time analysed and
+/// converted to linked generating extensions. Cheap to specialise many
+/// times (the whole point of the generating-extension approach).
+#[derive(Debug)]
+pub struct Pipeline {
+    resolved: ResolvedProgram,
+    types: ProgramTypes,
+    ann: AnnProgram,
+    gen: GenProgram,
+}
+
+impl Pipeline {
+    /// Builds the pipeline from source text containing one or more
+    /// modules.
+    ///
+    /// # Errors
+    ///
+    /// Any parse, resolution, type or binding-time analysis error.
+    pub fn from_source(src: &str) -> Result<Pipeline, PipelineError> {
+        Pipeline::from_source_with(src, &BTreeSet::new())
+    }
+
+    /// Like [`Pipeline::from_source`], forcing the given functions to be
+    /// residualised (the paper's §5 hand annotation).
+    ///
+    /// # Errors
+    ///
+    /// As [`Pipeline::from_source`], plus unknown-override errors.
+    pub fn from_source_with(
+        src: &str,
+        force_residual: &BTreeSet<QualName>,
+    ) -> Result<Pipeline, PipelineError> {
+        Pipeline::from_program_with(parse_program(src)?, force_residual)
+    }
+
+    /// Builds the pipeline from an already-constructed program.
+    ///
+    /// # Errors
+    ///
+    /// As [`Pipeline::from_source`].
+    pub fn from_program(program: Program) -> Result<Pipeline, PipelineError> {
+        Pipeline::from_program_with(program, &BTreeSet::new())
+    }
+
+    /// [`Pipeline::from_program`] with forced-residual overrides.
+    ///
+    /// # Errors
+    ///
+    /// As [`Pipeline::from_source_with`].
+    pub fn from_program_with(
+        program: Program,
+        force_residual: &BTreeSet<QualName>,
+    ) -> Result<Pipeline, PipelineError> {
+        let resolved = resolve(program)?;
+        let types = infer_program(&resolved)?;
+        let ann = analyse_program_with(&resolved, force_residual)?;
+        let gen = compile_program(&ann)?;
+        Ok(Pipeline { resolved, types, ann, gen })
+    }
+
+    /// The resolved source program.
+    pub fn resolved(&self) -> &ResolvedProgram {
+        &self.resolved
+    }
+
+    /// The inferred Hindley–Milner types.
+    pub fn types(&self) -> &ProgramTypes {
+        &self.types
+    }
+
+    /// The binding-time-annotated program (with interfaces).
+    pub fn annotated(&self) -> &AnnProgram {
+        &self.ann
+    }
+
+    /// The linked generating extensions.
+    pub fn genext(&self) -> &GenProgram {
+        &self.gen
+    }
+
+    /// Specialises `module.function` with respect to `args`, using the
+    /// default (breadth-first) engine.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::NoSuchFunction`] or any specialisation error.
+    pub fn specialise(
+        &self,
+        module: &str,
+        function: &str,
+        args: Vec<SpecArg>,
+    ) -> Result<Specialised, PipelineError> {
+        self.specialise_opts(module, function, args, EngineOptions::default())
+    }
+
+    /// [`Pipeline::specialise`] with explicit engine options (strategy,
+    /// fuel).
+    ///
+    /// # Errors
+    ///
+    /// As [`Pipeline::specialise`].
+    pub fn specialise_opts(
+        &self,
+        module: &str,
+        function: &str,
+        args: Vec<SpecArg>,
+        options: EngineOptions,
+    ) -> Result<Specialised, PipelineError> {
+        let entry = QualName::new(module, function);
+        if self.gen.function(&entry).is_none() {
+            return Err(PipelineError::NoSuchFunction {
+                module: module.to_string(),
+                name: function.to_string(),
+            });
+        }
+        let mut engine = Engine::new(&self.gen, options);
+        let residual = engine.specialise(&entry, args)?;
+        Ok(Specialised {
+            residual,
+            stats: *engine.stats(),
+            provenance: engine.provenance().to_vec(),
+        })
+    }
+
+    /// Runs the *source* program directly (the correctness oracle).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Eval`] on run-time errors.
+    pub fn run_source(
+        &self,
+        module: &str,
+        function: &str,
+        args: Vec<Value>,
+    ) -> Result<Value, PipelineError> {
+        let mut ev = Evaluator::new(&self.resolved);
+        Ok(ev.call_by_name(module, function, args)?)
+    }
+}
+
+/// The result of a specialisation: a residual program plus run counters.
+#[derive(Debug, Clone)]
+pub struct Specialised {
+    /// The residual program (modules, imports, entry).
+    pub residual: ResidualProgram,
+    /// Engine counters.
+    pub stats: SpecStats,
+    /// Per-residual-definition provenance (source function and mask), in
+    /// creation order.
+    pub provenance: Vec<mspec_genext::Provenance>,
+}
+
+impl Specialised {
+    /// Runs the residual program on the dynamic inputs.
+    ///
+    /// # Errors
+    ///
+    /// Resolution errors (never for engine-produced programs) or
+    /// run-time evaluation errors.
+    pub fn run(&self, dynamic_args: Vec<Value>) -> Result<Value, PipelineError> {
+        let rp = resolve(self.residual.program.clone())?;
+        let mut ev = Evaluator::new(&rp);
+        Ok(ev.call(&self.residual.entry, dynamic_args)?)
+    }
+
+    /// Runs the residual program through the *compiled* evaluator
+    /// (slot-resolved), returning the result and the number of
+    /// evaluation steps it took — the residual-quality metric used by
+    /// the ablation experiments.
+    ///
+    /// # Errors
+    ///
+    /// As [`Specialised::run`].
+    pub fn run_compiled(&self, dynamic_args: Vec<Value>) -> Result<(Value, u64), PipelineError> {
+        let rp = resolve(self.residual.program.clone())?;
+        let cp = mspec_lang::compile::compile_program(&rp);
+        let budget = 1_000_000_000;
+        let mut ev = mspec_lang::compile::CEvaluator::with_fuel(&cp, budget);
+        let v = ev.call_values(&self.residual.entry, dynamic_args)?;
+        Ok((v, budget - ev.fuel_left()))
+    }
+
+    /// The residual program as concrete syntax.
+    pub fn source(&self) -> String {
+        pretty_program(&self.residual.program)
+    }
+
+    /// A human-readable table of which source function each residual
+    /// definition specialises, at which binding-time mask.
+    pub fn provenance_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for p in &self.provenance {
+            let _ = writeln!(
+                out,
+                "{} <- {} {}",
+                p.residual,
+                p.source,
+                p.mask.render(p.vars)
+            );
+        }
+        out
+    }
+
+    /// Names of the residual modules, in deterministic order.
+    pub fn module_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .residual
+            .program
+            .modules
+            .iter()
+            .map(|m| m.name.as_str().to_string())
+            .collect();
+        names.sort();
+        names
+    }
+}
+
+/// Parses, resolves and runs a source program in one step (used by tests
+/// and examples as the semantic oracle).
+///
+/// # Errors
+///
+/// Any parse/resolution/evaluation error.
+pub fn run_source(
+    src: &str,
+    module: &str,
+    function: &str,
+    args: Vec<Value>,
+) -> Result<Value, PipelineError> {
+    let rp = resolve(parse_program(src)?)?;
+    let mut ev = Evaluator::new(&rp);
+    Ok(ev.call_by_name(module, function, args)?)
+}
+
+/// Writes a residual program to `dir` using the paper's two-pass file
+/// emission (bodies to temporaries, then headers + imports). Returns the
+/// written file paths.
+///
+/// # Errors
+///
+/// I/O errors.
+pub fn write_residual(
+    dir: impl AsRef<Path>,
+    residual: &ResidualProgram,
+) -> Result<Vec<PathBuf>, PipelineError> {
+    let mut sink = FileSink::new(dir.as_ref()).map_err(PipelineError::Spec)?;
+    for m in &residual.program.modules {
+        for d in &m.defs {
+            use mspec_genext::ModuleSink as _;
+            sink.emit(&m.name, d).map_err(PipelineError::Spec)?;
+        }
+    }
+    sink.finish(&residual.imports).map_err(PipelineError::Spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const POWER: &str =
+        "module Power where\npower n x = if n == 1 then x else x * power (n - 1) x\n";
+
+    #[test]
+    fn power_static_exponent_unfolds_to_paper_code() {
+        let p = Pipeline::from_source(POWER).unwrap();
+        let s = p
+            .specialise("Power", "power", vec![SpecArg::Static(Value::nat(3)), SpecArg::Dynamic])
+            .unwrap();
+        // §2: power3 x = x * (x * x)
+        let src = s.source();
+        assert!(src.contains("x * (x * x)"), "{src}");
+        assert_eq!(s.run(vec![Value::nat(2)]).unwrap(), Value::nat(8));
+        assert_eq!(s.run(vec![Value::nat(5)]).unwrap(), Value::nat(125));
+    }
+
+    #[test]
+    fn power_dynamic_exponent_builds_polyvariant_chain() {
+        // §2: power {D,S} with x = 2 — polyvariant specialisation would
+        // need n static to unfold; with n dynamic the function is
+        // residualised once and recursion becomes a residual self-call.
+        let p = Pipeline::from_source(POWER).unwrap();
+        let s = p
+            .specialise("Power", "power", vec![SpecArg::Dynamic, SpecArg::Static(Value::nat(2))])
+            .unwrap();
+        let src = s.source();
+        // One residual function in module Power, self-recursive, with
+        // the static 2 inlined.
+        assert!(src.contains("module Power"), "{src}");
+        assert!(src.contains('2'), "{src}");
+        assert_eq!(s.run(vec![Value::nat(10)]).unwrap(), Value::nat(1024));
+    }
+
+    #[test]
+    fn fully_dynamic_specialisation_preserves_semantics() {
+        let p = Pipeline::from_source(POWER).unwrap();
+        let s = p
+            .specialise("Power", "power", vec![SpecArg::Dynamic, SpecArg::Dynamic])
+            .unwrap();
+        assert_eq!(
+            s.run(vec![Value::nat(4), Value::nat(3)]).unwrap(),
+            Value::nat(81)
+        );
+    }
+
+    #[test]
+    fn no_such_function_is_reported() {
+        let p = Pipeline::from_source(POWER).unwrap();
+        assert!(matches!(
+            p.specialise("Power", "ghost", vec![]),
+            Err(PipelineError::NoSuchFunction { .. })
+        ));
+    }
+
+    #[test]
+    fn run_source_oracle_matches() {
+        assert_eq!(
+            run_source(POWER, "Power", "power", vec![Value::nat(3), Value::nat(2)]).unwrap(),
+            Value::nat(8)
+        );
+    }
+
+    #[test]
+    fn accessors_expose_stages() {
+        let p = Pipeline::from_source(POWER).unwrap();
+        assert_eq!(p.resolved().program().modules.len(), 1);
+        assert_eq!(p.types().len(), 1);
+        assert_eq!(p.annotated().modules.len(), 1);
+        assert_eq!(p.genext().fn_count(), 1);
+    }
+}

@@ -1,0 +1,797 @@
+//! The specialisation engine: the "common code" every generating
+//! extension links against (§6 reports ~300 lines of Haskell; this is
+//! the grown-up Rust version).
+//!
+//! The engine provides:
+//!
+//! * the `mk_*` operations — each [`GExp`] node consults its compiled
+//!   binding time against the call's mask and either computes or builds
+//!   residual code,
+//! * `mk_resid` — memoised polyvariant specialisation of named
+//!   functions: arguments are split into static skeletons and dynamic
+//!   leaves, the skeleton (plus mask) is the memo key, leaves become the
+//!   residual function's formal parameters,
+//! * coercions, including lifting static data to code and eta-expanding
+//!   static closures,
+//! * residual-module placement at first-call time (§5) and streamed
+//!   emission of finished definitions,
+//! * breadth-first (pending list — the paper's choice, "considerably
+//!   more space efficient") and depth-first strategies, with the
+//!   accounting needed to reproduce that comparison.
+
+use crate::emit::{assemble, MemorySink, ModuleSink, ResidualProgram};
+use crate::error::SpecError;
+use crate::gexp::{GCoerce, GenProgram, GExp};
+use crate::placement::Placer;
+use crate::value::{rebuild, split, Closure, PKey, PVal};
+use mspec_bta::division::{Division, ParamBt};
+use mspec_bta::BtMask;
+use mspec_lang::ast::{CallName, Def, Expr, Ident, ModName, PrimOp, QualName};
+use mspec_lang::eval::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::rc::Rc;
+
+/// Order in which discovered specialisations are constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// The paper's choice: queue requests in a pending list; exactly one
+    /// specialisation is under construction at any time and finished
+    /// bodies stream out immediately.
+    BreadthFirst,
+    /// Construct requested specialisations immediately, suspending the
+    /// current one — simpler, but the suspended partial bodies pile up.
+    DepthFirst,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOptions {
+    /// Specialisation order.
+    pub strategy: Strategy,
+    /// Step budget; [`SpecError::FuelExhausted`] when exceeded.
+    pub fuel: u64,
+    /// Upper bound on the number of residual definitions. Unbounded
+    /// *polyvariance* — ever-growing static data under dynamic control,
+    /// e.g. `range a b` with static `a` and dynamic `b` — diverges in
+    /// every offline specialiser with this unfolding strategy (the
+    /// paper's termination argument covers unfolding, not polyvariant
+    /// residualisation); this limit turns that into a prompt, clean
+    /// error instead of exhausting memory.
+    pub max_specialisations: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> EngineOptions {
+        EngineOptions {
+            strategy: Strategy::BreadthFirst,
+            fuel: 200_000_000,
+            max_specialisations: 100_000,
+        }
+    }
+}
+
+/// One entry-function argument in a specialisation request.
+#[derive(Debug, Clone)]
+pub enum SpecArg {
+    /// A known value (becomes static data).
+    Static(Value),
+    /// Unknown until run time (becomes a formal parameter of the
+    /// residual entry function).
+    Dynamic,
+    /// A list of `n` unknown elements with a known spine (partially
+    /// static; becomes `n` formal parameters).
+    StaticSpine(usize),
+}
+
+/// Counters describing a specialisation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpecStats {
+    /// Residual definitions constructed.
+    pub specialisations: usize,
+    /// `mk_resid` requests answered from the memo table.
+    pub memo_hits: usize,
+    /// Named calls unfolded instead of residualised.
+    pub unfolds: usize,
+    /// Evaluation steps performed.
+    pub steps: u64,
+    /// Peak length of the pending list (breadth-first).
+    pub peak_pending: usize,
+    /// Peak number of simultaneously open (under-construction) bodies —
+    /// always 1 for breadth-first, the suspension depth for depth-first.
+    /// This is the paper's space argument in one number.
+    pub peak_open: usize,
+    /// Total AST nodes across all residual definitions.
+    pub residual_nodes: usize,
+    /// Residual modules touched.
+    pub residual_modules: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SpecKey {
+    target: QualName,
+    mask: u128,
+    keys: Vec<PKey>,
+}
+
+/// Where one residual definition came from: the paper's relationship
+/// between source functions and their polyvariant specialisations, made
+/// inspectable.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Provenance {
+    /// The source function that was specialised.
+    pub source: QualName,
+    /// The binding-time mask of this variant.
+    pub mask: BtMask,
+    /// Width of the mask (the source signature's variable count).
+    pub vars: u32,
+    /// The residual definition (module + name).
+    pub residual: QualName,
+    /// Number of formal parameters of the residual definition (its
+    /// dynamic leaves).
+    pub formals: usize,
+}
+
+struct PendingSpec {
+    target: QualName,
+    mask: BtMask,
+    env: Vec<PVal>,
+    resid: QualName,
+    formals: Vec<Ident>,
+}
+
+/// The specialisation engine over a linked [`GenProgram`].
+pub struct Engine<'p> {
+    program: &'p GenProgram,
+    options: EngineOptions,
+    memo: HashMap<SpecKey, QualName>,
+    pending: VecDeque<PendingSpec>,
+    placer: Placer,
+    name_counters: HashMap<QualName, u32>,
+    gensym: u64,
+    open: usize,
+    fuel: u64,
+    stats: SpecStats,
+    imports: BTreeMap<ModName, BTreeSet<ModName>>,
+    provenance: Vec<Provenance>,
+}
+
+impl<'p> Engine<'p> {
+    /// Creates an engine with the given options.
+    pub fn new(program: &'p GenProgram, options: EngineOptions) -> Engine<'p> {
+        Engine {
+            program,
+            options,
+            memo: HashMap::new(),
+            pending: VecDeque::new(),
+            placer: Placer::new(program.graph()),
+            name_counters: HashMap::new(),
+            gensym: 0,
+            open: 0,
+            fuel: options.fuel,
+            stats: SpecStats::default(),
+            imports: BTreeMap::new(),
+            provenance: Vec::new(),
+        }
+    }
+
+    /// Counters for the run so far.
+    pub fn stats(&self) -> &SpecStats {
+        &self.stats
+    }
+
+    /// The imports each residual module has accumulated (for
+    /// [`crate::emit::FileSink::finish`]).
+    pub fn residual_imports(&self) -> &BTreeMap<ModName, BTreeSet<ModName>> {
+        &self.imports
+    }
+
+    /// The provenance of every residual definition created so far, in
+    /// creation order (the entry first).
+    pub fn provenance(&self) -> &[Provenance] {
+        &self.provenance
+    }
+
+    /// Specialises `entry` with respect to the given arguments and
+    /// returns the assembled residual program.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SpecError`]; notably [`SpecError::FuelExhausted`] when the
+    /// source program diverges on the static inputs.
+    pub fn specialise(
+        &mut self,
+        entry: &QualName,
+        args: Vec<SpecArg>,
+    ) -> Result<ResidualProgram, SpecError> {
+        let mut sink = MemorySink::new();
+        let entry_resid = self.specialise_streaming(entry, args, &mut sink)?;
+        assemble(sink.into_modules(), entry_resid)
+    }
+
+    /// Specialises `entry`, streaming every finished residual definition
+    /// to `sink` the moment it is constructed (the paper's low-memory
+    /// mode). Returns the residual entry function; imports for the
+    /// second emission pass are available from
+    /// [`Engine::residual_imports`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`SpecError`].
+    pub fn specialise_streaming(
+        &mut self,
+        entry: &QualName,
+        args: Vec<SpecArg>,
+        sink: &mut dyn ModuleSink,
+    ) -> Result<QualName, SpecError> {
+        let f = self
+            .program
+            .function(entry)
+            .ok_or_else(|| SpecError::UnknownEntry(entry.clone()))?;
+        if f.params.len() != args.len() {
+            return Err(SpecError::EntryArity {
+                entry: entry.clone(),
+                expected: f.params.len(),
+                found: args.len(),
+            });
+        }
+        let division = Division(
+            args.iter()
+                .map(|a| match a {
+                    SpecArg::Static(_) => ParamBt::Static,
+                    SpecArg::Dynamic => ParamBt::Dynamic,
+                    SpecArg::StaticSpine(_) => ParamBt::StaticSpine,
+                })
+                .collect(),
+        );
+        let mask = division
+            .mask_for(&f.sig)
+            .map_err(|e| SpecError::TypeConfusion(e.to_string()))?;
+
+        // Build the argument values; dynamic positions reference the
+        // residual entry's formal parameters by their original names.
+        let mut vals = Vec::with_capacity(args.len());
+        for (a, p) in args.iter().zip(&f.params) {
+            vals.push(match a {
+                SpecArg::Static(v) => PVal::from_value(v).ok_or_else(|| {
+                    SpecError::TypeConfusion(format!(
+                        "closure values cannot be specialisation inputs (parameter {p})"
+                    ))
+                })?,
+                SpecArg::Dynamic => PVal::Code(Expr::Var(p.clone())),
+                SpecArg::StaticSpine(n) => {
+                    let mut list = PVal::Nil;
+                    for i in (0..*n).rev() {
+                        let name = Ident::new(format!("{p}{i}"));
+                        list = PVal::Cons(
+                            Rc::new(PVal::Code(Expr::Var(name))),
+                            Rc::new(list),
+                        );
+                    }
+                    list
+                }
+            });
+        }
+
+        // The entry is always residualised (it is the program we are
+        // generating), keeping its original name.
+        let mut leaves = Vec::new();
+        let keys: Vec<PKey> = vals.iter().map(|v| split(v, &mut leaves)).collect();
+        let key = SpecKey { target: entry.clone(), mask: mask.0, keys };
+        let formals: Vec<Ident> = uniquify(
+            leaves
+                .iter()
+                .enumerate()
+                .map(|(i, l)| match l {
+                    Expr::Var(x) => x.clone(),
+                    _ => Ident::new(format!("d{i}")),
+                })
+                .collect(),
+        );
+        let mut free = vec![entry.clone()];
+        for v in &vals {
+            v.free_fns(&mut free);
+        }
+        let module = self.placer.place(&free, self.program.graph());
+        let resid = QualName { module, name: entry.name.clone() };
+        self.memo.insert(key, resid.clone());
+        self.provenance.push(Provenance {
+            source: entry.clone(),
+            mask,
+            vars: f.sig.vars,
+            residual: resid.clone(),
+            formals: formals.len(),
+        });
+        let mut next = 0;
+        let env: Vec<PVal> = vals.iter().map(|v| rebuild(v, &formals, &mut next)).collect();
+        let spec = PendingSpec { target: entry.clone(), mask, env, resid: resid.clone(), formals };
+        self.construct(spec, sink)?;
+        self.drain(sink)?;
+        Ok(resid)
+    }
+
+    fn drain(&mut self, sink: &mut dyn ModuleSink) -> Result<(), SpecError> {
+        while let Some(spec) = self.pending.pop_front() {
+            self.construct(spec, sink)?;
+        }
+        Ok(())
+    }
+
+    /// Constructs one residual definition (and, depth-first, everything
+    /// it transitively requests).
+    fn construct(
+        &mut self,
+        spec: PendingSpec,
+        sink: &mut dyn ModuleSink,
+    ) -> Result<(), SpecError> {
+        self.open += 1;
+        self.stats.peak_open = self.stats.peak_open.max(self.open);
+        let f = self
+            .program
+            .function(&spec.target)
+            .ok_or_else(|| SpecError::UnknownFunction(spec.target.clone()))?;
+        let body = Rc::clone(&f.body);
+        let mut env = spec.env;
+        let result = self.eval(&body, &mut env, spec.mask, &spec.target.module, sink)?;
+        let body_expr = self.lift(result, sink)?;
+        let def = Def::new(spec.resid.name.clone(), spec.formals, body_expr);
+        self.stats.specialisations += 1;
+        self.stats.residual_nodes += def.body.size();
+        let imports = self.imports.entry(spec.resid.module.clone()).or_default();
+        for q in def.body.called_functions() {
+            if q.module != spec.resid.module {
+                imports.insert(q.module.clone());
+            }
+        }
+        sink.emit(&spec.resid.module, &def)?;
+        self.stats.residual_modules = self.imports.len();
+        self.open -= 1;
+        Ok(())
+    }
+
+    fn step(&mut self) -> Result<(), SpecError> {
+        self.stats.steps += 1;
+        self.fuel = self.fuel.checked_sub(1).ok_or(SpecError::FuelExhausted)?;
+        if self.fuel == 0 {
+            return Err(SpecError::FuelExhausted);
+        }
+        Ok(())
+    }
+
+    fn fresh(&mut self, base: &str) -> Ident {
+        self.gensym += 1;
+        Ident::new(format!("{base}'{}", self.gensym))
+    }
+
+    /// `mk_resid` plus the unfold decision: the call side of §4.2.
+    fn call(
+        &mut self,
+        target: &QualName,
+        mask: BtMask,
+        args: Vec<PVal>,
+        sink: &mut dyn ModuleSink,
+    ) -> Result<PVal, SpecError> {
+        let f = self
+            .program
+            .function(target)
+            .ok_or_else(|| SpecError::UnknownFunction(target.clone()))?;
+        debug_assert!(f.sig.satisfies(mask), "instantiation violated {target}'s constraints");
+        if f.sig.unfoldable_under(mask) {
+            self.stats.unfolds += 1;
+            let body = Rc::clone(&f.body);
+            let mut env = args;
+            return self.eval(&body, &mut env, mask, &target.module, sink);
+        }
+
+        // Residualise: split arguments, memoise on the static skeleton.
+        let mut leaves = Vec::new();
+        let mut keys = Vec::with_capacity(args.len());
+        let mut leaf_names: Vec<Ident> = Vec::new();
+        for (arg, p) in args.iter().zip(&f.params) {
+            let before = leaves.len();
+            keys.push(split(arg, &mut leaves));
+            let count = leaves.len() - before;
+            for j in 0..count {
+                // Prefer the leaf's own variable name (the paper's
+                // `map_g z ys` keeps the captured `z` recognisable),
+                // falling back to the parameter name.
+                leaf_names.push(match &leaves[before + j] {
+                    Expr::Var(x) => x.clone(),
+                    _ if count == 1 => p.clone(),
+                    _ => Ident::new(format!("{p}_{j}")),
+                });
+            }
+        }
+        let key = SpecKey { target: target.clone(), mask: mask.0, keys };
+        if let Some(resid) = self.memo.get(&key) {
+            self.stats.memo_hits += 1;
+            return Ok(PVal::Code(Expr::Call(CallName::from(resid.clone()), leaves)));
+        }
+
+        // New specialisation: name it, place it (§5: at first call,
+        // before the body exists), then queue or recurse.
+        if self.memo.len() >= self.options.max_specialisations {
+            return Err(SpecError::TooManySpecialisations {
+                limit: self.options.max_specialisations,
+                witness: target.clone(),
+            });
+        }
+        let counter = self.name_counters.entry(target.clone()).or_insert(0);
+        *counter += 1;
+        let resid_name = Ident::new(format!("{}_{}", target.name, counter));
+        let mut free = vec![target.clone()];
+        for a in &args {
+            a.free_fns(&mut free);
+        }
+        let module = self.placer.place(&free, self.program.graph());
+        let resid = QualName { module, name: resid_name };
+        self.memo.insert(key, resid.clone());
+
+        let formals = uniquify(leaf_names);
+        self.provenance.push(Provenance {
+            source: target.clone(),
+            mask,
+            vars: f.sig.vars,
+            residual: resid.clone(),
+            formals: formals.len(),
+        });
+        let mut next = 0;
+        let env: Vec<PVal> = args.iter().map(|a| rebuild(a, &formals, &mut next)).collect();
+        let spec = PendingSpec {
+            target: target.clone(),
+            mask,
+            env,
+            resid: resid.clone(),
+            formals,
+        };
+        match self.options.strategy {
+            Strategy::BreadthFirst => {
+                self.pending.push_back(spec);
+                self.stats.peak_pending = self.stats.peak_pending.max(self.pending.len());
+            }
+            Strategy::DepthFirst => self.construct(spec, sink)?,
+        }
+        Ok(PVal::Code(Expr::Call(CallName::from(resid), leaves)))
+    }
+
+    /// Evaluates a generating-extension expression under a binding-time
+    /// mask. `module` is the module the expression's source occurs in
+    /// (for closure identity and placement).
+    fn eval(
+        &mut self,
+        e: &GExp,
+        env: &mut Vec<PVal>,
+        mask: BtMask,
+        module: &ModName,
+        sink: &mut dyn ModuleSink,
+    ) -> Result<PVal, SpecError> {
+        self.step()?;
+        match e {
+            GExp::Nat(n) => Ok(PVal::Nat(*n)),
+            GExp::Bool(b) => Ok(PVal::Bool(*b)),
+            GExp::Nil => Ok(PVal::Nil),
+            GExp::Var(i) => Ok(env[*i as usize].clone()),
+            GExp::Prim(op, code, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, env, mask, module, sink)?);
+                }
+                if code.is_dynamic(mask) {
+                    let mut lifted = Vec::with_capacity(vals.len());
+                    for v in vals {
+                        lifted.push(self.lift(v, sink)?);
+                    }
+                    Ok(PVal::Code(Expr::Prim(*op, lifted)))
+                } else {
+                    static_prim(*op, vals)
+                }
+            }
+            GExp::If(code, c, t, f) => {
+                let cv = self.eval(c, env, mask, module, sink)?;
+                if code.is_dynamic(mask) {
+                    let tv = self.eval(t, env, mask, module, sink)?;
+                    let fv = self.eval(f, env, mask, module, sink)?;
+                    Ok(PVal::Code(Expr::If(
+                        Box::new(self.lift(cv, sink)?),
+                        Box::new(self.lift(tv, sink)?),
+                        Box::new(self.lift(fv, sink)?),
+                    )))
+                } else {
+                    match cv {
+                        PVal::Bool(true) => self.eval(t, env, mask, module, sink),
+                        PVal::Bool(false) => self.eval(f, env, mask, module, sink),
+                        other => Err(SpecError::TypeConfusion(format!(
+                            "static conditional on non-boolean {other:?}"
+                        ))),
+                    }
+                }
+            }
+            GExp::Call { target, inst, args } => {
+                let mut callee_mask = BtMask::all_static();
+                for (i, code) in inst.iter().enumerate() {
+                    if code.is_dynamic(mask) {
+                        callee_mask = callee_mask.set_dynamic(i as u32);
+                    }
+                }
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, env, mask, module, sink)?);
+                }
+                self.call(target, callee_mask, vals, sink)
+            }
+            GExp::Lam { param, body, captured, free_fns, lam_id } => {
+                let captured_vals = captured.iter().map(|s| env[*s as usize].clone()).collect();
+                Ok(PVal::Clo(Rc::new(Closure {
+                    param: param.clone(),
+                    body: Rc::clone(body),
+                    env: captured_vals,
+                    free_fns: Rc::clone(free_fns),
+                    lam_id: *lam_id,
+                    module: module.clone(),
+                    mask,
+                })))
+            }
+            GExp::App(code, f, a) => {
+                let fv = self.eval(f, env, mask, module, sink)?;
+                let av = self.eval(a, env, mask, module, sink)?;
+                if code.is_dynamic(mask) {
+                    Ok(PVal::Code(Expr::App(
+                        Box::new(self.lift(fv, sink)?),
+                        Box::new(self.lift(av, sink)?),
+                    )))
+                } else {
+                    match fv {
+                        PVal::Clo(c) => self.apply_closure(&c, av, sink),
+                        other => Err(SpecError::TypeConfusion(format!(
+                            "static application of non-closure {other:?}"
+                        ))),
+                    }
+                }
+            }
+            GExp::Let(rhs, body) => {
+                let v = self.eval(rhs, env, mask, module, sink)?;
+                env.push(v);
+                let r = self.eval(body, env, mask, module, sink);
+                env.pop();
+                r
+            }
+            GExp::Coerce(spec, inner) => {
+                let v = self.eval(inner, env, mask, module, sink)?;
+                self.coerce(spec, v, mask, sink)
+            }
+        }
+    }
+
+    /// Unfolds a static closure: evaluates its generating function on the
+    /// argument, under the closure's *origin* mask (its binding times
+    /// refer to the signature variables of the function it was written
+    /// in).
+    fn apply_closure(
+        &mut self,
+        c: &Closure,
+        arg: PVal,
+        sink: &mut dyn ModuleSink,
+    ) -> Result<PVal, SpecError> {
+        let mut env: Vec<PVal> = c.env.clone();
+        env.push(arg);
+        let body = Rc::clone(&c.body);
+        self.eval(&body, &mut env, c.mask, &c.module, sink)
+    }
+
+    /// Applies a compiled coercion to a value.
+    fn coerce(
+        &mut self,
+        spec: &GCoerce,
+        v: PVal,
+        mask: BtMask,
+        sink: &mut dyn ModuleSink,
+    ) -> Result<PVal, SpecError> {
+        match spec {
+            GCoerce::Id => Ok(v),
+            GCoerce::Base { from, to } | GCoerce::Fun { from, to } => {
+                if !from.is_dynamic(mask) && to.is_dynamic(mask) {
+                    Ok(PVal::Code(self.lift(v, sink)?))
+                } else {
+                    Ok(v)
+                }
+            }
+            GCoerce::List { from, to, elem, elem_identity } => {
+                if from.is_dynamic(mask) {
+                    Ok(v) // already code
+                } else if to.is_dynamic(mask) {
+                    Ok(PVal::Code(self.lift(v, sink)?))
+                } else if *elem_identity {
+                    Ok(v)
+                } else {
+                    self.coerce_spine(elem, v, mask, sink)
+                }
+            }
+        }
+    }
+
+    fn coerce_spine(
+        &mut self,
+        elem: &GCoerce,
+        v: PVal,
+        mask: BtMask,
+        sink: &mut dyn ModuleSink,
+    ) -> Result<PVal, SpecError> {
+        match v {
+            PVal::Nil => Ok(PVal::Nil),
+            PVal::Cons(h, t) => {
+                let h2 = self.coerce(elem, (*h).clone(), mask, sink)?;
+                let t2 = self.coerce_spine(elem, (*t).clone(), mask, sink)?;
+                Ok(PVal::Cons(Rc::new(h2), Rc::new(t2)))
+            }
+            other => Err(SpecError::TypeConfusion(format!(
+                "static-spine coercion applied to {other:?}"
+            ))),
+        }
+    }
+
+    /// Lifts a value to residual code: literals for data, eta-expansion
+    /// for static closures (specialising the closure body with a fresh
+    /// dynamic variable).
+    fn lift(&mut self, v: PVal, sink: &mut dyn ModuleSink) -> Result<Expr, SpecError> {
+        match v {
+            PVal::Code(e) => Ok(e),
+            PVal::Nat(n) => Ok(Expr::Nat(n)),
+            PVal::Bool(b) => Ok(Expr::Bool(b)),
+            PVal::Nil => Ok(Expr::Nil),
+            PVal::Cons(h, t) => {
+                let h2 = self.lift((*h).clone(), sink)?;
+                let t2 = self.lift((*t).clone(), sink)?;
+                Ok(Expr::Prim(PrimOp::Cons, vec![h2, t2]))
+            }
+            PVal::Clo(c) => {
+                let x = self.fresh(c.param.as_str());
+                let body = self.apply_closure(&c, PVal::Code(Expr::Var(x.clone())), sink)?;
+                let body = self.lift(body, sink)?;
+                Ok(Expr::Lam(x, Box::new(body)))
+            }
+        }
+    }
+}
+
+/// Performs a static primitive on partial values.
+fn static_prim(op: PrimOp, vals: Vec<PVal>) -> Result<PVal, SpecError> {
+    use PrimOp::*;
+    let nat = |v: &PVal| match v {
+        PVal::Nat(n) => Ok(*n),
+        other => Err(SpecError::TypeConfusion(format!(
+            "static {} on non-natural {other:?}",
+            op.symbol()
+        ))),
+    };
+    let boolean = |v: &PVal| match v {
+        PVal::Bool(b) => Ok(*b),
+        other => Err(SpecError::TypeConfusion(format!(
+            "static {} on non-boolean {other:?}",
+            op.symbol()
+        ))),
+    };
+    match op {
+        Add => Ok(PVal::Nat(nat(&vals[0])?.wrapping_add(nat(&vals[1])?))),
+        Sub => Ok(PVal::Nat(nat(&vals[0])?.saturating_sub(nat(&vals[1])?))),
+        Mul => Ok(PVal::Nat(nat(&vals[0])?.wrapping_mul(nat(&vals[1])?))),
+        Div => {
+            let n0 = nat(&vals[0])?;
+            match n0.checked_div(nat(&vals[1])?) {
+                Some(q) => Ok(PVal::Nat(q)),
+                None => Err(SpecError::DivByZero),
+            }
+        }
+        Eq => Ok(PVal::Bool(nat(&vals[0])? == nat(&vals[1])?)),
+        Lt => Ok(PVal::Bool(nat(&vals[0])? < nat(&vals[1])?)),
+        Leq => Ok(PVal::Bool(nat(&vals[0])? <= nat(&vals[1])?)),
+        And => Ok(PVal::Bool(boolean(&vals[0])? && boolean(&vals[1])?)),
+        Or => Ok(PVal::Bool(boolean(&vals[0])? || boolean(&vals[1])?)),
+        Not => Ok(PVal::Bool(!boolean(&vals[0])?)),
+        Cons => Ok(PVal::Cons(
+            Rc::new(vals[0].clone()),
+            Rc::new(vals[1].clone()),
+        )),
+        Head => match &vals[0] {
+            PVal::Cons(h, _) => Ok((**h).clone()),
+            PVal::Nil => Err(SpecError::EmptyList("head")),
+            other => Err(SpecError::TypeConfusion(format!("static head of {other:?}"))),
+        },
+        Tail => match &vals[0] {
+            PVal::Cons(_, t) => Ok((**t).clone()),
+            PVal::Nil => Err(SpecError::EmptyList("tail")),
+            other => Err(SpecError::TypeConfusion(format!("static tail of {other:?}"))),
+        },
+        Null => match &vals[0] {
+            PVal::Nil => Ok(PVal::Bool(true)),
+            PVal::Cons(..) => Ok(PVal::Bool(false)),
+            other => Err(SpecError::TypeConfusion(format!("static null of {other:?}"))),
+        },
+    }
+}
+
+/// Makes names unique by appending primed counters to duplicates.
+fn uniquify(names: Vec<Ident>) -> Vec<Ident> {
+    let mut seen: BTreeSet<Ident> = BTreeSet::new();
+    let mut out = Vec::with_capacity(names.len());
+    for n in names {
+        if seen.insert(n.clone()) {
+            out.push(n);
+            continue;
+        }
+        let mut k = 2;
+        loop {
+            let candidate = Ident::new(format!("{n}'{k}"));
+            if seen.insert(candidate.clone()) {
+                out.push(candidate);
+                break;
+            }
+            k += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniquify_keeps_distinct_names() {
+        let names = vec![Ident::new("a"), Ident::new("b")];
+        assert_eq!(uniquify(names.clone()), names);
+    }
+
+    #[test]
+    fn uniquify_renames_duplicates() {
+        let names = vec![Ident::new("a"), Ident::new("a"), Ident::new("a")];
+        let out = uniquify(names);
+        assert_eq!(out[0].as_str(), "a");
+        assert_eq!(out[1].as_str(), "a'2");
+        assert_eq!(out[2].as_str(), "a'3");
+    }
+
+    #[test]
+    fn static_prim_arithmetic() {
+        assert!(matches!(
+            static_prim(PrimOp::Add, vec![PVal::Nat(2), PVal::Nat(3)]),
+            Ok(PVal::Nat(5))
+        ));
+        assert!(matches!(
+            static_prim(PrimOp::Sub, vec![PVal::Nat(2), PVal::Nat(3)]),
+            Ok(PVal::Nat(0))
+        ));
+        assert!(matches!(
+            static_prim(PrimOp::Div, vec![PVal::Nat(1), PVal::Nat(0)]),
+            Err(SpecError::DivByZero)
+        ));
+    }
+
+    #[test]
+    fn static_prim_lists_allow_dynamic_elements() {
+        // A partially static list: static cons with a code head.
+        let code = PVal::Code(Expr::Var(Ident::new("x")));
+        let cons = static_prim(PrimOp::Cons, vec![code.clone(), PVal::Nil]).unwrap();
+        let head = static_prim(PrimOp::Head, vec![cons.clone()]).unwrap();
+        assert!(matches!(head, PVal::Code(_)));
+        assert!(matches!(
+            static_prim(PrimOp::Null, vec![cons]),
+            Ok(PVal::Bool(false))
+        ));
+    }
+
+    #[test]
+    fn static_prim_type_confusion_is_reported() {
+        assert!(matches!(
+            static_prim(PrimOp::Add, vec![PVal::Bool(true), PVal::Nat(1)]),
+            Err(SpecError::TypeConfusion(_))
+        ));
+        assert!(matches!(
+            static_prim(PrimOp::Head, vec![PVal::Nat(1)]),
+            Err(SpecError::TypeConfusion(_))
+        ));
+    }
+
+    // Engine-level behaviour is exercised end-to-end in the cogen crate
+    // (which can build GenPrograms from source) and the integration
+    // tests; here we cover the pure helpers.
+}

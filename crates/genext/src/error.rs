@@ -1,0 +1,125 @@
+//! Specialisation-time errors.
+
+use mspec_lang::{ModName, QualName};
+use std::error::Error;
+use std::fmt;
+
+/// An error raised while running a generating extension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A call to a function with no generating extension (module not
+    /// linked in).
+    UnknownFunction(QualName),
+    /// A static operation was applied to a value of the wrong shape.
+    /// Well-typed, well-annotated programs never raise this.
+    TypeConfusion(String),
+    /// A static division by zero — the specialised computation itself
+    /// is erroneous, as running the source program would show.
+    DivByZero,
+    /// A static `head`/`tail` of the empty list.
+    EmptyList(&'static str),
+    /// The specialisation step budget ran out. By the paper's
+    /// conservative unfolding strategy this only happens when the source
+    /// program itself diverges on the static inputs.
+    FuelExhausted,
+    /// More residual definitions were requested than the engine's limit —
+    /// almost always unbounded polyvariance: static data growing without
+    /// bound under dynamic control (e.g. a counter incremented towards a
+    /// dynamic bound). Generalise the offending argument to dynamic.
+    TooManySpecialisations {
+        /// The configured limit.
+        limit: usize,
+        /// The function whose specialisation hit the limit.
+        witness: QualName,
+    },
+    /// The entry function given to `specialise` does not exist.
+    UnknownEntry(QualName),
+    /// An entry argument count that does not match the entry function.
+    EntryArity {
+        /// The entry function.
+        entry: QualName,
+        /// Its parameter count.
+        expected: usize,
+        /// Arguments supplied.
+        found: usize,
+    },
+    /// The generated residual modules import each other cyclically
+    /// (cannot happen for first-order programs; reported defensively).
+    CyclicResidualImports {
+        /// One module on the cycle.
+        witness: ModName,
+    },
+    /// Two linked modules share a name.
+    DuplicateModule(ModName),
+    /// Writing residual modules to disk failed.
+    Io(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnknownFunction(q) => {
+                write!(f, "no generating extension linked for `{q}`")
+            }
+            SpecError::TypeConfusion(m) => write!(f, "specialisation type confusion: {m}"),
+            SpecError::DivByZero => write!(f, "static division by zero during specialisation"),
+            SpecError::EmptyList(op) => {
+                write!(f, "static `{op}` of empty list during specialisation")
+            }
+            SpecError::FuelExhausted => write!(
+                f,
+                "specialisation fuel exhausted (the source program diverges on these inputs)"
+            ),
+            SpecError::TooManySpecialisations { limit, witness } => write!(
+                f,
+                "more than {limit} specialisations requested (last for `{witness}`): \
+                 unbounded polyvariance — a static argument grows without bound under \
+                 dynamic control; generalise it to dynamic"
+            ),
+            SpecError::UnknownEntry(q) => write!(f, "unknown entry function `{q}`"),
+            SpecError::EntryArity { entry, expected, found } => write!(
+                f,
+                "entry `{entry}` takes {expected} arguments but the division covers {found}"
+            ),
+            SpecError::CyclicResidualImports { witness } => {
+                write!(f, "residual modules import cyclically (involving {witness})")
+            }
+            SpecError::DuplicateModule(m) => write!(f, "two linked modules named {m}"),
+            SpecError::Io(m) => write!(f, "residual emission I/O error: {m}"),
+        }
+    }
+}
+
+impl Error for SpecError {}
+
+impl From<std::io::Error> for SpecError {
+    fn from(e: std::io::Error) -> SpecError {
+        SpecError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(SpecError::UnknownFunction(QualName::new("A", "f"))
+            .to_string()
+            .contains("A.f"));
+        assert!(SpecError::FuelExhausted.to_string().contains("diverges"));
+        let e = SpecError::EntryArity {
+            entry: QualName::new("M", "main"),
+            expected: 2,
+            found: 3,
+        };
+        assert!(e.to_string().contains("takes 2"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: SpecError = io.into();
+        assert!(matches!(e, SpecError::Io(_)));
+    }
+}

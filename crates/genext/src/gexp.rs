@@ -1,0 +1,375 @@
+//! The compiled generating-extension representation.
+//!
+//! Compilation (done by the `mspec-cogen` crate) turns an annotated
+//! definition into a [`GExp`] tree in which
+//!
+//! * variables are resolved to environment *slots* (no name lookup at
+//!   specialisation time),
+//! * every symbolic binding time is a [`BtCode`] — a 128-bit mask plus a
+//!   forced flag, so deciding static-vs-dynamic is a single AND against
+//!   the call's binding-time mask (the paper's aim that "little
+//!   binding-time computation needs to be performed at
+//!   specialisation-time"),
+//! * lambdas carry their captured slots and free function names
+//!   (pre-computed for closure construction and §5 placement).
+//!
+//! [`GenModule`]s serialise to `.gx` files: the paper's "compiled
+//! generating extension of a module", linkable without any source code.
+
+use crate::error::SpecError;
+use mspec_bta::{BtMask, BtSignature, BtTerm, CoerceSpec};
+use mspec_lang::ast::{Ident, ModName, PrimOp, QualName};
+use mspec_lang::modgraph::ModGraph;
+use mspec_lang::{Module, Program};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A compiled binding-time term: evaluating it against a call's
+/// [`BtMask`] costs one AND and one OR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BtCode {
+    /// The term is the constant `D`.
+    pub forced: bool,
+    /// Bit `i` set ⇔ signature variable `t_i` occurs in the lub.
+    pub bits: u128,
+}
+
+impl BtCode {
+    /// The constant `S`.
+    pub fn s() -> BtCode {
+        BtCode { forced: false, bits: 0 }
+    }
+
+    /// The constant `D`.
+    pub fn d() -> BtCode {
+        BtCode { forced: true, bits: 0 }
+    }
+
+    /// Compiles a symbolic term.
+    pub fn compile(term: &BtTerm) -> BtCode {
+        let (forced, bits) = term.bits();
+        BtCode { forced, bits }
+    }
+
+    /// `true` if the term evaluates to `D` under the mask.
+    #[inline]
+    pub fn is_dynamic(self, mask: BtMask) -> bool {
+        self.forced || (self.bits & mask.0) != 0
+    }
+}
+
+/// A compiled coercion (the run-time half of [`CoerceSpec`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GCoerce {
+    /// Lift to code when `from` is `S` and `to` is `D`.
+    Base {
+        /// Binding time of the value.
+        from: BtCode,
+        /// Binding time required.
+        to: BtCode,
+    },
+    /// Lift the spine, or walk it coercing elements.
+    List {
+        /// Spine binding time of the value.
+        from: BtCode,
+        /// Spine binding time required.
+        to: BtCode,
+        /// Element coercion.
+        elem: Box<GCoerce>,
+        /// `true` if `elem` can never act (pre-computed).
+        elem_identity: bool,
+    },
+    /// Eta-expand a static closure when the arrow rises to `D`.
+    Fun {
+        /// Arrow binding time of the value.
+        from: BtCode,
+        /// Arrow binding time required.
+        to: BtCode,
+    },
+    /// Statically the identity.
+    Id,
+}
+
+impl GCoerce {
+    /// Compiles a coercion spec.
+    pub fn compile(spec: &CoerceSpec) -> GCoerce {
+        match spec {
+            CoerceSpec::Id | CoerceSpec::Var { .. } => GCoerce::Id,
+            CoerceSpec::Base { from, to } => {
+                GCoerce::Base { from: BtCode::compile(from), to: BtCode::compile(to) }
+            }
+            CoerceSpec::Fun { from, to } => {
+                GCoerce::Fun { from: BtCode::compile(from), to: BtCode::compile(to) }
+            }
+            CoerceSpec::List { from, to, elem } => {
+                let compiled = GCoerce::compile(elem);
+                let elem_identity = matches!(compiled, GCoerce::Id);
+                GCoerce::List {
+                    from: BtCode::compile(from),
+                    to: BtCode::compile(to),
+                    elem: Box::new(compiled),
+                    elem_identity,
+                }
+            }
+        }
+    }
+}
+
+/// A compiled generating-extension expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GExp {
+    /// Literal natural.
+    Nat(u64),
+    /// Literal boolean.
+    Bool(bool),
+    /// Empty list.
+    Nil,
+    /// Environment slot.
+    Var(u32),
+    /// `mk_op`: perform when the code evaluates `S`, residualise when `D`.
+    Prim(PrimOp, BtCode, Vec<GExp>),
+    /// `mk_if`.
+    If(BtCode, Box<GExp>, Box<GExp>, Box<GExp>),
+    /// `mk_resid`/unfold of a named function. `inst` maps each callee
+    /// signature variable to a term over the caller's variables.
+    Call {
+        /// The callee.
+        target: QualName,
+        /// Signature instantiation, one code per callee variable.
+        inst: Vec<BtCode>,
+        /// Argument expressions.
+        args: Vec<GExp>,
+    },
+    /// Build a static closure.
+    Lam {
+        /// Parameter name (for readable residual code).
+        param: Ident,
+        /// Body, compiled against a frame of `captured.len() + 1` slots.
+        body: Rc<GExp>,
+        /// Slots of the enclosing frame to capture, in order.
+        captured: Vec<u32>,
+        /// Named functions reachable from the body (for §5 placement).
+        free_fns: Rc<Vec<QualName>>,
+        /// Site identity (for memoisation keys).
+        lam_id: u32,
+    },
+    /// `mk_app`: unfold the closure when `S`, residual application when `D`.
+    App(BtCode, Box<GExp>, Box<GExp>),
+    /// Evaluate, push a slot, continue.
+    Let(Box<GExp>, Box<GExp>),
+    /// A binding-time coercion.
+    Coerce(GCoerce, Box<GExp>),
+}
+
+impl GExp {
+    /// Number of nodes (size metric for the genext-size experiments).
+    pub fn size(&self) -> usize {
+        match self {
+            GExp::Nat(_) | GExp::Bool(_) | GExp::Nil | GExp::Var(_) => 1,
+            GExp::Prim(_, _, args) | GExp::Call { args, .. } => {
+                1 + args.iter().map(GExp::size).sum::<usize>()
+            }
+            GExp::If(_, c, t, e) => 1 + c.size() + t.size() + e.size(),
+            GExp::Lam { body, .. } => 1 + body.size(),
+            GExp::App(_, f, a) => 1 + f.size() + a.size(),
+            GExp::Let(e, b) => 1 + e.size() + b.size(),
+            GExp::Coerce(_, e) => 1 + e.size(),
+        }
+    }
+}
+
+/// The generating extension of one named function (the paper's
+/// `mk_f` + `mk_f_body` pair, §4.2 Fig. 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenFn {
+    /// The function's qualified name.
+    pub name: QualName,
+    /// Original parameter names (used to name residual formals).
+    pub params: Vec<Ident>,
+    /// The binding-time signature (mask width, unfold decision, shapes).
+    pub sig: BtSignature,
+    /// The compiled body.
+    pub body: Rc<GExp>,
+}
+
+/// The generating extension of one module — what the `.gx` file holds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenModule {
+    /// The module's name.
+    pub name: ModName,
+    /// Its direct imports (needed for placement).
+    pub imports: Vec<ModName>,
+    /// Generating extensions of its definitions.
+    pub fns: Vec<GenFn>,
+}
+
+impl GenModule {
+    /// Serialises to the `.gx` file format (JSON).
+    ///
+    /// # Errors
+    ///
+    /// Serialisation errors (none for well-formed modules).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Reads a `.gx` file back.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `s` is not a valid genext file.
+    pub fn from_json(s: &str) -> Result<GenModule, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// A linked program: generating extensions of all modules, ready to run.
+///
+/// Linking needs no source code — only `.gx` modules — reproducing the
+/// paper's point that library sources stay private.
+#[derive(Debug)]
+pub struct GenProgram {
+    modules: Vec<GenModule>,
+    index: HashMap<QualName, (usize, usize)>,
+    graph: ModGraph,
+}
+
+impl GenProgram {
+    /// Links generating extensions of modules into a runnable program.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::DuplicateModule`] for clashing module names, or a
+    /// cyclic/missing-import error surfaced as
+    /// [`SpecError::TypeConfusion`] (cannot happen for modules produced
+    /// by the cogen from a resolved program).
+    pub fn link(modules: Vec<GenModule>) -> Result<GenProgram, SpecError> {
+        let mut index = HashMap::new();
+        for (mi, m) in modules.iter().enumerate() {
+            for (fi, f) in m.fns.iter().enumerate() {
+                if index.insert(f.name.clone(), (mi, fi)).is_some() {
+                    return Err(SpecError::DuplicateModule(m.name.clone()));
+                }
+            }
+        }
+        // Rebuild the import graph from the module skeletons.
+        let skeleton = Program::new(
+            modules
+                .iter()
+                .map(|m| Module::new(m.name.clone(), m.imports.clone(), vec![]))
+                .collect(),
+        );
+        let graph = ModGraph::new(&skeleton).map_err(|e| SpecError::TypeConfusion(e.to_string()))?;
+        Ok(GenProgram { modules, index, graph })
+    }
+
+    /// Looks up a function's generating extension.
+    pub fn function(&self, q: &QualName) -> Option<&GenFn> {
+        let (mi, fi) = *self.index.get(q)?;
+        Some(&self.modules[mi].fns[fi])
+    }
+
+    /// The linked modules.
+    pub fn modules(&self) -> &[GenModule] {
+        &self.modules
+    }
+
+    /// The (source) module import graph, used by placement.
+    pub fn graph(&self) -> &ModGraph {
+        &self.graph
+    }
+
+    /// Total number of linked functions.
+    pub fn fn_count(&self) -> usize {
+        self.index.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn btcode_evaluates_with_one_and() {
+        let t = BtTerm::lub_of([0, 2]);
+        let c = BtCode::compile(&t);
+        assert!(!c.is_dynamic(BtMask(0)));
+        assert!(c.is_dynamic(BtMask(0b100)));
+        assert!(c.is_dynamic(BtMask(0b001)));
+        assert!(!c.is_dynamic(BtMask(0b010)));
+        assert!(BtCode::d().is_dynamic(BtMask(0)));
+        assert!(!BtCode::s().is_dynamic(BtMask(u128::MAX)));
+    }
+
+    #[test]
+    fn gcoerce_compiles_identities() {
+        assert_eq!(GCoerce::compile(&CoerceSpec::Id), GCoerce::Id);
+        let spec = CoerceSpec::List {
+            from: BtTerm::var(0),
+            to: BtTerm::var(1),
+            elem: Box::new(CoerceSpec::Id),
+        };
+        match GCoerce::compile(&spec) {
+            GCoerce::List { elem_identity, .. } => assert!(elem_identity),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gexp_size_counts_nodes() {
+        let e = GExp::Prim(
+            PrimOp::Add,
+            BtCode::s(),
+            vec![GExp::Var(0), GExp::Coerce(GCoerce::Id, Box::new(GExp::Nat(1)))],
+        );
+        assert_eq!(e.size(), 4);
+    }
+
+    fn tiny_module() -> GenModule {
+        GenModule {
+            name: ModName::new("M"),
+            imports: vec![],
+            fns: vec![GenFn {
+                name: QualName::new("M", "id"),
+                params: vec![Ident::new("x")],
+                sig: BtSignature {
+                    vars: 1,
+                    constraints: vec![],
+                    forced_d: vec![],
+                    params: vec![mspec_bta::SigShape::Var(BtTerm::var(0))],
+                    ret: mspec_bta::SigShape::Var(BtTerm::var(0)),
+                    unfold: BtTerm::s(),
+                },
+                body: Rc::new(GExp::Var(0)),
+            }],
+        }
+    }
+
+    #[test]
+    fn genmodule_json_roundtrip() {
+        let m = tiny_module();
+        let js = m.to_json().unwrap();
+        let back = GenModule::from_json(&js).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn link_and_lookup() {
+        let p = GenProgram::link(vec![tiny_module()]).unwrap();
+        assert!(p.function(&QualName::new("M", "id")).is_some());
+        assert!(p.function(&QualName::new("M", "nope")).is_none());
+        assert_eq!(p.fn_count(), 1);
+        assert_eq!(p.modules().len(), 1);
+    }
+
+    #[test]
+    fn link_rejects_duplicate_functions() {
+        let m1 = tiny_module();
+        let m2 = tiny_module();
+        assert!(matches!(
+            GenProgram::link(vec![m1, m2]),
+            Err(SpecError::DuplicateModule(_))
+        ));
+    }
+}

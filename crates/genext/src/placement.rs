@@ -1,0 +1,164 @@
+//! Residual-module placement (§5 of the paper).
+//!
+//! When the first call of a new specialisation is discovered — before its
+//! body exists — the engine must decide which residual module it will
+//! live in. The body can only refer to specialisations of the function
+//! names *free in the call*: the callee itself plus the functions free in
+//! the static closures among its arguments (transitively through their
+//! environments). The placement is the *combination* of the defining
+//! modules of those functions, reduced by removing modules already
+//! import-reachable from another member; a singleton set reuses the
+//! original module's name, a larger set becomes a combination module
+//! (the paper's `PowerTwice`).
+
+use mspec_lang::modgraph::ModGraph;
+use mspec_lang::{ModName, QualName};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Assigns residual definitions to residual modules.
+#[derive(Debug)]
+pub struct Placer {
+    /// Combination set → residual module name (stable across calls).
+    assigned: BTreeMap<BTreeSet<ModName>, ModName>,
+    /// Names already taken (to keep combination names collision-free).
+    taken: BTreeSet<ModName>,
+}
+
+impl Placer {
+    /// Creates a placer for a program whose source modules are the
+    /// vertices of `graph`.
+    pub fn new(graph: &ModGraph) -> Placer {
+        let taken = graph.topo_order().iter().cloned().collect();
+        Placer { assigned: BTreeMap::new(), taken }
+    }
+
+    /// Places a specialisation given the functions free in its call.
+    ///
+    /// Returns the residual module name. Deterministic: the same free
+    /// set always lands in the same module.
+    pub fn place(&mut self, free_fns: &[QualName], graph: &ModGraph) -> ModName {
+        let mut set: BTreeSet<ModName> =
+            free_fns.iter().map(|q| q.module.clone()).collect();
+        if set.is_empty() {
+            // Cannot happen (the callee itself is always free), but keep
+            // a deterministic fallback.
+            set.insert(ModName::new("Residual"));
+        }
+        let reduced = graph.reduce_by_imports(&set);
+        if let Some(name) = self.assigned.get(&reduced) {
+            return name.clone();
+        }
+        let name = if reduced.len() == 1 {
+            reduced.iter().next().expect("non-empty").clone()
+        } else {
+            // Combination module: concatenate member names (alphabetical,
+            // e.g. Power + Twice → PowerTwice), disambiguating on clash.
+            let base: String = reduced.iter().map(ModName::as_str).collect();
+            let mut candidate = ModName::new(base.clone());
+            let mut n = 2;
+            while self.taken.contains(&candidate) {
+                candidate = ModName::new(format!("{base}{n}"));
+                n += 1;
+            }
+            candidate
+        };
+        self.taken.insert(name.clone());
+        self.assigned.insert(reduced, name.clone());
+        name
+    }
+
+    /// The combination sets assigned so far (for reporting).
+    pub fn assignments(&self) -> impl Iterator<Item = (&BTreeSet<ModName>, &ModName)> {
+        self.assigned.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mspec_lang::{Module, Program};
+
+    fn graph(mods: &[(&str, &[&str])]) -> ModGraph {
+        let p = Program::new(
+            mods.iter()
+                .map(|(n, imps)| {
+                    Module::new(*n, imps.iter().map(|i| ModName::new(*i)).collect(), vec![])
+                })
+                .collect(),
+        );
+        ModGraph::new(&p).unwrap()
+    }
+
+    fn q(m: &str, f: &str) -> QualName {
+        QualName::new(m, f)
+    }
+
+    #[test]
+    fn single_module_callee_stays_home() {
+        let g = graph(&[("Power", &[])]);
+        let mut p = Placer::new(&g);
+        assert_eq!(p.place(&[q("Power", "power")], &g).as_str(), "Power");
+    }
+
+    #[test]
+    fn paper_power_twice_combination() {
+        // §5: twice applied to a closure over power → module PowerTwice.
+        let g = graph(&[("Power", &[]), ("Twice", &[]), ("Main", &["Power", "Twice"])]);
+        let mut p = Placer::new(&g);
+        let placed = p.place(&[q("Twice", "twice"), q("Power", "power")], &g);
+        assert_eq!(placed.as_str(), "PowerTwice");
+    }
+
+    #[test]
+    fn paper_main_reduces_to_main() {
+        // main's free functions: Main.main and Power.power; Main imports
+        // Power, so the combination reduces to {Main}.
+        let g = graph(&[("Power", &[]), ("Twice", &[]), ("Main", &["Power", "Twice"])]);
+        let mut p = Placer::new(&g);
+        let placed = p.place(&[q("Main", "main"), q("Power", "power")], &g);
+        assert_eq!(placed.as_str(), "Main");
+    }
+
+    #[test]
+    fn paper_map_moves_into_importer() {
+        // §5: map (defined in A) specialised to a closure over B.g, where
+        // B imports A → specialisation placed in B.
+        let g = graph(&[("A", &[]), ("B", &["A"])]);
+        let mut p = Placer::new(&g);
+        let placed = p.place(&[q("A", "map"), q("B", "g")], &g);
+        assert_eq!(placed.as_str(), "B");
+    }
+
+    #[test]
+    fn paper_a_c_combination() {
+        // §5: g imported from a third module C (unrelated to A) → a new
+        // module A∩C importable into both B and D.
+        let g = graph(&[("A", &[]), ("C", &[]), ("B", &["A", "C"]), ("D", &["A", "C"])]);
+        let mut p = Placer::new(&g);
+        let placed = p.place(&[q("A", "map"), q("C", "g")], &g);
+        assert_eq!(placed.as_str(), "AC");
+        // The same free set from another caller reuses the module.
+        let placed2 = p.place(&[q("C", "g"), q("A", "map")], &g);
+        assert_eq!(placed2, placed);
+    }
+
+    #[test]
+    fn combination_name_collision_is_disambiguated() {
+        // A module literally named "AC" already exists.
+        let g = graph(&[("A", &[]), ("C", &[]), ("AC", &[])]);
+        let mut p = Placer::new(&g);
+        let placed = p.place(&[q("A", "f"), q("C", "g")], &g);
+        assert_eq!(placed.as_str(), "AC2");
+        // …and stays stable.
+        assert_eq!(p.place(&[q("A", "f"), q("C", "g")], &g).as_str(), "AC2");
+    }
+
+    #[test]
+    fn three_way_combination() {
+        let g = graph(&[("A", &[]), ("B", &[]), ("C", &[]), ("M", &["A", "B", "C"])]);
+        let mut p = Placer::new(&g);
+        let placed = p.place(&[q("A", "f"), q("B", "g"), q("C", "h")], &g);
+        assert_eq!(placed.as_str(), "ABC");
+        assert_eq!(p.assignments().count(), 1);
+    }
+}

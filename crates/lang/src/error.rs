@@ -1,0 +1,173 @@
+//! Error types for lexing, parsing, resolution and module-graph checks.
+
+use crate::ast::{Ident, ModName};
+use crate::span::Span;
+use std::error::Error;
+use std::fmt;
+
+/// Any error arising while turning source text into a resolved program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LangError {
+    /// A character or token the lexer cannot handle.
+    Lex {
+        /// Where the bad input starts.
+        span: Span,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A syntax error.
+    Parse {
+        /// Where the unexpected token is.
+        span: Span,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A name that is not in scope.
+    UnboundName {
+        /// The module being resolved.
+        module: ModName,
+        /// The offending name.
+        name: Ident,
+    },
+    /// A named function referenced without its full complement of
+    /// arguments (the paper requires named calls to be fully applied).
+    PartialApplication {
+        /// The module being resolved.
+        module: ModName,
+        /// The function that was partially applied.
+        name: Ident,
+        /// Its true arity.
+        expected: usize,
+        /// How many arguments were supplied.
+        found: usize,
+    },
+    /// A name that resolves to definitions in several imported modules.
+    AmbiguousName {
+        /// The module being resolved.
+        module: ModName,
+        /// The ambiguous name.
+        name: Ident,
+        /// The candidate defining modules.
+        candidates: Vec<ModName>,
+    },
+    /// An import of a module that is not part of the program.
+    MissingModule {
+        /// The importing module.
+        importer: ModName,
+        /// The missing import.
+        imported: ModName,
+    },
+    /// Two modules with the same name.
+    DuplicateModule(ModName),
+    /// Two definitions of the same name in one module.
+    DuplicateDef {
+        /// The module containing the clash.
+        module: ModName,
+        /// The name defined twice.
+        name: Ident,
+    },
+    /// The import graph contains a cycle (forbidden by the paper).
+    CyclicImports {
+        /// One module on the cycle.
+        witness: ModName,
+    },
+    /// A local variable was applied with juxtaposition syntax; anonymous
+    /// functions must be applied with `@`.
+    VarApplied {
+        /// The module being resolved.
+        module: ModName,
+        /// The variable that was juxtaposed.
+        name: Ident,
+    },
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { span, message } => write!(f, "lexical error at {span}: {message}"),
+            LangError::Parse { span, message } => write!(f, "parse error at {span}: {message}"),
+            LangError::UnboundName { module, name } => {
+                write!(f, "unbound name `{name}` in module {module}")
+            }
+            LangError::PartialApplication { module, name, expected, found } => write!(
+                f,
+                "named function `{name}` must be fully applied in module {module}: \
+                 expected {expected} arguments, found {found}"
+            ),
+            LangError::AmbiguousName { module, name, candidates } => {
+                write!(f, "name `{name}` in module {module} is ambiguous; defined in ")?;
+                for (i, c) in candidates.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                Ok(())
+            }
+            LangError::MissingModule { importer, imported } => {
+                write!(f, "module {importer} imports unknown module {imported}")
+            }
+            LangError::DuplicateModule(m) => write!(f, "duplicate module {m}"),
+            LangError::DuplicateDef { module, name } => {
+                write!(f, "duplicate definition of `{name}` in module {module}")
+            }
+            LangError::CyclicImports { witness } => {
+                write!(f, "cyclic module imports involving {witness}")
+            }
+            LangError::VarApplied { module, name } => write!(
+                f,
+                "variable `{name}` applied by juxtaposition in module {module}; \
+                 anonymous functions are applied with `@`"
+            ),
+        }
+    }
+}
+
+impl Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Pos, Span};
+
+    #[test]
+    fn display_mentions_location() {
+        let e = LangError::Parse {
+            span: Span::point(Pos::new(2, 5)),
+            message: "expected `=`".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("2:5"), "{s}");
+        assert!(s.contains("expected `=`"), "{s}");
+    }
+
+    #[test]
+    fn display_partial_application() {
+        let e = LangError::PartialApplication {
+            module: ModName::new("M"),
+            name: Ident::new("f"),
+            expected: 2,
+            found: 1,
+        };
+        let s = e.to_string();
+        assert!(s.contains("fully applied"), "{s}");
+        assert!(s.contains("expected 2"), "{s}");
+    }
+
+    #[test]
+    fn display_ambiguous_lists_candidates() {
+        let e = LangError::AmbiguousName {
+            module: ModName::new("M"),
+            name: Ident::new("f"),
+            candidates: vec![ModName::new("A"), ModName::new("B")],
+        };
+        let s = e.to_string();
+        assert!(s.contains("A, B"), "{s}");
+    }
+
+    #[test]
+    fn errors_implement_error_trait() {
+        fn takes_error<E: Error>(_: E) {}
+        takes_error(LangError::DuplicateModule(ModName::new("M")));
+    }
+}

@@ -1,0 +1,572 @@
+//! Reference interpreter for the object language.
+//!
+//! Used throughout the project as the ground truth for semantics: the
+//! specialiser is correct iff running the residual program on the dynamic
+//! inputs gives the same value as running the source program on all
+//! inputs. Evaluation is strict and fuel-limited so property tests can
+//! harmlessly generate non-terminating programs.
+
+use crate::ast::{Expr, Ident, PrimOp, QualName};
+use crate::resolve::ResolvedProgram;
+use std::error::Error;
+use std::fmt;
+use std::rc::Rc;
+
+/// A run-time value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// A natural number.
+    Nat(u64),
+    /// A boolean.
+    Bool(bool),
+    /// The empty list.
+    Nil,
+    /// A cons cell.
+    Cons(Rc<Value>, Rc<Value>),
+    /// A function value (a lambda closed over its environment).
+    Closure(Rc<ClosureVal>),
+}
+
+/// A lambda together with its captured environment.
+#[derive(Debug)]
+pub struct ClosureVal {
+    /// The parameter name.
+    pub param: Ident,
+    /// The body expression.
+    pub body: Expr,
+    /// The captured environment.
+    pub env: Env,
+}
+
+impl Value {
+    /// Convenience constructor for naturals.
+    pub fn nat(n: u64) -> Value {
+        Value::Nat(n)
+    }
+
+    /// Convenience constructor for booleans.
+    pub fn bool_(b: bool) -> Value {
+        Value::Bool(b)
+    }
+
+    /// Builds a list value from a vector.
+    pub fn list(items: Vec<Value>) -> Value {
+        let mut v = Value::Nil;
+        for item in items.into_iter().rev() {
+            v = Value::Cons(Rc::new(item), Rc::new(v));
+        }
+        v
+    }
+
+    /// Extracts a natural, if this is one.
+    pub fn as_nat(&self) -> Option<u64> {
+        match self {
+            Value::Nat(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Extracts a boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Collects a list value into a vector (`None` for non-lists).
+    pub fn as_list(&self) -> Option<Vec<Value>> {
+        let mut out = Vec::new();
+        let mut cur = self.clone();
+        loop {
+            match cur {
+                Value::Nil => return Some(out),
+                Value::Cons(h, t) => {
+                    out.push((*h).clone());
+                    cur = (*t).clone();
+                }
+                _ => return None,
+            }
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Nat(a), Value::Nat(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Nil, Value::Nil) => true,
+            (Value::Cons(h1, t1), Value::Cons(h2, t2)) => h1 == h2 && t1 == t2,
+            // Closures compare by identity: a specialised program may
+            // represent "the same" function differently.
+            (Value::Closure(a), Value::Closure(b)) => Rc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Nat(n) => write!(f, "{n}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Nil => write!(f, "[]"),
+            Value::Cons(..) => match self.as_list() {
+                Some(items) => {
+                    write!(f, "[")?;
+                    for (i, v) in items.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{v}")?;
+                    }
+                    write!(f, "]")
+                }
+                None => write!(f, "<improper list>"),
+            },
+            Value::Closure(_) => write!(f, "<closure>"),
+        }
+    }
+}
+
+/// A persistent environment mapping names to values.
+#[derive(Debug, Clone, Default)]
+pub struct Env(Option<Rc<EnvNode>>);
+
+#[derive(Debug)]
+struct EnvNode {
+    name: Ident,
+    value: Value,
+    next: Env,
+}
+
+impl Env {
+    /// The empty environment.
+    pub fn empty() -> Env {
+        Env(None)
+    }
+
+    /// Extends the environment with one binding (persistent: the original
+    /// is untouched).
+    pub fn bind(&self, name: Ident, value: Value) -> Env {
+        Env(Some(Rc::new(EnvNode { name, value, next: self.clone() })))
+    }
+
+    /// Looks up a name, innermost binding first.
+    pub fn lookup(&self, name: &Ident) -> Option<&Value> {
+        let mut cur = self;
+        while let Some(node) = &cur.0 {
+            if &node.name == name {
+                return Some(&node.value);
+            }
+            cur = &node.next;
+        }
+        None
+    }
+}
+
+/// Errors raised by evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// Division by zero.
+    DivByZero,
+    /// `head` or `tail` of the empty list.
+    EmptyList(&'static str),
+    /// A primitive applied to a value of the wrong shape, or an
+    /// application of a non-function. Well-typed programs never raise it.
+    TypeMismatch(String),
+    /// A variable with no binding (resolution prevents this for source
+    /// programs).
+    UnboundVariable(Ident),
+    /// A call to a function the program does not define.
+    UnknownFunction(QualName),
+    /// The step budget ran out (the program probably diverges).
+    FuelExhausted,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::DivByZero => write!(f, "division by zero"),
+            EvalError::EmptyList(op) => write!(f, "`{op}` of empty list"),
+            EvalError::TypeMismatch(m) => write!(f, "type mismatch at run time: {m}"),
+            EvalError::UnboundVariable(x) => write!(f, "unbound variable `{x}`"),
+            EvalError::UnknownFunction(q) => write!(f, "unknown function `{q}`"),
+            EvalError::FuelExhausted => write!(f, "evaluation fuel exhausted"),
+        }
+    }
+}
+
+impl Error for EvalError {}
+
+/// Default fuel for an evaluation: enough for every workload in this
+/// repository while still catching accidental divergence quickly.
+pub const DEFAULT_FUEL: u64 = 50_000_000;
+
+/// Runs `f` on a thread with a large stack (256 MiB) and returns its
+/// result.
+///
+/// The interpreter and the specialisation engine are deeply recursive;
+/// binaries whose main thread has a small default stack (examples, bench
+/// harnesses) should wrap their top-level work in this.
+///
+/// # Panics
+///
+/// Propagates any panic from `f` and panics if the worker thread cannot
+/// be spawned.
+pub fn with_big_stack<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T {
+    std::thread::Builder::new()
+        .stack_size(256 * 1024 * 1024)
+        .spawn(f)
+        .expect("spawn big-stack worker")
+        .join()
+        .expect("big-stack worker panicked")
+}
+
+/// An interpreter over a resolved program.
+#[derive(Debug)]
+pub struct Evaluator<'p> {
+    program: &'p ResolvedProgram,
+    fuel: u64,
+}
+
+impl<'p> Evaluator<'p> {
+    /// Creates an evaluator with [`DEFAULT_FUEL`].
+    pub fn new(program: &'p ResolvedProgram) -> Evaluator<'p> {
+        Evaluator { program, fuel: DEFAULT_FUEL }
+    }
+
+    /// Creates an evaluator with a custom step budget.
+    pub fn with_fuel(program: &'p ResolvedProgram, fuel: u64) -> Evaluator<'p> {
+        Evaluator { program, fuel }
+    }
+
+    /// Remaining fuel (useful as a crude cost measure in tests).
+    pub fn fuel_left(&self) -> u64 {
+        self.fuel
+    }
+
+    /// Calls a top-level function by name.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::UnknownFunction`] if the function does not exist,
+    /// [`EvalError::TypeMismatch`] if the argument count is wrong, plus
+    /// any error the body raises.
+    pub fn call_by_name(
+        &mut self,
+        module: &str,
+        name: &str,
+        args: Vec<Value>,
+    ) -> Result<Value, EvalError> {
+        self.call(&QualName::new(module, name), args)
+    }
+
+    /// Calls a top-level function.
+    ///
+    /// # Errors
+    ///
+    /// See [`Evaluator::call_by_name`].
+    pub fn call(&mut self, q: &QualName, args: Vec<Value>) -> Result<Value, EvalError> {
+        let def = self
+            .program
+            .def(q)
+            .ok_or_else(|| EvalError::UnknownFunction(q.clone()))?;
+        if def.params.len() != args.len() {
+            return Err(EvalError::TypeMismatch(format!(
+                "{q} expects {} arguments, got {}",
+                def.params.len(),
+                args.len()
+            )));
+        }
+        let mut env = Env::empty();
+        for (p, a) in def.params.iter().zip(args) {
+            env = env.bind(p.clone(), a);
+        }
+        // Clone the body so the borrow of `self.program` does not pin us.
+        let body = def.body.clone();
+        self.eval(&body, &env)
+    }
+
+    /// Evaluates an expression in an environment.
+    ///
+    /// # Errors
+    ///
+    /// Any [`EvalError`].
+    pub fn eval(&mut self, e: &Expr, env: &Env) -> Result<Value, EvalError> {
+        self.fuel = self.fuel.checked_sub(1).ok_or(EvalError::FuelExhausted)?;
+        if self.fuel == 0 {
+            return Err(EvalError::FuelExhausted);
+        }
+        match e {
+            Expr::Nat(n) => Ok(Value::Nat(*n)),
+            Expr::Bool(b) => Ok(Value::Bool(*b)),
+            Expr::Nil => Ok(Value::Nil),
+            Expr::Var(x) => env
+                .lookup(x)
+                .cloned()
+                .ok_or_else(|| EvalError::UnboundVariable(x.clone())),
+            Expr::Prim(op, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, env)?);
+                }
+                apply_prim(*op, &vals)
+            }
+            Expr::If(c, t, f) => match self.eval(c, env)? {
+                Value::Bool(true) => self.eval(t, env),
+                Value::Bool(false) => self.eval(f, env),
+                other => Err(EvalError::TypeMismatch(format!(
+                    "if condition must be boolean, got {other}"
+                ))),
+            },
+            Expr::Call(target, args) => {
+                let q = target.qualified_opt().ok_or_else(|| {
+                    EvalError::TypeMismatch(format!("unresolved call target `{target}`"))
+                })?;
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, env)?);
+                }
+                self.call(&q, vals)
+            }
+            Expr::Lam(x, body) => Ok(Value::Closure(Rc::new(ClosureVal {
+                param: x.clone(),
+                body: (**body).clone(),
+                env: env.clone(),
+            }))),
+            Expr::App(f, a) => {
+                let fv = self.eval(f, env)?;
+                let av = self.eval(a, env)?;
+                match fv {
+                    Value::Closure(c) => {
+                        let env2 = c.env.bind(c.param.clone(), av);
+                        self.eval(&c.body, &env2)
+                    }
+                    other => Err(EvalError::TypeMismatch(format!(
+                        "applied non-function {other}"
+                    ))),
+                }
+            }
+            Expr::Let(x, rhs, body) => {
+                let v = self.eval(rhs, env)?;
+                let env2 = env.bind(x.clone(), v);
+                self.eval(body, &env2)
+            }
+        }
+    }
+}
+
+/// Applies a primitive to already-evaluated operands.
+///
+/// # Errors
+///
+/// [`EvalError::DivByZero`], [`EvalError::EmptyList`] or
+/// [`EvalError::TypeMismatch`].
+pub fn apply_prim(op: PrimOp, vals: &[Value]) -> Result<Value, EvalError> {
+    use PrimOp::*;
+    let nat = |v: &Value| {
+        v.as_nat().ok_or_else(|| {
+            EvalError::TypeMismatch(format!("{} expects a natural, got {v}", op.symbol()))
+        })
+    };
+    let boolean = |v: &Value| {
+        v.as_bool().ok_or_else(|| {
+            EvalError::TypeMismatch(format!("{} expects a boolean, got {v}", op.symbol()))
+        })
+    };
+    match op {
+        Add => Ok(Value::Nat(nat(&vals[0])?.wrapping_add(nat(&vals[1])?))),
+        Sub => Ok(Value::Nat(nat(&vals[0])?.saturating_sub(nat(&vals[1])?))),
+        Mul => Ok(Value::Nat(nat(&vals[0])?.wrapping_mul(nat(&vals[1])?))),
+        Div => {
+            let n0 = nat(&vals[0])?;
+            match n0.checked_div(nat(&vals[1])?) {
+                Some(q) => Ok(Value::Nat(q)),
+                None => Err(EvalError::DivByZero),
+            }
+        }
+        Eq => Ok(Value::Bool(nat(&vals[0])? == nat(&vals[1])?)),
+        Lt => Ok(Value::Bool(nat(&vals[0])? < nat(&vals[1])?)),
+        Leq => Ok(Value::Bool(nat(&vals[0])? <= nat(&vals[1])?)),
+        And => Ok(Value::Bool(boolean(&vals[0])? && boolean(&vals[1])?)),
+        Or => Ok(Value::Bool(boolean(&vals[0])? || boolean(&vals[1])?)),
+        Not => Ok(Value::Bool(!boolean(&vals[0])?)),
+        Cons => Ok(Value::Cons(Rc::new(vals[0].clone()), Rc::new(vals[1].clone()))),
+        Head => match &vals[0] {
+            Value::Cons(h, _) => Ok((**h).clone()),
+            Value::Nil => Err(EvalError::EmptyList("head")),
+            other => Err(EvalError::TypeMismatch(format!("head expects a list, got {other}"))),
+        },
+        Tail => match &vals[0] {
+            Value::Cons(_, t) => Ok((**t).clone()),
+            Value::Nil => Err(EvalError::EmptyList("tail")),
+            other => Err(EvalError::TypeMismatch(format!("tail expects a list, got {other}"))),
+        },
+        Null => match &vals[0] {
+            Value::Nil => Ok(Value::Bool(true)),
+            Value::Cons(..) => Ok(Value::Bool(false)),
+            other => Err(EvalError::TypeMismatch(format!("null expects a list, got {other}"))),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::resolve::resolve;
+
+    fn eval_main(src: &str, args: Vec<Value>) -> Result<Value, EvalError> {
+        let rp = resolve(parse_program(src).unwrap()).unwrap();
+        let mut ev = Evaluator::new(&rp);
+        let main = rp
+            .functions()
+            .find(|q| q.name.as_str() == "main")
+            .expect("program has a main")
+            .clone();
+        ev.call(&main, args)
+    }
+
+    #[test]
+    fn power_computes_exponentials() {
+        let src = "module Power where\n\
+                   power n x = if n == 1 then x else x * power (n - 1) x\n\
+                   main y = power 5 y\n";
+        assert_eq!(eval_main(src, vec![Value::nat(2)]).unwrap(), Value::nat(32));
+        assert_eq!(eval_main(src, vec![Value::nat(3)]).unwrap(), Value::nat(243));
+    }
+
+    #[test]
+    fn higher_order_twice() {
+        let src = "module M where\n\
+                   twice f x = f @ (f @ x)\n\
+                   main y = twice (\\x -> x + 3) y\n";
+        assert_eq!(eval_main(src, vec![Value::nat(10)]).unwrap(), Value::nat(16));
+    }
+
+    #[test]
+    fn map_over_lists() {
+        let src = "module M where\n\
+                   map f xs = if null xs then [] else f @ (head xs) : map f (tail xs)\n\
+                   main z ys = map (\\x -> x + z) ys\n";
+        let ys = Value::list(vec![Value::nat(1), Value::nat(2), Value::nat(3)]);
+        let got = eval_main(src, vec![Value::nat(10), ys]).unwrap();
+        assert_eq!(got, Value::list(vec![Value::nat(11), Value::nat(12), Value::nat(13)]));
+    }
+
+    #[test]
+    fn cross_module_calls() {
+        let src = "module A where\n\
+                   inc x = x + 1\n\
+                   module B where\n\
+                   import A\n\
+                   main y = inc (inc y)\n";
+        assert_eq!(eval_main(src, vec![Value::nat(5)]).unwrap(), Value::nat(7));
+    }
+
+    #[test]
+    fn let_bindings() {
+        let src = "module M where\nmain y = let z = y * y in z + z\n";
+        assert_eq!(eval_main(src, vec![Value::nat(3)]).unwrap(), Value::nat(18));
+    }
+
+    #[test]
+    fn booleans_and_logic() {
+        let src = "module M where\nmain a b = if a < b && not (a == 0) then 1 else 2\n";
+        assert_eq!(
+            eval_main(src, vec![Value::nat(1), Value::nat(5)]).unwrap(),
+            Value::nat(1)
+        );
+        assert_eq!(
+            eval_main(src, vec![Value::nat(0), Value::nat(5)]).unwrap(),
+            Value::nat(2)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let src = "module M where\nmain y = 10 / y\n";
+        assert_eq!(eval_main(src, vec![Value::nat(0)]), Err(EvalError::DivByZero));
+        assert_eq!(eval_main(src, vec![Value::nat(2)]), Ok(Value::nat(5)));
+    }
+
+    #[test]
+    fn head_of_empty_list_is_an_error() {
+        let src = "module M where\nmain = head []\n";
+        assert_eq!(eval_main(src, vec![]), Err(EvalError::EmptyList("head")));
+    }
+
+    #[test]
+    fn subtraction_saturates_at_zero() {
+        let src = "module M where\nmain a b = a - b\n";
+        assert_eq!(
+            eval_main(src, vec![Value::nat(3), Value::nat(10)]).unwrap(),
+            Value::nat(0)
+        );
+    }
+
+    #[test]
+    fn divergence_exhausts_fuel() {
+        let src = "module M where\nloop x = loop x\nmain y = loop y\n";
+        let rp = resolve(parse_program(src).unwrap()).unwrap();
+        let mut ev = Evaluator::with_fuel(&rp, 2_000);
+        let main = QualName::new("M", "main");
+        assert_eq!(ev.call(&main, vec![Value::nat(1)]), Err(EvalError::FuelExhausted));
+    }
+
+    #[test]
+    fn closures_capture_their_environment() {
+        let src = "module M where\n\
+                   apply f x = f @ x\n\
+                   main y = apply (let k = y * 2 in \\x -> x + k) 1\n";
+        assert_eq!(eval_main(src, vec![Value::nat(10)]).unwrap(), Value::nat(21));
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::nat(3).to_string(), "3");
+        assert_eq!(Value::bool_(true).to_string(), "true");
+        assert_eq!(
+            Value::list(vec![Value::nat(1), Value::nat(2)]).to_string(),
+            "[1, 2]"
+        );
+        assert_eq!(Value::Nil.to_string(), "[]");
+    }
+
+    #[test]
+    fn value_as_list_roundtrip() {
+        let items = vec![Value::nat(1), Value::nat(2), Value::nat(3)];
+        assert_eq!(Value::list(items.clone()).as_list().unwrap(), items);
+        assert_eq!(Value::Nil.as_list().unwrap(), Vec::<Value>::new());
+        assert!(Value::nat(1).as_list().is_none());
+    }
+
+    #[test]
+    fn env_lookup_innermost_wins() {
+        let env = Env::empty()
+            .bind("x".into(), Value::nat(1))
+            .bind("x".into(), Value::nat(2));
+        assert_eq!(env.lookup(&"x".into()), Some(&Value::Nat(2)));
+        assert_eq!(env.lookup(&"y".into()), None);
+    }
+
+    #[test]
+    fn zero_arity_functions_evaluate() {
+        let src = "module M where\nc = 41\nmain = c + 1\n";
+        assert_eq!(eval_main(src, vec![]).unwrap(), Value::nat(42));
+    }
+
+    #[test]
+    fn unknown_function_error() {
+        let rp = resolve(parse_program("module M where\nmain = 1\n").unwrap()).unwrap();
+        let mut ev = Evaluator::new(&rp);
+        assert!(matches!(
+            ev.call(&QualName::new("M", "ghost"), vec![]),
+            Err(EvalError::UnknownFunction(_))
+        ));
+    }
+}

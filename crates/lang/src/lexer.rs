@@ -1,0 +1,562 @@
+//! Lexer for the paper-style concrete syntax.
+//!
+//! The language is line-oriented in the same lightweight way as the
+//! paper's examples: a token that starts in column 1 begins a new
+//! top-level item (definition, `import`, or `module` header), so function
+//! definitions need no terminating punctuation as long as continuation
+//! lines are indented. `--` starts a comment running to the end of the
+//! line.
+
+use crate::error::LangError;
+use crate::span::{Pos, Span};
+use std::fmt;
+
+/// The different kinds of token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// `module`
+    Module,
+    /// `where`
+    Where,
+    /// `import`
+    Import,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `let`
+    Let,
+    /// `in`
+    In,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `not`
+    Not,
+    /// `head`
+    Head,
+    /// `tail`
+    Tail,
+    /// `null`
+    Null,
+    /// A lower-case identifier.
+    LIdent(String),
+    /// An upper-case identifier (module name).
+    UIdent(String),
+    /// A natural-number literal.
+    Nat(u64),
+    /// `\`
+    Lambda,
+    /// `->`
+    Arrow,
+    /// `=`
+    Equals,
+    /// `==`
+    EqEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Leq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `:`
+    Colon,
+    /// `@`
+    At,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Module => write!(f, "`module`"),
+            TokenKind::Where => write!(f, "`where`"),
+            TokenKind::Import => write!(f, "`import`"),
+            TokenKind::If => write!(f, "`if`"),
+            TokenKind::Then => write!(f, "`then`"),
+            TokenKind::Else => write!(f, "`else`"),
+            TokenKind::Let => write!(f, "`let`"),
+            TokenKind::In => write!(f, "`in`"),
+            TokenKind::True => write!(f, "`true`"),
+            TokenKind::False => write!(f, "`false`"),
+            TokenKind::Not => write!(f, "`not`"),
+            TokenKind::Head => write!(f, "`head`"),
+            TokenKind::Tail => write!(f, "`tail`"),
+            TokenKind::Null => write!(f, "`null`"),
+            TokenKind::LIdent(s) => write!(f, "identifier `{s}`"),
+            TokenKind::UIdent(s) => write!(f, "module name `{s}`"),
+            TokenKind::Nat(n) => write!(f, "literal `{n}`"),
+            TokenKind::Lambda => write!(f, "`\\`"),
+            TokenKind::Arrow => write!(f, "`->`"),
+            TokenKind::Equals => write!(f, "`=`"),
+            TokenKind::EqEq => write!(f, "`==`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Leq => write!(f, "`<=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::AndAnd => write!(f, "`&&`"),
+            TokenKind::OrOr => write!(f, "`||`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::At => write!(f, "`@`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token together with its source span and layout information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where it occurs.
+    pub span: Span,
+    /// `true` if this token is the first on its line *and* starts in
+    /// column 1 — the layout signal that a new top-level item begins.
+    pub line_start: bool,
+}
+
+/// Lexes a complete source text into tokens (ending with [`TokenKind::Eof`]).
+///
+/// # Errors
+///
+/// Returns [`LangError::Lex`] on characters outside the language or
+/// on numeric literals that overflow `u64`.
+pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'s> {
+    chars: std::iter::Peekable<std::str::Chars<'s>>,
+    pos: Pos,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Lexer<'s> {
+        Lexer { chars: src.chars().peekable(), pos: Pos::START }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.pos.line += 1;
+            self.pos.col = 1;
+        } else {
+            self.pos.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LangError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let start = self.pos;
+            let line_start = start.col == 1;
+            let Some(c) = self.peek() else {
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    span: Span::point(start),
+                    line_start,
+                });
+                return Ok(out);
+            };
+            let kind = self.token_kind(c, start)?;
+            out.push(Token { kind, span: Span::new(start, self.pos), line_start });
+        }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('-') => {
+                    // `--` comment (but `-` alone is the minus operator,
+                    // and `->` the arrow).
+                    let mut ahead = self.chars.clone();
+                    ahead.next();
+                    if ahead.peek() == Some(&'-') {
+                        while let Some(c) = self.peek() {
+                            if c == '\n' {
+                                break;
+                            }
+                            self.bump();
+                        }
+                    } else {
+                        return;
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn token_kind(&mut self, c: char, start: Pos) -> Result<TokenKind, LangError> {
+        match c {
+            'a'..='z' | '_' => Ok(self.ident()),
+            'A'..='Z' => Ok(self.uident()),
+            '0'..='9' => self.number(start),
+            '\\' => {
+                self.bump();
+                Ok(TokenKind::Lambda)
+            }
+            '-' => {
+                self.bump();
+                if self.eat('>') {
+                    Ok(TokenKind::Arrow)
+                } else {
+                    Ok(TokenKind::Minus)
+                }
+            }
+            '=' => {
+                self.bump();
+                if self.eat('=') {
+                    Ok(TokenKind::EqEq)
+                } else {
+                    Ok(TokenKind::Equals)
+                }
+            }
+            '<' => {
+                self.bump();
+                if self.eat('=') {
+                    Ok(TokenKind::Leq)
+                } else {
+                    Ok(TokenKind::Lt)
+                }
+            }
+            '+' => {
+                self.bump();
+                Ok(TokenKind::Plus)
+            }
+            '*' => {
+                self.bump();
+                Ok(TokenKind::Star)
+            }
+            '/' => {
+                self.bump();
+                Ok(TokenKind::Slash)
+            }
+            '&' => {
+                self.bump();
+                if self.eat('&') {
+                    Ok(TokenKind::AndAnd)
+                } else {
+                    Err(self.bad(start, "expected `&&`"))
+                }
+            }
+            '|' => {
+                self.bump();
+                if self.eat('|') {
+                    Ok(TokenKind::OrOr)
+                } else {
+                    Err(self.bad(start, "expected `||`"))
+                }
+            }
+            ':' => {
+                self.bump();
+                Ok(TokenKind::Colon)
+            }
+            '@' => {
+                self.bump();
+                Ok(TokenKind::At)
+            }
+            '(' => {
+                self.bump();
+                Ok(TokenKind::LParen)
+            }
+            ')' => {
+                self.bump();
+                Ok(TokenKind::RParen)
+            }
+            '[' => {
+                self.bump();
+                Ok(TokenKind::LBracket)
+            }
+            ']' => {
+                self.bump();
+                Ok(TokenKind::RBracket)
+            }
+            ',' => {
+                self.bump();
+                Ok(TokenKind::Comma)
+            }
+            ';' => {
+                self.bump();
+                Ok(TokenKind::Semi)
+            }
+            '.' => {
+                self.bump();
+                Ok(TokenKind::Dot)
+            }
+            other => Err(self.bad(start, &format!("unexpected character `{other}`"))),
+        }
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '\'' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match s.as_str() {
+            "module" => TokenKind::Module,
+            "where" => TokenKind::Where,
+            "import" => TokenKind::Import,
+            "if" => TokenKind::If,
+            "then" => TokenKind::Then,
+            "else" => TokenKind::Else,
+            "let" => TokenKind::Let,
+            "in" => TokenKind::In,
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            "not" => TokenKind::Not,
+            "head" => TokenKind::Head,
+            "tail" => TokenKind::Tail,
+            "null" => TokenKind::Null,
+            _ => TokenKind::LIdent(s),
+        }
+    }
+
+    fn uident(&mut self) -> TokenKind {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '\'' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokenKind::UIdent(s)
+    }
+
+    fn number(&mut self, start: Pos) -> Result<TokenKind, LangError> {
+        let mut n: u64 = 0;
+        while let Some(c) = self.peek() {
+            if let Some(d) = c.to_digit(10) {
+                n = n
+                    .checked_mul(10)
+                    .and_then(|n| n.checked_add(u64::from(d)))
+                    .ok_or_else(|| self.bad(start, "numeric literal overflows u64"))?;
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(TokenKind::Nat(n))
+    }
+
+    fn bad(&self, start: Pos, message: &str) -> LangError {
+        LangError::Lex {
+            span: Span::new(start, self.pos),
+            message: message.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("module Power where import Base"),
+            vec![
+                TokenKind::Module,
+                TokenKind::UIdent("Power".into()),
+                TokenKind::Where,
+                TokenKind::Import,
+                TokenKind::UIdent("Base".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            kinds("= == < <= + - * / && || : @ -> \\"),
+            vec![
+                TokenKind::Equals,
+                TokenKind::EqEq,
+                TokenKind::Lt,
+                TokenKind::Leq,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Colon,
+                TokenKind::At,
+                TokenKind::Arrow,
+                TokenKind::Lambda,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn minus_vs_arrow_vs_comment() {
+        assert_eq!(
+            kinds("a - b -> c -- comment - ignored\nd"),
+            vec![
+                TokenKind::LIdent("a".into()),
+                TokenKind::Minus,
+                TokenKind::LIdent("b".into()),
+                TokenKind::Arrow,
+                TokenKind::LIdent("c".into()),
+                TokenKind::LIdent("d".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("0 42 123"), vec![
+            TokenKind::Nat(0),
+            TokenKind::Nat(42),
+            TokenKind::Nat(123),
+            TokenKind::Eof,
+        ]);
+    }
+
+    #[test]
+    fn number_overflow_is_an_error() {
+        assert!(matches!(lex("99999999999999999999999"), Err(LangError::Lex { .. })));
+    }
+
+    #[test]
+    fn line_start_flag_tracks_column_one() {
+        let toks = lex("f x = 1\n  + 2\ng y = 3\n").unwrap();
+        let starts: Vec<(String, bool)> = toks
+            .iter()
+            .map(|t| (format!("{}", t.kind), t.line_start))
+            .collect();
+        // `f` and `g` start lines in column 1; the continuation `+` does not.
+        assert!(starts[0].1, "{starts:?}");
+        let plus = toks.iter().find(|t| t.kind == TokenKind::Plus).unwrap();
+        assert!(!plus.line_start);
+        let g = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::LIdent("g".into()))
+            .unwrap();
+        assert!(g.line_start);
+    }
+
+    #[test]
+    fn spans_report_positions() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[0].span.start, Pos::new(1, 1));
+        assert_eq!(toks[0].span.end, Pos::new(1, 3));
+        assert_eq!(toks[1].span.start, Pos::new(1, 4));
+    }
+
+    #[test]
+    fn primes_and_underscores_in_idents() {
+        assert_eq!(
+            kinds("x' foo_bar _tmp"),
+            vec![
+                TokenKind::LIdent("x'".into()),
+                TokenKind::LIdent("foo_bar".into()),
+                TokenKind::LIdent("_tmp".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_stray_ampersand() {
+        assert!(matches!(lex("a & b"), Err(LangError::Lex { .. })));
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        assert!(matches!(lex("a ? b"), Err(LangError::Lex { .. })));
+    }
+
+    #[test]
+    fn brackets_commas_semis() {
+        assert_eq!(
+            kinds("[1, 2]; M.f"),
+            vec![
+                TokenKind::LBracket,
+                TokenKind::Nat(1),
+                TokenKind::Comma,
+                TokenKind::Nat(2),
+                TokenKind::RBracket,
+                TokenKind::Semi,
+                TokenKind::UIdent("M".into()),
+                TokenKind::Dot,
+                TokenKind::LIdent("f".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comment_at_end_of_file() {
+        assert_eq!(kinds("x -- trailing"), vec![TokenKind::LIdent("x".into()), TokenKind::Eof]);
+    }
+}

@@ -1,0 +1,321 @@
+//! The module import graph.
+//!
+//! The paper requires acyclic imports (interface files must be writable
+//! before they are read). This module builds the import graph of a
+//! program, checks it, produces the bottom-up analysis order, and answers
+//! the reachability queries used by residual-module placement ("is module
+//! A imported, directly or indirectly, into module B?").
+
+use crate::ast::{ModName, Program};
+use crate::error::LangError;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The import graph of a program, with precomputed transitive reachability.
+#[derive(Debug, Clone)]
+pub struct ModGraph {
+    /// Direct imports of each module.
+    direct: BTreeMap<ModName, BTreeSet<ModName>>,
+    /// Transitive imports (not including the module itself).
+    reachable: BTreeMap<ModName, BTreeSet<ModName>>,
+    /// Modules in dependency order: every module appears after all the
+    /// modules it imports.
+    topo: Vec<ModName>,
+}
+
+impl ModGraph {
+    /// Builds and validates the import graph of `program`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LangError::DuplicateModule`] if two modules share a name.
+    /// * [`LangError::MissingModule`] if an import names an unknown module.
+    /// * [`LangError::CyclicImports`] if the imports are cyclic.
+    pub fn new(program: &Program) -> Result<ModGraph, LangError> {
+        let mut direct: BTreeMap<ModName, BTreeSet<ModName>> = BTreeMap::new();
+        for m in &program.modules {
+            if direct.contains_key(&m.name) {
+                return Err(LangError::DuplicateModule(m.name.clone()));
+            }
+            direct.insert(m.name.clone(), m.imports.iter().cloned().collect());
+        }
+        for m in &program.modules {
+            for i in &m.imports {
+                if !direct.contains_key(i) {
+                    return Err(LangError::MissingModule {
+                        importer: m.name.clone(),
+                        imported: i.clone(),
+                    });
+                }
+            }
+        }
+        let topo = topo_sort(&direct)?;
+        let mut reachable: BTreeMap<ModName, BTreeSet<ModName>> = BTreeMap::new();
+        for name in &topo {
+            let mut r = BTreeSet::new();
+            for dep in &direct[name] {
+                r.insert(dep.clone());
+                r.extend(reachable[dep].iter().cloned());
+            }
+            reachable.insert(name.clone(), r);
+        }
+        Ok(ModGraph { direct, reachable, topo })
+    }
+
+    /// The modules in dependency order (imports first).
+    pub fn topo_order(&self) -> &[ModName] {
+        &self.topo
+    }
+
+    /// The direct imports of `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not a module of the program.
+    pub fn direct_imports(&self, m: &ModName) -> &BTreeSet<ModName> {
+        &self.direct[m]
+    }
+
+    /// `true` if `target` is imported (directly or transitively) into `from`.
+    pub fn imports_transitively(&self, from: &ModName, target: &ModName) -> bool {
+        self.reachable.get(from).is_some_and(|r| r.contains(target))
+    }
+
+    /// All modules imported (directly or transitively) into `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not a module of the program.
+    pub fn transitive_imports(&self, m: &ModName) -> &BTreeSet<ModName> {
+        &self.reachable[m]
+    }
+
+    /// Whether the graph contains the module `m`.
+    pub fn contains(&self, m: &ModName) -> bool {
+        self.direct.contains_key(m)
+    }
+
+    /// Reduces a set of modules by removing every module that is
+    /// import-reachable from another member of the set.
+    ///
+    /// This is the reduction step of the paper's placement algorithm:
+    /// "we take the set of modules that these functions are defined in,
+    /// remove any which are imported into others".
+    pub fn reduce_by_imports(&self, set: &BTreeSet<ModName>) -> BTreeSet<ModName> {
+        set.iter()
+            .filter(|m| {
+                !set.iter().any(|other| *other != **m && self.imports_transitively(other, m))
+            })
+            .cloned()
+            .collect()
+    }
+}
+
+/// Topologically sorts modules so that imports come first.
+///
+/// Deterministic: ties are broken by module name.
+fn topo_sort(direct: &BTreeMap<ModName, BTreeSet<ModName>>) -> Result<Vec<ModName>, LangError> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut marks: BTreeMap<&ModName, Mark> = direct.keys().map(|k| (k, Mark::White)).collect();
+    let mut out = Vec::new();
+
+    fn visit<'a>(
+        n: &'a ModName,
+        direct: &'a BTreeMap<ModName, BTreeSet<ModName>>,
+        marks: &mut BTreeMap<&'a ModName, Mark>,
+        out: &mut Vec<ModName>,
+    ) -> Result<(), LangError> {
+        match marks[n] {
+            Mark::Black => return Ok(()),
+            Mark::Grey => return Err(LangError::CyclicImports { witness: n.clone() }),
+            Mark::White => {}
+        }
+        marks.insert(n, Mark::Grey);
+        for dep in &direct[n] {
+            visit(dep, direct, marks, out)?;
+        }
+        marks.insert(n, Mark::Black);
+        out.push(n.clone());
+        Ok(())
+    }
+
+    for n in direct.keys() {
+        visit(n, direct, &mut marks, &mut out)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Module, Program};
+
+    fn program(mods: &[(&str, &[&str])]) -> Program {
+        Program::new(
+            mods.iter()
+                .map(|(name, imports)| {
+                    Module::new(
+                        *name,
+                        imports.iter().map(|i| ModName::new(*i)).collect(),
+                        vec![],
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn topo_order_puts_imports_first() {
+        let p = program(&[("Main", &["Power", "Twice"]), ("Power", &[]), ("Twice", &[])]);
+        let g = ModGraph::new(&p).unwrap();
+        let order = g.topo_order();
+        let pos = |n: &str| order.iter().position(|m| m.as_str() == n).unwrap();
+        assert!(pos("Power") < pos("Main"));
+        assert!(pos("Twice") < pos("Main"));
+    }
+
+    #[test]
+    fn detects_cycles() {
+        let p = program(&[("A", &["B"]), ("B", &["A"])]);
+        assert!(matches!(ModGraph::new(&p), Err(LangError::CyclicImports { .. })));
+    }
+
+    #[test]
+    fn detects_self_import() {
+        let p = program(&[("A", &["A"])]);
+        assert!(matches!(ModGraph::new(&p), Err(LangError::CyclicImports { .. })));
+    }
+
+    #[test]
+    fn detects_missing_import() {
+        let p = program(&[("A", &["Nope"])]);
+        assert!(matches!(ModGraph::new(&p), Err(LangError::MissingModule { .. })));
+    }
+
+    #[test]
+    fn detects_duplicate_modules() {
+        let p = program(&[("A", &[]), ("A", &[])]);
+        assert!(matches!(ModGraph::new(&p), Err(LangError::DuplicateModule(_))));
+    }
+
+    #[test]
+    fn transitive_reachability() {
+        let p = program(&[("C", &["B"]), ("B", &["A"]), ("A", &[])]);
+        let g = ModGraph::new(&p).unwrap();
+        assert!(g.imports_transitively(&ModName::new("C"), &ModName::new("A")));
+        assert!(g.imports_transitively(&ModName::new("C"), &ModName::new("B")));
+        assert!(!g.imports_transitively(&ModName::new("A"), &ModName::new("C")));
+        assert!(!g.imports_transitively(&ModName::new("A"), &ModName::new("A")));
+    }
+
+    #[test]
+    fn reduce_removes_imported_members() {
+        // B imports A: {A, B} reduces to {B}.
+        let p = program(&[("B", &["A"]), ("A", &[]), ("C", &[])]);
+        let g = ModGraph::new(&p).unwrap();
+        let set: BTreeSet<ModName> = [ModName::new("A"), ModName::new("B")].into();
+        let red = g.reduce_by_imports(&set);
+        assert_eq!(red, [ModName::new("B")].into());
+    }
+
+    #[test]
+    fn reduce_keeps_incomparable_members() {
+        // A and C unrelated: {A, C} stays {A, C}.
+        let p = program(&[("B", &["A"]), ("A", &[]), ("C", &[])]);
+        let g = ModGraph::new(&p).unwrap();
+        let set: BTreeSet<ModName> = [ModName::new("A"), ModName::new("C")].into();
+        assert_eq!(g.reduce_by_imports(&set), set);
+    }
+
+    #[test]
+    fn reduce_of_singleton_is_identity() {
+        let p = program(&[("A", &[])]);
+        let g = ModGraph::new(&p).unwrap();
+        let set: BTreeSet<ModName> = [ModName::new("A")].into();
+        assert_eq!(g.reduce_by_imports(&set), set);
+    }
+
+    #[test]
+    fn diamond_imports_are_fine() {
+        let p = program(&[("D", &["B", "C"]), ("B", &["A"]), ("C", &["A"]), ("A", &[])]);
+        let g = ModGraph::new(&p).unwrap();
+        assert_eq!(g.topo_order().len(), 4);
+        assert!(g.imports_transitively(&ModName::new("D"), &ModName::new("A")));
+    }
+
+    #[test]
+    fn topo_order_is_a_valid_linearisation_for_random_dags() {
+        // Build layered random-ish DAGs deterministically and check the
+        // topological order respects every edge.
+        for seed in 0..20u64 {
+            let layers = 4;
+            let per_layer = 3;
+            let mut mods: Vec<(String, Vec<String>)> = Vec::new();
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            for l in 0..layers {
+                for i in 0..per_layer {
+                    let name = format!("L{l}x{i}");
+                    let mut imports = Vec::new();
+                    if l > 0 {
+                        for j in 0..per_layer {
+                            if next() % 3 == 0 {
+                                imports.push(format!("L{}x{j}", l - 1));
+                            }
+                        }
+                    }
+                    mods.push((name, imports));
+                }
+            }
+            let p = Program::new(
+                mods.iter()
+                    .map(|(n, imps)| {
+                        Module::new(
+                            n.as_str(),
+                            imps.iter().map(|i| ModName::new(i.as_str())).collect(),
+                            vec![],
+                        )
+                    })
+                    .collect(),
+            );
+            let g = ModGraph::new(&p).unwrap();
+            let order = g.topo_order();
+            let pos = |n: &ModName| order.iter().position(|m| m == n).unwrap();
+            for (n, imps) in &mods {
+                for i in imps {
+                    assert!(
+                        pos(&ModName::new(i.as_str())) < pos(&ModName::new(n.as_str())),
+                        "seed {seed}: {i} must precede {n}"
+                    );
+                }
+            }
+            // Reachability agrees with reduce: reducing the full vertex
+            // set leaves exactly the modules nothing else imports.
+            let all: BTreeSet<ModName> = order.iter().cloned().collect();
+            let reduced = g.reduce_by_imports(&all);
+            for m in &reduced {
+                assert!(!all
+                    .iter()
+                    .any(|o| o != m && g.imports_transitively(o, m)));
+            }
+        }
+    }
+
+    #[test]
+    fn direct_imports_are_exact() {
+        let p = program(&[("D", &["B"]), ("B", &["A"]), ("A", &[])]);
+        let g = ModGraph::new(&p).unwrap();
+        assert!(g.direct_imports(&ModName::new("D")).contains(&ModName::new("B")));
+        assert!(!g.direct_imports(&ModName::new("D")).contains(&ModName::new("A")));
+        assert!(g.transitive_imports(&ModName::new("D")).contains(&ModName::new("A")));
+    }
+}

@@ -1,0 +1,715 @@
+//! Recursive-descent parser for the paper-style concrete syntax.
+//!
+//! ```text
+//! program ::= module+
+//! module  ::= 'module' U 'where' ('import' U)* def*
+//! def     ::= l l* '=' expr [';']
+//! expr    ::= '\' l '->' expr
+//!           | 'if' expr 'then' expr 'else' expr
+//!           | 'let' l '=' expr 'in' expr
+//!           | opexpr
+//! ```
+//!
+//! with the usual operator precedence (loosest to tightest):
+//! `||`, `&&`, comparisons (`==` `<` `<=`, non-associative), `:`
+//! (right-associative), `+ -`, `* /`, `@` (left-associative), then
+//! juxtaposition `f a b …` (a fully applied named-function call whose
+//! arguments are atoms) and the prefix primitives `not`, `head`, `tail`,
+//! `null`.
+//!
+//! Layout: while parsing a definition body, a token starting in column 1
+//! ends the definition, so multi-line bodies must be indented — as in the
+//! paper's examples. Definitions may also be separated by `;`.
+
+use crate::ast::{CallName, Def, Expr, Ident, ModName, Module, PrimOp, Program};
+use crate::error::LangError;
+use crate::lexer::{lex, Token, TokenKind};
+use crate::span::Span;
+
+/// Parses a complete program: one or more modules in a single source text.
+///
+/// # Errors
+///
+/// Returns [`LangError::Lex`] or [`LangError::Parse`] on malformed input.
+pub fn parse_program(src: &str) -> Result<Program, LangError> {
+    let mut p = Parser::new(src)?;
+    let mut modules = Vec::new();
+    while !p.at(&TokenKind::Eof) {
+        modules.push(p.module()?);
+    }
+    Ok(Program::new(modules))
+}
+
+/// Parses a single module.
+///
+/// # Errors
+///
+/// Returns [`LangError::Lex`] or [`LangError::Parse`] on malformed input,
+/// including trailing input after the module.
+pub fn parse_module(src: &str) -> Result<Module, LangError> {
+    let mut p = Parser::new(src)?;
+    let m = p.module()?;
+    p.expect(TokenKind::Eof)?;
+    Ok(m)
+}
+
+/// Parses a standalone expression (handy in tests and the REPL-ish tools).
+///
+/// # Errors
+///
+/// Returns [`LangError::Lex`] or [`LangError::Parse`] on malformed input.
+pub fn parse_expr(src: &str) -> Result<Expr, LangError> {
+    let mut p = Parser::new(src)?;
+    p.in_body = false;
+    let e = p.expr()?;
+    p.expect(TokenKind::Eof)?;
+    Ok(e)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    i: usize,
+    /// While `true`, a token starting in column 1 terminates the current
+    /// expression (the layout rule for definition bodies).
+    in_body: bool,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Parser, LangError> {
+        Ok(Parser { toks: lex(src)?, i: 0, in_body: false })
+    }
+
+    fn raw(&self) -> &Token {
+        &self.toks[self.i]
+    }
+
+    /// Current token kind, respecting the layout barrier.
+    fn kind(&self) -> &TokenKind {
+        let t = self.raw();
+        if self.in_body && t.line_start && self.i > 0 {
+            &TokenKind::Eof
+        } else {
+            &t.kind
+        }
+    }
+
+    fn span(&self) -> Span {
+        self.raw().span
+    }
+
+    fn at(&self, k: &TokenKind) -> bool {
+        self.kind() == k
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.raw().kind.clone();
+        if self.i + 1 < self.toks.len() {
+            self.i += 1;
+        }
+        k
+    }
+
+    fn eat(&mut self, k: &TokenKind) -> bool {
+        if self.at(k) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, k: TokenKind) -> Result<(), LangError> {
+        if self.at(&k) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {k}, found {}", self.kind())))
+        }
+    }
+
+    fn err(&self, message: &str) -> LangError {
+        LangError::Parse { span: self.span(), message: message.to_string() }
+    }
+
+    fn lident(&mut self, what: &str) -> Result<Ident, LangError> {
+        match self.kind().clone() {
+            TokenKind::LIdent(s) => {
+                self.bump();
+                Ok(Ident(s))
+            }
+            other => Err(self.err(&format!("expected {what}, found {other}"))),
+        }
+    }
+
+    fn uident(&mut self, what: &str) -> Result<ModName, LangError> {
+        match self.kind().clone() {
+            TokenKind::UIdent(s) => {
+                self.bump();
+                Ok(ModName(s))
+            }
+            other => Err(self.err(&format!("expected {what}, found {other}"))),
+        }
+    }
+
+    fn module(&mut self) -> Result<Module, LangError> {
+        self.expect(TokenKind::Module)?;
+        let name = self.uident("module name")?;
+        self.expect(TokenKind::Where)?;
+        let mut imports = Vec::new();
+        while self.eat(&TokenKind::Import) {
+            imports.push(self.uident("imported module name")?);
+            self.eat(&TokenKind::Semi);
+        }
+        let mut defs = Vec::new();
+        while !self.at(&TokenKind::Eof) && !self.at(&TokenKind::Module) {
+            defs.push(self.def()?);
+        }
+        Ok(Module::new(name, imports, defs))
+    }
+
+    fn def(&mut self) -> Result<Def, LangError> {
+        let name = self.lident("definition name")?;
+        let mut params = Vec::new();
+        while let TokenKind::LIdent(p) = self.kind().clone() {
+            self.bump();
+            params.push(Ident(p));
+        }
+        self.expect(TokenKind::Equals)?;
+        self.in_body = true;
+        let body = self.expr();
+        self.in_body = false;
+        let body = body?;
+        self.eat(&TokenKind::Semi);
+        Ok(Def::new(name, params, body))
+    }
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        match self.kind() {
+            TokenKind::Lambda => {
+                self.bump();
+                let param = self.lident("lambda parameter")?;
+                self.expect(TokenKind::Arrow)?;
+                let body = self.expr()?;
+                Ok(Expr::Lam(param, Box::new(body)))
+            }
+            TokenKind::If => {
+                self.bump();
+                let c = self.expr()?;
+                self.expect(TokenKind::Then)?;
+                let t = self.expr()?;
+                self.expect(TokenKind::Else)?;
+                let e = self.expr()?;
+                Ok(Expr::If(Box::new(c), Box::new(t), Box::new(e)))
+            }
+            TokenKind::Let => {
+                self.bump();
+                let x = self.lident("let-bound variable")?;
+                self.expect(TokenKind::Equals)?;
+                let rhs = self.expr()?;
+                self.expect(TokenKind::In)?;
+                let body = self.expr()?;
+                Ok(Expr::Let(x, Box::new(rhs), Box::new(body)))
+            }
+            _ => self.or_expr(),
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Prim(PrimOp::Or, vec![lhs, rhs]);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Prim(PrimOp::And, vec![lhs, rhs]);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, LangError> {
+        let lhs = self.cons_expr()?;
+        let op = match self.kind() {
+            TokenKind::EqEq => PrimOp::Eq,
+            TokenKind::Lt => PrimOp::Lt,
+            TokenKind::Leq => PrimOp::Leq,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.cons_expr()?;
+        Ok(Expr::Prim(op, vec![lhs, rhs]))
+    }
+
+    fn cons_expr(&mut self) -> Result<Expr, LangError> {
+        let head = self.add_expr()?;
+        if self.eat(&TokenKind::Colon) {
+            let tail = self.cons_expr()?; // right-associative
+            Ok(Expr::Prim(PrimOp::Cons, vec![head, tail]))
+        } else {
+            Ok(head)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.kind() {
+                TokenKind::Plus => PrimOp::Add,
+                TokenKind::Minus => PrimOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Prim(op, vec![lhs, rhs]);
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.at_expr()?;
+        loop {
+            let op = match self.kind() {
+                TokenKind::Star => PrimOp::Mul,
+                TokenKind::Slash => PrimOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.at_expr()?;
+            lhs = Expr::Prim(op, vec![lhs, rhs]);
+        }
+    }
+
+    fn at_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.juxta()?;
+        while self.eat(&TokenKind::At) {
+            let rhs = self.juxta()?;
+            lhs = Expr::App(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    /// Juxtaposition level: prefix primitives and named-function calls.
+    fn juxta(&mut self) -> Result<Expr, LangError> {
+        let prefix = match self.kind() {
+            TokenKind::Not => Some(PrimOp::Not),
+            TokenKind::Head => Some(PrimOp::Head),
+            TokenKind::Tail => Some(PrimOp::Tail),
+            TokenKind::Null => Some(PrimOp::Null),
+            _ => None,
+        };
+        if let Some(op) = prefix {
+            self.bump();
+            let arg = self.juxta()?;
+            return Ok(Expr::Prim(op, vec![arg]));
+        }
+
+        // A call head: a bare lower-case identifier or a qualified name.
+        let head_name: Option<CallName> = match self.kind().clone() {
+            TokenKind::LIdent(s) => {
+                self.bump();
+                Some(CallName::unresolved(s))
+            }
+            TokenKind::UIdent(m) => {
+                self.bump();
+                self.expect(TokenKind::Dot)?;
+                let f = self.lident("function name after `.`")?;
+                Some(CallName { module: Some(ModName(m)), name: f })
+            }
+            _ => None,
+        };
+
+        match head_name {
+            Some(name) => {
+                let mut args = Vec::new();
+                while self.starts_atom() {
+                    args.push(self.atom()?);
+                }
+                if args.is_empty() && name.module.is_none() {
+                    // A bare identifier with no arguments is (for now) a
+                    // variable; resolution may turn it into a 0-ary call.
+                    Ok(Expr::Var(name.name))
+                } else {
+                    Ok(Expr::Call(name, args))
+                }
+            }
+            None => self.atom(),
+        }
+    }
+
+    fn starts_atom(&self) -> bool {
+        matches!(
+            self.kind(),
+            TokenKind::Nat(_)
+                | TokenKind::True
+                | TokenKind::False
+                | TokenKind::LIdent(_)
+                | TokenKind::UIdent(_)
+                | TokenKind::LParen
+                | TokenKind::LBracket
+        )
+    }
+
+    fn atom(&mut self) -> Result<Expr, LangError> {
+        match self.kind().clone() {
+            TokenKind::Nat(n) => {
+                self.bump();
+                Ok(Expr::Nat(n))
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(Expr::Bool(true))
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(Expr::Bool(false))
+            }
+            TokenKind::LIdent(s) => {
+                self.bump();
+                Ok(Expr::Var(Ident(s)))
+            }
+            TokenKind::UIdent(m) => {
+                self.bump();
+                self.expect(TokenKind::Dot)?;
+                let f = self.lident("function name after `.`")?;
+                Ok(Expr::Call(CallName { module: Some(ModName(m)), name: f }, vec![]))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let mut elems = Vec::new();
+                if !self.at(&TokenKind::RBracket) {
+                    elems.push(self.expr()?);
+                    while self.eat(&TokenKind::Comma) {
+                        elems.push(self.expr()?);
+                    }
+                }
+                self.expect(TokenKind::RBracket)?;
+                let mut list = Expr::Nil;
+                for e in elems.into_iter().rev() {
+                    list = Expr::Prim(PrimOp::Cons, vec![e, list]);
+                }
+                Ok(list)
+            }
+            other => Err(self.err(&format!("expected an expression, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{CallName, Expr, PrimOp};
+
+    fn e(src: &str) -> Expr {
+        parse_expr(src).unwrap()
+    }
+
+    #[test]
+    fn parses_power_module() {
+        let m = parse_module(
+            "module Power where\n\
+             power n x = if n == 1 then x else x * power (n - 1) x\n",
+        )
+        .unwrap();
+        assert_eq!(m.name.as_str(), "Power");
+        assert!(m.imports.is_empty());
+        assert_eq!(m.defs.len(), 1);
+        let d = &m.defs[0];
+        assert_eq!(d.name.as_str(), "power");
+        assert_eq!(d.params.len(), 2);
+        assert!(matches!(d.body, Expr::If(..)));
+    }
+
+    #[test]
+    fn parses_imports() {
+        let m = parse_module("module Main where\nimport Power\nimport Twice\nmain y = 1\n")
+            .unwrap();
+        assert_eq!(m.imports.len(), 2);
+        assert_eq!(m.imports[0].as_str(), "Power");
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        assert_eq!(
+            e("1 + 2 * 3"),
+            Expr::Prim(
+                PrimOp::Add,
+                vec![Expr::Nat(1), Expr::Prim(PrimOp::Mul, vec![Expr::Nat(2), Expr::Nat(3)])]
+            )
+        );
+    }
+
+    #[test]
+    fn precedence_cmp_over_and() {
+        let expr = e("a == 1 && b < 2");
+        match expr {
+            Expr::Prim(PrimOp::And, args) => {
+                assert!(matches!(args[0], Expr::Prim(PrimOp::Eq, _)));
+                assert!(matches!(args[1], Expr::Prim(PrimOp::Lt, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cons_is_right_associative() {
+        assert_eq!(
+            e("1 : 2 : []"),
+            Expr::Prim(
+                PrimOp::Cons,
+                vec![Expr::Nat(1), Expr::Prim(PrimOp::Cons, vec![Expr::Nat(2), Expr::Nil])]
+            )
+        );
+    }
+
+    #[test]
+    fn sub_is_left_associative() {
+        assert_eq!(
+            e("10 - 3 - 2"),
+            Expr::Prim(
+                PrimOp::Sub,
+                vec![Expr::Prim(PrimOp::Sub, vec![Expr::Nat(10), Expr::Nat(3)]), Expr::Nat(2)]
+            )
+        );
+    }
+
+    #[test]
+    fn at_application_is_left_associative_and_tight() {
+        // f @ x + 1 parses as (f @ x) + 1
+        assert_eq!(
+            e("f @ x + 1"),
+            Expr::Prim(
+                PrimOp::Add,
+                vec![
+                    Expr::App(
+                        Box::new(Expr::Var("f".into())),
+                        Box::new(Expr::Var("x".into()))
+                    ),
+                    Expr::Nat(1)
+                ]
+            )
+        );
+    }
+
+    #[test]
+    fn juxtaposition_builds_calls() {
+        assert_eq!(
+            e("power (n - 1) x"),
+            Expr::Call(
+                CallName::unresolved("power"),
+                vec![
+                    Expr::Prim(PrimOp::Sub, vec![Expr::Var("n".into()), Expr::Nat(1)]),
+                    Expr::Var("x".into())
+                ]
+            )
+        );
+    }
+
+    #[test]
+    fn bare_identifier_is_a_variable() {
+        assert_eq!(e("x"), Expr::Var("x".into()));
+    }
+
+    #[test]
+    fn qualified_zero_arity_call() {
+        assert_eq!(e("Lib.pi"), Expr::Call(CallName::resolved("Lib", "pi"), vec![]));
+    }
+
+    #[test]
+    fn qualified_call_with_args() {
+        assert_eq!(
+            e("Power.power 3 x"),
+            Expr::Call(
+                CallName::resolved("Power", "power"),
+                vec![Expr::Nat(3), Expr::Var("x".into())]
+            )
+        );
+    }
+
+    #[test]
+    fn lambda_and_at() {
+        let expr = e("(\\x -> x + 1) @ 4");
+        match expr {
+            Expr::App(f, a) => {
+                assert!(matches!(*f, Expr::Lam(..)));
+                assert_eq!(*a, Expr::Nat(4));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lambda_body_extends_right() {
+        // \x -> x + 1 is \x -> (x + 1)
+        match e("\\x -> x + 1") {
+            Expr::Lam(_, body) => assert!(matches!(*body, Expr::Prim(PrimOp::Add, _))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prefix_primitives() {
+        assert_eq!(e("null xs"), Expr::Prim(PrimOp::Null, vec![Expr::Var("xs".into())]));
+        assert_eq!(
+            e("head tail xs"),
+            Expr::Prim(
+                PrimOp::Head,
+                vec![Expr::Prim(PrimOp::Tail, vec![Expr::Var("xs".into())])]
+            )
+        );
+        assert_eq!(
+            e("not b && c"),
+            Expr::Prim(
+                PrimOp::And,
+                vec![Expr::Prim(PrimOp::Not, vec![Expr::Var("b".into())]), Expr::Var("c".into())]
+            )
+        );
+    }
+
+    #[test]
+    fn list_literal_desugars_to_cons() {
+        assert_eq!(e("[1, 2]"), e("1 : 2 : []"));
+        assert_eq!(e("[]"), Expr::Nil);
+    }
+
+    #[test]
+    fn let_expression() {
+        assert_eq!(
+            e("let y = 2 in y * y"),
+            Expr::Let(
+                "y".into(),
+                Box::new(Expr::Nat(2)),
+                Box::new(Expr::Prim(PrimOp::Mul, vec![Expr::Var("y".into()), Expr::Var("y".into())]))
+            )
+        );
+    }
+
+    #[test]
+    fn if_branches_allow_nested_ifs() {
+        let expr = e("if a then if b then 1 else 2 else 3");
+        match expr {
+            Expr::If(_, t, e2) => {
+                assert!(matches!(*t, Expr::If(..)));
+                assert_eq!(*e2, Expr::Nat(3));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn layout_terminates_definitions() {
+        let m = parse_module("module M where\nf x = x + 1\ng y = y * 2\n").unwrap();
+        assert_eq!(m.defs.len(), 2);
+        assert_eq!(m.defs[0].name.as_str(), "f");
+        assert_eq!(m.defs[1].name.as_str(), "g");
+    }
+
+    #[test]
+    fn indented_continuation_lines_join() {
+        let m = parse_module("module M where\nf x = x +\n  1\n").unwrap();
+        assert_eq!(m.defs.len(), 1);
+        assert!(matches!(m.defs[0].body, Expr::Prim(PrimOp::Add, _)));
+    }
+
+    #[test]
+    fn semicolons_also_separate_defs() {
+        let m = parse_module("module M where\nf x = x + 1; g y = y\n").unwrap();
+        assert_eq!(m.defs.len(), 2);
+    }
+
+    #[test]
+    fn parse_program_with_multiple_modules() {
+        let p = parse_program(
+            "module A where\nf x = x\nmodule B where\nimport A\ng y = f y\n",
+        )
+        .unwrap();
+        assert_eq!(p.modules.len(), 2);
+        assert_eq!(p.modules[1].imports[0].as_str(), "A");
+    }
+
+    #[test]
+    fn error_on_missing_equals() {
+        assert!(matches!(
+            parse_module("module M where\nf x x + 1\n"),
+            Err(LangError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn error_on_trailing_garbage_in_module() {
+        assert!(parse_module("module M where\nf x = 1\n)").is_err());
+    }
+
+    #[test]
+    fn error_on_unclosed_paren() {
+        assert!(matches!(parse_expr("(1 + 2"), Err(LangError::Parse { .. })));
+    }
+
+    #[test]
+    fn error_message_names_expected_token() {
+        let err = parse_expr("if 1 then 2").unwrap_err();
+        assert!(err.to_string().contains("`else`"), "{err}");
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let m = parse_module(
+            "module M where\n-- the identity\nf x = x -- trailing\n",
+        )
+        .unwrap();
+        assert_eq!(m.defs.len(), 1);
+    }
+
+    #[test]
+    fn garbage_inputs_error_but_never_panic() {
+        let cases = [
+            "", "module", "module m where", "module M", "module M where f",
+            "module M where f =", "module M where f x = (", "@", "\\", "if then",
+            "module M where f x = x +", "module M where f x = \\ ->",
+            "module M where import", "module M where f x = [1, ",
+            "module M where f x = M.", "module M where f x = 1 : ",
+            ")( ][", "module M where f x = let y in x",
+        ];
+        for c in cases {
+            let _ = parse_program(c); // must return, Ok or Err
+        }
+    }
+
+    #[test]
+    fn deeply_nested_expressions_parse() {
+        let mut e = String::from("1");
+        for _ in 0..200 {
+            e = format!("({e} + 1)");
+        }
+        let src = format!("module M where\nf = {e}\n");
+        assert!(parse_module(&src).is_ok());
+    }
+
+    #[test]
+    fn paper_section5_program_parses() {
+        let p = parse_program(
+            "module Power where\n\
+             power n x = if n == 1 then x else x * power (n - 1) x\n\
+             module Twice where\n\
+             twice f x = f @ (f @ x)\n\
+             module Main where\n\
+             import Power\n\
+             import Twice\n\
+             main y = twice (\\x -> power 3 x) y\n",
+        )
+        .unwrap();
+        assert_eq!(p.modules.len(), 3);
+        let main = p.module("Main").unwrap();
+        assert_eq!(main.imports.len(), 2);
+        assert!(matches!(main.defs[0].body, Expr::Call(_, _)));
+    }
+}

@@ -1,0 +1,305 @@
+//! Pretty-printer producing parseable concrete syntax.
+//!
+//! The printer is the inverse of [`crate::parser`]: for every resolved
+//! program `p`, parsing `pretty_program(&p)` and resolving again yields
+//! `p` back (this is checked by property tests). It is used to emit
+//! residual modules and to measure source sizes consistently (the same
+//! printer measures both original and generated code, so size ratios are
+//! meaningful).
+
+use crate::ast::{CallName, Def, Expr, ModName, Module, PrimOp, Program};
+use std::fmt::Write as _;
+
+/// Precedence levels, mirroring the parser.
+///
+/// Larger numbers bind tighter. An expression is parenthesised when its
+/// own level is lower than the level its context requires.
+mod prec {
+    pub const TOP: u8 = 0; // if / lambda / let live here
+    pub const OR: u8 = 1;
+    pub const AND: u8 = 2;
+    pub const CMP: u8 = 3;
+    pub const CONS: u8 = 4;
+    pub const ADD: u8 = 5;
+    pub const MUL: u8 = 6;
+    pub const AT: u8 = 7;
+    pub const JUXTA: u8 = 8;
+    pub const ATOM: u8 = 9;
+}
+
+/// Pretty-prints an expression.
+///
+/// Calls are printed qualified (`M.f`) unless their defining module is
+/// `home` (pass `None` to qualify everything resolvable).
+pub fn pretty_expr(e: &Expr, home: Option<&ModName>) -> String {
+    let mut s = String::new();
+    go(e, prec::TOP, home, &mut s);
+    s
+}
+
+/// Pretty-prints a definition as `name p1 … pn = body`, wrapping the body
+/// onto an indented continuation line when it is long.
+pub fn pretty_def(d: &Def, home: Option<&ModName>) -> String {
+    let mut head = String::new();
+    let _ = write!(head, "{}", d.name);
+    for p in &d.params {
+        let _ = write!(head, " {p}");
+    }
+    head.push_str(" =");
+    let body = pretty_expr(&d.body, home);
+    if head.len() + 1 + body.len() <= 100 {
+        format!("{head} {body}")
+    } else {
+        format!("{head}\n  {body}")
+    }
+}
+
+/// Pretty-prints a whole module in parseable form.
+pub fn pretty_module(m: &Module) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "module {} where", m.name);
+    for i in &m.imports {
+        let _ = writeln!(s, "import {i}");
+    }
+    if !m.imports.is_empty() && !m.defs.is_empty() {
+        s.push('\n');
+    }
+    for d in &m.defs {
+        let _ = writeln!(s, "{}", pretty_def(d, Some(&m.name)));
+    }
+    s
+}
+
+/// Pretty-prints a whole program, modules separated by blank lines.
+pub fn pretty_program(p: &Program) -> String {
+    let mut out = String::new();
+    for (i, m) in p.modules.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&pretty_module(m));
+    }
+    out
+}
+
+/// Counts the non-blank source lines of a pretty-printed program — the
+/// size metric used by the paper-style size experiments.
+pub fn source_lines(p: &Program) -> usize {
+    pretty_program(p).lines().filter(|l| !l.trim().is_empty()).count()
+}
+
+fn prim_level(op: PrimOp) -> (u8, u8, u8) {
+    // (own level, left operand level, right operand level)
+    match op {
+        PrimOp::Or => (prec::OR, prec::OR, prec::AND),
+        PrimOp::And => (prec::AND, prec::AND, prec::CMP),
+        PrimOp::Eq | PrimOp::Lt | PrimOp::Leq => (prec::CMP, prec::CONS, prec::CONS),
+        PrimOp::Cons => (prec::CONS, prec::ADD, prec::CONS),
+        PrimOp::Add | PrimOp::Sub => (prec::ADD, prec::ADD, prec::MUL),
+        PrimOp::Mul | PrimOp::Div => (prec::MUL, prec::MUL, prec::AT),
+        PrimOp::Not | PrimOp::Head | PrimOp::Tail | PrimOp::Null => {
+            (prec::JUXTA, prec::JUXTA, prec::JUXTA)
+        }
+    }
+}
+
+fn call_name(c: &CallName, home: Option<&ModName>) -> String {
+    match (&c.module, home) {
+        (Some(m), Some(h)) if m == h => c.name.to_string(),
+        (Some(m), _) => format!("{}.{}", m, c.name),
+        (None, _) => c.name.to_string(),
+    }
+}
+
+fn go(e: &Expr, required: u8, home: Option<&ModName>, out: &mut String) {
+    let level = level_of(e);
+    let need_parens = level < required;
+    if need_parens {
+        out.push('(');
+    }
+    match e {
+        Expr::Nat(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Expr::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Expr::Nil => out.push_str("[]"),
+        Expr::Var(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Expr::Prim(op, args) if op.is_infix() => {
+            let (_, ll, rl) = prim_level(*op);
+            go(&args[0], ll, home, out);
+            let _ = write!(out, " {} ", op.symbol());
+            go(&args[1], rl, home, out);
+        }
+        Expr::Prim(op, args) => {
+            let _ = write!(out, "{} ", op.symbol());
+            go(&args[0], prec::JUXTA, home, out);
+        }
+        Expr::If(c, t, f) => {
+            out.push_str("if ");
+            go(c, prec::TOP, home, out);
+            out.push_str(" then ");
+            go(t, prec::TOP, home, out);
+            out.push_str(" else ");
+            go(f, prec::TOP, home, out);
+        }
+        Expr::Call(name, args) => {
+            out.push_str(&call_name(name, home));
+            for a in args {
+                out.push(' ');
+                go(a, prec::ATOM, home, out);
+            }
+        }
+        Expr::Lam(x, body) => {
+            let _ = write!(out, "\\{x} -> ");
+            go(body, prec::TOP, home, out);
+        }
+        Expr::App(f, a) => {
+            go(f, prec::AT, home, out);
+            out.push_str(" @ ");
+            go(a, prec::JUXTA, home, out);
+        }
+        Expr::Let(x, rhs, body) => {
+            let _ = write!(out, "let {x} = ");
+            go(rhs, prec::TOP, home, out);
+            out.push_str(" in ");
+            go(body, prec::TOP, home, out);
+        }
+    }
+    if need_parens {
+        out.push(')');
+    }
+}
+
+fn level_of(e: &Expr) -> u8 {
+    match e {
+        Expr::Nat(_) | Expr::Bool(_) | Expr::Nil | Expr::Var(_) => prec::ATOM,
+        Expr::Prim(op, _) => prim_level(*op).0,
+        Expr::If(..) | Expr::Lam(..) | Expr::Let(..) => prec::TOP,
+        Expr::Call(_, args) => {
+            if args.is_empty() {
+                prec::ATOM
+            } else {
+                prec::JUXTA
+            }
+        }
+        Expr::App(..) => prec::AT,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_module, parse_program};
+
+    fn roundtrip_expr(src: &str) {
+        let e = parse_expr(src).unwrap();
+        let printed = pretty_expr(&e, None);
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("reparse of `{printed}` failed: {err}"));
+        assert_eq!(e, reparsed, "printed as `{printed}`");
+    }
+
+    #[test]
+    fn roundtrips_arithmetic() {
+        roundtrip_expr("1 + 2 * 3");
+        roundtrip_expr("(1 + 2) * 3");
+        roundtrip_expr("10 - 3 - 2");
+        roundtrip_expr("10 - (3 - 2)");
+        roundtrip_expr("1 + 2 - 3 + 4");
+    }
+
+    #[test]
+    fn roundtrips_comparisons_and_logic() {
+        roundtrip_expr("a == 1 && b < 2 || c <= 3");
+        roundtrip_expr("not (a == 1)");
+        roundtrip_expr("not a && b");
+    }
+
+    #[test]
+    fn roundtrips_lists() {
+        roundtrip_expr("1 : 2 : []");
+        roundtrip_expr("(1 : []) : []");
+        roundtrip_expr("head xs : tail xs");
+        roundtrip_expr("null (tail xs)");
+    }
+
+    #[test]
+    fn roundtrips_lambdas_and_apps() {
+        roundtrip_expr("(\\x -> x + 1) @ 4");
+        roundtrip_expr("f @ x @ y");
+        roundtrip_expr("f @ (g @ x)");
+        roundtrip_expr("\\x -> \\y -> x");
+    }
+
+    #[test]
+    fn roundtrips_calls() {
+        roundtrip_expr("power (n - 1) x");
+        roundtrip_expr("M.f (g @ x) 3");
+        roundtrip_expr("f (h 1) (i 2 3)");
+    }
+
+    #[test]
+    fn roundtrips_if_and_let() {
+        roundtrip_expr("if a then 1 else 2");
+        roundtrip_expr("(if a then 1 else 2) + 3");
+        roundtrip_expr("let x = 1 in x + x");
+        roundtrip_expr("1 + (let x = 1 in x)");
+    }
+
+    #[test]
+    fn qualification_respects_home_module() {
+        let e = parse_expr("Power.power 3 x").unwrap();
+        assert_eq!(pretty_expr(&e, Some(&ModName::new("Power"))), "power 3 x");
+        assert_eq!(pretty_expr(&e, Some(&ModName::new("Main"))), "Power.power 3 x");
+        assert_eq!(pretty_expr(&e, None), "Power.power 3 x");
+    }
+
+    #[test]
+    fn module_roundtrip() {
+        let src = "module Power where\npower n x = if n == 1 then x else x * power (n - 1) x\n";
+        let m = parse_module(src).unwrap();
+        let printed = pretty_module(&m);
+        let reparsed = parse_module(&printed).unwrap();
+        assert_eq!(m, reparsed, "printed:\n{printed}");
+    }
+
+    #[test]
+    fn program_roundtrip_with_imports() {
+        let src = "module A where\nf x = x + 1\nmodule B where\nimport A\ng y = f y\n";
+        let p = parse_program(src).unwrap();
+        let printed = pretty_program(&p);
+        let reparsed = parse_program(&printed).unwrap();
+        assert_eq!(p, reparsed, "printed:\n{printed}");
+    }
+
+    #[test]
+    fn long_bodies_wrap_and_still_parse() {
+        let body = (0..30).map(|i| format!("x{i}")).collect::<Vec<_>>().join(" + ");
+        let src = format!("module M where\nf {} = {}\n", (0..30).map(|i| format!("x{i}")).collect::<Vec<_>>().join(" "), body);
+        let m = parse_module(&src).unwrap();
+        let printed = pretty_module(&m);
+        assert!(printed.lines().count() > 2, "{printed}");
+        assert_eq!(parse_module(&printed).unwrap(), m);
+    }
+
+    #[test]
+    fn source_lines_ignores_blanks() {
+        let p = parse_program("module A where\nf x = x\n\n\nmodule B where\ng y = y\n").unwrap();
+        assert_eq!(source_lines(&p), 4);
+    }
+
+    #[test]
+    fn zero_arity_call_prints_as_bare_name() {
+        let p = parse_program("module A where\nc = 42\ng y = y + c\n").unwrap();
+        let rp = crate::resolve::resolve(p).unwrap();
+        let printed = pretty_program(rp.program());
+        assert!(printed.contains("y + c"), "{printed}");
+        let reparsed = parse_program(&printed).unwrap();
+        let rp2 = crate::resolve::resolve(reparsed).unwrap();
+        assert_eq!(rp.program(), rp2.program());
+    }
+}

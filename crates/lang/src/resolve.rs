@@ -1,0 +1,428 @@
+//! Name and arity resolution.
+//!
+//! Turns parsed modules into a [`ResolvedProgram`]: every named-function
+//! call gets a fully qualified target, every call is checked to be fully
+//! applied (as the paper requires), and scoping rules are enforced —
+//! a module sees its own definitions plus those of its *direct* imports.
+
+use crate::ast::{CallName, Def, Expr, Ident, ModName, Module, Program, QualName};
+use crate::error::LangError;
+use crate::modgraph::ModGraph;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A program whose calls are all resolved and arity-checked, together
+/// with its validated import graph.
+#[derive(Debug, Clone)]
+pub struct ResolvedProgram {
+    program: Program,
+    graph: ModGraph,
+    arities: BTreeMap<QualName, usize>,
+}
+
+impl ResolvedProgram {
+    /// The underlying program (all call targets resolved).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The validated import graph.
+    pub fn graph(&self) -> &ModGraph {
+        &self.graph
+    }
+
+    /// The arity of a top-level function, if it exists.
+    pub fn arity(&self, q: &QualName) -> Option<usize> {
+        self.arities.get(q).copied()
+    }
+
+    /// Looks up a definition.
+    pub fn def(&self, q: &QualName) -> Option<&Def> {
+        self.program.def(q)
+    }
+
+    /// All qualified function names, in deterministic order.
+    pub fn functions(&self) -> impl Iterator<Item = &QualName> {
+        self.arities.keys()
+    }
+
+    /// Consumes the resolved program, returning the underlying [`Program`].
+    pub fn into_program(self) -> Program {
+        self.program
+    }
+}
+
+/// Resolves a collection of modules into a [`ResolvedProgram`].
+///
+/// # Errors
+///
+/// All variants of [`LangError`] except lexing/parsing errors can occur:
+/// duplicate modules or definitions, missing or cyclic imports, unbound
+/// or ambiguous names, partial applications, and juxtaposition applied
+/// to a local variable.
+pub fn resolve_program(modules: Vec<Module>) -> Result<ResolvedProgram, LangError> {
+    let program = Program::new(modules);
+    let graph = ModGraph::new(&program)?;
+
+    // Collect arities; detect duplicate definitions.
+    let mut arities: BTreeMap<QualName, usize> = BTreeMap::new();
+    for m in &program.modules {
+        let mut seen: BTreeSet<&Ident> = BTreeSet::new();
+        for d in &m.defs {
+            if !seen.insert(&d.name) {
+                return Err(LangError::DuplicateDef {
+                    module: m.name.clone(),
+                    name: d.name.clone(),
+                });
+            }
+            arities.insert(QualName { module: m.name.clone(), name: d.name.clone() }, d.arity());
+        }
+    }
+
+    // Per-module scope: name -> candidate defining modules.
+    let mut resolved_modules = Vec::with_capacity(program.modules.len());
+    for m in &program.modules {
+        let scope = module_scope(&program, m);
+        let mut defs = Vec::with_capacity(m.defs.len());
+        for d in &m.defs {
+            let locals: Vec<Ident> = d.params.clone();
+            let body = resolve_expr(&d.body, &m.name, &scope, &arities, &locals)?;
+            defs.push(Def::new(d.name.clone(), d.params.clone(), body));
+        }
+        resolved_modules.push(Module::new(m.name.clone(), m.imports.clone(), defs));
+    }
+
+    Ok(ResolvedProgram { program: Program::new(resolved_modules), graph, arities })
+}
+
+/// Re-resolves an already-constructed program (e.g. a residual program or
+/// one built with [`crate::builder`]).
+///
+/// # Errors
+///
+/// Same as [`resolve_program`].
+pub fn resolve(program: Program) -> Result<ResolvedProgram, LangError> {
+    resolve_program(program.modules)
+}
+
+/// The names visible in `m`: its own definitions plus the definitions of
+/// its direct imports.
+fn module_scope<'p>(program: &'p Program, m: &'p Module) -> BTreeMap<&'p Ident, Vec<&'p ModName>> {
+    let mut scope: BTreeMap<&Ident, Vec<&ModName>> = BTreeMap::new();
+    for d in &m.defs {
+        scope.entry(&d.name).or_default().push(&m.name);
+    }
+    for imp in &m.imports {
+        if let Some(im) = program.module(imp.as_str()) {
+            for d in &im.defs {
+                scope.entry(&d.name).or_default().push(&im.name);
+            }
+        }
+    }
+    scope
+}
+
+fn resolve_expr(
+    e: &Expr,
+    here: &ModName,
+    scope: &BTreeMap<&Ident, Vec<&ModName>>,
+    arities: &BTreeMap<QualName, usize>,
+    locals: &[Ident],
+) -> Result<Expr, LangError> {
+    match e {
+        Expr::Nat(_) | Expr::Bool(_) | Expr::Nil => Ok(e.clone()),
+        Expr::Var(x) => {
+            if locals.contains(x) {
+                return Ok(e.clone());
+            }
+            // A bare identifier that names a top-level function is a
+            // zero-arity call; higher arities must be fully applied.
+            let target = lookup(x, here, scope)?;
+            let q = QualName { module: target, name: x.clone() };
+            let arity = arities[&q];
+            if arity == 0 {
+                Ok(Expr::Call(q.into(), vec![]))
+            } else {
+                Err(LangError::PartialApplication {
+                    module: here.clone(),
+                    name: x.clone(),
+                    expected: arity,
+                    found: 0,
+                })
+            }
+        }
+        Expr::Prim(op, args) => {
+            let args = args
+                .iter()
+                .map(|a| resolve_expr(a, here, scope, arities, locals))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Expr::Prim(*op, args))
+        }
+        Expr::If(c, t, f) => Ok(Expr::If(
+            Box::new(resolve_expr(c, here, scope, arities, locals)?),
+            Box::new(resolve_expr(t, here, scope, arities, locals)?),
+            Box::new(resolve_expr(f, here, scope, arities, locals)?),
+        )),
+        Expr::Call(name, args) => {
+            if name.module.is_none() && locals.contains(&name.name) && !args.is_empty() {
+                return Err(LangError::VarApplied {
+                    module: here.clone(),
+                    name: name.name.clone(),
+                });
+            }
+            let q = match &name.module {
+                Some(explicit) => {
+                    let q = QualName { module: explicit.clone(), name: name.name.clone() };
+                    // A qualified name must refer to this module or a
+                    // direct import, and must exist there.
+                    let visible = scope
+                        .get(&name.name)
+                        .is_some_and(|cands| cands.contains(&explicit));
+                    if !visible || !arities.contains_key(&q) {
+                        return Err(LangError::UnboundName {
+                            module: here.clone(),
+                            name: name.name.clone(),
+                        });
+                    }
+                    q
+                }
+                None => QualName {
+                    module: lookup(&name.name, here, scope)?,
+                    name: name.name.clone(),
+                },
+            };
+            let arity = arities[&q];
+            if arity != args.len() {
+                return Err(LangError::PartialApplication {
+                    module: here.clone(),
+                    name: name.name.clone(),
+                    expected: arity,
+                    found: args.len(),
+                });
+            }
+            let args = args
+                .iter()
+                .map(|a| resolve_expr(a, here, scope, arities, locals))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Expr::Call(CallName::from(q), args))
+        }
+        Expr::Lam(x, body) => {
+            let mut locals2 = locals.to_vec();
+            locals2.push(x.clone());
+            Ok(Expr::Lam(
+                x.clone(),
+                Box::new(resolve_expr(body, here, scope, arities, &locals2)?),
+            ))
+        }
+        Expr::App(f, a) => Ok(Expr::App(
+            Box::new(resolve_expr(f, here, scope, arities, locals)?),
+            Box::new(resolve_expr(a, here, scope, arities, locals)?),
+        )),
+        Expr::Let(x, rhs, body) => {
+            let rhs = resolve_expr(rhs, here, scope, arities, locals)?;
+            let mut locals2 = locals.to_vec();
+            locals2.push(x.clone());
+            Ok(Expr::Let(
+                x.clone(),
+                Box::new(rhs),
+                Box::new(resolve_expr(body, here, scope, arities, &locals2)?),
+            ))
+        }
+    }
+}
+
+fn lookup(
+    name: &Ident,
+    here: &ModName,
+    scope: &BTreeMap<&Ident, Vec<&ModName>>,
+) -> Result<ModName, LangError> {
+    match scope.get(name) {
+        None => Err(LangError::UnboundName { module: here.clone(), name: name.clone() }),
+        Some(cands) => {
+            // A local definition shadows imports.
+            if cands.contains(&here) {
+                return Ok(here.clone());
+            }
+            let uniq: BTreeSet<&&ModName> = cands.iter().collect();
+            if uniq.len() == 1 {
+                Ok((*cands[0]).clone())
+            } else {
+                Err(LangError::AmbiguousName {
+                    module: here.clone(),
+                    name: name.clone(),
+                    candidates: uniq.into_iter().map(|m| (*m).clone()).collect(),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_module, parse_program};
+
+    fn resolve_src(src: &str) -> Result<ResolvedProgram, LangError> {
+        resolve_program(parse_program(src).unwrap().modules)
+    }
+
+    #[test]
+    fn resolves_local_recursive_call() {
+        let rp = resolve_src(
+            "module Power where\npower n x = if n == 1 then x else x * power (n - 1) x\n",
+        )
+        .unwrap();
+        let d = rp.def(&QualName::new("Power", "power")).unwrap();
+        let calls = d.body.called_functions();
+        assert_eq!(calls, vec![QualName::new("Power", "power")]);
+    }
+
+    #[test]
+    fn resolves_cross_module_call() {
+        let rp = resolve_src(
+            "module A where\nf x = x + 1\nmodule B where\nimport A\ng y = f y\n",
+        )
+        .unwrap();
+        let d = rp.def(&QualName::new("B", "g")).unwrap();
+        assert_eq!(d.body.called_functions(), vec![QualName::new("A", "f")]);
+    }
+
+    #[test]
+    fn local_definition_shadows_import() {
+        let rp = resolve_src(
+            "module A where\nf x = x\nmodule B where\nimport A\nf x = x + 1\ng y = f y\n",
+        )
+        .unwrap();
+        let d = rp.def(&QualName::new("B", "g")).unwrap();
+        assert_eq!(d.body.called_functions(), vec![QualName::new("B", "f")]);
+    }
+
+    #[test]
+    fn ambiguous_import_is_an_error() {
+        let err = resolve_src(
+            "module A where\nf x = x\nmodule B where\nf x = x\nmodule C where\nimport A\nimport B\ng y = f y\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, LangError::AmbiguousName { .. }), "{err}");
+    }
+
+    #[test]
+    fn unbound_name_is_an_error() {
+        let err = resolve_src("module A where\ng y = f y\n").unwrap_err();
+        assert!(matches!(err, LangError::UnboundName { .. }), "{err}");
+    }
+
+    #[test]
+    fn no_transitive_visibility() {
+        // C imports B which imports A; A.f is not visible in C.
+        let err = resolve_src(
+            "module A where\nf x = x\nmodule B where\nimport A\ng y = f y\nmodule C where\nimport B\nh z = f z\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, LangError::UnboundName { .. }), "{err}");
+    }
+
+    #[test]
+    fn arity_mismatch_is_partial_application() {
+        let err = resolve_src("module A where\nf x y = x\ng z = f z\n").unwrap_err();
+        assert!(
+            matches!(err, LangError::PartialApplication { expected: 2, found: 1, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn bare_function_reference_is_partial_application() {
+        let err = resolve_src("module A where\nf x = x\ng = f\n").unwrap_err();
+        assert!(
+            matches!(err, LangError::PartialApplication { expected: 1, found: 0, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn zero_arity_reference_becomes_call() {
+        let rp = resolve_src("module A where\nc = 42\ng y = y + c\n").unwrap();
+        let d = rp.def(&QualName::new("A", "g")).unwrap();
+        assert_eq!(d.body.called_functions(), vec![QualName::new("A", "c")]);
+    }
+
+    #[test]
+    fn variable_applied_by_juxtaposition_is_an_error() {
+        let err = resolve_src("module A where\ntwice f x = f x\n").unwrap_err();
+        assert!(matches!(err, LangError::VarApplied { .. }), "{err}");
+    }
+
+    #[test]
+    fn variable_applied_with_at_is_fine() {
+        let rp = resolve_src("module A where\ntwice f x = f @ (f @ x)\n");
+        assert!(rp.is_ok(), "{rp:?}");
+    }
+
+    #[test]
+    fn lambda_parameter_shadows_function() {
+        // Inside the lambda, `f` is the parameter, not A.f.
+        let rp = resolve_src(
+            "module A where\nf x = x\napply g v = g @ v\nh y = apply (\\f -> f + 1) y\n",
+        )
+        .unwrap();
+        let d = rp.def(&QualName::new("A", "h")).unwrap();
+        assert_eq!(d.body.called_functions(), vec![QualName::new("A", "apply")]);
+    }
+
+    #[test]
+    fn let_binding_shadows_function() {
+        let rp = resolve_src("module A where\nc = 1\ng y = let c = y in c + 2\n").unwrap();
+        let d = rp.def(&QualName::new("A", "g")).unwrap();
+        assert!(d.body.called_functions().is_empty());
+    }
+
+    #[test]
+    fn duplicate_definitions_rejected() {
+        let err = resolve_src("module A where\nf x = x\nf y = y\n").unwrap_err();
+        assert!(matches!(err, LangError::DuplicateDef { .. }), "{err}");
+    }
+
+    #[test]
+    fn qualified_call_to_direct_import() {
+        let rp = resolve_src(
+            "module A where\nf x = x\nmodule B where\nimport A\ng y = A.f y\n",
+        )
+        .unwrap();
+        let d = rp.def(&QualName::new("B", "g")).unwrap();
+        assert_eq!(d.body.called_functions(), vec![QualName::new("A", "f")]);
+    }
+
+    #[test]
+    fn qualified_call_to_non_import_is_unbound() {
+        let err = resolve_src(
+            "module A where\nf x = x\nmodule B where\ng y = A.f y\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, LangError::UnboundName { .. }), "{err}");
+    }
+
+    #[test]
+    fn qualified_call_arity_checked() {
+        let err = resolve_src(
+            "module A where\nf x y = x\nmodule B where\nimport A\ng z = A.f z\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, LangError::PartialApplication { .. }), "{err}");
+    }
+
+    #[test]
+    fn arities_exposed() {
+        let rp = resolve_src("module A where\nf x y = x\nc = 1\n").unwrap();
+        assert_eq!(rp.arity(&QualName::new("A", "f")), Some(2));
+        assert_eq!(rp.arity(&QualName::new("A", "c")), Some(0));
+        assert_eq!(rp.arity(&QualName::new("A", "missing")), None);
+        assert_eq!(rp.functions().count(), 2);
+    }
+
+    #[test]
+    fn single_module_roundtrip() {
+        let m = parse_module("module M where\nid x = x\n").unwrap();
+        let rp = resolve_program(vec![m]).unwrap();
+        assert!(rp.def(&QualName::new("M", "id")).is_some());
+    }
+}

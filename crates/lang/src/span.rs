@@ -1,0 +1,106 @@
+//! Source positions and spans for error reporting.
+//!
+//! The AST itself is kept free of spans (the specialiser transforms
+//! programs wholesale and residual programs have no meaningful source
+//! locations); spans appear only in tokens and in the errors produced by
+//! the lexer, parser and resolver.
+
+use std::fmt;
+
+/// A position in a source text: 1-based line and column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Pos {
+    /// The first position of any source text.
+    pub const START: Pos = Pos { line: 1, col: 1 };
+
+    /// Creates a position from 1-based line and column numbers.
+    pub fn new(line: u32, col: u32) -> Pos {
+        Pos { line, col }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+impl Default for Pos {
+    fn default() -> Self {
+        Pos::START
+    }
+}
+
+/// A half-open region of source text, `start` inclusive to `end` exclusive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// First position covered by the span.
+    pub start: Pos,
+    /// First position after the span.
+    pub end: Pos,
+}
+
+impl Span {
+    /// Creates a span covering `start..end`.
+    pub fn new(start: Pos, end: Pos) -> Span {
+        Span { start, end }
+    }
+
+    /// A zero-width span at a single position.
+    pub fn point(pos: Pos) -> Span {
+        Span { start: pos, end: pos }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pos_display_is_line_colon_col() {
+        assert_eq!(Pos::new(3, 7).to_string(), "3:7");
+    }
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(Pos::new(1, 1), Pos::new(1, 5));
+        let b = Span::new(Pos::new(2, 3), Pos::new(2, 9));
+        let m = a.merge(b);
+        assert_eq!(m.start, Pos::new(1, 1));
+        assert_eq!(m.end, Pos::new(2, 9));
+    }
+
+    #[test]
+    fn span_merge_is_commutative() {
+        let a = Span::new(Pos::new(1, 1), Pos::new(1, 5));
+        let b = Span::new(Pos::new(2, 3), Pos::new(2, 9));
+        assert_eq!(a.merge(b), b.merge(a));
+    }
+
+    #[test]
+    fn point_span_is_empty() {
+        let p = Span::point(Pos::new(4, 2));
+        assert_eq!(p.start, p.end);
+    }
+}

@@ -1,0 +1,71 @@
+//! Errors from the baseline specialisers.
+
+use mspec_bta::BtaError;
+use mspec_genext::SpecError;
+use mspec_lang::LangError;
+use mspec_types::TypeError;
+use std::error::Error;
+use std::fmt;
+
+/// Any error raised by a baseline specialisation session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MixError {
+    /// Parse/resolution failure (mix re-reads source every session).
+    Lang(LangError),
+    /// Type checking failure.
+    Type(TypeError),
+    /// Binding-time analysis failure.
+    Bta(BtaError),
+    /// Specialisation failure (shares the engine's error vocabulary).
+    Spec(SpecError),
+}
+
+impl fmt::Display for MixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MixError::Lang(e) => write!(f, "{e}"),
+            MixError::Type(e) => write!(f, "{e}"),
+            MixError::Bta(e) => write!(f, "{e}"),
+            MixError::Spec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for MixError {}
+
+impl From<LangError> for MixError {
+    fn from(e: LangError) -> Self {
+        MixError::Lang(e)
+    }
+}
+
+impl From<TypeError> for MixError {
+    fn from(e: TypeError) -> Self {
+        MixError::Type(e)
+    }
+}
+
+impl From<BtaError> for MixError {
+    fn from(e: BtaError) -> Self {
+        MixError::Bta(e)
+    }
+}
+
+impl From<SpecError> for MixError {
+    fn from(e: SpecError) -> Self {
+        MixError::Spec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_work() {
+        let e: MixError = SpecError::FuelExhausted.into();
+        assert!(e.to_string().contains("fuel"));
+        fn takes<E: Error>(_: E) {}
+        takes(e);
+    }
+}

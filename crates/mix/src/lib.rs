@@ -1,0 +1,26 @@
+//! Baseline specialisers the paper compares against.
+//!
+//! * [`mix`] — **monolithic mix**: the "today's specialisers" baseline
+//!   (§1, §4). Every specialisation session takes the *whole program
+//!   source*, parses it, resolves it, type checks it and binding-time
+//!   analyses it, then specialises by interpreting the annotated syntax
+//!   tree with name-keyed environments — i.e. it pays, per session,
+//!   everything the generating-extension approach paid once, and its
+//!   inner loop re-inspects source structure that a genext has compiled
+//!   away. The residual program comes out as one monolithic module.
+//!   A *monovariant* mode merges all binding-time uses of a function
+//!   into one (the §4.1 ablation).
+//! * [`similix`] — **Similix-style extern handling** (§1): imported
+//!   functions are treated like primitives — fully reduced when all
+//!   arguments are static, otherwise left as residual calls to the
+//!   *unspecialised* originals, which are copied verbatim into the
+//!   output. This shows what is lost without module-sensitive
+//!   specialisation.
+
+pub mod error;
+pub mod mix;
+pub mod similix;
+
+pub use error::MixError;
+pub use mix::{mix_specialise, mix_specialise_program, MixOptions, MixOutcome, MixPhases, MixStats};
+pub use similix::{similix_specialise, SimilixOutcome};

@@ -1,0 +1,154 @@
+//! Similix-style treatment of imported functions (§1).
+//!
+//! "Calls to functions defined in another module are regarded as
+//! primitive calls … Calls to such functions are either fully reduced,
+//! when all arguments are available at specialisation time, or otherwise
+//! left unchanged. Thus such functions are never specialised."
+//!
+//! [`similix_specialise`] runs the mix interpreter in exactly that mode:
+//! within the entry function's module specialisation proceeds normally,
+//! but every cross-module call either computes (all-static arguments) or
+//! survives as a residual call to the *unspecialised original*, whose
+//! definition (and everything it reaches) is copied verbatim into the
+//! residual program. Comparing the result against the module-sensitive
+//! residual is ablation E7.
+
+use crate::error::MixError;
+use crate::mix::{MixInterp, MixOptions, MixStats};
+use mspec_bta::analyse::analyse_program;
+use mspec_genext::{ResidualProgram, SpecArg};
+use mspec_lang::ast::{Program, QualName};
+use mspec_lang::parser::parse_program;
+use mspec_lang::resolve::resolve;
+use mspec_types::infer_program;
+
+/// The result of a Similix-extern session.
+#[derive(Debug, Clone)]
+pub struct SimilixOutcome {
+    /// The residual program: a `Spec` module plus verbatim copies of the
+    /// library functions that were left unspecialised.
+    pub residual: ResidualProgram,
+    /// Session counters.
+    pub stats: MixStats,
+    /// How many distinct imported functions were left as extern residual
+    /// calls.
+    pub extern_calls: usize,
+}
+
+/// Runs a Similix-extern specialisation session from source.
+///
+/// # Errors
+///
+/// Any stage's error.
+pub fn similix_specialise(
+    src: &str,
+    module: &str,
+    function: &str,
+    args: Vec<SpecArg>,
+    options: MixOptions,
+) -> Result<SimilixOutcome, MixError> {
+    similix_specialise_program(parse_program(src)?, module, function, args, options)
+}
+
+/// As [`similix_specialise`] from a parsed program.
+///
+/// # Errors
+///
+/// Any stage's error.
+pub fn similix_specialise_program(
+    program: Program,
+    module: &str,
+    function: &str,
+    args: Vec<SpecArg>,
+    options: MixOptions,
+) -> Result<SimilixOutcome, MixError> {
+    let resolved = resolve(program)?;
+    let _types = infer_program(&resolved)?;
+    let ann = analyse_program(&resolved)?;
+    let entry = QualName::new(module, function);
+    let mut interp = MixInterp::new(&ann, &resolved, options, true);
+    let outcome = interp.specialise(&entry, args)?;
+    let extern_calls = interp.extern_needed.len();
+    Ok(SimilixOutcome { residual: outcome.residual, stats: outcome.stats, extern_calls })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mspec_lang::eval::{Evaluator, Value};
+
+    const TWO_MODULES: &str = "module Power where\n\
+        power n x = if n == 1 then x else x * power (n - 1) x\n\
+        module Main where\n\
+        import Power\n\
+        main y = power 3 y + power y 2\n";
+
+    fn run_residual(outcome: &SimilixOutcome, args: Vec<Value>) -> Value {
+        let rp = resolve(outcome.residual.program.clone()).unwrap();
+        let mut ev = Evaluator::new(&rp);
+        ev.call(&outcome.residual.entry, args).unwrap()
+    }
+
+    #[test]
+    fn extern_calls_are_left_unspecialised() {
+        let out = similix_specialise(
+            TWO_MODULES,
+            "Main",
+            "main",
+            vec![SpecArg::Dynamic],
+            MixOptions::default(),
+        )
+        .unwrap();
+        // power 3 y has a dynamic argument → residual extern call;
+        // power y 2 likewise. Both collapse to calls of the ORIGINAL
+        // power, which is copied verbatim.
+        assert!(out.extern_calls >= 1);
+        let src = mspec_lang::pretty::pretty_program(&out.residual.program);
+        assert!(src.contains("module Power"), "{src}");
+        // No specialisation of power happened: no x * (x * x).
+        assert!(!src.contains("x * (x * x)"), "{src}");
+        assert_eq!(run_residual(&out, vec![Value::nat(2)]), Value::nat(8 + 4));
+    }
+
+    #[test]
+    fn fully_static_extern_calls_are_reduced() {
+        let src = "module Lib where\n\
+                   sq x = x * x\n\
+                   module Main where\n\
+                   import Lib\n\
+                   main y = sq 5 + y\n";
+        let out = similix_specialise(
+            src,
+            "Main",
+            "main",
+            vec![SpecArg::Dynamic],
+            MixOptions::default(),
+        )
+        .unwrap();
+        // sq 5 was computed away entirely.
+        assert_eq!(out.extern_calls, 0);
+        let text = mspec_lang::pretty::pretty_program(&out.residual.program);
+        assert!(text.contains("25"), "{text}");
+        assert_eq!(run_residual(&out, vec![Value::nat(1)]), Value::nat(26));
+    }
+
+    #[test]
+    fn intra_module_specialisation_still_happens() {
+        let src = "module Main where\n\
+                   power n x = if n == 1 then x else x * power (n - 1) x\n\
+                   main y = power 3 y\n";
+        let out = similix_specialise(
+            src,
+            "Main",
+            "main",
+            vec![SpecArg::Dynamic],
+            MixOptions::default(),
+        )
+        .unwrap();
+        // power is local, so it unfolds to x * (x * x).
+        let text = mspec_lang::pretty::pretty_program(&out.residual.program);
+        assert!(text.contains("y * (y * y)"), "{text}");
+        assert_eq!(out.extern_calls, 0);
+        assert_eq!(run_residual(&out, vec![Value::nat(3)]), Value::nat(27));
+    }
+}

@@ -1,0 +1,6 @@
+module Bools where
+
+xor a b = a && not b || not a && b
+implies a b = not a || b
+both a b = a && b
+either a b = a || b

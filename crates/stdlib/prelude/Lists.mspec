@@ -1,0 +1,22 @@
+module Lists where
+
+length xs = if null xs then 0 else 1 + length (tail xs)
+append xs ys = if null xs then ys else head xs : append (tail xs) ys
+reverse xs = rev xs []
+rev xs acc = if null xs then acc else rev (tail xs) (head xs : acc)
+map f xs = if null xs then [] else f @ (head xs) : map f (tail xs)
+filter p xs = if null xs then [] else if p @ (head xs) then head xs : filter p (tail xs) else filter p (tail xs)
+foldr f z xs = if null xs then z else f @ (head xs) @ (foldr f z (tail xs))
+foldl f z xs = if null xs then z else foldl f (f @ z @ (head xs)) (tail xs)
+sum xs = if null xs then 0 else head xs + sum (tail xs)
+product xs = if null xs then 1 else head xs * product (tail xs)
+take n xs = if n == 0 then [] else if null xs then [] else head xs : take (n - 1) (tail xs)
+drop n xs = if n == 0 then xs else if null xs then [] else drop (n - 1) (tail xs)
+nth n xs = if n == 0 then head xs else nth (n - 1) (tail xs)
+range a b = if b <= a then [] else a : range (a + 1) b
+replicate n x = if n == 0 then [] else x : replicate (n - 1) x
+any p xs = if null xs then false else if p @ (head xs) then true else any p (tail xs)
+all p xs = if null xs then true else if p @ (head xs) then all p (tail xs) else false
+zipwith f xs ys = if null xs then [] else if null ys then [] else f @ (head xs) @ (head ys) : zipwith f (tail xs) (tail ys)
+concat xss = if null xss then [] else append (head xss) (concat (tail xss))
+elem x xs = if null xs then false else if x == head xs then true else elem x (tail xs)

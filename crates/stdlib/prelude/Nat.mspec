@@ -1,0 +1,11 @@
+module Nat where
+
+min a b = if a <= b then a else b
+max a b = if a <= b then b else a
+even n = if n == 0 then true else odd (n - 1)
+odd n = if n == 0 then false else even (n - 1)
+pow n x = if n == 0 then 1 else x * pow (n - 1) x
+fib n = if n <= 1 then n else fib (n - 1) + fib (n - 2)
+gcd a b = if b == 0 then a else if a < b then gcd b a else gcd b (a - b)
+mod a b = if a < b then a else mod (a - b) b
+absdiff a b = if a <= b then b - a else a - b

@@ -1,0 +1,7 @@
+module Sort where
+import Lists
+
+insert x xs = if null xs then x : [] else if x <= head xs then x : xs else head xs : insert x (tail xs)
+isort xs = if null xs then [] else insert (head xs) (isort (tail xs))
+merge xs ys = if null xs then ys else if null ys then xs else if head xs <= head ys then head xs : merge (tail xs) ys else head ys : merge xs (tail ys)
+sorted xs = if null xs then true else if null (tail xs) then true else head xs <= head (tail xs) && sorted (tail xs)

@@ -1,0 +1,189 @@
+//! The mspec standard library ("Prelude").
+//!
+//! §4 of the paper motivates module-sensitive specialisation with
+//! libraries: "it is not unusual for a program to consist of relatively
+//! little new code, which makes use of very large and comprehensive
+//! libraries". This crate *is* such a library for the object language:
+//! general-purpose modules (`Nat`, `Bools`, `Lists`, `Sort`) shipped as
+//! `.mspec` sources, loadable as parsed [`Module`]s, and designed to be
+//! cogen'd once (`mspec build`) and linked as `.gx` files by every
+//! client program.
+//!
+//! # Example
+//!
+//! ```
+//! use mspec_stdlib::with_prelude;
+//! use mspec_lang::resolve::resolve;
+//! use mspec_lang::eval::{Evaluator, Value};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = with_prelude(
+//!     "module Main where\n\
+//!      import Lists\n\
+//!      import Nat\n\
+//!      main n = sum (map (\\x -> pow 2 x) (range 1 n))\n",
+//! )?;
+//! let rp = resolve(program)?;
+//! let mut ev = Evaluator::new(&rp);
+//! // 1² + 2² + 3² = 14
+//! assert_eq!(ev.call_by_name("Main", "main", vec![Value::nat(4)])?, Value::nat(14));
+//! # Ok(())
+//! # }
+//! ```
+
+use mspec_lang::ast::{Module, Program};
+use mspec_lang::error::LangError;
+use mspec_lang::parser::{parse_module, parse_program};
+
+/// The prelude module sources, as `(name, source)` pairs in dependency
+/// order.
+pub const PRELUDE_SOURCES: [(&str, &str); 4] = [
+    ("Nat", include_str!("../prelude/Nat.mspec")),
+    ("Bools", include_str!("../prelude/Bools.mspec")),
+    ("Lists", include_str!("../prelude/Lists.mspec")),
+    ("Sort", include_str!("../prelude/Sort.mspec")),
+];
+
+/// Parses the prelude into modules.
+///
+/// # Panics
+///
+/// Panics if the embedded sources fail to parse — a build-time defect of
+/// this crate, covered by tests.
+pub fn prelude_modules() -> Vec<Module> {
+    PRELUDE_SOURCES
+        .iter()
+        .map(|(name, src)| {
+            let m = parse_module(src)
+                .unwrap_or_else(|e| panic!("prelude module {name} is malformed: {e}"));
+            assert_eq!(m.name.as_str(), *name, "prelude file name mismatch");
+            m
+        })
+        .collect()
+}
+
+/// Parses user source text and combines it with the prelude into one
+/// program (the user modules may import any prelude module).
+///
+/// # Errors
+///
+/// Parse errors in the user source.
+pub fn with_prelude(user_src: &str) -> Result<Program, LangError> {
+    let mut modules = prelude_modules();
+    modules.extend(parse_program(user_src)?.modules);
+    Ok(Program::new(modules))
+}
+
+/// Writes the prelude sources into a directory as `.mspec` files, ready
+/// for the incremental build driver.
+///
+/// # Errors
+///
+/// I/O errors.
+pub fn write_prelude(dir: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir.as_ref())?;
+    for (name, src) in PRELUDE_SOURCES {
+        std::fs::write(dir.as_ref().join(format!("{name}.mspec")), src)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mspec_lang::eval::{Evaluator, Value};
+    use mspec_lang::resolve::resolve;
+
+    fn run(src: &str, module: &str, f: &str, args: Vec<Value>) -> Value {
+        let rp = resolve(with_prelude(src).unwrap()).unwrap();
+        let mut ev = Evaluator::new(&rp);
+        ev.call_by_name(module, f, args).unwrap()
+    }
+
+    fn nats(xs: &[u64]) -> Value {
+        Value::list(xs.iter().copied().map(Value::nat).collect())
+    }
+
+    #[test]
+    fn prelude_parses_and_resolves() {
+        let rp = resolve(Program::new(prelude_modules()));
+        assert!(rp.is_ok(), "{rp:?}");
+    }
+
+    #[test]
+    fn nat_functions() {
+        let src = "module T where\nimport Nat\nt1 = pow 5 2\nt2 = gcd 48 36\nt3 = fib 10\nt4 a b = absdiff a b\nt5 = mod 17 5\n";
+        assert_eq!(run(src, "T", "t1", vec![]), Value::nat(32));
+        assert_eq!(run(src, "T", "t2", vec![]), Value::nat(12));
+        assert_eq!(run(src, "T", "t3", vec![]), Value::nat(55));
+        assert_eq!(
+            run(src, "T", "t4", vec![Value::nat(3), Value::nat(9)]),
+            Value::nat(6)
+        );
+        assert_eq!(run(src, "T", "t5", vec![]), Value::nat(2));
+    }
+
+    #[test]
+    fn list_functions() {
+        let src = "module T where\nimport Lists\n\
+                   t1 xs = reverse xs\n\
+                   t2 xs = foldr (\\a -> \\b -> a + b) 0 xs\n\
+                   t3 xs = filter (\\x -> 2 <= x) xs\n\
+                   t4 = zipwith (\\a -> \\b -> a * b) (1 : 2 : 3 : []) (4 : 5 : 6 : [])\n\
+                   t5 = concat ((1 : []) : (2 : 3 : []) : [])\n\
+                   t6 xs = take 2 (drop 1 xs)\n";
+        assert_eq!(run(src, "T", "t1", vec![nats(&[1, 2, 3])]), nats(&[3, 2, 1]));
+        assert_eq!(run(src, "T", "t2", vec![nats(&[1, 2, 3, 4])]), Value::nat(10));
+        assert_eq!(run(src, "T", "t3", vec![nats(&[1, 2, 0, 5])]), nats(&[2, 5]));
+        assert_eq!(run(src, "T", "t4", vec![]), nats(&[4, 10, 18]));
+        assert_eq!(run(src, "T", "t5", vec![]), nats(&[1, 2, 3]));
+        assert_eq!(run(src, "T", "t6", vec![nats(&[9, 8, 7, 6])]), nats(&[8, 7]));
+    }
+
+    #[test]
+    fn sort_functions_match_rust_sort() {
+        use rand::{Rng, SeedableRng};
+        let src = "module T where\nimport Sort\nt xs = isort xs\ns xs = sorted (isort xs)\n";
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let n = rng.gen_range(0..10);
+            let xs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..50)).collect();
+            let mut sorted = xs.clone();
+            sorted.sort_unstable();
+            assert_eq!(run(src, "T", "t", vec![nats(&xs)]), nats(&sorted));
+            assert_eq!(run(src, "T", "s", vec![nats(&xs)]), Value::bool_(true));
+        }
+    }
+
+    #[test]
+    fn bool_functions() {
+        let src = "module T where\nimport Bools\nt a b = xor a b\ni a b = implies a b\n";
+        for (a, b, x, i) in [
+            (true, true, false, true),
+            (true, false, true, false),
+            (false, true, true, true),
+            (false, false, false, true),
+        ] {
+            assert_eq!(
+                run(src, "T", "t", vec![Value::bool_(a), Value::bool_(b)]),
+                Value::bool_(x)
+            );
+            assert_eq!(
+                run(src, "T", "i", vec![Value::bool_(a), Value::bool_(b)]),
+                Value::bool_(i)
+            );
+        }
+    }
+
+    #[test]
+    fn write_prelude_round_trips() {
+        let dir = std::env::temp_dir().join(format!("mspec-prelude-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        write_prelude(&dir).unwrap();
+        for (name, src) in PRELUDE_SOURCES {
+            let text = std::fs::read_to_string(dir.join(format!("{name}.mspec"))).unwrap();
+            assert_eq!(text, src);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,17 @@
+//! Workload generators for tests and benchmarks.
+//!
+//! Two kinds of programs are generated:
+//!
+//! * [`random`] — random *well-typed-by-construction* modular programs,
+//!   used by property tests (specialisation must preserve semantics on
+//!   every generated program) and as stress inputs,
+//! * [`library`] — deterministic synthetic libraries with controllable
+//!   module count, functions per module and call structure, used by the
+//!   scaling experiments (§4's "general purpose libraries often define
+//!   very many functions, only a few of which are used").
+
+pub mod library;
+pub mod random;
+
+pub use library::{library_program, LibraryShape};
+pub use random::{random_program, GenConfig};

@@ -1,0 +1,178 @@
+//! Deterministic synthetic libraries for the scaling experiments.
+//!
+//! §4 motivates the approach with "general purpose libraries often define
+//! very many functions, only a few of which are used in any particular
+//! application". [`library_program`] builds exactly that situation with
+//! controllable size: `modules × fns_per_module` power-like library
+//! functions, of which a `Main` module uses `used_fns` with a static
+//! exponent — so specialisation cost can be measured as the library
+//! grows while the used set stays fixed.
+
+use mspec_lang::ast::{Def, Module, Program, QualName};
+use mspec_lang::builder as b;
+use mspec_lang::ModName;
+
+/// Shape of a synthetic library workload.
+#[derive(Debug, Clone, Copy)]
+pub struct LibraryShape {
+    /// Number of library modules.
+    pub modules: usize,
+    /// Functions per library module.
+    pub fns_per_module: usize,
+    /// How many library functions `Main.main` actually uses.
+    pub used_fns: usize,
+    /// The static exponent each used function is specialised to.
+    pub exponent: u64,
+    /// If `true`, each library module's functions call into the previous
+    /// module (cross-module chains); otherwise modules are independent.
+    pub cross_module: bool,
+}
+
+impl Default for LibraryShape {
+    fn default() -> LibraryShape {
+        LibraryShape {
+            modules: 4,
+            fns_per_module: 8,
+            used_fns: 3,
+            exponent: 5,
+            cross_module: true,
+        }
+    }
+}
+
+/// Builds the synthetic program. Returns the program and the entry
+/// (`Main.main`, one dynamic parameter).
+pub fn library_program(shape: &LibraryShape) -> (Program, QualName) {
+    assert!(shape.modules >= 1 && shape.fns_per_module >= 1);
+    assert!(shape.used_fns >= 1);
+    let mut modules = Vec::new();
+    for m in 0..shape.modules {
+        let mut defs: Vec<Def> = Vec::new();
+        for i in 0..shape.fns_per_module {
+            let name = fn_name(m, i);
+            // A power-like recursive function with a distinctive base
+            // case; in cross-module mode the base case calls into the
+            // previous module.
+            let base = if shape.cross_module && m > 0 {
+                b::qcall(
+                    &mod_name(m - 1).0,
+                    &fn_name(m - 1, i % shape.fns_per_module),
+                    [b::nat(1), b::add(b::var("x"), b::nat((m * 31 + i) as u64))],
+                )
+            } else {
+                b::add(b::var("x"), b::nat((m * 31 + i) as u64))
+            };
+            defs.push(b::def(
+                &name,
+                ["n", "x"],
+                b::if_(
+                    b::leq(b::var("n"), b::nat(1)),
+                    base,
+                    b::mul(b::var("x"), b::call(&name, [b::sub(b::var("n"), b::nat(1)), b::var("x")])),
+                ),
+            ));
+        }
+        let imports = if shape.cross_module && m > 0 {
+            vec![mod_name(m - 1)]
+        } else {
+            vec![]
+        };
+        modules.push(Module::new(mod_name(m), imports, defs));
+    }
+
+    // Main uses `used_fns` functions spread across the library (stride
+    // chosen to touch different modules), with the static exponent.
+    let total = shape.modules * shape.fns_per_module;
+    let used = shape.used_fns.min(total);
+    let stride = (total / used).max(1);
+    let mut body = b::nat(0);
+    for k in 0..used {
+        let idx = (k * stride) % total;
+        let (m, i) = (idx / shape.fns_per_module, idx % shape.fns_per_module);
+        body = b::add(
+            body,
+            b::qcall(&mod_name(m).0, &fn_name(m, i), [b::nat(shape.exponent), b::var("y")]),
+        );
+    }
+    let main = Module::new(
+        "Main",
+        (0..shape.modules).map(mod_name).collect(),
+        vec![b::def("main", ["y"], body)],
+    );
+    modules.push(main);
+    (Program::new(modules), QualName::new("Main", "main"))
+}
+
+fn mod_name(m: usize) -> ModName {
+    ModName::new(format!("Lib{m}"))
+}
+
+fn fn_name(m: usize, i: usize) -> String {
+    format!("f{m}x{i}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mspec_lang::eval::{Evaluator, Value};
+    use mspec_lang::resolve::resolve;
+
+    #[test]
+    fn library_resolves_and_runs() {
+        let (p, entry) = library_program(&LibraryShape::default());
+        let rp = resolve(p).unwrap();
+        let mut ev = Evaluator::new(&rp);
+        let v = ev.call(&entry, vec![Value::nat(2)]).unwrap();
+        assert!(v.as_nat().is_some());
+    }
+
+    #[test]
+    fn size_scales_with_shape() {
+        let small = library_program(&LibraryShape {
+            modules: 2,
+            fns_per_module: 4,
+            ..LibraryShape::default()
+        })
+        .0;
+        let large = library_program(&LibraryShape {
+            modules: 8,
+            fns_per_module: 4,
+            ..LibraryShape::default()
+        })
+        .0;
+        assert!(large.size() > (3 * small.size()));
+        assert_eq!(small.modules.len(), 3);
+        assert_eq!(large.modules.len(), 9);
+    }
+
+    #[test]
+    fn used_set_is_respected() {
+        let (p, _) = library_program(&LibraryShape {
+            used_fns: 2,
+            ..LibraryShape::default()
+        });
+        let main = p.module("Main").unwrap();
+        let calls = main.defs[0].body.called_functions();
+        assert_eq!(calls.len(), 2);
+    }
+
+    #[test]
+    fn independent_mode_has_no_lib_imports() {
+        let (p, _) = library_program(&LibraryShape {
+            cross_module: false,
+            ..LibraryShape::default()
+        });
+        for m in &p.modules {
+            if m.name.as_str() != "Main" {
+                assert!(m.imports.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let a = library_program(&LibraryShape::default()).0;
+        let b = library_program(&LibraryShape::default()).0;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,76 @@
+//! Language-level properties over randomly generated programs:
+//! pretty-print/parse round trips, and agreement between the reference
+//! interpreter and the compiled evaluator.
+
+use mspec_lang::compile::{compile_program, CEvaluator};
+use mspec_lang::eval::Evaluator;
+use mspec_lang::parser::parse_program;
+use mspec_lang::pretty::pretty_program;
+use mspec_lang::resolve::resolve;
+use mspec_testkit::random::{random_program, random_value, GTy, GenConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn roundtrip(seed: u64) {
+    let g = random_program(&GenConfig { seed, ..GenConfig::default() });
+    let printed = pretty_program(&g.program);
+    let reparsed = parse_program(&printed)
+        .unwrap_or_else(|e| panic!("seed {seed}: reparse failed: {e}\n{printed}"));
+    // Resolution normalises zero-arity calls, so compare resolved forms.
+    let a = resolve(g.program.clone()).unwrap();
+    let b = resolve(reparsed).unwrap();
+    assert_eq!(a.program(), b.program(), "seed {seed}\n{printed}");
+}
+
+fn evaluators_agree(seed: u64) {
+    let g = random_program(&GenConfig { seed, ..GenConfig::default() });
+    let resolved = resolve(g.program.clone()).unwrap();
+    let compiled = compile_program(&resolved);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31));
+    for (q, params) in &g.functions {
+        if params.contains(&GTy::FunNat) {
+            continue;
+        }
+        let args: Vec<_> = params
+            .iter()
+            .map(|t| random_value(*t, &mut rng).expect("first-order"))
+            .collect();
+        let reference = {
+            let mut ev = Evaluator::new(&resolved);
+            ev.call(q, args.clone())
+        };
+        let fast = {
+            let mut ev = CEvaluator::new(&compiled);
+            ev.call_values(q, args)
+        };
+        match (&reference, &fast) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "seed {seed}, fn {q}"),
+            (Err(ea), Err(eb)) => assert_eq!(ea, eb, "seed {seed}, fn {q}"),
+            other => panic!("seed {seed}, fn {q}: evaluators disagree: {other:?}"),
+        }
+    }
+    let _ = rng.gen_range(0..2); // keep rng used even for empty programs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn pretty_parse_roundtrip(seed in 0u64..10_000) {
+        roundtrip(seed);
+    }
+
+    #[test]
+    fn compiled_evaluator_agrees_with_reference(seed in 0u64..10_000) {
+        evaluators_agree(seed);
+    }
+}
+
+#[test]
+fn deterministic_sweeps() {
+    for seed in 0..50 {
+        roundtrip(seed);
+        evaluators_agree(seed);
+    }
+}

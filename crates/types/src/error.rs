@@ -1,0 +1,91 @@
+//! Type-error reporting.
+
+use crate::ty::Type;
+use mspec_lang::{Ident, ModName, QualName};
+use std::error::Error;
+use std::fmt;
+
+/// An error found during type inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// Two types that should be equal are not.
+    Mismatch {
+        /// The type required by the context.
+        expected: Type,
+        /// The type actually found.
+        found: Type,
+        /// Where the mismatch happened (module and function).
+        context: String,
+    },
+    /// The occurs check failed: unification would build an infinite type.
+    Occurs {
+        /// Rendered form of the offending variable.
+        var: String,
+        /// The type it would have to contain itself in.
+        ty: Type,
+        /// Where the failure happened.
+        context: String,
+    },
+    /// A call to a function with no known type (missing interface).
+    UnknownFunction(QualName),
+    /// A variable without a binding (resolution normally prevents this).
+    UnboundVariable {
+        /// The module being checked.
+        module: ModName,
+        /// The unbound name.
+        name: Ident,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::Mismatch { expected, found, context } => {
+                write!(f, "type mismatch in {context}: expected {expected}, found {found}")
+            }
+            TypeError::Occurs { var, ty, context } => {
+                write!(f, "cannot construct infinite type {var} = {ty} in {context}")
+            }
+            TypeError::UnknownFunction(q) => write!(f, "no type known for function {q}"),
+            TypeError::UnboundVariable { module, name } => {
+                write!(f, "unbound variable `{name}` while typing module {module}")
+            }
+        }
+    }
+}
+
+impl Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mismatch_display() {
+        let e = TypeError::Mismatch {
+            expected: Type::Nat,
+            found: Type::Bool,
+            context: "A.f".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("expected Nat"), "{s}");
+        assert!(s.contains("found Bool"), "{s}");
+        assert!(s.contains("A.f"), "{s}");
+    }
+
+    #[test]
+    fn occurs_display() {
+        let e = TypeError::Occurs {
+            var: "t0".into(),
+            ty: Type::list(Type::Var(crate::ty::TyVar(0))),
+            context: "A.f".into(),
+        };
+        assert!(e.to_string().contains("infinite type"));
+    }
+
+    #[test]
+    fn implements_error() {
+        fn takes<E: Error>(_: E) {}
+        takes(TypeError::UnknownFunction(QualName::new("A", "f")));
+    }
+}

@@ -1,0 +1,99 @@
+//! Per-module type interface files.
+//!
+//! Mirrors the paper's interface-file mechanism: when a module is
+//! analysed, the (canonicalised) type schemes of its definitions are
+//! written to an interface; modules that import it are analysed from the
+//! interface alone, never from its source.
+
+use crate::ty::FnScheme;
+use mspec_lang::Ident;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The type interface of one module: each exported function's scheme.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TypeInterface {
+    schemes: BTreeMap<Ident, FnScheme>,
+}
+
+impl TypeInterface {
+    /// An empty interface.
+    pub fn new() -> TypeInterface {
+        TypeInterface::default()
+    }
+
+    /// Records a function's scheme (canonicalising it first).
+    pub fn insert(&mut self, name: Ident, scheme: FnScheme) {
+        self.schemes.insert(name, scheme.canonical());
+    }
+
+    /// Looks up a function's scheme.
+    pub fn get(&self, name: &Ident) -> Option<&FnScheme> {
+        self.schemes.get(name)
+    }
+
+    /// Iterates over `(name, scheme)` pairs in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Ident, &FnScheme)> {
+        self.schemes.iter()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.schemes.len()
+    }
+
+    /// `true` if the interface has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.schemes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::{TyVar, Type};
+
+    fn sample() -> TypeInterface {
+        let mut i = TypeInterface::new();
+        i.insert(
+            Ident::new("map"),
+            FnScheme {
+                vars: vec![TyVar(4), TyVar(9)],
+                params: vec![
+                    Type::fun(Type::Var(TyVar(4)), Type::Var(TyVar(9))),
+                    Type::list(Type::Var(TyVar(4))),
+                ],
+                ret: Type::list(Type::Var(TyVar(9))),
+            },
+        );
+        i
+    }
+
+    #[test]
+    fn insert_canonicalises() {
+        let i = sample();
+        let s = i.get(&Ident::new("map")).unwrap();
+        assert_eq!(s.to_string(), "forall t0 t1. (t0 -> t1) -> [t0] -> [t1]");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let i = sample();
+        let json = serde_json::to_string(&i).unwrap();
+        let back: TypeInterface = serde_json::from_str(&json).unwrap();
+        assert_eq!(i, back);
+    }
+
+    #[test]
+    fn missing_lookup_is_none() {
+        assert!(sample().get(&Ident::new("nope")).is_none());
+    }
+
+    #[test]
+    fn len_and_iter() {
+        let i = sample();
+        assert_eq!(i.len(), 1);
+        assert!(!i.is_empty());
+        assert_eq!(i.iter().count(), 1);
+    }
+}

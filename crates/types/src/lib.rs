@@ -1,0 +1,43 @@
+//! Hindley–Milner type inference for the mspec object language.
+//!
+//! The paper's language is "polymorphically typed, using the standard
+//! Hindley-Milner type system" (§3). This crate implements that system:
+//!
+//! * [`ty`] — types, type variables, schemes and substitutions,
+//! * [`unify`] — unification with occurs check,
+//! * [`infer`] — Algorithm-W-style inference over modules; definitions
+//!   within a module are grouped into strongly connected components of
+//!   the call graph so that mutual recursion is supported while earlier
+//!   definitions can still be used polymorphically,
+//! * [`interface`] — per-module type interface files, so that a module is
+//!   checked using only the *interfaces* of its imports (the same
+//!   mechanism the paper uses for binding-time interfaces).
+//!
+//! # Example
+//!
+//! ```
+//! use mspec_lang::parser::parse_program;
+//! use mspec_lang::resolve::resolve;
+//! use mspec_types::infer::infer_program;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let rp = resolve(parse_program(
+//!     "module A where\nmap f xs = if null xs then [] else f @ (head xs) : map f (tail xs)\n",
+//! )?)?;
+//! let types = infer_program(&rp)?;
+//! let scheme = types.scheme(&mspec_lang::QualName::new("A", "map")).unwrap();
+//! assert_eq!(scheme.to_string(), "forall t0 t1. (t0 -> t1) -> [t0] -> [t1]");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod error;
+pub mod infer;
+pub mod interface;
+pub mod ty;
+pub mod unify;
+
+pub use error::TypeError;
+pub use infer::{infer_module, infer_program, ProgramTypes};
+pub use interface::TypeInterface;
+pub use ty::{FnScheme, Subst, TyVar, Type};

@@ -1,0 +1,399 @@
+//! Types, type variables, function schemes and substitutions.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A type variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TyVar(pub u32);
+
+impl fmt::Display for TyVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A monomorphic type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Type {
+    /// Natural numbers.
+    Nat,
+    /// Booleans.
+    Bool,
+    /// Homogeneous lists.
+    List(Box<Type>),
+    /// Functions (the type of anonymous functions; named functions get a
+    /// [`FnScheme`] instead).
+    Fun(Box<Type>, Box<Type>),
+    /// A type variable.
+    Var(TyVar),
+}
+
+impl Type {
+    /// `[t]`.
+    pub fn list(t: Type) -> Type {
+        Type::List(Box::new(t))
+    }
+
+    /// `a -> b`.
+    pub fn fun(a: Type, b: Type) -> Type {
+        Type::Fun(Box::new(a), Box::new(b))
+    }
+
+    /// The free type variables, in first-occurrence order.
+    pub fn free_vars(&self) -> Vec<TyVar> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<TyVar>) {
+        match self {
+            Type::Nat | Type::Bool => {}
+            Type::List(t) => t.collect_vars(out),
+            Type::Fun(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Type::Var(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+        }
+    }
+
+    /// `true` if the variable occurs in the type.
+    pub fn mentions(&self, v: TyVar) -> bool {
+        match self {
+            Type::Nat | Type::Bool => false,
+            Type::List(t) => t.mentions(v),
+            Type::Fun(a, b) => a.mentions(v) || b.mentions(v),
+            Type::Var(w) => *w == v,
+        }
+    }
+
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, arrow_left: bool) -> fmt::Result {
+        match self {
+            Type::Nat => write!(f, "Nat"),
+            Type::Bool => write!(f, "Bool"),
+            Type::List(t) => {
+                write!(f, "[")?;
+                t.fmt_prec(f, false)?;
+                write!(f, "]")
+            }
+            Type::Fun(a, b) => {
+                if arrow_left {
+                    write!(f, "(")?;
+                }
+                a.fmt_prec(f, true)?;
+                write!(f, " -> ")?;
+                b.fmt_prec(f, false)?;
+                if arrow_left {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Type::Var(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, false)
+    }
+}
+
+/// A substitution from type variables to types.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Subst(BTreeMap<TyVar, Type>);
+
+impl Subst {
+    /// The identity substitution.
+    pub fn empty() -> Subst {
+        Subst::default()
+    }
+
+    /// A singleton substitution `v ↦ t`.
+    pub fn single(v: TyVar, t: Type) -> Subst {
+        let mut m = BTreeMap::new();
+        m.insert(v, t);
+        Subst(m)
+    }
+
+    /// A substitution from explicit bindings, applied *simultaneously*
+    /// (no binding rewrites another). Use this for instantiation, where
+    /// composing singletons would let a fresh variable collide with a
+    /// still-uninstantiated quantified variable.
+    pub fn parallel(bindings: impl IntoIterator<Item = (TyVar, Type)>) -> Subst {
+        Subst(bindings.into_iter().collect())
+    }
+
+    /// Applies the substitution to a type.
+    pub fn apply(&self, t: &Type) -> Type {
+        match t {
+            Type::Nat => Type::Nat,
+            Type::Bool => Type::Bool,
+            Type::List(inner) => Type::list(self.apply(inner)),
+            Type::Fun(a, b) => Type::fun(self.apply(a), self.apply(b)),
+            Type::Var(v) => match self.0.get(v) {
+                // Substitutions are kept idempotent by `compose`, so one
+                // level of lookup suffices.
+                Some(bound) => bound.clone(),
+                None => t.clone(),
+            },
+        }
+    }
+
+    /// Composes substitutions: `self.compose(&s)` applies `s` first,
+    /// then `self`.
+    pub fn compose(&self, s: &Subst) -> Subst {
+        let mut out: BTreeMap<TyVar, Type> =
+            s.0.iter().map(|(v, t)| (*v, self.apply(t))).collect();
+        for (v, t) in &self.0 {
+            out.entry(*v).or_insert_with(|| t.clone());
+        }
+        Subst(out)
+    }
+
+    /// Looks up a variable's binding.
+    pub fn get(&self, v: TyVar) -> Option<&Type> {
+        self.0.get(&v)
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` if there are no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// The type scheme of a named top-level function:
+/// `forall vars. params -> ret`.
+///
+/// Named functions are not first-class, so their scheme keeps the
+/// parameter list separate instead of currying.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FnScheme {
+    /// Quantified variables.
+    pub vars: Vec<TyVar>,
+    /// Parameter types, one per parameter.
+    pub params: Vec<Type>,
+    /// Result type.
+    pub ret: Type,
+}
+
+impl FnScheme {
+    /// A monomorphic scheme (no quantified variables).
+    pub fn mono(params: Vec<Type>, ret: Type) -> FnScheme {
+        FnScheme { vars: Vec::new(), params, ret }
+    }
+
+    /// Canonically renames the quantified variables to `t0, t1, …` in
+    /// first-occurrence order, so that structurally equal schemes are
+    /// equal values (important for interface files).
+    pub fn canonical(&self) -> FnScheme {
+        let mut order: Vec<TyVar> = Vec::new();
+        for p in &self.params {
+            for v in p.free_vars() {
+                if self.vars.contains(&v) && !order.contains(&v) {
+                    order.push(v);
+                }
+            }
+        }
+        for v in self.ret.free_vars() {
+            if self.vars.contains(&v) && !order.contains(&v) {
+                order.push(v);
+            }
+        }
+        let sub = Subst(
+            order
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (*v, Type::Var(TyVar(i as u32))))
+                .collect(),
+        );
+        FnScheme {
+            vars: (0..order.len() as u32).map(TyVar).collect(),
+            params: self.params.iter().map(|p| sub.apply(p)).collect(),
+            ret: sub.apply(&self.ret),
+        }
+    }
+
+    /// The free (unquantified) variables of the scheme.
+    pub fn free_vars(&self) -> BTreeSet<TyVar> {
+        let mut out = BTreeSet::new();
+        for p in &self.params {
+            out.extend(p.free_vars());
+        }
+        out.extend(self.ret.free_vars());
+        for v in &self.vars {
+            out.remove(v);
+        }
+        out
+    }
+}
+
+impl fmt::Display for FnScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.vars.is_empty() {
+            write!(f, "forall")?;
+            for v in &self.vars {
+                write!(f, " {v}")?;
+            }
+            write!(f, ". ")?;
+        }
+        for p in &self.params {
+            match p {
+                Type::Fun(..) => write!(f, "({p}) -> ")?,
+                _ => write!(f, "{p} -> ")?,
+            }
+        }
+        write!(f, "{}", self.ret)
+    }
+}
+
+/// A fresh-variable supply.
+#[derive(Debug, Default)]
+pub struct TyVarGen {
+    next: u32,
+}
+
+impl TyVarGen {
+    /// Creates a supply starting at `t0`.
+    pub fn new() -> TyVarGen {
+        TyVarGen::default()
+    }
+
+    /// Creates a supply starting after the given variable.
+    pub fn starting_after(v: u32) -> TyVarGen {
+        TyVarGen { next: v }
+    }
+
+    /// Produces a fresh variable.
+    pub fn fresh(&mut self) -> TyVar {
+        let v = TyVar(self.next);
+        self.next += 1;
+        v
+    }
+
+    /// Produces a fresh variable wrapped as a type.
+    pub fn fresh_ty(&mut self) -> Type {
+        Type::Var(self.fresh())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nests_arrows_correctly() {
+        let t = Type::fun(Type::fun(Type::Nat, Type::Bool), Type::list(Type::Nat));
+        assert_eq!(t.to_string(), "(Nat -> Bool) -> [Nat]");
+        let t2 = Type::fun(Type::Nat, Type::fun(Type::Bool, Type::Nat));
+        assert_eq!(t2.to_string(), "Nat -> Bool -> Nat");
+    }
+
+    #[test]
+    fn subst_apply_and_compose() {
+        let v0 = TyVar(0);
+        let v1 = TyVar(1);
+        let s1 = Subst::single(v0, Type::Var(v1));
+        let s2 = Subst::single(v1, Type::Nat);
+        // compose applies s1 first, then s2.
+        let s = s2.compose(&s1);
+        assert_eq!(s.apply(&Type::Var(v0)), Type::Nat);
+        assert_eq!(s.apply(&Type::Var(v1)), Type::Nat);
+    }
+
+    #[test]
+    fn compose_keeps_outer_bindings() {
+        let s1 = Subst::single(TyVar(0), Type::Nat);
+        let s2 = Subst::single(TyVar(1), Type::Bool);
+        let s = s2.compose(&s1);
+        assert_eq!(s.apply(&Type::Var(TyVar(0))), Type::Nat);
+        assert_eq!(s.apply(&Type::Var(TyVar(1))), Type::Bool);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn parallel_does_not_chain() {
+        // {t0 -> t2, t2 -> t4} applied to t0 gives t2, not t4.
+        let s = Subst::parallel([
+            (TyVar(0), Type::Var(TyVar(2))),
+            (TyVar(2), Type::Var(TyVar(4))),
+        ]);
+        assert_eq!(s.apply(&Type::Var(TyVar(0))), Type::Var(TyVar(2)));
+    }
+
+    #[test]
+    fn free_vars_in_order() {
+        let t = Type::fun(Type::Var(TyVar(5)), Type::fun(Type::Var(TyVar(2)), Type::Var(TyVar(5))));
+        assert_eq!(t.free_vars(), vec![TyVar(5), TyVar(2)]);
+    }
+
+    #[test]
+    fn mentions_checks_occurrence() {
+        let t = Type::list(Type::Var(TyVar(3)));
+        assert!(t.mentions(TyVar(3)));
+        assert!(!t.mentions(TyVar(4)));
+    }
+
+    #[test]
+    fn canonical_renames_in_occurrence_order() {
+        let s = FnScheme {
+            vars: vec![TyVar(7), TyVar(3)],
+            params: vec![Type::Var(TyVar(7)), Type::Var(TyVar(3))],
+            ret: Type::Var(TyVar(7)),
+        };
+        let c = s.canonical();
+        assert_eq!(c.params, vec![Type::Var(TyVar(0)), Type::Var(TyVar(1))]);
+        assert_eq!(c.ret, Type::Var(TyVar(0)));
+        assert_eq!(c.vars, vec![TyVar(0), TyVar(1)]);
+    }
+
+    #[test]
+    fn canonical_is_idempotent() {
+        let s = FnScheme {
+            vars: vec![TyVar(9)],
+            params: vec![Type::list(Type::Var(TyVar(9)))],
+            ret: Type::Var(TyVar(9)),
+        };
+        assert_eq!(s.canonical(), s.canonical().canonical());
+    }
+
+    #[test]
+    fn scheme_display() {
+        let s = FnScheme {
+            vars: vec![TyVar(0)],
+            params: vec![Type::fun(Type::Var(TyVar(0)), Type::Nat), Type::Var(TyVar(0))],
+            ret: Type::Nat,
+        };
+        assert_eq!(s.to_string(), "forall t0. (t0 -> Nat) -> t0 -> Nat");
+    }
+
+    #[test]
+    fn scheme_free_vars_excludes_quantified() {
+        let s = FnScheme {
+            vars: vec![TyVar(0)],
+            params: vec![Type::Var(TyVar(0)), Type::Var(TyVar(1))],
+            ret: Type::Nat,
+        };
+        assert_eq!(s.free_vars(), [TyVar(1)].into());
+    }
+
+    #[test]
+    fn gen_produces_distinct_vars() {
+        let mut g = TyVarGen::new();
+        let a = g.fresh();
+        let b = g.fresh();
+        assert_ne!(a, b);
+    }
+}

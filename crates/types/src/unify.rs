@@ -1,0 +1,113 @@
+//! Unification of monomorphic types.
+
+use crate::error::TypeError;
+use crate::ty::{Subst, Type};
+
+/// Computes the most general unifier of `a` and `b`.
+///
+/// # Errors
+///
+/// [`TypeError::Mismatch`] when the types clash structurally and
+/// [`TypeError::Occurs`] when unification would build an infinite type.
+/// `context` labels the error with the function being checked.
+pub fn unify(a: &Type, b: &Type, context: &str) -> Result<Subst, TypeError> {
+    match (a, b) {
+        (Type::Nat, Type::Nat) | (Type::Bool, Type::Bool) => Ok(Subst::empty()),
+        (Type::Var(v), t) | (t, Type::Var(v)) => {
+            if let Type::Var(w) = t {
+                if w == v {
+                    return Ok(Subst::empty());
+                }
+            }
+            if t.mentions(*v) {
+                return Err(TypeError::Occurs {
+                    var: v.to_string(),
+                    ty: t.clone(),
+                    context: context.to_string(),
+                });
+            }
+            Ok(Subst::single(*v, t.clone()))
+        }
+        (Type::List(x), Type::List(y)) => unify(x, y, context),
+        (Type::Fun(a1, r1), Type::Fun(a2, r2)) => {
+            let s1 = unify(a1, a2, context)?;
+            let s2 = unify(&s1.apply(r1), &s1.apply(r2), context)?;
+            Ok(s2.compose(&s1))
+        }
+        _ => Err(TypeError::Mismatch {
+            expected: a.clone(),
+            found: b.clone(),
+            context: context.to_string(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::TyVar;
+
+    #[test]
+    fn unifies_identical_bases() {
+        assert!(unify(&Type::Nat, &Type::Nat, "t").unwrap().is_empty());
+        assert!(unify(&Type::Bool, &Type::Bool, "t").unwrap().is_empty());
+    }
+
+    #[test]
+    fn base_clash_fails() {
+        assert!(matches!(
+            unify(&Type::Nat, &Type::Bool, "t"),
+            Err(TypeError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn binds_variables() {
+        let s = unify(&Type::Var(TyVar(0)), &Type::Nat, "t").unwrap();
+        assert_eq!(s.apply(&Type::Var(TyVar(0))), Type::Nat);
+    }
+
+    #[test]
+    fn same_variable_unifies_trivially() {
+        let s = unify(&Type::Var(TyVar(0)), &Type::Var(TyVar(0)), "t").unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn occurs_check_fires() {
+        let v = Type::Var(TyVar(0));
+        let lv = Type::list(v.clone());
+        assert!(matches!(unify(&v, &lv, "t"), Err(TypeError::Occurs { .. })));
+    }
+
+    #[test]
+    fn unifies_functions_threading_substitution() {
+        // (t0 -> t0) ~ (Nat -> t1)  =>  t0 = Nat, t1 = Nat
+        let a = Type::fun(Type::Var(TyVar(0)), Type::Var(TyVar(0)));
+        let b = Type::fun(Type::Nat, Type::Var(TyVar(1)));
+        let s = unify(&a, &b, "t").unwrap();
+        assert_eq!(s.apply(&Type::Var(TyVar(0))), Type::Nat);
+        assert_eq!(s.apply(&Type::Var(TyVar(1))), Type::Nat);
+    }
+
+    #[test]
+    fn unifies_nested_lists() {
+        let a = Type::list(Type::list(Type::Var(TyVar(0))));
+        let b = Type::list(Type::Var(TyVar(1)));
+        let s = unify(&a, &b, "t").unwrap();
+        assert_eq!(s.apply(&Type::Var(TyVar(1))), Type::list(Type::Var(TyVar(0))));
+    }
+
+    #[test]
+    fn fun_vs_list_fails() {
+        let a = Type::fun(Type::Nat, Type::Nat);
+        let b = Type::list(Type::Nat);
+        assert!(unify(&a, &b, "t").is_err());
+    }
+
+    #[test]
+    fn error_carries_context() {
+        let err = unify(&Type::Nat, &Type::Bool, "Mod.fn").unwrap_err();
+        assert!(err.to_string().contains("Mod.fn"));
+    }
+}

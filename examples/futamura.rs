@@ -1,0 +1,101 @@
+//! The first Futamura projection, module-sensitively.
+//!
+//! An interpreter for a tiny expression language is written in the
+//! object language (across two modules). Specialising the interpreter
+//! with respect to a *static program* compiles that program: the
+//! residual code is straight-line arithmetic with no interpretive
+//! overhead left.
+//!
+//! Run with: `cargo run -p mspec-core --example futamura`
+
+use mspec_core::{Pipeline, PipelineError, SpecArg};
+use mspec_lang::eval::{with_big_stack, Value};
+
+/// The interpreter. Programs are prefix-encoded lists of naturals:
+/// `0 n` = literal n, `1` = the input variable,
+/// `2 e1 e2` = addition, `3 e1 e2` = multiplication.
+const INTERP: &str = "module ListLib where\n\
+    drop n xs = if n == 0 then xs else drop (n - 1) (tail xs)\n\
+    module Interp where\n\
+    import ListLib\n\
+    size p = if head p == 0 then 2 else if head p == 1 then 1 else 1 + size (tail p) + size (drop (size (tail p)) (tail p))\n\
+    run p x = if head p == 0 then head (tail p) else if head p == 1 then x else if head p == 2 then run (tail p) x + run (drop (size (tail p)) (tail p)) x else run (tail p) x * run (drop (size (tail p)) (tail p)) x\n";
+
+/// Abstract syntax for building encoded programs comfortably.
+enum E {
+    Lit(u64),
+    Var,
+    Add(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+}
+
+impl E {
+    fn encode(&self, out: &mut Vec<Value>) {
+        match self {
+            E::Lit(n) => {
+                out.push(Value::nat(0));
+                out.push(Value::nat(*n));
+            }
+            E::Var => out.push(Value::nat(1)),
+            E::Add(a, b) => {
+                out.push(Value::nat(2));
+                a.encode(out);
+                b.encode(out);
+            }
+            E::Mul(a, b) => {
+                out.push(Value::nat(3));
+                a.encode(out);
+                b.encode(out);
+            }
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        Value::list(out)
+    }
+}
+
+fn lit(n: u64) -> E {
+    E::Lit(n)
+}
+fn var() -> E {
+    E::Var
+}
+fn add(a: E, b: E) -> E {
+    E::Add(Box::new(a), Box::new(b))
+}
+fn mul(a: E, b: E) -> E {
+    E::Mul(Box::new(a), Box::new(b))
+}
+
+fn main() {
+    with_big_stack(|| run().unwrap());
+}
+
+fn run() -> Result<(), PipelineError> {
+    let pipeline = Pipeline::from_source(INTERP)?;
+
+    let programs: Vec<(&str, E)> = vec![
+        ("(x + 3) * (x * x)", mul(add(var(), lit(3)), mul(var(), var()))),
+        ("x * x * x * x", mul(var(), mul(var(), mul(var(), var())))),
+        ("5 * x + 7", add(mul(lit(5), var()), lit(7))),
+    ];
+
+    for (desc, prog) in programs {
+        let spec = pipeline.specialise(
+            "Interp",
+            "run",
+            vec![SpecArg::Static(prog.to_value()), SpecArg::Dynamic],
+        )?;
+        println!("== compiling {desc} ==");
+        println!("{}", spec.source());
+        let at4 = spec.run(vec![Value::nat(4)])?;
+        println!("value at x=4: {at4}");
+        println!(
+            "(interpreter steps avoided per run: the residual does pure arithmetic)\n"
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,9 @@
+module ListLib where
+
+drop n xs = if n == 0 then xs else drop (n - 1) (tail xs)
+
+module Interp where
+import ListLib
+
+size p = if head p == 0 then 2 else if head p == 1 then 1 else 1 + size (tail p) + size (drop (size (tail p)) (tail p))
+run p x = if head p == 0 then head (tail p) else if head p == 1 then x else if head p == 2 then run (tail p) x + run (drop (size (tail p)) (tail p)) x else run (tail p) x * run (drop (size (tail p)) (tail p)) x

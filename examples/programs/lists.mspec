@@ -1,0 +1,11 @@
+module Lists where
+
+map f xs = if null xs then [] else f @ (head xs) : map f (tail xs)
+sum xs = if null xs then 0 else head xs + sum (tail xs)
+upto n = if n == 0 then [] else n : upto (n - 1)
+
+module App where
+import Lists
+
+sumsquares n = sum (map (\x -> x * x) (upto n))
+weighted w xs = sum (map (\x -> x * w) xs)

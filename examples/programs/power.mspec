@@ -1,0 +1,3 @@
+module Power where
+
+power n x = if n == 1 then x else x * power (n - 1) x

@@ -1,0 +1,154 @@
+//! Targeted tests for the binding-time coercion machinery: lifting
+//! static data to code, eta-expanding static closures into residual
+//! lambdas, and the "boxing" rule that keeps polymorphic positions sound
+//! for partially static data.
+
+use mspec_core::{Pipeline, SpecArg};
+use mspec_lang::eval::Value;
+
+/// A static closure flowing into a dynamic context (both branches of a
+/// residual conditional) is eta-expanded into a residual lambda.
+#[test]
+fn closures_eta_expand_into_residual_lambdas() {
+    let p = Pipeline::from_source(
+        "module M where\n\
+         main b y = (if b == 0 then \\x -> x + 1 else \\x -> x * 2) @ y\n",
+    )
+    .unwrap();
+    let s = p
+        .specialise("M", "main", vec![SpecArg::Dynamic, SpecArg::Dynamic])
+        .unwrap();
+    let src = s.source();
+    assert!(src.contains('\\'), "expected residual lambdas:\n{src}");
+    assert_eq!(
+        s.run(vec![Value::nat(0), Value::nat(10)]).unwrap(),
+        Value::nat(11)
+    );
+    assert_eq!(
+        s.run(vec![Value::nat(1), Value::nat(10)]).unwrap(),
+        Value::nat(20)
+    );
+}
+
+/// Static data lifted into a dynamic context becomes literal code,
+/// including whole lists.
+#[test]
+fn static_lists_lift_to_cons_literals() {
+    let p = Pipeline::from_source(
+        "module M where\n\
+         sum xs = if null xs then 0 else head xs + sum (tail xs)\n\
+         main b = sum (if b == 0 then 1 : 2 : [] else 3 : [])\n",
+    )
+    .unwrap();
+    let s = p.specialise("M", "main", vec![SpecArg::Dynamic]).unwrap();
+    let src = s.source();
+    // The two static lists appear as list literals in the residual if.
+    assert!(src.contains("1 : 2 : []"), "{src}");
+    assert_eq!(s.run(vec![Value::nat(0)]).unwrap(), Value::nat(3));
+    assert_eq!(s.run(vec![Value::nat(7)]).unwrap(), Value::nat(3));
+}
+
+/// Partially static data flowing through a *polymorphic* function forces
+/// the polymorphic position dynamic (the boxing rule) — conservative,
+/// but semantics must be preserved.
+#[test]
+fn partially_static_data_through_polymorphic_id_is_sound() {
+    let p = Pipeline::from_source(
+        "module L where\n\
+         id2 x = x\n\
+         module B where\n\
+         import L\n\
+         h zs = head (id2 zs) + 1\n",
+    )
+    .unwrap();
+    // zs: static spine (2 elements), dynamic elements.
+    let s = p.specialise("B", "h", vec![SpecArg::StaticSpine(2)]).unwrap();
+    let got = s.run(vec![Value::nat(41), Value::nat(0)]).unwrap();
+    assert_eq!(got, Value::nat(42));
+}
+
+/// The same list used monomorphically keeps its partially static
+/// precision: the spine unfolds, only elements stay dynamic.
+#[test]
+fn partially_static_data_stays_precise_monomorphically() {
+    let p = Pipeline::from_source(
+        "module M where\n\
+         sum xs = if null xs then 0 else head xs + sum (tail xs)\n\
+         h zs = sum zs\n",
+    )
+    .unwrap();
+    let s = p.specialise("M", "h", vec![SpecArg::StaticSpine(3)]).unwrap();
+    let src = s.source();
+    // Fully unfolded: no residual sum, just zs0 + (zs1 + (zs2 + 0)).
+    assert!(!src.contains("sum_"), "{src}");
+    assert!(src.contains("zs0"), "{src}");
+    let got = s
+        .run(vec![Value::nat(1), Value::nat(2), Value::nat(3)])
+        .unwrap();
+    assert_eq!(got, Value::nat(6));
+}
+
+/// Dynamic-spine lists force their elements dynamic (well-formedness):
+/// a static element inside a dynamic list is lifted, not lost.
+#[test]
+fn static_elements_survive_inside_dynamic_lists() {
+    let p = Pipeline::from_source(
+        "module M where\n\
+         main zs = 100 : zs\n",
+    )
+    .unwrap();
+    let s = p.specialise("M", "main", vec![SpecArg::Dynamic]).unwrap();
+    let src = s.source();
+    assert!(src.contains("100"), "{src}");
+    let got = s.run(vec![Value::list(vec![Value::nat(1)])]).unwrap();
+    assert_eq!(got, Value::list(vec![Value::nat(100), Value::nat(1)]));
+}
+
+/// Coercion of booleans and comparison results across binding times.
+#[test]
+fn boolean_coercions() {
+    let p = Pipeline::from_source(
+        "module M where\n\
+         main y = if true && 1 < 2 then y else y + 1\n",
+    )
+    .unwrap();
+    let s = p.specialise("M", "main", vec![SpecArg::Dynamic]).unwrap();
+    // The static condition decides at specialisation time.
+    assert_eq!(s.source().trim(), "module M where\nmain y = y");
+    assert_eq!(s.run(vec![Value::nat(9)]).unwrap(), Value::nat(9));
+}
+
+/// A static closure captured inside a static list, passed through a
+/// residual function, keeps working (free functions of closures travel
+/// with the skeleton).
+#[test]
+fn closures_inside_static_structures() {
+    let p = Pipeline::from_source(
+        "module M where\n\
+         applyall fs x = if null fs then x else applyall (tail fs) ((head fs) @ x)\n\
+         main y = applyall ((\\a -> a + 1) : (\\b -> b * 2) : []) y\n",
+    )
+    .unwrap();
+    let s = p.specialise("M", "main", vec![SpecArg::Dynamic]).unwrap();
+    let src = s.source();
+    // The function list is static: applyall unfolds completely.
+    assert!(!src.contains("applyall_"), "{src}");
+    assert_eq!(s.run(vec![Value::nat(5)]).unwrap(), Value::nat(12));
+}
+
+/// The compiled residual runner agrees with the reference interpreter on
+/// residual programs (spot check; the property suite covers breadth).
+#[test]
+fn run_compiled_agrees_with_run() {
+    let p = Pipeline::from_source(
+        "module Power where\npower n x = if n == 1 then x else x * power (n - 1) x\n",
+    )
+    .unwrap();
+    let s = p
+        .specialise("Power", "power", vec![SpecArg::Dynamic, SpecArg::Static(Value::nat(3))])
+        .unwrap();
+    let slow = s.run(vec![Value::nat(6)]).unwrap();
+    let (fast, steps) = s.run_compiled(vec![Value::nat(6)]).unwrap();
+    assert_eq!(slow, fast);
+    assert!(steps > 0);
+}

@@ -1,0 +1,192 @@
+//! Experiment E1: the paper's worked examples, end to end.
+//!
+//! Section 2 and Figure 3 fix the expected behaviour of `power`'s
+//! generating extension; §5 fixes the behaviour of the higher-order
+//! `map` example. These tests pin all of it through the full pipeline.
+
+use mspec_core::{Pipeline, SpecArg};
+use mspec_lang::builder;
+use mspec_lang::eval::Value;
+use mspec_lang::QualName;
+
+const POWER: &str =
+    "module Power where\npower n x = if n == 1 then x else x * power (n - 1) x\n";
+
+/// §2: `power₃ x = x × (x × x)` — the static exponent unfolds completely.
+#[test]
+fn power_s_d_gives_cube_code() {
+    let p = Pipeline::from_source(POWER).unwrap();
+    let s = p
+        .specialise("Power", "power", vec![SpecArg::Static(Value::nat(3)), SpecArg::Dynamic])
+        .unwrap();
+    let src = s.source();
+    assert!(src.contains("x * (x * x)"), "{src}");
+    // Exactly one residual definition: everything was unfolded.
+    assert_eq!(s.stats.specialisations, 1);
+    for (input, expected) in [(2u64, 8u64), (3, 27), (10, 1000)] {
+        assert_eq!(s.run(vec![Value::nat(input)]).unwrap(), Value::nat(expected));
+    }
+}
+
+/// §2: `power {D S} n 2` — dynamic exponent, static base. The definition
+/// is residualised (the conditional is dynamic) and recursion becomes a
+/// residual self-call with the base inlined.
+#[test]
+fn power_d_s_residualises_with_inlined_base() {
+    let p = Pipeline::from_source(POWER).unwrap();
+    let s = p
+        .specialise("Power", "power", vec![SpecArg::Dynamic, SpecArg::Static(Value::nat(2))])
+        .unwrap();
+    let src = s.source();
+    // The static base 2 is inlined into the residual body.
+    assert!(src.contains("then 2") || src.contains("2 *") || src.contains("* 2"), "{src}");
+    // x is gone: the residual entry takes only n.
+    let entry_def = s
+        .residual
+        .program
+        .def(&s.residual.entry)
+        .expect("entry def exists");
+    assert_eq!(entry_def.params.len(), 1);
+    for (n, expected) in [(1u64, 2u64), (5, 32), (10, 1024)] {
+        assert_eq!(s.run(vec![Value::nat(n)]).unwrap(), Value::nat(expected));
+    }
+}
+
+/// §2's polyvariant chain: with `power` forced non-unfoldable (as in the
+/// §5 figure), specialising to n=3 yields the chain power₃ → power₂ →
+/// power₁.
+#[test]
+fn forced_residual_power_builds_polyvariant_chain() {
+    let forced = [QualName::new("Power", "power")].into_iter().collect();
+    let p = Pipeline::from_source_with(POWER, &forced).unwrap();
+    let s = p
+        .specialise("Power", "power", vec![SpecArg::Static(Value::nat(3)), SpecArg::Dynamic])
+        .unwrap();
+    let src = s.source();
+    // Three specialisations of power (n=3, 2, 1) as in the paper:
+    //   power3 x = x * power2 x ; power2 x = x * power1 x ; power1 x = x
+    // (here the entry keeps the plain name: power, power_1, power_2).
+    assert_eq!(s.stats.specialisations, 3, "{src}");
+    assert!(src.contains("power x = x * power_1 x"), "{src}");
+    assert!(src.contains("power_1 x = x * power_2 x"), "{src}");
+    assert!(src.contains("power_2 x = x"), "{src}");
+    assert_eq!(s.run(vec![Value::nat(2)]).unwrap(), Value::nat(8));
+}
+
+/// §4.1: the inferred qualified binding-time scheme of `power` is the
+/// paper's principal type: forall t,u. t -> u -> t|u with unfold t.
+#[test]
+fn power_signature_is_papers_principal_type() {
+    let p = Pipeline::from_source(POWER).unwrap();
+    let sig = p
+        .annotated()
+        .signature(&QualName::new("Power", "power"))
+        .unwrap();
+    assert_eq!(sig.vars, 2);
+    assert!(sig.constraints.is_empty());
+    assert_eq!(sig.unfold.to_string(), "t0");
+    assert_eq!(sig.ret.top().to_string(), "t0 | t1");
+}
+
+/// §5's higher-order example: `map (\x -> g x + z) zs` with dynamic `z`
+/// and `zs`. The static closure's dynamic captured value becomes an
+/// extra formal of the residual map — `map_g z ys` in the paper.
+#[test]
+fn map_with_capturing_closure_matches_paper() {
+    let p = Pipeline::from_program(builder::paper_map_program()).unwrap();
+    let s = p
+        .specialise("B", "h", vec![SpecArg::Dynamic, SpecArg::Dynamic])
+        .unwrap();
+    let src = s.source();
+    // There is a residual specialisation of map taking z as a parameter.
+    let map_def = s
+        .residual
+        .program
+        .modules
+        .iter()
+        .flat_map(|m| &m.defs)
+        .find(|d| d.name.as_str().starts_with("map_"))
+        .unwrap_or_else(|| panic!("no residual map in:\n{src}"));
+    assert_eq!(map_def.params.len(), 2, "z and xs: {src}");
+    assert!(map_def.params.iter().any(|p| p.as_str() == "z"), "{src}");
+    // The closure was unfolded into the residual map: no lambdas remain.
+    assert!(!src.contains('\\'), "no residual lambdas expected:\n{src}");
+    // Semantics: h z zs = map (\x -> g x + z) zs with g x = x + 1.
+    let zs = Value::list(vec![Value::nat(1), Value::nat(2), Value::nat(3)]);
+    let got = s.run(vec![Value::nat(10), zs]).unwrap();
+    assert_eq!(
+        got,
+        Value::list(vec![Value::nat(12), Value::nat(13), Value::nat(14)])
+    );
+}
+
+/// The same map program with a *static spine* list: the spine unfolds
+/// away entirely, leaving straight-line code over the elements.
+#[test]
+fn map_with_static_spine_unfolds_completely() {
+    let p = Pipeline::from_program(builder::paper_map_program()).unwrap();
+    let s = p
+        .specialise("B", "h", vec![SpecArg::Dynamic, SpecArg::StaticSpine(3)])
+        .unwrap();
+    let src = s.source();
+    // No residual map function: the recursion was static.
+    assert!(
+        !src.contains("map_"),
+        "spine-static map should fully unfold:\n{src}"
+    );
+    let got = s
+        .run(vec![
+            Value::nat(10),
+            Value::nat(1),
+            Value::nat(2),
+            Value::nat(3),
+        ])
+        .unwrap();
+    assert_eq!(
+        got,
+        Value::list(vec![Value::nat(12), Value::nat(13), Value::nat(14)])
+    );
+}
+
+/// Figure 2/§4.1: the annotated `power` definition printed in the
+/// paper's notation.
+#[test]
+fn annotated_power_renders_in_paper_notation() {
+    let p = Pipeline::from_source(POWER).unwrap();
+    let d = p.annotated().def(&QualName::new("Power", "power")).unwrap();
+    let shown = d.to_string();
+    assert!(shown.contains("power {t0 t1} n x =^{t0}"), "{shown}");
+    assert!(shown.contains("if^{t0}"), "{shown}");
+    assert!(shown.contains("*^{t0 | t1}"), "{shown}");
+}
+
+/// §2: different static data gives different residual programs from the
+/// same generating extension.
+#[test]
+fn different_static_inputs_give_different_residuals() {
+    let p = Pipeline::from_source(POWER).unwrap();
+    let s3 = p
+        .specialise("Power", "power", vec![SpecArg::Static(Value::nat(3)), SpecArg::Dynamic])
+        .unwrap();
+    let s5 = p
+        .specialise("Power", "power", vec![SpecArg::Static(Value::nat(5)), SpecArg::Dynamic])
+        .unwrap();
+    assert_ne!(s3.source(), s5.source());
+    assert_eq!(s5.run(vec![Value::nat(2)]).unwrap(), Value::nat(32));
+}
+
+/// §8: with completely dynamic arguments the residual program behaves
+/// exactly like the source (the genext "reveals" the function).
+#[test]
+fn fully_dynamic_reconstructs_source_behaviour() {
+    let p = Pipeline::from_source(POWER).unwrap();
+    let s = p
+        .specialise("Power", "power", vec![SpecArg::Dynamic, SpecArg::Dynamic])
+        .unwrap();
+    for (n, x) in [(1u64, 7u64), (3, 2), (6, 3)] {
+        let direct = p
+            .run_source("Power", "power", vec![Value::nat(n), Value::nat(x)])
+            .unwrap();
+        assert_eq!(s.run(vec![Value::nat(n), Value::nat(x)]).unwrap(), direct);
+    }
+}

@@ -1,0 +1,308 @@
+//! End-to-end pipeline coverage beyond the paper's worked examples:
+//! a first-Futamura-projection interpreter workload, multi-module list
+//! libraries, strategy equivalence, baseline agreement, and the file
+//! emission round trip.
+
+use mspec_core::{EngineOptions, Pipeline, SpecArg, Strategy};
+use mspec_lang::eval::Value;
+use mspec_mix::{mix_specialise, MixOptions};
+
+/// A tiny expression interpreter written in the object language, over
+/// programs encoded as prefix lists of naturals:
+/// `0 n` literal, `1` the input variable, `2 e1 e2` addition,
+/// `3 e1 e2` multiplication.
+const INTERP: &str = "module ListLib where\n\
+    drop n xs = if n == 0 then xs else drop (n - 1) (tail xs)\n\
+    module Interp where\n\
+    import ListLib\n\
+    size p = if head p == 0 then 2 else if head p == 1 then 1 else 1 + size (tail p) + size (drop (size (tail p)) (tail p))\n\
+    run p x = if head p == 0 then head (tail p) else if head p == 1 then x else if head p == 2 then run (tail p) x + run (drop (size (tail p)) (tail p)) x else run (tail p) x * run (drop (size (tail p)) (tail p)) x\n";
+
+/// Encodes (x + 3) * (x * x).
+fn sample_program() -> Value {
+    Value::list(
+        [3u64, 2, 1, 0, 3, 3, 1, 1]
+            .into_iter()
+            .map(Value::nat)
+            .collect(),
+    )
+}
+
+/// First Futamura projection: specialising the interpreter to a static
+/// program compiles it — the residual is straight-line arithmetic with
+/// no trace of the interpreter.
+#[test]
+fn futamura_interpreter_specialisation() {
+    let p = Pipeline::from_source(INTERP).unwrap();
+    let s = p
+        .specialise(
+            "Interp",
+            "run",
+            vec![SpecArg::Static(sample_program()), SpecArg::Dynamic],
+        )
+        .unwrap();
+    let src = s.source();
+    // Fully unfolded: one residual definition, no list operations left.
+    assert_eq!(s.stats.specialisations, 1, "{src}");
+    assert!(!src.contains("head"), "{src}");
+    assert!(!src.contains("drop"), "{src}");
+    assert!(src.contains('*'), "{src}");
+    // (x+3)*(x*x) at x = 4: 7 * 16.
+    assert_eq!(s.run(vec![Value::nat(4)]).unwrap(), Value::nat(112));
+    assert_eq!(s.run(vec![Value::nat(1)]).unwrap(), Value::nat(4));
+}
+
+/// The interpreter agrees with direct interpretation on dynamic programs
+/// too (second input static instead).
+#[test]
+fn interpreter_source_oracle() {
+    let p = Pipeline::from_source(INTERP).unwrap();
+    let direct = p
+        .run_source("Interp", "run", vec![sample_program(), Value::nat(4)])
+        .unwrap();
+    assert_eq!(direct, Value::nat(112));
+}
+
+/// A multi-module list library with a polymorphic `map`/`sum` pipeline.
+const LISTS: &str = "module Lib where\n\
+    map f xs = if null xs then [] else f @ (head xs) : map f (tail xs)\n\
+    sum xs = if null xs then 0 else head xs + sum (tail xs)\n\
+    upto n = if n == 0 then [] else n : upto (n - 1)\n\
+    module App where\n\
+    import Lib\n\
+    sumsquares n = sum (map (\\x -> x * x) (upto n))\n\
+    weighted w xs = sum (map (\\x -> x * w) xs)\n";
+
+#[test]
+fn static_pipeline_computes_at_spec_time() {
+    let p = Pipeline::from_source(LISTS).unwrap();
+    // Everything static: the residual is a constant.
+    let s = p
+        .specialise("App", "sumsquares", vec![SpecArg::Static(Value::nat(4))])
+        .unwrap();
+    let src = s.source();
+    assert!(src.contains("30"), "{src}"); // 16+9+4+1
+    assert_eq!(s.run(vec![]).unwrap(), Value::nat(30));
+}
+
+#[test]
+fn dynamic_weight_static_spine() {
+    let p = Pipeline::from_source(LISTS).unwrap();
+    let s = p
+        .specialise(
+            "App",
+            "weighted",
+            vec![SpecArg::Dynamic, SpecArg::StaticSpine(3)],
+        )
+        .unwrap();
+    let src = s.source();
+    // The spine unfolds: no residual recursion.
+    assert!(!src.contains("sum_"), "{src}");
+    assert!(!src.contains("map_"), "{src}");
+    let got = s
+        .run(vec![Value::nat(2), Value::nat(1), Value::nat(2), Value::nat(3)])
+        .unwrap();
+    assert_eq!(got, Value::nat(12));
+}
+
+#[test]
+fn fully_dynamic_lists_residualise_recursions() {
+    let p = Pipeline::from_source(LISTS).unwrap();
+    let s = p
+        .specialise("App", "weighted", vec![SpecArg::Dynamic, SpecArg::Dynamic])
+        .unwrap();
+    let src = s.source();
+    assert!(src.contains("map_") || src.contains("sum_"), "{src}");
+    let xs = Value::list(vec![Value::nat(1), Value::nat(2), Value::nat(3)]);
+    assert_eq!(s.run(vec![Value::nat(2), xs]).unwrap(), Value::nat(12));
+}
+
+/// Breadth-first and depth-first produce semantically identical residual
+/// programs (the paper: "Both techniques lead to equivalent residual
+/// programs"), with the expected space profile difference.
+#[test]
+fn breadth_first_and_depth_first_agree() {
+    let forced = [mspec_lang::QualName::new("Power", "power")]
+        .into_iter()
+        .collect();
+    let p = Pipeline::from_source_with(
+        "module Power where\npower n x = if n == 1 then x else x * power (n - 1) x\n",
+        &forced,
+    )
+    .unwrap();
+    let args = || vec![SpecArg::Static(Value::nat(12)), SpecArg::Dynamic];
+    let bf = p
+        .specialise_opts(
+            "Power",
+            "power",
+            args(),
+            EngineOptions { strategy: Strategy::BreadthFirst, ..EngineOptions::default() },
+        )
+        .unwrap();
+    let df = p
+        .specialise_opts(
+            "Power",
+            "power",
+            args(),
+            EngineOptions { strategy: Strategy::DepthFirst, ..EngineOptions::default() },
+        )
+        .unwrap();
+    assert_eq!(bf.stats.specialisations, df.stats.specialisations);
+    for x in [1u64, 2, 3] {
+        assert_eq!(
+            bf.run(vec![Value::nat(x)]).unwrap(),
+            df.run(vec![Value::nat(x)]).unwrap()
+        );
+    }
+    // The space claim (§5): breadth-first keeps ONE specialisation open;
+    // depth-first suspends a chain as deep as the request graph.
+    assert_eq!(bf.stats.peak_open, 1);
+    assert!(df.stats.peak_open >= 11, "depth {}", df.stats.peak_open);
+    // Breadth-first pays with a pending list instead.
+    assert!(bf.stats.peak_pending >= 1);
+}
+
+/// The monolithic mix baseline produces semantically equivalent residual
+/// programs (they are *structured* differently: one module).
+#[test]
+fn mix_and_genext_agree_semantically() {
+    let src = "module Power where\n\
+               power n x = if n == 1 then x else x * power (n - 1) x\n\
+               module Main where\n\
+               import Power\n\
+               main a b = power 3 a + power b 2\n";
+    let p = Pipeline::from_source(src).unwrap();
+    let spec = p
+        .specialise("Main", "main", vec![SpecArg::Dynamic, SpecArg::Dynamic])
+        .unwrap();
+    let mix = mix_specialise(
+        src,
+        "Main",
+        "main",
+        vec![SpecArg::Dynamic, SpecArg::Dynamic],
+        MixOptions::default(),
+    )
+    .unwrap();
+    let mix_resolved = mspec_lang::resolve::resolve(mix.residual.program.clone()).unwrap();
+    for (a, b) in [(2u64, 3u64), (5, 1), (0, 4)] {
+        let want = p
+            .run_source("Main", "main", vec![Value::nat(a), Value::nat(b)])
+            .unwrap();
+        assert_eq!(spec.run(vec![Value::nat(a), Value::nat(b)]).unwrap(), want);
+        let mut ev = mspec_lang::eval::Evaluator::new(&mix_resolved);
+        assert_eq!(
+            ev.call(&mix.residual.entry, vec![Value::nat(a), Value::nat(b)])
+                .unwrap(),
+            want
+        );
+    }
+    // Structure differs: genext output follows the module structure,
+    // mix's is monolithic.
+    assert!(spec.residual.program.modules.len() > 1);
+    assert_eq!(mix.residual.program.modules.len(), 1);
+}
+
+/// Residual programs survive the two-pass file emission and parse back
+/// to the same behaviour.
+#[test]
+fn residual_file_emission_roundtrip() {
+    let forced = [
+        mspec_lang::QualName::new("Power", "power"),
+        mspec_lang::QualName::new("Twice", "twice"),
+        mspec_lang::QualName::new("Main", "main"),
+    ]
+    .into_iter()
+    .collect();
+    let p =
+        Pipeline::from_program_with(mspec_lang::builder::paper_section5_program(), &forced)
+            .unwrap();
+    let s = p.specialise("Main", "main", vec![SpecArg::Dynamic]).unwrap();
+
+    let dir = std::env::temp_dir().join(format!("mspec-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let files = mspec_core::write_residual(&dir, &s.residual).unwrap();
+    assert_eq!(files.len(), 3);
+
+    // Read every file back, parse, resolve, run.
+    let mut text = String::new();
+    for f in &files {
+        text.push_str(&std::fs::read_to_string(f).unwrap());
+        text.push('\n');
+    }
+    let reparsed = mspec_lang::parser::parse_program(&text).unwrap();
+    let resolved = mspec_lang::resolve::resolve(reparsed).unwrap();
+    let mut ev = mspec_lang::eval::Evaluator::new(&resolved);
+    let got = ev.call(&s.residual.entry, vec![Value::nat(2)]).unwrap();
+    assert_eq!(got, Value::nat(512));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Specialisation-time errors surface cleanly: a program that diverges
+/// on its static data exhausts fuel instead of hanging.
+#[test]
+fn divergent_static_computation_exhausts_fuel() {
+    let p = Pipeline::from_source(
+        "module M where\nloop n = loop (n + 1)\nmain x = loop 0 + x\n",
+    )
+    .unwrap();
+    let err = p
+        .specialise_opts(
+            "M",
+            "main",
+            vec![SpecArg::Dynamic],
+            EngineOptions { fuel: 10_000, ..EngineOptions::default() },
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("fuel"), "{err}");
+}
+
+/// Unbounded polyvariance — a static counter growing towards a dynamic
+/// bound — is caught by the specialisation limit instead of exhausting
+/// memory (the known hazard of offline polyvariant specialisation).
+#[test]
+fn unbounded_polyvariance_is_caught() {
+    let p = Pipeline::from_source(
+        "module M where\nupto a b = if b <= a then [] else a : upto (a + 1) b\nmain n = upto 1 n\n",
+    )
+    .unwrap();
+    let err = p
+        .specialise_opts(
+            "M",
+            "main",
+            vec![SpecArg::Dynamic],
+            EngineOptions { max_specialisations: 500, ..EngineOptions::default() },
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("polyvariance"), "{err}");
+}
+
+/// Static errors in the static computation are detected at
+/// specialisation time (running the source would fail the same way).
+#[test]
+fn static_division_by_zero_is_caught() {
+    let p = Pipeline::from_source("module M where\nmain x = 1 / 0 + x\n").unwrap();
+    let err = p.specialise("M", "main", vec![SpecArg::Dynamic]).unwrap_err();
+    assert!(err.to_string().contains("division by zero"), "{err}");
+}
+
+/// Residual programs are themselves valid pipeline inputs — the residual
+/// of a residual is consistent (idempotence of full dynamisation).
+#[test]
+fn residual_programs_re_enter_the_pipeline() {
+    let p = Pipeline::from_source(
+        "module Power where\npower n x = if n == 1 then x else x * power (n - 1) x\n",
+    )
+    .unwrap();
+    let s = p
+        .specialise("Power", "power", vec![SpecArg::Static(Value::nat(4)), SpecArg::Dynamic])
+        .unwrap();
+    let p2 = Pipeline::from_program(s.residual.program.clone()).unwrap();
+    let s2 = p2
+        .specialise(
+            s.residual.entry.module.as_str(),
+            s.residual.entry.name.as_str(),
+            vec![SpecArg::Dynamic],
+        )
+        .unwrap();
+    assert_eq!(s2.run(vec![Value::nat(3)]).unwrap(), Value::nat(81));
+}

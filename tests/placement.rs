@@ -1,0 +1,242 @@
+//! Experiment E6: residual-module placement (§5).
+//!
+//! The paper gives three placement scenarios with exact expected
+//! outcomes; these tests reproduce each, plus the structural guarantees
+//! (no empty modules, acyclic residual imports).
+
+use mspec_core::{Pipeline, SpecArg};
+use mspec_lang::builder;
+use mspec_lang::eval::Value;
+use mspec_lang::modgraph::ModGraph;
+use mspec_lang::QualName;
+use std::collections::BTreeSet;
+
+/// §5's main worked example: Power/Twice/Main with all definitions
+/// hand-annotated non-unfoldable. Expected residual structure (verbatim
+/// from the paper):
+///
+/// ```text
+/// module Power where  power3 x = x * power2 x ; power2 ; power1
+/// module PowerTwice where import Power ; twicepower x = power3 (power3 x)
+/// module Main where import PowerTwice ; main x = twicepower x
+/// ```
+#[test]
+fn section5_power_twice_main_structure() {
+    let forced: BTreeSet<QualName> = [
+        QualName::new("Power", "power"),
+        QualName::new("Twice", "twice"),
+        QualName::new("Main", "main"),
+    ]
+    .into();
+    let p = Pipeline::from_program_with(builder::paper_section5_program(), &forced).unwrap();
+    let s = p.specialise("Main", "main", vec![SpecArg::Dynamic]).unwrap();
+
+    assert_eq!(s.module_names(), vec!["Main", "Power", "PowerTwice"]);
+
+    let power = s.residual.program.module("Power").unwrap();
+    assert_eq!(power.defs.len(), 3, "power3, power2, power1");
+    assert!(power.imports.is_empty());
+
+    let pt = s.residual.program.module("PowerTwice").unwrap();
+    assert_eq!(pt.defs.len(), 1);
+    assert_eq!(pt.imports, vec![mspec_lang::ModName::new("Power")]);
+    // twicepower x = power3 (power3 x)
+    let body = mspec_lang::pretty::pretty_def(&pt.defs[0], Some(&pt.name));
+    assert!(body.contains("Power.power_1 (Power.power_1"), "{body}");
+
+    let main = s.residual.program.module("Main").unwrap();
+    assert_eq!(main.defs.len(), 1);
+    assert_eq!(main.imports, vec![mspec_lang::ModName::new("PowerTwice")]);
+
+    // And it computes y^9.
+    assert_eq!(s.run(vec![Value::nat(2)]).unwrap(), Value::nat(512));
+}
+
+/// §5: `map` (module A) specialised to a closure over `g` (module B,
+/// which imports A) — the specialisation moves into B.
+#[test]
+fn map_specialisation_moves_into_importing_module() {
+    let p = Pipeline::from_program(builder::paper_map_program()).unwrap();
+    let s = p
+        .specialise("B", "h", vec![SpecArg::Dynamic, SpecArg::Dynamic])
+        .unwrap();
+    // All residual code lives in B; module A is EMPTY and not emitted.
+    assert_eq!(s.module_names(), vec!["B"]);
+    let b = s.residual.program.module("B").unwrap();
+    assert!(b.defs.iter().any(|d| d.name.as_str().starts_with("map_")));
+}
+
+/// §5: `g` imported from a third module C unrelated to A — the
+/// specialisation of map needs a *combination module* AC, importable
+/// from both callers B and D without creating cycles.
+#[test]
+fn unrelated_modules_get_combination_module() {
+    let src = "module A where\n\
+               map f xs = if null xs then [] else f @ (head xs) : map f (tail xs)\n\
+               module C where\n\
+               g x = x + 1\n\
+               module B where\n\
+               import A\n\
+               import C\n\
+               hb z zs = map (\\x -> g x + z) zs\n\
+               module D where\n\
+               import A\n\
+               import C\n\
+               hd zs = map (\\x -> g x) zs\n\
+               module Top where\n\
+               import B\n\
+               import D\n\
+               main z zs = hb z zs : hd zs : []\n";
+    let p = Pipeline::from_source(src).unwrap();
+    let s = p
+        .specialise("Top", "main", vec![SpecArg::Dynamic, SpecArg::Dynamic])
+        .unwrap();
+    let names = s.module_names();
+    assert!(names.contains(&"AC".to_string()), "{names:?}\n{}", s.source());
+    // Both map specialisations (different closures) live in AC.
+    let ac = s.residual.program.module("AC").unwrap();
+    assert_eq!(
+        ac.defs.iter().filter(|d| d.name.as_str().starts_with("map_")).count(),
+        2,
+        "{}",
+        s.source()
+    );
+    // Semantics preserved.
+    let zs = Value::list(vec![Value::nat(5)]);
+    let got = s.run(vec![Value::nat(100), zs]).unwrap();
+    let items = got.as_list().unwrap();
+    assert_eq!(items[0], Value::list(vec![Value::nat(106)]));
+    assert_eq!(items[1], Value::list(vec![Value::nat(6)]));
+}
+
+/// §5: the same combination set is reused — a second call from another
+/// module does NOT duplicate the specialisation.
+#[test]
+fn combination_specialisations_are_shared_not_duplicated() {
+    let src = "module A where\n\
+               map f xs = if null xs then [] else f @ (head xs) : map f (tail xs)\n\
+               module C where\n\
+               g x = x + 1\n\
+               module B where\n\
+               import A\n\
+               import C\n\
+               hb zs = map (\\x -> g x) zs\n\
+               module D where\n\
+               import A\n\
+               import C\n\
+               hd zs = map (\\x -> g x) zs\n\
+               module Top where\n\
+               import B\n\
+               import D\n\
+               main zs = hb zs : hd zs : []\n";
+    let p = Pipeline::from_source(src).unwrap();
+    let s = p.specialise("Top", "main", vec![SpecArg::Dynamic]).unwrap();
+    // hb and hd use the *same* lambda shape but from different modules —
+    // they are different closure sites, so two specialisations exist;
+    // the only memo hits are each residual map's self-recursive call.
+    assert_eq!(s.stats.memo_hits, 2);
+    let map_specs: usize = s
+        .residual
+        .program
+        .modules
+        .iter()
+        .flat_map(|m| &m.defs)
+        .filter(|d| d.name.as_str().starts_with("map_"))
+        .count();
+    assert_eq!(map_specs, 2);
+    // Re-using the identical call twice in one body shares:
+    // Two textually equal lambdas are *different* closure sites and get
+    // their own specialisations; binding the lambda once shares it.
+    let src2 = "module A where\n\
+                map f xs = if null xs then [] else f @ (head xs) : map f (tail xs)\n\
+                module B where\n\
+                import A\n\
+                h zs ws = let f = \\x -> x + 1 in map f zs : map f ws : []\n";
+    let p2 = Pipeline::from_source(src2).unwrap();
+    let s2 = p2
+        .specialise("B", "h", vec![SpecArg::Dynamic, SpecArg::Dynamic])
+        .unwrap();
+    // Same lambda site, same static parts: ONE specialisation; the
+    // second call site and the self-recursion both hit the memo table.
+    assert_eq!(s2.stats.memo_hits, 2, "{}", s2.source());
+
+    let map_specs: usize = s2
+        .residual
+        .program
+        .modules
+        .iter()
+        .flat_map(|m| &m.defs)
+        .filter(|d| d.name.as_str().starts_with("map_"))
+        .count();
+    assert_eq!(map_specs, 1, "{}", s2.source());
+}
+
+/// §5: empty residual modules are never emitted.
+#[test]
+fn empty_modules_are_not_emitted() {
+    // Twice's specialisations all unfold; module Twice must not appear.
+    let p = Pipeline::from_program(builder::paper_section5_program()).unwrap();
+    let s = p.specialise("Main", "main", vec![SpecArg::Dynamic]).unwrap();
+    // Everything unfolds into main here (no forced residuals), so only
+    // Main remains.
+    assert_eq!(s.module_names(), vec!["Main"]);
+    assert_eq!(s.run(vec![Value::nat(2)]).unwrap(), Value::nat(512));
+}
+
+/// The generated import graph is acyclic and resolvable for every
+/// placement scenario above.
+#[test]
+fn residual_programs_resolve_with_acyclic_imports() {
+    let forced: BTreeSet<QualName> = [
+        QualName::new("Power", "power"),
+        QualName::new("Twice", "twice"),
+        QualName::new("Main", "main"),
+    ]
+    .into();
+    let p = Pipeline::from_program_with(builder::paper_section5_program(), &forced).unwrap();
+    let s = p.specialise("Main", "main", vec![SpecArg::Dynamic]).unwrap();
+    let resolved = mspec_lang::resolve::resolve(s.residual.program.clone()).unwrap();
+    assert!(ModGraph::new(resolved.program()).is_ok());
+}
+
+/// Provenance: every residual definition records its source function and
+/// binding-time mask (the paper's power3/power2/power1 ↔ power n=3,2,1
+/// relationship, made inspectable).
+#[test]
+fn provenance_records_source_and_mask() {
+    let forced: BTreeSet<QualName> = [QualName::new("Power", "power")].into();
+    let p = Pipeline::from_source_with(
+        "module Power where\npower n x = if n == 1 then x else x * power (n - 1) x\n",
+        &forced,
+    )
+    .unwrap();
+    let s = p
+        .specialise("Power", "power", vec![SpecArg::Static(Value::nat(3)), SpecArg::Dynamic])
+        .unwrap();
+    assert_eq!(s.provenance.len(), 3);
+    for pr in &s.provenance {
+        assert_eq!(pr.source, QualName::new("Power", "power"));
+        assert_eq!(pr.mask.render(pr.vars), "{S,D}");
+        assert_eq!(pr.formals, 1);
+        assert!(s.residual.program.def(&pr.residual).is_some());
+    }
+    let report = s.provenance_report();
+    assert!(report.contains("Power.power_1 <- Power.power {S,D}"), "{report}");
+}
+
+/// Placement happens at first-request time, before bodies exist: a
+/// recursive residual function is placed exactly once and self-calls
+/// stay in-module.
+#[test]
+fn recursive_residuals_stay_in_their_module() {
+    let p = Pipeline::from_source(
+        "module Power where\npower n x = if n == 1 then x else x * power (n - 1) x\n",
+    )
+    .unwrap();
+    let s = p
+        .specialise("Power", "power", vec![SpecArg::Dynamic, SpecArg::Dynamic])
+        .unwrap();
+    assert_eq!(s.module_names(), vec!["Power"]);
+    let m = s.residual.program.module("Power").unwrap();
+    assert!(m.imports.is_empty());
+}
