@@ -3,7 +3,7 @@
 //! under the polyvariant analysis; the monovariant baseline merges them
 //! to `{D,D}` and loses all static computation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mspec_bench::bench;
 use mspec_lang::eval::{Evaluator, Value};
 use mspec_lang::resolve::resolve;
 use mspec_mix::{mix_specialise, MixOptions};
@@ -14,7 +14,9 @@ const SRC: &str = "module Power where\n\
     import Power\n\
     main a b = power 10 a + power b 2\n";
 
-fn residual_runner(polyvariant: bool) -> (mspec_lang::resolve::ResolvedProgram, mspec_lang::QualName) {
+fn residual_runner(
+    polyvariant: bool,
+) -> (mspec_lang::resolve::ResolvedProgram, mspec_lang::QualName) {
     let out = mix_specialise(
         SRC,
         "Main",
@@ -26,24 +28,15 @@ fn residual_runner(polyvariant: bool) -> (mspec_lang::resolve::ResolvedProgram, 
     (resolve(out.residual.program.clone()).unwrap(), out.residual.entry)
 }
 
-fn bench_bta_variants(c: &mut Criterion) {
+fn main() {
     let (poly, poly_entry) = residual_runner(true);
     let (mono, mono_entry) = residual_runner(false);
-    let mut g = c.benchmark_group("residual_run_bta");
-    g.bench_function("polyvariant", |b| {
-        b.iter(|| {
-            let mut ev = Evaluator::new(&poly);
-            ev.call(&poly_entry, vec![Value::nat(3), Value::nat(5)]).unwrap()
-        })
+    bench("residual_run_bta", "polyvariant", 100, || {
+        let mut ev = Evaluator::new(&poly);
+        ev.call(&poly_entry, vec![Value::nat(3), Value::nat(5)]).unwrap()
     });
-    g.bench_function("monovariant", |b| {
-        b.iter(|| {
-            let mut ev = Evaluator::new(&mono);
-            ev.call(&mono_entry, vec![Value::nat(3), Value::nat(5)]).unwrap()
-        })
+    bench("residual_run_bta", "monovariant", 100, || {
+        let mut ev = Evaluator::new(&mono);
+        ev.call(&mono_entry, vec![Value::nat(3), Value::nat(5)]).unwrap()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_bta_variants);
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! specialisation. We compare *residual program quality*: how much work
 //! the residual program does at run time.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mspec_bench::bench;
 use mspec_core::{Pipeline, SpecArg};
 use mspec_lang::eval::{Evaluator, Value};
 use mspec_lang::resolve::resolve;
@@ -14,36 +14,28 @@ const SRC: &str = "module Power where\n\
     import Power\n\
     main y = power 12 y\n";
 
-fn bench_residual_quality(c: &mut Criterion) {
+fn main() {
     // Module-sensitive residual: power 12 unfolds into main.
     let pipeline = Pipeline::from_source(SRC).unwrap();
     let spec = pipeline
         .specialise("Main", "main", vec![SpecArg::Dynamic])
         .unwrap();
     let spec_resolved = resolve(spec.residual.program.clone()).unwrap();
-    let spec_entry = spec.residual.entry.clone();
+    let spec_entry = spec.residual.entry;
 
     // Similix-extern residual: the call to power survives unspecialised.
-    let simx = similix_specialise(SRC, "Main", "main", vec![SpecArg::Dynamic], MixOptions::default())
-        .unwrap();
+    let simx =
+        similix_specialise(SRC, "Main", "main", vec![SpecArg::Dynamic], MixOptions::default())
+            .unwrap();
     let simx_resolved = resolve(simx.residual.program.clone()).unwrap();
-    let simx_entry = simx.residual.entry.clone();
+    let simx_entry = simx.residual.entry;
 
-    let mut g = c.benchmark_group("residual_run_power12");
-    g.bench_function("module_sensitive", |b| {
-        b.iter(|| {
-            let mut ev = Evaluator::new(&spec_resolved);
-            ev.call(&spec_entry, vec![Value::nat(3)]).unwrap()
-        })
+    bench("residual_run_power12", "module_sensitive", 100, || {
+        let mut ev = Evaluator::new(&spec_resolved);
+        ev.call(&spec_entry, vec![Value::nat(3)]).unwrap()
     });
-    g.bench_function("similix_extern", |b| {
-        b.iter(|| {
-            let mut ev = Evaluator::new(&simx_resolved);
-            ev.call(&simx_entry, vec![Value::nat(3)]).unwrap()
-        })
+    bench("residual_run_power12", "similix_extern", 100, || {
+        let mut ev = Evaluator::new(&simx_resolved);
+        ev.call(&simx_entry, vec![Value::nat(3)]).unwrap()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_residual_quality);
-criterion_main!(benches);

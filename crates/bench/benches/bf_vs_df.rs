@@ -3,38 +3,30 @@
 //! Wall-clock here; the space comparison (the paper's actual argument)
 //! is printed by `cargo run -p mspec-bench --bin space_table`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mspec_bench::bench;
 use mspec_bench::workloads::POWER;
 use mspec_core::{EngineOptions, Pipeline, SpecArg, Strategy};
 use mspec_lang::eval::Value;
 use mspec_lang::QualName;
 
-fn bench_strategies(c: &mut Criterion) {
+fn main() {
     let forced = [QualName::new("Power", "power")].into_iter().collect();
     let pipeline = Pipeline::from_source_with(POWER, &forced).unwrap();
-    let mut g = c.benchmark_group("bf_vs_df_chain");
-    g.sample_size(20);
     for n in [50u64, 200] {
         for (name, strategy) in [
             ("breadth_first", Strategy::BreadthFirst),
             ("depth_first", Strategy::DepthFirst),
         ] {
-            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
-                b.iter(|| {
-                    pipeline
-                        .specialise_opts(
-                            "Power",
-                            "power",
-                            vec![SpecArg::Static(Value::nat(n)), SpecArg::Dynamic],
-                            EngineOptions { strategy, ..EngineOptions::default() },
-                        )
-                        .unwrap()
-                })
+            bench("bf_vs_df_chain", &format!("{name}/{n}"), 20, || {
+                pipeline
+                    .specialise_opts(
+                        "Power",
+                        "power",
+                        vec![SpecArg::Static(Value::nat(n)), SpecArg::Dynamic],
+                        EngineOptions { strategy, ..EngineOptions::default() },
+                    )
+                    .unwrap()
             });
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_strategies);
-criterion_main!(benches);

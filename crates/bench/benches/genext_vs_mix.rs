@@ -8,69 +8,56 @@
 //! run: just execute the compiled genext. `genext/prepare` shows that
 //! one-off cost for reference.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mspec_bench::bench;
 use mspec_bench::workloads::{encoded_expr, library_source, prepared_library, INTERP, POWER};
 use mspec_core::{Pipeline, SpecArg};
 use mspec_lang::eval::Value;
 use mspec_mix::{mix_specialise, MixOptions};
 
-fn bench_power(c: &mut Criterion) {
-    let mut g = c.benchmark_group("power_n20");
+fn bench_power() {
     let args = || vec![SpecArg::Static(Value::nat(20)), SpecArg::Dynamic];
     let pipeline = Pipeline::from_source(POWER).unwrap();
-    g.bench_function("genext/specialise", |b| {
-        b.iter(|| pipeline.specialise("Power", "power", args()).unwrap())
+    bench("power_n20", "genext/specialise", 50, || {
+        pipeline.specialise("Power", "power", args()).unwrap()
     });
-    g.bench_function("mix/session", |b| {
-        b.iter(|| mix_specialise(POWER, "Power", "power", args(), MixOptions::default()).unwrap())
+    bench("power_n20", "mix/session", 50, || {
+        mix_specialise(POWER, "Power", "power", args(), MixOptions::default()).unwrap()
     });
-    g.bench_function("genext/prepare", |b| {
-        b.iter(|| Pipeline::from_source(POWER).unwrap())
+    bench("power_n20", "genext/prepare", 50, || {
+        Pipeline::from_source(POWER).unwrap()
     });
-    g.finish();
 }
 
-fn bench_interpreter(c: &mut Criterion) {
-    let mut g = c.benchmark_group("interp_depth7");
-    g.sample_size(10);
+fn bench_interpreter() {
     let prog = encoded_expr(7);
     let args = || vec![SpecArg::Static(prog.clone()), SpecArg::Dynamic];
     let pipeline = Pipeline::from_source(INTERP).unwrap();
-    g.bench_function("genext/specialise", |b| {
-        b.iter(|| pipeline.specialise("Interp", "run", args()).unwrap())
+    bench("interp_depth7", "genext/specialise", 10, || {
+        pipeline.specialise("Interp", "run", args()).unwrap()
     });
-    g.bench_function("mix/session", |b| {
-        b.iter(|| mix_specialise(INTERP, "Interp", "run", args(), MixOptions::default()).unwrap())
+    bench("interp_depth7", "mix/session", 10, || {
+        mix_specialise(INTERP, "Interp", "run", args(), MixOptions::default()).unwrap()
     });
-    g.finish();
 }
 
-fn bench_library(c: &mut Criterion) {
-    let mut g = c.benchmark_group("library");
-    g.sample_size(20);
+fn bench_library() {
     for modules in [2usize, 8] {
         let (src, _) = library_source(modules, 8);
         let pipeline = prepared_library(modules, 8);
-        g.bench_with_input(
-            BenchmarkId::new("genext/specialise", modules),
-            &modules,
-            |b, _| {
-                b.iter(|| {
-                    pipeline
-                        .specialise("Main", "main", vec![SpecArg::Dynamic])
-                        .unwrap()
-                })
-            },
-        );
-        g.bench_with_input(BenchmarkId::new("mix/session", modules), &modules, |b, _| {
-            b.iter(|| {
-                mix_specialise(&src, "Main", "main", vec![SpecArg::Dynamic], MixOptions::default())
-                    .unwrap()
-            })
+        bench("library", &format!("genext/specialise/{modules}"), 20, || {
+            pipeline
+                .specialise("Main", "main", vec![SpecArg::Dynamic])
+                .unwrap()
+        });
+        bench("library", &format!("mix/session/{modules}"), 20, || {
+            mix_specialise(&src, "Main", "main", vec![SpecArg::Dynamic], MixOptions::default())
+                .unwrap()
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_power, bench_interpreter, bench_library);
-criterion_main!(benches);
+fn main() {
+    bench_power();
+    bench_interpreter();
+    bench_library();
+}

@@ -3,36 +3,20 @@
 //! library size — once the library's generating extensions exist.
 //! The mix baseline re-reads and re-analyses everything each session.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mspec_bench::bench;
 use mspec_bench::workloads::{library_args, library_source, prepared_library};
 use mspec_mix::{mix_specialise, MixOptions};
 
-fn bench_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("library_scaling");
-    g.sample_size(20);
+fn main() {
     for modules in [2usize, 4, 8, 16] {
         let (src, _) = library_source(modules, 8);
         let pipeline = prepared_library(modules, 8);
-        g.bench_with_input(
-            BenchmarkId::new("genext/specialise", modules * 8),
-            &modules,
-            |b, _| {
-                b.iter(|| pipeline.specialise("Main", "main", library_args()).unwrap())
-            },
-        );
-        g.bench_with_input(
-            BenchmarkId::new("mix/session", modules * 8),
-            &modules,
-            |b, _| {
-                b.iter(|| {
-                    mix_specialise(&src, "Main", "main", library_args(), MixOptions::default())
-                        .unwrap()
-                })
-            },
-        );
+        let fns = modules * 8;
+        bench("library_scaling", &format!("genext/specialise/{fns}"), 20, || {
+            pipeline.specialise("Main", "main", library_args()).unwrap()
+        });
+        bench("library_scaling", &format!("mix/session/{fns}"), 20, || {
+            mix_specialise(&src, "Main", "main", library_args(), MixOptions::default()).unwrap()
+        });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_scaling);
-criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! *ratio* table is printed by `cargo run -p mspec-bench --bin
 //! size_scaling`.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mspec_bench::bench;
 use mspec_bta::analyse::analyse_module;
 use mspec_cogen::compile::compile_module;
 use mspec_lang::parser::parse_module;
@@ -16,23 +16,15 @@ fn module_with_fns(n: usize) -> String {
     format!("module M where\n{defs}")
 }
 
-fn bench_cogen(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cogen_module");
+fn main() {
     for n in [4usize, 16, 64] {
         let src = module_with_fns(n);
         let module = parse_module(&src).unwrap();
-        let resolved =
-            mspec_lang::resolve::resolve_program(vec![module]).unwrap();
+        let resolved = mspec_lang::resolve::resolve_program(vec![module]).unwrap();
         let module = resolved.program().modules[0].clone();
-        g.bench_with_input(BenchmarkId::new("analyse+compile", n), &n, |b, _| {
-            b.iter(|| {
-                let ann = analyse_module(&module, &BTreeMap::new()).unwrap();
-                compile_module(&ann)
-            })
+        bench("cogen_module", &format!("analyse+compile/{n}"), 30, || {
+            let ann = analyse_module(&module, &BTreeMap::new()).unwrap();
+            compile_module(&ann)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_cogen);
-criterion_main!(benches);

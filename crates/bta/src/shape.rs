@@ -12,11 +12,11 @@
 //! it for concrete assignments.
 
 use crate::term::{Bt, BtTerm, BtVarId};
-use serde::{Deserialize, Serialize};
+use mspec_lang::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 
 /// A binding-time type over a function's signature variables.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum SigShape {
     /// A base (Nat/Bool) position.
     Base(BtTerm),
@@ -93,6 +93,53 @@ impl SigShape {
                     && a.well_formed_under(assignment)
                     && r.well_formed_under(assignment)
             }
+        }
+    }
+}
+
+impl ToJson for SigShape {
+    fn to_json_value(&self) -> Json {
+        match self {
+            SigShape::Base(t) => Json::obj([("base", t.to_json_value())]),
+            SigShape::Var(t) => Json::obj([("bt", t.to_json_value())]),
+            SigShape::List(e, t) => {
+                Json::obj([("list", Json::Arr(vec![e.to_json_value(), t.to_json_value()]))])
+            }
+            SigShape::Fun(a, t, r) => Json::obj([(
+                "fun",
+                Json::Arr(vec![a.to_json_value(), t.to_json_value(), r.to_json_value()]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for SigShape {
+    fn from_json_value(j: &Json) -> Result<SigShape, JsonError> {
+        match j.as_obj()? {
+            [(k, v)] if k == "base" => Ok(SigShape::Base(BtTerm::from_json_value(v)?)),
+            [(k, v)] if k == "bt" => Ok(SigShape::Var(BtTerm::from_json_value(v)?)),
+            [(k, v)] if k == "list" => {
+                let parts = v.as_arr()?;
+                if parts.len() != 2 {
+                    return Err(JsonError("`list` expects [elem, spine]".into()));
+                }
+                Ok(SigShape::List(
+                    Box::new(SigShape::from_json_value(&parts[0])?),
+                    BtTerm::from_json_value(&parts[1])?,
+                ))
+            }
+            [(k, v)] if k == "fun" => {
+                let parts = v.as_arr()?;
+                if parts.len() != 3 {
+                    return Err(JsonError("`fun` expects [arg, arrow, ret]".into()));
+                }
+                Ok(SigShape::Fun(
+                    Box::new(SigShape::from_json_value(&parts[0])?),
+                    BtTerm::from_json_value(&parts[1])?,
+                    Box::new(SigShape::from_json_value(&parts[2])?),
+                ))
+            }
+            _ => Err(JsonError("malformed binding-time shape".into())),
         }
     }
 }
@@ -188,9 +235,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let s = fun_shape();
-        let js = serde_json::to_string(&s).unwrap();
-        assert_eq!(serde_json::from_str::<SigShape>(&js).unwrap(), s);
+        let js = s.to_json_compact();
+        assert_eq!(SigShape::from_json_str(&js).unwrap(), s);
     }
 }

@@ -10,14 +10,13 @@
 
 use crate::shape::SigShape;
 use crate::term::{Bt, BtTerm, BtVarId};
-use mspec_lang::Ident;
-use serde::{Deserialize, Serialize};
+use mspec_lang::{FromJson, Ident, Json, JsonError, ToJson};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A concrete assignment of a signature's binding-time variables:
 /// bit `i` set ⇔ `t_i = D`. Signatures are limited to 128 variables.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct BtMask(pub u128);
 
 impl BtMask {
@@ -70,7 +69,7 @@ impl BtMask {
 }
 
 /// The qualified binding-time scheme of one named function.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BtSignature {
     /// Number of signature variables (`t0 … t{vars-1}`).
     pub vars: u32,
@@ -129,6 +128,57 @@ impl BtSignature {
     }
 }
 
+impl ToJson for BtSignature {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("vars", Json::Num(u128::from(self.vars))),
+            (
+                "constraints",
+                Json::Arr(
+                    self.constraints
+                        .iter()
+                        .map(|(lo, hi)| {
+                            Json::Arr(vec![Json::Num(u128::from(*lo)), Json::Num(u128::from(*hi))])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "forced_d",
+                Json::Arr(self.forced_d.iter().map(|v| Json::Num(u128::from(*v))).collect()),
+            ),
+            ("params", self.params.to_json_value()),
+            ("ret", self.ret.to_json_value()),
+            ("unfold", self.unfold.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for BtSignature {
+    fn from_json_value(j: &Json) -> Result<BtSignature, JsonError> {
+        let mut constraints = Vec::new();
+        for c in j.get("constraints")?.as_arr()? {
+            let pair = c.as_arr()?;
+            if pair.len() != 2 {
+                return Err(JsonError("constraint expects [lo, hi]".into()));
+            }
+            constraints.push((pair[0].as_u32()?, pair[1].as_u32()?));
+        }
+        let mut forced_d = Vec::new();
+        for v in j.get("forced_d")?.as_arr()? {
+            forced_d.push(v.as_u32()?);
+        }
+        Ok(BtSignature {
+            vars: j.get("vars")?.as_u32()?,
+            constraints,
+            forced_d,
+            params: Vec::from_json_value(j.get("params")?)?,
+            ret: SigShape::from_json_value(j.get("ret")?)?,
+            unfold: BtTerm::from_json_value(j.get("unfold")?)?,
+        })
+    }
+}
+
 impl fmt::Display for BtSignature {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.vars > 0 {
@@ -166,7 +216,7 @@ impl fmt::Display for BtSignature {
 
 /// The binding-time interface of one module: a signature per exported
 /// function. Serialised to `.bti` files.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct BtInterface {
     sigs: BTreeMap<Ident, BtSignature>,
 }
@@ -206,10 +256,10 @@ impl BtInterface {
     ///
     /// # Errors
     ///
-    /// Returns an error if serialisation fails (it does not for
-    /// well-formed interfaces).
-    pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string_pretty(self)
+    /// Never fails for well-formed interfaces; the `Result` is kept for
+    /// interface-file API stability.
+    pub fn to_json(&self) -> Result<String, JsonError> {
+        Ok(self.to_json_pretty())
     }
 
     /// Reads back an interface written by [`BtInterface::to_json`].
@@ -217,8 +267,29 @@ impl BtInterface {
     /// # Errors
     ///
     /// Returns an error if `s` is not a valid interface file.
-    pub fn from_json(s: &str) -> Result<BtInterface, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> Result<BtInterface, JsonError> {
+        BtInterface::from_json_str(s)
+    }
+}
+
+impl ToJson for BtInterface {
+    fn to_json_value(&self) -> Json {
+        Json::Obj(
+            self.sigs
+                .iter()
+                .map(|(name, sig)| (name.as_str().to_owned(), sig.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+impl FromJson for BtInterface {
+    fn from_json_value(j: &Json) -> Result<BtInterface, JsonError> {
+        let mut sigs = BTreeMap::new();
+        for (name, v) in j.as_obj()? {
+            sigs.insert(Ident::new(name), BtSignature::from_json_value(v)?);
+        }
+        Ok(BtInterface { sigs })
     }
 }
 

@@ -6,12 +6,12 @@
 //! the function's signature variables, or the constant `D`. (`S` is the
 //! lub of the empty set.)
 
-use serde::{Deserialize, Serialize};
+use mspec_lang::{FromJson, Json, JsonError, ToJson};
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// A concrete binding time: static or dynamic, with `S < D`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Bt {
     /// Static: known at specialisation time.
     S,
@@ -53,7 +53,7 @@ pub type BtVarId = u32;
 ///
 /// `D ⊔ anything = D`, so a term containing `D` is just `D` — the
 /// representation keeps that normal form.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BtTerm {
     forced_d: bool,
     vars: BTreeSet<BtVarId>,
@@ -148,6 +148,32 @@ impl BtTerm {
             out = out.lub(&f(*v));
         }
         out
+    }
+}
+
+impl ToJson for BtTerm {
+    fn to_json_value(&self) -> Json {
+        if self.forced_d {
+            Json::str("D")
+        } else {
+            Json::Arr(self.vars.iter().map(|v| Json::Num(u128::from(*v))).collect())
+        }
+    }
+}
+
+impl FromJson for BtTerm {
+    fn from_json_value(j: &Json) -> Result<BtTerm, JsonError> {
+        if let Ok(s) = j.as_str() {
+            return match s {
+                "D" => Ok(BtTerm::d()),
+                other => Err(JsonError(format!("unknown binding-time constant `{other}`"))),
+            };
+        }
+        let mut vars = BTreeSet::new();
+        for v in j.as_arr()? {
+            vars.insert(v.as_u32()?);
+        }
+        Ok(BtTerm { forced_d: false, vars })
     }
 }
 
@@ -246,9 +272,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
-        let t = BtTerm::lub_of([1, 4]);
-        let js = serde_json::to_string(&t).unwrap();
-        assert_eq!(serde_json::from_str::<BtTerm>(&js).unwrap(), t);
+    fn json_roundtrip() {
+        for t in [BtTerm::lub_of([1, 4]), BtTerm::s(), BtTerm::d()] {
+            let js = t.to_json_compact();
+            assert_eq!(BtTerm::from_json_str(&js).unwrap(), t);
+        }
     }
 }

@@ -129,7 +129,7 @@ pub fn build(
             || module.imports.iter().any(|i| iface_changed.contains(i));
 
         if !stale {
-            actions.push((name.clone(), BuildAction::UpToDate));
+            actions.push((*name, BuildAction::UpToDate));
             continue;
         }
         let old_iface = if bti.exists() { Some(load_bti(&bti)?) } else { None };
@@ -137,9 +137,9 @@ pub fn build(
         cogen_module(module, out_dir, &forced)?;
         let new_iface = load_bti(&bti)?;
         if old_iface.as_ref() != Some(&new_iface) {
-            iface_changed.insert(name.clone());
+            iface_changed.insert(*name);
         }
-        actions.push((name.clone(), BuildAction::Rebuilt));
+        actions.push((*name, BuildAction::Rebuilt));
     }
     Ok(BuildReport { actions, out_dir: out_dir.to_path_buf() })
 }

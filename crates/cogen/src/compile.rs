@@ -15,7 +15,7 @@ use mspec_bta::{AnnDef, AnnExpr, AnnModule, AnnProgram};
 use mspec_genext::gexp::{BtCode, GCoerce, GenFn, GenModule, GExp};
 use mspec_genext::{GenProgram, SpecError};
 use mspec_lang::ast::{Ident, QualName};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Compiles one annotated module into its generating extension.
 pub fn compile_module(ann: &AnnModule) -> GenModule {
@@ -25,7 +25,7 @@ pub fn compile_module(ann: &AnnModule) -> GenModule {
         .iter()
         .map(|d| compile_def(ann, d, &mut lam_counter))
         .collect();
-    GenModule { name: ann.name.clone(), imports: ann.imports.clone(), fns }
+    GenModule { name: ann.name, imports: ann.imports.clone(), fns }
 }
 
 /// Compiles and links a whole annotated program (convenience for tests
@@ -42,10 +42,10 @@ fn compile_def(ann: &AnnModule, d: &AnnDef, lam_counter: &mut u32) -> GenFn {
     let mut scope: Vec<Ident> = d.params.clone();
     let body = compile_expr(&d.body, &mut scope, lam_counter);
     GenFn {
-        name: QualName { module: ann.name.clone(), name: d.name.clone() },
+        name: QualName { module: ann.name, name: d.name },
         params: d.params.clone(),
         sig: d.sig.clone(),
-        body: Rc::new(body),
+        body: Arc::new(body),
     }
 }
 
@@ -75,7 +75,7 @@ fn compile_expr(e: &AnnExpr, scope: &mut Vec<Ident>, lam_counter: &mut u32) -> G
             Box::new(compile_expr(el, scope, lam_counter)),
         ),
         AnnExpr::Call { target, inst, args } => GExp::Call {
-            target: target.clone(),
+            target: *target,
             inst: inst.iter().map(BtCode::compile).collect(),
             args: args.iter().map(|a| compile_expr(a, scope, lam_counter)).collect(),
         },
@@ -83,7 +83,7 @@ fn compile_expr(e: &AnnExpr, scope: &mut Vec<Ident>, lam_counter: &mut u32) -> G
             // Captured variables: free in the body, bound in the
             // enclosing scope, in first-use order.
             let mut free = Vec::new();
-            free_vars(body, &mut vec![x.clone()], &mut free);
+            free_vars(body, &mut vec![*x], &mut free);
             let captured_names: Vec<Ident> =
                 free.into_iter().filter(|v| scope.contains(v)).collect();
             let captured: Vec<u32> =
@@ -93,13 +93,13 @@ fn compile_expr(e: &AnnExpr, scope: &mut Vec<Ident>, lam_counter: &mut u32) -> G
             let lam_id = *lam_counter;
             *lam_counter += 1;
             let mut inner_scope: Vec<Ident> = captured_names;
-            inner_scope.push(x.clone());
+            inner_scope.push(*x);
             let compiled = compile_expr(body, &mut inner_scope, lam_counter);
             GExp::Lam {
-                param: x.clone(),
-                body: Rc::new(compiled),
+                param: *x,
+                body: Arc::new(compiled),
                 captured,
-                free_fns: Rc::new(fns),
+                free_fns: Arc::new(fns),
                 lam_id,
             }
         }
@@ -110,7 +110,7 @@ fn compile_expr(e: &AnnExpr, scope: &mut Vec<Ident>, lam_counter: &mut u32) -> G
         ),
         AnnExpr::Let(x, rhs, body) => {
             let rhs = compile_expr(rhs, scope, lam_counter);
-            scope.push(x.clone());
+            scope.push(*x);
             let body = compile_expr(body, scope, lam_counter);
             scope.pop();
             GExp::Let(Box::new(rhs), Box::new(body))
@@ -128,7 +128,7 @@ fn free_vars(e: &AnnExpr, bound: &mut Vec<Ident>, out: &mut Vec<Ident>) {
         AnnExpr::Nat(_) | AnnExpr::Bool(_) | AnnExpr::Nil => {}
         AnnExpr::Var(x) => {
             if !bound.contains(x) && !out.contains(x) {
-                out.push(x.clone());
+                out.push(*x);
             }
         }
         AnnExpr::Prim(_, _, args) | AnnExpr::Call { args, .. } => {
@@ -142,7 +142,7 @@ fn free_vars(e: &AnnExpr, bound: &mut Vec<Ident>, out: &mut Vec<Ident>) {
             free_vars(f, bound, out);
         }
         AnnExpr::Lam(x, b) => {
-            bound.push(x.clone());
+            bound.push(*x);
             free_vars(b, bound, out);
             bound.pop();
         }
@@ -152,7 +152,7 @@ fn free_vars(e: &AnnExpr, bound: &mut Vec<Ident>, out: &mut Vec<Ident>) {
         }
         AnnExpr::Let(x, rhs, b) => {
             free_vars(rhs, bound, out);
-            bound.push(x.clone());
+            bound.push(*x);
             free_vars(b, bound, out);
             bound.pop();
         }
@@ -171,7 +171,7 @@ fn called_fns(e: &AnnExpr, out: &mut Vec<QualName>) {
         }
         AnnExpr::Call { target, args, .. } => {
             if !out.contains(target) {
-                out.push(target.clone());
+                out.push(*target);
             }
             for a in args {
                 called_fns(a, out);

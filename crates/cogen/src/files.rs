@@ -16,7 +16,7 @@ use mspec_genext::{GenModule, SpecError};
 use mspec_lang::ast::{Def, Expr, Ident, ModName, Module};
 use mspec_lang::error::LangError;
 use mspec_lang::parser::parse_module;
-use serde::{Deserialize, Serialize};
+use mspec_lang::{FromJson, Json, JsonError, ToJson};
 use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
@@ -127,7 +127,7 @@ pub fn load_bti(path: impl AsRef<Path>) -> Result<BtInterface, CogenError> {
 /// resolver* needs, written alongside `.bti`/`.gx` so that client
 /// modules can be resolved, analysed and cogen'd with no library source
 /// at all.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SigFile {
     /// The module's name.
     pub module: ModName,
@@ -137,13 +137,61 @@ pub struct SigFile {
     pub fns: Vec<(Ident, usize)>,
 }
 
+impl ToJson for SigFile {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("module", Json::str(self.module.as_str())),
+            (
+                "imports",
+                Json::Arr(self.imports.iter().map(|m| Json::str(m.as_str())).collect()),
+            ),
+            (
+                "fns",
+                Json::Arr(
+                    self.fns
+                        .iter()
+                        .map(|(n, a)| {
+                            Json::Arr(vec![Json::str(n.as_str()), Json::Num(*a as u128)])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl FromJson for SigFile {
+    fn from_json_value(j: &Json) -> Result<SigFile, JsonError> {
+        let module = ModName::new(j.get("module")?.as_str()?);
+        let imports = j
+            .get("imports")?
+            .as_arr()?
+            .iter()
+            .map(|m| Ok(ModName::new(m.as_str()?)))
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        let fns = j
+            .get("fns")?
+            .as_arr()?
+            .iter()
+            .map(|f| {
+                let pair = f.as_arr()?;
+                if pair.len() != 2 {
+                    return Err(JsonError("signature entry is not a [name, arity] pair".into()));
+                }
+                Ok((Ident::new(pair[0].as_str()?), pair[1].as_usize()?))
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        Ok(SigFile { module, imports, fns })
+    }
+}
+
 impl SigFile {
     /// Extracts the signature of a module.
     pub fn of(module: &Module) -> SigFile {
         SigFile {
-            module: module.name.clone(),
+            module: module.name,
             imports: module.imports.clone(),
-            fns: module.defs.iter().map(|d| (d.name.clone(), d.arity())).collect(),
+            fns: module.defs.iter().map(|d| (d.name, d.arity())).collect(),
         }
     }
 
@@ -152,13 +200,13 @@ impl SigFile {
     /// never analysed or run.
     pub fn stub(&self) -> Module {
         Module::new(
-            self.module.clone(),
+            self.module,
             self.imports.clone(),
             self.fns
                 .iter()
                 .map(|(name, arity)| {
                     Def::new(
-                        name.clone(),
+                        *name,
                         (0..*arity).map(|i| Ident::new(format!("p{i}"))).collect(),
                         Expr::Nat(0),
                     )
@@ -174,8 +222,7 @@ impl SigFile {
 ///
 /// I/O or serialisation failures.
 pub fn store_sig(path: impl AsRef<Path>, sig: &SigFile) -> Result<(), CogenError> {
-    let json = serde_json::to_string_pretty(sig).map_err(|e| CogenError::Format(e.to_string()))?;
-    fs::write(path, json)?;
+    fs::write(path, sig.to_json_pretty())?;
     Ok(())
 }
 
@@ -186,7 +233,7 @@ pub fn store_sig(path: impl AsRef<Path>, sig: &SigFile) -> Result<(), CogenError
 /// I/O failures or [`CogenError::Format`] on corrupt content.
 pub fn load_sig(path: impl AsRef<Path>) -> Result<SigFile, CogenError> {
     let text = fs::read_to_string(path)?;
-    serde_json::from_str(&text).map_err(|e| CogenError::Format(e.to_string()))
+    SigFile::from_json_str(&text).map_err(|e| CogenError::Format(e.to_string()))
 }
 
 /// Resolves a *client* module against the `.sig` files in `dir`: the
@@ -259,9 +306,9 @@ pub fn cogen_module(
     for imp in &module.imports {
         let path = dir.join(format!("{imp}.bti"));
         if !path.exists() {
-            return Err(CogenError::MissingInterface(imp.clone()));
+            return Err(CogenError::MissingInterface(*imp));
         }
-        imports.insert(imp.clone(), load_bti(&path)?);
+        imports.insert(*imp, load_bti(&path)?);
     }
     let ann = analyse_module_with(module, &imports, force_residual)?;
     let gx = compile_module(&ann);

@@ -152,9 +152,9 @@ fn build_cmd(args: &[String]) -> Result<(), String> {
     for q in &opts.force_residual {
         bopts
             .force_residual
-            .entry(q.module.clone())
+            .entry(q.module)
             .or_default()
-            .insert(q.name.clone());
+            .insert(q.name);
     }
     let report = mspec_cogen::build::build(&opts.file, out, &bopts).map_err(|e| e.to_string())?;
     for (name, action) in &report.actions {
@@ -237,7 +237,7 @@ fn cogen(args: &[String]) -> Result<(), String> {
             .force_residual
             .iter()
             .filter(|q| q.module == *name)
-            .map(|q| q.name.clone())
+            .map(|q| q.name)
             .collect();
         let out = mspec_cogen::files::cogen_module(module, dir, &forced)
             .map_err(|e| e.to_string())?;

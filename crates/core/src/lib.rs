@@ -36,9 +36,11 @@
 //! ```
 
 pub mod error;
+pub mod parbuild;
 pub mod pipeline;
 
 pub use error::PipelineError;
 pub use mspec_bta::division::ParamBt;
-pub use mspec_genext::{EngineOptions, SpecArg, SpecStats, Strategy};
+pub use mspec_genext::{CostModel, EngineOptions, SpecArg, SpecStats, Strategy};
+pub use parbuild::{module_levels, BuildMode, StageTimes};
 pub use pipeline::{run_source, write_residual, Pipeline, Specialised};

@@ -1,0 +1,281 @@
+//! Level-parallel pipeline construction.
+//!
+//! The paper's module system requires acyclic imports, so the module
+//! graph admits a *level* decomposition: level 0 holds the modules with
+//! no imports, level `n + 1` the modules all of whose imports live at
+//! levels `<= n`. Modules within one level are independent — none can
+//! see another's interface — so their typecheck, binding-time analysis
+//! and cogen runs are embarrassingly parallel. This module groups the
+//! graph into levels and drives the three per-module stages across each
+//! level with scoped threads ([`std::thread::scope`], no external
+//! dependencies), merging interfaces at the level barrier exactly where
+//! the sequential driver would have made them visible.
+//!
+//! The same per-module code path also runs serially (see
+//! [`BuildMode::Sequential`]) so benchmarks can isolate the win from
+//! parallelism itself rather than comparing two different drivers.
+
+use crate::error::PipelineError;
+use mspec_bta::analyse::analyse_module_with;
+use mspec_bta::{AnnModule, AnnProgram, BtInterface, BtaError};
+use mspec_cogen::compile::compile_module;
+use mspec_genext::{GenModule, GenProgram};
+use mspec_lang::ast::{Ident, ModName, QualName};
+use mspec_lang::modgraph::ModGraph;
+use mspec_lang::resolve::ResolvedProgram;
+use mspec_types::{infer_module, ProgramTypes, TypeInterface};
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
+
+/// How the per-module stages are scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildMode {
+    /// One module at a time, in dependency order.
+    Sequential,
+    /// All modules of a level concurrently, one scoped thread each.
+    Parallel,
+}
+
+/// Wall-clock accounting for a pipeline build.
+///
+/// The per-stage fields are *busy* times summed over modules (so in a
+/// parallel build they can exceed `total`); `total` is the wall-clock
+/// time of the whole build including linking.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimes {
+    /// Hindley–Milner inference, summed across modules.
+    pub typecheck: Duration,
+    /// Binding-time analysis, summed across modules.
+    pub bta: Duration,
+    /// Cogen (module to generating extension), summed across modules.
+    pub cogen: Duration,
+    /// Linking the generating extensions.
+    pub link: Duration,
+    /// Wall-clock time for the whole build.
+    pub total: Duration,
+    /// Number of levels in the module graph.
+    pub levels: usize,
+    /// Size of the widest level (the available parallelism).
+    pub widest_level: usize,
+}
+
+/// Groups the module graph into topological levels: level 0 has no
+/// imports, and every module's imports live at strictly lower levels.
+///
+/// Concatenating the levels yields a valid dependency order, and the
+/// modules within one level are mutually independent.
+pub fn module_levels(graph: &ModGraph) -> Vec<Vec<ModName>> {
+    let mut level_of: BTreeMap<ModName, usize> = BTreeMap::new();
+    let mut levels: Vec<Vec<ModName>> = Vec::new();
+    for m in graph.topo_order() {
+        let l = graph
+            .direct_imports(m)
+            .iter()
+            .map(|d| level_of[d] + 1)
+            .max()
+            .unwrap_or(0);
+        level_of.insert(*m, l);
+        if levels.len() <= l {
+            levels.push(Vec::new());
+        }
+        levels[l].push(*m);
+    }
+    levels
+}
+
+/// The output of the three per-module stages for one module.
+struct ModuleBuild {
+    name: ModName,
+    ty: TypeInterface,
+    ann: AnnModule,
+    gen: GenModule,
+    t_type: Duration,
+    t_bta: Duration,
+    t_cogen: Duration,
+}
+
+/// Runs typecheck, BTA and cogen for one module against the interfaces
+/// of everything at lower levels.
+fn build_module(
+    resolved: &ResolvedProgram,
+    name: &ModName,
+    type_ifaces: &BTreeMap<ModName, TypeInterface>,
+    bt_ifaces: &BTreeMap<ModName, BtInterface>,
+    force_residual: &BTreeSet<QualName>,
+) -> Result<ModuleBuild, PipelineError> {
+    let module = resolved
+        .program()
+        .module(name.as_str())
+        .expect("levels list only program modules");
+    let forced: BTreeSet<Ident> = force_residual
+        .iter()
+        .filter(|q| q.module == *name)
+        .map(|q| q.name)
+        .collect();
+    let t0 = Instant::now();
+    let ty = infer_module(module, type_ifaces)?;
+    let t1 = Instant::now();
+    let ann = analyse_module_with(module, bt_ifaces, &forced)?;
+    let t2 = Instant::now();
+    let gen = compile_module(&ann);
+    let t3 = Instant::now();
+    Ok(ModuleBuild {
+        name: *name,
+        ty,
+        ann,
+        gen,
+        t_type: t1 - t0,
+        t_bta: t2 - t1,
+        t_cogen: t3 - t2,
+    })
+}
+
+/// Runs the post-resolution stages (typecheck, BTA, cogen, link) over a
+/// resolved program, level by level.
+///
+/// # Errors
+///
+/// Any stage error; within a level, the error of the earliest module in
+/// deterministic level order is reported, regardless of scheduling.
+pub(crate) fn build_stages(
+    resolved: &ResolvedProgram,
+    force_residual: &BTreeSet<QualName>,
+    mode: BuildMode,
+) -> Result<(ProgramTypes, AnnProgram, GenProgram, StageTimes), PipelineError> {
+    // Overrides naming a function in no module must error no matter
+    // which modules exist at which level, so check up front (the
+    // sequential driver in `mspec-bta` checks after its loop).
+    for q in force_residual {
+        if resolved.def(q).is_none() {
+            return Err(BtaError::UnknownOverride { module: q.module, name: q.name }.into());
+        }
+    }
+
+    let t_start = Instant::now();
+    let levels = module_levels(resolved.graph());
+    let mut times = StageTimes {
+        levels: levels.len(),
+        widest_level: levels.iter().map(Vec::len).max().unwrap_or(0),
+        ..StageTimes::default()
+    };
+
+    let mut type_ifaces: BTreeMap<ModName, TypeInterface> = BTreeMap::new();
+    let mut bt_ifaces: BTreeMap<ModName, BtInterface> = BTreeMap::new();
+    let mut types = ProgramTypes::default();
+    let mut ann_modules: Vec<AnnModule> = Vec::new();
+    let mut gen_modules: Vec<GenModule> = Vec::new();
+
+    for level in &levels {
+        let results: Vec<Result<ModuleBuild, PipelineError>> = match mode {
+            BuildMode::Sequential => level
+                .iter()
+                .map(|m| build_module(resolved, m, &type_ifaces, &bt_ifaces, force_residual))
+                .collect(),
+            BuildMode::Parallel => std::thread::scope(|s| {
+                let handles: Vec<_> = level
+                    .iter()
+                    .map(|m| {
+                        let type_ifaces = &type_ifaces;
+                        let bt_ifaces = &bt_ifaces;
+                        s.spawn(move || {
+                            build_module(resolved, m, type_ifaces, bt_ifaces, force_residual)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("module build thread panicked"))
+                    .collect()
+            }),
+        };
+        // Merge at the level barrier, in deterministic level order.
+        for r in results {
+            let mb = r?;
+            times.typecheck += mb.t_type;
+            times.bta += mb.t_bta;
+            times.cogen += mb.t_cogen;
+            for (fn_name, scheme) in mb.ty.iter() {
+                types.insert(QualName { module: mb.name, name: *fn_name }, scheme.clone());
+            }
+            bt_ifaces.insert(mb.name, mb.ann.interface.clone());
+            type_ifaces.insert(mb.name, mb.ty);
+            ann_modules.push(mb.ann);
+            gen_modules.push(mb.gen);
+        }
+    }
+
+    let t_link = Instant::now();
+    let gen = GenProgram::link(gen_modules).map_err(PipelineError::Spec)?;
+    times.link = t_link.elapsed();
+    times.total = t_start.elapsed();
+    Ok((types, AnnProgram { modules: ann_modules }, gen, times))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Pipeline;
+    use mspec_core_test_support::*;
+
+    #[test]
+    fn diamond_graph_levels() {
+        let src = DIAMOND;
+        let p = mspec_lang::parser::parse_program(src).unwrap();
+        let rp = mspec_lang::resolve::resolve(p).unwrap();
+        let levels = module_levels(rp.graph());
+        let names: Vec<Vec<&str>> = levels
+            .iter()
+            .map(|l| l.iter().map(|m| m.as_str()).collect())
+            .collect();
+        assert_eq!(names, vec![vec!["A"], vec!["B", "C"], vec!["D"]]);
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_residual() {
+        for mode in [BuildMode::Sequential, BuildMode::Parallel] {
+            let (p, times) = Pipeline::from_source_timed(DIAMOND, &BTreeSet::new(), mode).unwrap();
+            assert_eq!(times.levels, 3);
+            assert_eq!(times.widest_level, 2);
+            let s = p
+                .specialise("D", "d1", vec![mspec_genext::SpecArg::Dynamic])
+                .unwrap();
+            assert_eq!(
+                s.run(vec![mspec_lang::eval::Value::nat(5)]).unwrap(),
+                mspec_lang::eval::Value::nat(21)
+            );
+        }
+        let seq = Pipeline::from_source_timed(DIAMOND, &BTreeSet::new(), BuildMode::Sequential)
+            .unwrap()
+            .0;
+        let par = Pipeline::from_source_parallel(DIAMOND).unwrap();
+        let args = || vec![mspec_genext::SpecArg::Dynamic];
+        assert_eq!(
+            seq.specialise("D", "d1", args()).unwrap().source(),
+            par.specialise("D", "d1", args()).unwrap().source()
+        );
+    }
+
+    #[test]
+    fn parallel_build_reports_unknown_override() {
+        let forced: BTreeSet<QualName> = [QualName::new("D", "ghost")].into();
+        let p = mspec_lang::parser::parse_program(DIAMOND).unwrap();
+        let err = Pipeline::from_program_timed(p, &forced, BuildMode::Parallel).unwrap_err();
+        assert!(matches!(err, PipelineError::Bta(BtaError::UnknownOverride { .. })));
+    }
+
+    /// A 4-module, 3-level diamond: `d1 x = (2(x+1)) + ((x+1)+3)`.
+    mod mspec_core_test_support {
+        pub const DIAMOND: &str = "module A where\n\
+            a1 x = x + 1\n\
+            module B where\n\
+            import A\n\
+            b1 x = a1 x * 2\n\
+            module C where\n\
+            import A\n\
+            c1 x = a1 x + 3\n\
+            module D where\n\
+            import B\n\
+            import C\n\
+            d1 x = b1 x + c1 x\n";
+    }
+}

@@ -1,6 +1,7 @@
 //! The pipeline facade: source text to residual program.
 
 use crate::error::PipelineError;
+use crate::parbuild::{build_stages, BuildMode, StageTimes};
 use mspec_bta::analyse::analyse_program_with;
 use mspec_bta::AnnProgram;
 use mspec_cogen::compile::compile_program;
@@ -73,6 +74,59 @@ impl Pipeline {
         let ann = analyse_program_with(&resolved, force_residual)?;
         let gen = compile_program(&ann)?;
         Ok(Pipeline { resolved, types, ann, gen })
+    }
+
+    /// Builds the pipeline running each level of independent modules
+    /// concurrently (typecheck, BTA and cogen per module on scoped
+    /// threads). Produces the same pipeline as [`Pipeline::from_source`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Pipeline::from_source`].
+    pub fn from_source_parallel(src: &str) -> Result<Pipeline, PipelineError> {
+        Ok(Pipeline::from_source_timed(src, &BTreeSet::new(), BuildMode::Parallel)?.0)
+    }
+
+    /// [`Pipeline::from_source_parallel`] for an already-parsed program,
+    /// with forced-residual overrides.
+    ///
+    /// # Errors
+    ///
+    /// As [`Pipeline::from_source_with`].
+    pub fn from_program_parallel(
+        program: Program,
+        force_residual: &BTreeSet<QualName>,
+    ) -> Result<Pipeline, PipelineError> {
+        Ok(Pipeline::from_program_timed(program, force_residual, BuildMode::Parallel)?.0)
+    }
+
+    /// Builds the pipeline under the given scheduling mode and reports
+    /// per-stage wall-times.
+    ///
+    /// # Errors
+    ///
+    /// As [`Pipeline::from_source_with`].
+    pub fn from_source_timed(
+        src: &str,
+        force_residual: &BTreeSet<QualName>,
+        mode: BuildMode,
+    ) -> Result<(Pipeline, StageTimes), PipelineError> {
+        Pipeline::from_program_timed(parse_program(src)?, force_residual, mode)
+    }
+
+    /// [`Pipeline::from_source_timed`] for an already-parsed program.
+    ///
+    /// # Errors
+    ///
+    /// As [`Pipeline::from_source_with`].
+    pub fn from_program_timed(
+        program: Program,
+        force_residual: &BTreeSet<QualName>,
+        mode: BuildMode,
+    ) -> Result<(Pipeline, StageTimes), PipelineError> {
+        let resolved = resolve(program)?;
+        let (types, ann, gen, times) = build_stages(&resolved, force_residual, mode)?;
+        Ok((Pipeline { resolved, types, ann, gen }, times))
     }
 
     /// The resolved source program.

@@ -56,7 +56,7 @@ impl MemorySink {
 
 impl ModuleSink for MemorySink {
     fn emit(&mut self, module: &ModName, def: &Def) -> Result<(), SpecError> {
-        self.modules.entry(module.clone()).or_default().push(def.clone());
+        self.modules.entry(*module).or_default().push(def.clone());
         Ok(())
     }
 }
@@ -127,7 +127,7 @@ impl ModuleSink for FileSink {
     fn emit(&mut self, module: &ModName, def: &Def) -> Result<(), SpecError> {
         if !self.bodies.contains_key(module) {
             let f = fs::File::create(self.body_path(module))?;
-            self.bodies.insert(module.clone(), f);
+            self.bodies.insert(*module, f);
         }
         let f = self.bodies.get_mut(module).expect("just inserted");
         writeln!(f, "{}", pretty_def(def, Some(module)))?;
@@ -175,11 +175,11 @@ pub fn assemble(
         for d in defs {
             for q in d.body.called_functions() {
                 if q.module != *name {
-                    set.insert(q.module.clone());
+                    set.insert(q.module);
                 }
             }
         }
-        imports.insert(name.clone(), set);
+        imports.insert(*name, set);
     }
     let program = Program::new(
         modules
@@ -263,7 +263,7 @@ mod tests {
         // Body temp file exists during pass one.
         assert!(dir.join("Power.body.tmp").exists());
         let mut imports = BTreeMap::new();
-        imports.insert(m.clone(), BTreeSet::new());
+        imports.insert(m, BTreeSet::new());
         let files = sink.finish(&imports).unwrap();
         assert_eq!(files.len(), 1);
         // Temp removed, final file parses as a module.
@@ -282,7 +282,7 @@ mod tests {
         let m = ModName::new("Main");
         sink.emit(&m, &def_calling("main_1", "Power", "power_1")).unwrap();
         let mut imports = BTreeMap::new();
-        imports.insert(m.clone(), [ModName::new("Power")].into());
+        imports.insert(m, [ModName::new("Power")].into());
         let files = sink.finish(&imports).unwrap();
         let text = fs::read_to_string(&files[0]).unwrap();
         assert!(text.contains("import Power"), "{text}");

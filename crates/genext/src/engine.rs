@@ -18,22 +18,28 @@
 //! * breadth-first (pending list — the paper's choice, "considerably
 //!   more space efficient") and depth-first strategies, with the
 //!   accounting needed to reproduce that comparison.
+//!
+//! Performance notes: environments hold `Rc<PVal>`, so a variable lookup
+//! is a reference-count bump and applying a closure shares its captured
+//! frame instead of copying it. The memo table is probed by a structural
+//! hash computed during splitting ([`split_hashed`]); the full [`PKey`]
+//! skeletons are only compared on a hash collision.
 
 use crate::emit::{assemble, MemorySink, ModuleSink, ResidualProgram};
 use crate::error::SpecError;
 use crate::gexp::{GCoerce, GenProgram, GExp};
 use crate::placement::Placer;
-use crate::value::{rebuild, split, Closure, PKey, PVal};
+use crate::value::{hash_fold, rebuild, split_hashed, Closure, PKey, PVal, SKELETON_SEED};
 use mspec_bta::division::{Division, ParamBt};
 use mspec_bta::BtMask;
 use mspec_lang::ast::{CallName, Def, Expr, Ident, ModName, PrimOp, QualName};
 use mspec_lang::eval::Value;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Order in which discovered specialisations are constructed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Strategy {
     /// The paper's choice: queue requests in a pending list; exactly one
     /// specialisation is under construction at any time and finished
@@ -42,6 +48,25 @@ pub enum Strategy {
     /// Construct requested specialisations immediately, suspending the
     /// current one — simpler, but the suspended partial bodies pile up.
     DepthFirst,
+}
+
+/// Per-operation cost model: how much work each variable lookup and memo
+/// probe performs.
+///
+/// [`CostModel::Legacy`] replicates the engine's pre-interning costs —
+/// deep value clones on every variable lookup, lambda capture and
+/// closure application, and memo keys built from freshly formatted
+/// strings plus deep skeleton copies. It exists so benchmarks can
+/// measure the old and new engines in the *same run* on the *same
+/// machine*; residual output is identical under both models, only the
+/// constant factors differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CostModel {
+    /// Shared `Rc` environments and hash-probed memoisation (default).
+    #[default]
+    Interned,
+    /// Pre-interning behaviour: deep clones and string-keyed memoisation.
+    Legacy,
 }
 
 /// Engine configuration.
@@ -59,6 +84,8 @@ pub struct EngineOptions {
     /// residualisation); this limit turns that into a prompt, clean
     /// error instead of exhausting memory.
     pub max_specialisations: usize,
+    /// Per-operation cost model (benchmarking aid; see [`CostModel`]).
+    pub cost_model: CostModel,
 }
 
 impl Default for EngineOptions {
@@ -67,6 +94,7 @@ impl Default for EngineOptions {
             strategy: Strategy::BreadthFirst,
             fuel: 200_000_000,
             max_specialisations: 100_000,
+            cost_model: CostModel::Interned,
         }
     }
 }
@@ -85,10 +113,12 @@ pub enum SpecArg {
 }
 
 /// Counters describing a specialisation run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SpecStats {
     /// Residual definitions constructed.
     pub specialisations: usize,
+    /// `mk_resid` memo-table lookups performed.
+    pub memo_probes: usize,
     /// `mk_resid` requests answered from the memo table.
     pub memo_hits: usize,
     /// Named calls unfolded instead of residualised.
@@ -107,17 +137,21 @@ pub struct SpecStats {
     pub residual_modules: usize,
 }
 
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// Hash-first memo key: the structural hash of the split skeletons
+/// stands in for the skeletons themselves, so a probe compares three
+/// machine words. Full [`PKey`] vectors are kept in the bucket and only
+/// compared when hashes collide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct SpecKey {
     target: QualName,
     mask: u128,
-    keys: Vec<PKey>,
+    hash: u64,
 }
 
 /// Where one residual definition came from: the paper's relationship
 /// between source functions and their polyvariant specialisations, made
 /// inspectable.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Provenance {
     /// The source function that was specialised.
     pub source: QualName,
@@ -135,7 +169,7 @@ pub struct Provenance {
 struct PendingSpec {
     target: QualName,
     mask: BtMask,
-    env: Vec<PVal>,
+    env: Vec<Rc<PVal>>,
     resid: QualName,
     formals: Vec<Ident>,
 }
@@ -144,7 +178,8 @@ struct PendingSpec {
 pub struct Engine<'p> {
     program: &'p GenProgram,
     options: EngineOptions,
-    memo: HashMap<SpecKey, QualName>,
+    memo: HashMap<SpecKey, Vec<(Vec<PKey>, QualName)>>,
+    legacy_memo: HashMap<(String, u128, Vec<PKey>), QualName>,
     pending: VecDeque<PendingSpec>,
     placer: Placer,
     name_counters: HashMap<QualName, u32>,
@@ -163,6 +198,7 @@ impl<'p> Engine<'p> {
             program,
             options,
             memo: HashMap::new(),
+            legacy_memo: HashMap::new(),
             pending: VecDeque::new(),
             placer: Placer::new(program.graph()),
             name_counters: HashMap::new(),
@@ -227,10 +263,10 @@ impl<'p> Engine<'p> {
         let f = self
             .program
             .function(entry)
-            .ok_or_else(|| SpecError::UnknownEntry(entry.clone()))?;
+            .ok_or(SpecError::UnknownEntry(*entry))?;
         if f.params.len() != args.len() {
             return Err(SpecError::EntryArity {
-                entry: entry.clone(),
+                entry: *entry,
                 expected: f.params.len(),
                 found: args.len(),
             });
@@ -258,7 +294,7 @@ impl<'p> Engine<'p> {
                         "closure values cannot be specialisation inputs (parameter {p})"
                     ))
                 })?,
-                SpecArg::Dynamic => PVal::Code(Expr::Var(p.clone())),
+                SpecArg::Dynamic => PVal::Code(Expr::Var(*p)),
                 SpecArg::StaticSpine(n) => {
                     let mut list = PVal::Nil;
                     for i in (0..*n).rev() {
@@ -276,35 +312,41 @@ impl<'p> Engine<'p> {
         // The entry is always residualised (it is the program we are
         // generating), keeping its original name.
         let mut leaves = Vec::new();
-        let keys: Vec<PKey> = vals.iter().map(|v| split(v, &mut leaves)).collect();
-        let key = SpecKey { target: entry.clone(), mask: mask.0, keys };
+        let mut keys = Vec::with_capacity(vals.len());
+        let mut hash = SKELETON_SEED;
+        for v in &vals {
+            let (k, h) = split_hashed(v, &mut leaves);
+            hash = hash_fold(hash, h);
+            keys.push(k);
+        }
         let formals: Vec<Ident> = uniquify(
             leaves
                 .iter()
                 .enumerate()
                 .map(|(i, l)| match l {
-                    Expr::Var(x) => x.clone(),
+                    Expr::Var(x) => *x,
                     _ => Ident::new(format!("d{i}")),
                 })
                 .collect(),
         );
-        let mut free = vec![entry.clone()];
+        let mut free = vec![*entry];
         for v in &vals {
             v.free_fns(&mut free);
         }
         let module = self.placer.place(&free, self.program.graph());
-        let resid = QualName { module, name: entry.name.clone() };
-        self.memo.insert(key, resid.clone());
+        let resid = QualName { module, name: entry.name };
+        self.memo_insert(*entry, mask, keys, hash, resid);
         self.provenance.push(Provenance {
-            source: entry.clone(),
+            source: *entry,
             mask,
             vars: f.sig.vars,
-            residual: resid.clone(),
+            residual: resid,
             formals: formals.len(),
         });
         let mut next = 0;
-        let env: Vec<PVal> = vals.iter().map(|v| rebuild(v, &formals, &mut next)).collect();
-        let spec = PendingSpec { target: entry.clone(), mask, env, resid: resid.clone(), formals };
+        let env: Vec<Rc<PVal>> =
+            vals.iter().map(|v| Rc::new(rebuild(v, &formals, &mut next))).collect();
+        let spec = PendingSpec { target: *entry, mask, env, resid, formals };
         self.construct(spec, sink)?;
         self.drain(sink)?;
         Ok(resid)
@@ -329,18 +371,25 @@ impl<'p> Engine<'p> {
         let f = self
             .program
             .function(&spec.target)
-            .ok_or_else(|| SpecError::UnknownFunction(spec.target.clone()))?;
-        let body = Rc::clone(&f.body);
+            .ok_or(SpecError::UnknownFunction(spec.target))?;
+        let body = Arc::clone(&f.body);
         let mut env = spec.env;
-        let result = self.eval(&body, &mut env, spec.mask, &spec.target.module, sink)?;
-        let body_expr = self.lift(result, sink)?;
-        let def = Def::new(spec.resid.name.clone(), spec.formals, body_expr);
+        let result = self.eval(&body, &mut env, spec.mask, spec.target.module, sink)?;
+        let body_expr = self.lift_owned(result, sink)?;
+        if self.options.cost_model == CostModel::Legacy {
+            // The string-based engine allocated one heap `String` per
+            // identifier occurrence while constructing this body (every
+            // `Expr::Var`/`Call` node carried owned strings).
+            legacy_expr_cost(&body_expr);
+            legacy_name_cost(&spec.resid);
+        }
+        let def = Def::new(spec.resid.name, spec.formals, body_expr);
         self.stats.specialisations += 1;
         self.stats.residual_nodes += def.body.size();
-        let imports = self.imports.entry(spec.resid.module.clone()).or_default();
+        let imports = self.imports.entry(spec.resid.module).or_default();
         for q in def.body.called_functions() {
             if q.module != spec.resid.module {
-                imports.insert(q.module.clone());
+                imports.insert(q.module);
             }
         }
         sink.emit(&spec.resid.module, &def)?;
@@ -363,85 +412,177 @@ impl<'p> Engine<'p> {
         Ident::new(format!("{base}'{}", self.gensym))
     }
 
+    /// Environment lookup under the configured cost model: a
+    /// reference-count bump, or (legacy) the deep clone the
+    /// pre-interning engine performed.
+    #[inline]
+    fn fetch(&self, env: &[Rc<PVal>], i: usize) -> Rc<PVal> {
+        match self.options.cost_model {
+            CostModel::Interned => Rc::clone(&env[i]),
+            CostModel::Legacy => Rc::new(legacy_clone(&env[i])),
+        }
+    }
+
+    /// Memo lookup. Interned: O(1) probe on `(target, mask, hash)` plus
+    /// a collision-checked skeleton compare within the bucket. Legacy:
+    /// format the target into a fresh string and deep-copy the
+    /// skeletons, as the old engine's key construction did.
+    fn memo_find(
+        &mut self,
+        target: QualName,
+        mask: BtMask,
+        keys: &[PKey],
+        hash: u64,
+    ) -> Option<QualName> {
+        self.stats.memo_probes += 1;
+        match self.options.cost_model {
+            CostModel::Interned => {
+                let bucket = self.memo.get(&SpecKey { target, mask: mask.0, hash })?;
+                bucket.iter().find(|(k, _)| k.as_slice() == keys).map(|(_, r)| *r)
+            }
+            CostModel::Legacy => {
+                let key = (target.to_string(), mask.0, keys.to_vec());
+                self.legacy_memo.get(&key).copied()
+            }
+        }
+    }
+
+    fn memo_insert(
+        &mut self,
+        target: QualName,
+        mask: BtMask,
+        keys: Vec<PKey>,
+        hash: u64,
+        resid: QualName,
+    ) {
+        match self.options.cost_model {
+            CostModel::Interned => {
+                self.memo
+                    .entry(SpecKey { target, mask: mask.0, hash })
+                    .or_default()
+                    .push((keys, resid));
+            }
+            CostModel::Legacy => {
+                self.legacy_memo.insert((target.to_string(), mask.0, keys), resid);
+            }
+        }
+    }
+
     /// `mk_resid` plus the unfold decision: the call side of §4.2.
     fn call(
         &mut self,
         target: &QualName,
         mask: BtMask,
-        args: Vec<PVal>,
+        args: Vec<Rc<PVal>>,
         sink: &mut dyn ModuleSink,
-    ) -> Result<PVal, SpecError> {
+    ) -> Result<Rc<PVal>, SpecError> {
+        if self.options.cost_model == CostModel::Legacy {
+            // The pre-interning function index was keyed on string pairs:
+            // every call-site resolution formatted and hashed the names.
+            legacy_name_cost(target);
+        }
         let f = self
             .program
             .function(target)
-            .ok_or_else(|| SpecError::UnknownFunction(target.clone()))?;
+            .ok_or(SpecError::UnknownFunction(*target))?;
         debug_assert!(f.sig.satisfies(mask), "instantiation violated {target}'s constraints");
         if f.sig.unfoldable_under(mask) {
             self.stats.unfolds += 1;
-            let body = Rc::clone(&f.body);
+            let body = Arc::clone(&f.body);
             let mut env = args;
-            return self.eval(&body, &mut env, mask, &target.module, sink);
+            return self.eval(&body, &mut env, mask, target.module, sink);
         }
 
         // Residualise: split arguments, memoise on the static skeleton.
         let mut leaves = Vec::new();
         let mut keys = Vec::with_capacity(args.len());
         let mut leaf_names: Vec<Ident> = Vec::new();
+        let mut hash = SKELETON_SEED;
         for (arg, p) in args.iter().zip(&f.params) {
             let before = leaves.len();
-            keys.push(split(arg, &mut leaves));
+            let (k, h) = split_hashed(arg, &mut leaves);
+            hash = hash_fold(hash, h);
+            keys.push(k);
             let count = leaves.len() - before;
             for j in 0..count {
                 // Prefer the leaf's own variable name (the paper's
                 // `map_g z ys` keeps the captured `z` recognisable),
                 // falling back to the parameter name.
                 leaf_names.push(match &leaves[before + j] {
-                    Expr::Var(x) => x.clone(),
-                    _ if count == 1 => p.clone(),
+                    Expr::Var(x) => *x,
+                    _ if count == 1 => *p,
                     _ => Ident::new(format!("{p}_{j}")),
                 });
             }
         }
-        let key = SpecKey { target: target.clone(), mask: mask.0, keys };
-        if let Some(resid) = self.memo.get(&key) {
+        if let Some(resid) = self.memo_find(*target, mask, &keys, hash) {
             self.stats.memo_hits += 1;
-            return Ok(PVal::Code(Expr::Call(CallName::from(resid.clone()), leaves)));
+            if self.options.cost_model == CostModel::Legacy {
+                // The old `CallName::from` cloned the module and
+                // function name strings into the residual call site.
+                legacy_name_cost(&resid);
+            }
+            return Ok(Rc::new(PVal::Code(Expr::Call(CallName::from(resid), leaves))));
         }
 
         // New specialisation: name it, place it (§5: at first call,
         // before the body exists), then queue or recurse.
-        if self.memo.len() >= self.options.max_specialisations {
+        if self.provenance.len() >= self.options.max_specialisations {
             return Err(SpecError::TooManySpecialisations {
                 limit: self.options.max_specialisations,
-                witness: target.clone(),
+                witness: *target,
             });
         }
-        let counter = self.name_counters.entry(target.clone()).or_insert(0);
+        if self.options.cost_model == CostModel::Legacy {
+            // Naming, placement and provenance in the string-based
+            // engine hashed and cloned qualified-name strings: the
+            // name-counter probe, the placement set inserts (one per
+            // free function) and the two provenance clones.
+            legacy_name_cost(target);
+            legacy_name_cost(target);
+            legacy_name_cost(target);
+        }
+        let counter = self.name_counters.entry(*target).or_insert(0);
         *counter += 1;
         let resid_name = Ident::new(format!("{}_{}", target.name, counter));
-        let mut free = vec![target.clone()];
+        let mut free = vec![*target];
         for a in &args {
             a.free_fns(&mut free);
         }
+        if self.options.cost_model == CostModel::Legacy {
+            for q in &free {
+                legacy_name_cost(q);
+            }
+        }
         let module = self.placer.place(&free, self.program.graph());
         let resid = QualName { module, name: resid_name };
-        self.memo.insert(key, resid.clone());
+        self.memo_insert(*target, mask, keys, hash, resid);
 
         let formals = uniquify(leaf_names);
         self.provenance.push(Provenance {
-            source: target.clone(),
+            source: *target,
             mask,
             vars: f.sig.vars,
-            residual: resid.clone(),
+            residual: resid,
             formals: formals.len(),
         });
         let mut next = 0;
-        let env: Vec<PVal> = args.iter().map(|a| rebuild(a, &formals, &mut next)).collect();
+        let env: Vec<Rc<PVal>> = args
+            .iter()
+            .map(|a| Rc::new(rebuild(a, &formals, &mut next)))
+            .collect();
+        if self.options.cost_model == CostModel::Legacy {
+            // The old `rebuild` cloned each formal's name string into
+            // the `Expr::Var` leaf it planted.
+            for f in &formals {
+                std::hint::black_box(f.as_str().to_string());
+            }
+        }
         let spec = PendingSpec {
-            target: target.clone(),
+            target: *target,
             mask,
             env,
-            resid: resid.clone(),
+            resid,
             formals,
         };
         match self.options.strategy {
@@ -451,7 +592,7 @@ impl<'p> Engine<'p> {
             }
             Strategy::DepthFirst => self.construct(spec, sink)?,
         }
-        Ok(PVal::Code(Expr::Call(CallName::from(resid), leaves)))
+        Ok(Rc::new(PVal::Code(Expr::Call(CallName::from(resid), leaves))))
     }
 
     /// Evaluates a generating-extension expression under a binding-time
@@ -460,17 +601,17 @@ impl<'p> Engine<'p> {
     fn eval(
         &mut self,
         e: &GExp,
-        env: &mut Vec<PVal>,
+        env: &mut Vec<Rc<PVal>>,
         mask: BtMask,
-        module: &ModName,
+        module: ModName,
         sink: &mut dyn ModuleSink,
-    ) -> Result<PVal, SpecError> {
+    ) -> Result<Rc<PVal>, SpecError> {
         self.step()?;
         match e {
-            GExp::Nat(n) => Ok(PVal::Nat(*n)),
-            GExp::Bool(b) => Ok(PVal::Bool(*b)),
-            GExp::Nil => Ok(PVal::Nil),
-            GExp::Var(i) => Ok(env[*i as usize].clone()),
+            GExp::Nat(n) => Ok(Rc::new(PVal::Nat(*n))),
+            GExp::Bool(b) => Ok(Rc::new(PVal::Bool(*b))),
+            GExp::Nil => Ok(Rc::new(PVal::Nil)),
+            GExp::Var(i) => Ok(self.fetch(env, *i as usize)),
             GExp::Prim(op, code, args) => {
                 let mut vals = Vec::with_capacity(args.len());
                 for a in args {
@@ -479,9 +620,9 @@ impl<'p> Engine<'p> {
                 if code.is_dynamic(mask) {
                     let mut lifted = Vec::with_capacity(vals.len());
                     for v in vals {
-                        lifted.push(self.lift(v, sink)?);
+                        lifted.push(self.lift_owned(v, sink)?);
                     }
-                    Ok(PVal::Code(Expr::Prim(*op, lifted)))
+                    Ok(Rc::new(PVal::Code(Expr::Prim(*op, lifted))))
                 } else {
                     static_prim(*op, vals)
                 }
@@ -491,13 +632,13 @@ impl<'p> Engine<'p> {
                 if code.is_dynamic(mask) {
                     let tv = self.eval(t, env, mask, module, sink)?;
                     let fv = self.eval(f, env, mask, module, sink)?;
-                    Ok(PVal::Code(Expr::If(
-                        Box::new(self.lift(cv, sink)?),
-                        Box::new(self.lift(tv, sink)?),
-                        Box::new(self.lift(fv, sink)?),
-                    )))
+                    Ok(Rc::new(PVal::Code(Expr::If(
+                        Box::new(self.lift_owned(cv, sink)?),
+                        Box::new(self.lift_owned(tv, sink)?),
+                        Box::new(self.lift_owned(fv, sink)?),
+                    ))))
                 } else {
-                    match cv {
+                    match &*cv {
                         PVal::Bool(true) => self.eval(t, env, mask, module, sink),
                         PVal::Bool(false) => self.eval(f, env, mask, module, sink),
                         other => Err(SpecError::TypeConfusion(format!(
@@ -520,28 +661,29 @@ impl<'p> Engine<'p> {
                 self.call(target, callee_mask, vals, sink)
             }
             GExp::Lam { param, body, captured, free_fns, lam_id } => {
-                let captured_vals = captured.iter().map(|s| env[*s as usize].clone()).collect();
-                Ok(PVal::Clo(Rc::new(Closure {
-                    param: param.clone(),
-                    body: Rc::clone(body),
+                let captured_vals =
+                    captured.iter().map(|s| self.fetch(env, *s as usize)).collect();
+                Ok(Rc::new(PVal::Clo(Rc::new(Closure {
+                    param: *param,
+                    body: Arc::clone(body),
                     env: captured_vals,
-                    free_fns: Rc::clone(free_fns),
+                    free_fns: Arc::clone(free_fns),
                     lam_id: *lam_id,
-                    module: module.clone(),
+                    module,
                     mask,
-                })))
+                }))))
             }
             GExp::App(code, f, a) => {
                 let fv = self.eval(f, env, mask, module, sink)?;
                 let av = self.eval(a, env, mask, module, sink)?;
                 if code.is_dynamic(mask) {
-                    Ok(PVal::Code(Expr::App(
-                        Box::new(self.lift(fv, sink)?),
-                        Box::new(self.lift(av, sink)?),
-                    )))
+                    Ok(Rc::new(PVal::Code(Expr::App(
+                        Box::new(self.lift_owned(fv, sink)?),
+                        Box::new(self.lift_owned(av, sink)?),
+                    ))))
                 } else {
-                    match fv {
-                        PVal::Clo(c) => self.apply_closure(&c, av, sink),
+                    match &*fv {
+                        PVal::Clo(c) => self.apply_closure(c, av, sink),
                         other => Err(SpecError::TypeConfusion(format!(
                             "static application of non-closure {other:?}"
                         ))),
@@ -565,32 +707,36 @@ impl<'p> Engine<'p> {
     /// Unfolds a static closure: evaluates its generating function on the
     /// argument, under the closure's *origin* mask (its binding times
     /// refer to the signature variables of the function it was written
-    /// in).
+    /// in). The captured frame is shared, not copied.
     fn apply_closure(
         &mut self,
         c: &Closure,
-        arg: PVal,
+        arg: Rc<PVal>,
         sink: &mut dyn ModuleSink,
-    ) -> Result<PVal, SpecError> {
-        let mut env: Vec<PVal> = c.env.clone();
+    ) -> Result<Rc<PVal>, SpecError> {
+        let mut env: Vec<Rc<PVal>> = match self.options.cost_model {
+            CostModel::Interned => c.env.clone(),
+            CostModel::Legacy => c.env.iter().map(|e| Rc::new(legacy_clone(e))).collect(),
+        };
         env.push(arg);
-        let body = Rc::clone(&c.body);
-        self.eval(&body, &mut env, c.mask, &c.module, sink)
+        let body = Arc::clone(&c.body);
+        self.eval(&body, &mut env, c.mask, c.module, sink)
     }
 
     /// Applies a compiled coercion to a value.
     fn coerce(
         &mut self,
         spec: &GCoerce,
-        v: PVal,
+        v: Rc<PVal>,
         mask: BtMask,
         sink: &mut dyn ModuleSink,
-    ) -> Result<PVal, SpecError> {
+    ) -> Result<Rc<PVal>, SpecError> {
         match spec {
             GCoerce::Id => Ok(v),
             GCoerce::Base { from, to } | GCoerce::Fun { from, to } => {
                 if !from.is_dynamic(mask) && to.is_dynamic(mask) {
-                    Ok(PVal::Code(self.lift(v, sink)?))
+                    let e = self.lift_owned(v, sink)?;
+                    Ok(Rc::new(PVal::Code(e)))
                 } else {
                     Ok(v)
                 }
@@ -599,7 +745,8 @@ impl<'p> Engine<'p> {
                 if from.is_dynamic(mask) {
                     Ok(v) // already code
                 } else if to.is_dynamic(mask) {
-                    Ok(PVal::Code(self.lift(v, sink)?))
+                    let e = self.lift_owned(v, sink)?;
+                    Ok(Rc::new(PVal::Code(e)))
                 } else if *elem_identity {
                     Ok(v)
                 } else {
@@ -612,16 +759,17 @@ impl<'p> Engine<'p> {
     fn coerce_spine(
         &mut self,
         elem: &GCoerce,
-        v: PVal,
+        v: Rc<PVal>,
         mask: BtMask,
         sink: &mut dyn ModuleSink,
-    ) -> Result<PVal, SpecError> {
-        match v {
-            PVal::Nil => Ok(PVal::Nil),
+    ) -> Result<Rc<PVal>, SpecError> {
+        match &*v {
+            PVal::Nil => Ok(Rc::clone(&v)),
             PVal::Cons(h, t) => {
-                let h2 = self.coerce(elem, (*h).clone(), mask, sink)?;
-                let t2 = self.coerce_spine(elem, (*t).clone(), mask, sink)?;
-                Ok(PVal::Cons(Rc::new(h2), Rc::new(t2)))
+                let (h, t) = (Rc::clone(h), Rc::clone(t));
+                let h2 = self.coerce(elem, h, mask, sink)?;
+                let t2 = self.coerce_spine(elem, t, mask, sink)?;
+                Ok(Rc::new(PVal::Cons(h2, t2)))
             }
             other => Err(SpecError::TypeConfusion(format!(
                 "static-spine coercion applied to {other:?}"
@@ -629,24 +777,35 @@ impl<'p> Engine<'p> {
         }
     }
 
+    /// Lifts an owned value, reclaiming the inner expression without a
+    /// copy when this reference is the last one (the common case for
+    /// freshly built code).
+    fn lift_owned(&mut self, v: Rc<PVal>, sink: &mut dyn ModuleSink) -> Result<Expr, SpecError> {
+        match Rc::try_unwrap(v) {
+            Ok(PVal::Code(e)) => Ok(e),
+            Ok(owned) => self.lift(&owned, sink),
+            Err(shared) => self.lift(&shared, sink),
+        }
+    }
+
     /// Lifts a value to residual code: literals for data, eta-expansion
     /// for static closures (specialising the closure body with a fresh
     /// dynamic variable).
-    fn lift(&mut self, v: PVal, sink: &mut dyn ModuleSink) -> Result<Expr, SpecError> {
+    fn lift(&mut self, v: &PVal, sink: &mut dyn ModuleSink) -> Result<Expr, SpecError> {
         match v {
-            PVal::Code(e) => Ok(e),
-            PVal::Nat(n) => Ok(Expr::Nat(n)),
-            PVal::Bool(b) => Ok(Expr::Bool(b)),
+            PVal::Code(e) => Ok(e.clone()),
+            PVal::Nat(n) => Ok(Expr::Nat(*n)),
+            PVal::Bool(b) => Ok(Expr::Bool(*b)),
             PVal::Nil => Ok(Expr::Nil),
             PVal::Cons(h, t) => {
-                let h2 = self.lift((*h).clone(), sink)?;
-                let t2 = self.lift((*t).clone(), sink)?;
+                let h2 = self.lift(h, sink)?;
+                let t2 = self.lift(t, sink)?;
                 Ok(Expr::Prim(PrimOp::Cons, vec![h2, t2]))
             }
             PVal::Clo(c) => {
                 let x = self.fresh(c.param.as_str());
-                let body = self.apply_closure(&c, PVal::Code(Expr::Var(x.clone())), sink)?;
-                let body = self.lift(body, sink)?;
+                let body = self.apply_closure(c, Rc::new(PVal::Code(Expr::Var(x))), sink)?;
+                let body = self.lift_owned(body, sink)?;
                 Ok(Expr::Lam(x, Box::new(body)))
             }
         }
@@ -654,7 +813,7 @@ impl<'p> Engine<'p> {
 }
 
 /// Performs a static primitive on partial values.
-fn static_prim(op: PrimOp, vals: Vec<PVal>) -> Result<PVal, SpecError> {
+fn static_prim(op: PrimOp, vals: Vec<Rc<PVal>>) -> Result<Rc<PVal>, SpecError> {
     use PrimOp::*;
     let nat = |v: &PVal| match v {
         PVal::Nat(n) => Ok(*n),
@@ -671,42 +830,82 @@ fn static_prim(op: PrimOp, vals: Vec<PVal>) -> Result<PVal, SpecError> {
         ))),
     };
     match op {
-        Add => Ok(PVal::Nat(nat(&vals[0])?.wrapping_add(nat(&vals[1])?))),
-        Sub => Ok(PVal::Nat(nat(&vals[0])?.saturating_sub(nat(&vals[1])?))),
-        Mul => Ok(PVal::Nat(nat(&vals[0])?.wrapping_mul(nat(&vals[1])?))),
+        Add => Ok(Rc::new(PVal::Nat(nat(&vals[0])?.wrapping_add(nat(&vals[1])?)))),
+        Sub => Ok(Rc::new(PVal::Nat(nat(&vals[0])?.saturating_sub(nat(&vals[1])?)))),
+        Mul => Ok(Rc::new(PVal::Nat(nat(&vals[0])?.wrapping_mul(nat(&vals[1])?)))),
         Div => {
             let n0 = nat(&vals[0])?;
             match n0.checked_div(nat(&vals[1])?) {
-                Some(q) => Ok(PVal::Nat(q)),
+                Some(q) => Ok(Rc::new(PVal::Nat(q))),
                 None => Err(SpecError::DivByZero),
             }
         }
-        Eq => Ok(PVal::Bool(nat(&vals[0])? == nat(&vals[1])?)),
-        Lt => Ok(PVal::Bool(nat(&vals[0])? < nat(&vals[1])?)),
-        Leq => Ok(PVal::Bool(nat(&vals[0])? <= nat(&vals[1])?)),
-        And => Ok(PVal::Bool(boolean(&vals[0])? && boolean(&vals[1])?)),
-        Or => Ok(PVal::Bool(boolean(&vals[0])? || boolean(&vals[1])?)),
-        Not => Ok(PVal::Bool(!boolean(&vals[0])?)),
-        Cons => Ok(PVal::Cons(
-            Rc::new(vals[0].clone()),
-            Rc::new(vals[1].clone()),
-        )),
-        Head => match &vals[0] {
-            PVal::Cons(h, _) => Ok((**h).clone()),
+        Eq => Ok(Rc::new(PVal::Bool(nat(&vals[0])? == nat(&vals[1])?))),
+        Lt => Ok(Rc::new(PVal::Bool(nat(&vals[0])? < nat(&vals[1])?))),
+        Leq => Ok(Rc::new(PVal::Bool(nat(&vals[0])? <= nat(&vals[1])?))),
+        And => Ok(Rc::new(PVal::Bool(boolean(&vals[0])? && boolean(&vals[1])?))),
+        Or => Ok(Rc::new(PVal::Bool(boolean(&vals[0])? || boolean(&vals[1])?))),
+        Not => Ok(Rc::new(PVal::Bool(!boolean(&vals[0])?))),
+        Cons => Ok(Rc::new(PVal::Cons(Rc::clone(&vals[0]), Rc::clone(&vals[1])))),
+        Head => match &*vals[0] {
+            PVal::Cons(h, _) => Ok(Rc::clone(h)),
             PVal::Nil => Err(SpecError::EmptyList("head")),
             other => Err(SpecError::TypeConfusion(format!("static head of {other:?}"))),
         },
-        Tail => match &vals[0] {
-            PVal::Cons(_, t) => Ok((**t).clone()),
+        Tail => match &*vals[0] {
+            PVal::Cons(_, t) => Ok(Rc::clone(t)),
             PVal::Nil => Err(SpecError::EmptyList("tail")),
             other => Err(SpecError::TypeConfusion(format!("static tail of {other:?}"))),
         },
-        Null => match &vals[0] {
-            PVal::Nil => Ok(PVal::Bool(true)),
-            PVal::Cons(..) => Ok(PVal::Bool(false)),
+        Null => match &*vals[0] {
+            PVal::Nil => Ok(Rc::new(PVal::Bool(true))),
+            PVal::Cons(..) => Ok(Rc::new(PVal::Bool(false))),
             other => Err(SpecError::TypeConfusion(format!("static null of {other:?}"))),
         },
     }
+}
+
+/// The deep clone the string-based engine performed on every variable
+/// lookup and closure-environment copy ([`CostModel::Legacy`] only).
+///
+/// Post-interning, a structural clone of an `Expr` is nearly free — the
+/// identifiers are `u32` symbols. The old engine's identifiers were
+/// heap `String`s, so cloning a `Code` value allocated and copied one
+/// string per identifier occurrence. [`legacy_name_cost`] materialises
+/// exactly those allocations so the legacy model charges what the old
+/// engine actually paid.
+fn legacy_clone(v: &PVal) -> PVal {
+    let cloned = v.clone();
+    if let PVal::Code(e) = &cloned {
+        legacy_expr_cost(e);
+    }
+    cloned
+}
+
+/// Allocates the strings a pre-interning clone of `e` would have.
+fn legacy_expr_cost(e: &Expr) {
+    e.visit(&mut |n| match n {
+        Expr::Var(x) | Expr::Lam(x, _) | Expr::Let(x, ..) => {
+            std::hint::black_box(x.as_str().to_string());
+        }
+        Expr::Call(c, _) => {
+            if let Some(m) = &c.module {
+                std::hint::black_box(m.as_str().to_string());
+            }
+            std::hint::black_box(c.name.as_str().to_string());
+        }
+        _ => {}
+    });
+}
+
+/// The string formatting + hashing a pre-interning qualified-name lookup
+/// performed on every call-site resolution.
+fn legacy_name_cost(q: &QualName) {
+    use std::hash::{Hash as _, Hasher as _};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    q.module.as_str().hash(&mut h);
+    q.name.as_str().hash(&mut h);
+    std::hint::black_box(h.finish());
 }
 
 /// Makes names unique by appending primed counters to duplicates.
@@ -714,14 +913,14 @@ fn uniquify(names: Vec<Ident>) -> Vec<Ident> {
     let mut seen: BTreeSet<Ident> = BTreeSet::new();
     let mut out = Vec::with_capacity(names.len());
     for n in names {
-        if seen.insert(n.clone()) {
+        if seen.insert(n) {
             out.push(n);
             continue;
         }
         let mut k = 2;
         loop {
             let candidate = Ident::new(format!("{n}'{k}"));
-            if seen.insert(candidate.clone()) {
+            if seen.insert(candidate) {
                 out.push(candidate);
                 break;
             }
@@ -734,6 +933,10 @@ fn uniquify(names: Vec<Ident>) -> Vec<Ident> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn rc(v: PVal) -> Rc<PVal> {
+        Rc::new(v)
+    }
 
     #[test]
     fn uniquify_keeps_distinct_names() {
@@ -752,16 +955,12 @@ mod tests {
 
     #[test]
     fn static_prim_arithmetic() {
+        let add = static_prim(PrimOp::Add, vec![rc(PVal::Nat(2)), rc(PVal::Nat(3))]).unwrap();
+        assert!(matches!(&*add, PVal::Nat(5)));
+        let sub = static_prim(PrimOp::Sub, vec![rc(PVal::Nat(2)), rc(PVal::Nat(3))]).unwrap();
+        assert!(matches!(&*sub, PVal::Nat(0)));
         assert!(matches!(
-            static_prim(PrimOp::Add, vec![PVal::Nat(2), PVal::Nat(3)]),
-            Ok(PVal::Nat(5))
-        ));
-        assert!(matches!(
-            static_prim(PrimOp::Sub, vec![PVal::Nat(2), PVal::Nat(3)]),
-            Ok(PVal::Nat(0))
-        ));
-        assert!(matches!(
-            static_prim(PrimOp::Div, vec![PVal::Nat(1), PVal::Nat(0)]),
+            static_prim(PrimOp::Div, vec![rc(PVal::Nat(1)), rc(PVal::Nat(0))]),
             Err(SpecError::DivByZero)
         ));
     }
@@ -769,24 +968,22 @@ mod tests {
     #[test]
     fn static_prim_lists_allow_dynamic_elements() {
         // A partially static list: static cons with a code head.
-        let code = PVal::Code(Expr::Var(Ident::new("x")));
-        let cons = static_prim(PrimOp::Cons, vec![code.clone(), PVal::Nil]).unwrap();
-        let head = static_prim(PrimOp::Head, vec![cons.clone()]).unwrap();
-        assert!(matches!(head, PVal::Code(_)));
-        assert!(matches!(
-            static_prim(PrimOp::Null, vec![cons]),
-            Ok(PVal::Bool(false))
-        ));
+        let code = rc(PVal::Code(Expr::Var(Ident::new("x"))));
+        let cons = static_prim(PrimOp::Cons, vec![code, rc(PVal::Nil)]).unwrap();
+        let head = static_prim(PrimOp::Head, vec![Rc::clone(&cons)]).unwrap();
+        assert!(matches!(&*head, PVal::Code(_)));
+        let null = static_prim(PrimOp::Null, vec![cons]).unwrap();
+        assert!(matches!(&*null, PVal::Bool(false)));
     }
 
     #[test]
     fn static_prim_type_confusion_is_reported() {
         assert!(matches!(
-            static_prim(PrimOp::Add, vec![PVal::Bool(true), PVal::Nat(1)]),
+            static_prim(PrimOp::Add, vec![rc(PVal::Bool(true)), rc(PVal::Nat(1))]),
             Err(SpecError::TypeConfusion(_))
         ));
         assert!(matches!(
-            static_prim(PrimOp::Head, vec![PVal::Nat(1)]),
+            static_prim(PrimOp::Head, vec![rc(PVal::Nat(1))]),
             Err(SpecError::TypeConfusion(_))
         ));
     }

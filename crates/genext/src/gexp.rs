@@ -20,14 +20,13 @@ use crate::error::SpecError;
 use mspec_bta::{BtMask, BtSignature, BtTerm, CoerceSpec};
 use mspec_lang::ast::{Ident, ModName, PrimOp, QualName};
 use mspec_lang::modgraph::ModGraph;
-use mspec_lang::{Module, Program};
-use serde::{Deserialize, Serialize};
+use mspec_lang::{FromJson, Json, JsonError, Module, Program, ToJson};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A compiled binding-time term: evaluating it against a call's
 /// [`BtMask`] costs one AND and one OR.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BtCode {
     /// The term is the constant `D`.
     pub forced: bool,
@@ -60,7 +59,7 @@ impl BtCode {
 }
 
 /// A compiled coercion (the run-time half of [`CoerceSpec`]).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GCoerce {
     /// Lift to code when `from` is `S` and `to` is `D`.
     Base {
@@ -117,7 +116,7 @@ impl GCoerce {
 }
 
 /// A compiled generating-extension expression.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum GExp {
     /// Literal natural.
     Nat(u64),
@@ -146,11 +145,11 @@ pub enum GExp {
         /// Parameter name (for readable residual code).
         param: Ident,
         /// Body, compiled against a frame of `captured.len() + 1` slots.
-        body: Rc<GExp>,
+        body: Arc<GExp>,
         /// Slots of the enclosing frame to capture, in order.
         captured: Vec<u32>,
         /// Named functions reachable from the body (for §5 placement).
-        free_fns: Rc<Vec<QualName>>,
+        free_fns: Arc<Vec<QualName>>,
         /// Site identity (for memoisation keys).
         lam_id: u32,
     },
@@ -181,7 +180,7 @@ impl GExp {
 
 /// The generating extension of one named function (the paper's
 /// `mk_f` + `mk_f_body` pair, §4.2 Fig. 3).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GenFn {
     /// The function's qualified name.
     pub name: QualName,
@@ -190,11 +189,11 @@ pub struct GenFn {
     /// The binding-time signature (mask width, unfold decision, shapes).
     pub sig: BtSignature,
     /// The compiled body.
-    pub body: Rc<GExp>,
+    pub body: Arc<GExp>,
 }
 
 /// The generating extension of one module — what the `.gx` file holds.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GenModule {
     /// The module's name.
     pub name: ModName,
@@ -209,9 +208,10 @@ impl GenModule {
     ///
     /// # Errors
     ///
-    /// Serialisation errors (none for well-formed modules).
-    pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string(self)
+    /// Never fails for well-formed modules; the `Result` is kept for
+    /// genext-file API stability.
+    pub fn to_json(&self) -> Result<String, JsonError> {
+        Ok(self.to_json_compact())
     }
 
     /// Reads a `.gx` file back.
@@ -219,8 +219,269 @@ impl GenModule {
     /// # Errors
     ///
     /// Returns an error if `s` is not a valid genext file.
-    pub fn from_json(s: &str) -> Result<GenModule, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> Result<GenModule, JsonError> {
+        GenModule::from_json_str(s)
+    }
+}
+
+impl ToJson for BtCode {
+    fn to_json_value(&self) -> Json {
+        if self.forced {
+            Json::str("D")
+        } else {
+            Json::Num(self.bits)
+        }
+    }
+}
+
+impl FromJson for BtCode {
+    fn from_json_value(j: &Json) -> Result<BtCode, JsonError> {
+        if let Ok(s) = j.as_str() {
+            return match s {
+                "D" => Ok(BtCode::d()),
+                other => Err(JsonError(format!("unknown binding-time code `{other}`"))),
+            };
+        }
+        Ok(BtCode { forced: false, bits: j.as_u128()? })
+    }
+}
+
+impl ToJson for GCoerce {
+    fn to_json_value(&self) -> Json {
+        match self {
+            GCoerce::Id => Json::str("id"),
+            GCoerce::Base { from, to } => {
+                Json::obj([("base", Json::Arr(vec![from.to_json_value(), to.to_json_value()]))])
+            }
+            GCoerce::Fun { from, to } => {
+                Json::obj([("fun", Json::Arr(vec![from.to_json_value(), to.to_json_value()]))])
+            }
+            // `elem_identity` is derived, so it is not stored.
+            GCoerce::List { from, to, elem, .. } => Json::obj([(
+                "list",
+                Json::Arr(vec![from.to_json_value(), to.to_json_value(), elem.to_json_value()]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for GCoerce {
+    fn from_json_value(j: &Json) -> Result<GCoerce, JsonError> {
+        if let Ok(s) = j.as_str() {
+            return match s {
+                "id" => Ok(GCoerce::Id),
+                other => Err(JsonError(format!("unknown coercion `{other}`"))),
+            };
+        }
+        let pair = |v: &Json| -> Result<(BtCode, BtCode), JsonError> {
+            let parts = v.as_arr()?;
+            if parts.len() != 2 {
+                return Err(JsonError("coercion expects [from, to]".into()));
+            }
+            Ok((BtCode::from_json_value(&parts[0])?, BtCode::from_json_value(&parts[1])?))
+        };
+        match j.as_obj()? {
+            [(k, v)] if k == "base" => {
+                let (from, to) = pair(v)?;
+                Ok(GCoerce::Base { from, to })
+            }
+            [(k, v)] if k == "fun" => {
+                let (from, to) = pair(v)?;
+                Ok(GCoerce::Fun { from, to })
+            }
+            [(k, v)] if k == "list" => {
+                let parts = v.as_arr()?;
+                if parts.len() != 3 {
+                    return Err(JsonError("`list` coercion expects [from, to, elem]".into()));
+                }
+                let elem = GCoerce::from_json_value(&parts[2])?;
+                let elem_identity = matches!(elem, GCoerce::Id);
+                Ok(GCoerce::List {
+                    from: BtCode::from_json_value(&parts[0])?,
+                    to: BtCode::from_json_value(&parts[1])?,
+                    elem: Box::new(elem),
+                    elem_identity,
+                })
+            }
+            _ => Err(JsonError("malformed coercion".into())),
+        }
+    }
+}
+
+impl ToJson for GExp {
+    fn to_json_value(&self) -> Json {
+        match self {
+            GExp::Nat(n) => Json::obj([("nat", Json::Num(u128::from(*n)))]),
+            GExp::Bool(b) => Json::Bool(*b),
+            GExp::Nil => Json::str("nil"),
+            GExp::Var(slot) => Json::obj([("var", Json::Num(u128::from(*slot)))]),
+            GExp::Prim(op, bt, args) => Json::obj([(
+                "prim",
+                Json::Arr(vec![op.to_json_value(), bt.to_json_value(), args.to_json_value()]),
+            )]),
+            GExp::If(bt, c, t, e) => Json::obj([(
+                "if",
+                Json::Arr(vec![
+                    bt.to_json_value(),
+                    c.to_json_value(),
+                    t.to_json_value(),
+                    e.to_json_value(),
+                ]),
+            )]),
+            GExp::Call { target, inst, args } => Json::obj([(
+                "call",
+                Json::Arr(vec![target.to_json_value(), inst.to_json_value(), args.to_json_value()]),
+            )]),
+            GExp::Lam { param, body, captured, free_fns, lam_id } => Json::obj([(
+                "lam",
+                Json::Arr(vec![
+                    param.to_json_value(),
+                    body.to_json_value(),
+                    Json::Arr(captured.iter().map(|s| Json::Num(u128::from(*s))).collect()),
+                    free_fns.to_json_value(),
+                    Json::Num(u128::from(*lam_id)),
+                ]),
+            )]),
+            GExp::App(bt, f, a) => Json::obj([(
+                "app",
+                Json::Arr(vec![bt.to_json_value(), f.to_json_value(), a.to_json_value()]),
+            )]),
+            GExp::Let(e, b) => {
+                Json::obj([("let", Json::Arr(vec![e.to_json_value(), b.to_json_value()]))])
+            }
+            GExp::Coerce(spec, e) => {
+                Json::obj([("coerce", Json::Arr(vec![spec.to_json_value(), e.to_json_value()]))])
+            }
+        }
+    }
+}
+
+impl FromJson for GExp {
+    fn from_json_value(j: &Json) -> Result<GExp, JsonError> {
+        if let Ok(b) = j.as_bool() {
+            return Ok(GExp::Bool(b));
+        }
+        if let Ok(s) = j.as_str() {
+            return match s {
+                "nil" => Ok(GExp::Nil),
+                other => Err(JsonError(format!("unknown expression `{other}`"))),
+            };
+        }
+        let arity = |v: &Json, n: usize, what: &str| -> Result<Vec<Json>, JsonError> {
+            let parts = v.as_arr()?;
+            if parts.len() != n {
+                return Err(JsonError(format!("`{what}` expects {n} fields")));
+            }
+            Ok(parts.to_vec())
+        };
+        match j.as_obj()? {
+            [(k, v)] if k == "nat" => Ok(GExp::Nat(v.as_u64()?)),
+            [(k, v)] if k == "var" => Ok(GExp::Var(v.as_u32()?)),
+            [(k, v)] if k == "prim" => {
+                let p = arity(v, 3, "prim")?;
+                Ok(GExp::Prim(
+                    PrimOp::from_json_value(&p[0])?,
+                    BtCode::from_json_value(&p[1])?,
+                    Vec::from_json_value(&p[2])?,
+                ))
+            }
+            [(k, v)] if k == "if" => {
+                let p = arity(v, 4, "if")?;
+                Ok(GExp::If(
+                    BtCode::from_json_value(&p[0])?,
+                    Box::new(GExp::from_json_value(&p[1])?),
+                    Box::new(GExp::from_json_value(&p[2])?),
+                    Box::new(GExp::from_json_value(&p[3])?),
+                ))
+            }
+            [(k, v)] if k == "call" => {
+                let p = arity(v, 3, "call")?;
+                Ok(GExp::Call {
+                    target: QualName::from_json_value(&p[0])?,
+                    inst: Vec::from_json_value(&p[1])?,
+                    args: Vec::from_json_value(&p[2])?,
+                })
+            }
+            [(k, v)] if k == "lam" => {
+                let p = arity(v, 5, "lam")?;
+                let mut captured = Vec::new();
+                for s in p[2].as_arr()? {
+                    captured.push(s.as_u32()?);
+                }
+                Ok(GExp::Lam {
+                    param: Ident::from_json_value(&p[0])?,
+                    body: Arc::new(GExp::from_json_value(&p[1])?),
+                    captured,
+                    free_fns: Arc::new(Vec::from_json_value(&p[3])?),
+                    lam_id: p[4].as_u32()?,
+                })
+            }
+            [(k, v)] if k == "app" => {
+                let p = arity(v, 3, "app")?;
+                Ok(GExp::App(
+                    BtCode::from_json_value(&p[0])?,
+                    Box::new(GExp::from_json_value(&p[1])?),
+                    Box::new(GExp::from_json_value(&p[2])?),
+                ))
+            }
+            [(k, v)] if k == "let" => {
+                let p = arity(v, 2, "let")?;
+                Ok(GExp::Let(
+                    Box::new(GExp::from_json_value(&p[0])?),
+                    Box::new(GExp::from_json_value(&p[1])?),
+                ))
+            }
+            [(k, v)] if k == "coerce" => {
+                let p = arity(v, 2, "coerce")?;
+                Ok(GExp::Coerce(
+                    GCoerce::from_json_value(&p[0])?,
+                    Box::new(GExp::from_json_value(&p[1])?),
+                ))
+            }
+            _ => Err(JsonError("malformed genext expression".into())),
+        }
+    }
+}
+
+impl ToJson for GenFn {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json_value()),
+            ("params", self.params.to_json_value()),
+            ("sig", self.sig.to_json_value()),
+            ("body", self.body.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for GenFn {
+    fn from_json_value(j: &Json) -> Result<GenFn, JsonError> {
+        Ok(GenFn {
+            name: QualName::from_json_value(j.get("name")?)?,
+            params: Vec::from_json_value(j.get("params")?)?,
+            sig: BtSignature::from_json_value(j.get("sig")?)?,
+            body: Arc::new(GExp::from_json_value(j.get("body")?)?),
+        })
+    }
+}
+
+impl ToJson for GenModule {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json_value()),
+            ("imports", self.imports.to_json_value()),
+            ("fns", self.fns.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for GenModule {
+    fn from_json_value(j: &Json) -> Result<GenModule, JsonError> {
+        Ok(GenModule {
+            name: ModName::from_json_value(j.get("name")?)?,
+            imports: Vec::from_json_value(j.get("imports")?)?,
+            fns: Vec::from_json_value(j.get("fns")?)?,
+        })
     }
 }
 
@@ -248,8 +509,8 @@ impl GenProgram {
         let mut index = HashMap::new();
         for (mi, m) in modules.iter().enumerate() {
             for (fi, f) in m.fns.iter().enumerate() {
-                if index.insert(f.name.clone(), (mi, fi)).is_some() {
-                    return Err(SpecError::DuplicateModule(m.name.clone()));
+                if index.insert(f.name, (mi, fi)).is_some() {
+                    return Err(SpecError::DuplicateModule(m.name));
                 }
             }
         }
@@ -257,7 +518,7 @@ impl GenProgram {
         let skeleton = Program::new(
             modules
                 .iter()
-                .map(|m| Module::new(m.name.clone(), m.imports.clone(), vec![]))
+                .map(|m| Module::new(m.name, m.imports.clone(), vec![]))
                 .collect(),
         );
         let graph = ModGraph::new(&skeleton).map_err(|e| SpecError::TypeConfusion(e.to_string()))?;
@@ -341,7 +602,7 @@ mod tests {
                     ret: mspec_bta::SigShape::Var(BtTerm::var(0)),
                     unfold: BtTerm::s(),
                 },
-                body: Rc::new(GExp::Var(0)),
+                body: Arc::new(GExp::Var(0)),
             }],
         }
     }

@@ -37,7 +37,7 @@ pub mod placement;
 pub mod value;
 
 pub use emit::{FileSink, MemorySink, ModuleSink, ResidualProgram};
-pub use engine::{Engine, EngineOptions, Provenance, SpecArg, SpecStats, Strategy};
+pub use engine::{CostModel, Engine, EngineOptions, Provenance, SpecArg, SpecStats, Strategy};
 pub use error::SpecError;
 pub use gexp::{BtCode, GExp, GenFn, GenModule, GenProgram};
 pub use value::{Closure, PKey, PVal};

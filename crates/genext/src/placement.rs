@@ -38,7 +38,7 @@ impl Placer {
     /// set always lands in the same module.
     pub fn place(&mut self, free_fns: &[QualName], graph: &ModGraph) -> ModName {
         let mut set: BTreeSet<ModName> =
-            free_fns.iter().map(|q| q.module.clone()).collect();
+            free_fns.iter().map(|q| q.module).collect();
         if set.is_empty() {
             // Cannot happen (the callee itself is always free), but keep
             // a deterministic fallback.
@@ -46,10 +46,10 @@ impl Placer {
         }
         let reduced = graph.reduce_by_imports(&set);
         if let Some(name) = self.assigned.get(&reduced) {
-            return name.clone();
+            return *name;
         }
         let name = if reduced.len() == 1 {
-            reduced.iter().next().expect("non-empty").clone()
+            *reduced.iter().next().expect("non-empty")
         } else {
             // Combination module: concatenate member names (alphabetical,
             // e.g. Power + Twice → PowerTwice), disambiguating on clash.
@@ -62,8 +62,8 @@ impl Placer {
             }
             candidate
         };
-        self.taken.insert(name.clone());
-        self.assigned.insert(reduced, name.clone());
+        self.taken.insert(name);
+        self.assigned.insert(reduced, name);
         name
     }
 

@@ -16,6 +16,7 @@ use mspec_bta::BtMask;
 use mspec_lang::ast::{Expr, Ident, ModName, PrimOp, QualName};
 use mspec_lang::eval::Value;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// A partial (specialisation-time) value.
 #[derive(Debug, Clone)]
@@ -42,11 +43,12 @@ pub struct Closure {
     /// Parameter name (used for readable residual lambdas).
     pub param: Ident,
     /// The compiled body; its frame is `env` followed by the parameter.
-    pub body: Rc<GExp>,
-    /// Captured values.
-    pub env: Vec<PVal>,
+    pub body: Arc<GExp>,
+    /// Captured values, shared with the frame they were captured from
+    /// (applying a closure never deep-copies its environment).
+    pub env: Vec<Rc<PVal>>,
     /// Named functions reachable from the body (for placement).
-    pub free_fns: Rc<Vec<QualName>>,
+    pub free_fns: Arc<Vec<QualName>>,
     /// Identity of the lambda site within its module.
     pub lam_id: u32,
     /// Module the lambda occurs in (with `lam_id`, a global identity).
@@ -81,7 +83,7 @@ impl PVal {
         match self {
             PVal::Nat(_) | PVal::Bool(_) | PVal::Nil => true,
             PVal::Cons(h, t) => h.is_fully_static() && t.is_fully_static(),
-            PVal::Clo(c) => c.env.iter().all(PVal::is_fully_static),
+            PVal::Clo(c) => c.env.iter().all(|e| e.is_fully_static()),
             PVal::Code(_) => false,
         }
     }
@@ -100,7 +102,7 @@ impl PVal {
             PVal::Clo(c) => {
                 for f in c.free_fns.iter() {
                     if !out.contains(f) {
-                        out.push(f.clone());
+                        out.push(*f);
                     }
                 }
                 for v in &c.env {
@@ -130,7 +132,7 @@ pub enum PKey {
     /// of its captured environment.
     Clo {
         /// Module of the lambda site.
-        module: String,
+        module: ModName,
         /// Lambda-site id within the module.
         lam_id: u32,
         /// Origin binding-time mask (it changes how the body specialises).
@@ -145,22 +147,72 @@ pub enum PKey {
 /// Splits a value into its skeleton and the residual code of its dynamic
 /// leaves (in deterministic left-to-right order).
 pub fn split(v: &PVal, leaves: &mut Vec<Expr>) -> PKey {
+    split_hashed(v, leaves).0
+}
+
+/// Like [`split`], but also returns a structural hash of the skeleton,
+/// computed in the same traversal. The memo table probes on this hash
+/// first, so the common case (a repeat request) costs one `u64` compare
+/// instead of a deep [`PKey`] walk; equal hashes are collision-checked
+/// against the full skeleton.
+pub fn split_hashed(v: &PVal, leaves: &mut Vec<Expr>) -> (PKey, u64) {
+    let mut h = FNV_OFFSET;
+    let key = split_into(v, leaves, &mut h);
+    (key, h)
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Seed for folding per-argument skeleton hashes into a single memo hash
+/// with [`hash_fold`].
+pub const SKELETON_SEED: u64 = FNV_OFFSET;
+
+/// Folds one [`split_hashed`] hash into an accumulated argument-list
+/// hash.
+#[inline]
+pub fn hash_fold(acc: u64, h: u64) -> u64 {
+    (acc ^ h).wrapping_mul(FNV_PRIME)
+}
+
+#[inline]
+fn mix(h: &mut u64, word: u64) {
+    *h = (*h ^ word).wrapping_mul(FNV_PRIME);
+}
+
+fn split_into(v: &PVal, leaves: &mut Vec<Expr>, h: &mut u64) -> PKey {
     match v {
-        PVal::Nat(n) => PKey::Nat(*n),
-        PVal::Bool(b) => PKey::Bool(*b),
-        PVal::Nil => PKey::Nil,
-        PVal::Cons(h, t) => {
-            let hk = split(h, leaves);
-            let tk = split(t, leaves);
+        PVal::Nat(n) => {
+            mix(h, 1);
+            mix(h, *n);
+            PKey::Nat(*n)
+        }
+        PVal::Bool(b) => {
+            mix(h, 2);
+            mix(h, u64::from(*b));
+            PKey::Bool(*b)
+        }
+        PVal::Nil => {
+            mix(h, 3);
+            PKey::Nil
+        }
+        PVal::Cons(hd, tl) => {
+            mix(h, 4);
+            let hk = split_into(hd, leaves, h);
+            let tk = split_into(tl, leaves, h);
             PKey::Cons(Box::new(hk), Box::new(tk))
         }
-        PVal::Clo(c) => PKey::Clo {
-            module: c.module.as_str().to_string(),
-            lam_id: c.lam_id,
-            mask: c.mask.0,
-            env: c.env.iter().map(|e| split(e, leaves)).collect(),
-        },
+        PVal::Clo(c) => {
+            mix(h, 5);
+            mix(h, u64::from(c.module.sym().id()));
+            mix(h, u64::from(c.lam_id));
+            mix(h, c.mask.0 as u64);
+            mix(h, (c.mask.0 >> 64) as u64);
+            let env = c.env.iter().map(|e| split_into(e, leaves, h)).collect();
+            PKey::Clo { module: c.module, lam_id: c.lam_id, mask: c.mask.0, env }
+        }
         PVal::Code(e) => {
+            mix(h, 6);
             leaves.push(e.clone());
             PKey::Hole
         }
@@ -179,19 +231,19 @@ pub fn rebuild(v: &PVal, names: &[Ident], next: &mut usize) -> PVal {
             PVal::Cons(Rc::new(h2), Rc::new(t2))
         }
         PVal::Clo(c) => {
-            let env = c.env.iter().map(|e| rebuild(e, names, next)).collect();
+            let env = c.env.iter().map(|e| Rc::new(rebuild(e, names, next))).collect();
             PVal::Clo(Rc::new(Closure {
-                param: c.param.clone(),
-                body: Rc::clone(&c.body),
+                param: c.param,
+                body: Arc::clone(&c.body),
                 env,
-                free_fns: Rc::clone(&c.free_fns),
+                free_fns: Arc::clone(&c.free_fns),
                 lam_id: c.lam_id,
-                module: c.module.clone(),
+                module: c.module,
                 mask: c.mask,
             }))
         }
         PVal::Code(_) => {
-            let name = names[*next].clone();
+            let name = names[*next];
             *next += 1;
             PVal::Code(Expr::Var(name))
         }
@@ -233,9 +285,9 @@ mod tests {
     fn clo(env: Vec<PVal>) -> PVal {
         PVal::Clo(Rc::new(Closure {
             param: Ident::new("x"),
-            body: Rc::new(GExp::Var(0)),
-            env,
-            free_fns: Rc::new(vec![QualName::new("P", "power")]),
+            body: Arc::new(GExp::Var(0)),
+            env: env.into_iter().map(Rc::new).collect(),
+            free_fns: Arc::new(vec![QualName::new("P", "power")]),
             lam_id: 7,
             module: ModName::new("B"),
             mask: BtMask::all_static(),
@@ -326,7 +378,7 @@ mod tests {
         let rebuilt = rebuild(&c, &names, &mut next);
         match rebuilt {
             PVal::Clo(c2) => {
-                assert!(matches!(&c2.env[0], PVal::Code(Expr::Var(n)) if n.as_str() == "z0"));
+                assert!(matches!(&*c2.env[0], PVal::Code(Expr::Var(n)) if n.as_str() == "z0"));
             }
             other => panic!("unexpected {other:?}"),
         }

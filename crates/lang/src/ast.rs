@@ -13,28 +13,61 @@
 //! boolean literals, cons-lists (needed by the paper's own `map`
 //! examples) and `let x = e in e` (unfold-only sugar).
 
-use serde::{Deserialize, Serialize};
+use crate::intern::Sym;
+use crate::json::{FromJson, Json, JsonError, ToJson};
+use std::cmp::Ordering;
 use std::fmt;
 
 /// A lower-case identifier: a variable, parameter or function name.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct Ident(pub String);
+///
+/// Backed by an interned [`Sym`], so identifiers are `Copy` and compare
+/// and hash as integers; ordering is still lexicographic (by text) so
+/// that interning order never changes deterministic output.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ident(Sym);
 
 impl Ident {
     /// Creates an identifier from anything string-like.
-    pub fn new(s: impl Into<String>) -> Ident {
-        Ident(s.into())
+    pub fn new(s: impl AsRef<str>) -> Ident {
+        Ident(Sym::intern(s.as_ref()))
     }
 
     /// The identifier text.
-    pub fn as_str(&self) -> &str {
-        &self.0
+    pub fn as_str(&self) -> &'static str {
+        self.0.as_str()
+    }
+
+    /// The interned symbol.
+    pub fn sym(&self) -> Sym {
+        self.0
+    }
+}
+
+impl fmt::Debug for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ident({:?})", self.as_str())
+    }
+}
+
+impl PartialOrd for Ident {
+    fn partial_cmp(&self, other: &Ident) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ident {
+    fn cmp(&self, other: &Ident) -> Ordering {
+        if self.0 == other.0 {
+            Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
     }
 }
 
 impl fmt::Display for Ident {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(self.as_str())
     }
 }
 
@@ -46,29 +79,68 @@ impl From<&str> for Ident {
 
 impl From<String> for Ident {
     fn from(s: String) -> Ident {
-        Ident(s)
+        Ident::new(s)
     }
 }
 
-/// An upper-case module name.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct ModName(pub String);
+impl ToJson for Ident {
+    fn to_json_value(&self) -> Json {
+        Json::str(self.as_str())
+    }
+}
+
+impl FromJson for Ident {
+    fn from_json_value(j: &Json) -> Result<Ident, JsonError> {
+        Ok(Ident::new(j.as_str()?))
+    }
+}
+
+/// An upper-case module name (interned; see [`Ident`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModName(Sym);
 
 impl ModName {
     /// Creates a module name from anything string-like.
-    pub fn new(s: impl Into<String>) -> ModName {
-        ModName(s.into())
+    pub fn new(s: impl AsRef<str>) -> ModName {
+        ModName(Sym::intern(s.as_ref()))
     }
 
     /// The module name text.
-    pub fn as_str(&self) -> &str {
-        &self.0
+    pub fn as_str(&self) -> &'static str {
+        self.0.as_str()
+    }
+
+    /// The interned symbol.
+    pub fn sym(&self) -> Sym {
+        self.0
+    }
+}
+
+impl fmt::Debug for ModName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ModName({:?})", self.as_str())
+    }
+}
+
+impl PartialOrd for ModName {
+    fn partial_cmp(&self, other: &ModName) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ModName {
+    fn cmp(&self, other: &ModName) -> Ordering {
+        if self.0 == other.0 {
+            Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
     }
 }
 
 impl fmt::Display for ModName {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(self.as_str())
     }
 }
 
@@ -78,8 +150,24 @@ impl From<&str> for ModName {
     }
 }
 
+impl ToJson for ModName {
+    fn to_json_value(&self) -> Json {
+        Json::str(self.as_str())
+    }
+}
+
+impl FromJson for ModName {
+    fn from_json_value(j: &Json) -> Result<ModName, JsonError> {
+        Ok(ModName::new(j.as_str()?))
+    }
+}
+
 /// A fully qualified top-level function name: `module.name`.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+///
+/// `Copy` thanks to interning: cloning a qualified name is two `u32`
+/// copies, so the specialisation engine's memo keys, placement sets and
+/// provenance records carry no allocations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct QualName {
     /// Defining module.
     pub module: ModName,
@@ -100,12 +188,30 @@ impl fmt::Display for QualName {
     }
 }
 
+impl ToJson for QualName {
+    fn to_json_value(&self) -> Json {
+        Json::Arr(vec![self.module.to_json_value(), self.name.to_json_value()])
+    }
+}
+
+impl FromJson for QualName {
+    fn from_json_value(j: &Json) -> Result<QualName, JsonError> {
+        match j.as_arr()? {
+            [m, n] => Ok(QualName {
+                module: ModName::from_json_value(m)?,
+                name: Ident::from_json_value(n)?,
+            }),
+            _ => Err(JsonError("qualified name must be a 2-element array".into())),
+        }
+    }
+}
+
 /// The target of a named-function call.
 ///
 /// The parser produces calls whose `module` part is `None` unless the
 /// source used a qualified name (`Power.power`); [`crate::resolve`]
 /// rewrites every call so that `module` is `Some`.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CallName {
     /// Defining module, once resolved.
     pub module: Option<ModName>,
@@ -131,14 +237,14 @@ impl CallName {
     /// Panics if the call has not been resolved yet.
     pub fn qualified(&self) -> QualName {
         QualName {
-            module: self.module.clone().expect("call target not resolved"),
-            name: self.name.clone(),
+            module: self.module.expect("call target not resolved"),
+            name: self.name,
         }
     }
 
     /// Returns the qualified name if resolved.
     pub fn qualified_opt(&self) -> Option<QualName> {
-        self.module.as_ref().map(|m| QualName { module: m.clone(), name: self.name.clone() })
+        self.module.as_ref().map(|m| QualName { module: *m, name: self.name })
     }
 }
 
@@ -162,7 +268,7 @@ impl From<QualName> for CallName {
 /// Arithmetic and comparisons work on naturals, logical operations on
 /// booleans, and list operations on cons-lists. Each primitive has a
 /// fixed [arity](PrimOp::arity).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PrimOp {
     /// Wrapping addition on naturals.
     Add,
@@ -254,8 +360,24 @@ impl fmt::Display for PrimOp {
     }
 }
 
+impl ToJson for PrimOp {
+    fn to_json_value(&self) -> Json {
+        Json::str(self.symbol())
+    }
+}
+
+impl FromJson for PrimOp {
+    fn from_json_value(j: &Json) -> Result<PrimOp, JsonError> {
+        let s = j.as_str()?;
+        PrimOp::ALL
+            .into_iter()
+            .find(|p| p.symbol() == s)
+            .ok_or_else(|| JsonError(format!("unknown primitive `{s}`")))
+    }
+}
+
 /// An expression.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Expr {
     /// Natural-number literal.
     Nat(u64),
@@ -339,7 +461,7 @@ impl Expr {
 }
 
 /// A top-level function definition: `name p1 … pn = body`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Def {
     /// Function name.
     pub name: Ident,
@@ -365,7 +487,7 @@ impl Def {
 ///
 /// Every definition is exported; imports may not be cyclic (checked by
 /// [`crate::modgraph`]).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Module {
     /// Module name.
     pub name: ModName,
@@ -393,7 +515,7 @@ impl Module {
 }
 
 /// A complete program: a set of modules with acyclic imports.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Program {
     /// The modules, in no particular order.
     pub modules: Vec<Module>,
@@ -505,7 +627,7 @@ mod tests {
     #[test]
     fn call_name_qualified_roundtrip() {
         let q = QualName::new("A", "f");
-        let c: CallName = q.clone().into();
+        let c: CallName = q.into();
         assert_eq!(c.qualified(), q);
     }
 

@@ -91,8 +91,8 @@ pub fn compile_program(rp: &ResolvedProgram) -> CProgram {
     let mut order: Vec<(QualName, &crate::ast::Def)> = Vec::new();
     for m in &rp.program().modules {
         for d in &m.defs {
-            let q = QualName { module: m.name.clone(), name: d.name.clone() };
-            index.insert(q.clone(), order.len() as u32);
+            let q = QualName { module: m.name, name: d.name };
+            index.insert(q, order.len() as u32);
             order.push((q, d));
         }
     }
@@ -101,7 +101,7 @@ pub fn compile_program(rp: &ResolvedProgram) -> CProgram {
         .map(|(q, d)| {
             let mut scope: Vec<Ident> = d.params.clone();
             CFn {
-                name: q.clone(),
+                name: *q,
                 arity: d.params.len(),
                 body: Rc::new(compile_expr(&d.body, &mut scope, &index)),
             }
@@ -133,12 +133,12 @@ fn compile_expr(e: &Expr, scope: &mut Vec<Ident>, index: &BTreeMap<QualName, u32
         }
         Expr::Lam(x, body) => {
             let mut free = Vec::new();
-            free_vars(body, &mut vec![x.clone()], &mut free);
+            free_vars(body, &mut vec![*x], &mut free);
             let captured_names: Vec<Ident> =
                 free.into_iter().filter(|v| scope.contains(v)).collect();
             let captured = captured_names.iter().map(|v| slot(scope, v)).collect();
             let mut inner: Vec<Ident> = captured_names;
-            inner.push(x.clone());
+            inner.push(*x);
             CExpr::Lam { body: Rc::new(compile_expr(body, &mut inner, index)), captured }
         }
         Expr::App(f, a) => CExpr::App(
@@ -147,7 +147,7 @@ fn compile_expr(e: &Expr, scope: &mut Vec<Ident>, index: &BTreeMap<QualName, u32
         ),
         Expr::Let(x, rhs, body) => {
             let rhs = compile_expr(rhs, scope, index);
-            scope.push(x.clone());
+            scope.push(*x);
             let body = compile_expr(body, scope, index);
             scope.pop();
             CExpr::Let(Box::new(rhs), Box::new(body))
@@ -167,7 +167,7 @@ fn free_vars(e: &Expr, bound: &mut Vec<Ident>, out: &mut Vec<Ident>) {
         Expr::Nat(_) | Expr::Bool(_) | Expr::Nil => {}
         Expr::Var(x) => {
             if !bound.contains(x) && !out.contains(x) {
-                out.push(x.clone());
+                out.push(*x);
             }
         }
         Expr::Prim(_, args) | Expr::Call(_, args) => {
@@ -179,7 +179,7 @@ fn free_vars(e: &Expr, bound: &mut Vec<Ident>, out: &mut Vec<Ident>) {
             free_vars(f, bound, out);
         }
         Expr::Lam(x, b) => {
-            bound.push(x.clone());
+            bound.push(*x);
             free_vars(b, bound, out);
             bound.pop();
         }
@@ -189,7 +189,7 @@ fn free_vars(e: &Expr, bound: &mut Vec<Ident>, out: &mut Vec<Ident>) {
         }
         Expr::Let(x, rhs, b) => {
             free_vars(rhs, bound, out);
-            bound.push(x.clone());
+            bound.push(*x);
             free_vars(b, bound, out);
             bound.pop();
         }
@@ -280,7 +280,7 @@ impl<'p> CEvaluator<'p> {
         let idx = self
             .program
             .index_of(q)
-            .ok_or_else(|| EvalError::UnknownFunction(q.clone()))?;
+            .ok_or(EvalError::UnknownFunction(*q))?;
         let cargs = args
             .iter()
             .map(|v| {

@@ -274,7 +274,7 @@ impl<'p> Evaluator<'p> {
         let def = self
             .program
             .def(q)
-            .ok_or_else(|| EvalError::UnknownFunction(q.clone()))?;
+            .ok_or(EvalError::UnknownFunction(*q))?;
         if def.params.len() != args.len() {
             return Err(EvalError::TypeMismatch(format!(
                 "{q} expects {} arguments, got {}",
@@ -284,7 +284,7 @@ impl<'p> Evaluator<'p> {
         }
         let mut env = Env::empty();
         for (p, a) in def.params.iter().zip(args) {
-            env = env.bind(p.clone(), a);
+            env = env.bind(*p, a);
         }
         // Clone the body so the borrow of `self.program` does not pin us.
         let body = def.body.clone();
@@ -308,7 +308,7 @@ impl<'p> Evaluator<'p> {
             Expr::Var(x) => env
                 .lookup(x)
                 .cloned()
-                .ok_or_else(|| EvalError::UnboundVariable(x.clone())),
+                .ok_or(EvalError::UnboundVariable(*x)),
             Expr::Prim(op, args) => {
                 let mut vals = Vec::with_capacity(args.len());
                 for a in args {
@@ -334,7 +334,7 @@ impl<'p> Evaluator<'p> {
                 self.call(&q, vals)
             }
             Expr::Lam(x, body) => Ok(Value::Closure(Rc::new(ClosureVal {
-                param: x.clone(),
+                param: *x,
                 body: (**body).clone(),
                 env: env.clone(),
             }))),
@@ -343,7 +343,7 @@ impl<'p> Evaluator<'p> {
                 let av = self.eval(a, env)?;
                 match fv {
                     Value::Closure(c) => {
-                        let env2 = c.env.bind(c.param.clone(), av);
+                        let env2 = c.env.bind(c.param, av);
                         self.eval(&c.body, &env2)
                     }
                     other => Err(EvalError::TypeMismatch(format!(
@@ -353,7 +353,7 @@ impl<'p> Evaluator<'p> {
             }
             Expr::Let(x, rhs, body) => {
                 let v = self.eval(rhs, env)?;
-                let env2 = env.bind(x.clone(), v);
+                let env2 = env.bind(*x, v);
                 self.eval(body, &env2)
             }
         }
@@ -423,11 +423,10 @@ mod tests {
     fn eval_main(src: &str, args: Vec<Value>) -> Result<Value, EvalError> {
         let rp = resolve(parse_program(src).unwrap()).unwrap();
         let mut ev = Evaluator::new(&rp);
-        let main = rp
+        let main = *rp
             .functions()
             .find(|q| q.name.as_str() == "main")
-            .expect("program has a main")
-            .clone();
+            .expect("program has a main");
         ev.call(&main, args)
     }
 
@@ -511,11 +510,21 @@ mod tests {
 
     #[test]
     fn divergence_exhausts_fuel() {
-        let src = "module M where\nloop x = loop x\nmain y = loop y\n";
-        let rp = resolve(parse_program(src).unwrap()).unwrap();
-        let mut ev = Evaluator::with_fuel(&rp, 2_000);
-        let main = QualName::new("M", "main");
-        assert_eq!(ev.call(&main, vec![Value::nat(1)]), Err(EvalError::FuelExhausted));
+        // The evaluator recurses one Rust frame per object-language call,
+        // so exhausting 2k fuel on a self-loop needs more stack than the
+        // 2 MiB a debug-mode test thread gets.
+        std::thread::Builder::new()
+            .stack_size(64 * 1024 * 1024)
+            .spawn(|| {
+                let src = "module M where\nloop x = loop x\nmain y = loop y\n";
+                let rp = resolve(parse_program(src).unwrap()).unwrap();
+                let mut ev = Evaluator::with_fuel(&rp, 2_000);
+                let main = QualName::new("M", "main");
+                assert_eq!(ev.call(&main, vec![Value::nat(1)]), Err(EvalError::FuelExhausted));
+            })
+            .unwrap()
+            .join()
+            .unwrap();
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Global string interning.
+//!
+//! Every [`crate::ast::Ident`] and [`crate::ast::ModName`] is backed by a
+//! [`Sym`]: a `u32` index into a process-wide, append-only table of
+//! leaked strings. Interning makes name equality and hashing integer
+//! operations, makes qualified names `Copy`, and removes the `String`
+//! clones that used to dominate the specialisation engine's memo keys
+//! and environments.
+//!
+//! The table is shared and read-mostly: [`Sym::intern`] takes a write
+//! lock, [`Sym::as_str`] a read lock (returning `&'static str`, so no
+//! lock is held by callers). Strings are leaked intentionally — the set
+//! of distinct names in a compilation session is small and bounded by
+//! the source plus gensym output, and leaking is what lets lookups hand
+//! out `'static` references without reference counting.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string: cheap to copy, compare and hash.
+///
+/// Equality agrees with string equality (the interner is a bijection);
+/// ordering is **not** derived from the id — callers that need
+/// lexicographic order compare [`Sym::as_str`] (as the `Ord` impls of
+/// `Ident`/`ModName` do), so interning order never leaks into output.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sym(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strs: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static TABLE: OnceLock<RwLock<Interner>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        RwLock::new(Interner { map: HashMap::new(), strs: Vec::new() })
+    })
+}
+
+impl Sym {
+    /// Interns a string, returning its symbol. Idempotent: interning the
+    /// same text always yields the same `Sym`.
+    pub fn intern(s: &str) -> Sym {
+        {
+            let t = interner().read().expect("interner poisoned");
+            if let Some(&id) = t.map.get(s) {
+                return Sym(id);
+            }
+        }
+        let mut t = interner().write().expect("interner poisoned");
+        if let Some(&id) = t.map.get(s) {
+            return Sym(id);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = u32::try_from(t.strs.len()).expect("interner overflow");
+        t.strs.push(leaked);
+        t.map.insert(leaked, id);
+        Sym(id)
+    }
+
+    /// The interned text. `'static` because the table leaks its strings.
+    pub fn as_str(self) -> &'static str {
+        let t = interner().read().expect("interner poisoned");
+        t.strs[self.0 as usize]
+    }
+
+    /// The raw table index (stable for the lifetime of the process).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sym({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Sym::intern("power");
+        let b = Sym::intern("power");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "power");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_syms() {
+        assert_ne!(Sym::intern("alpha"), Sym::intern("beta"));
+    }
+
+    #[test]
+    fn interning_is_thread_safe() {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    (0..100).map(|i| Sym::intern(&format!("s{}", (t * i) % 50))).count()
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(Sym::intern("s0"), Sym::intern("s0"));
+    }
+}

@@ -50,6 +50,8 @@ pub mod builder;
 pub mod compile;
 pub mod error;
 pub mod eval;
+pub mod intern;
+pub mod json;
 pub mod lexer;
 pub mod modgraph;
 pub mod parser;
@@ -59,3 +61,5 @@ pub mod span;
 
 pub use ast::{CallName, Def, Expr, Ident, ModName, Module, PrimOp, Program, QualName};
 pub use error::LangError;
+pub use intern::Sym;
+pub use json::{FromJson, Json, JsonError, ToJson};

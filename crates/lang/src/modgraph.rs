@@ -34,16 +34,16 @@ impl ModGraph {
         let mut direct: BTreeMap<ModName, BTreeSet<ModName>> = BTreeMap::new();
         for m in &program.modules {
             if direct.contains_key(&m.name) {
-                return Err(LangError::DuplicateModule(m.name.clone()));
+                return Err(LangError::DuplicateModule(m.name));
             }
-            direct.insert(m.name.clone(), m.imports.iter().cloned().collect());
+            direct.insert(m.name, m.imports.iter().cloned().collect());
         }
         for m in &program.modules {
             for i in &m.imports {
                 if !direct.contains_key(i) {
                     return Err(LangError::MissingModule {
-                        importer: m.name.clone(),
-                        imported: i.clone(),
+                        importer: m.name,
+                        imported: *i,
                     });
                 }
             }
@@ -53,10 +53,10 @@ impl ModGraph {
         for name in &topo {
             let mut r = BTreeSet::new();
             for dep in &direct[name] {
-                r.insert(dep.clone());
+                r.insert(*dep);
                 r.extend(reachable[dep].iter().cloned());
             }
-            reachable.insert(name.clone(), r);
+            reachable.insert(*name, r);
         }
         Ok(ModGraph { direct, reachable, topo })
     }
@@ -131,7 +131,7 @@ fn topo_sort(direct: &BTreeMap<ModName, BTreeSet<ModName>>) -> Result<Vec<ModNam
     ) -> Result<(), LangError> {
         match marks[n] {
             Mark::Black => return Ok(()),
-            Mark::Grey => return Err(LangError::CyclicImports { witness: n.clone() }),
+            Mark::Grey => return Err(LangError::CyclicImports { witness: *n }),
             Mark::White => {}
         }
         marks.insert(n, Mark::Grey);
@@ -139,7 +139,7 @@ fn topo_sort(direct: &BTreeMap<ModName, BTreeSet<ModName>>) -> Result<Vec<ModNam
             visit(dep, direct, marks, out)?;
         }
         marks.insert(n, Mark::Black);
-        out.push(n.clone());
+        out.push(*n);
         Ok(())
     }
 

@@ -135,7 +135,7 @@ impl Parser {
         match self.kind().clone() {
             TokenKind::LIdent(s) => {
                 self.bump();
-                Ok(Ident(s))
+                Ok(Ident::new(s))
             }
             other => Err(self.err(&format!("expected {what}, found {other}"))),
         }
@@ -145,7 +145,7 @@ impl Parser {
         match self.kind().clone() {
             TokenKind::UIdent(s) => {
                 self.bump();
-                Ok(ModName(s))
+                Ok(ModName::new(s))
             }
             other => Err(self.err(&format!("expected {what}, found {other}"))),
         }
@@ -172,7 +172,7 @@ impl Parser {
         let mut params = Vec::new();
         while let TokenKind::LIdent(p) = self.kind().clone() {
             self.bump();
-            params.push(Ident(p));
+            params.push(Ident::new(p));
         }
         self.expect(TokenKind::Equals)?;
         self.in_body = true;
@@ -317,7 +317,7 @@ impl Parser {
                 self.bump();
                 self.expect(TokenKind::Dot)?;
                 let f = self.lident("function name after `.`")?;
-                Some(CallName { module: Some(ModName(m)), name: f })
+                Some(CallName { module: Some(ModName::new(m)), name: f })
             }
             _ => None,
         };
@@ -369,13 +369,13 @@ impl Parser {
             }
             TokenKind::LIdent(s) => {
                 self.bump();
-                Ok(Expr::Var(Ident(s)))
+                Ok(Expr::Var(Ident::new(s)))
             }
             TokenKind::UIdent(m) => {
                 self.bump();
                 self.expect(TokenKind::Dot)?;
                 let f = self.lident("function name after `.`")?;
-                Ok(Expr::Call(CallName { module: Some(ModName(m)), name: f }, vec![]))
+                Ok(Expr::Call(CallName { module: Some(ModName::new(m)), name: f }, vec![]))
             }
             TokenKind::LParen => {
                 self.bump();
@@ -686,12 +686,21 @@ mod tests {
 
     #[test]
     fn deeply_nested_expressions_parse() {
-        let mut e = String::from("1");
-        for _ in 0..200 {
-            e = format!("({e} + 1)");
-        }
-        let src = format!("module M where\nf = {e}\n");
-        assert!(parse_module(&src).is_ok());
+        // Recursive descent burns one Rust frame per nesting level; give the
+        // test more headroom than the debug-mode default thread stack.
+        std::thread::Builder::new()
+            .stack_size(64 * 1024 * 1024)
+            .spawn(|| {
+                let mut e = String::from("1");
+                for _ in 0..200 {
+                    e = format!("({e} + 1)");
+                }
+                let src = format!("module M where\nf = {e}\n");
+                assert!(parse_module(&src).is_ok());
+            })
+            .unwrap()
+            .join()
+            .unwrap();
     }
 
     #[test]

@@ -70,11 +70,11 @@ pub fn resolve_program(modules: Vec<Module>) -> Result<ResolvedProgram, LangErro
         for d in &m.defs {
             if !seen.insert(&d.name) {
                 return Err(LangError::DuplicateDef {
-                    module: m.name.clone(),
-                    name: d.name.clone(),
+                    module: m.name,
+                    name: d.name,
                 });
             }
-            arities.insert(QualName { module: m.name.clone(), name: d.name.clone() }, d.arity());
+            arities.insert(QualName { module: m.name, name: d.name }, d.arity());
         }
     }
 
@@ -86,9 +86,9 @@ pub fn resolve_program(modules: Vec<Module>) -> Result<ResolvedProgram, LangErro
         for d in &m.defs {
             let locals: Vec<Ident> = d.params.clone();
             let body = resolve_expr(&d.body, &m.name, &scope, &arities, &locals)?;
-            defs.push(Def::new(d.name.clone(), d.params.clone(), body));
+            defs.push(Def::new(d.name, d.params.clone(), body));
         }
-        resolved_modules.push(Module::new(m.name.clone(), m.imports.clone(), defs));
+        resolved_modules.push(Module::new(m.name, m.imports.clone(), defs));
     }
 
     Ok(ResolvedProgram { program: Program::new(resolved_modules), graph, arities })
@@ -137,14 +137,14 @@ fn resolve_expr(
             // A bare identifier that names a top-level function is a
             // zero-arity call; higher arities must be fully applied.
             let target = lookup(x, here, scope)?;
-            let q = QualName { module: target, name: x.clone() };
+            let q = QualName { module: target, name: *x };
             let arity = arities[&q];
             if arity == 0 {
                 Ok(Expr::Call(q.into(), vec![]))
             } else {
                 Err(LangError::PartialApplication {
-                    module: here.clone(),
-                    name: x.clone(),
+                    module: *here,
+                    name: *x,
                     expected: arity,
                     found: 0,
                 })
@@ -165,13 +165,13 @@ fn resolve_expr(
         Expr::Call(name, args) => {
             if name.module.is_none() && locals.contains(&name.name) && !args.is_empty() {
                 return Err(LangError::VarApplied {
-                    module: here.clone(),
-                    name: name.name.clone(),
+                    module: *here,
+                    name: name.name,
                 });
             }
             let q = match &name.module {
                 Some(explicit) => {
-                    let q = QualName { module: explicit.clone(), name: name.name.clone() };
+                    let q = QualName { module: *explicit, name: name.name };
                     // A qualified name must refer to this module or a
                     // direct import, and must exist there.
                     let visible = scope
@@ -179,22 +179,22 @@ fn resolve_expr(
                         .is_some_and(|cands| cands.contains(&explicit));
                     if !visible || !arities.contains_key(&q) {
                         return Err(LangError::UnboundName {
-                            module: here.clone(),
-                            name: name.name.clone(),
+                            module: *here,
+                            name: name.name,
                         });
                     }
                     q
                 }
                 None => QualName {
                     module: lookup(&name.name, here, scope)?,
-                    name: name.name.clone(),
+                    name: name.name,
                 },
             };
             let arity = arities[&q];
             if arity != args.len() {
                 return Err(LangError::PartialApplication {
-                    module: here.clone(),
-                    name: name.name.clone(),
+                    module: *here,
+                    name: name.name,
                     expected: arity,
                     found: args.len(),
                 });
@@ -207,9 +207,9 @@ fn resolve_expr(
         }
         Expr::Lam(x, body) => {
             let mut locals2 = locals.to_vec();
-            locals2.push(x.clone());
+            locals2.push(*x);
             Ok(Expr::Lam(
-                x.clone(),
+                *x,
                 Box::new(resolve_expr(body, here, scope, arities, &locals2)?),
             ))
         }
@@ -220,9 +220,9 @@ fn resolve_expr(
         Expr::Let(x, rhs, body) => {
             let rhs = resolve_expr(rhs, here, scope, arities, locals)?;
             let mut locals2 = locals.to_vec();
-            locals2.push(x.clone());
+            locals2.push(*x);
             Ok(Expr::Let(
-                x.clone(),
+                *x,
                 Box::new(rhs),
                 Box::new(resolve_expr(body, here, scope, arities, &locals2)?),
             ))
@@ -236,20 +236,20 @@ fn lookup(
     scope: &BTreeMap<&Ident, Vec<&ModName>>,
 ) -> Result<ModName, LangError> {
     match scope.get(name) {
-        None => Err(LangError::UnboundName { module: here.clone(), name: name.clone() }),
+        None => Err(LangError::UnboundName { module: *here, name: *name }),
         Some(cands) => {
             // A local definition shadows imports.
             if cands.contains(&here) {
-                return Ok(here.clone());
+                return Ok(*here);
             }
             let uniq: BTreeSet<&&ModName> = cands.iter().collect();
             if uniq.len() == 1 {
-                Ok((*cands[0]).clone())
+                Ok(*cands[0])
             } else {
                 Err(LangError::AmbiguousName {
-                    module: here.clone(),
-                    name: name.clone(),
-                    candidates: uniq.into_iter().map(|m| (*m).clone()).collect(),
+                    module: *here,
+                    name: *name,
+                    candidates: uniq.into_iter().map(|m| *(*m)).collect(),
                 })
             }
         }

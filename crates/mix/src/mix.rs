@@ -19,7 +19,6 @@ use mspec_lang::eval::Value;
 use mspec_lang::parser::parse_program;
 use mspec_lang::resolve::{resolve, ResolvedProgram};
 use mspec_types::infer_program;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::rc::Rc;
 
@@ -42,7 +41,7 @@ impl Default for MixOptions {
 }
 
 /// Counters from a mix session.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MixStats {
     /// Residual definitions constructed.
     pub specialisations: usize,
@@ -56,7 +55,7 @@ pub struct MixStats {
 
 /// Where a mix session spent its time — the per-session overhead the
 /// generating-extension approach pays only once per module.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MixPhases {
     /// Parsing, in nanoseconds.
     pub parse_ns: u64,
@@ -203,19 +202,19 @@ fn mrebuild(v: &MVal, names: &[Ident], next: &mut usize) -> MVal {
             let env = c
                 .env
                 .iter()
-                .map(|(k, e)| (k.clone(), mrebuild(e, names, next)))
+                .map(|(k, e)| (*k, mrebuild(e, names, next)))
                 .collect();
             MVal::Clo(Rc::new(MClo {
-                param: c.param.clone(),
+                param: c.param,
                 body: Rc::clone(&c.body),
                 env,
                 mask: c.mask,
-                home: c.home.clone(),
+                home: c.home,
                 site: c.site,
             }))
         }
         MVal::Code(_) => {
-            let name = names[*next].clone();
+            let name = names[*next];
             *next += 1;
             MVal::Code(Expr::Var(name))
         }
@@ -294,8 +293,8 @@ impl<'a> MixInterp<'a> {
         let mut bodies = BTreeMap::new();
         for m in &ann.modules {
             for d in &m.defs {
-                let q = QualName { module: m.name.clone(), name: d.name.clone() };
-                index.insert(q.clone(), d);
+                let q = QualName { module: m.name, name: d.name };
+                index.insert(q, d);
                 bodies.insert(q, Rc::new(d.body.clone()));
             }
         }
@@ -327,10 +326,10 @@ impl<'a> MixInterp<'a> {
         let def = *self
             .index
             .get(entry)
-            .ok_or_else(|| MixError::Spec(SpecError::UnknownEntry(entry.clone())))?;
+            .ok_or(MixError::Spec(SpecError::UnknownEntry(*entry)))?;
         if def.params.len() != args.len() {
             return Err(MixError::Spec(SpecError::EntryArity {
-                entry: entry.clone(),
+                entry: *entry,
                 expected: def.params.len(),
                 found: args.len(),
             }));
@@ -362,7 +361,7 @@ impl<'a> MixInterp<'a> {
                         "closure inputs are not supported".into(),
                     ))
                 })?,
-                SpecArg::Dynamic => MVal::Code(Expr::Var(p.clone())),
+                SpecArg::Dynamic => MVal::Code(Expr::Var(*p)),
                 SpecArg::StaticSpine(n) => {
                     let mut list = MVal::Nil;
                     for i in (0..*n).rev() {
@@ -393,12 +392,12 @@ impl<'a> MixInterp<'a> {
             .iter()
             .enumerate()
             .map(|(i, l)| match l {
-                Expr::Var(x) => x.clone(),
+                Expr::Var(x) => *x,
                 _ => Ident::new(format!("d{i}")),
             })
             .collect();
         self.memo
-            .insert((entry.clone(), mask.0, keys), entry.name.clone());
+            .insert((*entry, mask.0, keys), entry.name);
         let mut next = 0;
         let env: BTreeMap<Ident, MVal> = def
             .params
@@ -407,10 +406,10 @@ impl<'a> MixInterp<'a> {
             .zip(vals.iter().map(|v| mrebuild(v, &formals, &mut next)))
             .collect();
         let spec = MPending {
-            target: entry.clone(),
+            target: *entry,
             mask,
             env,
-            resid_name: entry.name.clone(),
+            resid_name: entry.name,
             formals,
         };
         self.construct(spec)?;
@@ -424,7 +423,7 @@ impl<'a> MixInterp<'a> {
 
     fn assemble(&mut self, entry: &QualName) -> Result<ResidualProgram, MixError> {
         let mut modules: BTreeMap<ModName, Vec<Def>> = BTreeMap::new();
-        modules.insert(self.out_module.clone(), std::mem::take(&mut self.defs_out));
+        modules.insert(self.out_module, std::mem::take(&mut self.defs_out));
         // Similix extern mode: copy the original definitions reachable
         // from extern calls, verbatim, in their original modules.
         if self.extern_mode && !self.extern_needed.is_empty() {
@@ -434,22 +433,22 @@ impl<'a> MixInterp<'a> {
                 if seen.contains(&q) {
                     continue;
                 }
-                seen.push(q.clone());
+                seen.push(q);
                 if let Some(d) = self.resolved.def(&q) {
-                    modules.entry(q.module.clone()).or_default().push(d.clone());
+                    modules.entry(q.module).or_default().push(d.clone());
                     for callee in d.body.called_functions() {
                         todo.push(callee);
                     }
                 }
             }
         }
-        let entry_resid = QualName { module: self.out_module.clone(), name: entry.name.clone() };
+        let entry_resid = QualName { module: self.out_module, name: entry.name };
         Ok(assemble(modules, entry_resid)?)
     }
 
     fn compute_mono_masks(&mut self, entry: &QualName, entry_mask: BtMask) {
-        let mut todo = vec![entry.clone()];
-        self.mono_masks.insert(entry.clone(), entry_mask);
+        let mut todo = vec![*entry];
+        self.mono_masks.insert(*entry, entry_mask);
         while let Some(q) = todo.pop() {
             let mask = self.mono_masks[&q];
             let Some(def) = self.index.get(&q) else { continue };
@@ -474,7 +473,7 @@ impl<'a> MixInterp<'a> {
                     None => merged,
                 };
                 if self.mono_masks.get(&target) != Some(&merged) {
-                    self.mono_masks.insert(target.clone(), merged);
+                    self.mono_masks.insert(target, merged);
                     todo.push(target);
                 }
             }
@@ -483,7 +482,7 @@ impl<'a> MixInterp<'a> {
 
     fn construct(&mut self, spec: MPending) -> Result<(), MixError> {
         let body = Rc::clone(&self.bodies[&spec.target]);
-        let home = spec.target.module.clone();
+        let home = spec.target.module;
         let mut env = spec.env;
         let result = self.eval(&body, &mut env, spec.mask, &home)?;
         let body_expr = self.lift(result)?;
@@ -573,11 +572,11 @@ impl<'a> MixInterp<'a> {
                 self.call(target, callee_mask, vals, home)
             }
             AnnExpr::Lam(x, b) => Ok(MVal::Clo(Rc::new(MClo {
-                param: x.clone(),
+                param: *x,
                 body: Rc::new((**b).clone()),
                 env: env.clone(),
                 mask,
-                home: home.clone(),
+                home: *home,
                 site: (&**b) as *const AnnExpr as usize,
             }))),
             AnnExpr::App(t, f, a) => {
@@ -599,11 +598,11 @@ impl<'a> MixInterp<'a> {
             }
             AnnExpr::Let(x, rhs, b) => {
                 let v = self.eval(rhs, env, mask, home)?;
-                let shadowed = env.insert(x.clone(), v);
+                let shadowed = env.insert(*x, v);
                 let r = self.eval(b, env, mask, home);
                 match shadowed {
                     Some(old) => {
-                        env.insert(x.clone(), old);
+                        env.insert(*x, old);
                     }
                     None => {
                         env.remove(x);
@@ -620,9 +619,9 @@ impl<'a> MixInterp<'a> {
 
     fn apply(&mut self, c: &MClo, arg: MVal) -> Result<MVal, MixError> {
         let mut env = c.env.clone();
-        env.insert(c.param.clone(), arg);
+        env.insert(c.param, arg);
         let body = Rc::clone(&c.body);
-        let home = c.home.clone();
+        let home = c.home;
         self.eval(&body, &mut env, c.mask, &home)
     }
 
@@ -651,19 +650,19 @@ impl<'a> MixInterp<'a> {
                 });
             }
             if !self.extern_needed.contains(target) {
-                self.extern_needed.push(target.clone());
+                self.extern_needed.push(*target);
             }
             let mut lifted = Vec::with_capacity(args.len());
             for a in args {
                 lifted.push(self.lift(a)?);
             }
-            return Ok(MVal::Code(Expr::Call(CallName::from(target.clone()), lifted)));
+            return Ok(MVal::Code(Expr::Call(CallName::from(*target), lifted)));
         }
 
         let def = *self
             .index
             .get(target)
-            .ok_or_else(|| MixError::Spec(SpecError::UnknownFunction(target.clone())))?;
+            .ok_or(MixError::Spec(SpecError::UnknownFunction(*target)))?;
         let (mask, args) = if self.options.polyvariant {
             (derived_mask, args)
         } else {
@@ -682,7 +681,7 @@ impl<'a> MixInterp<'a> {
             let body = Rc::clone(&self.bodies[target]);
             let mut env: BTreeMap<Ident, MVal> =
                 def.params.iter().cloned().zip(args).collect();
-            let home = target.module.clone();
+            let home = target.module;
             return self.eval(&body, &mut env, mask, &home);
         }
 
@@ -695,13 +694,13 @@ impl<'a> MixInterp<'a> {
             let count = leaves.len() - before;
             for j in 0..count {
                 names.push(if count == 1 {
-                    p.clone()
+                    *p
                 } else {
                     Ident::new(format!("{p}_{j}"))
                 });
             }
         }
-        let memo_key = (target.clone(), mask.0, keys);
+        let memo_key = (*target, mask.0, keys);
         if let Some(name) = self.memo.get(&memo_key) {
             self.stats.memo_hits += 1;
             return Ok(MVal::Code(Expr::Call(
@@ -709,10 +708,10 @@ impl<'a> MixInterp<'a> {
                 leaves,
             )));
         }
-        let counter = self.counters.entry(target.clone()).or_insert(0);
+        let counter = self.counters.entry(*target).or_insert(0);
         *counter += 1;
         let resid_name = Ident::new(format!("{}_{}", target.name, counter));
-        self.memo.insert(memo_key, resid_name.clone());
+        self.memo.insert(memo_key, resid_name);
         let formals = dedupe(names);
         let mut next = 0;
         let env: BTreeMap<Ident, MVal> = def
@@ -722,10 +721,10 @@ impl<'a> MixInterp<'a> {
             .zip(args.iter().map(|a| mrebuild(a, &formals, &mut next)))
             .collect();
         self.pending.push_back(MPending {
-            target: target.clone(),
+            target: *target,
             mask,
             env,
-            resid_name: resid_name.clone(),
+            resid_name,
             formals,
         });
         Ok(MVal::Code(Expr::Call(
@@ -813,7 +812,7 @@ impl<'a> MixInterp<'a> {
             }
             MVal::Clo(c) => {
                 let x = self.fresh(c.param.as_str());
-                let body = self.apply(&c, MVal::Code(Expr::Var(x.clone())))?;
+                let body = self.apply(&c, MVal::Code(Expr::Var(x)))?;
                 let body = self.lift(body)?;
                 Ok(Expr::Lam(x, Box::new(body)))
             }
@@ -826,7 +825,7 @@ fn dedupe(names: Vec<Ident>) -> Vec<Ident> {
     let mut out = Vec::with_capacity(names.len());
     for n in names {
         if !seen.contains(&n) {
-            seen.push(n.clone());
+            seen.push(n);
             out.push(n);
             continue;
         }
@@ -834,7 +833,7 @@ fn dedupe(names: Vec<Ident>) -> Vec<Ident> {
         loop {
             let cand = Ident::new(format!("{n}'{k}"));
             if !seen.contains(&cand) {
-                seen.push(cand.clone());
+                seen.push(cand);
                 out.push(cand);
                 break;
             }
@@ -851,7 +850,7 @@ fn collect_calls(e: &AnnExpr, out: &mut Vec<(QualName, Vec<mspec_bta::BtTerm>)>)
         AnnExpr::Nat(_) | AnnExpr::Bool(_) | AnnExpr::Nil | AnnExpr::Var(_) => {}
         AnnExpr::Prim(_, _, args) => args.iter().for_each(|a| collect_calls(a, out)),
         AnnExpr::Call { target, inst, args } => {
-            out.push((target.clone(), inst.clone()));
+            out.push((*target, inst.clone()));
             args.iter().for_each(|a| collect_calls(a, out));
         }
         AnnExpr::If(_, c, t, f) => {

@@ -142,12 +142,12 @@ mod tests {
 
     #[test]
     fn sort_functions_match_rust_sort() {
-        use rand::{Rng, SeedableRng};
+        use mspec_testkit::TestRng;
         let src = "module T where\nimport Sort\nt xs = isort xs\ns xs = sorted (isort xs)\n";
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = TestRng::seed_from_u64(5);
         for _ in 0..10 {
-            let n = rng.gen_range(0..10);
-            let xs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..50)).collect();
+            let n = rng.gen_range(0..10u64);
+            let xs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..50u64)).collect();
             let mut sorted = xs.clone();
             sorted.sort_unstable();
             assert_eq!(run(src, "T", "t", vec![nats(&xs)]), nats(&sorted));

@@ -12,6 +12,8 @@
 
 pub mod library;
 pub mod random;
+pub mod rng;
 
-pub use library::{library_program, LibraryShape};
+pub use library::{layered_program, library_program, LayeredShape, LibraryShape};
 pub use random::{random_program, GenConfig};
+pub use rng::TestRng;

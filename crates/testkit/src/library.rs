@@ -55,7 +55,7 @@ pub fn library_program(shape: &LibraryShape) -> (Program, QualName) {
             // previous module.
             let base = if shape.cross_module && m > 0 {
                 b::qcall(
-                    &mod_name(m - 1).0,
+                    mod_name(m - 1).as_str(),
                     &fn_name(m - 1, i % shape.fns_per_module),
                     [b::nat(1), b::add(b::var("x"), b::nat((m * 31 + i) as u64))],
                 )
@@ -91,7 +91,7 @@ pub fn library_program(shape: &LibraryShape) -> (Program, QualName) {
         let (m, i) = (idx / shape.fns_per_module, idx % shape.fns_per_module);
         body = b::add(
             body,
-            b::qcall(&mod_name(m).0, &fn_name(m, i), [b::nat(shape.exponent), b::var("y")]),
+            b::qcall(mod_name(m).as_str(), &fn_name(m, i), [b::nat(shape.exponent), b::var("y")]),
         );
     }
     let main = Module::new(
@@ -109,6 +109,104 @@ fn mod_name(m: usize) -> ModName {
 
 fn fn_name(m: usize, i: usize) -> String {
     format!("f{m}x{i}")
+}
+
+/// Shape of a layered synthetic program: `levels × width` modules where
+/// every module at level `l > 0` imports every module at level `l - 1`.
+///
+/// Unlike [`LibraryShape`]'s chain (width 1), this graph has genuine
+/// per-level parallelism: the `width` modules of a level are mutually
+/// independent, so a level-parallel build can process them concurrently.
+#[derive(Debug, Clone, Copy)]
+pub struct LayeredShape {
+    /// Number of levels in the module graph (excluding `Main`).
+    pub levels: usize,
+    /// Modules per level.
+    pub width: usize,
+    /// Functions per module.
+    pub fns_per_module: usize,
+    /// Static exponent used by `Main`.
+    pub exponent: u64,
+}
+
+impl Default for LayeredShape {
+    fn default() -> LayeredShape {
+        LayeredShape { levels: 4, width: 4, fns_per_module: 8, exponent: 5 }
+    }
+}
+
+/// Builds the layered program. Returns the program and the entry
+/// (`Main.main`, one dynamic parameter). `Main` imports every module of
+/// the top level, so the graph has `levels + 1` levels in total.
+pub fn layered_program(shape: &LayeredShape) -> (Program, QualName) {
+    assert!(shape.levels >= 1 && shape.width >= 1 && shape.fns_per_module >= 1);
+    let mut modules = Vec::new();
+    for l in 0..shape.levels {
+        for w in 0..shape.width {
+            let mut defs: Vec<Def> = Vec::new();
+            for i in 0..shape.fns_per_module {
+                let name = layer_fn_name(l, i);
+                // Power-like recursion whose base case fans into the
+                // previous level (rotated by module position so imports
+                // are genuinely used).
+                let base = if l > 0 {
+                    b::qcall(
+                        layer_mod_name(l - 1, (w + i) % shape.width).as_str(),
+                        &layer_fn_name(l - 1, i),
+                        [b::nat(1), b::add(b::var("x"), b::nat((l * 17 + w * 5 + i) as u64))],
+                    )
+                } else {
+                    b::add(b::var("x"), b::nat((w * 5 + i) as u64))
+                };
+                defs.push(b::def(
+                    &name,
+                    ["n", "x"],
+                    b::if_(
+                        b::leq(b::var("n"), b::nat(1)),
+                        base,
+                        b::mul(
+                            b::var("x"),
+                            b::call(&name, [b::sub(b::var("n"), b::nat(1)), b::var("x")]),
+                        ),
+                    ),
+                ));
+            }
+            let imports = if l > 0 {
+                (0..shape.width).map(|p| layer_mod_name(l - 1, p)).collect()
+            } else {
+                vec![]
+            };
+            modules.push(Module::new(layer_mod_name(l, w), imports, defs));
+        }
+    }
+    // Main calls one function from each top-level module.
+    let top = shape.levels - 1;
+    let mut body = b::nat(0);
+    for w in 0..shape.width {
+        body = b::add(
+            body,
+            b::qcall(
+                layer_mod_name(top, w).as_str(),
+                &layer_fn_name(top, w % shape.fns_per_module),
+                [b::nat(shape.exponent), b::var("y")],
+            ),
+        );
+    }
+    let main = Module::new(
+        "Main",
+        (0..shape.width).map(|w| layer_mod_name(top, w)).collect(),
+        vec![b::def("main", ["y"], body)],
+    );
+    modules.push(main);
+    (Program::new(modules), QualName::new("Main", "main"))
+}
+
+fn layer_mod_name(l: usize, w: usize) -> ModName {
+    ModName::new(format!("L{l}w{w}"))
+}
+
+fn layer_fn_name(l: usize, i: usize) -> String {
+    format!("g{l}x{i}")
 }
 
 #[cfg(test)]
@@ -174,5 +272,31 @@ mod tests {
         let a = library_program(&LibraryShape::default()).0;
         let b = library_program(&LibraryShape::default()).0;
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn layered_program_resolves_and_runs() {
+        let (p, entry) = layered_program(&LayeredShape::default());
+        let shape = LayeredShape::default();
+        assert_eq!(p.modules.len(), shape.levels * shape.width + 1);
+        let rp = resolve(p).unwrap();
+        let mut ev = Evaluator::new(&rp);
+        let v = ev.call(&entry, vec![Value::nat(2)]).unwrap();
+        assert!(v.as_nat().is_some());
+    }
+
+    #[test]
+    fn layered_program_has_full_width_levels() {
+        let shape = LayeredShape { levels: 3, width: 5, fns_per_module: 2, exponent: 3 };
+        let (p, _) = layered_program(&shape);
+        let rp = resolve(p).unwrap();
+        // Every level-l module imports all of level l-1; Main imports
+        // the top level.
+        for m in rp.program().modules.iter() {
+            if m.name.as_str() == "Main" || m.name.as_str().starts_with("L0") {
+                continue;
+            }
+            assert_eq!(m.imports.len(), shape.width, "{}", m.name);
+        }
     }
 }

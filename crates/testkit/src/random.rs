@@ -11,8 +11,7 @@
 use mspec_lang::ast::{Def, Expr, Ident, Module, Program, QualName};
 use mspec_lang::builder as b;
 use mspec_lang::eval::Value;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::TestRng;
 
 /// The types the generator works at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,7 +57,7 @@ pub struct GeneratedProgram {
 
 /// Generates a random well-typed, total, modular program.
 pub fn random_program(config: &GenConfig) -> GeneratedProgram {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = TestRng::seed_from_u64(config.seed);
     let mut functions: Vec<(QualName, Vec<GTy>)> = Vec::new();
     let mut modules = Vec::new();
     for m in 0..config.modules {
@@ -67,7 +66,7 @@ pub fn random_program(config: &GenConfig) -> GeneratedProgram {
         let mut defs: Vec<Def> = Vec::new();
         for i in 0..config.defs_per_module {
             let fname = format!("f{m}x{i}");
-            let nparams = rng.gen_range(1..=3);
+            let nparams = rng.gen_range(1..=3usize);
             let params: Vec<GTy> = (0..nparams).map(|_| param_ty(&mut rng)).collect();
             // The first definition of every module returns Nat — the
             // convention `call_of` relies on to find callable targets.
@@ -99,20 +98,20 @@ pub fn random_program(config: &GenConfig) -> GeneratedProgram {
 /// Generates a random argument value of the given type (closures are
 /// excluded — `FunNat` parameters can only be exercised statically, so
 /// call sites always pass lambdas).
-pub fn random_value(ty: GTy, rng: &mut StdRng) -> Option<Value> {
+pub fn random_value(ty: GTy, rng: &mut TestRng) -> Option<Value> {
     match ty {
-        GTy::Nat => Some(Value::nat(rng.gen_range(0..20))),
-        GTy::Bool => Some(Value::bool_(rng.gen())),
+        GTy::Nat => Some(Value::nat(rng.gen_range(0..20u64))),
+        GTy::Bool => Some(Value::bool_(rng.gen_bool(0.5))),
         GTy::ListNat => {
-            let n = rng.gen_range(0..5);
-            Some(Value::list((0..n).map(|_| Value::nat(rng.gen_range(0..20))).collect()))
+            let n = rng.gen_range(0..5u32);
+            Some(Value::list((0..n).map(|_| Value::nat(rng.gen_range(0..20u64))).collect()))
         }
         GTy::FunNat => None,
     }
 }
 
-fn param_ty(rng: &mut StdRng) -> GTy {
-    match rng.gen_range(0..10) {
+fn param_ty(rng: &mut TestRng) -> GTy {
+    match rng.gen_range(0..10u32) {
         0..=4 => GTy::Nat,
         5..=6 => GTy::Bool,
         7..=8 => GTy::ListNat,
@@ -120,8 +119,8 @@ fn param_ty(rng: &mut StdRng) -> GTy {
     }
 }
 
-fn ret_ty(rng: &mut StdRng) -> GTy {
-    match rng.gen_range(0..6) {
+fn ret_ty(rng: &mut TestRng) -> GTy {
+    match rng.gen_range(0..6u32) {
         0..=3 => GTy::Nat,
         4 => GTy::Bool,
         _ => GTy::ListNat,
@@ -129,7 +128,7 @@ fn ret_ty(rng: &mut StdRng) -> GTy {
 }
 
 struct Cx<'a> {
-    rng: &'a mut StdRng,
+    rng: &'a mut TestRng,
     env: Vec<(Ident, GTy)>,
     fns: &'a [(QualName, Vec<GTy>)],
 }
@@ -142,7 +141,7 @@ impl Cx<'_> {
             None
         } else {
             let i = self.rng.gen_range(0..cands.len());
-            Some(Expr::Var(cands[i].clone()))
+            Some(Expr::Var(*cands[i]))
         }
     }
 
@@ -153,19 +152,19 @@ impl Cx<'_> {
             }
         }
         match ty {
-            GTy::Nat => b::nat(self.rng.gen_range(0..10)),
-            GTy::Bool => b::bool_(self.rng.gen()),
+            GTy::Nat => b::nat(self.rng.gen_range(0..10u64)),
+            GTy::Bool => b::bool_(self.rng.gen_bool(0.5)),
             GTy::ListNat => {
-                let n = self.rng.gen_range(0..3);
+                let n = self.rng.gen_range(0..3u32);
                 let mut e = b::nil();
                 for _ in 0..n {
-                    e = b::cons(b::nat(self.rng.gen_range(0..10)), e);
+                    e = b::cons(b::nat(self.rng.gen_range(0..10u64)), e);
                 }
                 e
             }
             GTy::FunNat => {
                 // A lambda at depth 0: \x -> x + c.
-                b::lam("v", b::add(b::var("v"), b::nat(self.rng.gen_range(0..5))))
+                b::lam("v", b::add(b::var("v"), b::nat(self.rng.gen_range(0..5u64))))
             }
         }
     }
@@ -176,7 +175,7 @@ impl Cx<'_> {
         }
         let d = depth - 1;
         match ty {
-            GTy::Nat => match self.rng.gen_range(0..12) {
+            GTy::Nat => match self.rng.gen_range(0..12u32) {
                 0 | 1 => self.leaf(ty),
                 2 => b::add(self.gen(GTy::Nat, d), self.gen(GTy::Nat, d)),
                 3 => b::sub(self.gen(GTy::Nat, d), self.gen(GTy::Nat, d)),
@@ -196,14 +195,14 @@ impl Cx<'_> {
                 9 => {
                     let x = Ident::new(format!("l{depth}"));
                     let rhs = self.gen(GTy::Nat, d);
-                    self.env.push((x.clone(), GTy::Nat));
+                    self.env.push((x, GTy::Nat));
                     let body = self.gen(GTy::Nat, d);
                     self.env.pop();
                     Expr::Let(x, Box::new(rhs), Box::new(body))
                 }
                 _ => self.leaf(ty),
             },
-            GTy::Bool => match self.rng.gen_range(0..8) {
+            GTy::Bool => match self.rng.gen_range(0..8u32) {
                 0 | 1 => self.leaf(ty),
                 2 => b::eq(self.gen(GTy::Nat, d), self.gen(GTy::Nat, d)),
                 3 => b::lt(self.gen(GTy::Nat, d), self.gen(GTy::Nat, d)),
@@ -212,7 +211,7 @@ impl Cx<'_> {
                 6 => b::or(self.gen(GTy::Bool, d), self.gen(GTy::Bool, d)),
                 _ => b::not(self.gen(GTy::Bool, d)),
             },
-            GTy::ListNat => match self.rng.gen_range(0..6) {
+            GTy::ListNat => match self.rng.gen_range(0..6u32) {
                 0 | 1 => self.leaf(ty),
                 2 => b::cons(self.gen(GTy::Nat, d), self.gen(GTy::ListNat, d)),
                 3 => {
@@ -227,11 +226,11 @@ impl Cx<'_> {
                 ),
                 _ => self.call_of(GTy::ListNat, d),
             },
-            GTy::FunNat => match self.rng.gen_range(0..3) {
+            GTy::FunNat => match self.rng.gen_range(0..3u32) {
                 0 => self.leaf(ty),
                 _ => {
                     let x = Ident::new(format!("a{depth}"));
-                    self.env.push((x.clone(), GTy::Nat));
+                    self.env.push((x, GTy::Nat));
                     let body = self.gen(GTy::Nat, d);
                     self.env.pop();
                     Expr::Lam(x, Box::new(body))
@@ -297,7 +296,7 @@ mod tests {
 
     #[test]
     fn random_values_match_types() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = TestRng::seed_from_u64(7);
         assert!(matches!(random_value(GTy::Nat, &mut rng), Some(Value::Nat(_))));
         assert!(matches!(random_value(GTy::Bool, &mut rng), Some(Value::Bool(_))));
         assert!(random_value(GTy::ListNat, &mut rng).unwrap().as_list().is_some());

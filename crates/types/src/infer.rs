@@ -32,6 +32,12 @@ impl ProgramTypes {
         self.schemes.iter()
     }
 
+    /// Records a function's scheme (used by drivers that infer modules
+    /// out-of-line, e.g. the level-parallel pipeline build).
+    pub fn insert(&mut self, q: QualName, scheme: FnScheme) {
+        self.schemes.insert(q, scheme);
+    }
+
     /// Number of typed functions.
     pub fn len(&self) -> usize {
         self.schemes.len()
@@ -60,11 +66,11 @@ pub fn infer_program(rp: &ResolvedProgram) -> Result<ProgramTypes, TypeError> {
         let iface = infer_module(module, &interfaces)?;
         for (name, scheme) in iface.iter() {
             out.schemes.insert(
-                QualName { module: mod_name.clone(), name: name.clone() },
+                QualName { module: *mod_name, name: *name },
                 scheme.clone(),
             );
         }
-        interfaces.insert(mod_name.clone(), iface);
+        interfaces.insert(*mod_name, iface);
     }
     Ok(out)
 }
@@ -207,7 +213,7 @@ fn infer_scc(
         let d = &module.defs[i];
         let params = d.params.iter().map(|_| inf.gen.fresh_ty()).collect();
         let ret = inf.gen.fresh_ty();
-        inf.placeholders.insert(d.name.clone(), Placeholder { params, ret });
+        inf.placeholders.insert(d.name, Placeholder { params, ret });
     }
     for &i in scc {
         let d = &module.defs[i];
@@ -215,7 +221,7 @@ fn infer_scc(
         let ph = inf.placeholders[&d.name].clone();
         let mut locals: Vec<(Ident, Type)> = Vec::new();
         for (p, t) in d.params.iter().zip(&ph.params) {
-            locals.push((p.clone(), t.clone()));
+            locals.push((*p, t.clone()));
         }
         let body_ty = inf.infer(&d.body, &mut locals)?;
         inf.unify(&body_ty, &ph.ret)?;
@@ -236,7 +242,7 @@ fn infer_scc(
                 }
             }
         }
-        generalised.push((d.name.clone(), FnScheme { vars, params, ret }));
+        generalised.push((d.name, FnScheme { vars, params, ret }));
     }
     drop(inf);
     for (name, scheme) in generalised {
@@ -279,7 +285,7 @@ impl Inferencer<'_> {
                 return Ok(self.instantiate(&s));
             }
         }
-        Err(TypeError::UnknownFunction(q.clone()))
+        Err(TypeError::UnknownFunction(*q))
     }
 
     fn infer(&mut self, e: &Expr, locals: &mut Vec<(Ident, Type)>) -> Result<Type, TypeError> {
@@ -292,9 +298,9 @@ impl Inferencer<'_> {
                 .rev()
                 .find(|(n, _)| n == x)
                 .map(|(_, t)| t.clone())
-                .ok_or_else(|| TypeError::UnboundVariable {
-                    module: self.module.name.clone(),
-                    name: x.clone(),
+                .ok_or(TypeError::UnboundVariable {
+                    module: self.module.name,
+                    name: *x,
                 }),
             Expr::Prim(op, args) => self.infer_prim(*op, args, locals),
             Expr::If(c, t, f) => {
@@ -317,7 +323,7 @@ impl Inferencer<'_> {
             }
             Expr::Lam(x, body) => {
                 let pt = self.gen.fresh_ty();
-                locals.push((x.clone(), pt.clone()));
+                locals.push((*x, pt.clone()));
                 let bt = self.infer(body, locals)?;
                 locals.pop();
                 Ok(Type::fun(self.subst.apply(&pt), bt))
@@ -334,7 +340,7 @@ impl Inferencer<'_> {
                 // unfolds lets, and the paper's language has no `let` at
                 // all, so Hindley–Milner let-generalisation is not needed.
                 let rt = self.infer(rhs, locals)?;
-                locals.push((x.clone(), rt));
+                locals.push((*x, rt));
                 let bt = self.infer(body, locals)?;
                 locals.pop();
                 Ok(bt)

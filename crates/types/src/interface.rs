@@ -6,12 +6,11 @@
 //! interface alone, never from its source.
 
 use crate::ty::FnScheme;
-use mspec_lang::Ident;
-use serde::{Deserialize, Serialize};
+use mspec_lang::{FromJson, Ident, Json, JsonError, ToJson};
 use std::collections::BTreeMap;
 
 /// The type interface of one module: each exported function's scheme.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct TypeInterface {
     schemes: BTreeMap<Ident, FnScheme>,
 }
@@ -48,6 +47,27 @@ impl TypeInterface {
     }
 }
 
+impl ToJson for TypeInterface {
+    fn to_json_value(&self) -> Json {
+        Json::Obj(
+            self.schemes
+                .iter()
+                .map(|(name, scheme)| (name.as_str().to_owned(), scheme.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+impl FromJson for TypeInterface {
+    fn from_json_value(j: &Json) -> Result<TypeInterface, JsonError> {
+        let mut schemes = BTreeMap::new();
+        for (name, v) in j.as_obj()? {
+            schemes.insert(Ident::new(name), FnScheme::from_json_value(v)?);
+        }
+        Ok(TypeInterface { schemes })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,10 +97,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let i = sample();
-        let json = serde_json::to_string(&i).unwrap();
-        let back: TypeInterface = serde_json::from_str(&json).unwrap();
+        let json = i.to_json_compact();
+        let back = TypeInterface::from_json_str(&json).unwrap();
         assert_eq!(i, back);
     }
 

@@ -1,11 +1,11 @@
 //! Types, type variables, function schemes and substitutions.
 
-use serde::{Deserialize, Serialize};
+use mspec_lang::{FromJson, Json, JsonError, ToJson};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// A type variable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TyVar(pub u32);
 
 impl fmt::Display for TyVar {
@@ -15,7 +15,7 @@ impl fmt::Display for TyVar {
 }
 
 /// A monomorphic type.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Type {
     /// Natural numbers.
     Nat,
@@ -179,7 +179,7 @@ impl Subst {
 ///
 /// Named functions are not first-class, so their scheme keeps the
 /// parameter list separate instead of currying.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FnScheme {
     /// Quantified variables.
     pub vars: Vec<TyVar>,
@@ -256,6 +256,77 @@ impl fmt::Display for FnScheme {
             }
         }
         write!(f, "{}", self.ret)
+    }
+}
+
+impl ToJson for TyVar {
+    fn to_json_value(&self) -> Json {
+        Json::Num(u128::from(self.0))
+    }
+}
+
+impl FromJson for TyVar {
+    fn from_json_value(j: &Json) -> Result<TyVar, JsonError> {
+        Ok(TyVar(j.as_u32()?))
+    }
+}
+
+impl ToJson for Type {
+    fn to_json_value(&self) -> Json {
+        match self {
+            Type::Nat => Json::str("Nat"),
+            Type::Bool => Json::str("Bool"),
+            Type::List(t) => Json::obj([("list", t.to_json_value())]),
+            Type::Fun(a, b) => {
+                Json::obj([("fun", Json::Arr(vec![a.to_json_value(), b.to_json_value()]))])
+            }
+            Type::Var(v) => Json::obj([("var", v.to_json_value())]),
+        }
+    }
+}
+
+impl FromJson for Type {
+    fn from_json_value(j: &Json) -> Result<Type, JsonError> {
+        if let Ok(s) = j.as_str() {
+            return match s {
+                "Nat" => Ok(Type::Nat),
+                "Bool" => Ok(Type::Bool),
+                other => Err(JsonError(format!("unknown base type `{other}`"))),
+            };
+        }
+        let fields = j.as_obj()?;
+        match fields {
+            [(k, v)] if k == "list" => Ok(Type::list(Type::from_json_value(v)?)),
+            [(k, v)] if k == "fun" => {
+                let parts = v.as_arr()?;
+                if parts.len() != 2 {
+                    return Err(JsonError("`fun` expects [arg, ret]".into()));
+                }
+                Ok(Type::fun(Type::from_json_value(&parts[0])?, Type::from_json_value(&parts[1])?))
+            }
+            [(k, v)] if k == "var" => Ok(Type::Var(TyVar::from_json_value(v)?)),
+            _ => Err(JsonError("malformed type".into())),
+        }
+    }
+}
+
+impl ToJson for FnScheme {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("vars", self.vars.to_json_value()),
+            ("params", self.params.to_json_value()),
+            ("ret", self.ret.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for FnScheme {
+    fn from_json_value(j: &Json) -> Result<FnScheme, JsonError> {
+        Ok(FnScheme {
+            vars: Vec::from_json_value(j.get("vars")?)?,
+            params: Vec::from_json_value(j.get("params")?)?,
+            ret: Type::from_json_value(j.get("ret")?)?,
+        })
     }
 }
 

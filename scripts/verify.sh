@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification: what CI runs and what every PR must keep green.
+# The workspace has no external dependencies, so everything runs with
+# --offline — a network-less container must pass this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release (offline)"
+cargo build --release --offline
+
+echo "==> cargo test -q (offline)"
+cargo test -q --offline
+
+echo "==> cargo clippy --all-targets -- -D warnings (offline)"
+cargo clippy --all-targets --offline -- -D warnings
+
+echo "verify: OK"

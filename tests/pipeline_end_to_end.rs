@@ -241,19 +241,28 @@ fn residual_file_emission_roundtrip() {
 /// on its static data exhausts fuel instead of hanging.
 #[test]
 fn divergent_static_computation_exhausts_fuel() {
-    let p = Pipeline::from_source(
-        "module M where\nloop n = loop (n + 1)\nmain x = loop 0 + x\n",
-    )
-    .unwrap();
-    let err = p
-        .specialise_opts(
-            "M",
-            "main",
-            vec![SpecArg::Dynamic],
-            EngineOptions { fuel: 10_000, ..EngineOptions::default() },
-        )
-        .unwrap_err();
-    assert!(err.to_string().contains("fuel"), "{err}");
+    // Unfolding 10k calls deep needs more stack than the default debug
+    // test thread provides.
+    std::thread::Builder::new()
+        .stack_size(64 * 1024 * 1024)
+        .spawn(|| {
+            let p = Pipeline::from_source(
+                "module M where\nloop n = loop (n + 1)\nmain x = loop 0 + x\n",
+            )
+            .unwrap();
+            let err = p
+                .specialise_opts(
+                    "M",
+                    "main",
+                    vec![SpecArg::Dynamic],
+                    EngineOptions { fuel: 10_000, ..EngineOptions::default() },
+                )
+                .unwrap_err();
+            assert!(err.to_string().contains("fuel"), "{err}");
+        })
+        .unwrap()
+        .join()
+        .unwrap();
 }
 
 /// Unbounded polyvariance — a static counter growing towards a dynamic

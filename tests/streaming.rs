@@ -30,7 +30,7 @@ struct OrderSink {
 
 impl ModuleSink for OrderSink {
     fn emit(&mut self, module: &ModName, def: &Def) -> Result<(), mspec_genext::SpecError> {
-        self.seen.push((module.clone(), def.name.to_string()));
+        self.seen.push((*module, def.name.to_string()));
         Ok(())
     }
 }
