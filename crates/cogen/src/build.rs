@@ -16,7 +16,7 @@
 //! * [`link_dir`] loads every `.gx` in an artefact directory into a
 //!   runnable [`GenProgram`] — no source needed.
 
-use crate::files::{cogen_module, load_bti, load_gx, CogenError};
+use crate::files::{bti_fingerprint, cogen_module, load_bti, load_gx_full, CogenError};
 use mspec_genext::GenProgram;
 use mspec_lang::ast::{Ident, ModName, Module, Program};
 use mspec_lang::modgraph::ModGraph;
@@ -147,19 +147,46 @@ pub fn build(
 /// Links every `.gx` file in an artefact directory into a runnable
 /// program. The source tree is not consulted.
 ///
+/// Each `.gx` records the fingerprints of the `.bti` interfaces it was
+/// generated against; those are revalidated here against the `.bti`
+/// files currently on disk, so a genext built before an import's
+/// interface changed is rejected as [`CogenError::StaleInterface`]
+/// instead of being linked into an inconsistent program.
+///
 /// # Errors
 ///
-/// I/O errors, corrupt genext files, or linking errors.
+/// I/O errors, corrupt genext files, stale or missing interfaces, or
+/// linking errors.
 pub fn link_dir(out_dir: impl AsRef<Path>) -> Result<GenProgram, CogenError> {
-    let mut gx_files: Vec<PathBuf> = fs::read_dir(out_dir.as_ref())?
+    let out_dir = out_dir.as_ref();
+    let mut gx_files: Vec<PathBuf> = fs::read_dir(out_dir)?
         .filter_map(|e| e.ok().map(|e| e.path()))
         .filter(|p| p.extension().is_some_and(|e| e == "gx"))
         .collect();
     gx_files.sort();
-    let modules = gx_files
-        .iter()
-        .map(load_gx)
-        .collect::<Result<Vec<_>, _>>()?;
+    let mut current_fp: BTreeMap<ModName, u64> = BTreeMap::new();
+    let mut modules = Vec::with_capacity(gx_files.len());
+    for path in &gx_files {
+        let (gx, ifaces) = load_gx_full(path)?;
+        for (import, recorded) in ifaces {
+            let fp = match current_fp.get(&import) {
+                Some(fp) => *fp,
+                None => {
+                    let bti = out_dir.join(format!("{import}.bti"));
+                    if !bti.exists() {
+                        return Err(CogenError::MissingInterface(import));
+                    }
+                    let fp = bti_fingerprint(&bti)?;
+                    current_fp.insert(import, fp);
+                    fp
+                }
+            };
+            if fp != recorded {
+                return Err(CogenError::StaleInterface { module: gx.name, import });
+            }
+        }
+        modules.push(gx);
+    }
     Ok(GenProgram::link(modules)?)
 }
 
@@ -308,6 +335,37 @@ mod tests {
         let err = build(&src, base.join("out"), &BuildOptions::default()).unwrap_err();
         assert!(matches!(err, CogenError::Format(_)), "{err}");
         let _ = fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn stale_interface_is_rejected_at_link_time() {
+        let (src, out) = setup("stale");
+        build(&src, &out, &BuildOptions::default()).unwrap();
+        // Regenerate Power's artefacts behind the build system's back
+        // with a different interface (extra export), leaving Main.gx
+        // recorded against the old Power.bti fingerprint.
+        let rp = resolve(
+            parse_module("module Power where\npower n x = x\nextra y = y\n")
+                .map(|m| Program::new(vec![m]))
+                .unwrap(),
+        )
+        .unwrap();
+        let power2 = rp.program().modules[0].clone();
+        cogen_module(&power2, &out, &BTreeSet::new()).unwrap();
+        let err = link_dir(&out).unwrap_err();
+        match err {
+            CogenError::StaleInterface { module, import } => {
+                assert_eq!(module.as_str(), "Main");
+                assert_eq!(import.as_str(), "Power");
+            }
+            other => panic!("expected StaleInterface, got {other}"),
+        }
+        // A (forced) rebuild repairs the tree and linking succeeds again.
+        fs::write(src.join("Power.mspec"), "module Power where\npower n x = x\nextra y = y\n")
+            .unwrap();
+        build(&src, &out, &BuildOptions { force: true, ..Default::default() }).unwrap();
+        assert!(link_dir(&out).is_ok());
+        let _ = fs::remove_dir_all(src.parent().unwrap());
     }
 
     #[test]

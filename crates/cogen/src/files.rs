@@ -7,6 +7,24 @@
 //!   modules that import this one, and
 //! * `Module.gx` — the compiled generating extension, linked (without
 //!   any source) when a program using the module is specialised.
+//!
+//! # Artefact format
+//!
+//! `.bti` and `.gx` files are *validated* artefacts: a one-line header
+//!
+//! ```text
+//! #mspec-artefact v1 <kind> fnv:<16-hex-checksum>
+//! ```
+//!
+//! precedes the JSON payload. The checksum is FNV-1a over the payload
+//! bytes, so truncation and bit flips are detected structurally (a
+//! [`CogenError::Format`]) instead of surfacing as a JSON parse error —
+//! or worse, a silently wrong artefact. A `.bti` file's checksum doubles
+//! as its *interface fingerprint*: each `.gx` records the fingerprints
+//! of the interfaces it was generated against, and the linker
+//! revalidates them (see [`CogenError::StaleInterface`]).
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::compile::compile_module;
 use crate::textual::textual_genext;
@@ -38,6 +56,15 @@ pub enum CogenError {
     Format(String),
     /// An imported module's interface file is missing.
     MissingInterface(ModName),
+    /// A genext was generated against an older version of an import's
+    /// interface: the fingerprint recorded in the `.gx` no longer
+    /// matches the `.bti` on disk.
+    StaleInterface {
+        /// The module whose genext is out of date.
+        module: ModName,
+        /// The import whose interface changed underneath it.
+        import: ModName,
+    },
 }
 
 impl fmt::Display for CogenError {
@@ -50,6 +77,13 @@ impl fmt::Display for CogenError {
             CogenError::Format(m) => write!(f, "corrupt cogen file: {m}"),
             CogenError::MissingInterface(m) => {
                 write!(f, "missing interface file for imported module {m} (analyse it first)")
+            }
+            CogenError::StaleInterface { module, import } => {
+                write!(
+                    f,
+                    "stale interface: {module}.gx was generated against an older \
+                     {import}.bti (re-run cogen for {module})"
+                )
             }
         }
     }
@@ -81,25 +115,163 @@ impl From<std::io::Error> for CogenError {
     }
 }
 
-/// Writes a genext to a `.gx` file.
+/// Magic token opening every on-disk artefact header line.
+pub const ARTEFACT_MAGIC: &str = "#mspec-artefact";
+
+/// The artefact format version this build reads and writes.
+pub const ARTEFACT_VERSION: u32 = 1;
+
+/// FNV-1a 64-bit hash — the artefact content checksum. Any single-bit
+/// flip or truncation of the payload changes the value.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h = (h ^ u64::from(*b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn jerr(e: JsonError) -> CogenError {
+    CogenError::Format(e.to_string())
+}
+
+/// Frames `payload` with the versioned, checksummed artefact header.
+fn encode_artefact(kind: &str, payload: &str) -> String {
+    format!(
+        "{ARTEFACT_MAGIC} v{ARTEFACT_VERSION} {kind} fnv:{:016x}\n{payload}",
+        fnv64(payload.as_bytes())
+    )
+}
+
+/// Validates the header of an artefact of the given kind and checks the
+/// payload checksum. Returns the payload and its (verified) checksum.
+///
+/// Every failure mode — missing or truncated header, wrong magic, a
+/// version this build does not read, a `.bti` where a `.gx` was
+/// expected, or a payload that does not hash to the recorded value —
+/// is a distinct, descriptive [`CogenError::Format`]; none panics.
+fn decode_artefact<'a>(kind: &str, text: &'a str) -> Result<(&'a str, u64), CogenError> {
+    let (header, payload) = text.split_once('\n').ok_or_else(|| {
+        CogenError::Format(format!(
+            "not a {kind} artefact: missing `{ARTEFACT_MAGIC}` header line (truncated file?)"
+        ))
+    })?;
+    let mut tokens = header.split(' ');
+    let magic = tokens.next().unwrap_or_default();
+    if magic != ARTEFACT_MAGIC {
+        return Err(CogenError::Format(format!(
+            "not a {kind} artefact: header starts with `{magic}`, expected `{ARTEFACT_MAGIC}`"
+        )));
+    }
+    let version = tokens.next().unwrap_or_default();
+    if version != format!("v{ARTEFACT_VERSION}") {
+        return Err(CogenError::Format(format!(
+            "unsupported artefact version `{version}` (this build reads v{ARTEFACT_VERSION})"
+        )));
+    }
+    let got_kind = tokens.next().unwrap_or_default();
+    if got_kind != kind {
+        return Err(CogenError::Format(format!(
+            "artefact is a `{got_kind}` file where a `{kind}` file was expected"
+        )));
+    }
+    let stored = tokens
+        .next()
+        .unwrap_or_default()
+        .strip_prefix("fnv:")
+        .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+        .ok_or_else(|| {
+            CogenError::Format("malformed checksum field in artefact header".into())
+        })?;
+    let actual = fnv64(payload.as_bytes());
+    if actual != stored {
+        return Err(CogenError::Format(format!(
+            "checksum mismatch (file truncated or bit-flipped): header records \
+             {stored:016x}, payload hashes to {actual:016x}"
+        )));
+    }
+    Ok((payload, stored))
+}
+
+/// Writes a genext to a `.gx` file (recording no import fingerprints —
+/// use [`store_gx_with`] when they are known).
 ///
 /// # Errors
 ///
 /// I/O or serialisation failures.
 pub fn store_gx(path: impl AsRef<Path>, gx: &GenModule) -> Result<(), CogenError> {
-    let json = gx.to_json().map_err(|e| CogenError::Format(e.to_string()))?;
-    fs::write(path, json)?;
+    store_gx_with(path, gx, &[])
+}
+
+/// Writes a genext to a `.gx` file, recording the interface
+/// fingerprints of the imports it was generated against. The linker
+/// revalidates these against the `.bti` files present at link time.
+///
+/// # Errors
+///
+/// I/O or serialisation failures.
+pub fn store_gx_with(
+    path: impl AsRef<Path>,
+    gx: &GenModule,
+    ifaces: &[(ModName, u64)],
+) -> Result<(), CogenError> {
+    let payload = Json::obj([
+        (
+            "ifaces",
+            Json::Arr(
+                ifaces
+                    .iter()
+                    .map(|(m, fp)| {
+                        Json::Arr(vec![Json::str(m.as_str()), Json::Num(u128::from(*fp))])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("module", gx.to_json_value()),
+    ])
+    .write_compact();
+    fs::write(path, encode_artefact("gx", &payload))?;
     Ok(())
 }
 
-/// Reads a `.gx` file back.
+/// Reads a `.gx` file back, validating header and checksum.
 ///
 /// # Errors
 ///
 /// I/O failures or [`CogenError::Format`] on corrupt content.
 pub fn load_gx(path: impl AsRef<Path>) -> Result<GenModule, CogenError> {
+    Ok(load_gx_full(path)?.0)
+}
+
+/// Reads a `.gx` file back together with the interface fingerprints
+/// recorded when it was generated.
+///
+/// # Errors
+///
+/// I/O failures or [`CogenError::Format`] on corrupt content.
+pub fn load_gx_full(
+    path: impl AsRef<Path>,
+) -> Result<(GenModule, Vec<(ModName, u64)>), CogenError> {
     let text = fs::read_to_string(path)?;
-    GenModule::from_json(&text).map_err(|e| CogenError::Format(e.to_string()))
+    let (payload, _) = decode_artefact("gx", &text)?;
+    let j = Json::parse(payload).map_err(jerr)?;
+    let gx = GenModule::from_json_value(j.get("module").map_err(jerr)?).map_err(jerr)?;
+    let ifaces = j
+        .get("ifaces")
+        .map_err(jerr)?
+        .as_arr()
+        .map_err(jerr)?
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_arr()?;
+            if pair.len() != 2 {
+                return Err(JsonError("interface record is not a [module, fnv] pair".into()));
+            }
+            Ok((ModName::new(pair[0].as_str()?), pair[1].as_u64()?))
+        })
+        .collect::<Result<Vec<_>, JsonError>>()
+        .map_err(jerr)?;
+    Ok((gx, ifaces))
 }
 
 /// Writes a binding-time interface to a `.bti` file.
@@ -108,19 +280,40 @@ pub fn load_gx(path: impl AsRef<Path>) -> Result<GenModule, CogenError> {
 ///
 /// I/O or serialisation failures.
 pub fn store_bti(path: impl AsRef<Path>, iface: &BtInterface) -> Result<(), CogenError> {
-    let json = iface.to_json().map_err(|e| CogenError::Format(e.to_string()))?;
-    fs::write(path, json)?;
+    let json = iface.to_json().map_err(jerr)?;
+    fs::write(path, encode_artefact("bti", &json))?;
     Ok(())
 }
 
-/// Reads a `.bti` file back.
+/// Reads a `.bti` file back, validating header and checksum.
 ///
 /// # Errors
 ///
 /// I/O failures or [`CogenError::Format`] on corrupt content.
 pub fn load_bti(path: impl AsRef<Path>) -> Result<BtInterface, CogenError> {
+    Ok(load_bti_full(path)?.0)
+}
+
+/// Reads a `.bti` file back together with its fingerprint (the payload
+/// checksum — the identity a `.gx` records for this interface).
+///
+/// # Errors
+///
+/// I/O failures or [`CogenError::Format`] on corrupt content.
+pub fn load_bti_full(path: impl AsRef<Path>) -> Result<(BtInterface, u64), CogenError> {
     let text = fs::read_to_string(path)?;
-    BtInterface::from_json(&text).map_err(|e| CogenError::Format(e.to_string()))
+    let (payload, fp) = decode_artefact("bti", &text)?;
+    let iface = BtInterface::from_json(payload).map_err(jerr)?;
+    Ok((iface, fp))
+}
+
+/// The fingerprint of a `.bti` file on disk (also validates it).
+///
+/// # Errors
+///
+/// I/O failures or [`CogenError::Format`] on corrupt content.
+pub fn bti_fingerprint(path: impl AsRef<Path>) -> Result<u64, CogenError> {
+    Ok(load_bti_full(path)?.1)
 }
 
 /// The name/arity signature of a module — everything a *client's
@@ -264,11 +457,13 @@ pub fn resolve_client(module: &Module, dir: impl AsRef<Path>) -> Result<Module, 
     let mut modules: Vec<Module> = stubs.into_values().collect();
     modules.push(module.clone());
     let resolved = mspec_lang::resolve::resolve_program(modules)?;
-    Ok(resolved
+    resolved
         .program()
         .module(module.name.as_str())
-        .expect("client module survives resolution")
-        .clone())
+        .cloned()
+        .ok_or_else(|| {
+            CogenError::Format(format!("client module {} vanished during resolution", module.name))
+        })
 }
 
 /// The artefacts produced by [`cogen_module`].
@@ -303,12 +498,15 @@ pub fn cogen_module(
     let dir = dir.as_ref();
     fs::create_dir_all(dir)?;
     let mut imports = BTreeMap::new();
+    let mut fingerprints: Vec<(ModName, u64)> = Vec::new();
     for imp in &module.imports {
         let path = dir.join(format!("{imp}.bti"));
         if !path.exists() {
             return Err(CogenError::MissingInterface(*imp));
         }
-        imports.insert(*imp, load_bti(&path)?);
+        let (iface, fp) = load_bti_full(&path)?;
+        imports.insert(*imp, iface);
+        fingerprints.push((*imp, fp));
     }
     let ann = analyse_module_with(module, &imports, force_residual)?;
     let gx = compile_module(&ann);
@@ -319,7 +517,7 @@ pub fn cogen_module(
     let text_path = dir.join(format!("Gen{}.txt", module.name));
     let sig_path = dir.join(format!("{}.sig", module.name));
     store_bti(&bti_path, &ann.interface)?;
-    store_gx(&gx_path, &gx)?;
+    store_gx_with(&gx_path, &gx, &fingerprints)?;
     fs::write(&text_path, text)?;
     store_sig(&sig_path, &SigFile::of(module))?;
     Ok(CogenOutput { bti: bti_path, gx: gx_path, gen_text: text_path, sig: sig_path })
@@ -344,6 +542,8 @@ pub fn cogen_source(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use mspec_genext::GenProgram;
     use mspec_lang::parser::parse_program;
@@ -398,14 +598,19 @@ mod tests {
     }
 
     #[test]
-    fn bti_files_are_json() {
+    fn bti_files_have_header_and_json_payload() {
         let dir = tmpdir("bti");
         let rp = resolve(parse_program("module A where\nf x = x + 1\n").unwrap()).unwrap();
         let a = rp.program().modules[0].clone();
         let out = cogen_module(&a, &dir, &BTreeSet::new()).unwrap();
         let text = fs::read_to_string(&out.bti).unwrap();
-        let iface = BtInterface::from_json(&text).unwrap();
+        let (header, payload) = text.split_once('\n').unwrap();
+        assert!(header.starts_with("#mspec-artefact v1 bti fnv:"), "{header}");
+        let iface = BtInterface::from_json(payload).unwrap();
         assert!(iface.get(&Ident::new("f")).is_some());
+        // The fingerprint accessor agrees with the header.
+        let fp = bti_fingerprint(&out.bti).unwrap();
+        assert!(header.ends_with(&format!("{fp:016x}")), "{header} vs {fp:016x}");
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -416,6 +621,74 @@ mod tests {
         let path = dir.join("bad.gx");
         fs::write(&path, "not json").unwrap();
         assert!(matches!(load_gx(&path), Err(CogenError::Format(_))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flip_anywhere_is_detected() {
+        let dir = tmpdir("bitflip");
+        let rp = resolve(
+            parse_program("module P where\npower n x = if n == 1 then x else x * power (n - 1) x\n")
+                .unwrap(),
+        )
+        .unwrap();
+        let module = rp.program().modules[0].clone();
+        let out = cogen_module(&module, &dir, &BTreeSet::new()).unwrap();
+        let clean = fs::read(&out.gx).unwrap();
+        // Flip one bit at a spread of offsets (header and payload):
+        // every corruption must surface as CogenError::Format, never a
+        // panic or a silently-loaded artefact.
+        for pos in (0..clean.len()).step_by(7) {
+            let mut bytes = clean.clone();
+            bytes[pos] ^= 0x10;
+            fs::write(&out.gx, &bytes).unwrap();
+            match load_gx(&out.gx) {
+                Err(CogenError::Format(_)) => {}
+                other => panic!("flip at {pos}: expected Format error, got {other:?}"),
+            }
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn future_version_is_rejected_not_misread() {
+        let dir = tmpdir("version");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("F.bti");
+        let text = encode_artefact("bti", "{}").replacen("v1", "v9", 1);
+        fs::write(&path, text).unwrap();
+        let err = load_bti(&path).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_kind_is_rejected() {
+        let dir = tmpdir("kind");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sneaky.gx");
+        fs::write(&path, encode_artefact("bti", "{}")).unwrap();
+        let err = load_gx(&path).unwrap_err();
+        assert!(err.to_string().contains("`bti`"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gx_records_import_fingerprints() {
+        let dir = tmpdir("fp");
+        let rp = resolve(
+            parse_program("module A where\nf x = x + 1\nmodule B where\nimport A\ng y = f y\n")
+                .unwrap(),
+        )
+        .unwrap();
+        let a = rp.program().module("A").unwrap().clone();
+        let b = rp.program().module("B").unwrap().clone();
+        let out_a = cogen_module(&a, &dir, &BTreeSet::new()).unwrap();
+        let out_b = cogen_module(&b, &dir, &BTreeSet::new()).unwrap();
+        let (_, ifaces) = load_gx_full(&out_b.gx).unwrap();
+        assert_eq!(ifaces.len(), 1);
+        assert_eq!(ifaces[0].0.as_str(), "A");
+        assert_eq!(ifaces[0].1, bti_fingerprint(&out_a.bti).unwrap());
         let _ = fs::remove_dir_all(&dir);
     }
 

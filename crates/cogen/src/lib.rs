@@ -27,5 +27,8 @@ pub mod textual;
 
 pub use build::{build, link_dir, BuildAction, BuildOptions, BuildReport};
 pub use compile::{compile_module, compile_program};
-pub use files::{load_gx, store_gx, CogenError};
+pub use files::{
+    bti_fingerprint, fnv64, load_bti, load_bti_full, load_gx, load_gx_full, store_bti, store_gx,
+    store_gx_with, CogenError, ARTEFACT_MAGIC, ARTEFACT_VERSION,
+};
 pub use textual::textual_genext;

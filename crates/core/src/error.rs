@@ -1,5 +1,6 @@
 //! The unified error type of the pipeline.
 
+use crate::parbuild::BuildReport;
 use mspec_bta::BtaError;
 use mspec_genext::SpecError;
 use mspec_lang::eval::EvalError;
@@ -21,6 +22,10 @@ pub enum PipelineError {
     Spec(SpecError),
     /// Running a (source or residual) program failed.
     Eval(EvalError),
+    /// One or more modules failed (or panicked) during a fault-isolated
+    /// staged build; the report lists every failure, every module
+    /// skipped because an import failed, and everything that did build.
+    Build(Box<BuildReport>),
     /// A named entry function does not exist.
     NoSuchFunction {
         /// Module searched.
@@ -38,6 +43,7 @@ impl fmt::Display for PipelineError {
             PipelineError::Bta(e) => write!(f, "{e}"),
             PipelineError::Spec(e) => write!(f, "{e}"),
             PipelineError::Eval(e) => write!(f, "{e}"),
+            PipelineError::Build(report) => write!(f, "{report}"),
             PipelineError::NoSuchFunction { module, name } => {
                 write!(f, "no function `{name}` in module {module}")
             }
@@ -83,7 +89,13 @@ mod tests {
 
     #[test]
     fn conversions_and_display() {
-        let e: PipelineError = SpecError::FuelExhausted.into();
+        let e: PipelineError = SpecError::BudgetExhausted {
+            resource: mspec_genext::BudgetResource::Steps,
+            witness: mspec_lang::QualName::new("M", "loop"),
+            skeleton_hash: 0,
+            chain: vec![],
+        }
+        .into();
         assert!(e.to_string().contains("fuel"));
         let e2 = PipelineError::NoSuchFunction { module: "M".into(), name: "f".into() };
         assert!(e2.to_string().contains("M"));

@@ -41,6 +41,9 @@ pub mod pipeline;
 
 pub use error::PipelineError;
 pub use mspec_bta::division::ParamBt;
-pub use mspec_genext::{CostModel, EngineOptions, SpecArg, SpecStats, Strategy};
-pub use parbuild::{module_levels, BuildMode, StageTimes};
+pub use mspec_genext::{
+    BudgetResource, CostModel, EngineOptions, OnExhaustion, SpecArg, SpecBudget, SpecStats,
+    Strategy,
+};
+pub use parbuild::{module_levels, BuildMode, BuildReport, ModuleBuildError, StageTimes};
 pub use pipeline::{run_source, write_residual, Pipeline, Specialised};

@@ -14,6 +14,13 @@
 //! The same per-module code path also runs serially (see
 //! [`BuildMode::Sequential`]) so benchmarks can isolate the win from
 //! parallelism itself rather than comparing two different drivers.
+//!
+//! Builds are *fault-isolated*: a module whose stages fail — or panic —
+//! does not abort the level. The panic is caught on the worker
+//! ([`std::panic::catch_unwind`]), the rest of the level completes,
+//! modules depending on a failed one are skipped, and the driver
+//! returns an aggregated [`BuildReport`] listing every failure rather
+//! than dying on the first.
 
 use crate::error::PipelineError;
 use mspec_bta::analyse::analyse_module_with;
@@ -25,6 +32,8 @@ use mspec_lang::modgraph::ModGraph;
 use mspec_lang::resolve::ResolvedProgram;
 use mspec_types::{infer_module, ProgramTypes, TypeInterface};
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// How the per-module stages are scheduled.
@@ -83,6 +92,116 @@ pub fn module_levels(graph: &ModGraph) -> Vec<Vec<ModName>> {
     levels
 }
 
+/// How one module's build ended when it did not succeed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModuleBuildError {
+    /// A stage returned an error.
+    Failed(PipelineError),
+    /// The module's worker panicked; the payload message is preserved.
+    Panicked(String),
+}
+
+impl fmt::Display for ModuleBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModuleBuildError::Failed(e) => write!(f, "{e}"),
+            ModuleBuildError::Panicked(msg) => write!(f, "worker panicked: {msg}"),
+        }
+    }
+}
+
+/// The aggregated outcome of a fault-isolated staged build.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BuildReport {
+    /// Modules whose stages failed or panicked, with the cause, in
+    /// deterministic dependency order.
+    pub failed: Vec<(ModName, ModuleBuildError)>,
+    /// Modules never attempted because an import failed: `(module, the
+    /// failed or skipped import)`.
+    pub skipped: Vec<(ModName, ModName)>,
+    /// Modules that built successfully.
+    pub built: Vec<ModName>,
+}
+
+impl BuildReport {
+    /// `true` iff every module built.
+    pub fn is_clean(&self) -> bool {
+        self.failed.is_empty() && self.skipped.is_empty()
+    }
+}
+
+impl fmt::Display for BuildReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "staged build: {} failed, {} skipped, {} built",
+            self.failed.len(),
+            self.skipped.len(),
+            self.built.len()
+        )?;
+        for (m, e) in &self.failed {
+            write!(f, "; {m}: {e}")?;
+        }
+        for (m, dep) in &self.skipped {
+            write!(f, "; {m}: skipped (import {dep} did not build)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs `f` once per module of a level — sequentially or on scoped
+/// threads — capturing per-module panics so one bad module cannot take
+/// down the level (or the process).
+fn run_level<'a, T, F>(
+    level: &'a [ModName],
+    mode: BuildMode,
+    f: F,
+) -> Vec<(ModName, Result<T, ModuleBuildError>)>
+where
+    T: Send,
+    F: Fn(&'a ModName) -> Result<T, PipelineError> + Sync,
+{
+    let run_one = |m: &'a ModName| -> Result<T, ModuleBuildError> {
+        match catch_unwind(AssertUnwindSafe(|| f(m))) {
+            Ok(Ok(out)) => Ok(out),
+            Ok(Err(e)) => Err(ModuleBuildError::Failed(e)),
+            Err(payload) => Err(ModuleBuildError::Panicked(panic_message(payload.as_ref()))),
+        }
+    };
+    match mode {
+        BuildMode::Sequential => level.iter().map(|m| (*m, run_one(m))).collect(),
+        BuildMode::Parallel => std::thread::scope(|s| {
+            let run_one = &run_one;
+            let handles: Vec<_> = level
+                .iter()
+                .map(|m| (*m, s.spawn(move || run_one(m))))
+                .collect();
+            handles
+                .into_iter()
+                .map(|(m, h)| {
+                    let r = h.join().unwrap_or_else(|payload| {
+                        // Unreachable in practice (run_one catches), but
+                        // a join error must not abort the build either.
+                        Err(ModuleBuildError::Panicked(panic_message(payload.as_ref())))
+                    });
+                    (m, r)
+                })
+                .collect()
+        }),
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// The output of the three per-module stages for one module.
 struct ModuleBuild {
     name: ModName,
@@ -131,12 +250,15 @@ fn build_module(
 }
 
 /// Runs the post-resolution stages (typecheck, BTA, cogen, link) over a
-/// resolved program, level by level.
+/// resolved program, level by level, fault-isolated: every module that
+/// *can* build does, even when siblings fail or panic.
 ///
 /// # Errors
 ///
-/// Any stage error; within a level, the error of the earliest module in
-/// deterministic level order is reported, regardless of scheduling.
+/// [`PipelineError::Build`] carrying the aggregated [`BuildReport`] if
+/// any module failed, panicked, or was skipped because an import did;
+/// [`PipelineError::Spec`] if linking the (complete) set of generating
+/// extensions fails.
 pub(crate) fn build_stages(
     resolved: &ResolvedProgram,
     force_residual: &BTreeSet<QualName>,
@@ -165,32 +287,36 @@ pub(crate) fn build_stages(
     let mut ann_modules: Vec<AnnModule> = Vec::new();
     let mut gen_modules: Vec<GenModule> = Vec::new();
 
+    let mut report = BuildReport::default();
+    let mut dead: BTreeSet<ModName> = BTreeSet::new();
+
     for level in &levels {
-        let results: Vec<Result<ModuleBuild, PipelineError>> = match mode {
-            BuildMode::Sequential => level
-                .iter()
-                .map(|m| build_module(resolved, m, &type_ifaces, &bt_ifaces, force_residual))
-                .collect(),
-            BuildMode::Parallel => std::thread::scope(|s| {
-                let handles: Vec<_> = level
-                    .iter()
-                    .map(|m| {
-                        let type_ifaces = &type_ifaces;
-                        let bt_ifaces = &bt_ifaces;
-                        s.spawn(move || {
-                            build_module(resolved, m, type_ifaces, bt_ifaces, force_residual)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("module build thread panicked"))
-                    .collect()
-            }),
-        };
+        // A module whose import failed (or was itself skipped) cannot
+        // build — its interfaces are missing. Skip it, naming the
+        // culprit, and keep the rest of the level.
+        let mut runnable: Vec<ModName> = Vec::with_capacity(level.len());
+        for m in level {
+            match resolved.graph().direct_imports(m).iter().find(|d| dead.contains(d)) {
+                Some(culprit) => {
+                    dead.insert(*m);
+                    report.skipped.push((*m, *culprit));
+                }
+                None => runnable.push(*m),
+            }
+        }
+        let results = run_level(&runnable, mode, |m| {
+            build_module(resolved, m, &type_ifaces, &bt_ifaces, force_residual)
+        });
         // Merge at the level barrier, in deterministic level order.
-        for r in results {
-            let mb = r?;
+        for (name, r) in results {
+            let mb = match r {
+                Ok(mb) => mb,
+                Err(e) => {
+                    dead.insert(name);
+                    report.failed.push((name, e));
+                    continue;
+                }
+            };
             times.typecheck += mb.t_type;
             times.bta += mb.t_bta;
             times.cogen += mb.t_cogen;
@@ -200,8 +326,13 @@ pub(crate) fn build_stages(
             bt_ifaces.insert(mb.name, mb.ann.interface.clone());
             type_ifaces.insert(mb.name, mb.ty);
             ann_modules.push(mb.ann);
+            report.built.push(mb.name);
             gen_modules.push(mb.gen);
         }
+    }
+
+    if !report.is_clean() {
+        return Err(PipelineError::Build(Box::new(report)));
     }
 
     let t_link = Instant::now();
@@ -253,6 +384,64 @@ mod tests {
             seq.specialise("D", "d1", args()).unwrap().source(),
             par.specialise("D", "d1", args()).unwrap().source()
         );
+    }
+
+    #[test]
+    fn panicking_module_is_captured_not_fatal() {
+        let mods = [ModName::new("A"), ModName::new("B"), ModName::new("C")];
+        for mode in [BuildMode::Sequential, BuildMode::Parallel] {
+            let results = run_level(&mods, mode, |m| -> Result<u32, PipelineError> {
+                if m.as_str() == "B" {
+                    panic!("injected fault in {m}");
+                }
+                Ok(7)
+            });
+            assert_eq!(results.len(), 3);
+            assert_eq!(results[0].1, Ok(7));
+            match &results[1].1 {
+                Err(ModuleBuildError::Panicked(msg)) => {
+                    assert!(msg.contains("injected fault in B"), "{msg}");
+                }
+                other => panic!("expected a captured panic, got {other:?}"),
+            }
+            assert_eq!(results[2].1, Ok(7), "C must still build after B panics ({mode:?})");
+        }
+    }
+
+    #[test]
+    fn failing_module_reports_aggregate_and_skips_dependents() {
+        // B has a type error (boolean + nat); C is independent and must
+        // still build; D imports B and must be skipped, naming B.
+        let src = "module A where\n\
+            a1 x = x + 1\n\
+            module B where\n\
+            import A\n\
+            b1 x = a1 x + (1 < 2)\n\
+            module C where\n\
+            import A\n\
+            c1 x = a1 x + 3\n\
+            module D where\n\
+            import B\n\
+            import C\n\
+            d1 x = b1 x + c1 x\n";
+        for mode in [BuildMode::Sequential, BuildMode::Parallel] {
+            let p = mspec_lang::parser::parse_program(src).unwrap();
+            let err = Pipeline::from_program_timed(p, &BTreeSet::new(), mode).unwrap_err();
+            let PipelineError::Build(report) = err else {
+                panic!("expected an aggregated build report, got {err:?}");
+            };
+            assert_eq!(report.failed.len(), 1, "{report}");
+            assert_eq!(report.failed[0].0.as_str(), "B");
+            assert!(matches!(
+                report.failed[0].1,
+                ModuleBuildError::Failed(PipelineError::Type(_))
+            ));
+            assert_eq!(report.skipped, vec![(ModName::new("D"), ModName::new("B"))]);
+            let built: Vec<&str> = report.built.iter().map(|m| m.as_str()).collect();
+            assert_eq!(built, vec!["A", "C"], "siblings of a failed module still build");
+            let text = report.to_string();
+            assert!(text.contains("1 failed, 1 skipped, 2 built"), "{text}");
+        }
     }
 
     #[test]

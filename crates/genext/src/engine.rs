@@ -25,11 +25,14 @@
 //! hash computed during splitting ([`split_hashed`]); the full [`PKey`]
 //! skeletons are only compared on a hash collision.
 
+use crate::budget::{BudgetResource, Fuel, OnExhaustion, SpecBudget};
 use crate::emit::{assemble, MemorySink, ModuleSink, ResidualProgram};
 use crate::error::SpecError;
 use crate::gexp::{GCoerce, GenProgram, GExp};
 use crate::placement::Placer;
-use crate::value::{hash_fold, rebuild, split_hashed, Closure, PKey, PVal, SKELETON_SEED};
+use crate::value::{
+    all_holes_hash, hash_fold, rebuild, split_hashed, Closure, PKey, PVal, SKELETON_SEED,
+};
 use mspec_bta::division::{Division, ParamBt};
 use mspec_bta::BtMask;
 use mspec_lang::ast::{CallName, Def, Expr, Ident, ModName, PrimOp, QualName};
@@ -74,16 +77,14 @@ pub enum CostModel {
 pub struct EngineOptions {
     /// Specialisation order.
     pub strategy: Strategy,
-    /// Step budget; [`SpecError::FuelExhausted`] when exceeded.
-    pub fuel: u64,
-    /// Upper bound on the number of residual definitions. Unbounded
-    /// *polyvariance* — ever-growing static data under dynamic control,
-    /// e.g. `range a b` with static `a` and dynamic `b` — diverges in
-    /// every offline specialiser with this unfolding strategy (the
-    /// paper's termination argument covers unfolding, not polyvariant
-    /// residualisation); this limit turns that into a prompt, clean
-    /// error instead of exhausting memory.
-    pub max_specialisations: usize,
+    /// Resource limits for the session (step fuel, specialisation count,
+    /// pending/suspension depth, residual size). See [`SpecBudget`].
+    pub budget: SpecBudget,
+    /// What happens when a budget resource runs out: a structured
+    /// [`SpecError::BudgetExhausted`], or generalising fallback — demote
+    /// the offending call to a fully-dynamic residual call so the
+    /// session always terminates with a correct program.
+    pub on_exhaustion: OnExhaustion,
     /// Per-operation cost model (benchmarking aid; see [`CostModel`]).
     pub cost_model: CostModel,
 }
@@ -92,8 +93,8 @@ impl Default for EngineOptions {
     fn default() -> EngineOptions {
         EngineOptions {
             strategy: Strategy::BreadthFirst,
-            fuel: 200_000_000,
-            max_specialisations: 100_000,
+            budget: SpecBudget::default(),
+            on_exhaustion: OnExhaustion::Error,
             cost_model: CostModel::Interned,
         }
     }
@@ -135,6 +136,9 @@ pub struct SpecStats {
     pub residual_nodes: usize,
     /// Residual modules touched.
     pub residual_modules: usize,
+    /// Calls demoted to fully-dynamic residual calls by the
+    /// generalising fallback ([`OnExhaustion::Generalise`]).
+    pub generalised: usize,
 }
 
 /// Hash-first memo key: the structural hash of the split skeletons
@@ -172,6 +176,9 @@ struct PendingSpec {
     env: Vec<Rc<PVal>>,
     resid: QualName,
     formals: Vec<Ident>,
+    /// Structural hash of the request's static skeleton (for budget
+    /// diagnostics).
+    hash: u64,
 }
 
 /// The specialisation engine over a linked [`GenProgram`].
@@ -185,7 +192,12 @@ pub struct Engine<'p> {
     name_counters: HashMap<QualName, u32>,
     gensym: u64,
     open: usize,
-    fuel: u64,
+    fuel: Fuel,
+    /// The stack of specialisation/unfold requests currently being
+    /// served: `(target, skeleton hash)`, outermost first. Snapshotted
+    /// into [`SpecError::BudgetExhausted`] so a diverging cycle is
+    /// visible in the error.
+    chain: Vec<(QualName, u64)>,
     stats: SpecStats,
     imports: BTreeMap<ModName, BTreeSet<ModName>>,
     provenance: Vec<Provenance>,
@@ -204,7 +216,8 @@ impl<'p> Engine<'p> {
             name_counters: HashMap::new(),
             gensym: 0,
             open: 0,
-            fuel: options.fuel,
+            fuel: Fuel::new(options.budget.steps),
+            chain: Vec::new(),
             stats: SpecStats::default(),
             imports: BTreeMap::new(),
             provenance: Vec::new(),
@@ -233,8 +246,9 @@ impl<'p> Engine<'p> {
     ///
     /// # Errors
     ///
-    /// Any [`SpecError`]; notably [`SpecError::FuelExhausted`] when the
-    /// source program diverges on the static inputs.
+    /// Any [`SpecError`]; notably [`SpecError::BudgetExhausted`] when
+    /// the source program diverges on the static inputs and the policy
+    /// is [`OnExhaustion::Error`].
     pub fn specialise(
         &mut self,
         entry: &QualName,
@@ -346,7 +360,7 @@ impl<'p> Engine<'p> {
         let mut next = 0;
         let env: Vec<Rc<PVal>> =
             vals.iter().map(|v| Rc::new(rebuild(v, &formals, &mut next))).collect();
-        let spec = PendingSpec { target: *entry, mask, env, resid, formals };
+        let spec = PendingSpec { target: *entry, mask, env, resid, formals, hash };
         self.construct(spec, sink)?;
         self.drain(sink)?;
         Ok(resid)
@@ -368,12 +382,20 @@ impl<'p> Engine<'p> {
     ) -> Result<(), SpecError> {
         self.open += 1;
         self.stats.peak_open = self.stats.peak_open.max(self.open);
+        if self.options.on_exhaustion == OnExhaustion::Error
+            && self.open > self.options.budget.max_pending
+        {
+            return Err(
+                self.budget_error(BudgetResource::Pending, Some((spec.target, spec.hash)))
+            );
+        }
         let f = self
             .program
             .function(&spec.target)
             .ok_or(SpecError::UnknownFunction(spec.target))?;
         let body = Arc::clone(&f.body);
         let mut env = spec.env;
+        self.chain.push((spec.target, spec.hash));
         let result = self.eval(&body, &mut env, spec.mask, spec.target.module, sink)?;
         let body_expr = self.lift_owned(result, sink)?;
         if self.options.cost_model == CostModel::Legacy {
@@ -386,6 +408,13 @@ impl<'p> Engine<'p> {
         let def = Def::new(spec.resid.name, spec.formals, body_expr);
         self.stats.specialisations += 1;
         self.stats.residual_nodes += def.body.size();
+        if self.options.on_exhaustion == OnExhaustion::Error
+            && self.stats.residual_nodes > self.options.budget.max_residual_nodes
+        {
+            return Err(
+                self.budget_error(BudgetResource::ResidualNodes, Some((spec.target, spec.hash)))
+            );
+        }
         let imports = self.imports.entry(spec.resid.module).or_default();
         for q in def.body.called_functions() {
             if q.module != spec.resid.module {
@@ -394,17 +423,54 @@ impl<'p> Engine<'p> {
         }
         sink.emit(&spec.resid.module, &def)?;
         self.stats.residual_modules = self.imports.len();
+        self.chain.pop();
         self.open -= 1;
         Ok(())
     }
 
+    /// Spends one unit of step fuel. Under [`OnExhaustion::Generalise`]
+    /// an empty meter is *not* an error here: evaluation between named
+    /// calls is structural and terminates on its own, and the next
+    /// `call` checks the budget and demotes. Erroring mid-evaluation
+    /// would leave no call site to generalise.
     fn step(&mut self) -> Result<(), SpecError> {
         self.stats.steps += 1;
-        self.fuel = self.fuel.checked_sub(1).ok_or(SpecError::FuelExhausted)?;
-        if self.fuel == 0 {
-            return Err(SpecError::FuelExhausted);
+        if !self.fuel.spend() && self.options.on_exhaustion == OnExhaustion::Error {
+            return Err(self.budget_error(BudgetResource::Steps, None));
         }
         Ok(())
+    }
+
+    /// The first breached budget resource, if any. Checked at every
+    /// `mk_resid`/unfold decision point: all recursion in the object
+    /// language flows through named calls, so this catches every
+    /// divergence.
+    fn budget_breached(&self) -> Option<BudgetResource> {
+        let b = &self.options.budget;
+        if self.fuel.is_empty() {
+            Some(BudgetResource::Steps)
+        } else if self.provenance.len() >= b.max_specialisations {
+            Some(BudgetResource::Specialisations)
+        } else if self.pending.len() >= b.max_pending || self.open > b.max_pending {
+            Some(BudgetResource::Pending)
+        } else if self.stats.residual_nodes >= b.max_residual_nodes {
+            Some(BudgetResource::ResidualNodes)
+        } else {
+            None
+        }
+    }
+
+    /// Builds a [`SpecError::BudgetExhausted`] from the current request
+    /// chain. `at` names the offending call; when the breach is detected
+    /// mid-evaluation (step fuel), the innermost chain frame stands in.
+    fn budget_error(&self, resource: BudgetResource, at: Option<(QualName, u64)>) -> SpecError {
+        let (witness, skeleton_hash) = at
+            .or_else(|| self.chain.last().copied())
+            .unwrap_or((QualName::new("?", "?"), 0));
+        const CHAIN_LIMIT: usize = 16;
+        let start = self.chain.len().saturating_sub(CHAIN_LIMIT);
+        let chain = self.chain[start..].iter().map(|(q, _)| *q).collect();
+        SpecError::BudgetExhausted { resource, witness, skeleton_hash, chain }
     }
 
     fn fresh(&mut self, base: &str) -> Ident {
@@ -486,11 +552,22 @@ impl<'p> Engine<'p> {
             .function(target)
             .ok_or(SpecError::UnknownFunction(*target))?;
         debug_assert!(f.sig.satisfies(mask), "instantiation violated {target}'s constraints");
+        // Budget gate: every divergence passes through here (recursion
+        // in the object language is only via named calls), so this one
+        // check point suffices to demote the offending call.
+        if self.options.on_exhaustion == OnExhaustion::Generalise
+            && self.budget_breached().is_some()
+        {
+            return self.generalise(target, args, sink);
+        }
         if f.sig.unfoldable_under(mask) {
             self.stats.unfolds += 1;
             let body = Arc::clone(&f.body);
             let mut env = args;
-            return self.eval(&body, &mut env, mask, target.module, sink);
+            self.chain.push((*target, 0));
+            let r = self.eval(&body, &mut env, mask, target.module, sink)?;
+            self.chain.pop();
+            return Ok(r);
         }
 
         // Residualise: split arguments, memoise on the static skeleton.
@@ -527,11 +604,10 @@ impl<'p> Engine<'p> {
 
         // New specialisation: name it, place it (§5: at first call,
         // before the body exists), then queue or recurse.
-        if self.provenance.len() >= self.options.max_specialisations {
-            return Err(SpecError::TooManySpecialisations {
-                limit: self.options.max_specialisations,
-                witness: *target,
-            });
+        if self.provenance.len() >= self.options.budget.max_specialisations {
+            return Err(
+                self.budget_error(BudgetResource::Specialisations, Some((*target, hash)))
+            );
         }
         if self.options.cost_model == CostModel::Legacy {
             // Naming, placement and provenance in the string-based
@@ -584,7 +660,85 @@ impl<'p> Engine<'p> {
             env,
             resid,
             formals,
+            hash,
         };
+        match self.options.strategy {
+            Strategy::BreadthFirst => {
+                if self.pending.len() >= self.options.budget.max_pending {
+                    return Err(
+                        self.budget_error(BudgetResource::Pending, Some((*target, hash)))
+                    );
+                }
+                self.pending.push_back(spec);
+                self.stats.peak_pending = self.stats.peak_pending.max(self.pending.len());
+            }
+            Strategy::DepthFirst => self.construct(spec, sink)?,
+        }
+        Ok(Rc::new(PVal::Code(Expr::Call(CallName::from(resid), leaves))))
+    }
+
+    /// Generalising fallback: demote `target` to a fully-dynamic
+    /// residual call. The static skeleton is abandoned — every argument
+    /// is lifted to code, so the memo key is all [`PKey::Hole`]s and at
+    /// most one generalised variant per source function ever exists.
+    /// With finitely many functions, each body finite and evaluated
+    /// under a breached budget that keeps every further call on this
+    /// path, the session terminates; the residual program is correct,
+    /// merely less specialised (the classic generalisation move of
+    /// offline partial evaluation, applied on demand instead of by
+    /// reannotation).
+    ///
+    /// Note the unfold decision is deliberately skipped: a recursive
+    /// function without static conditionals is unfoldable under *every*
+    /// mask and would unfold forever.
+    fn generalise(
+        &mut self,
+        target: &QualName,
+        args: Vec<Rc<PVal>>,
+        sink: &mut dyn ModuleSink,
+    ) -> Result<Rc<PVal>, SpecError> {
+        let f = self
+            .program
+            .function(target)
+            .ok_or(SpecError::UnknownFunction(*target))?;
+        let mask = BtMask::all_dynamic(f.sig.vars);
+        let mut leaves = Vec::with_capacity(args.len());
+        for a in &args {
+            leaves.push(self.lift(a, sink)?);
+        }
+        let keys = vec![PKey::Hole; leaves.len()];
+        let hash = all_holes_hash(leaves.len());
+        if let Some(resid) = self.memo_find(*target, mask, &keys, hash) {
+            self.stats.memo_hits += 1;
+            return Ok(Rc::new(PVal::Code(Expr::Call(CallName::from(resid), leaves))));
+        }
+        self.stats.generalised += 1;
+        let counter = self.name_counters.entry(*target).or_insert(0);
+        *counter += 1;
+        let resid_name = Ident::new(format!("{}_{}", target.name, counter));
+        let module = self.placer.place(&[*target], self.program.graph());
+        let resid = QualName { module, name: resid_name };
+        self.memo_insert(*target, mask, keys, hash, resid);
+        let formals = uniquify(
+            leaves
+                .iter()
+                .zip(&f.params)
+                .map(|(l, p)| match l {
+                    Expr::Var(x) => *x,
+                    _ => *p,
+                })
+                .collect(),
+        );
+        self.provenance.push(Provenance {
+            source: *target,
+            mask,
+            vars: f.sig.vars,
+            residual: resid,
+            formals: formals.len(),
+        });
+        let env: Vec<Rc<PVal>> =
+            formals.iter().map(|x| Rc::new(PVal::Code(Expr::Var(*x)))).collect();
+        let spec = PendingSpec { target: *target, mask, env, resid, formals, hash };
         match self.options.strategy {
             Strategy::BreadthFirst => {
                 self.pending.push_back(spec);

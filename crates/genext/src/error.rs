@@ -1,5 +1,6 @@
 //! Specialisation-time errors.
 
+use crate::budget::BudgetResource;
 use mspec_lang::{ModName, QualName};
 use std::error::Error;
 use std::fmt;
@@ -18,19 +19,23 @@ pub enum SpecError {
     DivByZero,
     /// A static `head`/`tail` of the empty list.
     EmptyList(&'static str),
-    /// The specialisation step budget ran out. By the paper's
-    /// conservative unfolding strategy this only happens when the source
-    /// program itself diverges on the static inputs.
-    FuelExhausted,
-    /// More residual definitions were requested than the engine's limit —
-    /// almost always unbounded polyvariance: static data growing without
-    /// bound under dynamic control (e.g. a counter incremented towards a
-    /// dynamic bound). Generalise the offending argument to dynamic.
-    TooManySpecialisations {
-        /// The configured limit.
-        limit: usize,
-        /// The function whose specialisation hit the limit.
+    /// A [`crate::budget::SpecBudget`] resource ran out under
+    /// [`crate::budget::OnExhaustion::Error`]. For step fuel this only
+    /// happens when the source program itself diverges on the static
+    /// inputs (the paper's conservative unfolding strategy); for the
+    /// specialisation cap it is almost always unbounded polyvariance:
+    /// static data growing without bound under dynamic control.
+    BudgetExhausted {
+        /// Which resource ran out.
+        resource: BudgetResource,
+        /// The function whose call hit the limit.
         witness: QualName,
+        /// Structural hash of the offending call's static skeleton
+        /// (`0` for breaches detected mid-unfold, before splitting).
+        skeleton_hash: u64,
+        /// The chain of specialisation/unfold requests that led to the
+        /// breach, outermost first, truncated to the innermost frames.
+        chain: Vec<QualName>,
     },
     /// The entry function given to `specialise` does not exist.
     UnknownEntry(QualName),
@@ -66,16 +71,40 @@ impl fmt::Display for SpecError {
             SpecError::EmptyList(op) => {
                 write!(f, "static `{op}` of empty list during specialisation")
             }
-            SpecError::FuelExhausted => write!(
-                f,
-                "specialisation fuel exhausted (the source program diverges on these inputs)"
-            ),
-            SpecError::TooManySpecialisations { limit, witness } => write!(
-                f,
-                "more than {limit} specialisations requested (last for `{witness}`): \
-                 unbounded polyvariance — a static argument grows without bound under \
-                 dynamic control; generalise it to dynamic"
-            ),
+            SpecError::BudgetExhausted { resource, witness, skeleton_hash, chain } => {
+                match resource {
+                    BudgetResource::Steps => write!(
+                        f,
+                        "specialisation fuel exhausted at `{witness}` (the source \
+                         program diverges on these inputs)"
+                    )?,
+                    BudgetResource::Specialisations => write!(
+                        f,
+                        "specialisation count budget exhausted (last request for \
+                         `{witness}`): unbounded polyvariance — a static argument \
+                         grows without bound under dynamic control; generalise it \
+                         to dynamic"
+                    )?,
+                    BudgetResource::Pending => write!(
+                        f,
+                        "pending/suspension depth budget exhausted at `{witness}`: \
+                         too many specialisations requested before any completed"
+                    )?,
+                    BudgetResource::ResidualNodes => write!(
+                        f,
+                        "residual program size budget exhausted at `{witness}`: \
+                         the residual program is blowing up"
+                    )?,
+                }
+                write!(f, " [skeleton {skeleton_hash:016x}]")?;
+                if !chain.is_empty() {
+                    write!(f, "; request chain:")?;
+                    for q in chain {
+                        write!(f, " -> {q}")?;
+                    }
+                }
+                Ok(())
+            }
             SpecError::UnknownEntry(q) => write!(f, "unknown entry function `{q}`"),
             SpecError::EntryArity { entry, expected, found } => write!(
                 f,
@@ -107,7 +136,25 @@ mod tests {
         assert!(SpecError::UnknownFunction(QualName::new("A", "f"))
             .to_string()
             .contains("A.f"));
-        assert!(SpecError::FuelExhausted.to_string().contains("diverges"));
+        let fuel = SpecError::BudgetExhausted {
+            resource: BudgetResource::Steps,
+            witness: QualName::new("M", "loop"),
+            skeleton_hash: 0xdead_beef,
+            chain: vec![QualName::new("M", "main"), QualName::new("M", "loop")],
+        };
+        let text = fuel.to_string();
+        assert!(text.contains("diverges"), "{text}");
+        assert!(text.contains("fuel"), "{text}");
+        assert!(text.contains("M.loop"), "{text}");
+        assert!(text.contains("-> M.main"), "{text}");
+        assert!(text.contains("00000000deadbeef"), "{text}");
+        let poly = SpecError::BudgetExhausted {
+            resource: BudgetResource::Specialisations,
+            witness: QualName::new("M", "upto"),
+            skeleton_hash: 1,
+            chain: vec![],
+        };
+        assert!(poly.to_string().contains("polyvariance"), "{poly}");
         let e = SpecError::EntryArity {
             entry: QualName::new("M", "main"),
             expected: 2,

@@ -23,12 +23,17 @@
 //!   files so library genexts can be shipped without source,
 //! * [`engine`] — the specialisation engine with breadth-first (pending
 //!   list) and depth-first strategies and space accounting,
+//! * [`budget`] — resource governance: budgets for step fuel,
+//!   specialisation count, pending/suspension depth and residual size,
+//!   with a configurable exhaustion policy (structured error or
+//!   generalising fallback),
 //! * [`placement`] — the residual-module placement algorithm of §5,
 //! * [`emit`] — module sinks: in-memory assembly and the paper's
 //!   two-pass temporary-file emission; residual import computation and
 //!   acyclicity checking,
 //! * [`error`] — specialisation-time errors.
 
+pub mod budget;
 pub mod emit;
 pub mod engine;
 pub mod error;
@@ -36,6 +41,7 @@ pub mod gexp;
 pub mod placement;
 pub mod value;
 
+pub use budget::{BudgetResource, OnExhaustion, SpecBudget};
 pub use emit::{FileSink, MemorySink, ModuleSink, ResidualProgram};
 pub use engine::{CostModel, Engine, EngineOptions, Provenance, SpecArg, SpecStats, Strategy};
 pub use error::SpecError;

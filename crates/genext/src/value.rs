@@ -175,6 +175,21 @@ pub fn hash_fold(acc: u64, h: u64) -> u64 {
     (acc ^ h).wrapping_mul(FNV_PRIME)
 }
 
+/// The memo hash of an argument list of `n` all-[`PKey::Hole`] skeletons
+/// — the key shape produced when the engine's generalising fallback
+/// abandons the static skeleton and lifts every argument to code. Equals
+/// what [`split_hashed`] + [`hash_fold`] would compute over `n` `Code`
+/// values.
+pub fn all_holes_hash(n: usize) -> u64 {
+    let mut acc = SKELETON_SEED;
+    for _ in 0..n {
+        let mut h = FNV_OFFSET;
+        mix(&mut h, 6);
+        acc = hash_fold(acc, h);
+    }
+    acc
+}
+
 #[inline]
 fn mix(h: &mut u64, word: u64) {
     *h = (*h ^ word).wrapping_mul(FNV_PRIME);
@@ -334,6 +349,21 @@ mod tests {
                 Box::new(PKey::Cons(Box::new(PKey::Nat(2)), Box::new(PKey::Hole)))
             )
         );
+    }
+
+    #[test]
+    fn all_holes_hash_matches_split_of_code_values() {
+        for n in 0..4 {
+            let mut leaves = Vec::new();
+            let mut acc = SKELETON_SEED;
+            for i in 0..n {
+                let v = PVal::Code(Expr::Var(Ident::new(format!("x{i}"))));
+                let (k, h) = split_hashed(&v, &mut leaves);
+                assert_eq!(k, PKey::Hole);
+                acc = hash_fold(acc, h);
+            }
+            assert_eq!(acc, all_holes_hash(n), "n = {n}");
+        }
     }
 
     #[test]

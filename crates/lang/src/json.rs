@@ -10,6 +10,12 @@
 //! Numbers are unsigned integers up to `u128` (binding-time masks are
 //! 128-bit); floats are not needed by any artefact format and are
 //! rejected.
+//!
+//! The decode path is panic-free by policy: artefact files come from
+//! disk and may be truncated or corrupted, so every malformed input
+//! must surface as a [`JsonError`], never an unwrap.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::fmt::Write as _;
 
@@ -321,7 +327,8 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
             if matches!(b.get(*pos), Some(b'.' | b'e' | b'E')) {
                 return err(format!("floating-point numbers are not supported (byte {start})"));
             }
-            let text = std::str::from_utf8(&b[start..*pos]).expect("digits are utf8");
+            let text = std::str::from_utf8(&b[start..*pos])
+                .map_err(|_| JsonError(format!("invalid utf8 in number at byte {start}")))?;
             text.parse::<u128>()
                 .map(Json::Num)
                 .map_err(|_| JsonError(format!("number out of range at byte {start}")))
@@ -381,7 +388,10 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                 // Consume one UTF-8 scalar (multi-byte safe).
                 let rest = std::str::from_utf8(&b[*pos..])
                     .map_err(|_| JsonError("invalid utf8 in string".into()))?;
-                let c = rest.chars().next().expect("non-empty");
+                let c = rest
+                    .chars()
+                    .next()
+                    .ok_or_else(|| JsonError("unterminated string".into()))?;
                 out.push(c);
                 *pos += c.len_utf8();
             }
@@ -438,6 +448,8 @@ impl<T: FromJson> FromJson for Vec<T> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     #[test]

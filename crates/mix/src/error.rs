@@ -63,7 +63,13 @@ mod tests {
 
     #[test]
     fn conversions_work() {
-        let e: MixError = SpecError::FuelExhausted.into();
+        let e: MixError = SpecError::BudgetExhausted {
+            resource: mspec_genext::budget::BudgetResource::Steps,
+            witness: mspec_lang::QualName::new("M", "loop"),
+            skeleton_hash: 0,
+            chain: vec![],
+        }
+        .into();
         assert!(e.to_string().contains("fuel"));
         fn takes<E: Error>(_: E) {}
         takes(e);

@@ -12,6 +12,7 @@ use crate::error::MixError;
 use mspec_bta::analyse::analyse_program;
 use mspec_bta::division::{Division, ParamBt};
 use mspec_bta::{AnnDef, AnnExpr, AnnProgram, BtMask, CoerceSpec, SigShape};
+use mspec_genext::budget::{BudgetResource, Fuel, SpecBudget};
 use mspec_genext::emit::assemble;
 use mspec_genext::{ResidualProgram, SpecArg, SpecError};
 use mspec_lang::ast::{CallName, Def, Expr, Ident, ModName, PrimOp, Program, QualName};
@@ -30,13 +31,17 @@ pub struct MixOptions {
     /// all uses of a function are merged into one mask first (§4.1's
     /// "rather unrealistic" baseline).
     pub polyvariant: bool,
-    /// Step budget.
-    pub fuel: u64,
+    /// Resource limits, shared with the genext engine ([`SpecBudget`]).
+    /// Mix enforces step fuel, the specialisation-count cap and the
+    /// pending cap; exhaustion is always a structured error (the
+    /// baseline has no generalising fallback — that is an engine
+    /// feature).
+    pub budget: SpecBudget,
 }
 
 impl Default for MixOptions {
     fn default() -> MixOptions {
-        MixOptions { polyvariant: true, fuel: 200_000_000 }
+        MixOptions { polyvariant: true, budget: SpecBudget::default() }
     }
 }
 
@@ -270,7 +275,10 @@ pub(crate) struct MixInterp<'a> {
     bodies: BTreeMap<QualName, Rc<AnnExpr>>,
     options: MixOptions,
     extern_mode: bool,
-    fuel: u64,
+    fuel: Fuel,
+    /// Stack of specialisation/unfold requests currently being served
+    /// (for [`SpecError::BudgetExhausted`] diagnostics).
+    chain: Vec<QualName>,
     stats: MixStats,
     memo: HashMap<(QualName, u128, Vec<MKey>), Ident>,
     pending: VecDeque<MPending>,
@@ -305,7 +313,8 @@ impl<'a> MixInterp<'a> {
             bodies,
             options,
             extern_mode,
-            fuel: options.fuel,
+            fuel: Fuel::new(options.budget.steps),
+            chain: Vec::new(),
             stats: MixStats::default(),
             memo: HashMap::new(),
             pending: VecDeque::new(),
@@ -484,23 +493,37 @@ impl<'a> MixInterp<'a> {
         let body = Rc::clone(&self.bodies[&spec.target]);
         let home = spec.target.module;
         let mut env = spec.env;
+        self.chain.push(spec.target);
         let result = self.eval(&body, &mut env, spec.mask, &home)?;
         let body_expr = self.lift(result)?;
         self.stats.specialisations += 1;
         self.defs_out.push(Def::new(spec.resid_name, spec.formals, body_expr));
+        self.chain.pop();
         Ok(())
     }
 
+    /// Spends one unit of step fuel: a budget of `n` admits exactly `n`
+    /// steps and errors exactly once, on step `n + 1`.
     fn step(&mut self) -> Result<(), MixError> {
         self.stats.steps += 1;
-        self.fuel = self
-            .fuel
-            .checked_sub(1)
-            .ok_or(MixError::Spec(SpecError::FuelExhausted))?;
-        if self.fuel == 0 {
-            return Err(MixError::Spec(SpecError::FuelExhausted));
+        if !self.fuel.spend() {
+            return Err(self.budget_error(BudgetResource::Steps, None));
         }
         Ok(())
+    }
+
+    fn budget_error(&self, resource: BudgetResource, at: Option<(QualName, u64)>) -> MixError {
+        let (witness, skeleton_hash) = at
+            .or_else(|| self.chain.last().map(|q| (*q, 0)))
+            .unwrap_or((QualName::new("?", "?"), 0));
+        const CHAIN_LIMIT: usize = 16;
+        let start = self.chain.len().saturating_sub(CHAIN_LIMIT);
+        MixError::Spec(SpecError::BudgetExhausted {
+            resource,
+            witness,
+            skeleton_hash,
+            chain: self.chain[start..].to_vec(),
+        })
     }
 
     fn fresh(&mut self, base: &str) -> Ident {
@@ -682,7 +705,10 @@ impl<'a> MixInterp<'a> {
             let mut env: BTreeMap<Ident, MVal> =
                 def.params.iter().cloned().zip(args).collect();
             let home = target.module;
-            return self.eval(&body, &mut env, mask, &home);
+            self.chain.push(*target);
+            let r = self.eval(&body, &mut env, mask, &home)?;
+            self.chain.pop();
+            return Ok(r);
         }
 
         let mut leaves = Vec::new();
@@ -707,6 +733,16 @@ impl<'a> MixInterp<'a> {
                 CallName::resolved(self.out_module.as_str(), name.as_str()),
                 leaves,
             )));
+        }
+        if self.memo.len() >= self.options.budget.max_specialisations {
+            let hash = mkey_hash(&memo_key.2);
+            return Err(
+                self.budget_error(BudgetResource::Specialisations, Some((*target, hash)))
+            );
+        }
+        if self.pending.len() >= self.options.budget.max_pending {
+            let hash = mkey_hash(&memo_key.2);
+            return Err(self.budget_error(BudgetResource::Pending, Some((*target, hash))));
         }
         let counter = self.counters.entry(*target).or_insert(0);
         *counter += 1;
@@ -818,6 +854,15 @@ impl<'a> MixInterp<'a> {
             }
         }
     }
+}
+
+/// Structural hash of a split skeleton (for budget diagnostics; mix has
+/// no incremental skeleton hashing like the engine's `split_hashed`).
+fn mkey_hash(keys: &[MKey]) -> u64 {
+    use std::hash::{Hash as _, Hasher as _};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    keys.hash(&mut h);
+    h.finish()
 }
 
 fn dedupe(names: Vec<Ident>) -> Vec<Ident> {
@@ -1035,5 +1080,72 @@ mod tests {
     fn unknown_entry_is_reported() {
         let r = mix_specialise(POWER, "Power", "nope", vec![], MixOptions::default());
         assert!(matches!(r, Err(MixError::Spec(SpecError::UnknownEntry(_)))));
+    }
+
+    #[test]
+    fn fuel_budget_admits_exactly_the_steps_taken() {
+        let args = || vec![SpecArg::Static(Value::nat(3)), SpecArg::Dynamic];
+        let out =
+            mix_specialise(POWER, "Power", "power", args(), MixOptions::default()).unwrap();
+        let steps = out.stats.steps;
+        // A budget of exactly the steps the session takes succeeds...
+        let exact = mix_specialise(POWER, "Power", "power", args(), MixOptions {
+            budget: SpecBudget::with_steps(steps),
+            ..MixOptions::default()
+        });
+        assert!(exact.is_ok(), "budget == steps must suffice: {exact:?}");
+        // ...while one unit less fails, naming the function that was
+        // being specialised.
+        let short = mix_specialise(POWER, "Power", "power", args(), MixOptions {
+            budget: SpecBudget::with_steps(steps - 1),
+            ..MixOptions::default()
+        })
+        .unwrap_err();
+        match short {
+            MixError::Spec(SpecError::BudgetExhausted {
+                resource: BudgetResource::Steps,
+                witness,
+                chain,
+                ..
+            }) => {
+                assert_eq!(witness.module.as_str(), "Power");
+                assert!(!chain.is_empty());
+            }
+            other => panic!("expected a step-budget error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn diverging_static_recursion_exhausts_fuel_cleanly() {
+        // Unfolding hundreds of calls deep needs more stack than the
+        // default debug test thread provides.
+        std::thread::Builder::new()
+            .stack_size(64 * 1024 * 1024)
+            .spawn(diverging_static_recursion_body)
+            .unwrap()
+            .join()
+            .unwrap();
+    }
+
+    fn diverging_static_recursion_body() {
+        let src = "module M where\nloop n = loop (n + 1)\nmain x = loop 0 + x\n";
+        let err = mix_specialise(src, "M", "main", vec![SpecArg::Dynamic], MixOptions {
+            budget: SpecBudget::with_steps(5_000),
+            ..MixOptions::default()
+        })
+        .unwrap_err();
+        match err {
+            MixError::Spec(SpecError::BudgetExhausted {
+                resource: BudgetResource::Steps,
+                witness,
+                chain,
+                ..
+            }) => {
+                assert_eq!(witness.name.as_str(), "loop");
+                // The unfold chain shows the diverging cycle.
+                assert!(chain.iter().filter(|q| q.name.as_str() == "loop").count() >= 2);
+            }
+            other => panic!("expected a step-budget error, got {other:?}"),
+        }
     }
 }

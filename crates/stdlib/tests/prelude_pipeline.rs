@@ -93,7 +93,7 @@ fn prebuilt_prelude_serves_multiple_clients() {
         ("module Main where\nimport Nat\nmain x = pow 3 x\n", 2u64, Value::nat(8)),
         (
             // NB: `range 1 n` with dynamic n would be unbounded
-            // polyvariance (see EngineOptions::max_specialisations);
+            // polyvariance (see SpecBudget::max_specialisations);
             // a dynamic list is the well-behaved shape.
             "module Main where\nimport Lists\nimport Nat\nmain n = sum (map (\\x -> pow 2 x) (range 0 4)) + n\n",
             3,

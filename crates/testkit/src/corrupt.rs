@@ -1,0 +1,49 @@
+//! Deliberate artefact corruption for fault-injection tests.
+//!
+//! The robustness of the on-disk artefact layer is tested by damaging
+//! real `.bti`/`.gx` files in targeted ways — truncation, single-bit
+//! flips, header version bumps — and asserting that every loader
+//! returns a structured error instead of panicking or silently
+//! accepting the damaged data.
+//!
+//! These helpers are test infrastructure: they panic on I/O failure
+//! (a broken test environment), never on file *content*.
+
+use crate::rng::TestRng;
+use std::fs;
+use std::path::Path;
+
+/// Truncates the file to its first `keep` bytes (no-op if it is
+/// already shorter).
+pub fn truncate_file(path: &Path, keep: usize) {
+    let bytes = fs::read(path).expect("read artefact");
+    let keep = keep.min(bytes.len());
+    fs::write(path, &bytes[..keep]).expect("write truncated artefact");
+}
+
+/// Flips one bit chosen by `rng`. Returns the `(byte offset, bit mask)`
+/// actually flipped, for failure messages.
+pub fn flip_random_bit(path: &Path, rng: &mut TestRng) -> (usize, u8) {
+    let len = fs::metadata(path).expect("stat artefact").len() as usize;
+    assert!(len > 0, "cannot corrupt an empty file");
+    let offset = rng.gen_range(0..len as u64) as usize;
+    let mask = 1u8 << rng.gen_range(0..8u64);
+    flip_bit_at(path, offset, mask);
+    (offset, mask)
+}
+
+/// XORs the byte at `offset` with `mask`.
+pub fn flip_bit_at(path: &Path, offset: usize, mask: u8) {
+    let mut bytes = fs::read(path).expect("read artefact");
+    bytes[offset] ^= mask;
+    fs::write(path, bytes).expect("write corrupted artefact");
+}
+
+/// Rewrites the header's `v1` version token to a far-future version,
+/// leaving payload and checksum intact.
+pub fn bump_version(path: &Path) {
+    let text = fs::read_to_string(path).expect("read artefact");
+    let bumped = text.replacen(" v1 ", " v999 ", 1);
+    assert_ne!(text, bumped, "no `v1` version token in {}", path.display());
+    fs::write(path, bumped).expect("write version-bumped artefact");
+}

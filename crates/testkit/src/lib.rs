@@ -9,11 +9,17 @@
 //!   module count, functions per module and call structure, used by the
 //!   scaling experiments (§4's "general purpose libraries often define
 //!   very many functions, only a few of which are used").
+//!
+//! A third ingredient, [`corrupt`], damages on-disk artefact files
+//! (truncation, bit flips, version bumps) for the fault-injection
+//! suite.
 
+pub mod corrupt;
 pub mod library;
 pub mod random;
 pub mod rng;
 
+pub use corrupt::{bump_version, flip_bit_at, flip_random_bit, truncate_file};
 pub use library::{layered_program, library_program, LayeredShape, LibraryShape};
 pub use random::{random_program, GenConfig};
 pub use rng::TestRng;

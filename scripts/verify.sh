@@ -5,11 +5,19 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Every test step runs under a hard timeout: the robustness suites
+# drive the engine against diverging programs and corrupted artefact
+# files, where the failure mode of a regression is a hang, not a
+# failing assertion.
+
 echo "==> cargo build --release (offline)"
-cargo build --release --offline
+timeout 900 cargo build --release --offline
+
+echo "==> fault-injection suite (offline, 300s budget)"
+timeout 300 cargo test -q --offline -p mspec-core --test fault_injection
 
 echo "==> cargo test -q (offline)"
-cargo test -q --offline
+timeout 1800 cargo test -q --offline
 
 echo "==> cargo clippy --all-targets -- -D warnings (offline)"
 cargo clippy --all-targets --offline -- -D warnings

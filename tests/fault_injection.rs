@@ -1,0 +1,255 @@
+//! Fault injection: the pipeline must degrade *structurally*, never by
+//! panicking, hanging or silently mis-loading, when
+//!
+//! * on-disk artefacts are truncated, bit-flipped or version-bumped,
+//! * interfaces change underneath already-compiled genexts,
+//! * the source program diverges under specialisation (static recursion
+//!   on an unbounded counter), under both exhaustion policies: a
+//!   structured budget error, or the generalising fallback that demotes
+//!   the offending call to a fully-dynamic residual call.
+
+use mspec_cogen::files::{cogen_module, load_bti, load_gx, CogenError};
+use mspec_cogen::link_dir;
+use mspec_core::{
+    EngineOptions, OnExhaustion, Pipeline, PipelineError, SpecArg, SpecBudget,
+};
+use mspec_genext::SpecError;
+use mspec_lang::eval::Value;
+use mspec_lang::parser::parse_program;
+use mspec_lang::resolve::resolve;
+use mspec_testkit::corrupt::{bump_version, flip_random_bit, truncate_file};
+use mspec_testkit::TestRng;
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mspec-fault-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Cogens a two-module tree (B imports A) into `dir`; returns the
+/// artefact paths `(A.bti, B.gx)`.
+fn cogen_tree(dir: &PathBuf) -> (PathBuf, PathBuf) {
+    let rp = resolve(
+        parse_program(
+            "module A where\nf x = x + 1\nmodule B where\nimport A\ng y = f y * 2\n",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let a = rp.program().module("A").unwrap().clone();
+    let b = rp.program().module("B").unwrap().clone();
+    let out_a = cogen_module(&a, dir, &BTreeSet::new()).unwrap();
+    let out_b = cogen_module(&b, dir, &BTreeSet::new()).unwrap();
+    (out_a.bti, out_b.gx)
+}
+
+#[test]
+fn truncated_artefacts_give_structured_errors() {
+    let dir = tmpdir("truncate");
+    let (bti, gx) = cogen_tree(&dir);
+    let gx_clean = fs::read(&gx).unwrap();
+    let bti_clean = fs::read(&bti).unwrap();
+    // Cut at a spread of points: empty file, mid-header, just after
+    // the header, mid-payload, one byte short of complete.
+    let cuts = |len: usize| [0, 1, 10, len / 3, len / 2, len - 1];
+    for keep in cuts(gx_clean.len()) {
+        fs::write(&gx, &gx_clean).unwrap();
+        truncate_file(&gx, keep);
+        match load_gx(&gx) {
+            Err(CogenError::Format(_)) => {}
+            other => panic!("gx truncated to {keep} bytes: expected Format error, got {other:?}"),
+        }
+    }
+    for keep in cuts(bti_clean.len()) {
+        fs::write(&bti, &bti_clean).unwrap();
+        truncate_file(&bti, keep);
+        match load_bti(&bti) {
+            Err(CogenError::Format(_)) => {}
+            other => panic!("bti truncated to {keep} bytes: expected Format error, got {other:?}"),
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn random_bit_flips_never_load() {
+    let dir = tmpdir("bitflip");
+    let (bti, gx) = cogen_tree(&dir);
+    let gx_clean = fs::read(&gx).unwrap();
+    let bti_clean = fs::read(&bti).unwrap();
+    let mut rng = TestRng::seed_from_u64(0xFA117);
+    for round in 0..64 {
+        fs::write(&gx, &gx_clean).unwrap();
+        let (off, mask) = flip_random_bit(&gx, &mut rng);
+        assert!(
+            load_gx(&gx).is_err(),
+            "round {round}: gx with bit {mask:#04x} flipped at byte {off} loaded cleanly"
+        );
+        fs::write(&bti, &bti_clean).unwrap();
+        let (off, mask) = flip_random_bit(&bti, &mut rng);
+        assert!(
+            load_bti(&bti).is_err(),
+            "round {round}: bti with bit {mask:#04x} flipped at byte {off} loaded cleanly"
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn version_bumped_artefacts_are_rejected() {
+    let dir = tmpdir("version");
+    let (bti, gx) = cogen_tree(&dir);
+    bump_version(&gx);
+    let err = load_gx(&gx).unwrap_err();
+    assert!(err.to_string().contains("version"), "{err}");
+    bump_version(&bti);
+    let err = load_bti(&bti).unwrap_err();
+    assert!(err.to_string().contains("version"), "{err}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Re-cogen an import with a different interface behind the linker's
+/// back: the downstream `.gx` must be rejected as stale, not linked
+/// into an inconsistent program.
+#[test]
+fn link_rejects_gx_built_against_old_interface() {
+    let dir = tmpdir("stale");
+    cogen_tree(&dir);
+    let rp = resolve(parse_program("module A where\nf x = x + 1\nh z = z\n").unwrap()).unwrap();
+    let a2 = rp.program().modules[0].clone();
+    cogen_module(&a2, &dir, &BTreeSet::new()).unwrap();
+    match link_dir(&dir) {
+        Err(CogenError::StaleInterface { module, import }) => {
+            assert_eq!(module.as_str(), "B");
+            assert_eq!(import.as_str(), "A");
+        }
+        other => panic!("expected StaleInterface, got {other:?}"),
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A diverging static recursion (`loop n = loop (n + 1)`) under the
+/// default policy: a structured budget error naming the offending
+/// function and the request chain — never a hang.
+#[test]
+fn divergence_under_error_policy_names_the_culprit() {
+    std::thread::Builder::new()
+        .stack_size(64 * 1024 * 1024)
+        .spawn(divergence_error_policy_body)
+        .unwrap()
+        .join()
+        .unwrap();
+}
+
+fn divergence_error_policy_body() {
+    let p = Pipeline::from_source("module M where\nloop n = loop (n + 1)\nmain x = loop 0 + x\n")
+        .unwrap();
+    let err = p
+        .specialise_opts(
+            "M",
+            "main",
+            vec![SpecArg::Dynamic],
+            EngineOptions {
+                budget: SpecBudget::with_steps(5_000),
+                on_exhaustion: OnExhaustion::Error,
+                ..EngineOptions::default()
+            },
+        )
+        .unwrap_err();
+    match err {
+        PipelineError::Spec(SpecError::BudgetExhausted { witness, chain, .. }) => {
+            assert_eq!(witness.to_string(), "M.loop");
+            assert!(
+                chain.iter().any(|q| q.to_string() == "M.loop"),
+                "chain should show the cycle: {chain:?}"
+            );
+        }
+        other => panic!("expected BudgetExhausted, got {other}"),
+    }
+}
+
+/// The same diverging program under the generalising fallback:
+/// specialisation *succeeds*, the offending call is demoted to a
+/// fully-dynamic residual call, and the residual is byte-stable.
+#[test]
+fn divergence_under_generalise_policy_terminates() {
+    std::thread::Builder::new()
+        .stack_size(64 * 1024 * 1024)
+        .spawn(divergence_generalise_policy_body)
+        .unwrap()
+        .join()
+        .unwrap();
+}
+
+fn divergence_generalise_policy_body() {
+    let p = Pipeline::from_source("module M where\nloop n = loop (n + 1)\nmain x = loop 0 + x\n")
+        .unwrap();
+    let opts = || EngineOptions {
+        budget: SpecBudget::with_steps(5_000),
+        on_exhaustion: OnExhaustion::Generalise,
+        ..EngineOptions::default()
+    };
+    let s1 = p.specialise_opts("M", "main", vec![SpecArg::Dynamic], opts()).unwrap();
+    assert!(s1.stats.generalised >= 1, "{:?}", s1.stats);
+    // The divergence is still in the *residual* (it is in the source
+    // program's semantics), but specialisation itself terminated and
+    // produced a self-contained recursive definition.
+    let src = s1.source();
+    assert!(src.contains("loop"), "{src}");
+    // Byte-stable: an identical second run yields the identical text.
+    let s2 = p.specialise_opts("M", "main", vec![SpecArg::Dynamic], opts()).unwrap();
+    assert_eq!(src, s2.source());
+}
+
+/// Unbounded polyvariance (static counter chasing a dynamic bound)
+/// under the generalising fallback: the engine stops minting variants,
+/// demotes the counter to dynamic, and the residual stays semantically
+/// equivalent to the source program.
+#[test]
+fn polyvariance_fallback_residual_is_semantically_correct() {
+    let p = Pipeline::from_source(
+        "module M where\nsumto a b = if b <= a then 0 else a + sumto (a + 1) b\nmain n = sumto 0 n\n",
+    )
+    .unwrap();
+    let opts = || EngineOptions {
+        budget: SpecBudget { max_specialisations: 4, ..SpecBudget::default() },
+        on_exhaustion: OnExhaustion::Generalise,
+        ..EngineOptions::default()
+    };
+    let s1 = p.specialise_opts("M", "main", vec![SpecArg::Dynamic], opts()).unwrap();
+    assert!(s1.stats.generalised >= 1, "{:?}", s1.stats);
+    // Source oracle: sumto 0 n for a few n.
+    for n in [0u64, 1, 5, 9] {
+        let expect = p.run_source("M", "main", vec![Value::nat(n)]).unwrap();
+        assert_eq!(s1.run(vec![Value::nat(n)]).unwrap(), expect, "n = {n}");
+    }
+    // Byte-stable across runs.
+    let s2 = p.specialise_opts("M", "main", vec![SpecArg::Dynamic], opts()).unwrap();
+    assert_eq!(s1.source(), s2.source());
+}
+
+/// When budgets are *not* hit, the fallback policy is invisible: the
+/// residual is byte-identical to the default engine's.
+#[test]
+fn generalise_policy_is_inert_when_budgets_are_not_hit() {
+    let p = Pipeline::from_source(
+        "module Power where\npower n x = if n == 1 then x else x * power (n - 1) x\n",
+    )
+    .unwrap();
+    let args = || vec![SpecArg::Static(Value::nat(5)), SpecArg::Dynamic];
+    let default = p.specialise("Power", "power", args()).unwrap();
+    let fallback = p
+        .specialise_opts(
+            "Power",
+            "power",
+            args(),
+            EngineOptions { on_exhaustion: OnExhaustion::Generalise, ..EngineOptions::default() },
+        )
+        .unwrap();
+    assert_eq!(default.source(), fallback.source());
+    assert_eq!(fallback.stats.generalised, 0);
+}

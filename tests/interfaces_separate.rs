@@ -156,8 +156,7 @@ fn interface_files_carry_qualified_schemes() {
         let module = resolved.program().module(name.as_str()).unwrap();
         cogen_module(module, &dir, &BTreeSet::new()).unwrap();
     }
-    let text = fs::read_to_string(dir.join("Power.bti")).unwrap();
-    let iface = mspec_bta::BtInterface::from_json(&text).unwrap();
+    let iface = mspec_cogen::files::load_bti(dir.join("Power.bti")).unwrap();
     let sig = iface.get(&mspec_lang::Ident::new("power")).unwrap();
     assert_eq!(sig.vars, 2);
     assert_eq!(sig.unfold.to_string(), "t0");

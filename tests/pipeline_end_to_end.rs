@@ -3,7 +3,7 @@
 //! libraries, strategy equivalence, baseline agreement, and the file
 //! emission round trip.
 
-use mspec_core::{EngineOptions, Pipeline, SpecArg, Strategy};
+use mspec_core::{EngineOptions, Pipeline, SpecArg, SpecBudget, Strategy};
 use mspec_lang::eval::Value;
 use mspec_mix::{mix_specialise, MixOptions};
 
@@ -255,7 +255,10 @@ fn divergent_static_computation_exhausts_fuel() {
                     "M",
                     "main",
                     vec![SpecArg::Dynamic],
-                    EngineOptions { fuel: 10_000, ..EngineOptions::default() },
+                    EngineOptions {
+                        budget: SpecBudget::with_steps(10_000),
+                        ..EngineOptions::default()
+                    },
                 )
                 .unwrap_err();
             assert!(err.to_string().contains("fuel"), "{err}");
@@ -279,7 +282,10 @@ fn unbounded_polyvariance_is_caught() {
             "M",
             "main",
             vec![SpecArg::Dynamic],
-            EngineOptions { max_specialisations: 500, ..EngineOptions::default() },
+            EngineOptions {
+                budget: SpecBudget { max_specialisations: 500, ..SpecBudget::default() },
+                ..EngineOptions::default()
+            },
         )
         .unwrap_err();
     assert!(err.to_string().contains("polyvariance"), "{err}");
