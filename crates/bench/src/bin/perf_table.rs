@@ -15,7 +15,7 @@
 //! by a cost tax, so treat the speedups below as lower bounds.
 
 use mspec_bench::workloads::{library_args, POWER};
-use mspec_bench::{time_min, us};
+use mspec_bench::{cores, time_min, us};
 use mspec_core::{BuildMode, CostModel, EngineOptions, Pipeline, SpecArg};
 use mspec_lang::eval::{with_big_stack, Value};
 use mspec_lang::{Json, QualName, ToJson};
@@ -154,7 +154,7 @@ fn main() {
 }
 
 fn run() {
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cores = cores();
 
     // --- E5 library scaling, N = 64 modules: interned vs legacy ------
     // Two sessions over the same 64-module library. "unfold": the

@@ -58,3 +58,11 @@ pub fn time_min<T>(iters: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
 pub fn us(d: Duration) -> String {
     format!("{:>10.1}", d.as_secs_f64() * 1e6)
 }
+
+/// The machine's core count, recorded in every `BENCH_*.json` so
+/// readers can interpret parallel ratios (a 1-core container cannot
+/// show parallel speedups, and single-threaded numbers from a loaded
+/// many-core box deserve suspicion too).
+pub fn cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}

@@ -19,7 +19,7 @@
 //! `[v;v;…]` lists (semicolon-separated to avoid clashing with the
 //! argument separator).
 
-use mspec_core::{write_residual, EngineOptions, Pipeline, SpecArg, Strategy};
+use mspec_core::{write_residual, EngineOptions, OnExhaustion, Pipeline, Runner, SpecArg, SpecBudget, Strategy};
 use mspec_lang::eval::{with_big_stack, Value};
 use mspec_lang::QualName;
 use std::collections::BTreeSet;
@@ -64,7 +64,9 @@ fn usage() -> String {
      cogen   FILE --out DIR                write .bti/.gx per module\n\
      spec    FILE --entry M.f --args DIV   specialise (DIV: S:<v>,D,P:<n>)\n\
              [--strategy bf|df] [--out DIR] [--force-residual M.f,…]\n\
-     run     FILE --entry M.f --args VALS  interpret the source program\n\
+             [--fuel N] [--max-spec N] [--on-exhaustion error|generalise]\n\
+     run     FILE --entry M.f --args VALS  run the source program\n\
+             [--runner tree|vm]\n\
      build   SRCDIR --out DIR              incremental cogen of a module tree\n\
      link-spec DIR --entry M.f --args DIV  specialise from .gx files (no source)"
         .to_string()
@@ -77,6 +79,30 @@ struct Opts {
     out: Option<String>,
     strategy: Strategy,
     force_residual: BTreeSet<QualName>,
+    fuel: Option<u64>,
+    max_spec: Option<usize>,
+    on_exhaustion: OnExhaustion,
+    runner: Runner,
+}
+
+impl Opts {
+    /// Engine options assembled from the budget flags; unset flags keep
+    /// the [`SpecBudget`] defaults.
+    fn engine_options(&self) -> EngineOptions {
+        let mut budget = SpecBudget::default();
+        if let Some(steps) = self.fuel {
+            budget.steps = steps;
+        }
+        if let Some(n) = self.max_spec {
+            budget.max_specialisations = n;
+        }
+        EngineOptions {
+            strategy: self.strategy,
+            budget,
+            on_exhaustion: self.on_exhaustion,
+            ..EngineOptions::default()
+        }
+    }
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -87,6 +113,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         out: None,
         strategy: Strategy::BreadthFirst,
         force_residual: BTreeSet::new(),
+        fuel: None,
+        max_spec: None,
+        on_exhaustion: OnExhaustion::default(),
+        runner: Runner::default(),
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -110,6 +140,32 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     Some("df") => Strategy::DepthFirst,
                     other => return Err(format!("--strategy must be bf or df, got {other:?}")),
                 };
+            }
+            "--fuel" => {
+                let v = it.next().ok_or("--fuel needs a step count")?;
+                opts.fuel =
+                    Some(v.parse::<u64>().map_err(|_| format!("bad --fuel value `{v}`"))?);
+            }
+            "--max-spec" => {
+                let v = it.next().ok_or("--max-spec needs a count")?;
+                opts.max_spec =
+                    Some(v.parse::<usize>().map_err(|_| format!("bad --max-spec value `{v}`"))?);
+            }
+            "--on-exhaustion" => {
+                opts.on_exhaustion = match it.next().map(String::as_str) {
+                    Some("error") => OnExhaustion::Error,
+                    Some("generalise") => OnExhaustion::Generalise,
+                    other => {
+                        return Err(format!(
+                            "--on-exhaustion must be error or generalise, got {other:?}"
+                        ))
+                    }
+                };
+            }
+            "--runner" => {
+                let v = it.next().ok_or("--runner needs tree or vm")?;
+                opts.runner = Runner::parse(v)
+                    .ok_or_else(|| format!("--runner must be tree or vm, got `{v}`"))?;
             }
             "--force-residual" => {
                 let v = it.next().ok_or("--force-residual needs M.f[,M.g…]")?;
@@ -176,20 +232,24 @@ fn link_spec(args: &[String]) -> Result<(), String> {
     let division = opts.args.clone().ok_or("link-spec needs --args DIVISION")?;
     let spec_args = parse_division(&division)?;
     let linked = mspec_cogen::build::link_dir(&opts.file).map_err(|e| e.to_string())?;
-    let mut engine = mspec_genext::Engine::new(
-        &linked,
-        EngineOptions { strategy: opts.strategy, ..EngineOptions::default() },
-    );
+    let mut engine = mspec_genext::Engine::new(&linked, opts.engine_options());
     let residual = engine
         .specialise(&QualName::new(m.as_str(), f.as_str()), spec_args)
         .map_err(|e| e.to_string())?;
     println!("{}", mspec_lang::pretty::pretty_program(&residual.program));
     eprintln!(
-        "-- entry {}; {} specialisations, {} memo hits",
+        "-- entry {}; {} specialisations, {} memo hits, {} generalised",
         residual.entry,
         engine.stats().specialisations,
-        engine.stats().memo_hits
+        engine.stats().memo_hits,
+        engine.stats().generalised
     );
+    if engine.stats().generalised > 0 {
+        eprintln!(
+            "-- budget hit: {} call(s) demoted to dynamic residual calls",
+            engine.stats().generalised
+        );
+    }
     if let Some(dir) = &opts.out {
         let files = write_residual(dir, &residual).map_err(|e| e.to_string())?;
         for f in files {
@@ -254,20 +314,24 @@ fn spec(args: &[String]) -> Result<(), String> {
     let spec_args = parse_division(&division)?;
     let pipeline = build_pipeline(&opts)?;
     let spec = pipeline
-        .specialise_opts(&m, &f, spec_args, EngineOptions {
-            strategy: opts.strategy,
-            ..EngineOptions::default()
-        })
+        .specialise_opts(&m, &f, spec_args, opts.engine_options())
         .map_err(|e| e.to_string())?;
     println!("{}", spec.source());
     eprintln!(
-        "-- entry {}; {} specialisations, {} unfolds, {} memo hits, {} steps",
+        "-- entry {}; {} specialisations, {} unfolds, {} memo hits, {} steps, {} generalised",
         spec.residual.entry,
         spec.stats.specialisations,
         spec.stats.unfolds,
         spec.stats.memo_hits,
-        spec.stats.steps
+        spec.stats.steps,
+        spec.stats.generalised
     );
+    if spec.stats.generalised > 0 {
+        eprintln!(
+            "-- budget hit: {} call(s) demoted to dynamic residual calls",
+            spec.stats.generalised
+        );
+    }
     eprint!("{}", spec.provenance_report());
     if let Some(dir) = &opts.out {
         let files = write_residual(dir, &spec.residual).map_err(|e| e.to_string())?;
@@ -283,7 +347,9 @@ fn run_program(args: &[String]) -> Result<(), String> {
     let (m, f) = opts.entry.clone().ok_or("run needs --entry M.f")?;
     let values = parse_values(opts.args.as_deref().unwrap_or(""))?;
     let pipeline = build_pipeline(&opts)?;
-    let v = pipeline.run_source(&m, &f, values).map_err(|e| e.to_string())?;
+    let v = pipeline
+        .run_source_with(opts.runner, &m, &f, values)
+        .map_err(|e| e.to_string())?;
     println!("{v}");
     Ok(())
 }
@@ -402,5 +468,60 @@ mod tests {
         let args: Vec<String> = ["--bogus".to_string()].into();
         assert!(parse_opts(&args).is_err());
         assert!(parse_opts(&[]).is_err());
+    }
+
+    #[test]
+    fn parses_budget_options() {
+        let args: Vec<String> = [
+            "prog.mspec",
+            "--fuel",
+            "5000",
+            "--max-spec",
+            "4",
+            "--on-exhaustion",
+            "generalise",
+            "--runner",
+            "tree",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let opts = parse_opts(&args).unwrap();
+        assert_eq!(opts.fuel, Some(5000));
+        assert_eq!(opts.max_spec, Some(4));
+        assert!(matches!(opts.on_exhaustion, OnExhaustion::Generalise));
+        assert!(matches!(opts.runner, Runner::Tree));
+        let eo = opts.engine_options();
+        assert_eq!(eo.budget.steps, 5000);
+        assert_eq!(eo.budget.max_specialisations, 4);
+        assert!(matches!(eo.on_exhaustion, OnExhaustion::Generalise));
+    }
+
+    #[test]
+    fn budget_options_default_to_engine_defaults() {
+        let args: Vec<String> = ["prog.mspec".to_string()].into();
+        let opts = parse_opts(&args).unwrap();
+        assert_eq!(opts.fuel, None);
+        assert_eq!(opts.max_spec, None);
+        assert!(matches!(opts.on_exhaustion, OnExhaustion::Error));
+        assert!(matches!(opts.runner, Runner::Vm));
+        let eo = opts.engine_options();
+        let defaults = EngineOptions::default();
+        assert_eq!(eo.budget.steps, defaults.budget.steps);
+        assert_eq!(eo.budget.max_specialisations, defaults.budget.max_specialisations);
+    }
+
+    #[test]
+    fn rejects_bad_budget_values() {
+        for bad in [
+            vec!["p.mspec", "--fuel", "lots"],
+            vec!["p.mspec", "--max-spec", "-1"],
+            vec!["p.mspec", "--on-exhaustion", "panic"],
+            vec!["p.mspec", "--runner", "jit"],
+            vec!["p.mspec", "--fuel"],
+        ] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(parse_opts(&args).is_err(), "expected error for {args:?}");
+        }
     }
 }

@@ -46,4 +46,5 @@ pub use mspec_genext::{
     Strategy,
 };
 pub use parbuild::{module_levels, BuildMode, BuildReport, ModuleBuildError, StageTimes};
+pub use mspec_lang::vm::Runner;
 pub use pipeline::{run_source, write_residual, Pipeline, Specialised};

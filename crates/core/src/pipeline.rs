@@ -8,10 +8,11 @@ use mspec_cogen::compile::compile_program;
 use mspec_genext::emit::FileSink;
 use mspec_genext::{Engine, EngineOptions, GenProgram, ResidualProgram, SpecArg, SpecStats};
 use mspec_lang::ast::{Program, QualName};
-use mspec_lang::eval::{Evaluator, Value};
+use mspec_lang::eval::{Evaluator, Value, DEFAULT_FUEL};
 use mspec_lang::parser::parse_program;
 use mspec_lang::pretty::pretty_program;
 use mspec_lang::resolve::{resolve, ResolvedProgram};
+use mspec_lang::vm::Runner;
 use mspec_types::{infer_program, ProgramTypes};
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
@@ -207,6 +208,24 @@ impl Pipeline {
         let mut ev = Evaluator::new(&self.resolved);
         Ok(ev.call_by_name(module, function, args)?)
     }
+
+    /// Runs the *source* program under the given execution engine
+    /// (e.g. the VM for deeply recursive programs the tree evaluator's
+    /// depth limit would reject).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Eval`] on run-time errors.
+    pub fn run_source_with(
+        &self,
+        runner: Runner,
+        module: &str,
+        function: &str,
+        args: Vec<Value>,
+    ) -> Result<Value, PipelineError> {
+        let entry = QualName::new(module, function);
+        Ok(runner.run(&self.resolved, &entry, args, DEFAULT_FUEL)?)
+    }
 }
 
 /// The result of a specialisation: a residual program plus run counters.
@@ -222,16 +241,31 @@ pub struct Specialised {
 }
 
 impl Specialised {
-    /// Runs the residual program on the dynamic inputs.
+    /// Runs the residual program on the dynamic inputs under the default
+    /// execution engine ([`Runner::Vm`] — the compiled fast path; the
+    /// tree evaluator remains available as ground truth via
+    /// [`Specialised::run_with`]).
     ///
     /// # Errors
     ///
     /// Resolution errors (never for engine-produced programs) or
     /// run-time evaluation errors.
     pub fn run(&self, dynamic_args: Vec<Value>) -> Result<Value, PipelineError> {
+        self.run_with(Runner::default(), dynamic_args)
+    }
+
+    /// Runs the residual program under an explicit execution engine.
+    ///
+    /// # Errors
+    ///
+    /// As [`Specialised::run`].
+    pub fn run_with(
+        &self,
+        runner: Runner,
+        dynamic_args: Vec<Value>,
+    ) -> Result<Value, PipelineError> {
         let rp = resolve(self.residual.program.clone())?;
-        let mut ev = Evaluator::new(&rp);
-        Ok(ev.call(&self.residual.entry, dynamic_args)?)
+        Ok(runner.run(&rp, &self.residual.entry, dynamic_args, DEFAULT_FUEL)?)
     }
 
     /// Runs the residual program through the *compiled* evaluator

@@ -25,6 +25,8 @@
 //! hash computed during splitting ([`split_hashed`]); the full [`PKey`]
 //! skeletons are only compared on a hash collision.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::budget::{BudgetResource, Fuel, OnExhaustion, SpecBudget};
 use crate::emit::{assemble, MemorySink, ModuleSink, ResidualProgram};
 use crate::error::SpecError;
@@ -1085,6 +1087,7 @@ fn uniquify(names: Vec<Ident>) -> Vec<Ident> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -1,0 +1,537 @@
+//! Flat bytecode for (residual) programs.
+//!
+//! The compiled-runner fast path: a [`crate::resolve::ResolvedProgram`]
+//! is closure-converted into a flat instruction stream — variables
+//! become frame slots, named calls become function-table indices,
+//! lambdas become entries in a lambda table carrying explicit capture
+//! lists, and literals live in a deduplicated constant pool. The
+//! explicit-stack VM in [`crate::vm`] executes this form without any
+//! host recursion, so deep residual programs (folds over 50k-element
+//! lists, long residual call chains) run in constant host-stack space.
+//!
+//! # Fuel correspondence
+//!
+//! The tree evaluator ([`crate::eval`]) charges one fuel unit per AST
+//! node it *enters*. Compilation emits exactly one fuel-charging
+//! instruction per AST node — the charging instruction of a node is the
+//! one that completes it (`Prim`, `Apply`, …) or begins it (`Const`,
+//! `Load`, `MakeClosure`) — and zero-fuel glue (`Jump`, `Unbind`,
+//! `Return`). A complete evaluation therefore spends *exactly* the same
+//! total fuel under both runners; the differential suite asserts this.
+//! Only the order of spending within one evaluation differs (the tree
+//! walker charges a node before its children, the stack machine mostly
+//! after), which is observable only on programs that also raise another
+//! error in the same window.
+//!
+//! # Instruction layout
+//!
+//! Code from all functions and lambdas is concatenated into one flat
+//! `Vec<Instr>`; jump targets are absolute indices into it. Every chunk
+//! ends in [`Instr::Return`], so falling off the end of the stream is
+//! impossible by construction (and the VM still checks).
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use crate::ast::{Expr, Ident, PrimOp, QualName};
+use crate::resolve::ResolvedProgram;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A constant-pool entry (literals only; symbols are interned already,
+/// so names appear in the function and lambda tables, not the pool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Const {
+    /// Natural-number literal.
+    Nat(u64),
+    /// Boolean literal.
+    Bool(bool),
+    /// The empty list.
+    Nil,
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Const::Nat(n) => write!(f, "{n}"),
+            Const::Bool(b) => write!(f, "{b}"),
+            Const::Nil => write!(f, "[]"),
+        }
+    }
+}
+
+/// One VM instruction. Fuel cost is 1 unless noted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// Push constant-pool entry `i`.
+    Const(u32),
+    /// Push frame slot `i`.
+    Load(u16),
+    /// Pop the primitive's operands, apply it, push the result.
+    Prim(PrimOp),
+    /// Pop a boolean; jump to the absolute target when it is `false`.
+    JumpIfFalse(u32),
+    /// Unconditional jump to the absolute target (fuel: 0).
+    Jump(u32),
+    /// Call function-table entry `i`: pop its arity's worth of operands
+    /// into a fresh frame, push a return address.
+    Call(u32),
+    /// Push a closure over lambda-table entry `i`, capturing the slots
+    /// in its capture list from the current frame.
+    MakeClosure(u32),
+    /// Pop an argument, then a closure; enter the closure's chunk with
+    /// frame = captures ++ argument.
+    Apply,
+    /// Pop the operand-stack top into a fresh frame slot (`let`).
+    Bind,
+    /// Drop the newest frame slot on leaving a `let` body (fuel: 0).
+    Unbind,
+    /// Pop the current frame; return to the caller (fuel: 0). With no
+    /// caller left, the operand-stack top is the program's result.
+    Return,
+}
+
+/// A compiled top-level function.
+#[derive(Debug, Clone)]
+pub struct FnEntry {
+    /// Qualified source name (diagnostics and entry lookup).
+    pub name: QualName,
+    /// Number of parameters.
+    pub arity: u16,
+    /// Absolute entry address in the code stream.
+    pub entry: u32,
+}
+
+/// A compiled lambda.
+#[derive(Debug, Clone)]
+pub struct LambdaEntry {
+    /// Absolute entry address in the code stream.
+    pub entry: u32,
+    /// Enclosing-frame slots to capture, in frame order; the closure's
+    /// frame is these values followed by the single argument.
+    pub captures: Vec<u16>,
+}
+
+/// A program compiled to flat bytecode.
+#[derive(Debug, Clone, Default)]
+pub struct BcProgram {
+    code: Vec<Instr>,
+    consts: Vec<Const>,
+    fns: Vec<FnEntry>,
+    lambdas: Vec<LambdaEntry>,
+    index: BTreeMap<QualName, u32>,
+}
+
+impl BcProgram {
+    /// The flat instruction stream.
+    pub fn code(&self) -> &[Instr] {
+        &self.code
+    }
+
+    /// The constant pool.
+    pub fn consts(&self) -> &[Const] {
+        &self.consts
+    }
+
+    /// The function table.
+    pub fn fns(&self) -> &[FnEntry] {
+        &self.fns
+    }
+
+    /// The lambda table.
+    pub fn lambdas(&self) -> &[LambdaEntry] {
+        &self.lambdas
+    }
+
+    /// Function-table index of a qualified name, if compiled.
+    pub fn index_of(&self, q: &QualName) -> Option<u32> {
+        self.index.get(q).copied()
+    }
+
+    /// Number of compiled functions.
+    pub fn fn_count(&self) -> usize {
+        self.fns.len()
+    }
+
+    /// A deterministic, human-readable listing of the whole program:
+    /// constant pool, then each function and lambda chunk with absolute
+    /// addresses. Used by the golden bytecode tests.
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "== consts ({}) ==", self.consts.len());
+        for (i, c) in self.consts.iter().enumerate() {
+            let _ = writeln!(out, "  c{i} = {c}");
+        }
+        // Chunks are concatenated functions-then-lambdas in table order,
+        // so each chunk runs to the next chunk's entry.
+        let mut starts: Vec<(u32, String)> = self
+            .fns
+            .iter()
+            .map(|f| (f.entry, format!("fn {}/{}", f.name, f.arity)))
+            .chain(self.lambdas.iter().enumerate().map(|(i, l)| {
+                (l.entry, format!("lambda {i} captures {:?}", l.captures))
+            }))
+            .collect();
+        starts.sort_by_key(|(e, _)| *e);
+        for (k, (entry, header)) in starts.iter().enumerate() {
+            let end = starts
+                .get(k + 1)
+                .map_or(self.code.len(), |(e, _)| *e as usize);
+            let _ = writeln!(out, "== {header} ==");
+            for (addr, instr) in self.code[*entry as usize..end].iter().enumerate() {
+                let _ = writeln!(out, "  {:04}  {}", *entry as usize + addr, render(instr));
+            }
+        }
+        out
+    }
+}
+
+fn render(i: &Instr) -> String {
+    match i {
+        Instr::Const(c) => format!("const c{c}"),
+        Instr::Load(s) => format!("load {s}"),
+        Instr::Prim(op) => format!("prim {}", op.symbol()),
+        Instr::JumpIfFalse(t) => format!("jumpifnot {t:04}"),
+        Instr::Jump(t) => format!("jump {t:04}"),
+        Instr::Call(f) => format!("call f{f}"),
+        Instr::MakeClosure(l) => format!("closure l{l}"),
+        Instr::Apply => "apply".to_string(),
+        Instr::Bind => "bind".to_string(),
+        Instr::Unbind => "unbind".to_string(),
+        Instr::Return => "return".to_string(),
+    }
+}
+
+/// Errors raised while compiling to bytecode. Resolution guarantees none
+/// of these occur for resolver-produced programs; they exist so the
+/// compiler is panic-free on any [`crate::ast::Program`] handed to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BcError {
+    /// A call whose target was never resolved to a module.
+    UnresolvedCall(Ident),
+    /// A call to a function the program does not define.
+    UnknownFunction(QualName),
+    /// A variable with no binding in scope.
+    UnboundVariable(Ident),
+    /// A table or frame index overflowed its encoding.
+    TooLarge(&'static str),
+}
+
+impl fmt::Display for BcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BcError::UnresolvedCall(x) => write!(f, "unresolved call target `{x}`"),
+            BcError::UnknownFunction(q) => write!(f, "unknown function `{q}`"),
+            BcError::UnboundVariable(x) => write!(f, "unbound variable `{x}`"),
+            BcError::TooLarge(what) => write!(f, "bytecode limit exceeded: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for BcError {}
+
+/// Compiles a resolved program to flat bytecode.
+///
+/// # Errors
+///
+/// [`BcError`] — only for programs that bypass [`crate::resolve`]'s
+/// invariants (unresolved calls, unbound names) or overflow an index
+/// encoding.
+pub fn compile(rp: &ResolvedProgram) -> Result<BcProgram, BcError> {
+    // Assign function indices first: bodies may call forward.
+    let mut index = BTreeMap::new();
+    let mut order: Vec<(QualName, &crate::ast::Def)> = Vec::new();
+    for m in &rp.program().modules {
+        for d in &m.defs {
+            let q = QualName { module: m.name, name: d.name };
+            if order.len() > u32::MAX as usize {
+                return Err(BcError::TooLarge("function table"));
+            }
+            index.insert(q, order.len() as u32);
+            order.push((q, d));
+        }
+    }
+
+    let mut cx = Compiler {
+        index: &index,
+        consts: Vec::new(),
+        const_index: BTreeMap::new(),
+        lambda_chunks: Vec::new(),
+    };
+
+    // One chunk per function, lambdas accumulating on the side.
+    let mut fn_chunks = Vec::with_capacity(order.len());
+    let mut fns = Vec::with_capacity(order.len());
+    for (q, d) in &order {
+        let mut scope: Vec<Ident> = d.params.clone();
+        let mut chunk = Vec::new();
+        cx.emit(&d.body, &mut scope, &mut chunk)?;
+        chunk.push(Instr::Return);
+        if d.params.len() > u16::MAX as usize {
+            return Err(BcError::TooLarge("arity"));
+        }
+        fns.push(FnEntry { name: *q, arity: d.params.len() as u16, entry: 0 });
+        fn_chunks.push(chunk);
+    }
+
+    // Concatenate chunks (functions first, then lambdas in creation
+    // order) and rebase chunk-relative jump targets to absolute ones.
+    let mut code = Vec::new();
+    let mut lambdas = Vec::with_capacity(cx.lambda_chunks.len());
+    let place = |chunk: Vec<Instr>, code: &mut Vec<Instr>| -> Result<u32, BcError> {
+        let base = code.len();
+        if base + chunk.len() > u32::MAX as usize {
+            return Err(BcError::TooLarge("code stream"));
+        }
+        for instr in chunk {
+            code.push(match instr {
+                Instr::Jump(t) => Instr::Jump(t + base as u32),
+                Instr::JumpIfFalse(t) => Instr::JumpIfFalse(t + base as u32),
+                other => other,
+            });
+        }
+        Ok(base as u32)
+    };
+    for (f, chunk) in fns.iter_mut().zip(fn_chunks) {
+        f.entry = place(chunk, &mut code)?;
+    }
+    for (captures, chunk) in cx.lambda_chunks {
+        let entry = place(chunk, &mut code)?;
+        lambdas.push(LambdaEntry { entry, captures });
+    }
+
+    Ok(BcProgram { code, consts: cx.consts, fns, lambdas, index })
+}
+
+struct Compiler<'i> {
+    index: &'i BTreeMap<QualName, u32>,
+    consts: Vec<Const>,
+    const_index: BTreeMap<Const, u32>,
+    /// Finished lambda chunks: (capture slots, chunk-relative code).
+    lambda_chunks: Vec<(Vec<u16>, Vec<Instr>)>,
+}
+
+impl Compiler<'_> {
+    fn const_id(&mut self, c: Const) -> Result<u32, BcError> {
+        if let Some(i) = self.const_index.get(&c) {
+            return Ok(*i);
+        }
+        if self.consts.len() > u32::MAX as usize {
+            return Err(BcError::TooLarge("constant pool"));
+        }
+        let i = self.consts.len() as u32;
+        self.consts.push(c);
+        self.const_index.insert(c, i);
+        Ok(i)
+    }
+
+    fn slot(scope: &[Ident], x: &Ident) -> Result<u16, BcError> {
+        let i = scope
+            .iter()
+            .rposition(|s| s == x)
+            .ok_or(BcError::UnboundVariable(*x))?;
+        u16::try_from(i).map_err(|_| BcError::TooLarge("frame slot"))
+    }
+
+    fn emit(
+        &mut self,
+        e: &Expr,
+        scope: &mut Vec<Ident>,
+        out: &mut Vec<Instr>,
+    ) -> Result<(), BcError> {
+        match e {
+            Expr::Nat(n) => {
+                let c = self.const_id(Const::Nat(*n))?;
+                out.push(Instr::Const(c));
+            }
+            Expr::Bool(b) => {
+                let c = self.const_id(Const::Bool(*b))?;
+                out.push(Instr::Const(c));
+            }
+            Expr::Nil => {
+                let c = self.const_id(Const::Nil)?;
+                out.push(Instr::Const(c));
+            }
+            Expr::Var(x) => out.push(Instr::Load(Self::slot(scope, x)?)),
+            Expr::Prim(op, args) => {
+                for a in args {
+                    self.emit(a, scope, out)?;
+                }
+                out.push(Instr::Prim(*op));
+            }
+            Expr::If(c, t, f) => {
+                self.emit(c, scope, out)?;
+                let patch_else = out.len();
+                out.push(Instr::JumpIfFalse(0));
+                self.emit(t, scope, out)?;
+                let patch_end = out.len();
+                out.push(Instr::Jump(0));
+                let else_at = out.len() as u32;
+                self.emit(f, scope, out)?;
+                let end_at = out.len() as u32;
+                out[patch_else] = Instr::JumpIfFalse(else_at);
+                out[patch_end] = Instr::Jump(end_at);
+            }
+            Expr::Call(target, args) => {
+                let q = target
+                    .qualified_opt()
+                    .ok_or(BcError::UnresolvedCall(target.name))?;
+                let i = *self.index.get(&q).ok_or(BcError::UnknownFunction(q))?;
+                for a in args {
+                    self.emit(a, scope, out)?;
+                }
+                out.push(Instr::Call(i));
+            }
+            Expr::Lam(x, body) => {
+                // Closure conversion: capture exactly the free variables
+                // bound in the enclosing scope, in first-use order; the
+                // lambda's frame is those values followed by the argument.
+                let mut free = Vec::new();
+                free_vars(body, &mut vec![*x], &mut free);
+                let captured_names: Vec<Ident> =
+                    free.into_iter().filter(|v| scope.contains(v)).collect();
+                let captures = captured_names
+                    .iter()
+                    .map(|v| Self::slot(scope, v))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let mut inner_scope: Vec<Ident> = captured_names;
+                inner_scope.push(*x);
+                let mut chunk = Vec::new();
+                self.emit(body, &mut inner_scope, &mut chunk)?;
+                chunk.push(Instr::Return);
+                if self.lambda_chunks.len() > u32::MAX as usize {
+                    return Err(BcError::TooLarge("lambda table"));
+                }
+                let l = self.lambda_chunks.len() as u32;
+                self.lambda_chunks.push((captures, chunk));
+                out.push(Instr::MakeClosure(l));
+            }
+            Expr::App(f, a) => {
+                self.emit(f, scope, out)?;
+                self.emit(a, scope, out)?;
+                out.push(Instr::Apply);
+            }
+            Expr::Let(x, rhs, body) => {
+                self.emit(rhs, scope, out)?;
+                out.push(Instr::Bind);
+                scope.push(*x);
+                self.emit(body, scope, out)?;
+                scope.pop();
+                out.push(Instr::Unbind);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn free_vars(e: &Expr, bound: &mut Vec<Ident>, out: &mut Vec<Ident>) {
+    match e {
+        Expr::Nat(_) | Expr::Bool(_) | Expr::Nil => {}
+        Expr::Var(x) => {
+            if !bound.contains(x) && !out.contains(x) {
+                out.push(*x);
+            }
+        }
+        Expr::Prim(_, args) | Expr::Call(_, args) => {
+            args.iter().for_each(|a| free_vars(a, bound, out));
+        }
+        Expr::If(c, t, f) => {
+            free_vars(c, bound, out);
+            free_vars(t, bound, out);
+            free_vars(f, bound, out);
+        }
+        Expr::Lam(x, b) => {
+            bound.push(*x);
+            free_vars(b, bound, out);
+            bound.pop();
+        }
+        Expr::App(f, a) => {
+            free_vars(f, bound, out);
+            free_vars(a, bound, out);
+        }
+        Expr::Let(x, rhs, b) => {
+            free_vars(rhs, bound, out);
+            bound.push(*x);
+            free_vars(b, bound, out);
+            bound.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::resolve::resolve;
+
+    fn bc(src: &str) -> BcProgram {
+        compile(&resolve(parse_program(src).unwrap()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn constants_are_pooled_and_deduplicated() {
+        let p = bc("module M where\nmain = 1 + 1 + 2\n");
+        // 1 appears once in the pool.
+        assert_eq!(p.consts(), &[Const::Nat(1), Const::Nat(2)]);
+    }
+
+    #[test]
+    fn every_chunk_ends_in_return() {
+        let p = bc(
+            "module M where\n\
+             f x = if x == 0 then 1 else f (x - 1)\n\
+             g y = (\\v -> v + y) @ y\n",
+        );
+        // Function entries and lambda entries partition the stream; the
+        // last instruction of the stream must be Return and every entry
+        // is preceded by a Return (except the first).
+        assert_eq!(*p.code().last().unwrap(), Instr::Return);
+        for f in p.fns().iter().skip(1) {
+            assert_eq!(p.code()[f.entry as usize - 1], Instr::Return);
+        }
+        for l in p.lambdas() {
+            assert_eq!(p.code()[l.entry as usize - 1], Instr::Return);
+        }
+    }
+
+    #[test]
+    fn jump_targets_are_in_bounds_and_absolute() {
+        let p = bc(
+            "module M where\n\
+             f x = if x == 0 then 1 else if x == 1 then 2 else f (x - 2)\n",
+        );
+        for i in p.code() {
+            if let Instr::Jump(t) | Instr::JumpIfFalse(t) = i {
+                assert!((*t as usize) <= p.code().len());
+            }
+        }
+    }
+
+    #[test]
+    fn lambda_captures_enclosing_slots() {
+        let p = bc("module M where\nmain a b = (\\x -> a + x * b) @ 3\n");
+        assert_eq!(p.lambdas().len(), 1);
+        // Captures a (slot 0) and b (slot 1), in first-use order.
+        assert_eq!(p.lambdas()[0].captures, vec![0, 1]);
+    }
+
+    #[test]
+    fn unbound_variable_is_a_structured_error() {
+        // The resolver guarantees this never happens for whole programs;
+        // the compiler still reports it structurally rather than panic.
+        let err = Compiler::slot(&[Ident::new("x")], &Ident::new("ghost")).unwrap_err();
+        assert_eq!(err, BcError::UnboundVariable(Ident::new("ghost")));
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn disassembly_is_deterministic() {
+        let src = "module P where\npower n x = if n == 1 then x else x * power (n - 1) x\n";
+        let a = bc(src).disassemble();
+        let b = bc(src).disassemble();
+        assert_eq!(a, b);
+        assert!(a.contains("fn P.power/2"), "{a}");
+        assert!(a.contains("prim *"), "{a}");
+    }
+}

@@ -315,10 +315,12 @@ impl<'p> CEvaluator<'p> {
     }
 
     fn eval(&mut self, e: &CExpr, frame: &mut Vec<CValue>) -> Result<CValue, EvalError> {
-        self.fuel = self.fuel.checked_sub(1).ok_or(EvalError::FuelExhausted)?;
+        // Exact-spend fuel, matching `eval` and `vm`: a budget of n
+        // admits exactly n node entries.
         if self.fuel == 0 {
             return Err(EvalError::FuelExhausted);
         }
+        self.fuel -= 1;
         match e {
             CExpr::Nat(n) => Ok(CValue::Nat(*n)),
             CExpr::Bool(b) => Ok(CValue::Bool(*b)),

@@ -22,6 +22,10 @@
 //!   that specialisation preserves semantics,
 //! * [`compile`] — a slot-resolved compiled evaluator, used to *measure*
 //!   residual programs fairly (and run them fast),
+//! * [`bytecode`] / [`vm`] — the compiled fast path: closure conversion
+//!   to a flat instruction stream and an explicit-stack VM with no host
+//!   recursion, fuel-metered to the same totals as [`eval`]; the
+//!   [`vm::Runner`] enum selects between the two execution engines,
 //! * [`builder`] — an ergonomic API for constructing programs in Rust
 //!   (used by tests, examples and workload generators).
 //!
@@ -47,6 +51,7 @@
 
 pub mod ast;
 pub mod builder;
+pub mod bytecode;
 pub mod compile;
 pub mod error;
 pub mod eval;
@@ -58,8 +63,10 @@ pub mod parser;
 pub mod pretty;
 pub mod resolve;
 pub mod span;
+pub mod vm;
 
 pub use ast::{CallName, Def, Expr, Ident, ModName, Module, PrimOp, Program, QualName};
+pub use vm::Runner;
 pub use error::LangError;
 pub use intern::Sym;
 pub use json::{FromJson, Json, JsonError, ToJson};

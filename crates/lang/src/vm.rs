@@ -1,0 +1,697 @@
+//! Explicit-stack virtual machine over [`crate::bytecode`].
+//!
+//! The compiled fast path for running (residual) programs. Unlike the
+//! tree evaluator ([`crate::eval`], the semantic ground truth) and the
+//! slot-compiled evaluator ([`crate::compile`]), the VM keeps its call
+//! stack on the heap: object-language recursion never consumes host
+//! stack, so deep residual programs (folds over 50k-element lists, long
+//! unfolded call chains) run without `with_big_stack` and without a
+//! depth limit.
+//!
+//! Fuel is metered to the same *total* as the tree evaluator: one unit
+//! per AST node of the original expression (see the metering contract in
+//! [`crate::bytecode`]), with the exact-spend semantics of a budget of
+//! `n` admitting exactly `n` charges. The differential suite
+//! (`tests/vm_differential.rs`) checks value, error class and fuel
+//! agreement on random programs.
+//!
+//! Values mirror [`crate::eval::Value`] except for functions: a VM
+//! closure is a lambda-table index plus captured slot values, not an
+//! expression plus environment, so function values cannot cross the VM
+//! boundary in either direction. Every entry point in this repository
+//! passes and returns first-order data, so [`Runner::Vm`] is a drop-in
+//! default; programs that need to *return* a closure must use
+//! [`Runner::Tree`].
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use crate::ast::{PrimOp, QualName};
+use crate::bytecode::{compile, BcError, BcProgram, Const, Instr};
+use crate::eval::{EvalError, Evaluator, Value, DEFAULT_FUEL};
+use crate::resolve::ResolvedProgram;
+use std::fmt;
+use std::rc::Rc;
+
+/// A run-time value of the VM.
+#[derive(Debug, Clone)]
+pub enum VmVal {
+    /// A natural number.
+    Nat(u64),
+    /// A boolean.
+    Bool(bool),
+    /// The empty list.
+    Nil,
+    /// A cons cell.
+    Cons(Rc<VmVal>, Rc<VmVal>),
+    /// A function value: a lambda-table index and its captured values.
+    Clo(Rc<VmClosure>),
+}
+
+/// A VM closure: which lambda, over which captured values.
+#[derive(Debug)]
+pub struct VmClosure {
+    /// Lambda-table index.
+    pub lambda: u32,
+    /// Captured values, in the lambda's capture order.
+    pub env: Vec<VmVal>,
+}
+
+impl VmVal {
+    /// Converts an evaluator value into a VM value. Iterative along the
+    /// cons spine, so arbitrarily long lists convert in constant host
+    /// stack (nesting inside list *elements* still recurses).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::TypeMismatch`] for closures — tree-evaluator function
+    /// values have no VM representation.
+    pub fn from_value(v: &Value) -> Result<VmVal, EvalError> {
+        match v {
+            Value::Nat(n) => Ok(VmVal::Nat(*n)),
+            Value::Bool(b) => Ok(VmVal::Bool(*b)),
+            Value::Nil => Ok(VmVal::Nil),
+            Value::Cons(..) => {
+                let mut spine = Vec::new();
+                let mut cur = v;
+                while let Value::Cons(h, t) = cur {
+                    spine.push(VmVal::from_value(h)?);
+                    cur = t;
+                }
+                let mut acc = VmVal::from_value(cur)?;
+                for h in spine.into_iter().rev() {
+                    acc = VmVal::Cons(Rc::new(h), Rc::new(acc));
+                }
+                Ok(acc)
+            }
+            Value::Closure(_) => Err(EvalError::TypeMismatch(
+                "function values cannot cross the VM boundary".into(),
+            )),
+        }
+    }
+
+    /// Converts a VM value back into an evaluator value (iterative along
+    /// the cons spine, like [`VmVal::from_value`]).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::TypeMismatch`] for closures (see [`VmVal::from_value`]).
+    pub fn to_value(&self) -> Result<Value, EvalError> {
+        match self {
+            VmVal::Nat(n) => Ok(Value::Nat(*n)),
+            VmVal::Bool(b) => Ok(Value::Bool(*b)),
+            VmVal::Nil => Ok(Value::Nil),
+            VmVal::Cons(..) => {
+                let mut spine = Vec::new();
+                let mut cur = self;
+                while let VmVal::Cons(h, t) = cur {
+                    spine.push(h.to_value()?);
+                    cur = t;
+                }
+                let mut acc = cur.to_value()?;
+                for h in spine.into_iter().rev() {
+                    acc = Value::Cons(Rc::new(h), Rc::new(acc));
+                }
+                Ok(acc)
+            }
+            VmVal::Clo(_) => Err(EvalError::TypeMismatch(
+                "function values cannot cross the VM boundary".into(),
+            )),
+        }
+    }
+
+    fn as_nat(&self, op: PrimOp) -> Result<u64, EvalError> {
+        match self {
+            VmVal::Nat(n) => Ok(*n),
+            other => Err(EvalError::TypeMismatch(format!(
+                "{} expects a natural, got {other}",
+                op.symbol()
+            ))),
+        }
+    }
+
+    fn as_bool(&self, op: PrimOp) -> Result<bool, EvalError> {
+        match self {
+            VmVal::Bool(b) => Ok(*b),
+            other => Err(EvalError::TypeMismatch(format!(
+                "{} expects a boolean, got {other}",
+                op.symbol()
+            ))),
+        }
+    }
+}
+
+thread_local! {
+    /// Shared empty-list sentinel for the iterative drop below; cloning
+    /// it is a refcount bump, not an allocation.
+    static NIL: Rc<VmVal> = Rc::new(VmVal::Nil);
+}
+
+impl Drop for VmVal {
+    fn drop(&mut self) {
+        // Dropping a long list must not recurse one host frame per cell:
+        // steal each uniquely-owned tail and unlink the spine in a loop.
+        // A shared tail just loses one reference and ends the walk.
+        let VmVal::Cons(_, tail) = self else { return };
+        let mut next = NIL.with(|n| std::mem::replace(tail, n.clone()));
+        while let Ok(mut v) = Rc::try_unwrap(next) {
+            match &mut v {
+                VmVal::Cons(_, tail) => {
+                    next = NIL.with(|n| std::mem::replace(tail, n.clone()));
+                    // `v` now ends in Nil, so its own drop is shallow.
+                }
+                _ => break,
+            }
+        }
+    }
+}
+
+impl fmt::Display for VmVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmVal::Nat(n) => write!(f, "{n}"),
+            VmVal::Bool(b) => write!(f, "{b}"),
+            VmVal::Nil => write!(f, "[]"),
+            VmVal::Cons(..) => {
+                // Proper lists print like `Value`; improper ones cannot be
+                // built by the object language.
+                write!(f, "[")?;
+                let mut cur = self;
+                let mut first = true;
+                loop {
+                    match cur {
+                        VmVal::Cons(h, t) => {
+                            if !first {
+                                write!(f, ", ")?;
+                            }
+                            first = false;
+                            write!(f, "{h}")?;
+                            cur = t;
+                        }
+                        VmVal::Nil => return write!(f, "]"),
+                        other => return write!(f, "| {other}]"),
+                    }
+                }
+            }
+            VmVal::Clo(_) => write!(f, "<closure>"),
+        }
+    }
+}
+
+/// One call frame: the function's (or lambda's) local slots plus where
+/// to resume in the caller.
+#[derive(Debug)]
+struct Frame {
+    locals: Vec<VmVal>,
+    ret_pc: usize,
+}
+
+fn internal(what: &str) -> EvalError {
+    EvalError::TypeMismatch(format!("vm internal error: {what}"))
+}
+
+/// Maps a bytecode-compilation error onto the evaluator's error type, so
+/// both runners share one error surface.
+pub fn bc_error(e: BcError) -> EvalError {
+    match e {
+        BcError::UnknownFunction(q) => EvalError::UnknownFunction(q),
+        BcError::UnboundVariable(x) => EvalError::UnboundVariable(x),
+        BcError::UnresolvedCall(x) => {
+            EvalError::TypeMismatch(format!("unresolved call target `{x}`"))
+        }
+        BcError::TooLarge(what) => {
+            EvalError::TypeMismatch(format!("bytecode limit exceeded: {what}"))
+        }
+    }
+}
+
+/// An explicit-stack interpreter over a compiled program.
+#[derive(Debug)]
+pub struct Vm<'p> {
+    bc: &'p BcProgram,
+    fuel: u64,
+}
+
+impl<'p> Vm<'p> {
+    /// Creates a VM with [`DEFAULT_FUEL`].
+    pub fn new(bc: &'p BcProgram) -> Vm<'p> {
+        Vm { bc, fuel: DEFAULT_FUEL }
+    }
+
+    /// Creates a VM with a custom step budget (a budget of `n` admits
+    /// exactly `n` fuel-charging instructions).
+    pub fn with_fuel(bc: &'p BcProgram, fuel: u64) -> Vm<'p> {
+        Vm { bc, fuel }
+    }
+
+    /// Remaining fuel.
+    pub fn fuel_left(&self) -> u64 {
+        self.fuel
+    }
+
+    #[inline]
+    fn spend(&mut self) -> Result<(), EvalError> {
+        if self.fuel == 0 {
+            return Err(EvalError::FuelExhausted);
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    /// Calls a top-level function with evaluator values at the boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::UnknownFunction`] if the function was not compiled,
+    /// [`EvalError::TypeMismatch`] on an argument-count mismatch or a
+    /// function value at the boundary, plus any error the body raises.
+    pub fn call(&mut self, q: &QualName, args: Vec<Value>) -> Result<Value, EvalError> {
+        let idx = self.bc.index_of(q).ok_or(EvalError::UnknownFunction(*q))?;
+        let f = self
+            .bc
+            .fns()
+            .get(idx as usize)
+            .ok_or_else(|| internal("function index out of range"))?;
+        if f.arity as usize != args.len() {
+            return Err(EvalError::TypeMismatch(format!(
+                "{q} expects {} arguments, got {}",
+                f.arity,
+                args.len()
+            )));
+        }
+        let locals = args
+            .iter()
+            .map(VmVal::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        self.run_at(f.entry, locals)?.to_value()
+    }
+
+    /// The dispatch loop: executes from `entry` with the given frame
+    /// until the outermost chunk returns.
+    fn run_at(&mut self, entry: u32, locals: Vec<VmVal>) -> Result<VmVal, EvalError> {
+        let code = self.bc.code();
+        let mut stack: Vec<VmVal> = Vec::with_capacity(32);
+        let mut frames: Vec<Frame> = vec![Frame { locals, ret_pc: 0 }];
+        let mut pc = entry as usize;
+        loop {
+            let instr = *code.get(pc).ok_or_else(|| internal("pc out of bounds"))?;
+            match instr {
+                Instr::Const(c) => {
+                    self.spend()?;
+                    let k = self
+                        .bc
+                        .consts()
+                        .get(c as usize)
+                        .ok_or_else(|| internal("constant index out of range"))?;
+                    stack.push(match k {
+                        Const::Nat(n) => VmVal::Nat(*n),
+                        Const::Bool(b) => VmVal::Bool(*b),
+                        Const::Nil => VmVal::Nil,
+                    });
+                    pc += 1;
+                }
+                Instr::Load(s) => {
+                    self.spend()?;
+                    let fr = frames.last().ok_or_else(|| internal("no frame"))?;
+                    let v = fr
+                        .locals
+                        .get(s as usize)
+                        .ok_or_else(|| internal("slot out of range"))?
+                        .clone();
+                    stack.push(v);
+                    pc += 1;
+                }
+                Instr::Prim(op) => {
+                    self.spend()?;
+                    let r = if op.arity() == 1 {
+                        let a = stack.pop().ok_or_else(|| internal("stack underflow"))?;
+                        apply_prim1(op, &a)?
+                    } else {
+                        let b = stack.pop().ok_or_else(|| internal("stack underflow"))?;
+                        let a = stack.pop().ok_or_else(|| internal("stack underflow"))?;
+                        apply_prim2(op, &a, &b)?
+                    };
+                    stack.push(r);
+                    pc += 1;
+                }
+                Instr::JumpIfFalse(t) => {
+                    self.spend()?;
+                    match stack.pop().ok_or_else(|| internal("stack underflow"))? {
+                        VmVal::Bool(true) => pc += 1,
+                        VmVal::Bool(false) => pc = t as usize,
+                        other => {
+                            return Err(EvalError::TypeMismatch(format!(
+                                "if condition must be boolean, got {other}"
+                            )))
+                        }
+                    }
+                }
+                Instr::Jump(t) => pc = t as usize,
+                Instr::Call(i) => {
+                    self.spend()?;
+                    let f = self
+                        .bc
+                        .fns()
+                        .get(i as usize)
+                        .ok_or_else(|| internal("function index out of range"))?;
+                    let n = f.arity as usize;
+                    if stack.len() < n {
+                        return Err(internal("stack underflow"));
+                    }
+                    let locals = stack.split_off(stack.len() - n);
+                    frames.push(Frame { locals, ret_pc: pc + 1 });
+                    pc = f.entry as usize;
+                }
+                Instr::MakeClosure(l) => {
+                    self.spend()?;
+                    let lam = self
+                        .bc
+                        .lambdas()
+                        .get(l as usize)
+                        .ok_or_else(|| internal("lambda index out of range"))?;
+                    let fr = frames.last().ok_or_else(|| internal("no frame"))?;
+                    let env = lam
+                        .captures
+                        .iter()
+                        .map(|s| {
+                            fr.locals
+                                .get(*s as usize)
+                                .cloned()
+                                .ok_or_else(|| internal("capture slot out of range"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    stack.push(VmVal::Clo(Rc::new(VmClosure { lambda: l, env })));
+                    pc += 1;
+                }
+                Instr::Apply => {
+                    self.spend()?;
+                    let arg = stack.pop().ok_or_else(|| internal("stack underflow"))?;
+                    let fv = stack.pop().ok_or_else(|| internal("stack underflow"))?;
+                    match &fv {
+                        VmVal::Clo(c) => {
+                            let lam = self
+                                .bc
+                                .lambdas()
+                                .get(c.lambda as usize)
+                                .ok_or_else(|| internal("lambda index out of range"))?;
+                            let mut locals = c.env.clone();
+                            locals.push(arg);
+                            frames.push(Frame { locals, ret_pc: pc + 1 });
+                            pc = lam.entry as usize;
+                        }
+                        other => {
+                            return Err(EvalError::TypeMismatch(format!(
+                                "applied non-function {other}"
+                            )))
+                        }
+                    }
+                }
+                Instr::Bind => {
+                    self.spend()?;
+                    let v = stack.pop().ok_or_else(|| internal("stack underflow"))?;
+                    frames
+                        .last_mut()
+                        .ok_or_else(|| internal("no frame"))?
+                        .locals
+                        .push(v);
+                    pc += 1;
+                }
+                Instr::Unbind => {
+                    frames
+                        .last_mut()
+                        .ok_or_else(|| internal("no frame"))?
+                        .locals
+                        .pop()
+                        .ok_or_else(|| internal("unbind of empty frame"))?;
+                    pc += 1;
+                }
+                Instr::Return => {
+                    let fr = frames.pop().ok_or_else(|| internal("no frame"))?;
+                    if frames.is_empty() {
+                        return stack.pop().ok_or_else(|| internal("stack underflow"));
+                    }
+                    pc = fr.ret_pc;
+                }
+            }
+        }
+    }
+}
+
+/// Unary primitives, semantics identical to [`crate::eval::apply_prim`].
+fn apply_prim1(op: PrimOp, a: &VmVal) -> Result<VmVal, EvalError> {
+    match op {
+        PrimOp::Not => Ok(VmVal::Bool(!a.as_bool(op)?)),
+        PrimOp::Head => match a {
+            VmVal::Cons(h, _) => Ok((**h).clone()),
+            VmVal::Nil => Err(EvalError::EmptyList("head")),
+            other => Err(EvalError::TypeMismatch(format!(
+                "head expects a list, got {other}"
+            ))),
+        },
+        PrimOp::Tail => match a {
+            VmVal::Cons(_, t) => Ok((**t).clone()),
+            VmVal::Nil => Err(EvalError::EmptyList("tail")),
+            other => Err(EvalError::TypeMismatch(format!(
+                "tail expects a list, got {other}"
+            ))),
+        },
+        PrimOp::Null => match a {
+            VmVal::Nil => Ok(VmVal::Bool(true)),
+            VmVal::Cons(..) => Ok(VmVal::Bool(false)),
+            other => Err(EvalError::TypeMismatch(format!(
+                "null expects a list, got {other}"
+            ))),
+        },
+        other => Err(internal(&format!("unary dispatch of binary {other:?}"))),
+    }
+}
+
+/// Binary primitives, semantics identical to [`crate::eval::apply_prim`]
+/// (wrapping add/mul, saturating sub, checked div, strict and/or).
+fn apply_prim2(op: PrimOp, a: &VmVal, b: &VmVal) -> Result<VmVal, EvalError> {
+    match op {
+        PrimOp::Add => Ok(VmVal::Nat(a.as_nat(op)?.wrapping_add(b.as_nat(op)?))),
+        PrimOp::Sub => Ok(VmVal::Nat(a.as_nat(op)?.saturating_sub(b.as_nat(op)?))),
+        PrimOp::Mul => Ok(VmVal::Nat(a.as_nat(op)?.wrapping_mul(b.as_nat(op)?))),
+        PrimOp::Div => match a.as_nat(op)?.checked_div(b.as_nat(op)?) {
+            Some(q) => Ok(VmVal::Nat(q)),
+            None => Err(EvalError::DivByZero),
+        },
+        PrimOp::Eq => Ok(VmVal::Bool(a.as_nat(op)? == b.as_nat(op)?)),
+        PrimOp::Lt => Ok(VmVal::Bool(a.as_nat(op)? < b.as_nat(op)?)),
+        PrimOp::Leq => Ok(VmVal::Bool(a.as_nat(op)? <= b.as_nat(op)?)),
+        PrimOp::And => Ok(VmVal::Bool(a.as_bool(op)? && b.as_bool(op)?)),
+        PrimOp::Or => Ok(VmVal::Bool(a.as_bool(op)? || b.as_bool(op)?)),
+        PrimOp::Cons => Ok(VmVal::Cons(Rc::new(a.clone()), Rc::new(b.clone()))),
+        other => Err(internal(&format!("binary dispatch of unary {other:?}"))),
+    }
+}
+
+/// Which execution engine runs a (residual) program.
+///
+/// The tree evaluator is the semantic ground truth; the VM is the
+/// measured fast path and the default. They agree on value, error class
+/// and total fuel (checked by `tests/vm_differential.rs`); the only
+/// intended divergence is host-resource behaviour — the tree evaluator
+/// can raise [`EvalError::DepthExceeded`] on deeply nested programs,
+/// the VM never does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Runner {
+    /// The recursive reference interpreter ([`crate::eval`]).
+    Tree,
+    /// The flat-bytecode VM (this module).
+    #[default]
+    Vm,
+}
+
+impl Runner {
+    /// Parses a runner name, as written on the CLI.
+    pub fn parse(s: &str) -> Option<Runner> {
+        match s {
+            "tree" => Some(Runner::Tree),
+            "vm" => Some(Runner::Vm),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Runner::Tree => "tree",
+            Runner::Vm => "vm",
+        }
+    }
+
+    /// Runs `entry` of a resolved program on `args` under this engine
+    /// with the given fuel.
+    ///
+    /// # Errors
+    ///
+    /// Any [`EvalError`]; for [`Runner::Vm`] additionally a
+    /// [`EvalError::TypeMismatch`] if a function value crosses the
+    /// call boundary in either direction.
+    pub fn run(
+        self,
+        rp: &ResolvedProgram,
+        entry: &QualName,
+        args: Vec<Value>,
+        fuel: u64,
+    ) -> Result<Value, EvalError> {
+        match self {
+            Runner::Tree => Evaluator::with_fuel(rp, fuel).call(entry, args),
+            Runner::Vm => {
+                let bc = compile(rp).map_err(bc_error)?;
+                Vm::with_fuel(&bc, fuel).call(entry, args)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Runner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::resolve::resolve;
+
+    fn run_main(src: &str, args: Vec<Value>) -> Result<Value, EvalError> {
+        let rp = resolve(parse_program(src).unwrap()).unwrap();
+        let main = *rp.functions().find(|q| q.name.as_str() == "main").unwrap();
+        Runner::Vm.run(&rp, &main, args, DEFAULT_FUEL)
+    }
+
+    #[test]
+    fn power_computes_exponentials() {
+        let src = "module Power where\n\
+                   power n x = if n == 1 then x else x * power (n - 1) x\n\
+                   main y = power 5 y\n";
+        assert_eq!(run_main(src, vec![Value::nat(2)]).unwrap(), Value::nat(32));
+        assert_eq!(run_main(src, vec![Value::nat(3)]).unwrap(), Value::nat(243));
+    }
+
+    #[test]
+    fn higher_order_twice() {
+        let src = "module M where\n\
+                   twice f x = f @ (f @ x)\n\
+                   main y = twice (\\x -> x + 3) y\n";
+        assert_eq!(run_main(src, vec![Value::nat(10)]).unwrap(), Value::nat(16));
+    }
+
+    #[test]
+    fn map_over_lists() {
+        let src = "module M where\n\
+                   map f xs = if null xs then [] else f @ (head xs) : map f (tail xs)\n\
+                   main z ys = map (\\x -> x + z) ys\n";
+        let ys = Value::list(vec![Value::nat(1), Value::nat(2), Value::nat(3)]);
+        let got = run_main(src, vec![Value::nat(10), ys]).unwrap();
+        assert_eq!(
+            got,
+            Value::list(vec![Value::nat(11), Value::nat(12), Value::nat(13)])
+        );
+    }
+
+    #[test]
+    fn closures_capture_their_environment() {
+        let src = "module M where\n\
+                   apply f x = f @ x\n\
+                   main y = apply (let k = y * 2 in \\x -> x + k) 1\n";
+        assert_eq!(run_main(src, vec![Value::nat(10)]).unwrap(), Value::nat(21));
+    }
+
+    #[test]
+    fn errors_match_the_tree_evaluator() {
+        assert_eq!(
+            run_main("module M where\nmain y = 10 / y\n", vec![Value::nat(0)]),
+            Err(EvalError::DivByZero)
+        );
+        assert_eq!(
+            run_main("module M where\nmain = head []\n", vec![]),
+            Err(EvalError::EmptyList("head"))
+        );
+    }
+
+    #[test]
+    fn divergence_exhausts_fuel_without_host_stack() {
+        // 200k fuel of self-recursion on an ordinary test thread: the VM
+        // keeps frames on the heap, so no big-stack wrapper is needed.
+        let src = "module M where\nloop x = loop x\nmain y = loop y\n";
+        let rp = resolve(parse_program(src).unwrap()).unwrap();
+        let bc = compile(&rp).unwrap();
+        let mut vm = Vm::with_fuel(&bc, 200_000);
+        assert_eq!(
+            vm.call(&QualName::new("M", "main"), vec![Value::nat(1)]),
+            Err(EvalError::FuelExhausted)
+        );
+        assert_eq!(vm.fuel_left(), 0);
+    }
+
+    #[test]
+    fn deep_fold_runs_in_constant_host_stack() {
+        // Sum a 100k-element list with non-tail recursion: 100k nested
+        // frames live on the heap, not the host stack. Only the input
+        // needs a big-stack thread — `eval::Value`'s derived drop still
+        // recurses along the spine; the VM itself never does.
+        crate::eval::with_big_stack(|| {
+            let src = "module M where\n\
+                       sum xs = if null xs then 0 else head xs + sum (tail xs)\n\
+                       main ys = sum ys\n";
+            let n = 100_000u64;
+            let ys = Value::list((0..n).map(Value::nat).collect());
+            assert_eq!(
+                run_main(src, vec![ys]).unwrap(),
+                Value::nat(n * (n - 1) / 2)
+            );
+        });
+    }
+
+    #[test]
+    fn fuel_total_matches_tree_evaluator() {
+        let src = "module Power where\n\
+                   power n x = if n == 1 then x else x * power (n - 1) x\n\
+                   main y = let z = y + 1 in power 7 z\n";
+        let rp = resolve(parse_program(src).unwrap()).unwrap();
+        let main = QualName::new("Power", "main");
+
+        let mut ev = Evaluator::with_fuel(&rp, DEFAULT_FUEL);
+        let tv = ev.call(&main, vec![Value::nat(2)]).unwrap();
+        let tree_spent = DEFAULT_FUEL - ev.fuel_left();
+
+        let bc = compile(&rp).unwrap();
+        let mut vm = Vm::with_fuel(&bc, DEFAULT_FUEL);
+        let vv = vm.call(&main, vec![Value::nat(2)]).unwrap();
+        let vm_spent = DEFAULT_FUEL - vm.fuel_left();
+
+        assert_eq!(tv, vv);
+        assert_eq!(tree_spent, vm_spent, "metering contract violated");
+    }
+
+    #[test]
+    fn closure_result_is_a_boundary_error() {
+        let err = run_main("module M where\nmain = \\x -> x\n", vec![]).unwrap_err();
+        assert!(matches!(err, EvalError::TypeMismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn runner_parse_roundtrip() {
+        assert_eq!(Runner::parse("tree"), Some(Runner::Tree));
+        assert_eq!(Runner::parse("vm"), Some(Runner::Vm));
+        assert_eq!(Runner::parse("jit"), None);
+        assert_eq!(Runner::default(), Runner::Vm);
+        assert_eq!(Runner::Tree.to_string(), "tree");
+    }
+
+    #[test]
+    fn unknown_function_at_the_boundary() {
+        let rp = resolve(parse_program("module M where\nmain = 1\n").unwrap()).unwrap();
+        let bc = compile(&rp).unwrap();
+        assert!(matches!(
+            Vm::new(&bc).call(&QualName::new("M", "ghost"), vec![]),
+            Err(EvalError::UnknownFunction(_))
+        ));
+    }
+}

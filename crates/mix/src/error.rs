@@ -2,6 +2,7 @@
 
 use mspec_bta::BtaError;
 use mspec_genext::SpecError;
+use mspec_lang::eval::EvalError;
 use mspec_lang::LangError;
 use mspec_types::TypeError;
 use std::error::Error;
@@ -18,6 +19,8 @@ pub enum MixError {
     Bta(BtaError),
     /// Specialisation failure (shares the engine's error vocabulary).
     Spec(SpecError),
+    /// Run-time failure while executing a residual program.
+    Eval(EvalError),
 }
 
 impl fmt::Display for MixError {
@@ -27,6 +30,7 @@ impl fmt::Display for MixError {
             MixError::Type(e) => write!(f, "{e}"),
             MixError::Bta(e) => write!(f, "{e}"),
             MixError::Spec(e) => write!(f, "{e}"),
+            MixError::Eval(e) => write!(f, "{e}"),
         }
     }
 }
@@ -54,6 +58,12 @@ impl From<BtaError> for MixError {
 impl From<SpecError> for MixError {
     fn from(e: SpecError) -> Self {
         MixError::Spec(e)
+    }
+}
+
+impl From<EvalError> for MixError {
+    fn from(e: EvalError) -> Self {
+        MixError::Eval(e)
     }
 }
 

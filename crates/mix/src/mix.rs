@@ -19,6 +19,7 @@ use mspec_lang::ast::{CallName, Def, Expr, Ident, ModName, PrimOp, Program, Qual
 use mspec_lang::eval::Value;
 use mspec_lang::parser::parse_program;
 use mspec_lang::resolve::{resolve, ResolvedProgram};
+use mspec_lang::vm::Runner;
 use mspec_types::infer_program;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::rc::Rc;
@@ -81,6 +82,28 @@ pub struct MixOutcome {
     pub stats: MixStats,
     /// Phase timings of this session.
     pub phases: MixPhases,
+}
+
+impl MixOutcome {
+    /// Runs the residual program on the dynamic inputs under the given
+    /// execution engine (the same [`Runner`] selection as
+    /// `Specialised::run_with`, so mix-baseline and genext residuals are
+    /// measured on equal footing).
+    ///
+    /// # Errors
+    ///
+    /// Resolution errors (never for mix-produced programs) or run-time
+    /// evaluation errors.
+    pub fn run_with(
+        &self,
+        runner: Runner,
+        dynamic_args: Vec<Value>,
+    ) -> Result<Value, MixError> {
+        let rp = resolve(self.residual.program.clone())?;
+        runner
+            .run(&rp, &self.residual.entry, dynamic_args, mspec_lang::eval::DEFAULT_FUEL)
+            .map_err(MixError::from)
+    }
 }
 
 /// A full mix session from source text: parse + resolve + typecheck +

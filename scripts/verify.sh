@@ -16,6 +16,9 @@ timeout 900 cargo build --release --offline
 echo "==> fault-injection suite (offline, 300s budget)"
 timeout 300 cargo test -q --offline -p mspec-core --test fault_injection
 
+echo "==> VM differential suite (offline, 300s budget)"
+timeout 300 cargo test -q --offline -p mspec-core --test vm_differential
+
 echo "==> cargo test -q (offline)"
 timeout 1800 cargo test -q --offline
 

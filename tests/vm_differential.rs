@@ -1,0 +1,351 @@
+//! Differential tests: the bytecode VM against the tree evaluator.
+//!
+//! The tree evaluator (`mspec_lang::eval`) is the semantic ground truth;
+//! the VM (`mspec_lang::vm`) is the default fast path. For hundreds of
+//! randomly generated well-typed, total modular programs — and for the
+//! residual programs specialisation produces from them, including the
+//! generalising-fallback residuals the budget machinery emits — the two
+//! must agree on:
+//!
+//!   * the result value,
+//!   * the error class (division by zero, empty list, fuel exhaustion),
+//!   * the exact fuel boundary: a budget that admits a run on one engine
+//!     admits it on the other, and one unit less starves both.
+//!
+//! The single *intended* divergence is host-resource behaviour: the tree
+//! evaluator raises `EvalError::DepthExceeded` on deeply nested data,
+//! the explicit-stack VM does not. Two golden disassembly snapshots pin
+//! the compiled form of the E-series workloads (`power`, `interp`).
+
+use mspec_core::{EngineOptions, OnExhaustion, Pipeline, SpecArg, SpecBudget};
+use mspec_lang::bytecode::compile;
+use mspec_lang::eval::{with_big_stack, EvalError, Evaluator, Value, DEFAULT_FUEL};
+use mspec_lang::parser::parse_program;
+use mspec_lang::resolve::{resolve, ResolvedProgram};
+use mspec_lang::vm::{Runner, Vm};
+use mspec_lang::QualName;
+use mspec_testkit::random::{random_program, random_value, GTy, GenConfig};
+use mspec_testkit::TestRng;
+
+/// Runs `entry` on both engines with the given fuel and asserts the
+/// outcomes are identical (value or error class).
+fn assert_agree(
+    rp: &ResolvedProgram,
+    entry: &QualName,
+    args: &[Value],
+    fuel: u64,
+    context: &str,
+) -> Result<Value, EvalError> {
+    let tree = Runner::Tree.run(rp, entry, args.to_vec(), fuel);
+    let vm = Runner::Vm.run(rp, entry, args.to_vec(), fuel);
+    assert_eq!(tree, vm, "tree and VM disagree on {entry} ({context})");
+    tree
+}
+
+/// Picks a random entry with first-order parameters plus matching random
+/// argument values.
+fn pick_entry(
+    g: &mspec_testkit::random::GeneratedProgram,
+    rng: &mut TestRng,
+) -> Option<(QualName, Vec<Value>)> {
+    let candidates: Vec<_> = g
+        .functions
+        .iter()
+        .filter(|(_, params)| params.iter().all(|t| *t != GTy::FunNat))
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    let (entry, params) = candidates[rng.gen_range(0..candidates.len())].clone();
+    let mut args = Vec::new();
+    for t in params {
+        args.push(random_value(t, rng)?);
+    }
+    Some((entry, args))
+}
+
+/// ≥200 random programs: source semantics agree tree-vs-VM.
+#[test]
+fn random_programs_agree() {
+    let mut rng = TestRng::seed_from_u64(0xB1C0DE);
+    let mut compared = 0usize;
+    let mut seed = 0u64;
+    while compared < 200 {
+        let g = random_program(&GenConfig {
+            modules: 3,
+            defs_per_module: 3,
+            max_depth: 4,
+            seed,
+        });
+        seed += 1;
+        let Some((entry, args)) = pick_entry(&g, &mut rng) else {
+            continue;
+        };
+        let rp = resolve(g.program.clone()).unwrap();
+        let r = assert_agree(&rp, &entry, &args, DEFAULT_FUEL, &format!("seed {}", seed - 1));
+        assert!(r.is_ok(), "testkit programs are total, got {r:?}");
+        compared += 1;
+    }
+    assert!(compared >= 200);
+}
+
+/// Random programs, specialised: the residual program agrees tree-vs-VM
+/// on the dynamic arguments, and both match the source oracle.
+#[test]
+fn random_residuals_agree() {
+    let mut rng = TestRng::seed_from_u64(0xD1FF);
+    let mut compared = 0usize;
+    let mut seed = 10_000u64;
+    while compared < 40 {
+        let g = random_program(&GenConfig {
+            modules: 3,
+            defs_per_module: 3,
+            max_depth: 4,
+            seed,
+        });
+        seed += 1;
+        let Some((entry, args)) = pick_entry(&g, &mut rng) else {
+            continue;
+        };
+        let mut spec_args = Vec::new();
+        let mut dyn_args = Vec::new();
+        for v in &args {
+            if rng.gen_bool(0.5) {
+                spec_args.push(SpecArg::Static(v.clone()));
+            } else {
+                spec_args.push(SpecArg::Dynamic);
+                dyn_args.push(v.clone());
+            }
+        }
+
+        let rp = resolve(g.program.clone()).unwrap();
+        let expected = Evaluator::new(&rp).call(&entry, args.clone()).unwrap();
+
+        let pipeline = Pipeline::from_program(g.program.clone()).unwrap();
+        let s = pipeline
+            .specialise(entry.module.as_str(), entry.name.as_str(), spec_args)
+            .unwrap_or_else(|e| panic!("specialise failed on seed {}: {e}", seed - 1));
+        let rrp = resolve(s.residual.program.clone()).unwrap();
+        let got = assert_agree(
+            &rrp,
+            &s.residual.entry,
+            &dyn_args,
+            DEFAULT_FUEL,
+            &format!("residual, seed {}", seed - 1),
+        )
+        .unwrap();
+        assert_eq!(got, expected, "residual diverges from oracle on seed {}", seed - 1);
+        compared += 1;
+    }
+}
+
+/// The exact fuel boundary is shared: if the tree evaluator completes a
+/// run in S charges, fuel S succeeds and fuel S − 1 exhausts — on both
+/// engines.
+#[test]
+fn fuel_boundary_is_shared() {
+    let rp = resolve(
+        parse_program(
+            "module Power where\n\
+             power n x = if n == 1 then x else x * power (n - 1) x\n",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let entry = QualName::new("Power", "power");
+    let args = vec![Value::nat(10), Value::nat(2)];
+
+    let mut ev = Evaluator::with_fuel(&rp, DEFAULT_FUEL);
+    ev.call(&entry, args.clone()).unwrap();
+    let spent = DEFAULT_FUEL - ev.fuel_left();
+    assert!(spent > 0);
+
+    let at = assert_agree(&rp, &entry, &args, spent, "fuel = spent");
+    assert_eq!(at, Ok(Value::nat(1024)));
+    let under = assert_agree(&rp, &entry, &args, spent - 1, "fuel = spent - 1");
+    assert_eq!(under, Err(EvalError::FuelExhausted));
+}
+
+/// Runtime error classes carry across engines: division by zero and
+/// `head`/`tail` of the empty list raise the same structured error.
+#[test]
+fn error_classes_agree() {
+    let rp = resolve(
+        parse_program(
+            "module M where\n\
+             crash x = x / 0\n\
+             behead xs = head xs\n\
+             detail xs = tail xs\n",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let div = assert_agree(&rp, &QualName::new("M", "crash"), &[Value::nat(7)], DEFAULT_FUEL, "div");
+    assert_eq!(div, Err(EvalError::DivByZero));
+    let hd = assert_agree(&rp, &QualName::new("M", "behead"), &[Value::Nil], DEFAULT_FUEL, "head");
+    assert_eq!(hd, Err(EvalError::EmptyList("head")));
+    let tl = assert_agree(&rp, &QualName::new("M", "detail"), &[Value::Nil], DEFAULT_FUEL, "tail");
+    assert_eq!(tl, Err(EvalError::EmptyList("tail")));
+}
+
+/// A diverging source program exhausts fuel identically on both engines.
+/// Fuel is kept well below the tree evaluator's depth limit so the only
+/// possible outcome on either side is `FuelExhausted`.
+#[test]
+fn divergence_exhausts_fuel_on_both() {
+    // The tree run nests one host frame per unfolded call, so it needs a
+    // big stack in debug builds; the VM run would not.
+    with_big_stack(|| {
+        let rp = resolve(
+            parse_program(
+                "module Loop where\nspin n x = if n == 0 then x else spin (n + 1) (x + 1)\n",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let r = assert_agree(
+            &rp,
+            &QualName::new("Loop", "spin"),
+            &[Value::nat(1), Value::nat(0)],
+            10_000,
+            "divergence",
+        );
+        assert_eq!(r, Err(EvalError::FuelExhausted));
+    });
+}
+
+/// Generalising-fallback residuals (budget hit, demoted dynamic calls)
+/// behave identically under both runners: the step-budget fallback for a
+/// diverging loop still diverges (fuel exhaustion on both), and the
+/// polyvariance-capped `sumto` fallback computes the oracle's values.
+#[test]
+fn generalising_fallback_residuals_agree() {
+    // The diverging residual's tree run nests host frames until fuel
+    // runs out, so the whole comparison runs on a big stack.
+    with_big_stack(generalising_fallback_residuals_body);
+}
+
+fn generalising_fallback_residuals_body() {
+    // Step budget hit: the residual keeps a dynamic `loop` call chain.
+    let p = Pipeline::from_source(
+        "module M where\nloop n = loop (n + 1)\nmain x = loop 0 + x\n",
+    )
+    .unwrap();
+    let s = p
+        .specialise_opts(
+            "M",
+            "main",
+            vec![SpecArg::Dynamic],
+            EngineOptions {
+                budget: SpecBudget::with_steps(5_000),
+                on_exhaustion: OnExhaustion::Generalise,
+                ..EngineOptions::default()
+            },
+        )
+        .unwrap();
+    let rrp = resolve(s.residual.program.clone()).unwrap();
+    let r = assert_agree(
+        &rrp,
+        &s.residual.entry,
+        &[Value::nat(1)],
+        10_000,
+        "generalised loop residual",
+    );
+    assert_eq!(r, Err(EvalError::FuelExhausted));
+
+    // Polyvariance cap hit: the residual re-generalises `sumto` but must
+    // still agree with the source oracle — on both engines.
+    let p = Pipeline::from_source(
+        "module M where\nsumto a b = if b <= a then 0 else a + sumto (a + 1) b\nmain n = sumto 0 n\n",
+    )
+    .unwrap();
+    let s = p
+        .specialise_opts(
+            "M",
+            "main",
+            vec![SpecArg::Dynamic],
+            EngineOptions {
+                budget: SpecBudget { max_specialisations: 4, ..SpecBudget::default() },
+                on_exhaustion: OnExhaustion::Generalise,
+                ..EngineOptions::default()
+            },
+        )
+        .unwrap();
+    let rrp = resolve(s.residual.program.clone()).unwrap();
+    for n in [0u64, 1, 5, 20] {
+        let got = assert_agree(
+            &rrp,
+            &s.residual.entry,
+            &[Value::nat(n)],
+            DEFAULT_FUEL,
+            &format!("generalised sumto residual, n = {n}"),
+        )
+        .unwrap();
+        let expected = (0..n).sum::<u64>();
+        assert_eq!(got, Value::nat(expected));
+    }
+}
+
+/// The intended divergence: on deeply right-nested data the tree
+/// evaluator raises the structured `DepthExceeded`, while the
+/// explicit-stack VM completes the fold.
+#[test]
+fn deep_lists_are_vm_territory() {
+    // `eval::Value`'s derived drop still recurses along the input spine,
+    // so the deep input value itself must live on a big host stack.
+    with_big_stack(|| {
+        let rp = resolve(
+            parse_program(
+                "module M where\nsum xs = if null xs then 0 else head xs + sum (tail xs)\n",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let entry = QualName::new("M", "sum");
+        let n = 50_000u64;
+        let xs = Value::list((0..n).map(|_| Value::nat(1)).collect());
+
+        let mut ev = Evaluator::with_limits(&rp, DEFAULT_FUEL, 5_000);
+        assert_eq!(ev.call(&entry, vec![xs.clone()]), Err(EvalError::DepthExceeded));
+
+        let bc = compile(&rp).unwrap();
+        let got = Vm::with_fuel(&bc, DEFAULT_FUEL).call(&entry, vec![xs]).unwrap();
+        assert_eq!(got, Value::nat(n));
+    });
+}
+
+/// Golden disassembly for the E-series `power` workload: the compiled
+/// form is deterministic and pinned byte-for-byte.
+#[test]
+fn golden_bytecode_power() {
+    let rp = resolve(
+        parse_program(
+            "module Power where\n\
+             power n x = if n == 1 then x else x * power (n - 1) x\n",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let bc = compile(&rp).unwrap();
+    assert_eq!(bc.disassemble(), include_str!("golden/bytecode_power.txt"));
+}
+
+/// Golden disassembly for the E-series `interp` workload (the first
+/// Futamura projection's interpreter, two modules with an import).
+#[test]
+fn golden_bytecode_interp() {
+    let rp = resolve(
+        parse_program(
+            "module ListLib where\n\
+             drop n xs = if n == 0 then xs else drop (n - 1) (tail xs)\n\
+             module Interp where\n\
+             import ListLib\n\
+             size p = if head p == 0 then 2 else if head p == 1 then 1 else 1 + size (tail p) + size (drop (size (tail p)) (tail p))\n\
+             run p x = if head p == 0 then head (tail p) else if head p == 1 then x else if head p == 2 then run (tail p) x + run (drop (size (tail p)) (tail p)) x else run (tail p) x * run (drop (size (tail p)) (tail p)) x\n",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let bc = compile(&rp).unwrap();
+    assert_eq!(bc.disassemble(), include_str!("golden/bytecode_interp.txt"));
+}
