@@ -1,0 +1,285 @@
+//! PR 5 observability table: the cost of the telemetry layer.
+//!
+//! Run: `cargo run --release -p mspec-bench --bin obs_table`
+//!
+//! Three questions, answered with numbers in `BENCH_pr5.json`:
+//!
+//! 1. Did instrumenting the runtimes slow down residual execution?
+//!    The VM now counts instructions and depth peaks alongside its fuel
+//!    metering; the E3/E5 residual rows are re-measured and compared to
+//!    the pre-instrumentation baselines recorded in `BENCH_pr4.json`.
+//! 2. What does a *disabled* recorder cost on the traced pipeline entry
+//!    points? The untraced API delegates to the traced one with
+//!    `Recorder::disabled()`, so comparing the two call paths measures
+//!    the plumbing; it should be indistinguishable (ratio ≈ 1.000).
+//! 3. What does *enabling* the recorder cost — on an in-memory pipeline
+//!    session and on a full on-disk link-spec session?
+//!
+//! Per-phase build times ([`mspec_core::StageTimes`]) are recorded too,
+//! so later PRs can track phase-level regressions from the JSON alone.
+
+use mspec_bench::workloads::{encoded_expr, prepared_library, INTERP, POWER};
+use mspec_bench::{cores, time_min, us};
+use mspec_cogen::{build, link_dir_traced, BuildOptions};
+use mspec_core::{BuildMode, EngineOptions, Pipeline, Recorder, SpecArg};
+use mspec_genext::Engine;
+use mspec_lang::bytecode::compile;
+use mspec_lang::eval::{with_big_stack, Value, DEFAULT_FUEL};
+use mspec_lang::parser::parse_program;
+use mspec_lang::resolve::resolve;
+use mspec_lang::vm::Vm;
+use mspec_lang::{Json, QualName};
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+fn nanos(d: Duration) -> Json {
+    Json::Num(d.as_nanos())
+}
+
+/// A ratio of `1.007x` encodes as `1007` (the JSON layer is
+/// integer-only by design).
+fn milli_ratio(x: f64) -> Json {
+    Json::Num((x * 1000.0).round().max(0.0) as u128)
+}
+
+fn ratio(now: Duration, baseline: Duration) -> f64 {
+    now.as_secs_f64() / baseline.as_secs_f64()
+}
+
+/// One residual workload re-measured on the instrumented VM, against
+/// the `vm_ns` its row recorded in `BENCH_pr4.json`.
+struct ResidualRow {
+    key: &'static str,
+    vm: Duration,
+    baseline: Option<Duration>,
+}
+
+impl ResidualRow {
+    fn to_json(&self) -> (&'static str, Json) {
+        let mut fields = vec![("vm_ns".to_string(), nanos(self.vm))];
+        if let Some(base) = self.baseline {
+            fields.push(("pr4_vm_ns".to_string(), nanos(base)));
+            fields.push(("regress_milli".to_string(), milli_ratio(ratio(self.vm, base))));
+        }
+        (self.key, Json::Obj(fields))
+    }
+}
+
+/// Times the VM run of a residual program (resolve + compile once,
+/// like `speed_table`).
+fn residual_vm(
+    key: &'static str,
+    residual: &mspec_core::Specialised,
+    args: Vec<Value>,
+    iters: usize,
+    baselines: &Option<Json>,
+) -> ResidualRow {
+    let rp = resolve(residual.residual.program.clone()).expect("residual resolves");
+    let bc = compile(&rp).expect("residual compiles");
+    let entry = &residual.residual.entry;
+    let (vm, _) = time_min(iters, || {
+        Vm::with_fuel(&bc, DEFAULT_FUEL).call(entry, args.clone()).expect("vm run")
+    });
+    let baseline = baselines.as_ref().and_then(|j| {
+        let ns = j.get(key).ok()?.get("vm_ns").ok()?.as_u128().ok()?;
+        Some(Duration::from_nanos(ns as u64))
+    });
+    ResidualRow { key, vm, baseline }
+}
+
+/// One full in-memory session — parse, build (sequential), specialise —
+/// through the traced entry points with the given recorder.
+fn pipeline_session(rec: &Recorder) -> Duration {
+    time_min(60, || {
+        let program = parse_program(POWER).unwrap();
+        let (p, _) =
+            Pipeline::from_program_traced(program, &BTreeSet::new(), BuildMode::Sequential, rec)
+                .unwrap();
+        p.specialise_traced(
+            "Power",
+            "power",
+            vec![SpecArg::Static(Value::nat(64)), SpecArg::Dynamic],
+            EngineOptions::default(),
+            rec,
+        )
+        .unwrap()
+    })
+    .0
+}
+
+/// The same session through the plain (untraced) API — the pre-PR call
+/// path, which now delegates to the traced one with a disabled
+/// recorder.
+fn pipeline_session_plain() -> Duration {
+    time_min(60, || {
+        let program = parse_program(POWER).unwrap();
+        let p = Pipeline::from_program(program).unwrap();
+        p.specialise(
+            "Power",
+            "power",
+            vec![SpecArg::Static(Value::nat(64)), SpecArg::Dynamic],
+        )
+        .unwrap()
+    })
+    .0
+}
+
+/// One full on-disk link-spec session: link every `.gx` artefact in
+/// `out_dir` and run the specialisation request against the linked
+/// generating extensions.
+fn link_spec_session(out_dir: &std::path::Path, rec: &Recorder) -> Duration {
+    time_min(60, || {
+        let gen = link_dir_traced(out_dir, rec).expect("link");
+        let mut engine = Engine::with_recorder(&gen, EngineOptions::default(), rec.clone());
+        engine
+            .specialise(
+                &QualName::new("Power", "power"),
+                vec![SpecArg::Static(Value::nat(64)), SpecArg::Dynamic],
+            )
+            .expect("specialise")
+    })
+    .0
+}
+
+fn main() {
+    with_big_stack(run);
+}
+
+fn run() {
+    let cores = cores();
+    let baselines = std::fs::read_to_string("BENCH_pr4.json")
+        .ok()
+        .and_then(|t| Json::parse(&t).ok());
+    if baselines.is_none() {
+        println!("(BENCH_pr4.json not found: residual rows report absolute times only)");
+    }
+
+    // --- residual execution vs the pr4 baselines ---------------------
+    let power = Pipeline::from_source(POWER)
+        .unwrap()
+        .specialise(
+            "Power",
+            "power",
+            vec![SpecArg::Static(Value::nat(20_000)), SpecArg::Dynamic],
+        )
+        .unwrap();
+    let power_row = residual_vm("power_n_20000", &power, vec![Value::nat(3)], 40, &baselines);
+
+    let interp = Pipeline::from_source(INTERP)
+        .unwrap()
+        .specialise(
+            "Interp",
+            "run",
+            vec![SpecArg::Static(encoded_expr(8)), SpecArg::Dynamic],
+        )
+        .unwrap();
+    let interp_row = residual_vm("interp_depth_8", &interp, vec![Value::nat(7)], 200, &baselines);
+
+    let library = prepared_library(16, 8)
+        .specialise("Main", "main", vec![SpecArg::Dynamic])
+        .unwrap();
+    let library_row =
+        residual_vm("library_16x8_defs", &library, vec![Value::nat(9)], 200, &baselines);
+
+    // --- per-phase build times (sequential, so phases don't overlap) --
+    let (_, phases) = Pipeline::from_program_timed(
+        parse_program(POWER).unwrap(),
+        &BTreeSet::new(),
+        BuildMode::Sequential,
+    )
+    .unwrap();
+
+    // --- recorder cost on the in-memory pipeline ---------------------
+    let plain = pipeline_session_plain();
+    let disabled = pipeline_session(&Recorder::disabled());
+    let enabled = pipeline_session(&Recorder::enabled());
+
+    // --- recorder cost on a full on-disk link-spec session -----------
+    let dir = std::env::temp_dir().join(format!("mspec-obs-{}", std::process::id()));
+    let src_dir = dir.join("src");
+    let out_dir = dir.join("out");
+    std::fs::create_dir_all(&src_dir).expect("mk src dir");
+    std::fs::write(src_dir.join("Power.mspec"), POWER).expect("write source");
+    build(&src_dir, &out_dir, &BuildOptions::default()).expect("cogen build");
+    let ls_disabled = link_spec_session(&out_dir, &Recorder::disabled());
+    let ls_enabled = link_spec_session(&out_dir, &Recorder::enabled());
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let residual_rows = [&power_row, &interp_row, &library_row];
+    let report = Json::obj([
+        ("pr", Json::str("pr5")),
+        ("cores", Json::Num(cores as u128)),
+        (
+            "phases_ns",
+            Json::obj([
+                ("typecheck", nanos(phases.typecheck)),
+                ("bta", nanos(phases.bta)),
+                ("cogen", nanos(phases.cogen)),
+                ("link", nanos(phases.link)),
+                ("total", nanos(phases.total)),
+            ]),
+        ),
+        (
+            "residual_vm_vs_pr4",
+            Json::Obj(
+                residual_rows
+                    .iter()
+                    .map(|r| {
+                        let (k, v) = r.to_json();
+                        (k.to_string(), v)
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "pipeline_session",
+            Json::obj([
+                ("plain_api_ns", nanos(plain)),
+                ("traced_disabled_ns", nanos(disabled)),
+                ("traced_enabled_ns", nanos(enabled)),
+                ("disabled_overhead_milli", milli_ratio(ratio(disabled, plain))),
+                ("enabled_overhead_milli", milli_ratio(ratio(enabled, disabled))),
+            ]),
+        ),
+        (
+            "link_spec_session",
+            Json::obj([
+                ("disabled_ns", nanos(ls_disabled)),
+                ("enabled_ns", nanos(ls_enabled)),
+                ("enabled_overhead_milli", milli_ratio(ratio(ls_enabled, ls_disabled))),
+            ]),
+        ),
+    ]);
+
+    println!("PR 5 observability table (cores = {cores}; min of N, us)");
+    println!();
+    println!("Residual execution on the instrumented VM vs BENCH_pr4.json:");
+    for r in residual_rows {
+        match r.baseline {
+            Some(base) => println!(
+                "  {:<20} vm {} us   pr4 {} us   ratio {:>6.3}x",
+                r.key,
+                us(r.vm),
+                us(base),
+                ratio(r.vm, base)
+            ),
+            None => println!("  {:<20} vm {} us   (no pr4 baseline)", r.key, us(r.vm)),
+        }
+    }
+    println!();
+    println!("Build phases (sequential): typecheck {} us  bta {} us  cogen {} us  link {} us",
+        us(phases.typecheck), us(phases.bta), us(phases.cogen), us(phases.link));
+    println!();
+    println!("Pipeline session (parse + build + specialise, power n=64):");
+    println!("  plain API         {} us", us(plain));
+    println!("  traced, disabled  {} us   ratio vs plain {:>6.3}x", us(disabled), ratio(disabled, plain));
+    println!("  traced, enabled   {} us   ratio vs disabled {:>6.3}x", us(enabled), ratio(enabled, disabled));
+    println!();
+    println!("Link-spec session (link .gx dir + specialise, power n=64):");
+    println!("  disabled  {} us", us(ls_disabled));
+    println!("  enabled   {} us   ratio {:>6.3}x", us(ls_enabled), ratio(ls_enabled, ls_disabled));
+
+    std::fs::write("BENCH_pr5.json", report.write_pretty()).expect("write BENCH_pr5.json");
+    println!();
+    println!("wrote BENCH_pr5.json");
+}

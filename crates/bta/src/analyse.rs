@@ -125,6 +125,25 @@ pub fn analyse_module_with(
     })
 }
 
+/// [`analyse_module_with`] under a telemetry span (`bta`, detail = the
+/// module name), counting definitions analysed and signatures solved.
+///
+/// # Errors
+///
+/// As [`analyse_module_with`].
+pub fn analyse_module_with_traced(
+    module: &Module,
+    imports: &BTreeMap<ModName, BtInterface>,
+    force_residual: &BTreeSet<Ident>,
+    rec: &mspec_telemetry::Recorder,
+) -> Result<AnnModule, BtaError> {
+    let _span = rec.span_with("bta", module.name.as_str());
+    let ann = analyse_module_with(module, imports, force_residual)?;
+    rec.count("bta.defs_analysed", ann.defs.len() as u64);
+    rec.count("bta.signatures", ann.interface.iter().count() as u64);
+    Ok(ann)
+}
+
 /// Strongly connected components of the module-local call graph, callees
 /// first.
 fn local_sccs(module: &Module) -> Vec<Vec<usize>> {

@@ -22,40 +22,18 @@ use mspec_lang::ast::{Ident, ModName, Module, Program};
 use mspec_lang::modgraph::ModGraph;
 use mspec_lang::parser::parse_module;
 use mspec_lang::resolve::resolve;
+use mspec_telemetry::{ModuleOutcome, Recorder};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::time::SystemTime;
+use std::time::{Instant, SystemTime};
 
-/// What happened to each module during a [`build`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum BuildAction {
-    /// Artefacts were up to date; nothing was done.
-    UpToDate,
-    /// The module was (re)analysed and its genext regenerated.
-    Rebuilt,
-}
-
-/// The result of a build run.
-#[derive(Debug)]
-pub struct BuildReport {
-    /// Per-module actions, in build (dependency) order.
-    pub actions: Vec<(ModName, BuildAction)>,
-    /// The artefact directory.
-    pub out_dir: PathBuf,
-}
-
-impl BuildReport {
-    /// Number of modules rebuilt.
-    pub fn rebuilt(&self) -> usize {
-        self.actions.iter().filter(|(_, a)| *a == BuildAction::Rebuilt).count()
-    }
-
-    /// Number of modules left alone.
-    pub fn up_to_date(&self) -> usize {
-        self.actions.len() - self.rebuilt()
-    }
-}
+/// The result of a build run: the canonical telemetry report at this
+/// crate's error type. Modules are [`ModuleOutcome::Built`] when their
+/// artefacts were (re)written and [`ModuleOutcome::UpToDate`] when left
+/// alone; errors abort the build, so `Failed`/`Skipped` never appear
+/// here (unlike `core::parbuild`, which shares this type).
+pub type BuildReport = mspec_telemetry::BuildReport<CogenError>;
 
 /// Options controlling a build.
 #[derive(Debug, Clone, Default)]
@@ -78,8 +56,25 @@ pub fn build(
     out_dir: impl AsRef<Path>,
     options: &BuildOptions,
 ) -> Result<BuildReport, CogenError> {
+    build_traced(src_dir, out_dir, options, &Recorder::disabled())
+}
+
+/// [`build`] with telemetry: one `cogen-build` span for the run, a
+/// `cogen-module` span per rebuilt module, and `io.*` counters for
+/// artefact bytes written.
+///
+/// # Errors
+///
+/// As [`build`].
+pub fn build_traced(
+    src_dir: impl AsRef<Path>,
+    out_dir: impl AsRef<Path>,
+    options: &BuildOptions,
+    rec: &Recorder,
+) -> Result<BuildReport, CogenError> {
     let src_dir = src_dir.as_ref();
     let out_dir = out_dir.as_ref();
+    let _build_span = rec.span("cogen-build");
     fs::create_dir_all(out_dir)?;
 
     // Load the source tree.
@@ -114,7 +109,8 @@ pub fn build(
     let path_of: BTreeMap<&ModName, &PathBuf> =
         modules.iter().map(|(m, p)| (&m.name, p)).collect();
 
-    let mut actions = Vec::new();
+    let mut report =
+        BuildReport { out_dir: Some(out_dir.to_path_buf()), ..BuildReport::default() };
     let mut iface_changed: BTreeSet<ModName> = BTreeSet::new();
     for name in graph.topo_order() {
         let module = resolved.program().module(name.as_str()).unwrap();
@@ -129,19 +125,36 @@ pub fn build(
             || module.imports.iter().any(|i| iface_changed.contains(i));
 
         if !stale {
-            actions.push((*name, BuildAction::UpToDate));
+            report.push(*name, ModuleOutcome::UpToDate);
             continue;
         }
+        let span = if rec.is_enabled() {
+            rec.span_with("cogen-module", name.as_str())
+        } else {
+            rec.span("cogen-module")
+        };
         let old_iface = if bti.exists() { Some(load_bti(&bti)?) } else { None };
         let forced = options.force_residual.get(name).cloned().unwrap_or_default();
-        cogen_module(module, out_dir, &forced)?;
+        let out = cogen_module(module, out_dir, &forced)?;
+        if rec.is_enabled() {
+            rec.count("io.bti_bytes_written", file_len(&out.bti));
+            rec.count("io.gx_bytes_written", file_len(&out.gx));
+        }
         let new_iface = load_bti(&bti)?;
         if old_iface.as_ref() != Some(&new_iface) {
             iface_changed.insert(*name);
         }
-        actions.push((*name, BuildAction::Rebuilt));
+        drop(span);
+        report.push(*name, ModuleOutcome::Built);
     }
-    Ok(BuildReport { actions, out_dir: out_dir.to_path_buf() })
+    rec.count("cogen.modules_rebuilt", report.rebuilt() as u64);
+    Ok(report)
+}
+
+/// On-disk size of an artefact, for the `io.*_bytes_written` counters
+/// (0 if it vanished — telemetry never fails a build).
+fn file_len(path: &Path) -> u64 {
+    fs::metadata(path).map(|m| m.len()).unwrap_or(0)
 }
 
 /// Links every `.gx` file in an artefact directory into a runnable
@@ -158,7 +171,22 @@ pub fn build(
 /// I/O errors, corrupt genext files, stale or missing interfaces, or
 /// linking errors.
 pub fn link_dir(out_dir: impl AsRef<Path>) -> Result<GenProgram, CogenError> {
+    link_dir_traced(out_dir, &Recorder::disabled())
+}
+
+/// [`link_dir`] with telemetry: a `link-dir` span, `io.gx_bytes_read` /
+/// `io.bti_bytes_read` counters, and an `io.checksum_ns` histogram over
+/// per-artefact validation (decode + FNV revalidation) times.
+///
+/// # Errors
+///
+/// As [`link_dir`].
+pub fn link_dir_traced(
+    out_dir: impl AsRef<Path>,
+    rec: &Recorder,
+) -> Result<GenProgram, CogenError> {
     let out_dir = out_dir.as_ref();
+    let _span = rec.span("link-dir");
     let mut gx_files: Vec<PathBuf> = fs::read_dir(out_dir)?
         .filter_map(|e| e.ok().map(|e| e.path()))
         .filter(|p| p.extension().is_some_and(|e| e == "gx"))
@@ -167,7 +195,12 @@ pub fn link_dir(out_dir: impl AsRef<Path>) -> Result<GenProgram, CogenError> {
     let mut current_fp: BTreeMap<ModName, u64> = BTreeMap::new();
     let mut modules = Vec::with_capacity(gx_files.len());
     for path in &gx_files {
+        let t0 = Instant::now();
         let (gx, ifaces) = load_gx_full(path)?;
+        if rec.is_enabled() {
+            rec.observe("io.checksum_ns", t0.elapsed().as_nanos() as u64);
+            rec.count("io.gx_bytes_read", file_len(path));
+        }
         for (import, recorded) in ifaces {
             let fp = match current_fp.get(&import) {
                 Some(fp) => *fp,
@@ -176,7 +209,12 @@ pub fn link_dir(out_dir: impl AsRef<Path>) -> Result<GenProgram, CogenError> {
                     if !bti.exists() {
                         return Err(CogenError::MissingInterface(import));
                     }
+                    let t1 = Instant::now();
                     let fp = bti_fingerprint(&bti)?;
+                    if rec.is_enabled() {
+                        rec.observe("io.checksum_ns", t1.elapsed().as_nanos() as u64);
+                        rec.count("io.bti_bytes_read", file_len(&bti));
+                    }
                     current_fp.insert(import, fp);
                     fp
                 }
@@ -187,6 +225,7 @@ pub fn link_dir(out_dir: impl AsRef<Path>) -> Result<GenProgram, CogenError> {
         }
         modules.push(gx);
     }
+    rec.count("link.modules_linked", modules.len() as u64);
     Ok(GenProgram::link(modules)?)
 }
 
@@ -271,15 +310,8 @@ mod tests {
         .unwrap();
         let r = build(&src, &out, &BuildOptions::default()).unwrap();
         // Power rebuilt; Main untouched because Power's .bti is identical.
-        let get = |m: &str| {
-            r.actions
-                .iter()
-                .find(|(n, _)| n.as_str() == m)
-                .map(|(_, a)| a.clone())
-                .unwrap()
-        };
-        assert_eq!(get("Power"), BuildAction::Rebuilt);
-        assert_eq!(get("Main"), BuildAction::UpToDate);
+        assert!(matches!(r.outcome("Power"), Some(ModuleOutcome::Built)));
+        assert!(matches!(r.outcome("Main"), Some(ModuleOutcome::UpToDate)));
         let _ = fs::remove_dir_all(src.parent().unwrap());
     }
 
@@ -297,7 +329,7 @@ mod tests {
         )
         .unwrap();
         let r = build(&src, &out, &BuildOptions::default()).unwrap();
-        assert_eq!(r.rebuilt(), 2, "{:?}", r.actions);
+        assert_eq!(r.rebuilt(), 2, "{:?}", r.outcomes);
         let _ = fs::remove_dir_all(src.parent().unwrap());
     }
 
@@ -365,6 +397,32 @@ mod tests {
             .unwrap();
         build(&src, &out, &BuildOptions { force: true, ..Default::default() }).unwrap();
         assert!(link_dir(&out).is_ok());
+        let _ = fs::remove_dir_all(src.parent().unwrap());
+    }
+
+    #[test]
+    fn traced_build_and_link_record_spans_and_io_counters() {
+        let (src, out) = setup("traced");
+        let rec = Recorder::enabled();
+        build_traced(&src, &out, &BuildOptions::default(), &rec).unwrap();
+        link_dir_traced(&out, &rec).unwrap();
+        let snap = rec.snapshot();
+        let names: Vec<&str> = snap
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                mspec_telemetry::EventKind::SpanBegin { name, .. } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(names.contains(&"cogen-build"), "{names:?}");
+        assert!(names.contains(&"cogen-module"), "{names:?}");
+        assert!(names.contains(&"link-dir"), "{names:?}");
+        let counter = |n: &str| snap.counters.iter().find(|(c, _)| c == n).map(|(_, v)| *v);
+        assert!(counter("io.gx_bytes_written").unwrap_or(0) > 0);
+        assert!(counter("io.gx_bytes_read").unwrap_or(0) > 0);
+        assert_eq!(counter("cogen.modules_rebuilt"), Some(2));
+        assert!(snap.hists.iter().any(|(n, _)| n == "io.checksum_ns"));
         let _ = fs::remove_dir_all(src.parent().unwrap());
     }
 

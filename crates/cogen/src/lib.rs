@@ -25,7 +25,8 @@ pub mod compile;
 pub mod files;
 pub mod textual;
 
-pub use build::{build, link_dir, BuildAction, BuildOptions, BuildReport};
+pub use build::{build, build_traced, link_dir, link_dir_traced, BuildOptions, BuildReport};
+pub use mspec_telemetry::ModuleOutcome;
 pub use compile::{compile_module, compile_program};
 pub use files::{
     bti_fingerprint, fnv64, load_bti, load_bti_full, load_gx, load_gx_full, store_bti, store_gx,

@@ -8,9 +8,19 @@
 //! mspec spec    FILE --entry M.f --args DIVISION
 //!               [--strategy bf|df] [--out DIR] [--force-residual M.f,...]
 //!                                         specialise and print the residual
+//! mspec mix     FILE --entry M.f --args DIVISION
+//!                                         monolithic-mix baseline specialiser
 //! mspec run     FILE --entry M.f --args VALUES
 //!                                         interpret the source program
+//! mspec explain FN --log FILE             provenance of FN's residual
+//!                                         versions from a --metrics log
+//! mspec trace-check FILE                  validate a trace/metrics file
 //! ```
+//!
+//! Every pipeline command additionally accepts `--trace FILE` (Chrome
+//! `trace_event` JSON, loadable in Perfetto / `chrome://tracing`) and
+//! `--metrics FILE` (flat JSONL event log, the input of `mspec
+//! explain`); either flag enables the telemetry recorder for the run.
 //!
 //! `DIVISION` is a comma-separated list, one entry per parameter:
 //! `S:<value>` (static, with the value), `D` (dynamic), `P:<n>`
@@ -19,7 +29,11 @@
 //! `[v;v;…]` lists (semicolon-separated to avoid clashing with the
 //! argument separator).
 
-use mspec_core::{write_residual, EngineOptions, OnExhaustion, Pipeline, Runner, SpecArg, SpecBudget, Strategy};
+use mspec_core::telemetry::{self, Snapshot};
+use mspec_core::{
+    write_residual, BuildMode, EngineOptions, ModuleOutcome, OnExhaustion, Pipeline, Recorder,
+    Runner, SpecArg, SpecBudget, Strategy,
+};
 use mspec_lang::eval::{with_big_stack, Value};
 use mspec_lang::QualName;
 use std::collections::BTreeSet;
@@ -47,7 +61,10 @@ fn run(args: &[String]) -> Result<(), String> {
         "analyse" => analyse(&args[1..]),
         "cogen" => cogen(&args[1..]),
         "spec" => spec(&args[1..]),
+        "mix" => mix_cmd(&args[1..]),
         "run" => run_program(&args[1..]),
+        "explain" => explain_cmd(&args[1..]),
+        "trace-check" => trace_check_cmd(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -57,7 +74,7 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: mspec <check|analyse|cogen|spec|run> FILE [options]\n\
+    "usage: mspec <check|analyse|cogen|spec|mix|run|build|link-spec|explain|trace-check> FILE [options]\n\
      \n\
      check   FILE                          typecheck, print schemes\n\
      analyse FILE [--force-residual M.f,…] print BT schemes + annotations\n\
@@ -65,10 +82,16 @@ fn usage() -> String {
      spec    FILE --entry M.f --args DIV   specialise (DIV: S:<v>,D,P:<n>)\n\
              [--strategy bf|df] [--out DIR] [--force-residual M.f,…]\n\
              [--fuel N] [--max-spec N] [--on-exhaustion error|generalise]\n\
+     mix     FILE --entry M.f --args DIV   monolithic-mix baseline specialiser\n\
      run     FILE --entry M.f --args VALS  run the source program\n\
              [--runner tree|vm]\n\
      build   SRCDIR --out DIR              incremental cogen of a module tree\n\
-     link-spec DIR --entry M.f --args DIV  specialise from .gx files (no source)"
+     link-spec DIR --entry M.f --args DIV  specialise from .gx files (no source)\n\
+     explain FN --log FILE                 provenance of FN from a --metrics log\n\
+     trace-check FILE                      validate a --trace/--metrics file\n\
+     \n\
+     spec, mix, build and link-spec also accept --trace FILE (Chrome\n\
+     trace_event JSON) and --metrics FILE (JSONL event log)"
         .to_string()
 }
 
@@ -83,6 +106,9 @@ struct Opts {
     max_spec: Option<usize>,
     on_exhaustion: OnExhaustion,
     runner: Runner,
+    trace: Option<String>,
+    metrics: Option<String>,
+    log: Option<String>,
 }
 
 impl Opts {
@@ -103,6 +129,37 @@ impl Opts {
             ..EngineOptions::default()
         }
     }
+
+    /// The run's recorder: enabled iff an output was requested, so
+    /// untraced runs pay only a null-pointer check per telemetry call.
+    fn recorder(&self) -> Recorder {
+        if self.trace.is_some() || self.metrics.is_some() {
+            Recorder::enabled()
+        } else {
+            Recorder::disabled()
+        }
+    }
+
+    /// Drains the recorder and writes the requested trace/metrics files,
+    /// plus a one-paragraph summary on stderr.
+    fn finish_telemetry(&self, rec: &Recorder) -> Result<(), String> {
+        if !rec.is_enabled() {
+            return Ok(());
+        }
+        let snap = rec.snapshot();
+        if let Some(path) = &self.trace {
+            std::fs::write(path, snap.to_chrome().write_compact())
+                .map_err(|e| format!("cannot write trace {path}: {e}"))?;
+            eprintln!("wrote trace {path}");
+        }
+        if let Some(path) = &self.metrics {
+            std::fs::write(path, snap.to_jsonl())
+                .map_err(|e| format!("cannot write metrics {path}: {e}"))?;
+            eprintln!("wrote metrics {path}");
+        }
+        eprint!("{}", snap.summary());
+        Ok(())
+    }
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -117,6 +174,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         max_spec: None,
         on_exhaustion: OnExhaustion::default(),
         runner: Runner::default(),
+        trace: None,
+        metrics: None,
+        log: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -167,6 +227,15 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 opts.runner = Runner::parse(v)
                     .ok_or_else(|| format!("--runner must be tree or vm, got `{v}`"))?;
             }
+            "--trace" => {
+                opts.trace = Some(it.next().ok_or("--trace needs a file")?.clone());
+            }
+            "--metrics" => {
+                opts.metrics = Some(it.next().ok_or("--metrics needs a file")?.clone());
+            }
+            "--log" => {
+                opts.log = Some(it.next().ok_or("--log needs a file")?.clone());
+            }
             "--force-residual" => {
                 let v = it.next().ok_or("--force-residual needs M.f[,M.g…]")?;
                 for part in v.split(',') {
@@ -197,8 +266,22 @@ fn read_source(path: &str) -> Result<String, String> {
 }
 
 fn build_pipeline(opts: &Opts) -> Result<Pipeline, String> {
+    build_pipeline_traced(opts, &Recorder::disabled())
+}
+
+fn build_pipeline_traced(opts: &Opts, rec: &Recorder) -> Result<Pipeline, String> {
     let src = read_source(&opts.file)?;
-    Pipeline::from_source_with(&src, &opts.force_residual).map_err(|e| e.to_string())
+    if rec.is_enabled() {
+        let program = {
+            let _span = rec.span("parse");
+            mspec_lang::parser::parse_program(&src).map_err(|e| e.to_string())?
+        };
+        Pipeline::from_program_traced(program, &opts.force_residual, BuildMode::Parallel, rec)
+            .map(|(p, _)| p)
+            .map_err(|e| e.to_string())
+    } else {
+        Pipeline::from_source_with(&src, &opts.force_residual).map_err(|e| e.to_string())
+    }
 }
 
 fn build_cmd(args: &[String]) -> Result<(), String> {
@@ -212,18 +295,24 @@ fn build_cmd(args: &[String]) -> Result<(), String> {
             .or_default()
             .insert(q.name);
     }
-    let report = mspec_cogen::build::build(&opts.file, out, &bopts).map_err(|e| e.to_string())?;
-    for (name, action) in &report.actions {
+    let rec = opts.recorder();
+    let report = mspec_cogen::build::build_traced(&opts.file, out, &bopts, &rec)
+        .map_err(|e| e.to_string())?;
+    for (name, outcome) in &report.outcomes {
         println!(
             "{name}: {}",
-            match action {
-                mspec_cogen::build::BuildAction::Rebuilt => "rebuilt",
-                mspec_cogen::build::BuildAction::UpToDate => "up to date",
+            match outcome {
+                ModuleOutcome::Built => "rebuilt",
+                ModuleOutcome::UpToDate => "up to date",
+                // cogen builds abort on the first error, so these two
+                // never reach a printed report; keep them total anyway.
+                ModuleOutcome::Failed(_) => "failed",
+                ModuleOutcome::Skipped { .. } => "skipped",
             }
         );
     }
     println!("{} rebuilt, {} up to date", report.rebuilt(), report.up_to_date());
-    Ok(())
+    opts.finish_telemetry(&rec)
 }
 
 fn link_spec(args: &[String]) -> Result<(), String> {
@@ -231,32 +320,23 @@ fn link_spec(args: &[String]) -> Result<(), String> {
     let (m, f) = opts.entry.clone().ok_or("link-spec needs --entry M.f")?;
     let division = opts.args.clone().ok_or("link-spec needs --args DIVISION")?;
     let spec_args = parse_division(&division)?;
-    let linked = mspec_cogen::build::link_dir(&opts.file).map_err(|e| e.to_string())?;
-    let mut engine = mspec_genext::Engine::new(&linked, opts.engine_options());
+    let rec = opts.recorder();
+    let linked =
+        mspec_cogen::build::link_dir_traced(&opts.file, &rec).map_err(|e| e.to_string())?;
+    let mut engine =
+        mspec_genext::Engine::with_recorder(&linked, opts.engine_options(), rec.clone());
     let residual = engine
         .specialise(&QualName::new(m.as_str(), f.as_str()), spec_args)
         .map_err(|e| e.to_string())?;
     println!("{}", mspec_lang::pretty::pretty_program(&residual.program));
-    eprintln!(
-        "-- entry {}; {} specialisations, {} memo hits, {} generalised",
-        residual.entry,
-        engine.stats().specialisations,
-        engine.stats().memo_hits,
-        engine.stats().generalised
-    );
-    if engine.stats().generalised > 0 {
-        eprintln!(
-            "-- budget hit: {} call(s) demoted to dynamic residual calls",
-            engine.stats().generalised
-        );
-    }
+    eprintln!("{}", engine.stats().summary(residual.entry.to_string()));
     if let Some(dir) = &opts.out {
         let files = write_residual(dir, &residual).map_err(|e| e.to_string())?;
         for f in files {
             eprintln!("wrote {}", f.display());
         }
     }
-    Ok(())
+    opts.finish_telemetry(&rec)
 }
 
 fn check(args: &[String]) -> Result<(), String> {
@@ -312,26 +392,13 @@ fn spec(args: &[String]) -> Result<(), String> {
     let (m, f) = opts.entry.clone().ok_or("spec needs --entry M.f")?;
     let division = opts.args.clone().ok_or("spec needs --args DIVISION")?;
     let spec_args = parse_division(&division)?;
-    let pipeline = build_pipeline(&opts)?;
+    let rec = opts.recorder();
+    let pipeline = build_pipeline_traced(&opts, &rec)?;
     let spec = pipeline
-        .specialise_opts(&m, &f, spec_args, opts.engine_options())
+        .specialise_traced(&m, &f, spec_args, opts.engine_options(), &rec)
         .map_err(|e| e.to_string())?;
     println!("{}", spec.source());
-    eprintln!(
-        "-- entry {}; {} specialisations, {} unfolds, {} memo hits, {} steps, {} generalised",
-        spec.residual.entry,
-        spec.stats.specialisations,
-        spec.stats.unfolds,
-        spec.stats.memo_hits,
-        spec.stats.steps,
-        spec.stats.generalised
-    );
-    if spec.stats.generalised > 0 {
-        eprintln!(
-            "-- budget hit: {} call(s) demoted to dynamic residual calls",
-            spec.stats.generalised
-        );
-    }
+    eprintln!("{}", spec.stats.summary(spec.residual.entry.to_string()));
     eprint!("{}", spec.provenance_report());
     if let Some(dir) = &opts.out {
         let files = write_residual(dir, &spec.residual).map_err(|e| e.to_string())?;
@@ -339,6 +406,53 @@ fn spec(args: &[String]) -> Result<(), String> {
             eprintln!("wrote {}", f.display());
         }
     }
+    opts.finish_telemetry(&rec)
+}
+
+fn mix_cmd(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let (m, f) = opts.entry.clone().ok_or("mix needs --entry M.f")?;
+    let division = opts.args.clone().ok_or("mix needs --args DIVISION")?;
+    let spec_args = parse_division(&division)?;
+    let src = read_source(&opts.file)?;
+    let rec = opts.recorder();
+    let mix_opts =
+        mspec_mix::MixOptions { budget: opts.engine_options().budget, ..Default::default() };
+    let outcome = mspec_mix::mix_specialise_traced(&src, &m, &f, spec_args, mix_opts, &rec)
+        .map_err(|e| e.to_string())?;
+    println!("{}", mspec_lang::pretty::pretty_program(&outcome.residual.program));
+    eprintln!("{}", outcome.stats.summary(outcome.residual.entry.to_string()));
+    if let Some(dir) = &opts.out {
+        let files = write_residual(dir, &outcome.residual).map_err(|e| e.to_string())?;
+        for f in files {
+            eprintln!("wrote {}", f.display());
+        }
+    }
+    opts.finish_telemetry(&rec)
+}
+
+fn explain_cmd(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let log = opts
+        .log
+        .as_deref()
+        .ok_or("explain needs --log FILE (a JSONL event log written by --metrics)")?;
+    let text = read_source(log)?;
+    let snap = Snapshot::parse_jsonl(&text).map_err(|e| format!("{log}: {e}"))?;
+    match telemetry::explain(&snap, &opts.file) {
+        Some(report) => {
+            println!("{report}");
+            Ok(())
+        }
+        None => Err(format!("no specialisation events for `{}` in {log}", opts.file)),
+    }
+}
+
+fn trace_check_cmd(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let text = read_source(&opts.file)?;
+    let report = telemetry::validate(&text).map_err(|e| format!("{}: {e}", opts.file))?;
+    println!("{report}");
     Ok(())
 }
 

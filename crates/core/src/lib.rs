@@ -47,4 +47,6 @@ pub use mspec_genext::{
 };
 pub use parbuild::{module_levels, BuildMode, BuildReport, ModuleBuildError, StageTimes};
 pub use mspec_lang::vm::Runner;
+pub use mspec_telemetry as telemetry;
+pub use mspec_telemetry::{ModuleOutcome, Recorder};
 pub use pipeline::{run_source, write_residual, Pipeline, Specialised};

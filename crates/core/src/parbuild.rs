@@ -23,14 +23,15 @@
 //! than dying on the first.
 
 use crate::error::PipelineError;
-use mspec_bta::analyse::analyse_module_with;
+use mspec_bta::analyse::analyse_module_with_traced;
 use mspec_bta::{AnnModule, AnnProgram, BtInterface, BtaError};
 use mspec_cogen::compile::compile_module;
 use mspec_genext::{GenModule, GenProgram};
 use mspec_lang::ast::{Ident, ModName, QualName};
 use mspec_lang::modgraph::ModGraph;
 use mspec_lang::resolve::ResolvedProgram;
-use mspec_types::{infer_module, ProgramTypes, TypeInterface};
+use mspec_telemetry::{ModuleOutcome, Recorder};
+use mspec_types::{infer_module_traced, ProgramTypes, TypeInterface};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -110,44 +111,11 @@ impl fmt::Display for ModuleBuildError {
     }
 }
 
-/// The aggregated outcome of a fault-isolated staged build.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub struct BuildReport {
-    /// Modules whose stages failed or panicked, with the cause, in
-    /// deterministic dependency order.
-    pub failed: Vec<(ModName, ModuleBuildError)>,
-    /// Modules never attempted because an import failed: `(module, the
-    /// failed or skipped import)`.
-    pub skipped: Vec<(ModName, ModName)>,
-    /// Modules that built successfully.
-    pub built: Vec<ModName>,
-}
-
-impl BuildReport {
-    /// `true` iff every module built.
-    pub fn is_clean(&self) -> bool {
-        self.failed.is_empty() && self.skipped.is_empty()
-    }
-}
-
-impl fmt::Display for BuildReport {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "staged build: {} failed, {} skipped, {} built",
-            self.failed.len(),
-            self.skipped.len(),
-            self.built.len()
-        )?;
-        for (m, e) in &self.failed {
-            write!(f, "; {m}: {e}")?;
-        }
-        for (m, dep) in &self.skipped {
-            write!(f, "; {m}: skipped (import {dep} did not build)")?;
-        }
-        Ok(())
-    }
-}
+/// The aggregated outcome of a fault-isolated staged build: the
+/// canonical [`mspec_telemetry::BuildReport`] instantiated at this
+/// crate's typed [`ModuleBuildError`] (the same report shape
+/// `mspec_cogen::build` uses for incremental artefact builds).
+pub type BuildReport = mspec_telemetry::BuildReport<ModuleBuildError>;
 
 /// Runs `f` once per module of a level — sequentially or on scoped
 /// threads — capturing per-module panics so one bad module cannot take
@@ -221,7 +189,11 @@ fn build_module(
     type_ifaces: &BTreeMap<ModName, TypeInterface>,
     bt_ifaces: &BTreeMap<ModName, BtInterface>,
     force_residual: &BTreeSet<QualName>,
+    rec: &Recorder,
 ) -> Result<ModuleBuild, PipelineError> {
+    // The span is opened on the worker thread, so a parallel build's
+    // trace shows which thread built which module.
+    let _span = rec.span_with("build-module", name.as_str());
     let module = resolved
         .program()
         .module(name.as_str())
@@ -232,11 +204,14 @@ fn build_module(
         .map(|q| q.name)
         .collect();
     let t0 = Instant::now();
-    let ty = infer_module(module, type_ifaces)?;
+    let ty = infer_module_traced(module, type_ifaces, rec)?;
     let t1 = Instant::now();
-    let ann = analyse_module_with(module, bt_ifaces, &forced)?;
+    let ann = analyse_module_with_traced(module, bt_ifaces, &forced, rec)?;
     let t2 = Instant::now();
-    let gen = compile_module(&ann);
+    let gen = {
+        let _cogen = rec.span_with("cogen", name.as_str());
+        compile_module(&ann)
+    };
     let t3 = Instant::now();
     Ok(ModuleBuild {
         name: *name,
@@ -263,6 +238,7 @@ pub(crate) fn build_stages(
     resolved: &ResolvedProgram,
     force_residual: &BTreeSet<QualName>,
     mode: BuildMode,
+    rec: &Recorder,
 ) -> Result<(ProgramTypes, AnnProgram, GenProgram, StageTimes), PipelineError> {
     // Overrides naming a function in no module must error no matter
     // which modules exist at which level, so check up front (the
@@ -275,6 +251,14 @@ pub(crate) fn build_stages(
 
     let t_start = Instant::now();
     let levels = module_levels(resolved.graph());
+    let build_span = if rec.is_enabled() {
+        rec.span_with(
+            "build",
+            &format!("{} modules, {:?}", resolved.program().modules.len(), mode),
+        )
+    } else {
+        rec.span("build")
+    };
     let mut times = StageTimes {
         levels: levels.len(),
         widest_level: levels.iter().map(Vec::len).max().unwrap_or(0),
@@ -290,7 +274,12 @@ pub(crate) fn build_stages(
     let mut report = BuildReport::default();
     let mut dead: BTreeSet<ModName> = BTreeSet::new();
 
-    for level in &levels {
+    for (depth, level) in levels.iter().enumerate() {
+        let _level_span = if rec.is_enabled() {
+            rec.span_with(&format!("level{depth}"), &format!("{} modules", level.len()))
+        } else {
+            rec.span("level")
+        };
         // A module whose import failed (or was itself skipped) cannot
         // build — its interfaces are missing. Skip it, naming the
         // culprit, and keep the rest of the level.
@@ -299,13 +288,13 @@ pub(crate) fn build_stages(
             match resolved.graph().direct_imports(m).iter().find(|d| dead.contains(d)) {
                 Some(culprit) => {
                     dead.insert(*m);
-                    report.skipped.push((*m, *culprit));
+                    report.push(*m, ModuleOutcome::Skipped { import: *culprit });
                 }
                 None => runnable.push(*m),
             }
         }
         let results = run_level(&runnable, mode, |m| {
-            build_module(resolved, m, &type_ifaces, &bt_ifaces, force_residual)
+            build_module(resolved, m, &type_ifaces, &bt_ifaces, force_residual, rec)
         });
         // Merge at the level barrier, in deterministic level order.
         for (name, r) in results {
@@ -313,7 +302,7 @@ pub(crate) fn build_stages(
                 Ok(mb) => mb,
                 Err(e) => {
                     dead.insert(name);
-                    report.failed.push((name, e));
+                    report.push(name, ModuleOutcome::Failed(e));
                     continue;
                 }
             };
@@ -326,7 +315,7 @@ pub(crate) fn build_stages(
             bt_ifaces.insert(mb.name, mb.ann.interface.clone());
             type_ifaces.insert(mb.name, mb.ty);
             ann_modules.push(mb.ann);
-            report.built.push(mb.name);
+            report.push(mb.name, ModuleOutcome::Built);
             gen_modules.push(mb.gen);
         }
     }
@@ -336,9 +325,15 @@ pub(crate) fn build_stages(
     }
 
     let t_link = Instant::now();
-    let gen = GenProgram::link(gen_modules).map_err(PipelineError::Spec)?;
+    let gen = {
+        let _link_span = rec.span("link");
+        GenProgram::link(gen_modules).map_err(PipelineError::Spec)?
+    };
     times.link = t_link.elapsed();
+    drop(build_span);
     times.total = t_start.elapsed();
+    rec.count("build.modules_built", report.rebuilt() as u64);
+    rec.count("build.levels", times.levels as u64);
     Ok((types, AnnProgram { modules: ann_modules }, gen, times))
 }
 
@@ -430,14 +425,16 @@ mod tests {
             let PipelineError::Build(report) = err else {
                 panic!("expected an aggregated build report, got {err:?}");
             };
-            assert_eq!(report.failed.len(), 1, "{report}");
-            assert_eq!(report.failed[0].0.as_str(), "B");
+            let failed = report.failed();
+            assert_eq!(failed.len(), 1, "{report}");
+            assert_eq!(failed[0].0.as_str(), "B");
             assert!(matches!(
-                report.failed[0].1,
+                failed[0].1,
                 ModuleBuildError::Failed(PipelineError::Type(_))
             ));
-            assert_eq!(report.skipped, vec![(ModName::new("D"), ModName::new("B"))]);
-            let built: Vec<&str> = report.built.iter().map(|m| m.as_str()).collect();
+            assert_eq!(report.skipped(), vec![(ModName::new("D"), ModName::new("B"))]);
+            let built_mods = report.built();
+            let built: Vec<&str> = built_mods.iter().map(|m| m.as_str()).collect();
             assert_eq!(built, vec!["A", "C"], "siblings of a failed module still build");
             let text = report.to_string();
             assert!(text.contains("1 failed, 1 skipped, 2 built"), "{text}");

@@ -13,6 +13,7 @@ use mspec_lang::parser::parse_program;
 use mspec_lang::pretty::pretty_program;
 use mspec_lang::resolve::{resolve, ResolvedProgram};
 use mspec_lang::vm::Runner;
+use mspec_telemetry::Recorder;
 use mspec_types::{infer_program, ProgramTypes};
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
@@ -125,8 +126,28 @@ impl Pipeline {
         force_residual: &BTreeSet<QualName>,
         mode: BuildMode,
     ) -> Result<(Pipeline, StageTimes), PipelineError> {
-        let resolved = resolve(program)?;
-        let (types, ann, gen, times) = build_stages(&resolved, force_residual, mode)?;
+        Pipeline::from_program_traced(program, force_residual, mode, &Recorder::disabled())
+    }
+
+    /// [`Pipeline::from_program_timed`] recording build telemetry:
+    /// one `build` span, one span per level, and per-module
+    /// `build-module`/`typecheck`/`bta`/`cogen` spans opened on the
+    /// worker threads that ran them.
+    ///
+    /// # Errors
+    ///
+    /// As [`Pipeline::from_source_with`].
+    pub fn from_program_traced(
+        program: Program,
+        force_residual: &BTreeSet<QualName>,
+        mode: BuildMode,
+        rec: &Recorder,
+    ) -> Result<(Pipeline, StageTimes), PipelineError> {
+        let resolved = {
+            let _span = rec.span("resolve");
+            resolve(program)?
+        };
+        let (types, ann, gen, times) = build_stages(&resolved, force_residual, mode, rec)?;
         Ok((Pipeline { resolved, types, ann, gen }, times))
     }
 
@@ -178,6 +199,24 @@ impl Pipeline {
         args: Vec<SpecArg>,
         options: EngineOptions,
     ) -> Result<Specialised, PipelineError> {
+        self.specialise_traced(module, function, args, options, &Recorder::disabled())
+    }
+
+    /// [`Pipeline::specialise_opts`] recording engine telemetry: a
+    /// `specialise` span plus one decision event per specialisation
+    /// request (see `mspec_telemetry::SpecEvent`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Pipeline::specialise`].
+    pub fn specialise_traced(
+        &self,
+        module: &str,
+        function: &str,
+        args: Vec<SpecArg>,
+        options: EngineOptions,
+        rec: &Recorder,
+    ) -> Result<Specialised, PipelineError> {
         let entry = QualName::new(module, function);
         if self.gen.function(&entry).is_none() {
             return Err(PipelineError::NoSuchFunction {
@@ -185,7 +224,12 @@ impl Pipeline {
                 name: function.to_string(),
             });
         }
-        let mut engine = Engine::new(&self.gen, options);
+        let _span = if rec.is_enabled() {
+            rec.span_with("specialise", &format!("{module}.{function}"))
+        } else {
+            rec.span("specialise")
+        };
+        let mut engine = Engine::with_recorder(&self.gen, options, rec.clone());
         let residual = engine.specialise(&entry, args)?;
         Ok(Specialised {
             residual,

@@ -39,6 +39,7 @@ use mspec_bta::division::{Division, ParamBt};
 use mspec_bta::BtMask;
 use mspec_lang::ast::{CallName, Def, Expr, Ident, ModName, PrimOp, QualName};
 use mspec_lang::eval::Value;
+use mspec_telemetry::{Decision, Recorder, SpecEvent};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::rc::Rc;
 use std::sync::Arc;
@@ -143,6 +144,23 @@ pub struct SpecStats {
     pub generalised: usize,
 }
 
+impl SpecStats {
+    /// Presentation form for the CLI's unified stats formatter.
+    pub fn summary(&self, entry: impl Into<String>) -> mspec_telemetry::SpecSummary {
+        mspec_telemetry::SpecSummary {
+            entry: entry.into(),
+            specialisations: self.specialisations as u64,
+            memo_probes: self.memo_probes as u64,
+            memo_hits: self.memo_hits as u64,
+            unfolds: self.unfolds as u64,
+            steps: self.steps,
+            peak_pending: self.peak_pending as u64,
+            residual_nodes: self.residual_nodes as u64,
+            generalised: self.generalised as u64,
+        }
+    }
+}
+
 /// Hash-first memo key: the structural hash of the split skeletons
 /// stands in for the skeletons themselves, so a probe compares three
 /// machine words. Full [`PKey`] vectors are kept in the bucket and only
@@ -203,11 +221,28 @@ pub struct Engine<'p> {
     stats: SpecStats,
     imports: BTreeMap<ModName, BTreeSet<ModName>>,
     provenance: Vec<Provenance>,
+    recorder: Recorder,
+    /// Residual definitions currently under construction, innermost
+    /// last — the *parent* attribution for decision events (which
+    /// residual body a request arose inside).
+    resid_stack: Vec<QualName>,
 }
 
 impl<'p> Engine<'p> {
     /// Creates an engine with the given options.
     pub fn new(program: &'p GenProgram, options: EngineOptions) -> Engine<'p> {
+        Engine::with_recorder(program, options, Recorder::disabled())
+    }
+
+    /// [`Engine::new`] with a telemetry recorder: the engine emits one
+    /// decision event per specialisation request (entry, unfold, memo
+    /// hit, residualise, generalise) plus session counters and a
+    /// pending-depth histogram.
+    pub fn with_recorder(
+        program: &'p GenProgram,
+        options: EngineOptions,
+        recorder: Recorder,
+    ) -> Engine<'p> {
         Engine {
             program,
             options,
@@ -223,7 +258,46 @@ impl<'p> Engine<'p> {
             stats: SpecStats::default(),
             imports: BTreeMap::new(),
             provenance: Vec::new(),
+            recorder,
+            resid_stack: Vec::new(),
         }
+    }
+
+    /// One decision event, fully attributed: what was requested, what
+    /// was decided and why, where the request arose, and how much
+    /// budget headroom was left. No-op (and no formatting) when the
+    /// recorder is disabled.
+    #[allow(clippy::too_many_arguments)]
+    fn record_decision(
+        &self,
+        decision: Decision,
+        target: &QualName,
+        mask: BtMask,
+        vars: u32,
+        skeleton_hash: u64,
+        probe: bool,
+        residual: Option<&QualName>,
+        witness: String,
+    ) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        let mut ev = SpecEvent::request(target.to_string(), mask.render(vars));
+        ev.decision = decision;
+        ev.skeleton_hash = skeleton_hash;
+        ev.probe = probe;
+        ev.residual = residual.map(QualName::to_string).unwrap_or_default();
+        ev.witness = witness;
+        ev.parent = self.resid_stack.last().map(QualName::to_string).unwrap_or_default();
+        ev.chain_depth = self.chain.len() as u64;
+        ev.pending = self.pending.len() as u64;
+        ev.fuel_left = self.fuel.remaining();
+        ev.specs_left = self
+            .options
+            .budget
+            .max_specialisations
+            .saturating_sub(self.provenance.len()) as u64;
+        self.recorder.spec(ev);
     }
 
     /// Counters for the run so far.
@@ -359,13 +433,43 @@ impl<'p> Engine<'p> {
             residual: resid,
             formals: formals.len(),
         });
+        self.record_decision(
+            Decision::Entry,
+            entry,
+            mask,
+            f.sig.vars,
+            hash,
+            false,
+            Some(&resid),
+            String::new(),
+        );
         let mut next = 0;
         let env: Vec<Rc<PVal>> =
             vals.iter().map(|v| Rc::new(rebuild(v, &formals, &mut next))).collect();
         let spec = PendingSpec { target: *entry, mask, env, resid, formals, hash };
         self.construct(spec, sink)?;
         self.drain(sink)?;
+        self.flush_counters();
         Ok(resid)
+    }
+
+    /// Exports the session counters and the peak gauges once, at the
+    /// end of a successful specialisation.
+    fn flush_counters(&self) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        let s = &self.stats;
+        self.recorder.count("genext.specialisations", s.specialisations as u64);
+        self.recorder.count("genext.memo_probes", s.memo_probes as u64);
+        self.recorder.count("genext.memo_hits", s.memo_hits as u64);
+        self.recorder.count("genext.unfolds", s.unfolds as u64);
+        self.recorder.count("genext.steps", s.steps);
+        self.recorder.count("genext.residual_nodes", s.residual_nodes as u64);
+        self.recorder.count("genext.residual_modules", s.residual_modules as u64);
+        self.recorder.count("genext.generalised", s.generalised as u64);
+        self.recorder.count_max("genext.peak_pending", s.peak_pending as u64);
+        self.recorder.count_max("genext.peak_open", s.peak_open as u64);
     }
 
     fn drain(&mut self, sink: &mut dyn ModuleSink) -> Result<(), SpecError> {
@@ -398,6 +502,7 @@ impl<'p> Engine<'p> {
         let body = Arc::clone(&f.body);
         let mut env = spec.env;
         self.chain.push((spec.target, spec.hash));
+        self.resid_stack.push(spec.resid);
         let result = self.eval(&body, &mut env, spec.mask, spec.target.module, sink)?;
         let body_expr = self.lift_owned(result, sink)?;
         if self.options.cost_model == CostModel::Legacy {
@@ -425,6 +530,7 @@ impl<'p> Engine<'p> {
         }
         sink.emit(&spec.resid.module, &def)?;
         self.stats.residual_modules = self.imports.len();
+        self.resid_stack.pop();
         self.chain.pop();
         self.open -= 1;
         Ok(())
@@ -564,6 +670,22 @@ impl<'p> Engine<'p> {
         }
         if f.sig.unfoldable_under(mask) {
             self.stats.unfolds += 1;
+            if self.recorder.is_enabled() {
+                self.record_decision(
+                    Decision::Unfold,
+                    target,
+                    mask,
+                    f.sig.vars,
+                    0,
+                    false,
+                    None,
+                    format!(
+                        "unfold term {} = S under {}",
+                        f.sig.unfold,
+                        mask.render(f.sig.vars)
+                    ),
+                );
+            }
             let body = Arc::clone(&f.body);
             let mut env = args;
             self.chain.push((*target, 0));
@@ -596,6 +718,16 @@ impl<'p> Engine<'p> {
         }
         if let Some(resid) = self.memo_find(*target, mask, &keys, hash) {
             self.stats.memo_hits += 1;
+            self.record_decision(
+                Decision::MemoHit,
+                target,
+                mask,
+                f.sig.vars,
+                hash,
+                true,
+                Some(&resid),
+                String::new(),
+            );
             if self.options.cost_model == CostModel::Legacy {
                 // The old `CallName::from` cloned the module and
                 // function name strings into the residual call site.
@@ -664,6 +796,22 @@ impl<'p> Engine<'p> {
             formals,
             hash,
         };
+        if self.recorder.is_enabled() {
+            self.record_decision(
+                Decision::Residualise,
+                target,
+                mask,
+                f.sig.vars,
+                hash,
+                true,
+                Some(&resid),
+                format!(
+                    "unfold term {} = D under {}",
+                    f.sig.unfold,
+                    mask.render(f.sig.vars)
+                ),
+            );
+        }
         match self.options.strategy {
             Strategy::BreadthFirst => {
                 if self.pending.len() >= self.options.budget.max_pending {
@@ -673,6 +821,7 @@ impl<'p> Engine<'p> {
                 }
                 self.pending.push_back(spec);
                 self.stats.peak_pending = self.stats.peak_pending.max(self.pending.len());
+                self.recorder.observe("genext.pending_depth", self.pending.len() as u64);
             }
             Strategy::DepthFirst => self.construct(spec, sink)?,
         }
@@ -712,6 +861,16 @@ impl<'p> Engine<'p> {
         let hash = all_holes_hash(leaves.len());
         if let Some(resid) = self.memo_find(*target, mask, &keys, hash) {
             self.stats.memo_hits += 1;
+            self.record_decision(
+                Decision::MemoHit,
+                target,
+                mask,
+                f.sig.vars,
+                hash,
+                true,
+                Some(&resid),
+                String::new(),
+            );
             return Ok(Rc::new(PVal::Code(Expr::Call(CallName::from(resid), leaves))));
         }
         self.stats.generalised += 1;
@@ -738,6 +897,22 @@ impl<'p> Engine<'p> {
             residual: resid,
             formals: formals.len(),
         });
+        if self.recorder.is_enabled() {
+            let resource = self.budget_breached();
+            self.record_decision(
+                Decision::Generalise,
+                target,
+                mask,
+                f.sig.vars,
+                hash,
+                true,
+                Some(&resid),
+                match resource {
+                    Some(r) => format!("budget breached ({r:?}): demoted to all-dynamic variant"),
+                    None => "demoted to all-dynamic variant".to_string(),
+                },
+            );
+        }
         let env: Vec<Rc<PVal>> =
             formals.iter().map(|x| Rc::new(PVal::Code(Expr::Var(*x)))).collect();
         let spec = PendingSpec { target: *target, mask, env, resid, formals, hash };
@@ -745,6 +920,7 @@ impl<'p> Engine<'p> {
             Strategy::BreadthFirst => {
                 self.pending.push_back(spec);
                 self.stats.peak_pending = self.stats.peak_pending.max(self.pending.len());
+                self.recorder.observe("genext.pending_depth", self.pending.len() as u64);
             }
             Strategy::DepthFirst => self.construct(spec, sink)?,
         }

@@ -259,6 +259,7 @@ pub struct Evaluator<'p> {
     fuel: u64,
     depth: usize,
     max_depth: usize,
+    peak_depth: usize,
 }
 
 impl<'p> Evaluator<'p> {
@@ -279,12 +280,18 @@ impl<'p> Evaluator<'p> {
         fuel: u64,
         max_depth: usize,
     ) -> Evaluator<'p> {
-        Evaluator { program, fuel, depth: 0, max_depth }
+        Evaluator { program, fuel, depth: 0, max_depth, peak_depth: 0 }
     }
 
     /// Remaining fuel (useful as a crude cost measure in tests).
     pub fn fuel_left(&self) -> u64 {
         self.fuel
+    }
+
+    /// Peak expression-nesting depth reached so far (across calls) —
+    /// the telemetry twin of the depth *limit*.
+    pub fn peak_depth(&self) -> usize {
+        self.peak_depth
     }
 
     /// Calls a top-level function by name.
@@ -340,6 +347,9 @@ impl<'p> Evaluator<'p> {
             return Err(EvalError::DepthExceeded);
         }
         self.depth += 1;
+        if self.depth > self.peak_depth {
+            self.peak_depth = self.depth;
+        }
         let r = self.eval_inner(e, env);
         self.depth -= 1;
         r

@@ -66,7 +66,7 @@ pub mod span;
 pub mod vm;
 
 pub use ast::{CallName, Def, Expr, Ident, ModName, Module, PrimOp, Program, QualName};
-pub use vm::Runner;
+pub use vm::{Runner, VmStats};
 pub use error::LangError;
 pub use intern::Sym;
 pub use json::{FromJson, Json, JsonError, ToJson};

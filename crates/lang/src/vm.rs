@@ -224,28 +224,49 @@ pub fn bc_error(e: BcError) -> EvalError {
     }
 }
 
+/// Cheap, always-on execution counters. Instruction counting shares the
+/// fuel check's path (one add); depth peaks are sampled only at frame
+/// pushes, so the hot dispatch loop is otherwise untouched. Fuel
+/// *metering* is unchanged — a budget of `n` still admits exactly `n`
+/// fuel-charging instructions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmStats {
+    /// Fuel-charging instructions executed.
+    pub instructions: u64,
+    /// Peak call-frame depth.
+    pub max_frames: u64,
+    /// Peak operand-stack depth, sampled at frame pushes.
+    pub max_stack: u64,
+}
+
 /// An explicit-stack interpreter over a compiled program.
 #[derive(Debug)]
 pub struct Vm<'p> {
     bc: &'p BcProgram,
     fuel: u64,
+    stats: VmStats,
 }
 
 impl<'p> Vm<'p> {
     /// Creates a VM with [`DEFAULT_FUEL`].
     pub fn new(bc: &'p BcProgram) -> Vm<'p> {
-        Vm { bc, fuel: DEFAULT_FUEL }
+        Vm { bc, fuel: DEFAULT_FUEL, stats: VmStats::default() }
     }
 
     /// Creates a VM with a custom step budget (a budget of `n` admits
     /// exactly `n` fuel-charging instructions).
     pub fn with_fuel(bc: &'p BcProgram, fuel: u64) -> Vm<'p> {
-        Vm { bc, fuel }
+        Vm { bc, fuel, stats: VmStats::default() }
     }
 
     /// Remaining fuel.
     pub fn fuel_left(&self) -> u64 {
         self.fuel
+    }
+
+    /// Execution counters accumulated so far (across calls).
+    pub fn stats(&self) -> VmStats {
+        self.stats
     }
 
     #[inline]
@@ -254,7 +275,14 @@ impl<'p> Vm<'p> {
             return Err(EvalError::FuelExhausted);
         }
         self.fuel -= 1;
+        self.stats.instructions += 1;
         Ok(())
+    }
+
+    #[inline]
+    fn note_depth(&mut self, frames: usize, stack: usize) {
+        self.stats.max_frames = self.stats.max_frames.max(frames as u64);
+        self.stats.max_stack = self.stats.max_stack.max(stack as u64);
     }
 
     /// Calls a top-level function with evaluator values at the boundary.
@@ -291,6 +319,7 @@ impl<'p> Vm<'p> {
         let code = self.bc.code();
         let mut stack: Vec<VmVal> = Vec::with_capacity(32);
         let mut frames: Vec<Frame> = vec![Frame { locals, ret_pc: 0 }];
+        self.note_depth(frames.len(), stack.len());
         let mut pc = entry as usize;
         loop {
             let instr = *code.get(pc).ok_or_else(|| internal("pc out of bounds"))?;
@@ -359,6 +388,7 @@ impl<'p> Vm<'p> {
                     }
                     let locals = stack.split_off(stack.len() - n);
                     frames.push(Frame { locals, ret_pc: pc + 1 });
+                    self.note_depth(frames.len(), stack.len());
                     pc = f.entry as usize;
                 }
                 Instr::MakeClosure(l) => {
@@ -396,6 +426,7 @@ impl<'p> Vm<'p> {
                             let mut locals = c.env.clone();
                             locals.push(arg);
                             frames.push(Frame { locals, ret_pc: pc + 1 });
+                            self.note_depth(frames.len(), stack.len());
                             pc = lam.entry as usize;
                         }
                         other => {
@@ -572,6 +603,24 @@ mod tests {
                    main y = power 5 y\n";
         assert_eq!(run_main(src, vec![Value::nat(2)]).unwrap(), Value::nat(32));
         assert_eq!(run_main(src, vec![Value::nat(3)]).unwrap(), Value::nat(243));
+    }
+
+    #[test]
+    fn stats_track_instructions_and_peaks() {
+        let src = "module Power where\n\
+                   power n x = if n == 1 then x else x * power (n - 1) x\n\
+                   main y = power 5 y\n";
+        let rp = resolve(parse_program(src).unwrap()).unwrap();
+        let bc = compile(&rp).unwrap();
+        let mut vm = Vm::new(&bc);
+        let main = QualName::new("Power", "main");
+        vm.call(&main, vec![Value::nat(2)]).unwrap();
+        let stats = vm.stats();
+        // Instructions == fuel spent: the counter shares the metering path.
+        assert_eq!(stats.instructions, DEFAULT_FUEL - vm.fuel_left());
+        // main -> power recurses 4 times beyond the entry frame.
+        assert!(stats.max_frames >= 5, "{stats:?}");
+        assert!(stats.max_stack >= 1, "{stats:?}");
     }
 
     #[test]

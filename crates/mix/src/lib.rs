@@ -22,5 +22,8 @@ pub mod mix;
 pub mod similix;
 
 pub use error::MixError;
-pub use mix::{mix_specialise, mix_specialise_program, MixOptions, MixOutcome, MixPhases, MixStats};
+pub use mix::{
+    mix_specialise, mix_specialise_program, mix_specialise_program_traced, mix_specialise_traced,
+    MixOptions, MixOutcome, MixPhases, MixStats,
+};
 pub use similix::{similix_specialise, SimilixOutcome};

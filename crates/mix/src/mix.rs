@@ -20,6 +20,7 @@ use mspec_lang::eval::Value;
 use mspec_lang::parser::parse_program;
 use mspec_lang::resolve::{resolve, ResolvedProgram};
 use mspec_lang::vm::Runner;
+use mspec_telemetry::{Decision, Recorder, SpecEvent};
 use mspec_types::infer_program;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::rc::Rc;
@@ -57,6 +58,21 @@ pub struct MixStats {
     pub unfolds: usize,
     /// Interpretation steps.
     pub steps: u64,
+}
+
+impl MixStats {
+    /// These counters as the shared CLI summary (mix has no memo-probe
+    /// or generalisation accounting; those fields stay zero).
+    pub fn summary(&self, entry: impl Into<String>) -> mspec_telemetry::SpecSummary {
+        mspec_telemetry::SpecSummary {
+            entry: entry.into(),
+            specialisations: self.specialisations as u64,
+            memo_hits: self.memo_hits as u64,
+            unfolds: self.unfolds as u64,
+            steps: self.steps,
+            ..mspec_telemetry::SpecSummary::default()
+        }
+    }
 }
 
 /// Where a mix session spent its time — the per-session overhead the
@@ -119,10 +135,33 @@ pub fn mix_specialise(
     args: Vec<SpecArg>,
     options: MixOptions,
 ) -> Result<MixOutcome, MixError> {
+    mix_specialise_traced(src, module, function, args, options, &Recorder::disabled())
+}
+
+/// [`mix_specialise`] with telemetry: a span per phase (`mix-parse`,
+/// `mix-check`, `mix-bta`, `mix-spec`) and one decision event per
+/// specialisation request, mirroring the genext engine's events so the
+/// two cost models can be compared trace-to-trace.
+///
+/// # Errors
+///
+/// Any stage's error.
+pub fn mix_specialise_traced(
+    src: &str,
+    module: &str,
+    function: &str,
+    args: Vec<SpecArg>,
+    options: MixOptions,
+    rec: &Recorder,
+) -> Result<MixOutcome, MixError> {
     let t0 = std::time::Instant::now();
-    let program = parse_program(src)?;
+    let program = {
+        let _span = rec.span("mix-parse");
+        parse_program(src)?
+    };
     let parse_ns = t0.elapsed().as_nanos() as u64;
-    let mut outcome = mix_specialise_program(program, module, function, args, options)?;
+    let mut outcome =
+        mix_specialise_program_traced(program, module, function, args, options, rec)?;
     outcome.phases.parse_ns = parse_ns;
     Ok(outcome)
 }
@@ -141,16 +180,45 @@ pub fn mix_specialise_program(
     args: Vec<SpecArg>,
     options: MixOptions,
 ) -> Result<MixOutcome, MixError> {
+    mix_specialise_program_traced(program, module, function, args, options, &Recorder::disabled())
+}
+
+/// As [`mix_specialise_traced`] but starting from an already-parsed
+/// program.
+///
+/// # Errors
+///
+/// Any stage's error.
+pub fn mix_specialise_program_traced(
+    program: Program,
+    module: &str,
+    function: &str,
+    args: Vec<SpecArg>,
+    options: MixOptions,
+    rec: &Recorder,
+) -> Result<MixOutcome, MixError> {
     let t0 = std::time::Instant::now();
-    let resolved = resolve(program)?;
-    let _types = infer_program(&resolved)?;
+    let resolved = {
+        let _span = rec.span("mix-check");
+        let resolved = resolve(program)?;
+        let _types = infer_program(&resolved)?;
+        resolved
+    };
     let check_ns = t0.elapsed().as_nanos() as u64;
     let t1 = std::time::Instant::now();
-    let ann = analyse_program(&resolved)?;
+    let ann = {
+        let _span = rec.span("mix-bta");
+        analyse_program(&resolved)?
+    };
     let bta_ns = t1.elapsed().as_nanos() as u64;
     let entry = QualName::new(module, function);
     let t2 = std::time::Instant::now();
-    let mut interp = MixInterp::new(&ann, &resolved, options, false);
+    let _span = if rec.is_enabled() {
+        rec.span_with("mix-spec", &format!("{module}.{function}"))
+    } else {
+        rec.span("mix-spec")
+    };
+    let mut interp = MixInterp::new(&ann, &resolved, options, false).with_recorder(rec.clone());
     let mut outcome = interp.specialise(&entry, args)?;
     outcome.phases = MixPhases {
         parse_ns: 0,
@@ -311,6 +379,11 @@ pub(crate) struct MixInterp<'a> {
     mono_masks: HashMap<QualName, BtMask>,
     pub(crate) extern_needed: Vec<QualName>,
     out_module: ModName,
+    recorder: Recorder,
+    /// Residual names currently under construction, innermost last —
+    /// the parent attributed to decision events (same scheme as the
+    /// genext engine's `resid_stack`).
+    resid_stack: Vec<Ident>,
 }
 
 impl<'a> MixInterp<'a> {
@@ -347,7 +420,65 @@ impl<'a> MixInterp<'a> {
             mono_masks: HashMap::new(),
             extern_needed: Vec::new(),
             out_module: ModName::new("Spec"),
+            recorder: Recorder::disabled(),
+            resid_stack: Vec::new(),
         }
+    }
+
+    /// Attaches a telemetry recorder (decision events only; stats and
+    /// step accounting are unchanged).
+    pub(crate) fn with_recorder(mut self, rec: Recorder) -> Self {
+        self.recorder = rec;
+        self
+    }
+
+    /// Emits one decision event; a no-op (no formatting, no allocation)
+    /// when the recorder is disabled.
+    #[allow(clippy::too_many_arguments)]
+    fn record_decision(
+        &self,
+        decision: Decision,
+        target: &QualName,
+        mask: BtMask,
+        vars: u32,
+        skeleton_hash: u64,
+        probe: bool,
+        residual: Option<&Ident>,
+        witness: String,
+    ) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        let mut ev = SpecEvent::request(target.to_string(), mask.render(vars));
+        ev.decision = decision;
+        ev.skeleton_hash = skeleton_hash;
+        ev.probe = probe;
+        ev.residual = residual
+            .map(|r| format!("{}.{r}", self.out_module))
+            .unwrap_or_default();
+        ev.witness = witness;
+        ev.parent = self
+            .resid_stack
+            .last()
+            .map(|r| format!("{}.{r}", self.out_module))
+            .unwrap_or_default();
+        ev.chain_depth = self.chain.len() as u64;
+        ev.pending = self.pending.len() as u64;
+        ev.fuel_left = self.fuel.remaining();
+        ev.specs_left =
+            self.options.budget.max_specialisations.saturating_sub(self.memo.len()) as u64;
+        self.recorder.spec(ev);
+    }
+
+    /// Exports session counters onto the recorder (once, at session end).
+    fn flush_counters(&self) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        self.recorder.count("mix.specialisations", self.stats.specialisations as u64);
+        self.recorder.count("mix.memo_hits", self.stats.memo_hits as u64);
+        self.recorder.count("mix.unfolds", self.stats.unfolds as u64);
+        self.recorder.count("mix.steps", self.stats.steps);
     }
 
     pub(crate) fn specialise(
@@ -428,8 +559,19 @@ impl<'a> MixInterp<'a> {
                 _ => Ident::new(format!("d{i}")),
             })
             .collect();
+        let skel = if self.recorder.is_enabled() { mkey_hash(&keys) } else { 0 };
         self.memo
             .insert((*entry, mask.0, keys), entry.name);
+        self.record_decision(
+            Decision::Entry,
+            entry,
+            mask,
+            def.sig.vars,
+            skel,
+            false,
+            Some(&entry.name),
+            String::new(),
+        );
         let mut next = 0;
         let env: BTreeMap<Ident, MVal> = def
             .params
@@ -448,6 +590,7 @@ impl<'a> MixInterp<'a> {
         while let Some(spec) = self.pending.pop_front() {
             self.construct(spec)?;
         }
+        self.flush_counters();
 
         let residual = self.assemble(entry)?;
         Ok(MixOutcome { residual, stats: self.stats, phases: MixPhases::default() })
@@ -517,10 +660,12 @@ impl<'a> MixInterp<'a> {
         let home = spec.target.module;
         let mut env = spec.env;
         self.chain.push(spec.target);
+        self.resid_stack.push(spec.resid_name);
         let result = self.eval(&body, &mut env, spec.mask, &home)?;
         let body_expr = self.lift(result)?;
         self.stats.specialisations += 1;
         self.defs_out.push(Def::new(spec.resid_name, spec.formals, body_expr));
+        self.resid_stack.pop();
         self.chain.pop();
         Ok(())
     }
@@ -724,6 +869,22 @@ impl<'a> MixInterp<'a> {
 
         if def.sig.unfoldable_under(mask) {
             self.stats.unfolds += 1;
+            if self.recorder.is_enabled() {
+                self.record_decision(
+                    Decision::Unfold,
+                    target,
+                    mask,
+                    def.sig.vars,
+                    0,
+                    false,
+                    None,
+                    format!(
+                        "unfold term {} = S under {}",
+                        def.sig.unfold,
+                        mask.render(def.sig.vars)
+                    ),
+                );
+            }
             let body = Rc::clone(&self.bodies[target]);
             let mut env: BTreeMap<Ident, MVal> =
                 def.params.iter().cloned().zip(args).collect();
@@ -750,8 +911,20 @@ impl<'a> MixInterp<'a> {
             }
         }
         let memo_key = (*target, mask.0, keys);
-        if let Some(name) = self.memo.get(&memo_key) {
+        if let Some(name) = self.memo.get(&memo_key).copied() {
             self.stats.memo_hits += 1;
+            if self.recorder.is_enabled() {
+                self.record_decision(
+                    Decision::MemoHit,
+                    target,
+                    mask,
+                    def.sig.vars,
+                    mkey_hash(&memo_key.2),
+                    true,
+                    Some(&name),
+                    String::new(),
+                );
+            }
             return Ok(MVal::Code(Expr::Call(
                 CallName::resolved(self.out_module.as_str(), name.as_str()),
                 leaves,
@@ -770,7 +943,24 @@ impl<'a> MixInterp<'a> {
         let counter = self.counters.entry(*target).or_insert(0);
         *counter += 1;
         let resid_name = Ident::new(format!("{}_{}", target.name, counter));
+        let skel = if self.recorder.is_enabled() { mkey_hash(&memo_key.2) } else { 0 };
         self.memo.insert(memo_key, resid_name);
+        if self.recorder.is_enabled() {
+            self.record_decision(
+                Decision::Residualise,
+                target,
+                mask,
+                def.sig.vars,
+                skel,
+                true,
+                Some(&resid_name),
+                format!(
+                    "unfold term {} = D under {}",
+                    def.sig.unfold,
+                    mask.render(def.sig.vars)
+                ),
+            );
+        }
         let formals = dedupe(names);
         let mut next = 0;
         let env: BTreeMap<Ident, MVal> = def
@@ -786,6 +976,7 @@ impl<'a> MixInterp<'a> {
             resid_name,
             formals,
         });
+        self.recorder.observe("mix.pending_depth", self.pending.len() as u64);
         Ok(MVal::Code(Expr::Call(
             CallName::resolved(self.out_module.as_str(), resid_name.as_str()),
             leaves,

@@ -1,0 +1,250 @@
+//! Emitters: flat JSONL event log, Chrome `trace_event` JSON, and a
+//! human-readable summary.
+
+use crate::event::EventKind;
+use crate::Snapshot;
+use mspec_lang::{Json, JsonError};
+
+impl Snapshot {
+    /// The flat JSONL log: one compact JSON object per line — every
+    /// event in order, then one `counter` line per counter and one
+    /// `hist` line per histogram.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.to_json().write_compact());
+            out.push('\n');
+        }
+        for (name, value) in &self.counters {
+            let line = Json::obj([
+                ("ev", Json::str("counter")),
+                ("name", Json::str(name.clone())),
+                ("value", Json::Num(u128::from(*value))),
+            ]);
+            out.push_str(&line.write_compact());
+            out.push('\n');
+        }
+        for (name, buckets) in &self.hists {
+            let line = Json::obj([
+                ("ev", Json::str("hist")),
+                ("name", Json::str(name.clone())),
+                (
+                    "buckets",
+                    Json::Arr(
+                        buckets
+                            .iter()
+                            .map(|(b, n)| {
+                                Json::Arr(vec![
+                                    Json::Num(u128::from(*b)),
+                                    Json::Num(u128::from(*n)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]);
+            out.push_str(&line.write_compact());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a JSONL log produced by [`Snapshot::to_jsonl`] back into
+    /// a snapshot (used by `mspec explain` and the validators).
+    pub fn parse_jsonl(text: &str) -> Result<Snapshot, JsonError> {
+        let mut snap = Snapshot::default();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let j = Json::parse(line)
+                .map_err(|e| JsonError(format!("line {}: {}", lineno + 1, e.0)))?;
+            let ev = j.get("ev")?.as_str()?;
+            match ev {
+                "counter" => {
+                    snap.counters.push((
+                        j.get("name")?.as_str()?.to_string(),
+                        j.get("value")?.as_u64()?,
+                    ));
+                }
+                "hist" => {
+                    let mut buckets = Vec::new();
+                    for pair in j.get("buckets")?.as_arr()? {
+                        let pair = pair.as_arr()?;
+                        if pair.len() != 2 {
+                            return Err(JsonError("hist bucket expects [bucket, count]".into()));
+                        }
+                        buckets.push((pair[0].as_u32()?, pair[1].as_u64()?));
+                    }
+                    snap.hists.push((j.get("name")?.as_str()?.to_string(), buckets));
+                }
+                _ => {
+                    let parsed = crate::Event::from_json(&j)
+                        .map_err(|e| JsonError(format!("line {}: {}", lineno + 1, e.0)))?;
+                    snap.events.push(parsed);
+                }
+            }
+        }
+        Ok(snap)
+    }
+
+    /// A Chrome `trace_event` document (`{"traceEvents": [...]}`) that
+    /// loads in `about://tracing` / Perfetto. Spans become `B`/`E`
+    /// pairs, instants and spec decisions become thread-scoped `i`
+    /// events, counters become one final `C` sample. Timestamps are
+    /// integer microseconds (the hand-rolled JSON layer is
+    /// integer-only; ns precision is kept in the JSONL log).
+    pub fn to_chrome(&self) -> Json {
+        let us = |ts_ns: u64| Json::Num(u128::from(ts_ns / 1_000));
+        let mut entries = Vec::new();
+        let base = |name: &str, ph: &str, ts_ns: u64, tid: u64| {
+            vec![
+                ("name".to_string(), Json::str(name)),
+                ("ph".to_string(), Json::str(ph)),
+                ("ts".to_string(), us(ts_ns)),
+                ("pid".to_string(), Json::Num(1)),
+                ("tid".to_string(), Json::Num(u128::from(tid))),
+            ]
+        };
+        let mut last_ts = 0;
+        for ev in &self.events {
+            last_ts = ev.ts_ns;
+            match &ev.kind {
+                EventKind::SpanBegin { id, parent, name, detail } => {
+                    let mut e = base(name, "B", ev.ts_ns, ev.tid);
+                    e.push((
+                        "args".to_string(),
+                        Json::obj([
+                            ("span", Json::Num(u128::from(*id))),
+                            ("parent", Json::Num(u128::from(*parent))),
+                            ("detail", Json::str(detail.clone())),
+                        ]),
+                    ));
+                    entries.push(Json::Obj(e));
+                }
+                EventKind::SpanEnd { name, .. } => {
+                    entries.push(Json::Obj(base(name, "E", ev.ts_ns, ev.tid)));
+                }
+                EventKind::Instant { name, detail } => {
+                    let mut e = base(name, "i", ev.ts_ns, ev.tid);
+                    e.push(("s".to_string(), Json::str("t")));
+                    e.push(("args".to_string(), Json::obj([("detail", Json::str(detail.clone()))])));
+                    entries.push(Json::Obj(e));
+                }
+                EventKind::Spec(s) => {
+                    let name = format!("spec {} {}", s.decision.as_str(), s.target);
+                    let mut e = base(&name, "i", ev.ts_ns, ev.tid);
+                    e.push(("s".to_string(), Json::str("t")));
+                    e.push(("args".to_string(), s_args(s)));
+                    entries.push(Json::Obj(e));
+                }
+            }
+        }
+        for (name, value) in &self.counters {
+            let mut e = base(name, "C", last_ts, 0);
+            e.push((
+                "args".to_string(),
+                Json::obj([("value", Json::Num(u128::from(*value)))]),
+            ));
+            entries.push(Json::Obj(e));
+        }
+        Json::obj([("traceEvents", Json::Arr(entries))])
+    }
+
+    /// A short human summary: event counts, counters and histograms.
+    pub fn summary(&self) -> String {
+        let mut spans = 0usize;
+        let mut instants = 0usize;
+        let mut specs = 0usize;
+        for ev in &self.events {
+            match &ev.kind {
+                EventKind::SpanBegin { .. } => spans += 1,
+                EventKind::Instant { .. } => instants += 1,
+                EventKind::Spec(_) => specs += 1,
+                EventKind::SpanEnd { .. } => {}
+            }
+        }
+        let threads = self.events.iter().map(|e| e.tid).max().map_or(0, |t| t + 1);
+        let mut out = format!(
+            "telemetry: {} events ({spans} spans, {instants} instants, {specs} spec decisions) on {threads} thread(s)\n",
+            self.events.len()
+        );
+        for (name, value) in &self.counters {
+            out.push_str(&format!("  counter {name} = {value}\n"));
+        }
+        for (name, buckets) in &self.hists {
+            let total: u64 = buckets.iter().map(|(_, n)| n).sum();
+            let max_bucket = buckets.iter().map(|(b, _)| *b).max().unwrap_or(0);
+            out.push_str(&format!(
+                "  hist    {name}: {total} obs, max bucket 2^{max_bucket}\n"
+            ));
+        }
+        out
+    }
+}
+
+fn s_args(s: &crate::SpecEvent) -> Json {
+    Json::obj([
+        ("seq", Json::Num(u128::from(s.seq))),
+        ("mask", Json::str(s.mask.clone())),
+        ("residual", Json::str(s.residual.clone())),
+        ("witness", Json::str(s.witness.clone())),
+        ("parent", Json::str(s.parent.clone())),
+        ("pending", Json::Num(u128::from(s.pending))),
+        ("fuel_left", Json::Num(u128::from(s.fuel_left))),
+        ("specs_left", Json::Num(u128::from(s.specs_left))),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Recorder, Snapshot, SpecEvent};
+
+    fn sample() -> Snapshot {
+        let rec = Recorder::enabled();
+        {
+            let _s = rec.span_with("build", "2 modules");
+            rec.instant("placed", "Spec");
+            rec.spec(SpecEvent::request("Power.power", "{S,D}"));
+            rec.count("steps", 42);
+            rec.observe("pending", 3);
+        }
+        rec.snapshot()
+    }
+
+    #[test]
+    fn jsonl_roundtrips() {
+        let snap = sample();
+        let text = snap.to_jsonl();
+        let parsed = Snapshot::parse_jsonl(&text).unwrap();
+        assert_eq!(parsed.events, snap.events);
+        assert_eq!(parsed.counters, snap.counters);
+        assert_eq!(parsed.hists, snap.hists);
+        assert_eq!(parsed.to_jsonl(), text);
+    }
+
+    #[test]
+    fn chrome_trace_is_well_formed() {
+        let snap = sample();
+        let doc = snap.to_chrome();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // span B + instant + spec instant + span E + 1 counter.
+        assert_eq!(events.len(), 5);
+        for e in events {
+            e.get("name").unwrap().as_str().unwrap();
+            let ph = e.get("ph").unwrap().as_str().unwrap();
+            assert!(["B", "E", "i", "C"].contains(&ph), "bad phase {ph}");
+            e.get("ts").unwrap().as_u64().unwrap();
+            e.get("pid").unwrap().as_u64().unwrap();
+            e.get("tid").unwrap().as_u64().unwrap();
+        }
+    }
+
+    #[test]
+    fn summary_mentions_counts() {
+        let text = sample().summary();
+        assert!(text.contains("1 spans"), "{text}");
+        assert!(text.contains("1 spec decisions"), "{text}");
+        assert!(text.contains("counter steps = 42"), "{text}");
+    }
+}

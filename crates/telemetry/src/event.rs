@@ -1,0 +1,283 @@
+//! The typed event schema and its JSONL encoding.
+//!
+//! Every event is one JSON object on one line, discriminated by the
+//! `"ev"` field:
+//!
+//! | `"ev"`    | meaning                 | extra fields |
+//! |-----------|-------------------------|--------------|
+//! | `b`       | span begin              | `id`, `parent`, `name`, `detail` |
+//! | `e`       | span end                | `id`, `name` |
+//! | `i`       | instant                 | `name`, `detail` |
+//! | `spec`    | specialisation decision | see [`SpecEvent`] |
+//! | `counter` | final counter value     | `name`, `value` (no `ts`/`tid`) |
+//! | `hist`    | final histogram         | `name`, `buckets` (no `ts`/`tid`) |
+//!
+//! `counter` and `hist` lines trail the event stream — they are the
+//! snapshot's final values, not timed samples.
+
+use mspec_lang::{Json, JsonError};
+
+/// One timed record: nanoseconds since the recorder started, the small
+/// sequential id of the recording thread, and the payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    pub ts_ns: u64,
+    pub tid: u64,
+    pub kind: EventKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    SpanBegin { id: u64, parent: u64, name: String, detail: String },
+    SpanEnd { id: u64, name: String },
+    Instant { name: String, detail: String },
+    Spec(Box<SpecEvent>),
+}
+
+/// Why one specialisation request was decided the way it was — the
+/// paper's `mk_resid` choice points, one event per request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// The session's entry request (always residualised).
+    Entry,
+    /// Unfolded: the unfold annotation evaluated to `S` under the mask.
+    Unfold,
+    /// The memo table already held this specialisation.
+    MemoHit,
+    /// A new residual definition was scheduled.
+    Residualise,
+    /// The budget fallback demoted the call to an all-dynamic residual.
+    Generalise,
+}
+
+impl Decision {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Decision::Entry => "entry",
+            Decision::Unfold => "unfold",
+            Decision::MemoHit => "memo-hit",
+            Decision::Residualise => "residualise",
+            Decision::Generalise => "generalise",
+        }
+    }
+
+    pub fn parse(s: &str) -> Result<Decision, JsonError> {
+        match s {
+            "entry" => Ok(Decision::Entry),
+            "unfold" => Ok(Decision::Unfold),
+            "memo-hit" => Ok(Decision::MemoHit),
+            "residualise" => Ok(Decision::Residualise),
+            "generalise" => Ok(Decision::Generalise),
+            other => Err(JsonError(format!("unknown decision {other:?}"))),
+        }
+    }
+}
+
+/// One specialisation request, with full provenance: what was asked
+/// (`target` under `mask`), how the memo responded, what was decided
+/// and *why* (`witness` carries the dynamic-conditional evidence for
+/// residualisation), which residual definition the request arose inside
+/// (`parent`), and how much budget was left.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecEvent {
+    /// Monotone per-session sequence number (assigned by the recorder).
+    pub seq: u64,
+    /// The source function requested, e.g. `Power.power`.
+    pub target: String,
+    /// The completed binding-time mask, e.g. `{S,D}`.
+    pub mask: String,
+    /// Hash of the static-argument skeleton (0 when not computed, e.g.
+    /// for unfolds).
+    pub skeleton_hash: u64,
+    /// Whether the memo table was probed for this request.
+    pub probe: bool,
+    pub decision: Decision,
+    /// The residual definition satisfying the request (empty for
+    /// unfolds, where the body is inlined instead).
+    pub residual: String,
+    /// Human-readable evidence for the decision, e.g.
+    /// `unfold term t0 = D under {D,S}` for a residualisation.
+    pub witness: String,
+    /// The residual definition under construction when this request was
+    /// made (empty for the entry request).
+    pub parent: String,
+    /// Depth of the construction chain at request time.
+    pub chain_depth: u64,
+    /// Pending-list length after this request was handled.
+    pub pending: u64,
+    /// Remaining step fuel.
+    pub fuel_left: u64,
+    /// Remaining specialisation slots under `max_specialisations`.
+    pub specs_left: u64,
+}
+
+impl SpecEvent {
+    /// A blank request event for `target` under `mask`; callers fill in
+    /// the decision fields before recording.
+    pub fn request(target: impl Into<String>, mask: impl Into<String>) -> SpecEvent {
+        SpecEvent {
+            seq: 0,
+            target: target.into(),
+            mask: mask.into(),
+            skeleton_hash: 0,
+            probe: false,
+            decision: Decision::Entry,
+            residual: String::new(),
+            witness: String::new(),
+            parent: String::new(),
+            chain_depth: 0,
+            pending: 0,
+            fuel_left: 0,
+            specs_left: 0,
+        }
+    }
+}
+
+impl Event {
+    /// One compact JSON object (one JSONL line, sans newline).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("ev".to_string(), Json::str(self.kind.tag())),
+            ("ts".to_string(), Json::Num(u128::from(self.ts_ns))),
+            ("tid".to_string(), Json::Num(u128::from(self.tid))),
+        ];
+        match &self.kind {
+            EventKind::SpanBegin { id, parent, name, detail } => {
+                fields.push(("id".to_string(), Json::Num(u128::from(*id))));
+                fields.push(("parent".to_string(), Json::Num(u128::from(*parent))));
+                fields.push(("name".to_string(), Json::str(name.clone())));
+                fields.push(("detail".to_string(), Json::str(detail.clone())));
+            }
+            EventKind::SpanEnd { id, name } => {
+                fields.push(("id".to_string(), Json::Num(u128::from(*id))));
+                fields.push(("name".to_string(), Json::str(name.clone())));
+            }
+            EventKind::Instant { name, detail } => {
+                fields.push(("name".to_string(), Json::str(name.clone())));
+                fields.push(("detail".to_string(), Json::str(detail.clone())));
+            }
+            EventKind::Spec(s) => {
+                fields.push(("seq".to_string(), Json::Num(u128::from(s.seq))));
+                fields.push(("target".to_string(), Json::str(s.target.clone())));
+                fields.push(("mask".to_string(), Json::str(s.mask.clone())));
+                fields.push(("skel".to_string(), Json::Num(u128::from(s.skeleton_hash))));
+                fields.push(("probe".to_string(), Json::Bool(s.probe)));
+                fields.push(("decision".to_string(), Json::str(s.decision.as_str())));
+                fields.push(("residual".to_string(), Json::str(s.residual.clone())));
+                fields.push(("witness".to_string(), Json::str(s.witness.clone())));
+                fields.push(("parent".to_string(), Json::str(s.parent.clone())));
+                fields.push(("chain".to_string(), Json::Num(u128::from(s.chain_depth))));
+                fields.push(("pending".to_string(), Json::Num(u128::from(s.pending))));
+                fields.push(("fuel_left".to_string(), Json::Num(u128::from(s.fuel_left))));
+                fields.push(("specs_left".to_string(), Json::Num(u128::from(s.specs_left))));
+            }
+        }
+        Json::Obj(fields)
+    }
+
+    /// Parses one JSONL event object (rejects `counter`/`hist` lines —
+    /// those are snapshot trailers, not events).
+    pub fn from_json(j: &Json) -> Result<Event, JsonError> {
+        let ev = j.get("ev")?.as_str()?;
+        let ts_ns = j.get("ts")?.as_u64()?;
+        let tid = j.get("tid")?.as_u64()?;
+        let kind = match ev {
+            "b" => EventKind::SpanBegin {
+                id: j.get("id")?.as_u64()?,
+                parent: j.get("parent")?.as_u64()?,
+                name: j.get("name")?.as_str()?.to_string(),
+                detail: j.get("detail")?.as_str()?.to_string(),
+            },
+            "e" => EventKind::SpanEnd {
+                id: j.get("id")?.as_u64()?,
+                name: j.get("name")?.as_str()?.to_string(),
+            },
+            "i" => EventKind::Instant {
+                name: j.get("name")?.as_str()?.to_string(),
+                detail: j.get("detail")?.as_str()?.to_string(),
+            },
+            "spec" => EventKind::Spec(Box::new(SpecEvent {
+                seq: j.get("seq")?.as_u64()?,
+                target: j.get("target")?.as_str()?.to_string(),
+                mask: j.get("mask")?.as_str()?.to_string(),
+                skeleton_hash: j.get("skel")?.as_u64()?,
+                probe: j.get("probe")?.as_bool()?,
+                decision: Decision::parse(j.get("decision")?.as_str()?)?,
+                residual: j.get("residual")?.as_str()?.to_string(),
+                witness: j.get("witness")?.as_str()?.to_string(),
+                parent: j.get("parent")?.as_str()?.to_string(),
+                chain_depth: j.get("chain")?.as_u64()?,
+                pending: j.get("pending")?.as_u64()?,
+                fuel_left: j.get("fuel_left")?.as_u64()?,
+                specs_left: j.get("specs_left")?.as_u64()?,
+            })),
+            other => return Err(JsonError(format!("unknown event kind {other:?}"))),
+        };
+        Ok(Event { ts_ns, tid, kind })
+    }
+}
+
+impl EventKind {
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::SpanBegin { .. } => "b",
+            EventKind::SpanEnd { .. } => "e",
+            EventKind::Instant { .. } => "i",
+            EventKind::Spec(_) => "spec",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_roundtrip_through_json() {
+        let mut spec = SpecEvent::request("Power.power", "{S,D}");
+        spec.seq = 7;
+        spec.skeleton_hash = 0xdead_beef;
+        spec.probe = true;
+        spec.decision = Decision::Residualise;
+        spec.residual = "Spec.power_1".to_string();
+        spec.witness = "unfold term t0 = D under {D,S}".to_string();
+        spec.parent = "Spec.main_1".to_string();
+        spec.chain_depth = 2;
+        spec.pending = 3;
+        spec.fuel_left = 100;
+        spec.specs_left = 50;
+        let events = vec![
+            Event {
+                ts_ns: 10,
+                tid: 0,
+                kind: EventKind::SpanBegin {
+                    id: 1,
+                    parent: 0,
+                    name: "build".to_string(),
+                    detail: "4 modules".to_string(),
+                },
+            },
+            Event {
+                ts_ns: 11,
+                tid: 1,
+                kind: EventKind::Instant { name: "tick".to_string(), detail: String::new() },
+            },
+            Event { ts_ns: 12, tid: 0, kind: EventKind::Spec(Box::new(spec)) },
+            Event {
+                ts_ns: 13,
+                tid: 0,
+                kind: EventKind::SpanEnd { id: 1, name: "build".to_string() },
+            },
+        ];
+        for ev in &events {
+            let j = Json::parse(&ev.to_json().write_compact()).unwrap();
+            assert_eq!(&Event::from_json(&j).unwrap(), ev);
+        }
+    }
+
+    #[test]
+    fn unknown_event_kind_is_rejected() {
+        let j = Json::parse(r#"{"ev":"zap","ts":1,"tid":0}"#).unwrap();
+        assert!(Event::from_json(&j).is_err());
+    }
+}

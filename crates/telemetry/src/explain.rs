@@ -1,0 +1,190 @@
+//! `mspec explain <fn>`: replay a JSONL event log and print the
+//! provenance tree of every residual version of a function — which
+//! request chain produced it, why it wasn't unfolded, whether the
+//! budget generalised it, and how often the memo served it afterwards.
+
+use crate::event::{Decision, EventKind, SpecEvent};
+use crate::Snapshot;
+use std::fmt::Write as _;
+
+/// Explains every residual version of `query` from a parsed snapshot.
+/// `query` matches a source function (`power` or `Power.power`) or a
+/// residual name (`power_1` or `Spec.power_1`). Returns `None` when no
+/// spec event mentions it.
+pub fn explain(snap: &Snapshot, query: &str) -> Option<String> {
+    let specs: Vec<&SpecEvent> = snap
+        .events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::Spec(s) => Some(s.as_ref()),
+            _ => None,
+        })
+        .collect();
+
+    // The creation event of each residual: the first Entry /
+    // Residualise / Generalise naming it.
+    let creation = |residual: &str| {
+        specs.iter().copied().find(|s| {
+            s.residual == residual
+                && matches!(
+                    s.decision,
+                    Decision::Entry | Decision::Residualise | Decision::Generalise
+                )
+        })
+    };
+
+    let matches_query = |name: &str| {
+        name == query || name.rsplit('.').next() == Some(query)
+    };
+
+    // Every residual version of the queried function (by target or by
+    // residual name), in creation order.
+    let mut versions: Vec<&SpecEvent> = specs
+        .iter()
+        .copied()
+        .filter(|s| {
+            !s.residual.is_empty()
+                && matches!(
+                    s.decision,
+                    Decision::Entry | Decision::Residualise | Decision::Generalise
+                )
+                && (matches_query(&s.target) || matches_query(&s.residual))
+        })
+        .collect();
+    versions.sort_by_key(|s| s.seq);
+    versions.dedup_by_key(|s| s.residual.clone());
+
+    // Unfold-only functions still deserve an answer.
+    let unfolds: Vec<&SpecEvent> = specs
+        .iter()
+        .copied()
+        .filter(|s| s.decision == Decision::Unfold && matches_query(&s.target))
+        .collect();
+
+    if versions.is_empty() && unfolds.is_empty() {
+        return None;
+    }
+
+    let mut out = String::new();
+    if versions.is_empty() {
+        let s = unfolds[0];
+        let _ = writeln!(
+            out,
+            "{}: no residual versions — unfolded {} time(s) ({})",
+            s.target,
+            unfolds.len(),
+            s.witness
+        );
+        return Some(out);
+    }
+
+    let target = &versions[0].target;
+    let _ = writeln!(out, "{}: {} residual version(s)", target, versions.len());
+    for v in &versions {
+        let hits = specs
+            .iter()
+            .filter(|s| s.decision == Decision::MemoHit && s.residual == v.residual)
+            .count();
+        let _ = writeln!(out, "\n  {}  [{} under {}]", v.residual, v.decision.as_str(), v.mask);
+        if !v.witness.is_empty() {
+            let _ = writeln!(out, "    why: {}", v.witness);
+        }
+        let _ = writeln!(
+            out,
+            "    memo: {}, served {hits} later hit(s); pending {} at decision; fuel left {}, spec slots left {}",
+            if v.probe { "probed (miss)" } else { "not probed" },
+            v.pending,
+            v.fuel_left,
+            v.specs_left
+        );
+        // Walk the request chain back to the entry.
+        let mut chain: Vec<String> = Vec::new();
+        let mut cur = v.parent.clone();
+        while !cur.is_empty() && chain.len() < 64 {
+            chain.push(cur.clone());
+            if chain.iter().filter(|c| **c == cur).count() > 1 {
+                break; // recursive residual: stop after showing the cycle once
+            }
+            cur = creation(&cur).map(|c| c.parent.clone()).unwrap_or_default();
+        }
+        if chain.is_empty() {
+            let _ = writeln!(out, "    requested from: <session entry>");
+        } else {
+            let _ = writeln!(out, "    requested from: {} <- <session entry>", chain.join(" <- "));
+        }
+    }
+    if !unfolds.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n  (also unfolded {} time(s) at static call sites)",
+            unfolds.len()
+        );
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Recorder, SpecEvent};
+
+    fn ev(
+        target: &str,
+        decision: Decision,
+        residual: &str,
+        parent: &str,
+        witness: &str,
+    ) -> SpecEvent {
+        let mut e = SpecEvent::request(target, "{D,S}");
+        e.decision = decision;
+        e.residual = residual.to_string();
+        e.parent = parent.to_string();
+        e.witness = witness.to_string();
+        e.probe = decision != Decision::Entry;
+        e
+    }
+
+    fn sample() -> Snapshot {
+        let rec = Recorder::enabled();
+        rec.spec(ev("Power.power", Decision::Entry, "Spec.power_1", "", ""));
+        rec.spec(ev(
+            "Power.power",
+            Decision::Residualise,
+            "Spec.power_2",
+            "Spec.power_1",
+            "unfold term t0 = D under {D,S}",
+        ));
+        rec.spec(ev("Power.power", Decision::MemoHit, "Spec.power_2", "Spec.power_2", ""));
+        rec.snapshot()
+    }
+
+    #[test]
+    fn explains_residual_chain() {
+        let text = explain(&sample(), "power").unwrap();
+        assert!(text.contains("2 residual version(s)"), "{text}");
+        assert!(text.contains("Spec.power_2"), "{text}");
+        assert!(text.contains("unfold term t0 = D under {D,S}"), "{text}");
+        assert!(text.contains("requested from: Spec.power_1 <- <session entry>"), "{text}");
+        assert!(text.contains("served 1 later hit(s)"), "{text}");
+    }
+
+    #[test]
+    fn query_by_residual_name_works() {
+        let text = explain(&sample(), "Spec.power_2").unwrap();
+        assert!(text.contains("Spec.power_2"), "{text}");
+    }
+
+    #[test]
+    fn unknown_function_returns_none() {
+        assert!(explain(&sample(), "nope").is_none());
+    }
+
+    #[test]
+    fn unfold_only_function_is_reported() {
+        let rec = Recorder::enabled();
+        rec.spec(ev("Lib.sq", Decision::Unfold, "", "Spec.main_1", "unfold term = S under {S}"));
+        let text = explain(&rec.snapshot(), "sq").unwrap();
+        assert!(text.contains("no residual versions"), "{text}");
+        assert!(text.contains("unfolded 1 time(s)"), "{text}");
+    }
+}

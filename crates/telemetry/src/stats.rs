@@ -1,0 +1,91 @@
+//! The one human stats formatter for specialisation sessions, shared by
+//! the CLI's `spec`, `link-spec` and `mix` paths (previously three
+//! hand-rolled blocks, one of which printed the budget-generalisation
+//! count twice in two formats).
+
+use std::fmt;
+
+/// Session-level specialisation statistics in presentation form. Both
+/// the genext engine's `SpecStats` and mix's `MixStats` convert into
+/// this; fields the producer does not track stay zero and are elided
+/// from the output.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpecSummary {
+    /// The residual entry point, e.g. `Spec.power_1`.
+    pub entry: String,
+    pub specialisations: u64,
+    pub memo_probes: u64,
+    pub memo_hits: u64,
+    pub unfolds: u64,
+    pub steps: u64,
+    pub peak_pending: u64,
+    pub residual_nodes: u64,
+    /// Calls the budget fallback demoted to dynamic residual calls.
+    pub generalised: u64,
+}
+
+impl fmt::Display for SpecSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "-- entry {}: {} specialisations, {} unfolds, {} memo hits",
+            self.entry, self.specialisations, self.unfolds, self.memo_hits
+        )?;
+        if self.memo_probes > 0 {
+            write!(f, " (of {} probes)", self.memo_probes)?;
+        }
+        if self.steps > 0 {
+            write!(f, ", {} steps", self.steps)?;
+        }
+        if self.residual_nodes > 0 {
+            write!(f, ", {} residual nodes", self.residual_nodes)?;
+        }
+        if self.peak_pending > 0 {
+            write!(f, ", peak pending {}", self.peak_pending)?;
+        }
+        if self.generalised > 0 {
+            // The single budget line (this used to be printed twice).
+            write!(
+                f,
+                "\n-- budget hit: {} call(s) generalised to dynamic residual calls",
+                self.generalised
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elides_untracked_fields() {
+        let s = SpecSummary {
+            entry: "Spec.power_1".to_string(),
+            specialisations: 3,
+            memo_hits: 1,
+            unfolds: 2,
+            ..SpecSummary::default()
+        };
+        let text = s.to_string();
+        assert_eq!(text, "-- entry Spec.power_1: 3 specialisations, 2 unfolds, 1 memo hits");
+    }
+
+    #[test]
+    fn budget_line_appears_exactly_once() {
+        let s = SpecSummary {
+            entry: "Spec.f_1".to_string(),
+            specialisations: 5,
+            memo_probes: 4,
+            memo_hits: 2,
+            steps: 100,
+            generalised: 3,
+            ..SpecSummary::default()
+        };
+        let text = s.to_string();
+        assert_eq!(text.matches("generalised").count(), 1, "{text}");
+        assert!(text.contains("(of 4 probes)"), "{text}");
+        assert!(text.contains("budget hit: 3 call(s)"), "{text}");
+    }
+}

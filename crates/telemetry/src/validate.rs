@@ -1,0 +1,238 @@
+//! Event-schema checker for emitted trace files (`mspec trace-check`).
+//!
+//! Accepts either emitter's output and auto-detects which it is:
+//! a Chrome `trace_event` document (one JSON object with a
+//! `traceEvents` array) or a flat JSONL event log. Checks structural
+//! well-formedness — parseability, known event kinds, required fields,
+//! span begin/end balance per thread — and returns a small census.
+
+use crate::event::EventKind;
+use crate::Snapshot;
+use mspec_lang::Json;
+use std::collections::HashMap;
+use std::fmt;
+
+/// What a valid trace contained.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct ValidateReport {
+    pub format: &'static str,
+    pub events: usize,
+    pub spans: usize,
+    pub spec_events: usize,
+    pub counters: usize,
+    pub hists: usize,
+    pub threads: usize,
+}
+
+impl fmt::Display for ValidateReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} trace OK: {} events ({} spans, {} spec decisions), {} counters, {} histograms, {} thread(s)",
+            self.format, self.events, self.spans, self.spec_events, self.counters,
+            self.hists, self.threads
+        )
+    }
+}
+
+/// Validates a trace file's text. Returns the census on success and a
+/// line-anchored message on the first structural problem.
+pub fn validate(text: &str) -> Result<ValidateReport, String> {
+    if looks_like_chrome(text.trim_start()) {
+        validate_chrome(text)
+    } else {
+        validate_jsonl(text)
+    }
+}
+
+/// A Chrome document is a single JSON object whose first key is
+/// `traceEvents`; anything else is treated as a JSONL log. Sniffing the
+/// first key (rather than line count) keeps one-line JSONL logs and
+/// pretty-printed Chrome documents both detected correctly.
+fn looks_like_chrome(trimmed: &str) -> bool {
+    trimmed.starts_with('{')
+        && trimmed[1..].trim_start().starts_with("\"traceEvents\"")
+}
+
+fn validate_jsonl(text: &str) -> Result<ValidateReport, String> {
+    let snap = Snapshot::parse_jsonl(text).map_err(|e| e.0)?;
+    let mut report = ValidateReport { format: "jsonl", ..ValidateReport::default() };
+    report.events = snap.events.len();
+    report.counters = snap.counters.len();
+    report.hists = snap.hists.len();
+    let mut open: HashMap<u64, Vec<(u64, String)>> = HashMap::new();
+    let mut tids: Vec<u64> = Vec::new();
+    let mut last_ts = 0u64;
+    for (i, ev) in snap.events.iter().enumerate() {
+        if ev.ts_ns < last_ts {
+            return Err(format!(
+                "event {}: timestamp {} goes backwards (previous {})",
+                i + 1,
+                ev.ts_ns,
+                last_ts
+            ));
+        }
+        last_ts = ev.ts_ns;
+        if !tids.contains(&ev.tid) {
+            tids.push(ev.tid);
+        }
+        match &ev.kind {
+            EventKind::SpanBegin { id, name, .. } => {
+                report.spans += 1;
+                open.entry(ev.tid).or_default().push((*id, name.clone()));
+            }
+            EventKind::SpanEnd { id, name } => {
+                let stack = open.entry(ev.tid).or_default();
+                let Some(pos) = stack.iter().rposition(|(sid, _)| sid == id) else {
+                    return Err(format!(
+                        "event {}: span end id={id} ({name}) without a matching begin on tid {}",
+                        i + 1,
+                        ev.tid
+                    ));
+                };
+                let (_, open_name) = stack.remove(pos);
+                if &open_name != name {
+                    return Err(format!(
+                        "event {}: span id={id} ends as {name:?} but began as {open_name:?}",
+                        i + 1
+                    ));
+                }
+            }
+            EventKind::Instant { .. } => {}
+            EventKind::Spec(s) => {
+                report.spec_events += 1;
+                if s.target.is_empty() {
+                    return Err(format!("event {}: spec event with empty target", i + 1));
+                }
+                if s.seq == 0 {
+                    return Err(format!("event {}: spec event with seq 0", i + 1));
+                }
+            }
+        }
+    }
+    for (tid, stack) in &open {
+        if let Some((id, name)) = stack.last() {
+            return Err(format!(
+                "span id={id} ({name}) on tid {tid} never ends"
+            ));
+        }
+    }
+    report.threads = tids.len();
+    Ok(report)
+}
+
+fn validate_chrome(text: &str) -> Result<ValidateReport, String> {
+    let doc = Json::parse(text).map_err(|e| e.0)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(|t| t.as_arr())
+        .map_err(|e| format!("not a trace_event document: {}", e.0))?;
+    let mut report = ValidateReport { format: "chrome", ..ValidateReport::default() };
+    report.events = events.len();
+    let mut depth: HashMap<u64, i64> = HashMap::new();
+    let mut tids: Vec<u64> = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        let field = |k: &str| {
+            e.get(k).map_err(|err| format!("traceEvents[{i}]: {}", err.0))
+        };
+        let name = field("name")?.as_str().map_err(|err| err.0)?;
+        let ph = field("ph")?.as_str().map_err(|err| err.0)?;
+        field("ts")?.as_u64().map_err(|err| err.0)?;
+        field("pid")?.as_u64().map_err(|err| err.0)?;
+        let tid = field("tid")?.as_u64().map_err(|err| err.0)?;
+        if !tids.contains(&tid) {
+            tids.push(tid);
+        }
+        match ph {
+            "B" => {
+                report.spans += 1;
+                *depth.entry(tid).or_insert(0) += 1;
+            }
+            "E" => {
+                let d = depth.entry(tid).or_insert(0);
+                *d -= 1;
+                if *d < 0 {
+                    return Err(format!(
+                        "traceEvents[{i}]: E ({name}) without a matching B on tid {tid}"
+                    ));
+                }
+            }
+            "i" => {
+                if name.starts_with("spec ") {
+                    report.spec_events += 1;
+                }
+            }
+            "C" => report.counters += 1,
+            other => {
+                return Err(format!("traceEvents[{i}]: unknown phase {other:?}"));
+            }
+        }
+    }
+    for (tid, d) in &depth {
+        if *d != 0 {
+            return Err(format!("{d} span(s) never end on tid {tid}"));
+        }
+    }
+    report.threads = tids.len();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Recorder, SpecEvent};
+
+    fn sample() -> Snapshot {
+        let rec = Recorder::enabled();
+        {
+            let _s = rec.span("build");
+            let mut ev = SpecEvent::request("Power.power", "{S,D}");
+            ev.decision = crate::Decision::Residualise;
+            ev.residual = "Spec.power_1".to_string();
+            rec.spec(ev);
+            rec.count("steps", 9);
+        }
+        rec.snapshot()
+    }
+
+    #[test]
+    fn valid_jsonl_passes() {
+        let r = validate(&sample().to_jsonl()).unwrap();
+        assert_eq!(r.format, "jsonl");
+        assert_eq!(r.spans, 1);
+        assert_eq!(r.spec_events, 1);
+        assert_eq!(r.counters, 1);
+    }
+
+    #[test]
+    fn valid_chrome_passes() {
+        let r = validate(&sample().to_chrome().write_pretty()).unwrap();
+        assert_eq!(r.format, "chrome");
+        assert_eq!(r.spans, 1);
+        assert_eq!(r.spec_events, 1);
+    }
+
+    #[test]
+    fn unbalanced_span_is_rejected() {
+        let log = r#"{"ev":"b","ts":1,"tid":0,"id":1,"parent":0,"name":"x","detail":""}"#;
+        let err = validate(log).unwrap_err();
+        assert!(err.contains("never ends"), "{err}");
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(validate("not json at all").is_err());
+        assert!(validate(r#"{"ev":"zap","ts":1,"tid":0}"#).is_err());
+    }
+
+    #[test]
+    fn mismatched_end_name_is_rejected() {
+        let log = concat!(
+            r#"{"ev":"b","ts":1,"tid":0,"id":1,"parent":0,"name":"x","detail":""}"#,
+            "\n",
+            r#"{"ev":"e","ts":2,"tid":0,"id":1,"name":"y"}"#,
+        );
+        let err = validate(log).unwrap_err();
+        assert!(err.contains("began as"), "{err}");
+    }
+}

@@ -18,8 +18,10 @@ pub mod corrupt;
 pub mod library;
 pub mod random;
 pub mod rng;
+pub mod scrub;
 
 pub use corrupt::{bump_version, flip_bit_at, flip_random_bit, truncate_file};
 pub use library::{layered_program, library_program, LayeredShape, LibraryShape};
 pub use random::{random_program, GenConfig};
 pub use rng::TestRng;
+pub use scrub::scrub_timestamps;

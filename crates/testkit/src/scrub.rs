@@ -1,0 +1,59 @@
+//! Scrubbers for comparing telemetry output across runs.
+//!
+//! Telemetry events are deterministic in everything except wall-clock
+//! timestamps (span ids, sequence numbers and thread ids come from
+//! monotone counters). [`scrub_timestamps`] zeroes the `"ts"` fields of
+//! a JSONL event log so two runs of the same workload can be compared
+//! byte-for-byte.
+
+/// Replaces every `"ts":<digits>` occurrence with `"ts":0`. Hand-rolled
+/// scan (no regex dependency); values are only rewritten when the key
+/// is followed by a literal run of digits, so string fields that happen
+/// to contain `"ts"` are untouched.
+pub fn scrub_timestamps(text: &str) -> String {
+    const KEY: &str = "\"ts\":";
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(pos) = rest.find(KEY) {
+        let after = pos + KEY.len();
+        let digits = rest[after..].chars().take_while(|c| c.is_ascii_digit()).count();
+        if digits > 0 {
+            out.push_str(&rest[..after]);
+            out.push('0');
+            rest = &rest[after + digits..];
+        } else {
+            out.push_str(&rest[..after]);
+            rest = &rest[after..];
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroes_timestamps_only() {
+        let line = r#"{"ev":"b","ts":123456789,"tid":0,"name":"build","detail":"ts"}"#;
+        assert_eq!(
+            scrub_timestamps(line),
+            r#"{"ev":"b","ts":0,"tid":0,"name":"build","detail":"ts"}"#
+        );
+    }
+
+    #[test]
+    fn scrubs_every_line() {
+        let text = "{\"ts\":1}\n{\"ts\":22}\n{\"ev\":\"counter\",\"value\":3}\n";
+        assert_eq!(
+            scrub_timestamps(text),
+            "{\"ts\":0}\n{\"ts\":0}\n{\"ev\":\"counter\",\"value\":3}\n"
+        );
+    }
+
+    #[test]
+    fn key_without_digits_is_left_alone() {
+        assert_eq!(scrub_timestamps("\"ts\":x"), "\"ts\":x");
+    }
+}

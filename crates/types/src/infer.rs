@@ -94,6 +94,22 @@ pub fn infer_module(
     Ok(done)
 }
 
+/// [`infer_module`] under a telemetry span (`typecheck`, detail = the
+/// module name), counting definitions inferred.
+///
+/// # Errors
+///
+/// Any [`TypeError`] found in the module.
+pub fn infer_module_traced(
+    module: &Module,
+    imports: &BTreeMap<ModName, TypeInterface>,
+    rec: &mspec_telemetry::Recorder,
+) -> Result<TypeInterface, TypeError> {
+    let _span = rec.span_with("typecheck", module.name.as_str());
+    rec.count("types.defs_inferred", module.defs.len() as u64);
+    infer_module(module, imports)
+}
+
 /// Strongly connected components of the module-local call graph, in
 /// dependency order (callees before callers).
 fn local_sccs(module: &Module) -> Vec<Vec<usize>> {

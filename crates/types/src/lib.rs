@@ -38,6 +38,6 @@ pub mod ty;
 pub mod unify;
 
 pub use error::TypeError;
-pub use infer::{infer_module, infer_program, ProgramTypes};
+pub use infer::{infer_module, infer_module_traced, infer_program, ProgramTypes};
 pub use interface::TypeInterface;
 pub use ty::{FnScheme, Subst, TyVar, Type};

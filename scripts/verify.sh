@@ -22,6 +22,23 @@ timeout 300 cargo test -q --offline -p mspec-core --test vm_differential
 echo "==> cargo test -q (offline)"
 timeout 1800 cargo test -q --offline
 
+echo "==> traced link-spec session + trace validation"
+# One end-to-end observability smoke: build generating extensions from
+# the example sources, run a traced link-spec, then schema-check both
+# emitted documents with the mspec binary itself. The artefacts land in
+# target/telemetry/ (uploaded by CI for inspection in Perfetto).
+rm -rf target/telemetry
+mkdir -p target/telemetry/src
+cp examples/programs/power.mspec target/telemetry/src/Power.mspec
+timeout 120 ./target/release/mspec build target/telemetry/src --out target/telemetry/gx \
+  --trace target/telemetry/build-trace.json
+timeout 120 ./target/release/mspec link-spec target/telemetry/gx \
+  --entry Power.power --args S:5,D \
+  --trace target/telemetry/trace.json --metrics target/telemetry/events.jsonl
+timeout 60 ./target/release/mspec trace-check target/telemetry/build-trace.json
+timeout 60 ./target/release/mspec trace-check target/telemetry/trace.json
+timeout 60 ./target/release/mspec trace-check target/telemetry/events.jsonl
+
 echo "==> cargo clippy --all-targets -- -D warnings (offline)"
 cargo clippy --all-targets --offline -- -D warnings
 
