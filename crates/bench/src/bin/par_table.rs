@@ -1,0 +1,294 @@
+//! PR 6 parallel-execution table: work-stealing pipeline builds vs the
+//! level-barrier driver, and concurrent-engine specialise-time scaling,
+//! on a uniform and a deliberately skewed workload each.
+//!
+//! Run: `cargo run --release -p mspec-bench --bin par_table`
+//!
+//! Prints the comparison and writes machine-readable results to
+//! `BENCH_pr6.json` in the current directory. Thread counts are 1, 2, 4
+//! and `cores()` (deduplicated); `cores` is recorded so readers can
+//! interpret the ratios — a 1-core container cannot show speedups, and
+//! the `threads = 1` row doubles as the acceptance check that the
+//! work-stealing paths cost within a few percent of the sequential
+//! ones.
+
+use mspec_bench::{cores, time_min, us};
+use mspec_core::{BuildMode, EngineOptions, Pipeline, Recorder, SpecArg};
+use mspec_lang::eval::with_big_stack;
+use mspec_lang::{Json, QualName};
+use mspec_testkit::{library_program, LibraryShape};
+use std::collections::BTreeSet;
+use std::num::NonZeroUsize;
+use std::time::Duration;
+
+fn nanos(d: Duration) -> Json {
+    Json::Num(d.as_nanos())
+}
+
+/// `f64` ratio carried in integer JSON: `1.037x` encodes as `1037`.
+fn milli_ratio(x: f64) -> Json {
+    Json::Num((x * 1000.0).round().max(0.0) as u128)
+}
+
+/// The thread counts measured: 1, 2, 4 and every core, deduplicated and
+/// labelled (the `max` row keeps its numeric label so the JSON is
+/// self-describing).
+fn thread_counts() -> Vec<usize> {
+    let mut ns = vec![1, 2, 4, cores()];
+    ns.sort_unstable();
+    ns.dedup();
+    ns
+}
+
+fn obj(fields: Vec<(String, Json)>) -> Json {
+    Json::Obj(fields)
+}
+
+/// A uniform module graph: every module the same size, so the level
+/// barrier loses little — this measures scheduler overhead.
+fn uniform_build_program() -> mspec_lang::ast::Program {
+    let shape = mspec_testkit::LayeredShape {
+        levels: 3,
+        width: 8,
+        fns_per_module: 12,
+        exponent: 5,
+    };
+    mspec_testkit::layered_program(&shape).0
+}
+
+/// A skewed module graph: each level has one module ~10x the size of
+/// its siblings, so a level barrier serialises on the big module while
+/// ready dependents of the small ones wait. Work-stealing starts them
+/// immediately.
+fn skewed_build_source(levels: usize, width: usize) -> String {
+    let mut src = String::new();
+    for l in 0..levels {
+        for m in 0..width {
+            let fns = if m == 0 { 40 } else { 4 };
+            src.push_str(&format!("module L{l}M{m} where\n"));
+            if l > 0 {
+                for im in 0..width {
+                    src.push_str(&format!("import L{}M{im}\n", l - 1));
+                }
+            }
+            for i in 0..fns {
+                if l == 0 {
+                    src.push_str(&format!("l{l}m{m}f{i} x = x + {i}\n"));
+                } else {
+                    let dep_m = (m + i) % width;
+                    let dep_i = i % 4;
+                    src.push_str(&format!(
+                        "l{l}m{m}f{i} x = l{}m{dep_m}f{dep_i} (x + 1)\n",
+                        l - 1
+                    ));
+                }
+            }
+        }
+    }
+    src.push_str("module Main where\n");
+    for m in 0..width {
+        src.push_str(&format!("import L{}M{m}\n", levels - 1));
+    }
+    src.push_str("main x = ");
+    let terms: Vec<String> =
+        (0..width).map(|m| format!("l{}m{m}f0 x", levels - 1)).collect();
+    src.push_str(&terms.join(" + "));
+    src.push('\n');
+    src
+}
+
+/// Times `Pipeline::from_program_timed` under each mode for one graph.
+fn build_rows(program: &mspec_lang::ast::Program, iters: usize) -> Vec<(String, Duration)> {
+    let forced = BTreeSet::new();
+    let time_mode = |mode: BuildMode| {
+        time_min(iters, || {
+            Pipeline::from_program_timed(program.clone(), &forced, mode).unwrap()
+        })
+        .0
+    };
+    let mut rows = vec![
+        ("sequential".to_string(), time_mode(BuildMode::Sequential)),
+        ("level_barrier".to_string(), time_mode(BuildMode::LevelBarrier)),
+    ];
+    for n in thread_counts() {
+        rows.push((
+            format!("workstealing_{n}"),
+            time_mode(BuildMode::Threads(NonZeroUsize::new(n).unwrap())),
+        ));
+    }
+    rows
+}
+
+/// A uniform specialisation workload: every library function forced
+/// residual, so the session produces many similar-size residual defs.
+fn uniform_spec_pipeline() -> (Pipeline, QualName) {
+    let shape = LibraryShape {
+        modules: 16,
+        fns_per_module: 8,
+        used_fns: 8,
+        exponent: 24,
+        cross_module: true,
+    };
+    let (program, entry) = library_program(&shape);
+    let force: BTreeSet<QualName> = program
+        .modules
+        .iter()
+        .filter(|m| m.name.as_str() != "Main")
+        .flat_map(|m| m.defs.iter().map(|d| QualName { module: m.name, name: d.name }))
+        .collect();
+    (Pipeline::from_program_with(program, &force).unwrap(), entry)
+}
+
+/// A skewed specialisation workload: one deep forced-residual chain
+/// (`walk 160`) races a fan of short ones, so the frontier narrows to a
+/// single chain — the worst case for the round-based engine.
+fn skewed_spec_pipeline() -> (Pipeline, QualName) {
+    let mut src = String::from(
+        "module Deep where\nwalk n x = if n == 1 then x else x + walk (n - 1) x\n\
+         module Main where\nimport Deep\nmain x = walk 160 x",
+    );
+    for k in 0..24 {
+        src.push_str(&format!(" + walk {} (x + {k})", 3 + k));
+    }
+    src.push('\n');
+    let forced: BTreeSet<QualName> = [QualName::new("Deep", "walk")].into();
+    (Pipeline::from_source_with(&src, &forced).unwrap(), QualName::new("Main", "main"))
+}
+
+/// Times one spec workload sequentially and at each thread count;
+/// asserts the residuals agree and returns `(rows, defs)`.
+fn spec_rows(
+    pipeline: &Pipeline,
+    entry: &QualName,
+    iters: usize,
+) -> (Vec<(String, Duration)>, usize) {
+    let args = || vec![SpecArg::Dynamic];
+    let (seq_t, seq) = time_min(iters, || {
+        pipeline
+            .specialise_opts(
+                entry.module.as_str(),
+                entry.name.as_str(),
+                args(),
+                EngineOptions::default(),
+            )
+            .unwrap()
+    });
+    let mut rows = vec![("sequential".to_string(), seq_t)];
+    for n in thread_counts() {
+        let (t, par) = time_min(iters, || {
+            pipeline
+                .specialise_threaded(
+                    entry.module.as_str(),
+                    entry.name.as_str(),
+                    args(),
+                    EngineOptions::default(),
+                    NonZeroUsize::new(n).unwrap(),
+                    &Recorder::disabled(),
+                )
+                .unwrap()
+        });
+        assert_eq!(seq.source(), par.source(), "threaded residual drifted at {n} threads");
+        rows.push((format!("threads_{n}"), t));
+    }
+    (rows, seq.stats.specialisations)
+}
+
+fn rows_to_json(rows: &[(String, Duration)]) -> Vec<(String, Json)> {
+    rows.iter().map(|(k, d)| (format!("{k}_ns"), nanos(*d))).collect()
+}
+
+fn ratio_vs_sequential(rows: &[(String, Duration)], key: &str) -> f64 {
+    let seq = rows[0].1.as_secs_f64();
+    let t = rows.iter().find(|(k, _)| k == key).expect("row exists").1.as_secs_f64();
+    t / seq
+}
+
+fn print_rows(title: &str, rows: &[(String, Duration)]) {
+    println!("{title}:");
+    for (k, d) in rows {
+        println!("  {k:<18} {} us", us(*d));
+    }
+}
+
+fn main() {
+    with_big_stack(run);
+}
+
+fn run() {
+    let cores = cores();
+    println!("PR 6 parallel-execution table (cores = {cores})");
+    println!();
+
+    // --- pipeline builds: level barrier vs work-stealing -------------
+    let uniform = uniform_build_program();
+    let skewed = mspec_lang::parser::parse_program(&skewed_build_source(3, 6)).unwrap();
+    let uniform_build = build_rows(&uniform, 10);
+    let skewed_build = build_rows(&skewed, 10);
+    print_rows("build, uniform layered graph", &uniform_build);
+    print_rows("build, skewed graph (one 10x module per level)", &skewed_build);
+    println!();
+
+    // --- the concurrent engine: specialise-time scaling --------------
+    let (upipe, uentry) = uniform_spec_pipeline();
+    let (uniform_spec, uniform_defs) = spec_rows(&upipe, &uentry, 12);
+    let (spipe, sentry) = skewed_spec_pipeline();
+    let (skewed_spec, skewed_defs) = spec_rows(&spipe, &sentry, 12);
+    print_rows(&format!("specialise, uniform polyvariant library ({uniform_defs} defs)"),
+        &uniform_spec);
+    print_rows(&format!("specialise, skewed chain-vs-fan ({skewed_defs} defs)"), &skewed_spec);
+
+    let u1 = ratio_vs_sequential(&uniform_spec, "threads_1");
+    let s1 = ratio_vs_sequential(&skewed_spec, "threads_1");
+    println!();
+    println!("threads=1 vs sequential engine: uniform {u1:.3}x, skewed {s1:.3}x");
+    println!("(acceptance: within 5% — ratios at or below 1.050)");
+    if cores == 1 {
+        println!("(single-core machine: no parallel speedup is possible here)");
+    }
+
+    let section = |rows: &[(String, Duration)], extra: Vec<(String, Json)>| {
+        let mut fields = rows_to_json(rows);
+        fields.extend(extra);
+        obj(fields)
+    };
+    let report = obj(vec![
+        ("pr".to_string(), Json::str("pr6")),
+        ("cores".to_string(), Json::Num(cores as u128)),
+        (
+            "build_scaling".to_string(),
+            obj(vec![
+                ("uniform".to_string(), section(&uniform_build, vec![])),
+                ("skewed".to_string(), section(&skewed_build, vec![])),
+            ]),
+        ),
+        (
+            "spec_scaling".to_string(),
+            obj(vec![
+                (
+                    "uniform".to_string(),
+                    section(
+                        &uniform_spec,
+                        vec![
+                            ("defs".to_string(), Json::Num(uniform_defs as u128)),
+                            ("threads1_vs_sequential_milli".to_string(), milli_ratio(u1)),
+                        ],
+                    ),
+                ),
+                (
+                    "skewed".to_string(),
+                    section(
+                        &skewed_spec,
+                        vec![
+                            ("defs".to_string(), Json::Num(skewed_defs as u128)),
+                            ("threads1_vs_sequential_milli".to_string(), milli_ratio(s1)),
+                        ],
+                    ),
+                ),
+            ]),
+        ),
+    ]);
+
+    std::fs::write("BENCH_pr6.json", report.write_pretty()).expect("write BENCH_pr6.json");
+    println!();
+    println!("wrote BENCH_pr6.json");
+}

@@ -25,7 +25,10 @@ use mspec_lang::resolve::resolve;
 use mspec_telemetry::{ModuleOutcome, Recorder};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
+use std::num::NonZeroUsize;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Instant, SystemTime};
 
 /// The result of a build run: the canonical telemetry report at this
@@ -42,6 +45,12 @@ pub struct BuildOptions {
     pub force_residual: BTreeMap<ModName, BTreeSet<Ident>>,
     /// Rebuild everything regardless of timestamps.
     pub force: bool,
+    /// Worker count for a concurrent build: `None` builds one module at
+    /// a time in dependency order (the incremental default); `Some(n)`
+    /// schedules ready modules over `n` work-stealing workers (a module
+    /// is released when its last import finishes). Artefacts and the
+    /// report are identical either way — only wall-clock time changes.
+    pub threads: Option<NonZeroUsize>,
 }
 
 /// Builds (incrementally) all modules of `src_dir` into `out_dir`.
@@ -111,44 +120,154 @@ pub fn build_traced(
 
     let mut report =
         BuildReport { out_dir: Some(out_dir.to_path_buf()), ..BuildReport::default() };
+
+    if let Some(threads) = options.threads {
+        let order: Vec<ModName> = graph.topo_order().to_vec();
+        let changed: Mutex<BTreeSet<ModName>> = Mutex::new(BTreeSet::new());
+        for (_, name, res) in build_workstealing(
+            &resolved, &graph, &path_of, out_dir, options, threads, rec, &order, &changed,
+        ) {
+            report.push(name, res?);
+        }
+        rec.count("cogen.modules_rebuilt", report.rebuilt() as u64);
+        return Ok(report);
+    }
+
     let mut iface_changed: BTreeSet<ModName> = BTreeSet::new();
     for name in graph.topo_order() {
         let module = resolved.program().module(name.as_str()).unwrap();
-        let src_path = path_of[&name];
-        let bti = out_dir.join(format!("{name}.bti"));
-        let gx = out_dir.join(format!("{name}.gx"));
-
-        let stale = options.force
-            || !bti.exists()
-            || !gx.exists()
-            || newer(src_path, &bti)?
-            || module.imports.iter().any(|i| iface_changed.contains(i));
-
-        if !stale {
-            report.push(*name, ModuleOutcome::UpToDate);
-            continue;
-        }
-        let span = if rec.is_enabled() {
-            rec.span_with("cogen-module", name.as_str())
-        } else {
-            rec.span("cogen-module")
-        };
-        let old_iface = if bti.exists() { Some(load_bti(&bti)?) } else { None };
-        let forced = options.force_residual.get(name).cloned().unwrap_or_default();
-        let out = cogen_module(module, out_dir, &forced)?;
-        if rec.is_enabled() {
-            rec.count("io.bti_bytes_written", file_len(&out.bti));
-            rec.count("io.gx_bytes_written", file_len(&out.gx));
-        }
-        let new_iface = load_bti(&bti)?;
-        if old_iface.as_ref() != Some(&new_iface) {
+        let imports_changed = module.imports.iter().any(|i| iface_changed.contains(i));
+        let (outcome, changed) =
+            build_one(module, path_of[&name], out_dir, options, imports_changed, rec)?;
+        if changed {
             iface_changed.insert(*name);
         }
-        drop(span);
-        report.push(*name, ModuleOutcome::Built);
+        report.push(*name, outcome);
     }
     rec.count("cogen.modules_rebuilt", report.rebuilt() as u64);
     Ok(report)
+}
+
+/// One module's incremental step: the staleness check, then (when
+/// stale) cogen plus the old/new `.bti` comparison that decides whether
+/// downstream modules must rebuild. Returns the outcome and whether the
+/// interface changed. Shared between the sequential and work-stealing
+/// drivers — by the time it runs, every import's step has completed.
+fn build_one(
+    module: &Module,
+    src_path: &Path,
+    out_dir: &Path,
+    options: &BuildOptions,
+    imports_changed: bool,
+    rec: &Recorder,
+) -> Result<(ModuleOutcome<CogenError>, bool), CogenError> {
+    let name = module.name;
+    let bti = out_dir.join(format!("{name}.bti"));
+    let gx = out_dir.join(format!("{name}.gx"));
+
+    let stale = options.force
+        || !bti.exists()
+        || !gx.exists()
+        || newer(src_path, &bti)?
+        || imports_changed;
+
+    if !stale {
+        return Ok((ModuleOutcome::UpToDate, false));
+    }
+    let _span = if rec.is_enabled() {
+        rec.span_with("cogen-module", name.as_str())
+    } else {
+        rec.span("cogen-module")
+    };
+    let old_iface = if bti.exists() { Some(load_bti(&bti)?) } else { None };
+    let forced = options.force_residual.get(&name).cloned().unwrap_or_default();
+    let out = cogen_module(module, out_dir, &forced)?;
+    if rec.is_enabled() {
+        rec.count("io.bti_bytes_written", file_len(&out.bti));
+        rec.count("io.gx_bytes_written", file_len(&out.gx));
+    }
+    let new_iface = load_bti(&bti)?;
+    Ok((ModuleOutcome::Built, old_iface.as_ref() != Some(&new_iface)))
+}
+
+/// Ready-count work-stealing cogen: one task per module, released when
+/// its last import finishes, so a slow sibling no longer delays an
+/// independent subtree. Results are sorted back into topological order;
+/// since the sequential driver aborts on the first error, the driver
+/// here surfaces the topologically first failure (modules downstream of
+/// a failure are never cogen'd — their interfaces are missing).
+#[allow(clippy::too_many_arguments)]
+fn build_workstealing(
+    resolved: &mspec_lang::resolve::ResolvedProgram,
+    graph: &ModGraph,
+    path_of: &BTreeMap<&ModName, &PathBuf>,
+    out_dir: &Path,
+    options: &BuildOptions,
+    threads: NonZeroUsize,
+    rec: &Recorder,
+    order: &[ModName],
+    changed: &Mutex<BTreeSet<ModName>>,
+) -> Vec<(usize, ModName, Result<ModuleOutcome<CogenError>, CogenError>)> {
+    let index: BTreeMap<ModName, usize> =
+        order.iter().enumerate().map(|(i, m)| (*m, i)).collect();
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); order.len()];
+    let mut seeds: Vec<usize> = Vec::new();
+    let remaining: Vec<AtomicUsize> = order
+        .iter()
+        .map(|m| AtomicUsize::new(graph.direct_imports(m).len()))
+        .collect();
+    for (i, m) in order.iter().enumerate() {
+        if graph.direct_imports(m).is_empty() {
+            seeds.push(i);
+        }
+        for d in graph.direct_imports(m) {
+            dependents[index[d]].push(i);
+        }
+    }
+    // Modules that failed (or sit downstream of one): never cogen'd.
+    let dead: Mutex<BTreeSet<ModName>> = Mutex::new(BTreeSet::new());
+
+    let outcome = mspec_sched::run(
+        threads,
+        seeds,
+        |_| (),
+        |_: &mut (), i: usize, worker| {
+            let name = order[i];
+            let module = resolved.program().module(name.as_str()).unwrap();
+            let (culprit, imports_changed) = {
+                let dead = dead.lock().unwrap_or_else(|e| e.into_inner());
+                let ch = changed.lock().unwrap_or_else(|e| e.into_inner());
+                (
+                    graph.direct_imports(&name).iter().find(|d| dead.contains(d)).copied(),
+                    graph.direct_imports(&name).iter().any(|d| ch.contains(d)),
+                )
+            };
+            let res = match culprit {
+                Some(culprit) => Ok(ModuleOutcome::Skipped { import: culprit }),
+                None => build_one(module, path_of[&name], out_dir, options, imports_changed, rec)
+                    .map(|(outcome, iface_changed)| {
+                        if iface_changed {
+                            changed.lock().unwrap_or_else(|e| e.into_inner()).insert(name);
+                        }
+                        outcome
+                    }),
+            };
+            if res.is_err() || matches!(res, Ok(ModuleOutcome::Skipped { .. })) {
+                dead.lock().unwrap_or_else(|e| e.into_inner()).insert(name);
+            }
+            for &d in &dependents[i] {
+                if remaining[d].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    worker.push(d);
+                }
+            }
+            (i, name, res)
+        },
+    );
+    rec.count("sched.tasks", outcome.stats.tasks);
+    rec.count("sched.steals", outcome.stats.steals);
+    let mut results = outcome.results;
+    results.sort_by_key(|r| r.0);
+    results
 }
 
 /// On-disk size of an artefact, for the `io.*_bytes_written` counters
@@ -434,6 +553,114 @@ mod tests {
         set_mtime_back(&src.join("Main.mspec"), 60);
         let r = build(&src, &out, &BuildOptions { force: true, ..Default::default() }).unwrap();
         assert_eq!(r.rebuilt(), 2);
+        let _ = fs::remove_dir_all(src.parent().unwrap());
+    }
+
+    /// A wider tree for scheduling tests: a diamond plus an independent
+    /// leaf, so several modules are ready at once.
+    fn setup_wide(tag: &str) -> (PathBuf, PathBuf) {
+        let (src, out) = setup(tag);
+        fs::write(
+            src.join("Sq.mspec"),
+            "module Sq where\nimport Power\nsq x = power 2 x\n",
+        )
+        .unwrap();
+        fs::write(
+            src.join("Top.mspec"),
+            "module Top where\nimport Sq\nimport Power\ntop x = sq x + power 3 x\n",
+        )
+        .unwrap();
+        fs::write(src.join("Lone.mspec"), "module Lone where\nid x = x\n").unwrap();
+        (src, out)
+    }
+
+    fn artefact_bytes(out: &Path) -> BTreeMap<String, Vec<u8>> {
+        let mut m = BTreeMap::new();
+        for e in fs::read_dir(out).unwrap() {
+            let p = e.unwrap().path();
+            m.insert(p.file_name().unwrap().to_string_lossy().into_owned(), fs::read(&p).unwrap());
+        }
+        m
+    }
+
+    /// Work-stealing builds at 1, 2 and 8 workers write byte-identical
+    /// `.bti`/`.gx` artefacts and the same report as the sequential
+    /// driver.
+    #[test]
+    fn workstealing_build_matches_sequential_artefacts() {
+        let (src, seq_out) = setup_wide("ws-seq");
+        let r = build(&src, &seq_out, &BuildOptions::default()).unwrap();
+        assert_eq!(r.rebuilt(), 5);
+        let want = artefact_bytes(&seq_out);
+        let outcomes = |r: &BuildReport| -> Vec<(String, bool)> {
+            r.outcomes
+                .iter()
+                .map(|(m, o)| (m.to_string(), matches!(o, ModuleOutcome::Built)))
+                .collect()
+        };
+        let want_outcomes = outcomes(&r);
+        for threads in [1usize, 2, 8] {
+            let par_out = src.parent().unwrap().join(format!("out-{threads}"));
+            let opts = BuildOptions {
+                threads: Some(NonZeroUsize::new(threads).unwrap()),
+                ..Default::default()
+            };
+            let rp = build(&src, &par_out, &opts).unwrap();
+            assert_eq!(outcomes(&rp), want_outcomes, "report differs at {threads} worker(s)");
+            assert_eq!(
+                artefact_bytes(&par_out),
+                want,
+                "artefact bytes differ at {threads} worker(s)"
+            );
+        }
+        let _ = fs::remove_dir_all(src.parent().unwrap());
+    }
+
+    /// Incremental semantics survive the scheduler: an unchanged tree is
+    /// all up-to-date, and an interface change still propagates to the
+    /// importer (and only the importer's subtree).
+    #[test]
+    fn workstealing_build_is_incremental() {
+        let (src, out) = setup_wide("ws-incr");
+        let opts = BuildOptions { threads: Some(NonZeroUsize::new(4).unwrap()), ..Default::default() };
+        build(&src, &out, &opts).unwrap();
+        for f in ["Power", "Main", "Sq", "Top", "Lone"] {
+            set_mtime_back(&src.join(format!("{f}.mspec")), 60);
+        }
+        let r = build(&src, &out, &opts).unwrap();
+        assert_eq!(r.rebuilt(), 0);
+        assert_eq!(r.up_to_date(), 5);
+        // Change Power's interface: everything downstream rebuilds.
+        fs::write(
+            src.join("Power.mspec"),
+            "module Power where\npower n x = if n == 1 then x else x * power (n - 1) x\ncube x = power 3 x\n",
+        )
+        .unwrap();
+        let r = build(&src, &out, &opts).unwrap();
+        assert!(matches!(r.outcome("Power"), Some(ModuleOutcome::Built)));
+        assert!(matches!(r.outcome("Main"), Some(ModuleOutcome::Built)));
+        assert!(matches!(r.outcome("Sq"), Some(ModuleOutcome::Built)));
+        assert!(matches!(r.outcome("Top"), Some(ModuleOutcome::Built)));
+        assert!(matches!(r.outcome("Lone"), Some(ModuleOutcome::UpToDate)));
+        let _ = fs::remove_dir_all(src.parent().unwrap());
+    }
+
+    /// A broken module aborts the work-stealing build with the same
+    /// (topologically first) error the sequential driver reports, at
+    /// every worker count.
+    #[test]
+    fn workstealing_build_reports_the_sequential_error() {
+        let (src, out) = setup_wide("ws-err");
+        fs::write(src.join("Power.mspec"), "module Power where\npower n x = nope n\n").unwrap();
+        let seq_err = build(&src, &out, &BuildOptions::default()).unwrap_err().to_string();
+        for threads in [1usize, 2, 8] {
+            let opts = BuildOptions {
+                threads: Some(NonZeroUsize::new(threads).unwrap()),
+                ..Default::default()
+            };
+            let err = build(&src, &out, &opts).unwrap_err().to_string();
+            assert_eq!(err, seq_err, "error differs at {threads} worker(s)");
+        }
         let _ = fs::remove_dir_all(src.parent().unwrap());
     }
 }

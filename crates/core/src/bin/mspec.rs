@@ -31,12 +31,14 @@
 
 use mspec_core::telemetry::{self, Snapshot};
 use mspec_core::{
-    write_residual, BuildMode, EngineOptions, ModuleOutcome, OnExhaustion, Pipeline, Recorder,
-    Runner, SpecArg, SpecBudget, Strategy,
+    write_residual, BuildMode, EngineOptions, ModuleOutcome, OnExhaustion, Pipeline,
+    PipelineError, Recorder, Runner, SpecArg, SpecBudget, Strategy,
 };
 use mspec_lang::eval::{with_big_stack, Value};
 use mspec_lang::QualName;
+use mspec_sched::{parse_threads, ThreadOrigin};
 use std::collections::BTreeSet;
+use std::num::NonZeroUsize;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -91,7 +93,11 @@ fn usage() -> String {
      trace-check FILE                      validate a --trace/--metrics file\n\
      \n\
      spec, mix, build and link-spec also accept --trace FILE (Chrome\n\
-     trace_event JSON) and --metrics FILE (JSONL event log)"
+     trace_event JSON) and --metrics FILE (JSONL event log).\n\
+     build, spec and link-spec accept --threads N (work-stealing worker\n\
+     count; the MSPEC_THREADS env var is the fallback, then\n\
+     available_parallelism). Residual output is byte-identical at every\n\
+     thread count"
         .to_string()
 }
 
@@ -106,6 +112,7 @@ struct Opts {
     max_spec: Option<usize>,
     on_exhaustion: OnExhaustion,
     runner: Runner,
+    threads: Option<NonZeroUsize>,
     trace: Option<String>,
     metrics: Option<String>,
     log: Option<String>,
@@ -127,6 +134,23 @@ impl Opts {
             budget,
             on_exhaustion: self.on_exhaustion,
             ..EngineOptions::default()
+        }
+    }
+
+    /// The run's worker count: the `--threads` flag wins, then the
+    /// `MSPEC_THREADS` environment variable. `Ok(None)` means neither
+    /// knob is set, and commands keep their default execution mode.
+    /// Zero or garbage from either source is a structured
+    /// [`PipelineError::Threads`], never a panic.
+    fn requested_threads(&self) -> Result<Option<NonZeroUsize>, String> {
+        if self.threads.is_some() {
+            return Ok(self.threads);
+        }
+        match std::env::var("MSPEC_THREADS") {
+            Ok(v) => parse_threads(&v, ThreadOrigin::Env)
+                .map(Some)
+                .map_err(|e| PipelineError::from(e).to_string()),
+            Err(_) => Ok(None),
         }
     }
 
@@ -174,6 +198,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         max_spec: None,
         on_exhaustion: OnExhaustion::default(),
         runner: Runner::default(),
+        threads: None,
         trace: None,
         metrics: None,
         log: None,
@@ -227,6 +252,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 opts.runner = Runner::parse(v)
                     .ok_or_else(|| format!("--runner must be tree or vm, got `{v}`"))?;
             }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a worker count")?;
+                opts.threads = Some(
+                    parse_threads(v, ThreadOrigin::Flag)
+                        .map_err(|e| PipelineError::from(e).to_string())?,
+                );
+            }
             "--trace" => {
                 opts.trace = Some(it.next().ok_or("--trace needs a file")?.clone());
             }
@@ -271,12 +303,17 @@ fn build_pipeline(opts: &Opts) -> Result<Pipeline, String> {
 
 fn build_pipeline_traced(opts: &Opts, rec: &Recorder) -> Result<Pipeline, String> {
     let src = read_source(&opts.file)?;
-    if rec.is_enabled() {
+    let threads = opts.requested_threads()?;
+    if rec.is_enabled() || threads.is_some() {
+        let mode = match threads {
+            Some(n) => BuildMode::Threads(n),
+            None => BuildMode::Parallel,
+        };
         let program = {
             let _span = rec.span("parse");
             mspec_lang::parser::parse_program(&src).map_err(|e| e.to_string())?
         };
-        Pipeline::from_program_traced(program, &opts.force_residual, BuildMode::Parallel, rec)
+        Pipeline::from_program_traced(program, &opts.force_residual, mode, rec)
             .map(|(p, _)| p)
             .map_err(|e| e.to_string())
     } else {
@@ -287,7 +324,10 @@ fn build_pipeline_traced(opts: &Opts, rec: &Recorder) -> Result<Pipeline, String
 fn build_cmd(args: &[String]) -> Result<(), String> {
     let opts = parse_opts(args)?;
     let out = opts.out.as_deref().ok_or("build needs --out DIR")?;
-    let mut bopts = mspec_cogen::build::BuildOptions::default();
+    let mut bopts = mspec_cogen::build::BuildOptions {
+        threads: opts.requested_threads()?,
+        ..Default::default()
+    };
     for q in &opts.force_residual {
         bopts
             .force_residual
@@ -323,13 +363,30 @@ fn link_spec(args: &[String]) -> Result<(), String> {
     let rec = opts.recorder();
     let linked =
         mspec_cogen::build::link_dir_traced(&opts.file, &rec).map_err(|e| e.to_string())?;
-    let mut engine =
-        mspec_genext::Engine::with_recorder(&linked, opts.engine_options(), rec.clone());
-    let residual = engine
-        .specialise(&QualName::new(m.as_str(), f.as_str()), spec_args)
-        .map_err(|e| e.to_string())?;
+    let entry = QualName::new(m.as_str(), f.as_str());
+    let (residual, stats) = match opts.requested_threads()? {
+        Some(n) => {
+            let (residual, out) = mspec_genext::specialise_threaded(
+                &linked,
+                &entry,
+                spec_args,
+                opts.engine_options(),
+                n,
+                rec.clone(),
+            )
+            .map_err(|e| e.to_string())?;
+            (residual, out.stats)
+        }
+        None => {
+            let mut engine =
+                mspec_genext::Engine::with_recorder(&linked, opts.engine_options(), rec.clone());
+            let residual = engine.specialise(&entry, spec_args).map_err(|e| e.to_string())?;
+            let stats = *engine.stats();
+            (residual, stats)
+        }
+    };
     println!("{}", mspec_lang::pretty::pretty_program(&residual.program));
-    eprintln!("{}", engine.stats().summary(residual.entry.to_string()));
+    eprintln!("{}", stats.summary(residual.entry.to_string()));
     if let Some(dir) = &opts.out {
         let files = write_residual(dir, &residual).map_err(|e| e.to_string())?;
         for f in files {
@@ -394,9 +451,14 @@ fn spec(args: &[String]) -> Result<(), String> {
     let spec_args = parse_division(&division)?;
     let rec = opts.recorder();
     let pipeline = build_pipeline_traced(&opts, &rec)?;
-    let spec = pipeline
-        .specialise_traced(&m, &f, spec_args, opts.engine_options(), &rec)
-        .map_err(|e| e.to_string())?;
+    let spec = match opts.requested_threads()? {
+        Some(n) => pipeline
+            .specialise_threaded(&m, &f, spec_args, opts.engine_options(), n, &rec)
+            .map_err(|e| e.to_string())?,
+        None => pipeline
+            .specialise_traced(&m, &f, spec_args, opts.engine_options(), &rec)
+            .map_err(|e| e.to_string())?,
+    };
     println!("{}", spec.source());
     eprintln!("{}", spec.stats.summary(spec.residual.entry.to_string()));
     eprint!("{}", spec.provenance_report());
@@ -623,6 +685,26 @@ mod tests {
         let defaults = EngineOptions::default();
         assert_eq!(eo.budget.steps, defaults.budget.steps);
         assert_eq!(eo.budget.max_specialisations, defaults.budget.max_specialisations);
+    }
+
+    #[test]
+    fn parses_threads_flag_and_rejects_zero() {
+        let ok: Vec<String> =
+            ["p.mspec", "--threads", "4"].iter().map(|s| s.to_string()).collect();
+        let opts = parse_opts(&ok).unwrap();
+        assert_eq!(opts.threads, NonZeroUsize::new(4));
+        assert_eq!(opts.requested_threads().unwrap(), NonZeroUsize::new(4));
+
+        let zero: Vec<String> =
+            ["p.mspec", "--threads", "0"].iter().map(|s| s.to_string()).collect();
+        let err = parse_opts(&zero).err().unwrap();
+        assert!(err.contains("--threads"), "{err}");
+        assert!(err.contains("at least 1"), "{err}");
+
+        let garbage: Vec<String> =
+            ["p.mspec", "--threads", "many"].iter().map(|s| s.to_string()).collect();
+        let err = parse_opts(&garbage).err().unwrap();
+        assert!(err.contains("positive integer"), "{err}");
     }
 
     #[test]

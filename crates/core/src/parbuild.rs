@@ -1,26 +1,29 @@
-//! Level-parallel pipeline construction.
+//! Work-stealing parallel pipeline construction.
 //!
-//! The paper's module system requires acyclic imports, so the module
-//! graph admits a *level* decomposition: level 0 holds the modules with
-//! no imports, level `n + 1` the modules all of whose imports live at
-//! levels `<= n`. Modules within one level are independent — none can
-//! see another's interface — so their typecheck, binding-time analysis
-//! and cogen runs are embarrassingly parallel. This module groups the
-//! graph into levels and drives the three per-module stages across each
-//! level with scoped threads ([`std::thread::scope`], no external
-//! dependencies), merging interfaces at the level barrier exactly where
-//! the sequential driver would have made them visible.
+//! The paper's module system requires acyclic imports, so per-module
+//! stages (typecheck, binding-time analysis, cogen) can run as soon as
+//! a module's imports have finished — none of them can see a sibling's
+//! interface. The default driver therefore runs one *task per module*
+//! on the shared work-stealing scheduler (`mspec-sched`): every module
+//! carries a ready-count of unfinished imports, a finishing module
+//! decrements its dependents' counts, and a count reaching zero
+//! releases that module to whichever worker is free. Skewed module
+//! sizes no longer serialise anything: while one worker chews on the
+//! big module, the others drain everything that does not depend on it.
 //!
-//! The same per-module code path also runs serially (see
-//! [`BuildMode::Sequential`]) so benchmarks can isolate the win from
-//! parallelism itself rather than comparing two different drivers.
+//! The older one-thread-per-module-per-level driver is kept as
+//! [`BuildMode::LevelBarrier`] so benchmarks can measure exactly what
+//! the barriers cost, and [`BuildMode::Sequential`] runs the same
+//! per-module code path serially.
 //!
 //! Builds are *fault-isolated*: a module whose stages fail — or panic —
-//! does not abort the level. The panic is caught on the worker
-//! ([`std::panic::catch_unwind`]), the rest of the level completes,
-//! modules depending on a failed one are skipped, and the driver
-//! returns an aggregated [`BuildReport`] listing every failure rather
-//! than dying on the first.
+//! does not abort the build. The panic is caught on the worker
+//! ([`std::panic::catch_unwind`]), everything not depending on the
+//! module still builds, modules depending on it are skipped (naming the
+//! culprit import), and the driver returns an aggregated
+//! [`BuildReport`] listing every failure rather than dying on the
+//! first. The report is assembled in topological order, so it is
+//! byte-identical no matter how many workers ran or who stole what.
 
 use crate::error::PipelineError;
 use mspec_bta::analyse::analyse_module_with_traced;
@@ -32,9 +35,12 @@ use mspec_lang::modgraph::ModGraph;
 use mspec_lang::resolve::ResolvedProgram;
 use mspec_telemetry::{ModuleOutcome, Recorder};
 use mspec_types::{infer_module_traced, ProgramTypes, TypeInterface};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// How the per-module stages are scheduled.
@@ -42,8 +48,16 @@ use std::time::{Duration, Instant};
 pub enum BuildMode {
     /// One module at a time, in dependency order.
     Sequential,
-    /// All modules of a level concurrently, one scoped thread each.
+    /// Work-stealing over ready modules; worker count from
+    /// `MSPEC_THREADS` or [`std::thread::available_parallelism`].
     Parallel,
+    /// Work-stealing with an explicit worker count (the `--threads`
+    /// flag, and the determinism test matrix).
+    Threads(NonZeroUsize),
+    /// The pre-work-stealing driver: all modules of a level
+    /// concurrently, one scoped thread each, with a barrier between
+    /// levels. Kept for benchmark comparison (`par_table`).
+    LevelBarrier,
 }
 
 /// Wall-clock accounting for a pipeline build.
@@ -65,7 +79,8 @@ pub struct StageTimes {
     pub total: Duration,
     /// Number of levels in the module graph.
     pub levels: usize,
-    /// Size of the widest level (the available parallelism).
+    /// Size of the widest level (the level-barrier model's available
+    /// parallelism; work-stealing is not bound by it).
     pub widest_level: usize,
 }
 
@@ -119,10 +134,12 @@ pub type BuildReport = mspec_telemetry::BuildReport<ModuleBuildError>;
 
 /// Runs `f` once per module of a level — sequentially or on scoped
 /// threads — capturing per-module panics so one bad module cannot take
-/// down the level (or the process).
+/// down the level (or the process). This is the [`BuildMode::Sequential`]
+/// / [`BuildMode::LevelBarrier`] engine; work-stealing modes go through
+/// [`build_workstealing`].
 fn run_level<'a, T, F>(
     level: &'a [ModName],
-    mode: BuildMode,
+    parallel: bool,
     f: F,
 ) -> Vec<(ModName, Result<T, ModuleBuildError>)>
 where
@@ -136,27 +153,27 @@ where
             Err(payload) => Err(ModuleBuildError::Panicked(panic_message(payload.as_ref()))),
         }
     };
-    match mode {
-        BuildMode::Sequential => level.iter().map(|m| (*m, run_one(m))).collect(),
-        BuildMode::Parallel => std::thread::scope(|s| {
-            let run_one = &run_one;
-            let handles: Vec<_> = level
-                .iter()
-                .map(|m| (*m, s.spawn(move || run_one(m))))
-                .collect();
-            handles
-                .into_iter()
-                .map(|(m, h)| {
-                    let r = h.join().unwrap_or_else(|payload| {
-                        // Unreachable in practice (run_one catches), but
-                        // a join error must not abort the build either.
-                        Err(ModuleBuildError::Panicked(panic_message(payload.as_ref())))
-                    });
-                    (m, r)
-                })
-                .collect()
-        }),
+    if !parallel {
+        return level.iter().map(|m| (*m, run_one(m))).collect();
     }
+    std::thread::scope(|s| {
+        let run_one = &run_one;
+        let handles: Vec<_> = level
+            .iter()
+            .map(|m| (*m, s.spawn(move || run_one(m))))
+            .collect();
+        handles
+            .into_iter()
+            .map(|(m, h)| {
+                let r = h.join().unwrap_or_else(|payload| {
+                    // Unreachable in practice (run_one catches), but
+                    // a join error must not abort the build either.
+                    Err(ModuleBuildError::Panicked(panic_message(payload.as_ref())))
+                });
+                (m, r)
+            })
+            .collect()
+    })
 }
 
 /// Best-effort extraction of a panic payload's message.
@@ -194,6 +211,13 @@ fn build_module(
     // The span is opened on the worker thread, so a parallel build's
     // trace shows which thread built which module.
     let _span = rec.span_with("build-module", name.as_str());
+    // Debug-build fault hook for the fault-injection suite: a panic
+    // injected *inside* a worker's stage run must be isolated at every
+    // thread count (`tests/fault_injection.rs`).
+    #[cfg(debug_assertions)]
+    if std::env::var("MSPEC_FAULT_PANIC_MODULE").as_deref() == Ok(name.as_str()) {
+        panic!("injected fault in {name}");
+    }
     let module = resolved
         .program()
         .module(name.as_str())
@@ -224,14 +248,141 @@ fn build_module(
     })
 }
 
+/// Interfaces shared between workers. Tasks clone the entries for their
+/// transitive imports under a brief lock instead of holding a read
+/// guard across the whole stage run — a long-held `RwLock` read would
+/// convoy every writer (and through it every new reader) behind the
+/// slowest module.
+#[derive(Default)]
+struct IfaceStore {
+    types: BTreeMap<ModName, TypeInterface>,
+    bts: BTreeMap<ModName, BtInterface>,
+}
+
+/// Everything the work-stealing driver accumulated for one module.
+/// `outcome` is `None` when the module was skipped because the
+/// `skipped_on` import failed.
+struct TaskResult {
+    name: ModName,
+    outcome: Option<Result<ModuleBuild, ModuleBuildError>>,
+    skipped_on: Option<ModName>,
+}
+
+/// Ready-count work-stealing build: one task per module, released when
+/// its last import completes. Outcomes are collected unordered and
+/// sorted back into topological order, so the [`BuildReport`] and the
+/// merged interfaces are independent of scheduling.
+fn build_workstealing(
+    resolved: &ResolvedProgram,
+    force_residual: &BTreeSet<QualName>,
+    threads: NonZeroUsize,
+    rec: &Recorder,
+    order: &[ModName],
+) -> Vec<TaskResult> {
+    let graph = resolved.graph();
+    let index: HashMap<ModName, usize> =
+        order.iter().enumerate().map(|(i, m)| (*m, i)).collect();
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); order.len()];
+    let mut seeds: Vec<usize> = Vec::new();
+    let remaining: Vec<AtomicUsize> = order
+        .iter()
+        .map(|m| AtomicUsize::new(graph.direct_imports(m).len()))
+        .collect();
+    for (i, m) in order.iter().enumerate() {
+        if graph.direct_imports(m).is_empty() {
+            seeds.push(i);
+        }
+        for d in graph.direct_imports(m) {
+            dependents[index[d]].push(i);
+        }
+    }
+
+    let ifaces: Mutex<IfaceStore> = Mutex::new(IfaceStore::default());
+    let dead: Mutex<BTreeSet<ModName>> = Mutex::new(BTreeSet::new());
+
+    let outcome = mspec_sched::run(
+        threads,
+        seeds,
+        |_| (),
+        |_: &mut (), i: usize, worker| {
+            let name = order[i];
+            // A module whose import failed (or was skipped) cannot
+            // build — its interfaces are missing. All imports have
+            // completed by the time this task is released, so the
+            // first dead import in iteration order is deterministic.
+            let culprit = {
+                let dead = dead.lock().unwrap_or_else(|e| e.into_inner());
+                graph.direct_imports(&name).iter().find(|d| dead.contains(d)).copied()
+            };
+            let result = match culprit {
+                Some(culprit) => {
+                    dead.lock().unwrap_or_else(|e| e.into_inner()).insert(name);
+                    TaskResult { name, outcome: None, skipped_on: Some(culprit) }
+                }
+                None => {
+                    // Clone just the transitive-import interfaces: the
+                    // superset of everything this module can reference.
+                    let (tys, bts) = {
+                        let store = ifaces.lock().unwrap_or_else(|e| e.into_inner());
+                        let mut tys = BTreeMap::new();
+                        let mut bts = BTreeMap::new();
+                        for d in graph.transitive_imports(&name) {
+                            if let Some(t) = store.types.get(d) {
+                                tys.insert(*d, t.clone());
+                            }
+                            if let Some(b) = store.bts.get(d) {
+                                bts.insert(*d, b.clone());
+                            }
+                        }
+                        (tys, bts)
+                    };
+                    let run = catch_unwind(AssertUnwindSafe(|| {
+                        build_module(resolved, &name, &tys, &bts, force_residual, rec)
+                    }));
+                    let outcome = match run {
+                        Ok(Ok(mb)) => {
+                            let mut store =
+                                ifaces.lock().unwrap_or_else(|e| e.into_inner());
+                            store.types.insert(name, mb.ty.clone());
+                            store.bts.insert(name, mb.ann.interface.clone());
+                            Ok(mb)
+                        }
+                        Ok(Err(e)) => Err(ModuleBuildError::Failed(e)),
+                        Err(payload) => {
+                            Err(ModuleBuildError::Panicked(panic_message(payload.as_ref())))
+                        }
+                    };
+                    if outcome.is_err() {
+                        dead.lock().unwrap_or_else(|e| e.into_inner()).insert(name);
+                    }
+                    TaskResult { name, outcome: Some(outcome), skipped_on: None }
+                }
+            };
+            // Release dependents whose last import just completed.
+            for &d in &dependents[i] {
+                if remaining[d].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    worker.push(d);
+                }
+            }
+            result
+        },
+    );
+    rec.count("sched.tasks", outcome.stats.tasks);
+    rec.count("sched.steals", outcome.stats.steals);
+    let mut results = outcome.results;
+    results.sort_by_key(|r| index[&r.name]);
+    results
+}
+
 /// Runs the post-resolution stages (typecheck, BTA, cogen, link) over a
-/// resolved program, level by level, fault-isolated: every module that
-/// *can* build does, even when siblings fail or panic.
+/// resolved program, fault-isolated: every module that *can* build
+/// does, even when siblings fail or panic.
 ///
 /// # Errors
 ///
 /// [`PipelineError::Build`] carrying the aggregated [`BuildReport`] if
 /// any module failed, panicked, or was skipped because an import did;
+/// [`PipelineError::Threads`] for a malformed `MSPEC_THREADS`;
 /// [`PipelineError::Spec`] if linking the (complete) set of generating
 /// extensions fails.
 pub(crate) fn build_stages(
@@ -265,58 +416,88 @@ pub(crate) fn build_stages(
         ..StageTimes::default()
     };
 
-    let mut type_ifaces: BTreeMap<ModName, TypeInterface> = BTreeMap::new();
-    let mut bt_ifaces: BTreeMap<ModName, BtInterface> = BTreeMap::new();
     let mut types = ProgramTypes::default();
     let mut ann_modules: Vec<AnnModule> = Vec::new();
     let mut gen_modules: Vec<GenModule> = Vec::new();
-
     let mut report = BuildReport::default();
-    let mut dead: BTreeSet<ModName> = BTreeSet::new();
 
-    for (depth, level) in levels.iter().enumerate() {
-        let _level_span = if rec.is_enabled() {
-            rec.span_with(&format!("level{depth}"), &format!("{} modules", level.len()))
-        } else {
-            rec.span("level")
-        };
-        // A module whose import failed (or was itself skipped) cannot
-        // build — its interfaces are missing. Skip it, naming the
-        // culprit, and keep the rest of the level.
-        let mut runnable: Vec<ModName> = Vec::with_capacity(level.len());
-        for m in level {
-            match resolved.graph().direct_imports(m).iter().find(|d| dead.contains(d)) {
-                Some(culprit) => {
-                    dead.insert(*m);
-                    report.push(*m, ModuleOutcome::Skipped { import: *culprit });
+    let mut merge = |mb: ModuleBuild,
+                     times: &mut StageTimes,
+                     report: &mut BuildReport| {
+        times.typecheck += mb.t_type;
+        times.bta += mb.t_bta;
+        times.cogen += mb.t_cogen;
+        for (fn_name, scheme) in mb.ty.iter() {
+            types.insert(QualName { module: mb.name, name: *fn_name }, scheme.clone());
+        }
+        ann_modules.push(mb.ann);
+        report.push(mb.name, ModuleOutcome::Built);
+        gen_modules.push(mb.gen);
+    };
+
+    match mode {
+        BuildMode::Parallel | BuildMode::Threads(_) => {
+            let threads = match mode {
+                BuildMode::Threads(n) => n,
+                _ => mspec_sched::resolve_threads(None).map_err(PipelineError::Threads)?,
+            };
+            let order: Vec<ModName> = levels.concat();
+            let results =
+                build_workstealing(resolved, force_residual, threads, rec, &order);
+            for r in results {
+                match (r.skipped_on, r.outcome) {
+                    (Some(culprit), _) => {
+                        report.push(r.name, ModuleOutcome::Skipped { import: culprit });
+                    }
+                    (None, Some(Ok(mb))) => merge(mb, &mut times, &mut report),
+                    (None, Some(Err(e))) => report.push(r.name, ModuleOutcome::Failed(e)),
+                    (None, None) => unreachable!("task neither ran nor was skipped"),
                 }
-                None => runnable.push(*m),
             }
         }
-        let results = run_level(&runnable, mode, |m| {
-            build_module(resolved, m, &type_ifaces, &bt_ifaces, force_residual, rec)
-        });
-        // Merge at the level barrier, in deterministic level order.
-        for (name, r) in results {
-            let mb = match r {
-                Ok(mb) => mb,
-                Err(e) => {
-                    dead.insert(name);
-                    report.push(name, ModuleOutcome::Failed(e));
-                    continue;
+        BuildMode::Sequential | BuildMode::LevelBarrier => {
+            let mut type_ifaces: BTreeMap<ModName, TypeInterface> = BTreeMap::new();
+            let mut bt_ifaces: BTreeMap<ModName, BtInterface> = BTreeMap::new();
+            let mut dead: BTreeSet<ModName> = BTreeSet::new();
+            for (depth, level) in levels.iter().enumerate() {
+                let _level_span = if rec.is_enabled() {
+                    rec.span_with(&format!("level{depth}"), &format!("{} modules", level.len()))
+                } else {
+                    rec.span("level")
+                };
+                // A module whose import failed (or was itself skipped)
+                // cannot build — its interfaces are missing. Skip it,
+                // naming the culprit, and keep the rest of the level.
+                let mut runnable: Vec<ModName> = Vec::with_capacity(level.len());
+                for m in level {
+                    match resolved.graph().direct_imports(m).iter().find(|d| dead.contains(d))
+                    {
+                        Some(culprit) => {
+                            dead.insert(*m);
+                            report.push(*m, ModuleOutcome::Skipped { import: *culprit });
+                        }
+                        None => runnable.push(*m),
+                    }
                 }
-            };
-            times.typecheck += mb.t_type;
-            times.bta += mb.t_bta;
-            times.cogen += mb.t_cogen;
-            for (fn_name, scheme) in mb.ty.iter() {
-                types.insert(QualName { module: mb.name, name: *fn_name }, scheme.clone());
+                let results =
+                    run_level(&runnable, mode == BuildMode::LevelBarrier, |m| {
+                        build_module(resolved, m, &type_ifaces, &bt_ifaces, force_residual, rec)
+                    });
+                // Merge at the level barrier, in deterministic level order.
+                for (name, r) in results {
+                    let mb = match r {
+                        Ok(mb) => mb,
+                        Err(e) => {
+                            dead.insert(name);
+                            report.push(name, ModuleOutcome::Failed(e));
+                            continue;
+                        }
+                    };
+                    bt_ifaces.insert(mb.name, mb.ann.interface.clone());
+                    type_ifaces.insert(mb.name, mb.ty.clone());
+                    merge(mb, &mut times, &mut report);
+                }
             }
-            bt_ifaces.insert(mb.name, mb.ann.interface.clone());
-            type_ifaces.insert(mb.name, mb.ty);
-            ann_modules.push(mb.ann);
-            report.push(mb.name, ModuleOutcome::Built);
-            gen_modules.push(mb.gen);
         }
     }
 
@@ -343,6 +524,10 @@ mod tests {
     use crate::pipeline::Pipeline;
     use mspec_core_test_support::*;
 
+    fn nz(n: usize) -> NonZeroUsize {
+        NonZeroUsize::new(n).unwrap()
+    }
+
     #[test]
     fn diamond_graph_levels() {
         let src = DIAMOND;
@@ -358,7 +543,12 @@ mod tests {
 
     #[test]
     fn parallel_build_matches_sequential_residual() {
-        for mode in [BuildMode::Sequential, BuildMode::Parallel] {
+        for mode in [
+            BuildMode::Sequential,
+            BuildMode::Parallel,
+            BuildMode::LevelBarrier,
+            BuildMode::Threads(nz(2)),
+        ] {
             let (p, times) = Pipeline::from_source_timed(DIAMOND, &BTreeSet::new(), mode).unwrap();
             assert_eq!(times.levels, 3);
             assert_eq!(times.widest_level, 2);
@@ -384,8 +574,8 @@ mod tests {
     #[test]
     fn panicking_module_is_captured_not_fatal() {
         let mods = [ModName::new("A"), ModName::new("B"), ModName::new("C")];
-        for mode in [BuildMode::Sequential, BuildMode::Parallel] {
-            let results = run_level(&mods, mode, |m| -> Result<u32, PipelineError> {
+        for parallel in [false, true] {
+            let results = run_level(&mods, parallel, |m| -> Result<u32, PipelineError> {
                 if m.as_str() == "B" {
                     panic!("injected fault in {m}");
                 }
@@ -399,7 +589,7 @@ mod tests {
                 }
                 other => panic!("expected a captured panic, got {other:?}"),
             }
-            assert_eq!(results[2].1, Ok(7), "C must still build after B panics ({mode:?})");
+            assert_eq!(results[2].1, Ok(7), "C must still build after B panics");
         }
     }
 
@@ -419,7 +609,12 @@ mod tests {
             import B\n\
             import C\n\
             d1 x = b1 x + c1 x\n";
-        for mode in [BuildMode::Sequential, BuildMode::Parallel] {
+        for mode in [
+            BuildMode::Sequential,
+            BuildMode::Parallel,
+            BuildMode::LevelBarrier,
+            BuildMode::Threads(nz(8)),
+        ] {
             let p = mspec_lang::parser::parse_program(src).unwrap();
             let err = Pipeline::from_program_timed(p, &BTreeSet::new(), mode).unwrap_err();
             let PipelineError::Build(report) = err else {

@@ -16,6 +16,7 @@ use mspec_lang::vm::Runner;
 use mspec_telemetry::Recorder;
 use mspec_types::{infer_program, ProgramTypes};
 use std::collections::BTreeSet;
+use std::num::NonZeroUsize;
 use std::path::{Path, PathBuf};
 
 /// A fully prepared program: resolved, typed, binding-time analysed and
@@ -236,6 +237,49 @@ impl Pipeline {
             stats: *engine.stats(),
             provenance: engine.provenance().to_vec(),
         })
+    }
+
+    /// [`Pipeline::specialise_traced`] on `threads` worker threads: the
+    /// concurrent engine with a sharded memo table and deterministic
+    /// replay. The residual program (and its stats and provenance) is
+    /// byte-identical to the sequential engine's output at every thread
+    /// count; options the round driver cannot reproduce (depth-first,
+    /// generalising fallback, legacy cost model) fall back to the
+    /// sequential engine in-process.
+    ///
+    /// # Errors
+    ///
+    /// As [`Pipeline::specialise`].
+    pub fn specialise_threaded(
+        &self,
+        module: &str,
+        function: &str,
+        args: Vec<SpecArg>,
+        options: EngineOptions,
+        threads: NonZeroUsize,
+        rec: &Recorder,
+    ) -> Result<Specialised, PipelineError> {
+        let entry = QualName::new(module, function);
+        if self.gen.function(&entry).is_none() {
+            return Err(PipelineError::NoSuchFunction {
+                module: module.to_string(),
+                name: function.to_string(),
+            });
+        }
+        let _span = if rec.is_enabled() {
+            rec.span_with("specialise", &format!("{module}.{function} [{threads} threads]"))
+        } else {
+            rec.span("specialise")
+        };
+        let (residual, out) = mspec_genext::specialise_threaded(
+            &self.gen,
+            &entry,
+            args,
+            options,
+            threads,
+            rec.clone(),
+        )?;
+        Ok(Specialised { residual, stats: out.stats, provenance: out.provenance })
     }
 
     /// Runs the *source* program directly (the correctness oracle).

@@ -166,10 +166,10 @@ impl SpecStats {
 /// machine words. Full [`PKey`] vectors are kept in the bucket and only
 /// compared when hashes collide.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct SpecKey {
-    target: QualName,
-    mask: u128,
-    hash: u64,
+pub(crate) struct SpecKey {
+    pub(crate) target: QualName,
+    pub(crate) mask: u128,
+    pub(crate) hash: u64,
 }
 
 /// Where one residual definition came from: the paper's relationship
@@ -190,7 +190,7 @@ pub struct Provenance {
     pub formals: usize,
 }
 
-struct PendingSpec {
+pub(crate) struct PendingSpec {
     target: QualName,
     mask: BtMask,
     env: Vec<Rc<PVal>>,
@@ -203,29 +203,35 @@ struct PendingSpec {
 
 /// The specialisation engine over a linked [`GenProgram`].
 pub struct Engine<'p> {
-    program: &'p GenProgram,
-    options: EngineOptions,
-    memo: HashMap<SpecKey, Vec<(Vec<PKey>, QualName)>>,
+    pub(crate) program: &'p GenProgram,
+    pub(crate) options: EngineOptions,
+    pub(crate) memo: HashMap<SpecKey, Vec<(Vec<PKey>, QualName)>>,
     legacy_memo: HashMap<(String, u128, Vec<PKey>), QualName>,
-    pending: VecDeque<PendingSpec>,
-    placer: Placer,
-    name_counters: HashMap<QualName, u32>,
-    gensym: u64,
+    pub(crate) pending: VecDeque<PendingSpec>,
+    pub(crate) placer: Placer,
+    pub(crate) name_counters: HashMap<QualName, u32>,
+    pub(crate) gensym: u64,
     open: usize,
-    fuel: Fuel,
+    pub(crate) fuel: Fuel,
     /// The stack of specialisation/unfold requests currently being
     /// served: `(target, skeleton hash)`, outermost first. Snapshotted
     /// into [`SpecError::BudgetExhausted`] so a diverging cycle is
     /// visible in the error.
-    chain: Vec<(QualName, u64)>,
-    stats: SpecStats,
-    imports: BTreeMap<ModName, BTreeSet<ModName>>,
-    provenance: Vec<Provenance>,
-    recorder: Recorder,
+    pub(crate) chain: Vec<(QualName, u64)>,
+    pub(crate) stats: SpecStats,
+    pub(crate) imports: BTreeMap<ModName, BTreeSet<ModName>>,
+    pub(crate) provenance: Vec<Provenance>,
+    pub(crate) recorder: Recorder,
     /// Residual definitions currently under construction, innermost
     /// last — the *parent* attribution for decision events (which
     /// residual body a request arose inside).
-    resid_stack: Vec<QualName>,
+    pub(crate) resid_stack: Vec<QualName>,
+    /// Present when this engine is a *worker* of the concurrent driver
+    /// ([`crate::parallel`]): naming side effects (fresh residual names,
+    /// gensyms, placement) are replaced by placeholders and recorded for
+    /// the driver's deterministic replay, and step fuel is claimed in
+    /// chunks from a pool shared with the other workers.
+    pub(crate) par: Option<Box<crate::parallel::ParCtx>>,
 }
 
 impl<'p> Engine<'p> {
@@ -260,6 +266,7 @@ impl<'p> Engine<'p> {
             provenance: Vec::new(),
             recorder,
             resid_stack: Vec::new(),
+            par: None,
         }
     }
 
@@ -268,7 +275,7 @@ impl<'p> Engine<'p> {
     /// budget headroom was left. No-op (and no formatting) when the
     /// recorder is disabled.
     #[allow(clippy::too_many_arguments)]
-    fn record_decision(
+    pub(crate) fn record_decision(
         &self,
         decision: Decision,
         target: &QualName,
@@ -455,7 +462,7 @@ impl<'p> Engine<'p> {
 
     /// Exports the session counters and the peak gauges once, at the
     /// end of a successful specialisation.
-    fn flush_counters(&self) {
+    pub(crate) fn flush_counters(&self) {
         if !self.recorder.is_enabled() {
             return;
         }
@@ -543,6 +550,16 @@ impl<'p> Engine<'p> {
     /// would leave no call site to generalise.
     fn step(&mut self) -> Result<(), SpecError> {
         self.stats.steps += 1;
+        if let Some(par) = self.par.as_mut() {
+            // Worker mode: fuel comes from a pool shared with the other
+            // workers (claimed in chunks to keep contention negligible);
+            // the policy is always `Error` here (the driver falls back
+            // to the sequential engine otherwise).
+            if !par.spend_fuel() {
+                return Err(self.budget_error(BudgetResource::Steps, None));
+            }
+            return Ok(());
+        }
         if !self.fuel.spend() && self.options.on_exhaustion == OnExhaustion::Error {
             return Err(self.budget_error(BudgetResource::Steps, None));
         }
@@ -571,7 +588,11 @@ impl<'p> Engine<'p> {
     /// Builds a [`SpecError::BudgetExhausted`] from the current request
     /// chain. `at` names the offending call; when the breach is detected
     /// mid-evaluation (step fuel), the innermost chain frame stands in.
-    fn budget_error(&self, resource: BudgetResource, at: Option<(QualName, u64)>) -> SpecError {
+    pub(crate) fn budget_error(
+        &self,
+        resource: BudgetResource,
+        at: Option<(QualName, u64)>,
+    ) -> SpecError {
         let (witness, skeleton_hash) = at
             .or_else(|| self.chain.last().copied())
             .unwrap_or((QualName::new("?", "?"), 0));
@@ -581,7 +602,14 @@ impl<'p> Engine<'p> {
         SpecError::BudgetExhausted { resource, witness, skeleton_hash, chain }
     }
 
-    fn fresh(&mut self, base: &str) -> Ident {
+    fn fresh(&mut self, base: Ident) -> Ident {
+        if let Some(par) = self.par.as_mut() {
+            // Worker mode: hand out a placeholder from this worker's
+            // disjoint range and log the base; the driver's replay
+            // assigns the canonical `{base}'{gensym}` names in
+            // breadth-first order and renames the placeholders.
+            return par.fresh_placeholder(base);
+        }
         self.gensym += 1;
         Ident::new(format!("{base}'{}", self.gensym))
     }
@@ -671,20 +699,27 @@ impl<'p> Engine<'p> {
         if f.sig.unfoldable_under(mask) {
             self.stats.unfolds += 1;
             if self.recorder.is_enabled() {
-                self.record_decision(
-                    Decision::Unfold,
-                    target,
-                    mask,
-                    f.sig.vars,
-                    0,
-                    false,
-                    None,
-                    format!(
-                        "unfold term {} = S under {}",
-                        f.sig.unfold,
-                        mask.render(f.sig.vars)
-                    ),
+                let witness = format!(
+                    "unfold term {} = S under {}",
+                    f.sig.unfold,
+                    mask.render(f.sig.vars)
                 );
+                if self.par.is_some() {
+                    // Worker mode: buffer the event; the driver emits it
+                    // at replay with the sequential budget gauges.
+                    self.buffer_unfold_event(target, mask, f.sig.vars, witness);
+                } else {
+                    self.record_decision(
+                        Decision::Unfold,
+                        target,
+                        mask,
+                        f.sig.vars,
+                        0,
+                        false,
+                        None,
+                        witness,
+                    );
+                }
             }
             let body = Arc::clone(&f.body);
             let mut env = args;
@@ -715,6 +750,13 @@ impl<'p> Engine<'p> {
                     _ => Ident::new(format!("{p}_{j}")),
                 });
             }
+        }
+        if self.par.is_some() {
+            // Worker mode: probe the shared memo table and this body's
+            // own earlier claims; on a miss, return a placeholder call
+            // and record a child request for the driver to resolve with
+            // the exact sequential naming and placement.
+            return self.residualise_par(target, f.sig.vars, mask, &args, keys, leaves, leaf_names, hash);
         }
         if let Some(resid) = self.memo_find(*target, mask, &keys, hash) {
             self.stats.memo_hits += 1;
@@ -930,7 +972,7 @@ impl<'p> Engine<'p> {
     /// Evaluates a generating-extension expression under a binding-time
     /// mask. `module` is the module the expression's source occurs in
     /// (for closure identity and placement).
-    fn eval(
+    pub(crate) fn eval(
         &mut self,
         e: &GExp,
         env: &mut Vec<Rc<PVal>>,
@@ -1112,7 +1154,11 @@ impl<'p> Engine<'p> {
     /// Lifts an owned value, reclaiming the inner expression without a
     /// copy when this reference is the last one (the common case for
     /// freshly built code).
-    fn lift_owned(&mut self, v: Rc<PVal>, sink: &mut dyn ModuleSink) -> Result<Expr, SpecError> {
+    pub(crate) fn lift_owned(
+        &mut self,
+        v: Rc<PVal>,
+        sink: &mut dyn ModuleSink,
+    ) -> Result<Expr, SpecError> {
         match Rc::try_unwrap(v) {
             Ok(PVal::Code(e)) => Ok(e),
             Ok(owned) => self.lift(&owned, sink),
@@ -1135,7 +1181,7 @@ impl<'p> Engine<'p> {
                 Ok(Expr::Prim(PrimOp::Cons, vec![h2, t2]))
             }
             PVal::Clo(c) => {
-                let x = self.fresh(c.param.as_str());
+                let x = self.fresh(c.param);
                 let body = self.apply_closure(c, Rc::new(PVal::Code(Expr::Var(x))), sink)?;
                 let body = self.lift_owned(body, sink)?;
                 Ok(Expr::Lam(x, Box::new(body)))
@@ -1241,7 +1287,7 @@ fn legacy_name_cost(q: &QualName) {
 }
 
 /// Makes names unique by appending primed counters to duplicates.
-fn uniquify(names: Vec<Ident>) -> Vec<Ident> {
+pub(crate) fn uniquify(names: Vec<Ident>) -> Vec<Ident> {
     let mut seen: BTreeSet<Ident> = BTreeSet::new();
     let mut out = Vec::with_capacity(names.len());
     for n in names {

@@ -38,6 +38,7 @@ pub mod emit;
 pub mod engine;
 pub mod error;
 pub mod gexp;
+pub mod parallel;
 pub mod placement;
 pub mod value;
 
@@ -46,4 +47,5 @@ pub use emit::{FileSink, MemorySink, ModuleSink, ResidualProgram};
 pub use engine::{CostModel, Engine, EngineOptions, Provenance, SpecArg, SpecStats, Strategy};
 pub use error::SpecError;
 pub use gexp::{BtCode, GExp, GenFn, GenModule, GenProgram};
+pub use parallel::{specialise_streaming_threaded, specialise_threaded, ParallelOutcome};
 pub use value::{Closure, PKey, PVal};

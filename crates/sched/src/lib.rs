@@ -1,0 +1,677 @@
+//! A hand-rolled, zero-dependency work-stealing scheduler.
+//!
+//! Two layers of the pipeline share this crate:
+//!
+//! * **builds** (`mspec-core::parbuild`): one task per module, tasks
+//!   released as their imports complete — no level barriers, so a
+//!   skewed module no longer serialises its level;
+//! * **the specialisation engine** (`mspec-genext::parallel`): the
+//!   breadth-first pending list is sharded across workers round by
+//!   round, with a post-hoc canonical replay restoring sequential
+//!   naming.
+//!
+//! The design is the classic one: each worker owns a deque (owner works
+//! LIFO off the back, thieves take FIFO off the front, so steals grab
+//! the oldest — usually largest — work), plus a global injector for
+//! seed tasks. Everything is `std`: `Mutex`-guarded deques, a `Condvar`
+//! for sleeping workers, and atomics for the in-flight count that
+//! detects termination. No external dependencies, matching the
+//! workspace's offline-build constraint.
+//!
+//! Workers park with a bounded `wait_timeout`, so a push never needs to
+//! synchronise with the sleep path for correctness — a lost wakeup
+//! costs at most one timeout period, not a hang.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Where a thread-count request came from, for error messages that name
+/// the knob the user actually turned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadOrigin {
+    /// The `--threads` command-line flag.
+    Flag,
+    /// The `MSPEC_THREADS` environment variable.
+    Env,
+}
+
+impl fmt::Display for ThreadOrigin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThreadOrigin::Flag => write!(f, "--threads"),
+            ThreadOrigin::Env => write!(f, "MSPEC_THREADS"),
+        }
+    }
+}
+
+/// A structured thread-configuration error (never a panic): the user
+/// asked for zero workers, or the request was not a number at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadConfigError {
+    /// `0` was requested; a build needs at least one worker.
+    Zero {
+        /// Which knob carried the zero.
+        origin: ThreadOrigin,
+    },
+    /// The value did not parse as an unsigned integer.
+    Invalid {
+        /// Which knob carried the value.
+        origin: ThreadOrigin,
+        /// The offending text.
+        value: String,
+    },
+}
+
+impl fmt::Display for ThreadConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThreadConfigError::Zero { origin } => {
+                write!(f, "{origin} requires at least 1 thread (got 0)")
+            }
+            ThreadConfigError::Invalid { origin, value } => {
+                write!(f, "{origin} expects a positive integer, got `{value}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ThreadConfigError {}
+
+/// Parses one explicit thread-count request (flag or env text).
+///
+/// # Errors
+///
+/// [`ThreadConfigError::Zero`] for `0`, [`ThreadConfigError::Invalid`]
+/// for anything that is not an unsigned integer.
+pub fn parse_threads(value: &str, origin: ThreadOrigin) -> Result<NonZeroUsize, ThreadConfigError> {
+    let trimmed = value.trim();
+    let n: usize = trimmed
+        .parse()
+        .map_err(|_| ThreadConfigError::Invalid { origin, value: trimmed.to_string() })?;
+    NonZeroUsize::new(n).ok_or(ThreadConfigError::Zero { origin })
+}
+
+/// Resolves the worker count: an explicit request wins, then the
+/// `MSPEC_THREADS` environment variable, then
+/// [`std::thread::available_parallelism`] (1 when unknown).
+///
+/// # Errors
+///
+/// [`ThreadConfigError`] when the explicit request or the environment
+/// variable is zero or malformed.
+pub fn resolve_threads(
+    explicit: Option<NonZeroUsize>,
+) -> Result<NonZeroUsize, ThreadConfigError> {
+    if let Some(n) = explicit {
+        return Ok(n);
+    }
+    if let Ok(v) = std::env::var("MSPEC_THREADS") {
+        return parse_threads(&v, ThreadOrigin::Env);
+    }
+    Ok(std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN))
+}
+
+/// Scheduler counters for one [`run`]: how many tasks executed and how
+/// many arrived by stealing (rather than from the owner's own deque or
+/// the injector).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Tasks executed.
+    pub tasks: u64,
+    /// Tasks obtained by stealing from another worker's deque.
+    pub steals: u64,
+}
+
+/// Everything a [`run`] produced: per-task results in completion order
+/// (tag tasks with an index if you need a deterministic order back) and
+/// the scheduler counters.
+#[derive(Debug)]
+pub struct RunOutcome<R> {
+    /// Handler results, in the (nondeterministic) order tasks finished.
+    pub results: Vec<R>,
+    /// Steal/task counters.
+    pub stats: SchedStats,
+}
+
+/// The handle a task handler uses to submit follow-up work. New tasks
+/// go to the *back* of the submitting worker's own deque: the owner
+/// keeps locality, idle workers steal from the front.
+pub struct WorkerHandle<'a, T> {
+    shared: &'a Shared<T>,
+    id: usize,
+}
+
+impl<T> WorkerHandle<'_, T> {
+    /// This worker's index in `0..threads`.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Submits a follow-up task.
+    pub fn push(&self, task: T) {
+        self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        if let Ok(mut dq) = self.shared.deques[self.id].lock() {
+            dq.push_back(task);
+        }
+        self.shared.cv.notify_one();
+    }
+}
+
+struct Shared<T> {
+    injector: Mutex<VecDeque<T>>,
+    deques: Vec<Mutex<VecDeque<T>>>,
+    /// Tasks pushed but not yet completed. Strictly decreasing only
+    /// after a handler (and all its pushes) finished, so reaching zero
+    /// means no task exists anywhere.
+    in_flight: AtomicUsize,
+    sleep_lock: Mutex<()>,
+    cv: Condvar,
+    abort: AtomicBool,
+    steals: AtomicU64,
+    tasks: AtomicU64,
+}
+
+impl<T> Shared<T> {
+    fn next_task(&self, me: usize) -> Option<(T, bool)> {
+        if let Ok(mut dq) = self.deques[me].lock() {
+            if let Some(t) = dq.pop_back() {
+                return Some((t, false));
+            }
+        }
+        if let Ok(mut inj) = self.injector.lock() {
+            if let Some(t) = inj.pop_front() {
+                return Some((t, false));
+            }
+        }
+        let n = self.deques.len();
+        for k in 1..n {
+            let victim = (me + k) % n;
+            // try_lock: a contended victim is being worked on — move on
+            // rather than convoy behind its owner.
+            if let Ok(mut dq) = self.deques[victim].try_lock() {
+                if let Some(t) = dq.pop_front() {
+                    return Some((t, true));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Everything a persistent-worker session shares beyond the work
+/// queues: the round epoch, the published-results barrier, and the
+/// end-of-session flag.
+struct Session<T> {
+    work: Shared<T>,
+    /// Bumped (under `round_lock`) by the driver to open a round.
+    epoch: AtomicU64,
+    /// Workers that appended their results for the current round.
+    published: AtomicUsize,
+    /// Set (under `round_lock`) when the driver is done with the session.
+    shutdown: AtomicBool,
+    /// Guards round transitions: epoch bumps, result publication and the
+    /// waits on either. Distinct from the in-round task-sleep lock so a
+    /// round-parked worker is never woken by task traffic.
+    round_lock: Mutex<()>,
+    round_cv: Condvar,
+}
+
+/// One worker's participation in a single round: drain tasks until the
+/// round's `in_flight` count reaches zero (or a sibling panicked), then
+/// hand back the local results.
+fn round_worker<T, R, S>(
+    shared: &Shared<T>,
+    me: usize,
+    state: &mut S,
+    handler: &(impl Fn(&mut S, T, &WorkerHandle<'_, T>) -> R + Sync),
+    panic_payload: &Mutex<Option<Box<dyn std::any::Any + Send>>>,
+) -> Vec<R> {
+    let handle = WorkerHandle { shared, id: me };
+    let mut local: Vec<R> = Vec::new();
+    loop {
+        if shared.abort.load(Ordering::Acquire) {
+            break;
+        }
+        match shared.next_task(me) {
+            Some((task, stolen)) => {
+                shared.tasks.fetch_add(1, Ordering::Relaxed);
+                if stolen {
+                    shared.steals.fetch_add(1, Ordering::Relaxed);
+                }
+                match catch_unwind(AssertUnwindSafe(|| handler(state, task, &handle))) {
+                    Ok(r) => local.push(r),
+                    Err(payload) => {
+                        if let Ok(mut slot) = panic_payload.lock() {
+                            slot.get_or_insert(payload);
+                        }
+                        shared.abort.store(true, Ordering::Release);
+                        shared.cv.notify_all();
+                    }
+                }
+                if shared.in_flight.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    shared.cv.notify_all();
+                }
+            }
+            None => {
+                if shared.in_flight.load(Ordering::SeqCst) == 0 {
+                    break;
+                }
+                if let Ok(guard) = shared.sleep_lock.lock() {
+                    // Bounded park: a pusher's notify may race past us,
+                    // so never sleep unconditionally.
+                    let _ = shared.cv.wait_timeout(guard, Duration::from_micros(200));
+                }
+            }
+        }
+    }
+    local
+}
+
+/// Runs a *session* of persistent workers executing seed batches round
+/// by round. Workers (and their `make_state` states) are created once;
+/// `driver` runs on the calling thread and is handed a round closure:
+/// each call submits one batch of seeds, blocks until the batch (plus
+/// everything its handlers pushed) drains, and returns that round's
+/// [`RunOutcome`] with per-round counters.
+///
+/// This exists for round-structured workloads — the concurrent
+/// specialisation engine runs one round per breadth-first frontier, and
+/// respawning threads (and rebuilding worker state) every round costs
+/// more than a deep, narrow frontier's actual work. Between rounds the
+/// spawned workers park on a condvar; the calling thread doubles as
+/// worker 0 inside each round, so `threads = 1` never parks or spawns.
+///
+/// Handler panics follow [`run`]'s contract: caught per task, the round
+/// drains, and the first payload is re-raised (from the round closure)
+/// on the calling thread.
+pub fn run_rounds<T, R, S, Out>(
+    threads: NonZeroUsize,
+    make_state: impl Fn(usize) -> S + Sync,
+    handler: impl Fn(&mut S, T, &WorkerHandle<'_, T>) -> R + Sync,
+    driver: impl FnOnce(&mut dyn FnMut(Vec<T>) -> RunOutcome<R>) -> Out,
+) -> Out
+where
+    T: Send,
+    R: Send,
+{
+    let n = threads.get();
+    let session = Session {
+        work: Shared {
+            injector: Mutex::new(VecDeque::new()),
+            deques: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+            in_flight: AtomicUsize::new(0),
+            sleep_lock: Mutex::new(()),
+            cv: Condvar::new(),
+            abort: AtomicBool::new(false),
+            steals: AtomicU64::new(0),
+            tasks: AtomicU64::new(0),
+        },
+        epoch: AtomicU64::new(0),
+        published: AtomicUsize::new(0),
+        shutdown: AtomicBool::new(false),
+        round_lock: Mutex::new(()),
+        round_cv: Condvar::new(),
+    };
+    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let results: Mutex<Vec<R>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        let ss = &session;
+        let panic_payload = &panic_payload;
+        let results = &results;
+        let make_state = &make_state;
+        let handler = &handler;
+        let worker = move |me: usize| {
+            let mut state = make_state(me);
+            let mut seen = 0u64;
+            loop {
+                // Park until the driver opens the next round (epoch bump
+                // and this check share `round_lock`, so no lost wakeup).
+                {
+                    let Ok(mut guard) = ss.round_lock.lock() else { return };
+                    loop {
+                        if ss.shutdown.load(Ordering::Acquire)
+                            || ss.work.abort.load(Ordering::Acquire)
+                        {
+                            return;
+                        }
+                        let e = ss.epoch.load(Ordering::Acquire);
+                        if e > seen {
+                            seen = e;
+                            break;
+                        }
+                        guard = match ss
+                            .round_cv
+                            .wait_timeout(guard, Duration::from_millis(5))
+                        {
+                            Ok((g, _)) => g,
+                            Err(_) => return,
+                        };
+                    }
+                }
+                let mut local =
+                    round_worker(&ss.work, me, &mut state, handler, panic_payload);
+                {
+                    let _guard = ss.round_lock.lock();
+                    if let Ok(mut all) = results.lock() {
+                        all.append(&mut local);
+                    }
+                    ss.published.fetch_add(1, Ordering::SeqCst);
+                    ss.round_cv.notify_all();
+                }
+            }
+        };
+        let handles: Vec<_> = (1..n).map(|me| scope.spawn(move || worker(me))).collect();
+
+        let mut state0 = make_state(0);
+        let mut round = |seeds: Vec<T>| -> RunOutcome<R> {
+            let tasks0 = ss.work.tasks.load(Ordering::Relaxed);
+            let steals0 = ss.work.steals.load(Ordering::Relaxed);
+            ss.published.store(0, Ordering::SeqCst);
+            ss.work.in_flight.store(seeds.len(), Ordering::SeqCst);
+            // Seed round-robin across the workers' own deques so the
+            // initial distribution is balanced without any stealing.
+            for (i, t) in seeds.into_iter().enumerate() {
+                if let Ok(mut dq) = ss.work.deques[i % n].lock() {
+                    dq.push_back(t);
+                }
+            }
+            {
+                let _guard = ss.round_lock.lock();
+                ss.epoch.fetch_add(1, Ordering::SeqCst);
+                ss.round_cv.notify_all();
+            }
+            let mut local =
+                round_worker(&ss.work, 0, &mut state0, handler, panic_payload);
+            // Round barrier: `in_flight == 0` means every handler has
+            // finished, but siblings still have to *publish* before the
+            // results are complete. On abort, stop waiting: a worker
+            // that wakes into an aborted session exits from its park
+            // loop without publishing, and the panic payload below is
+            // all this round can still deliver.
+            if n > 1 {
+                if let Ok(mut guard) = ss.round_lock.lock() {
+                    while ss.published.load(Ordering::SeqCst) < n - 1
+                        && !ss.work.abort.load(Ordering::Acquire)
+                    {
+                        guard = match ss
+                            .round_cv
+                            .wait_timeout(guard, Duration::from_millis(5))
+                        {
+                            Ok((g, _)) => g,
+                            Err(_) => break,
+                        };
+                    }
+                }
+            }
+            let mut all = results
+                .lock()
+                .map(|mut g| std::mem::take(&mut *g))
+                .unwrap_or_default();
+            all.append(&mut local);
+            if let Some(payload) =
+                panic_payload.lock().ok().and_then(|mut slot| slot.take())
+            {
+                // Release the parked workers before unwinding; they exit
+                // on the abort flag set by the panicking task.
+                {
+                    let _guard = ss.round_lock.lock();
+                    ss.shutdown.store(true, Ordering::Release);
+                    ss.round_cv.notify_all();
+                }
+                resume_unwind(payload);
+            }
+            RunOutcome {
+                results: all,
+                stats: SchedStats {
+                    tasks: ss.work.tasks.load(Ordering::Relaxed) - tasks0,
+                    steals: ss.work.steals.load(Ordering::Relaxed) - steals0,
+                },
+            }
+        };
+        let out = driver(&mut round);
+        {
+            let _guard = ss.round_lock.lock();
+            ss.shutdown.store(true, Ordering::Release);
+            ss.round_cv.notify_all();
+        }
+        for h in handles {
+            // Worker bodies catch handler panics themselves; a join
+            // error is unreachable, but must not poison the scheduler.
+            let _ = h.join();
+        }
+        out
+    })
+}
+
+/// Runs `seeds` (plus everything handlers [`WorkerHandle::push`]) to
+/// completion on `threads` workers. `make_state` builds one per-worker
+/// state on its worker's thread; `handler` receives that state, the
+/// task, and a push handle. A one-round [`run_rounds`] session.
+///
+/// Handler panics are caught per task (so sibling tasks finish their
+/// current work), the scheduler drains, and the first payload is
+/// re-raised on the calling thread — a panicking handler behaves like a
+/// panicking function call, never a deadlock.
+pub fn run<T, R, S>(
+    threads: NonZeroUsize,
+    seeds: Vec<T>,
+    make_state: impl Fn(usize) -> S + Sync,
+    handler: impl Fn(&mut S, T, &WorkerHandle<'_, T>) -> R + Sync,
+) -> RunOutcome<R>
+where
+    T: Send,
+    R: Send,
+{
+    run_rounds(threads, make_state, handler, |round| round(seeds))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn two() -> NonZeroUsize {
+        NonZeroUsize::new(2).unwrap()
+    }
+
+    #[test]
+    fn parse_threads_rejects_zero_and_junk() {
+        assert_eq!(
+            parse_threads("0", ThreadOrigin::Flag),
+            Err(ThreadConfigError::Zero { origin: ThreadOrigin::Flag })
+        );
+        assert_eq!(
+            parse_threads("lots", ThreadOrigin::Env),
+            Err(ThreadConfigError::Invalid {
+                origin: ThreadOrigin::Env,
+                value: "lots".to_string()
+            })
+        );
+        assert_eq!(parse_threads(" 3 ", ThreadOrigin::Flag).unwrap().get(), 3);
+        let msg = ThreadConfigError::Zero { origin: ThreadOrigin::Flag }.to_string();
+        assert!(msg.contains("--threads"), "{msg}");
+    }
+
+    #[test]
+    fn explicit_threads_win_over_default() {
+        let four = NonZeroUsize::new(4).unwrap();
+        assert_eq!(resolve_threads(Some(four)), Ok(four));
+    }
+
+    #[test]
+    fn runs_all_seed_tasks() {
+        let sum = AtomicU32::new(0);
+        let out = run(
+            two(),
+            (1u32..=100).collect(),
+            |_| (),
+            |_, t, _| {
+                sum.fetch_add(t, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+        assert_eq!(out.stats.tasks, 100);
+        assert_eq!(out.results.len(), 100);
+    }
+
+    #[test]
+    fn dynamic_pushes_terminate() {
+        // Each task n pushes n-1 until 0: 8 seeds of depth 8 -> 64 tasks.
+        let count = AtomicU32::new(0);
+        let out = run(
+            two(),
+            vec![8u32; 8],
+            |_| (),
+            |_, t, h| {
+                count.fetch_add(1, Ordering::Relaxed);
+                if t > 1 {
+                    h.push(t - 1);
+                }
+            },
+        );
+        assert_eq!(count.load(Ordering::Relaxed), 64);
+        assert_eq!(out.stats.tasks, 64);
+    }
+
+    #[test]
+    fn single_thread_runs_in_order_and_cheaply() {
+        // One worker, LIFO off its own deque after FIFO seeds: all tasks
+        // run, no steals.
+        let out = run(
+            NonZeroUsize::MIN,
+            (0..32).collect::<Vec<u64>>(),
+            |_| 0u64,
+            |acc, t, _| {
+                *acc += t;
+                t
+            },
+        );
+        assert_eq!(out.stats.steals, 0);
+        assert_eq!(out.results.len(), 32);
+    }
+
+    #[test]
+    fn handler_panic_is_reraised_not_hung() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run(
+                two(),
+                vec![0u32, 1, 2, 3],
+                |_| (),
+                |_, t, _| {
+                    if t == 2 {
+                        panic!("injected scheduler fault");
+                    }
+                },
+            )
+        }));
+        let payload = caught.unwrap_err();
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("injected scheduler fault"), "{msg}");
+    }
+
+    #[test]
+    fn rounds_reuse_worker_state_and_count_per_round() {
+        // Worker states persist across rounds: a single worker's
+        // accumulator keeps counting into the second round, and each
+        // round reports only its own tasks.
+        let (r1, r2) = run_rounds(
+            NonZeroUsize::MIN,
+            |_| 0u64,
+            |acc, _t: u64, _| {
+                *acc += 1;
+                *acc
+            },
+            |round| {
+                let a = round((0..10).collect());
+                let b = round((0..6).collect());
+                (a, b)
+            },
+        );
+        assert_eq!(r1.stats.tasks, 10);
+        assert_eq!(r2.stats.tasks, 6);
+        assert_eq!(r1.results, (1..=10u64).collect::<Vec<_>>());
+        // Round two continues the same state: 11..=16, not 1..=6.
+        assert_eq!(r2.results, (11..=16u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rounds_drain_across_many_workers() {
+        let sum = AtomicU32::new(0);
+        let total = run_rounds(
+            NonZeroUsize::new(4).unwrap(),
+            |_| (),
+            |_, t: u32, _| {
+                sum.fetch_add(t, Ordering::Relaxed);
+            },
+            |round| {
+                let mut tasks = 0;
+                for _ in 0..20 {
+                    tasks += round((1..=10).collect()).stats.tasks;
+                }
+                tasks
+            },
+        );
+        assert_eq!(total, 200);
+        assert_eq!(sum.load(Ordering::Relaxed), 55 * 20);
+    }
+
+    #[test]
+    fn rounds_single_thread_runs_in_seed_order() {
+        let out = run_rounds(
+            NonZeroUsize::MIN,
+            |_| (),
+            |_, t: u32, _| t,
+            |round| round(vec![3, 2, 1]),
+        );
+        // One worker pops its own deque from the back.
+        assert_eq!(out.results, vec![1, 2, 3]);
+        assert_eq!(out.stats.steals, 0);
+    }
+
+    #[test]
+    fn round_panic_is_reraised_not_hung() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_rounds(
+                two(),
+                |_| (),
+                |_, t: u32, _| {
+                    if t == 7 {
+                        panic!("injected round fault");
+                    }
+                },
+                |round| {
+                    round(vec![1, 2, 3]);
+                    round(vec![6, 7, 8])
+                },
+            )
+        }));
+        let payload = caught.unwrap_err();
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("injected round fault"), "{msg}");
+    }
+
+    #[test]
+    fn worker_state_is_per_worker() {
+        // Worker-local accumulators: the sum over all workers must equal
+        // the task count regardless of distribution.
+        let out = run(
+            NonZeroUsize::new(4).unwrap(),
+            vec![(); 200],
+            |_| 0u64,
+            |acc, (), _| {
+                *acc += 1;
+                *acc
+            },
+        );
+        assert_eq!(out.results.len(), 200);
+    }
+}

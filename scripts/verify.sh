@@ -19,6 +19,11 @@ timeout 300 cargo test -q --offline -p mspec-core --test fault_injection
 echo "==> VM differential suite (offline, 300s budget)"
 timeout 300 cargo test -q --offline -p mspec-core --test vm_differential
 
+echo "==> thread-matrix determinism suite (offline, 300s budget)"
+# Residual artefacts must be byte-identical at every worker count; this
+# is the oracle for the work-stealing specialisation engine.
+timeout 300 cargo test -q --offline -p mspec-core --test par_determinism
+
 echo "==> cargo test -q (offline)"
 timeout 1800 cargo test -q --offline
 

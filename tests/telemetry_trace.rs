@@ -124,6 +124,55 @@ fn library_trace_is_deterministic() {
     assert_eq!(run(), run());
 }
 
+/// Both work-stealing layers report scheduler telemetry: a threaded
+/// pipeline build and a threaded specialisation each emit `sched.tasks`
+/// (one per unit of work) and a `sched.steals` counter.
+#[test]
+fn threaded_runs_emit_scheduler_counters() {
+    let shape = LibraryShape {
+        modules: 4,
+        fns_per_module: 4,
+        used_fns: 3,
+        exponent: 5,
+        cross_module: true,
+    };
+    let (program, entry) = library_program(&shape);
+    let n_modules = program.modules.len() as u64;
+    let threads = std::num::NonZeroUsize::new(4).unwrap();
+
+    let rec = Recorder::enabled();
+    let (p, _) =
+        Pipeline::from_program_traced(program, &BTreeSet::new(), BuildMode::Threads(threads), &rec)
+            .unwrap();
+    let build_counters = rec.snapshot().counters;
+    let count = |snap: &[(String, u64)], key: &str| {
+        snap.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    };
+    let tasks = count(&build_counters, "sched.tasks").expect("build sched.tasks counter");
+    assert_eq!(tasks, n_modules, "one scheduler task per module");
+    assert!(count(&build_counters, "sched.steals").is_some(), "build sched.steals counter");
+
+    let rec = Recorder::enabled();
+    let s = p
+        .specialise_threaded(
+            entry.module.as_str(),
+            entry.name.as_str(),
+            vec![SpecArg::Dynamic],
+            EngineOptions::default(),
+            threads,
+            &rec,
+        )
+        .unwrap();
+    let spec_counters = rec.snapshot().counters;
+    let tasks = count(&spec_counters, "sched.tasks").expect("spec sched.tasks counter");
+    assert!(
+        tasks >= s.stats.specialisations as u64,
+        "every residual def is a scheduler task ({tasks} tasks, {} defs)",
+        s.stats.specialisations
+    );
+    assert!(count(&spec_counters, "sched.steals").is_some(), "spec sched.steals counter");
+}
+
 /// The power example's scrubbed event log matches the checked-in golden
 /// file byte for byte. Regenerate with
 /// `MSPEC_BLESS=1 cargo test -p mspec-core --test telemetry_trace`.
