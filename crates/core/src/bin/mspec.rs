@@ -15,6 +15,13 @@
 //! mspec explain FN --log FILE             provenance of FN's residual
 //!                                         versions from a --metrics log
 //! mspec trace-check FILE                  validate a trace/metrics file
+//! mspec serve   [--stdio | --port N]      specialisation-as-a-service daemon
+//!               [--max-clients N] [--queue-depth N] [--deadline-ms N]
+//!               [--client-fuel N] [--threads N] [--chaos] [--trace FILE]
+//! mspec client  ACTION [FILE]             talk to a daemon (ACTION: spec,
+//!               (--connect HOST:PORT | --spawn)   health, stats, fault,
+//!               [--entry M.f --args DIV] [--deadline-ms N]     shutdown)
+//!               [--retries N] [--backoff-ms N]
 //! ```
 //!
 //! Every pipeline command additionally accepts `--trace FILE` (Chrome
@@ -32,11 +39,12 @@
 use mspec_core::telemetry::{self, Snapshot};
 use mspec_core::{
     write_residual, BuildMode, EngineOptions, ModuleOutcome, OnExhaustion, Pipeline,
-    PipelineError, Recorder, Runner, SpecArg, SpecBudget, Strategy,
+    PipelineError, Recorder, Runner, SpecBudget, Strategy,
 };
-use mspec_lang::eval::{with_big_stack, Value};
+use mspec_lang::eval::with_big_stack;
 use mspec_lang::QualName;
 use mspec_sched::{parse_threads, ThreadOrigin};
+use mspec_serve::{parse_division, parse_values, ServeConfig, ServeKnob};
 use std::collections::BTreeSet;
 use std::num::NonZeroUsize;
 use std::process::ExitCode;
@@ -67,6 +75,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "run" => run_program(&args[1..]),
         "explain" => explain_cmd(&args[1..]),
         "trace-check" => trace_check_cmd(&args[1..]),
+        "serve" => serve_cmd(&args[1..]),
+        "client" => client_cmd(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -76,7 +86,7 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: mspec <check|analyse|cogen|spec|mix|run|build|link-spec|explain|trace-check> FILE [options]\n\
+    "usage: mspec <check|analyse|cogen|spec|mix|run|build|link-spec|explain|trace-check|serve|client> FILE [options]\n\
      \n\
      check   FILE                          typecheck, print schemes\n\
      analyse FILE [--force-residual M.f,…] print BT schemes + annotations\n\
@@ -91,6 +101,13 @@ fn usage() -> String {
      link-spec DIR --entry M.f --args DIV  specialise from .gx files (no source)\n\
      explain FN --log FILE                 provenance of FN from a --metrics log\n\
      trace-check FILE                      validate a --trace/--metrics file\n\
+     serve   [--stdio | --port N]          long-lived specialisation daemon\n\
+             [--max-clients N] [--queue-depth N] [--deadline-ms N]\n\
+             [--client-fuel N] [--threads N] [--chaos] [--trace FILE]\n\
+     client  ACTION [FILE]                 talk to a daemon; ACTION is one of\n\
+             (--connect HOST:PORT|--spawn)  spec, health, stats, fault, shutdown\n\
+             [--entry M.f --args DIV] [--dir DIR] [--deadline-ms N]\n\
+             [--retries N] [--backoff-ms N] [--fuel N] [--max-spec N]\n\
      \n\
      spec, mix, build and link-spec also accept --trace FILE (Chrome\n\
      trace_event JSON) and --metrics FILE (JSONL event log).\n\
@@ -530,64 +547,236 @@ fn run_program(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Parses a division list: `S:<value>,D,P:<n>,…` (empty string = no args).
-fn parse_division(s: &str) -> Result<Vec<SpecArg>, String> {
-    if s.is_empty() {
-        return Ok(Vec::new());
-    }
-    s.split(',')
-        .map(|part| {
-            let part = part.trim();
-            if part == "D" {
-                Ok(SpecArg::Dynamic)
-            } else if let Some(v) = part.strip_prefix("S:") {
-                Ok(SpecArg::Static(parse_value(v)?))
-            } else if let Some(n) = part.strip_prefix("P:") {
-                n.parse::<usize>()
-                    .map(SpecArg::StaticSpine)
-                    .map_err(|_| format!("bad spine length `{n}`"))
-            } else {
-                Err(format!("bad division entry `{part}` (use S:<v>, D or P:<n>)"))
+/// `mspec serve`: run the specialisation daemon over stdio or TCP.
+fn serve_cmd(args: &[String]) -> Result<(), String> {
+    let mut cfg = ServeConfig::default();
+    let mut pinned: Vec<ServeKnob> = Vec::new();
+    let mut stdio = false;
+    let mut threads: Option<NonZeroUsize> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let knob = match arg.as_str() {
+            "--stdio" => {
+                stdio = true;
+                continue;
             }
-        })
-        .collect()
-}
-
-/// Parses a comma-separated value list (empty string = no values).
-fn parse_values(s: &str) -> Result<Vec<Value>, String> {
-    if s.is_empty() {
-        return Ok(Vec::new());
+            "--chaos" => {
+                cfg.chaos = true;
+                continue;
+            }
+            "--trace" => {
+                let v = it.next().ok_or("--trace needs a file path")?;
+                cfg.trace_path = Some(v.clone());
+                continue;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                threads = Some(parse_threads(v, ThreadOrigin::Flag).map_err(|e| e.to_string())?);
+                continue;
+            }
+            "--port" => ServeKnob::Port,
+            "--max-clients" => ServeKnob::MaxClients,
+            "--queue-depth" => ServeKnob::QueueDepth,
+            "--deadline-ms" => ServeKnob::DeadlineMs,
+            "--client-fuel" => ServeKnob::ClientFuel,
+            other => return Err(format!("serve: unknown option `{other}`")),
+        };
+        let v = it.next().ok_or_else(|| format!("{} needs a value", knob.flag()))?;
+        cfg.set_flag(knob, v).map_err(|e| e.to_string())?;
+        pinned.push(knob);
     }
-    s.split(',').map(|p| parse_value(p.trim())).collect()
-}
-
-/// Parses one literal: a natural, `true`/`false`, or `[v;v;…]`.
-fn parse_value(s: &str) -> Result<Value, String> {
-    let s = s.trim();
-    if s == "true" {
-        return Ok(Value::bool_(true));
-    }
-    if s == "false" {
-        return Ok(Value::bool_(false));
-    }
-    if let Some(inner) = s.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
-        if inner.trim().is_empty() {
-            return Ok(Value::Nil);
+    cfg.apply_env(&pinned).map_err(|e| e.to_string())?;
+    match threads {
+        Some(n) => cfg.workers = n.get(),
+        None => {
+            if let Ok(v) = std::env::var("MSPEC_THREADS") {
+                cfg.workers = parse_threads(&v, ThreadOrigin::Env)
+                    .map_err(|e| e.to_string())?
+                    .get();
+            }
         }
-        let items = inner
-            .split(';')
-            .map(parse_value)
-            .collect::<Result<Vec<_>, _>>()?;
-        return Ok(Value::list(items));
     }
-    s.parse::<u64>()
-        .map(Value::nat)
-        .map_err(|_| format!("bad value `{s}` (naturals, true/false, [v;…])"))
+    let rec = if cfg.trace_path.is_some() {
+        telemetry::Recorder::enabled()
+    } else {
+        telemetry::Recorder::disabled()
+    };
+    let server = mspec_serve::Server::new(cfg.clone(), rec);
+    if stdio {
+        server.serve_stdio().map_err(|e| format!("serve: {e}"))
+    } else {
+        let handle = server.start_tcp().map_err(|e| format!("serve: {e}"))?;
+        // Scripts read the bound port from stdout (important with --port 0).
+        println!("mspecd listening on 127.0.0.1:{}", handle.port);
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        eprintln!(
+            "mspecd: {} workers, queue depth {}, deadline {}ms, client fuel {}",
+            cfg.workers, cfg.queue_depth, cfg.deadline_ms, cfg.client_fuel
+        );
+        handle.join();
+        Ok(())
+    }
+}
+
+/// `mspec client`: issue one request against a daemon, with retries.
+fn client_cmd(args: &[String]) -> Result<(), String> {
+    let mut action: Option<String> = None;
+    let mut file: Option<String> = None;
+    let mut dir: Option<String> = None;
+    let mut connect: Option<String> = None;
+    let mut spawn = false;
+    let mut chaos = false;
+    let mut entry: Option<String> = None;
+    let mut division = String::new();
+    let mut fuel: Option<u64> = None;
+    let mut max_spec: Option<usize> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut policy = mspec_serve::RetryPolicy::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--connect" => connect = Some(it.next().ok_or("--connect needs HOST:PORT")?.clone()),
+            "--spawn" => spawn = true,
+            "--chaos" => chaos = true,
+            "--entry" => entry = Some(it.next().ok_or("--entry needs M.f")?.clone()),
+            "--args" => division = it.next().ok_or("--args needs a division")?.clone(),
+            "--dir" => dir = Some(it.next().ok_or("--dir needs a directory")?.clone()),
+            "--fuel" => {
+                let v = it.next().ok_or("--fuel needs a value")?;
+                fuel = Some(v.parse().map_err(|_| format!("bad --fuel `{v}`"))?);
+            }
+            "--max-spec" => {
+                let v = it.next().ok_or("--max-spec needs a value")?;
+                max_spec = Some(v.parse().map_err(|_| format!("bad --max-spec `{v}`"))?);
+            }
+            "--deadline-ms" => {
+                let v = it.next().ok_or("--deadline-ms needs a value")?;
+                deadline_ms = Some(v.parse().map_err(|_| format!("bad --deadline-ms `{v}`"))?);
+            }
+            "--retries" => {
+                let v = it.next().ok_or("--retries needs a value")?;
+                policy.max_attempts = v.parse().map_err(|_| format!("bad --retries `{v}`"))?;
+            }
+            "--backoff-ms" => {
+                let v = it.next().ok_or("--backoff-ms needs a value")?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad --backoff-ms `{v}`"))?;
+                policy.base_backoff = std::time::Duration::from_millis(ms);
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("client: unknown option `{other}`"));
+            }
+            positional => {
+                if action.is_none() {
+                    action = Some(positional.to_string());
+                } else if file.is_none() {
+                    file = Some(positional.to_string());
+                } else {
+                    return Err(format!("client: unexpected argument `{positional}`"));
+                }
+            }
+        }
+    }
+    let action = action.ok_or("client needs an ACTION: spec, health, stats, fault or shutdown")?;
+    let mut client = if let Some(addr) = connect {
+        mspec_serve::Client::tcp(addr)
+    } else if spawn {
+        let exe = std::env::current_exe().map_err(|e| format!("client: {e}"))?;
+        let mut serve_args = vec!["serve".to_string(), "--stdio".to_string()];
+        if chaos {
+            serve_args.push("--chaos".to_string());
+        }
+        mspec_serve::Client::spawn(exe.display().to_string(), serve_args)
+    } else {
+        return Err("client needs --connect HOST:PORT or --spawn".into());
+    }
+    .with_policy(policy);
+    let kind = match action.as_str() {
+        "spec" => {
+            let entry = entry.ok_or("client spec needs --entry M.f")?;
+            let mut req = match (&file, &dir) {
+                (Some(f), None) => {
+                    mspec_serve::SpecRequest::inline(&read_source(f)?, &entry, &division)
+                }
+                (None, Some(d)) => {
+                    let mut r = mspec_serve::SpecRequest::inline("", &entry, &division);
+                    r.program = None;
+                    r.dir = Some(d.clone());
+                    r
+                }
+                (None, None) => return Err("client spec needs FILE or --dir DIR".into()),
+                (Some(_), Some(_)) => return Err("client spec takes FILE or --dir, not both".into()),
+            };
+            req.fuel = fuel;
+            req.max_spec = max_spec;
+            req.deadline_ms = deadline_ms;
+            mspec_serve::RequestKind::Spec(req)
+        }
+        "health" => mspec_serve::RequestKind::Health,
+        "stats" => mspec_serve::RequestKind::Stats,
+        "fault" => mspec_serve::RequestKind::Fault,
+        "shutdown" => mspec_serve::RequestKind::Shutdown,
+        other => return Err(format!("client: unknown action `{other}`")),
+    };
+    let reply = client
+        .request(kind)
+        .map_err(|e| format!("client: {e} (after {} attempt(s))", client.last_attempts))?;
+    match reply.body {
+        mspec_serve::ResponseBody::Spec {
+            entry,
+            residual,
+            stats,
+            memo_hit,
+        } => {
+            // Byte-identical to `mspec spec` output on stdout.
+            println!("{residual}");
+            let hit = if memo_hit { " [memo hit]" } else { "" };
+            eprintln!("{}{hit}", stats.summary(entry.as_str()));
+            Ok(())
+        }
+        mspec_serve::ResponseBody::Health { uptime_ms, counters } => {
+            println!("uptime_ms = {uptime_ms}");
+            for (k, v) in counters {
+                println!("{k} = {v}");
+            }
+            Ok(())
+        }
+        mspec_serve::ResponseBody::Stats { counters } => {
+            for (k, v) in counters {
+                println!("{k} = {v}");
+            }
+            Ok(())
+        }
+        mspec_serve::ResponseBody::Ok => {
+            println!("ok");
+            Ok(())
+        }
+        mspec_serve::ResponseBody::Error(info) => {
+            let kind = if info.retryable { "retryable" } else { "terminal" };
+            let msg = format!(
+                "daemon error: {} ({kind}): {} (after {} attempt(s))",
+                info.class.as_str(),
+                info.message,
+                client.last_attempts
+            );
+            if action == "fault" {
+                // An injected fault answered with a typed error *is* the
+                // expected outcome; report it and exit cleanly.
+                eprintln!("{msg}");
+                Ok(())
+            } else {
+                Err(msg)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mspec_core::SpecArg;
+    use mspec_lang::eval::Value;
+    use mspec_serve::parse_value;
 
     #[test]
     fn parses_values() {

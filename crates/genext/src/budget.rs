@@ -106,6 +106,41 @@ impl std::fmt::Display for BudgetResource {
     }
 }
 
+/// A shared cancellation flag: the handle an external controller (a
+/// wall-clock deadline watchdog, a disconnecting client) uses to stop a
+/// running specialisation session from another thread.
+///
+/// The engine polls the flag on its step-fuel path (every
+/// [`CancelToken::CHECK_MASK`]` + 1` steps, so the cost is one atomic
+/// load amortised over ~1k evaluation steps) and aborts with
+/// [`crate::SpecError::Cancelled`] carrying the partial-progress step
+/// count. Cancellation is level-triggered and permanent: once fired,
+/// the token stays fired, so a session handed an already-cancelled
+/// token stops at its first step.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(std::sync::Arc<std::sync::atomic::AtomicBool>);
+
+impl CancelToken {
+    /// The engine checks the flag when `steps & CHECK_MASK == 0`.
+    pub const CHECK_MASK: u64 = 0x3FF;
+
+    /// A fresh, unfired token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Fires the token. Every engine polling this handle stops at its
+    /// next check point.
+    pub fn cancel(&self) {
+        self.0.store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Whether the token has fired.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(std::sync::atomic::Ordering::Acquire)
+    }
+}
+
 /// A step-fuel meter that reports exhaustion exactly once per unit: a
 /// budget of `n` admits exactly `n` spends. (The previous accounting
 /// combined `checked_sub` with a separate `== 0` check, so a budget of
@@ -162,6 +197,17 @@ mod tests {
         let mut f = Fuel::new(0);
         assert!(f.is_empty());
         assert!(!f.spend());
+    }
+
+    #[test]
+    fn cancel_token_is_shared_and_permanent() {
+        let t = CancelToken::new();
+        let t2 = t.clone();
+        assert!(!t.is_cancelled());
+        t2.cancel();
+        assert!(t.is_cancelled());
+        t2.cancel(); // idempotent
+        assert!(t2.is_cancelled());
     }
 
     #[test]

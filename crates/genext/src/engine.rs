@@ -27,7 +27,7 @@
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
-use crate::budget::{BudgetResource, Fuel, OnExhaustion, SpecBudget};
+use crate::budget::{BudgetResource, CancelToken, Fuel, OnExhaustion, SpecBudget};
 use crate::emit::{assemble, MemorySink, ModuleSink, ResidualProgram};
 use crate::error::SpecError;
 use crate::gexp::{GCoerce, GenProgram, GExp};
@@ -222,6 +222,9 @@ pub struct Engine<'p> {
     pub(crate) imports: BTreeMap<ModName, BTreeSet<ModName>>,
     pub(crate) provenance: Vec<Provenance>,
     pub(crate) recorder: Recorder,
+    /// External cancellation handle (deadline watchdogs, disconnecting
+    /// clients); polled on the step-fuel path. `None` = never cancelled.
+    cancel: Option<CancelToken>,
     /// Residual definitions currently under construction, innermost
     /// last — the *parent* attribution for decision events (which
     /// residual body a request arose inside).
@@ -265,9 +268,19 @@ impl<'p> Engine<'p> {
             imports: BTreeMap::new(),
             provenance: Vec::new(),
             recorder,
+            cancel: None,
             resid_stack: Vec::new(),
             par: None,
         }
+    }
+
+    /// Attaches a [`CancelToken`]: when some other thread fires it, the
+    /// session aborts with [`SpecError::Cancelled`] at the next check
+    /// point (at most [`CancelToken::CHECK_MASK`]` + 1` steps later).
+    /// This is the hook wall-clock deadlines hang off — a watchdog owns
+    /// the clock, the engine only ever polls a flag.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
     }
 
     /// One decision event, fully attributed: what was requested, what
@@ -550,6 +563,13 @@ impl<'p> Engine<'p> {
     /// would leave no call site to generalise.
     fn step(&mut self) -> Result<(), SpecError> {
         self.stats.steps += 1;
+        if self.stats.steps & CancelToken::CHECK_MASK == 0 {
+            if let Some(token) = &self.cancel {
+                if token.is_cancelled() {
+                    return Err(self.cancel_error());
+                }
+            }
+        }
         if let Some(par) = self.par.as_mut() {
             // Worker mode: fuel comes from a pool shared with the other
             // workers (claimed in chunks to keep contention negligible);
@@ -564,6 +584,17 @@ impl<'p> Engine<'p> {
             return Err(self.budget_error(BudgetResource::Steps, None));
         }
         Ok(())
+    }
+
+    /// A [`SpecError::Cancelled`] naming the innermost in-flight request
+    /// (mirrors [`Engine::budget_error`]'s witness choice for fuel).
+    fn cancel_error(&self) -> SpecError {
+        let witness = self
+            .chain
+            .last()
+            .map(|(q, _)| *q)
+            .unwrap_or(QualName::new("?", "?"));
+        SpecError::Cancelled { witness, steps: self.stats.steps }
     }
 
     /// The first breached budget resource, if any. Checked at every

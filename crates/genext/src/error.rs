@@ -37,6 +37,18 @@ pub enum SpecError {
         /// breach, outermost first, truncated to the innermost frames.
         chain: Vec<QualName>,
     },
+    /// The session's [`crate::CancelToken`] fired mid-run: an external
+    /// controller (a wall-clock deadline watchdog, a disconnecting
+    /// client) asked the engine to stop. The session is abandoned at a
+    /// step boundary; `steps` records the partial progress made, so
+    /// callers can report how far the run got before cancellation.
+    Cancelled {
+        /// The function being specialised/unfolded when the token fired
+        /// (the innermost request-chain frame).
+        witness: QualName,
+        /// Evaluation steps completed before cancellation.
+        steps: u64,
+    },
     /// The entry function given to `specialise` does not exist.
     UnknownEntry(QualName),
     /// An entry argument count that does not match the entry function.
@@ -105,6 +117,11 @@ impl fmt::Display for SpecError {
                 }
                 Ok(())
             }
+            SpecError::Cancelled { witness, steps } => write!(
+                f,
+                "specialisation cancelled at `{witness}` after {steps} steps \
+                 (deadline or external cancellation)"
+            ),
             SpecError::UnknownEntry(q) => write!(f, "unknown entry function `{q}`"),
             SpecError::EntryArity { entry, expected, found } => write!(
                 f,

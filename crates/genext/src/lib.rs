@@ -42,7 +42,7 @@ pub mod parallel;
 pub mod placement;
 pub mod value;
 
-pub use budget::{BudgetResource, OnExhaustion, SpecBudget};
+pub use budget::{BudgetResource, CancelToken, OnExhaustion, SpecBudget};
 pub use emit::{FileSink, MemorySink, ModuleSink, ResidualProgram};
 pub use engine::{CostModel, Engine, EngineOptions, Provenance, SpecArg, SpecStats, Strategy};
 pub use error::SpecError;

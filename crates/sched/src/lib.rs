@@ -235,12 +235,22 @@ fn round_worker<T, R, S>(
 ) -> Vec<R> {
     let handle = WorkerHandle { shared, id: me };
     let mut local: Vec<R> = Vec::new();
+    // Idle park grows exponentially from 50us to 2ms across consecutive
+    // empty polls and resets on real work: when the frontier narrows to
+    // one deep chain, idle workers stop doing a full steal sweep every
+    // 200us (which convoys on the busy worker's deque lock on small
+    // machines), yet a fresh push still wakes a parked worker at once
+    // via `WorkerHandle::push`'s notify.
+    const PARK_MIN: Duration = Duration::from_micros(50);
+    const PARK_MAX: Duration = Duration::from_millis(2);
+    let mut park = PARK_MIN;
     loop {
         if shared.abort.load(Ordering::Acquire) {
             break;
         }
         match shared.next_task(me) {
             Some((task, stolen)) => {
+                park = PARK_MIN;
                 shared.tasks.fetch_add(1, Ordering::Relaxed);
                 if stolen {
                     shared.steals.fetch_add(1, Ordering::Relaxed);
@@ -266,8 +276,9 @@ fn round_worker<T, R, S>(
                 if let Ok(guard) = shared.sleep_lock.lock() {
                     // Bounded park: a pusher's notify may race past us,
                     // so never sleep unconditionally.
-                    let _ = shared.cv.wait_timeout(guard, Duration::from_micros(200));
+                    let _ = shared.cv.wait_timeout(guard, park);
                 }
+                park = (park * 2).min(PARK_MAX);
             }
         }
     }

@@ -1,0 +1,395 @@
+//! The retrying client behind `mspec client`.
+//!
+//! Two transports:
+//!
+//! * **TCP** — connect to a running daemon (`mspec serve`);
+//! * **spawn** — start a child daemon speaking the same protocol on its
+//!   stdin/stdout (`mspec serve --stdio`), used by the offline smoke
+//!   tests where binding a socket may be unavailable.
+//!
+//! Retry policy: transport failures (connect refused, broken pipe) and
+//! *retryable* error replies (`overloaded`, `internal` — see
+//! [`crate::proto::ErrorClass::retryable`]) are retried with
+//! exponential backoff plus jitter; terminal error replies are returned
+//! to the caller immediately — resending them cannot change the
+//! answer. The jitter source is a hand-rolled xorshift64 (no external
+//! RNG dependency), seeded from the clock and PID, because a thundering
+//! herd of deterministic clients would re-collide on every retry.
+
+use crate::proto::{Request, RequestKind, Response, ResponseBody, SpecRequest};
+use mspec_lang::json::{FromJson, ToJson};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// How failures are retried.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). 1 disables retries.
+    pub max_attempts: u32,
+    /// First backoff; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Randomise each backoff to `[delay/2, delay]`.
+    pub jitter: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            jitter: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `attempt` (1-based), before
+    /// jitter: `min(max, base * 2^(attempt-1))`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt.saturating_sub(1)).unwrap_or(u32::MAX);
+        self.base_backoff
+            .checked_mul(factor)
+            .map_or(self.max_backoff, |d| d.min(self.max_backoff))
+    }
+}
+
+/// A client-side failure (transport or protocol — *not* a typed server
+/// error reply, which is returned as a normal [`Response`]).
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting, spawning, writing or reading failed (after retries).
+    Io(String),
+    /// The server's reply was not a valid protocol frame.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(m) => write!(f, "transport error: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+enum Transport {
+    Tcp { addr: String, conn: Option<TcpConn> },
+    Spawn { program: String, args: Vec<String>, child: Option<SpawnConn> },
+}
+
+struct TcpConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+struct SpawnConn {
+    child: Child,
+    reader: BufReader<std::process::ChildStdout>,
+    writer: std::process::ChildStdin,
+}
+
+/// The retrying protocol client.
+pub struct Client {
+    transport: Transport,
+    policy: RetryPolicy,
+    next_id: u64,
+    rng: u64,
+    /// Attempts actually made by the last request (observability for
+    /// the CLI's `-v` output and the tests).
+    pub last_attempts: u32,
+}
+
+impl Client {
+    /// A TCP client for `addr` (e.g. `127.0.0.1:7878`). Connects
+    /// lazily, on the first request.
+    pub fn tcp(addr: impl Into<String>) -> Client {
+        Client::with_transport(Transport::Tcp { addr: addr.into(), conn: None })
+    }
+
+    /// A client that spawns `program args…` as a child daemon speaking
+    /// the protocol on its stdin/stdout.
+    pub fn spawn(program: impl Into<String>, args: Vec<String>) -> Client {
+        Client::with_transport(Transport::Spawn { program: program.into(), args, child: None })
+    }
+
+    fn with_transport(transport: Transport) -> Client {
+        let seed = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0x9E37_79B9_7F4A_7C15, |d| d.as_nanos() as u64)
+            ^ (u64::from(std::process::id()) << 32);
+        Client { transport, policy: RetryPolicy::default(), next_id: 1, rng: seed | 1, last_attempts: 0 }
+    }
+
+    /// Replaces the retry policy.
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Client {
+        self.policy = policy;
+        self
+    }
+
+    /// Sends one request, retrying transport failures and retryable
+    /// error replies per the policy. Terminal error replies are
+    /// returned as-is (they carry the typed [`crate::ErrorInfo`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] when the transport still fails after the last
+    /// attempt, or the server talks gibberish.
+    pub fn request(&mut self, kind: RequestKind) -> Result<Response, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let req = Request { id, kind };
+        let mut last: Option<Result<Response, ClientError>> = None;
+        self.last_attempts = 0;
+        for attempt in 1..=self.policy.max_attempts.max(1) {
+            self.last_attempts = attempt;
+            if attempt > 1 {
+                std::thread::sleep(self.jittered(self.policy.backoff(attempt - 1)));
+            }
+            match self.try_once(&req) {
+                Ok(resp) => {
+                    let retryable =
+                        matches!(&resp.body, ResponseBody::Error(e) if e.retryable);
+                    if !retryable {
+                        return Ok(resp);
+                    }
+                    last = Some(Ok(resp));
+                }
+                Err(e) => {
+                    // The connection is suspect: rebuild it on retry.
+                    self.disconnect();
+                    last = Some(Err(e));
+                }
+            }
+        }
+        last.unwrap_or_else(|| {
+            Err(ClientError::Io("no attempts were made (max_attempts = 0)".into()))
+        })
+    }
+
+    /// Convenience: a `spec` request.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn spec(&mut self, spec: SpecRequest) -> Result<Response, ClientError> {
+        self.request(RequestKind::Spec(spec))
+    }
+
+    /// Convenience: a `health` request.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn health(&mut self) -> Result<Response, ClientError> {
+        self.request(RequestKind::Health)
+    }
+
+    /// Convenience: a `shutdown` request.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn shutdown(&mut self) -> Result<Response, ClientError> {
+        self.request(RequestKind::Shutdown)
+    }
+
+    fn jittered(&mut self, delay: Duration) -> Duration {
+        if !self.policy.jitter || delay.is_zero() {
+            return delay;
+        }
+        // xorshift64: cheap, seedable, no dependencies.
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        let nanos = delay.as_nanos() as u64;
+        Duration::from_nanos(nanos / 2 + x % (nanos / 2 + 1))
+    }
+
+    fn try_once(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let line = req.to_json_compact();
+        let reply = match &mut self.transport {
+            Transport::Tcp { addr, conn } => {
+                if conn.is_none() {
+                    let stream = TcpStream::connect(addr.as_str())
+                        .map_err(|e| ClientError::Io(format!("connect {addr}: {e}")))?;
+                    // One frame, one write: avoids Nagle + delayed-ACK
+                    // stalls on small request/reply exchanges.
+                    let _ = stream.set_nodelay(true);
+                    let reader = BufReader::new(
+                        stream
+                            .try_clone()
+                            .map_err(|e| ClientError::Io(format!("clone socket: {e}")))?,
+                    );
+                    *conn = Some(TcpConn { reader, writer: stream });
+                }
+                let Some(c) = conn.as_mut() else {
+                    return Err(ClientError::Io("no connection".into()));
+                };
+                c.writer
+                    .write_all(format!("{line}\n").as_bytes())
+                    .and_then(|()| c.writer.flush())
+                    .map_err(|e| ClientError::Io(format!("send: {e}")))?;
+                read_reply(&mut c.reader)?
+            }
+            Transport::Spawn { program, args, child } => {
+                if child.is_none() {
+                    *child = Some(spawn_daemon(program, args)?);
+                }
+                let Some(c) = child.as_mut() else {
+                    return Err(ClientError::Io("no child".into()));
+                };
+                c.writer
+                    .write_all(format!("{line}\n").as_bytes())
+                    .and_then(|()| c.writer.flush())
+                    .map_err(|e| ClientError::Io(format!("send to child: {e}")))?;
+                read_reply(&mut c.reader)?
+            }
+        };
+        if reply.id != req.id {
+            return Err(ClientError::Protocol(format!(
+                "reply id {} does not match request id {}",
+                reply.id, req.id
+            )));
+        }
+        Ok(reply)
+    }
+
+    fn disconnect(&mut self) {
+        match &mut self.transport {
+            Transport::Tcp { conn, .. } => *conn = None,
+            Transport::Spawn { child, .. } => {
+                if let Some(mut c) = child.take() {
+                    let _ = c.child.kill();
+                    let _ = c.child.wait();
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Client {
+    fn drop(&mut self) {
+        if let Transport::Spawn { child: Some(c), .. } = &mut self.transport {
+            // Ask politely (EOF on its stdin ends a stdio daemon), then
+            // make sure.
+            let _ = c.writer.flush();
+            let _ = c.child.kill();
+            let _ = c.child.wait();
+        }
+    }
+}
+
+fn spawn_daemon(program: &str, args: &[String]) -> Result<SpawnConn, ClientError> {
+    let mut child = Command::new(program)
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(|e| ClientError::Io(format!("spawn {program}: {e}")))?;
+    let stdin = child.stdin.take().ok_or_else(|| ClientError::Io("child stdin".into()))?;
+    let stdout = child.stdout.take().ok_or_else(|| ClientError::Io("child stdout".into()))?;
+    Ok(SpawnConn { child, reader: BufReader::new(stdout), writer: stdin })
+}
+
+fn read_reply(reader: &mut impl BufRead) -> Result<Response, ClientError> {
+    let mut line = String::new();
+    let n = reader
+        .read_line(&mut line)
+        .map_err(|e| ClientError::Io(format!("read reply: {e}")))?;
+    if n == 0 {
+        return Err(ClientError::Io("server closed the connection".into()));
+    }
+    Response::from_json_str(line.trim_end())
+        .map_err(|e| ClientError::Protocol(format!("bad reply frame: {e} in `{line}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use crate::config::ServeConfig;
+    use crate::proto::ErrorClass;
+    use crate::server::Server;
+    use mspec_telemetry::Recorder;
+
+    const POWER: &str =
+        "module Power where\npower n x = if n == 1 then x else x * power (n - 1) x\n";
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(300),
+            jitter: false,
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(10));
+        assert_eq!(p.backoff(2), Duration::from_millis(20));
+        assert_eq!(p.backoff(3), Duration::from_millis(40));
+        assert_eq!(p.backoff(6), Duration::from_millis(300));
+        assert_eq!(p.backoff(60), Duration::from_millis(300));
+    }
+
+    #[test]
+    fn jitter_stays_within_half_to_full_delay() {
+        let mut c = Client::tcp("127.0.0.1:1");
+        for _ in 0..100 {
+            let d = c.jittered(Duration::from_millis(100));
+            assert!(d >= Duration::from_millis(50) && d <= Duration::from_millis(100), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn tcp_roundtrip_and_connect_retry() {
+        let server = Server::new(ServeConfig::default(), Recorder::disabled());
+        let handle = server.start_tcp().unwrap();
+        let mut client = Client::tcp(format!("127.0.0.1:{}", handle.port));
+        let resp = client.spec(SpecRequest::inline(POWER, "Power.power", "S:3,D")).unwrap();
+        let ResponseBody::Spec { residual, .. } = resp.body else { panic!("{resp:?}") };
+        assert!(residual.contains("x * (x * x)"), "{residual}");
+        let resp = client.health().unwrap();
+        assert!(matches!(resp.body, ResponseBody::Health { .. }));
+        client.shutdown().unwrap();
+        handle.join();
+    }
+
+    #[test]
+    fn connect_failure_is_io_after_retries() {
+        // Nothing listens on port 1.
+        let mut client = Client::tcp("127.0.0.1:1").with_policy(RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            jitter: false,
+        });
+        let err = client.health().unwrap_err();
+        assert!(matches!(err, ClientError::Io(_)), "{err}");
+        assert_eq!(client.last_attempts, 2);
+    }
+
+    #[test]
+    fn terminal_errors_are_not_retried() {
+        let server = Server::new(ServeConfig::default(), Recorder::disabled());
+        let handle = server.start_tcp().unwrap();
+        let mut client = Client::tcp(format!("127.0.0.1:{}", handle.port));
+        let resp = client
+            .spec(SpecRequest::inline(POWER, "Power.ghost", "S:3,D"))
+            .unwrap();
+        let ResponseBody::Error(e) = resp.body else { panic!("{resp:?}") };
+        assert_eq!(e.class, ErrorClass::NoSuchEntry);
+        assert_eq!(client.last_attempts, 1);
+        client.shutdown().unwrap();
+        handle.join();
+    }
+}

@@ -1,0 +1,419 @@
+//! Resident state: what stays warm between requests.
+//!
+//! The paper's economics are "build the generating extension once,
+//! specialise many times" — a daemon realises them only if the built
+//! artefacts actually survive between requests. Three caches do:
+//!
+//! * **programs** — inline source compiled through the full pipeline
+//!   (parse → resolve → infer → BTA → cogen), keyed by the FNV-1a hash
+//!   of the source text;
+//! * **artefact sets** — `.gx` directories linked with
+//!   [`mspec_cogen::link_dir`], keyed by directory path and
+//!   *revalidated on every reuse* against the `.bti` interface
+//!   fingerprints recorded at link time: a changed interface forces a
+//!   re-link (which itself re-checks the genexts and can fail
+//!   `stale-interface`), so the daemon never serves residual code
+//!   linked against an interface that has since changed on disk;
+//! * **memo** — finished specialisations keyed by
+//!   (program, entry, args, budget, strategy), so a repeated request is
+//!   answered without running the engine at all (`memo_hit: true` in
+//!   the reply).
+
+use crate::proto::{parse_division, ErrorClass, ErrorInfo, SpecRequest};
+use mspec_bta::analyse::analyse_program_with;
+use mspec_cogen::compile::compile_program;
+use mspec_cogen::{bti_fingerprint, fnv64, link_dir, CogenError};
+use mspec_genext::{
+    CancelToken, Engine, EngineOptions, GenProgram, SpecBudget, SpecError, SpecStats,
+};
+use mspec_lang::ast::QualName;
+use mspec_lang::parser::parse_program;
+use mspec_lang::pretty::pretty_program;
+use mspec_lang::resolve::resolve;
+use mspec_telemetry::Recorder;
+use mspec_types::infer_program;
+use std::collections::{BTreeSet, HashMap};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// A successfully executed (or memoised) specialisation.
+#[derive(Debug, Clone)]
+pub struct SpecOutcome {
+    /// Residual entry function, `Module.function`.
+    pub entry: String,
+    /// Residual program concrete syntax (byte-identical to the
+    /// sequential CLI path: both are [`pretty_program`] of the engine's
+    /// residual).
+    pub residual: String,
+    /// Engine counters (the original run's, for a memo hit).
+    pub stats: SpecStats,
+    /// Whether the cross-request memo answered.
+    pub memo_hit: bool,
+}
+
+/// A linked artefact directory plus the interface fingerprints it was
+/// linked against.
+struct ArtefactSet {
+    gen: Arc<GenProgram>,
+    /// `(path, fingerprint)` for every `.bti` present at link time.
+    interfaces: Vec<(PathBuf, u64)>,
+}
+
+/// Counters describing cache behaviour, surfaced via `stats` replies.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResidentStats {
+    /// Inline programs compiled (cache misses).
+    pub programs_built: u64,
+    /// Inline-program cache hits.
+    pub program_hits: u64,
+    /// Artefact directories (re)linked.
+    pub artefact_links: u64,
+    /// Artefact reuses whose fingerprints revalidated clean.
+    pub artefact_revalidations: u64,
+    /// Cross-request memo hits.
+    pub memo_hits: u64,
+}
+
+/// The resident cache shared by all workers.
+pub struct Resident {
+    programs: Mutex<HashMap<u64, Arc<GenProgram>>>,
+    artefacts: Mutex<HashMap<String, Arc<ArtefactSet>>>,
+    memo: Mutex<HashMap<String, SpecOutcome>>,
+    stats: Mutex<ResidentStats>,
+}
+
+impl Default for Resident {
+    fn default() -> Resident {
+        Resident::new()
+    }
+}
+
+impl Resident {
+    /// An empty cache.
+    pub fn new() -> Resident {
+        Resident {
+            programs: Mutex::new(HashMap::new()),
+            artefacts: Mutex::new(HashMap::new()),
+            memo: Mutex::new(HashMap::new()),
+            stats: Mutex::new(ResidentStats::default()),
+        }
+    }
+
+    /// Cache-behaviour counters.
+    pub fn stats(&self) -> ResidentStats {
+        *lock(&self.stats)
+    }
+
+    /// Executes one specialisation request against the resident caches.
+    /// `cancel` is polled by the engine every
+    /// [`CancelToken::CHECK_MASK`]`+1` steps — the deadline watchdog's
+    /// hook into the run.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`ErrorInfo`] for every failure mode; `deadline` and
+    /// `budget` errors carry the partial-progress engine counters.
+    pub fn execute_spec(
+        &self,
+        req: &SpecRequest,
+        cancel: CancelToken,
+        rec: &Recorder,
+    ) -> Result<SpecOutcome, ErrorInfo> {
+        let args = parse_division(&req.args)
+            .map_err(|e| ErrorInfo::new(ErrorClass::BadRequest, format!("bad args: {e}")))?;
+        let memo_key = self.memo_key(req);
+        if let Some(hit) = lock(&self.memo).get(&memo_key) {
+            lock(&self.stats).memo_hits += 1;
+            return Ok(SpecOutcome { memo_hit: true, ..hit.clone() });
+        }
+
+        let gen = self.load_program(req, rec)?;
+        let (module, function) = req.entry.split_once('.').ok_or_else(|| {
+            ErrorInfo::new(
+                ErrorClass::BadRequest,
+                format!("entry `{}` is not of the form Module.function", req.entry),
+            )
+        })?;
+        let entry = QualName::new(module, function);
+        if gen.function(&entry).is_none() {
+            return Err(ErrorInfo::new(
+                ErrorClass::NoSuchEntry,
+                format!("no function `{}` in the program", req.entry),
+            ));
+        }
+
+        let mut budget = SpecBudget::default();
+        if let Some(fuel) = req.fuel {
+            budget.steps = fuel;
+        }
+        if let Some(m) = req.max_spec {
+            budget.max_specialisations = m;
+        }
+        let options = EngineOptions {
+            strategy: req.strategy,
+            budget,
+            on_exhaustion: req.on_exhaustion,
+            ..EngineOptions::default()
+        };
+
+        let mut engine = Engine::with_recorder(&gen, options, rec.clone());
+        engine.set_cancel_token(cancel);
+        match engine.specialise(&entry, args) {
+            Ok(residual) => {
+                let outcome = SpecOutcome {
+                    entry: format!("{}", residual.entry),
+                    residual: pretty_program(&residual.program),
+                    stats: *engine.stats(),
+                    memo_hit: false,
+                };
+                lock(&self.memo).insert(memo_key, outcome.clone());
+                Ok(outcome)
+            }
+            Err(e) => Err(spec_error_info(e, *engine.stats())),
+        }
+    }
+
+    /// Evicts everything (used by tests to measure cold-path cost).
+    pub fn clear(&self) {
+        lock(&self.programs).clear();
+        lock(&self.artefacts).clear();
+        lock(&self.memo).clear();
+    }
+
+    fn memo_key(&self, req: &SpecRequest) -> String {
+        let source = match (&req.program, &req.dir) {
+            (Some(p), _) => format!("src:{:016x}", fnv64(p.as_bytes())),
+            (None, Some(d)) => format!("dir:{d}"),
+            (None, None) => "none".to_string(),
+        };
+        format!(
+            "{source}|{}|{}|{}|{}|{:?}|{:?}",
+            req.entry,
+            req.args,
+            req.fuel.unwrap_or(0),
+            req.max_spec.unwrap_or(0),
+            req.on_exhaustion,
+            req.strategy,
+        )
+    }
+
+    fn load_program(
+        &self,
+        req: &SpecRequest,
+        rec: &Recorder,
+    ) -> Result<Arc<GenProgram>, ErrorInfo> {
+        if let Some(src) = &req.program {
+            return self.load_inline(src, rec);
+        }
+        if let Some(dir) = &req.dir {
+            return self.load_artefacts(dir);
+        }
+        Err(ErrorInfo::new(
+            ErrorClass::BadRequest,
+            "spec needs exactly one of `program` or `dir`",
+        ))
+    }
+
+    fn load_inline(&self, src: &str, rec: &Recorder) -> Result<Arc<GenProgram>, ErrorInfo> {
+        let key = fnv64(src.as_bytes());
+        if let Some(gen) = lock(&self.programs).get(&key) {
+            lock(&self.stats).program_hits += 1;
+            return Ok(Arc::clone(gen));
+        }
+        let _span = rec.span("serve.compile");
+        let gen = build_inline(src)
+            .map_err(|msg| ErrorInfo::new(ErrorClass::Compile, msg))?;
+        let gen = Arc::new(gen);
+        lock(&self.stats).programs_built += 1;
+        lock(&self.programs).insert(key, Arc::clone(&gen));
+        Ok(gen)
+    }
+
+    fn load_artefacts(&self, dir: &str) -> Result<Arc<GenProgram>, ErrorInfo> {
+        if let Some(set) = lock(&self.artefacts).get(dir).cloned() {
+            if self.revalidate(&set) {
+                lock(&self.stats).artefact_revalidations += 1;
+                return Ok(Arc::clone(&set.gen));
+            }
+            // An interface changed underneath us: drop and re-link.
+            lock(&self.artefacts).remove(dir);
+        }
+        let gen = link_dir(dir).map_err(cogen_error_info)?;
+        let interfaces = bti_files(dir)
+            .into_iter()
+            .filter_map(|p| bti_fingerprint(&p).ok().map(|fp| (p, fp)))
+            .collect();
+        let set = Arc::new(ArtefactSet { gen: Arc::new(gen), interfaces });
+        lock(&self.stats).artefact_links += 1;
+        lock(&self.artefacts).insert(dir.to_string(), Arc::clone(&set));
+        Ok(Arc::clone(&set.gen))
+    }
+
+    /// `true` when every interface fingerprint recorded at link time
+    /// still matches the `.bti` on disk (and no interface appeared or
+    /// vanished).
+    fn revalidate(&self, set: &ArtefactSet) -> bool {
+        set.interfaces
+            .iter()
+            .all(|(path, fp)| bti_fingerprint(path).is_ok_and(|now| now == *fp))
+    }
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The full sequential build pipeline, stage for stage the same calls
+/// as `mspec-core`'s `Pipeline::from_program_with` — which is what
+/// keeps daemon residuals byte-identical to `mspec spec` output.
+fn build_inline(src: &str) -> Result<GenProgram, String> {
+    let program = parse_program(src).map_err(|e| format!("parse: {e}"))?;
+    let resolved = resolve(program).map_err(|e| format!("resolve: {e}"))?;
+    infer_program(&resolved).map_err(|e| format!("types: {e}"))?;
+    let ann = analyse_program_with(&resolved, &BTreeSet::new()).map_err(|e| format!("bta: {e}"))?;
+    compile_program(&ann).map_err(|e| format!("cogen: {e}"))
+}
+
+fn bti_files(dir: &str) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|e| e == "bti"))
+                .collect()
+        })
+        .unwrap_or_default();
+    files.sort();
+    files
+}
+
+fn spec_error_info(e: SpecError, stats: SpecStats) -> ErrorInfo {
+    match e {
+        SpecError::Cancelled { witness, steps } => ErrorInfo::with_stats(
+            ErrorClass::Deadline,
+            format!("cancelled at `{witness}` after {steps} steps"),
+            stats,
+        ),
+        SpecError::BudgetExhausted { .. } => {
+            ErrorInfo::with_stats(ErrorClass::Budget, format!("{e}"), stats)
+        }
+        SpecError::UnknownEntry(q) => {
+            ErrorInfo::new(ErrorClass::NoSuchEntry, format!("no function `{q}` in the program"))
+        }
+        other => ErrorInfo::new(ErrorClass::Compile, format!("specialisation failed: {other}")),
+    }
+}
+
+fn cogen_error_info(e: CogenError) -> ErrorInfo {
+    match e {
+        CogenError::StaleInterface { module, import } => ErrorInfo::new(
+            ErrorClass::StaleInterface,
+            format!(
+                "genext for `{}` was generated against an older interface of `{}`; rebuild",
+                module.as_str(),
+                import.as_str()
+            ),
+        ),
+        other => ErrorInfo::new(ErrorClass::Artefact, format!("artefact load failed: {other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    const POWER: &str =
+        "module Power where\npower n x = if n == 1 then x else x * power (n - 1) x\n";
+
+    fn spec_req(entry: &str, args: &str) -> SpecRequest {
+        SpecRequest::inline(POWER, entry, args)
+    }
+
+    #[test]
+    fn specialises_and_memoises() {
+        let r = Resident::new();
+        let rec = Recorder::disabled();
+        let req = spec_req("Power.power", "S:3,D");
+        let first = r.execute_spec(&req, CancelToken::new(), &rec).unwrap();
+        assert!(!first.memo_hit);
+        assert!(first.residual.contains("x * (x * x)"), "{}", first.residual);
+        let second = r.execute_spec(&req, CancelToken::new(), &rec).unwrap();
+        assert!(second.memo_hit);
+        assert_eq!(first.residual, second.residual);
+        assert_eq!(r.stats().memo_hits, 1);
+        assert_eq!(r.stats().programs_built, 1);
+    }
+
+    #[test]
+    fn program_cache_hits_across_distinct_requests() {
+        let r = Resident::new();
+        let rec = Recorder::disabled();
+        r.execute_spec(&spec_req("Power.power", "S:2,D"), CancelToken::new(), &rec).unwrap();
+        r.execute_spec(&spec_req("Power.power", "S:3,D"), CancelToken::new(), &rec).unwrap();
+        let s = r.stats();
+        assert_eq!(s.programs_built, 1);
+        assert_eq!(s.program_hits, 1);
+        assert_eq!(s.memo_hits, 0);
+    }
+
+    #[test]
+    fn typed_errors_for_bad_requests() {
+        let r = Resident::new();
+        let rec = Recorder::disabled();
+        let e = r
+            .execute_spec(&spec_req("Power.ghost", "S:3,D"), CancelToken::new(), &rec)
+            .unwrap_err();
+        assert_eq!(e.class, ErrorClass::NoSuchEntry);
+        let e = r
+            .execute_spec(&spec_req("nodots", "S:3,D"), CancelToken::new(), &rec)
+            .unwrap_err();
+        assert_eq!(e.class, ErrorClass::BadRequest);
+        let e = r
+            .execute_spec(&spec_req("Power.power", "Q:9"), CancelToken::new(), &rec)
+            .unwrap_err();
+        assert_eq!(e.class, ErrorClass::BadRequest);
+        let e = r
+            .execute_spec(
+                &SpecRequest::inline("module Broken where\nf x = y\n", "Broken.f", "D"),
+                CancelToken::new(),
+                &rec,
+            )
+            .unwrap_err();
+        assert_eq!(e.class, ErrorClass::Compile);
+        assert!(!e.retryable);
+    }
+
+    #[test]
+    fn cancelled_runs_report_deadline_with_partial_stats() {
+        let r = Resident::new();
+        let rec = Recorder::disabled();
+        // Pre-cancelled token: the engine notices at the first check.
+        let token = CancelToken::new();
+        token.cancel();
+        // A deep static unfold chain guarantees the run reaches the
+        // engine's first cancellation check (every 1024 steps).
+        let req = SpecRequest {
+            fuel: Some(u64::MAX),
+            ..spec_req("Power.power", "S:2000,D")
+        };
+        let e = r.execute_spec(&req, token, &rec).unwrap_err();
+        assert_eq!(e.class, ErrorClass::Deadline);
+        assert!(!e.retryable);
+        let stats = e.stats.expect("partial stats");
+        assert!(stats.steps > 0);
+    }
+
+    #[test]
+    fn budget_breach_reports_budget_class() {
+        let r = Resident::new();
+        let rec = Recorder::disabled();
+        let req = SpecRequest { fuel: Some(10), ..spec_req("Power.power", "S:40,D") };
+        let e = r.execute_spec(&req, CancelToken::new(), &rec).unwrap_err();
+        assert_eq!(e.class, ErrorClass::Budget);
+        assert!(e.stats.is_some());
+    }
+}

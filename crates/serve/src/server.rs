@@ -1,0 +1,948 @@
+//! The daemon: connection handling, admission control, the worker
+//! pool, deadlines and panic containment.
+//!
+//! Request lifecycle:
+//!
+//! ```text
+//! frame ──parse──▶ admission ──try_push──▶ bounded queue ──pop──▶ worker
+//!          │            │           │                                │
+//!     bad-request   budget-denied  overloaded (shed)          catch_unwind
+//!                                                              deadline watchdog
+//! ```
+//!
+//! * `health`/`stats`/`shutdown` are answered inline on the connection
+//!   thread — they must keep working while the worker pool is saturated
+//!   (that is the point of a health endpoint).
+//! * `spec`/`fault` go through admission: the request's fuel budget is
+//!   reserved from the connection's fuel account (refused
+//!   `budget-denied` if it does not fit), then the job enters the
+//!   bounded queue (refused `overloaded` if full — load shedding).
+//!   Unused fuel is refunded after the run; a panicked request forfeits
+//!   its reservation.
+//! * Each job's wall-clock deadline starts at *admission*: a job that
+//!   expires while still queued is answered `deadline` without running
+//!   (this is what keeps p99 bounded under overload), and a running job
+//!   is cancelled by the watchdog firing the engine's
+//!   [`CancelToken`], surfacing partial-progress stats.
+//! * Every job body runs under `catch_unwind`: a panic becomes a typed
+//!   `internal` reply (retryable) and the worker survives.
+
+use crate::config::ServeConfig;
+use crate::proto::{
+    read_frame, ErrorClass, ErrorInfo, FrameRead, Request, RequestKind, Response, ResponseBody,
+    SpecRequest,
+};
+use crate::queue::{BoundedQueue, PushError};
+use crate::resident::Resident;
+use mspec_genext::{CancelToken, SpecBudget, SpecStats};
+use mspec_lang::json::{FromJson, Json, ToJson};
+use mspec_telemetry::Recorder;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+// The resident caches are shared across worker threads; this line is
+// where a non-Send type sneaking into `GenProgram` would surface.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Resident>();
+};
+
+/// How often connection readers wake up to poll the shutdown flag, and
+/// the granularity of deadline enforcement.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+const WATCHDOG_TICK: Duration = Duration::from_millis(1);
+
+type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
+
+/// Live counters (atomics bumped from many threads).
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    shed: AtomicU64,
+    panics: AtomicU64,
+    denied: AtomicU64,
+    deadline_expired: AtomicU64,
+    bad_frames: AtomicU64,
+    disconnects: AtomicU64,
+    refused_clients: AtomicU64,
+}
+
+/// A point-in-time snapshot of the server's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Frames received (including malformed ones).
+    pub requests: u64,
+    /// Successful `spec` replies.
+    pub ok: u64,
+    /// Typed error replies of any class.
+    pub errors: u64,
+    /// Requests shed because the queue was full.
+    pub shed: u64,
+    /// Worker panics contained (each produced an `internal` reply).
+    pub panics: u64,
+    /// Requests refused by fuel-account admission control.
+    pub denied: u64,
+    /// Requests whose wall-clock deadline fired (queued or running).
+    pub deadline_expired: u64,
+    /// Malformed frames (unparseable JSON, bad UTF-8, overlong lines).
+    pub bad_frames: u64,
+    /// Connections that ended (cleanly or mid-request).
+    pub disconnects: u64,
+    /// Connections refused at the `--max-clients` limit.
+    pub refused_clients: u64,
+}
+
+enum JobKind {
+    Spec(SpecRequest),
+    Fault,
+}
+
+struct Job {
+    id: u64,
+    kind: JobKind,
+    writer: SharedWriter,
+    enqueued: Instant,
+    deadline: Instant,
+    cancel: CancelToken,
+    reserved: u64,
+    account: Arc<AtomicU64>,
+}
+
+struct State {
+    cfg: ServeConfig,
+    resident: Resident,
+    queue: BoundedQueue<Job>,
+    rec: Recorder,
+    started: Instant,
+    shutdown: AtomicBool,
+    clients: AtomicUsize,
+    counters: Counters,
+    next_watch: AtomicU64,
+    watch: Mutex<HashMap<u64, (Instant, CancelToken)>>,
+}
+
+impl State {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.queue.close();
+    }
+
+    fn watch_register(&self, deadline: Instant, token: CancelToken) -> u64 {
+        let id = self.next_watch.fetch_add(1, Ordering::Relaxed);
+        lock(&self.watch).insert(id, (deadline, token));
+        id
+    }
+
+    fn watch_remove(&self, id: u64) {
+        lock(&self.watch).remove(&id);
+    }
+
+    fn stats(&self) -> ServerStats {
+        let c = &self.counters;
+        ServerStats {
+            requests: c.requests.load(Ordering::Relaxed),
+            ok: c.ok.load(Ordering::Relaxed),
+            errors: c.errors.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            panics: c.panics.load(Ordering::Relaxed),
+            denied: c.denied.load(Ordering::Relaxed),
+            deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
+            bad_frames: c.bad_frames.load(Ordering::Relaxed),
+            disconnects: c.disconnects.load(Ordering::Relaxed),
+            refused_clients: c.refused_clients.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Counter pairs for `health`/`stats` replies, deterministic order.
+    fn counter_pairs(&self, full: bool) -> Vec<(String, u64)> {
+        let s = self.stats();
+        let mut out = vec![
+            ("serve.requests".to_string(), s.requests),
+            ("serve.ok".to_string(), s.ok),
+            ("serve.errors".to_string(), s.errors),
+            ("serve.shed".to_string(), s.shed),
+            ("serve.panics".to_string(), s.panics),
+            ("serve.queue_len".to_string(), self.queue.len() as u64),
+            ("serve.clients".to_string(), self.clients.load(Ordering::Relaxed) as u64),
+        ];
+        if full {
+            let r = self.resident.stats();
+            out.extend([
+                ("serve.denied".to_string(), s.denied),
+                ("serve.deadline_expired".to_string(), s.deadline_expired),
+                ("serve.bad_frames".to_string(), s.bad_frames),
+                ("serve.disconnects".to_string(), s.disconnects),
+                ("serve.refused_clients".to_string(), s.refused_clients),
+                ("resident.programs_built".to_string(), r.programs_built),
+                ("resident.program_hits".to_string(), r.program_hits),
+                ("resident.artefact_links".to_string(), r.artefact_links),
+                ("resident.artefact_revalidations".to_string(), r.artefact_revalidations),
+                ("resident.memo_hits".to_string(), r.memo_hits),
+            ]);
+        }
+        out
+    }
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn send(writer: &SharedWriter, resp: &Response) {
+    // One write_all per frame: a frame split across small writes
+    // interacts with Nagle + delayed ACK on TCP transports, turning a
+    // sub-millisecond reply into a ~40ms one.
+    let frame = format!("{}\n", resp.to_json_compact());
+    let mut w = lock(writer);
+    // A failed write means the client disconnected mid-request; the
+    // server must shrug, not die.
+    let _ = w.write_all(frame.as_bytes());
+    let _ = w.flush();
+}
+
+/// A running TCP listener.
+pub struct TcpHandle {
+    /// The bound port (useful with `--port 0`).
+    pub port: u16,
+    accept: std::thread::JoinHandle<()>,
+}
+
+impl TcpHandle {
+    /// Blocks until the accept loop exits (shutdown).
+    pub fn join(self) {
+        let _ = self.accept.join();
+    }
+}
+
+/// The daemon. Construction spawns the worker pool and the deadline
+/// watchdog; [`Server::serve_stdio`] or [`Server::start_tcp`] attaches
+/// transports.
+pub struct Server {
+    state: Arc<State>,
+}
+
+impl Server {
+    /// Builds the server and spawns `cfg.workers` request workers plus
+    /// the deadline watchdog.
+    pub fn new(cfg: ServeConfig, rec: Recorder) -> Server {
+        let state = Arc::new(State {
+            queue: BoundedQueue::new(cfg.queue_depth),
+            cfg,
+            resident: Resident::new(),
+            rec,
+            started: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            clients: AtomicUsize::new(0),
+            counters: Counters::default(),
+            next_watch: AtomicU64::new(0),
+            watch: Mutex::new(HashMap::new()),
+        });
+        for i in 0..state.cfg.workers.max(1) {
+            let st = Arc::clone(&state);
+            // Deeply-unfolding requests recurse in the engine; the
+            // roomy stack matches the repo's convention for engine
+            // threads (virtual memory, committed lazily).
+            let _ = std::thread::Builder::new()
+                .name(format!("mspecd-worker-{i}"))
+                .stack_size(64 * 1024 * 1024)
+                .spawn(move || worker_loop(&st));
+        }
+        let st = Arc::clone(&state);
+        let _ = std::thread::Builder::new()
+            .name("mspecd-watchdog".to_string())
+            .spawn(move || watchdog_loop(&st));
+        Server { state }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        self.state.stats()
+    }
+
+    /// Initiates shutdown: the queue closes (draining what it holds),
+    /// workers exit, connection readers notice within [`POLL_INTERVAL`].
+    pub fn shutdown(&self) {
+        self.state.begin_shutdown();
+    }
+
+    /// Serves a single session on stdin/stdout, blocking until EOF or a
+    /// `shutdown` request. This is the `--spawn` transport of
+    /// `mspec client` and the offline-safe smoke-test mode.
+    pub fn serve_stdio(&self) -> std::io::Result<()> {
+        let stdin = std::io::stdin();
+        let writer: SharedWriter =
+            Arc::new(Mutex::new(Box::new(std::io::stdout()) as Box<dyn Write + Send>));
+        self.state.clients.fetch_add(1, Ordering::Relaxed);
+        connection_loop(&self.state, &mut stdin.lock(), &writer);
+        self.state.clients.fetch_sub(1, Ordering::Relaxed);
+        self.state.begin_shutdown();
+        self.finish();
+        Ok(())
+    }
+
+    /// Binds `127.0.0.1:{cfg.port}` and serves until shutdown. Returns
+    /// immediately; join the handle to block.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind/configuration errors.
+    pub fn start_tcp(&self) -> std::io::Result<TcpHandle> {
+        let listener = TcpListener::bind(("127.0.0.1", self.state.cfg.port))?;
+        let port = listener.local_addr()?.port();
+        listener.set_nonblocking(true)?;
+        let state = Arc::clone(&self.state);
+        let accept = std::thread::Builder::new()
+            .name("mspecd-accept".to_string())
+            .spawn(move || {
+                accept_loop(&state, &listener);
+                finish_trace(&state);
+            })?;
+        Ok(TcpHandle { port, accept })
+    }
+
+    /// Flushes the telemetry trace (stdio mode calls this itself).
+    pub fn finish(&self) {
+        finish_trace(&self.state);
+    }
+}
+
+fn finish_trace(state: &State) {
+    if let Some(path) = &state.cfg.trace_path {
+        let snap = state.rec.snapshot();
+        let _ = std::fs::write(path, snap.to_jsonl());
+    }
+}
+
+fn accept_loop(state: &Arc<State>, listener: &TcpListener) {
+    let mut conn_threads = Vec::new();
+    while !state.shutting_down() {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let active = state.clients.load(Ordering::Relaxed);
+                if active >= state.cfg.max_clients {
+                    state.counters.refused_clients.fetch_add(1, Ordering::Relaxed);
+                    refuse_client(stream, state.cfg.max_clients);
+                    continue;
+                }
+                state.clients.fetch_add(1, Ordering::Relaxed);
+                let st = Arc::clone(state);
+                if let Ok(h) = std::thread::Builder::new()
+                    .name("mspecd-conn".to_string())
+                    .spawn(move || {
+                        handle_tcp_connection(&st, stream);
+                        st.clients.fetch_sub(1, Ordering::Relaxed);
+                        st.counters.disconnects.fetch_add(1, Ordering::Relaxed);
+                    })
+                {
+                    conn_threads.push(h);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+    for h in conn_threads {
+        let _ = h.join();
+    }
+}
+
+fn refuse_client(stream: TcpStream, max_clients: usize) {
+    let _ = stream.set_nodelay(true);
+    let writer: SharedWriter = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(Box::new(w) as Box<dyn Write + Send>)),
+        Err(_) => return,
+    };
+    send(
+        &writer,
+        &Response {
+            id: 0,
+            body: ResponseBody::Error(ErrorInfo::new(
+                ErrorClass::Overloaded,
+                format!("client limit reached ({max_clients}); retry later"),
+            )),
+        },
+    );
+}
+
+fn handle_tcp_connection(state: &Arc<State>, stream: TcpStream) {
+    // The read timeout lets the reader poll the shutdown flag without
+    // losing partial frames (see `proto::read_frame`).
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    let writer: SharedWriter = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(Box::new(w) as Box<dyn Write + Send>)),
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    connection_loop(state, &mut reader, &writer);
+}
+
+fn connection_loop(state: &Arc<State>, reader: &mut impl BufRead, writer: &SharedWriter) {
+    let account = Arc::new(AtomicU64::new(state.cfg.client_fuel));
+    let mut buf = Vec::new();
+    loop {
+        match read_frame(reader, &mut buf) {
+            FrameRead::Frame(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                handle_frame(state, &line, writer, &account);
+            }
+            FrameRead::Retry => {
+                if state.shutting_down() {
+                    return;
+                }
+            }
+            FrameRead::TooLong => {
+                state.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
+                send(writer, &bad_request(0, "frame exceeds the size limit"));
+            }
+            FrameRead::BadUtf8 => {
+                state.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
+                send(writer, &bad_request(0, "frame is not valid UTF-8"));
+            }
+            FrameRead::Eof | FrameRead::Io(_) => return,
+        }
+    }
+}
+
+fn bad_request(id: u64, msg: &str) -> Response {
+    Response { id, body: ResponseBody::Error(ErrorInfo::new(ErrorClass::BadRequest, msg)) }
+}
+
+fn handle_frame(state: &Arc<State>, line: &str, writer: &SharedWriter, account: &Arc<AtomicU64>) {
+    state.counters.requests.fetch_add(1, Ordering::Relaxed);
+    state.rec.count("serve.requests", 1);
+
+    // Parse in two steps so a structurally-valid frame with bad fields
+    // still gets its `id` echoed back.
+    let json = match Json::parse(line) {
+        Ok(j) => j,
+        Err(e) => {
+            state.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
+            send(writer, &bad_request(0, &format!("malformed frame: {e}")));
+            return;
+        }
+    };
+    let id = json.get("id").ok().and_then(|v| v.as_u64().ok()).unwrap_or(0);
+    let req = match Request::from_json_value(&json) {
+        Ok(r) => r,
+        Err(e) => {
+            state.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
+            state.counters.errors.fetch_add(1, Ordering::Relaxed);
+            send(writer, &bad_request(id, &format!("bad request: {e}")));
+            return;
+        }
+    };
+
+    match req.kind {
+        RequestKind::Health => {
+            let uptime_ms = state.started.elapsed().as_millis() as u64;
+            send(
+                writer,
+                &Response {
+                    id: req.id,
+                    body: ResponseBody::Health { uptime_ms, counters: state.counter_pairs(false) },
+                },
+            );
+        }
+        RequestKind::Stats => {
+            send(
+                writer,
+                &Response {
+                    id: req.id,
+                    body: ResponseBody::Stats { counters: state.counter_pairs(true) },
+                },
+            );
+        }
+        RequestKind::Shutdown => {
+            send(writer, &Response { id: req.id, body: ResponseBody::Ok });
+            state.begin_shutdown();
+        }
+        RequestKind::Fault => {
+            if !state.cfg.chaos {
+                state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                send(
+                    writer,
+                    &bad_request(req.id, "fault injection is disabled (start with --chaos)"),
+                );
+                return;
+            }
+            admit(state, req.id, JobKind::Fault, 0, None, writer, account);
+        }
+        RequestKind::Spec(spec) => {
+            let reserve = spec.fuel.unwrap_or(SpecBudget::default().steps);
+            let deadline_ms = spec.deadline_ms.unwrap_or(state.cfg.deadline_ms);
+            admit(
+                state,
+                req.id,
+                JobKind::Spec(spec),
+                reserve,
+                Some(deadline_ms.min(state.cfg.deadline_ms)),
+                writer,
+                account,
+            );
+        }
+    }
+}
+
+fn admit(
+    state: &Arc<State>,
+    id: u64,
+    kind: JobKind,
+    reserve: u64,
+    deadline_ms: Option<u64>,
+    writer: &SharedWriter,
+    account: &Arc<AtomicU64>,
+) {
+    if reserve > 0 {
+        let claimed = account
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| cur.checked_sub(reserve));
+        if claimed.is_err() {
+            state.counters.denied.fetch_add(1, Ordering::Relaxed);
+            state.counters.errors.fetch_add(1, Ordering::Relaxed);
+            state.rec.count("serve.denied", 1);
+            send(
+                writer,
+                &Response {
+                    id,
+                    body: ResponseBody::Error(ErrorInfo::new(
+                        ErrorClass::BudgetDenied,
+                        format!(
+                            "request needs {reserve} fuel but the connection account holds {}; \
+                             lower the request's `fuel` or open a new connection",
+                            account.load(Ordering::Relaxed)
+                        ),
+                    )),
+                },
+            );
+            return;
+        }
+    }
+    let now = Instant::now();
+    let deadline = now + Duration::from_millis(deadline_ms.unwrap_or(state.cfg.deadline_ms));
+    let job = Job {
+        id,
+        kind,
+        writer: Arc::clone(writer),
+        enqueued: now,
+        deadline,
+        cancel: CancelToken::new(),
+        reserved: reserve,
+        account: Arc::clone(account),
+    };
+    match state.queue.try_push(job) {
+        Ok(()) => {}
+        Err(PushError::Full) => {
+            account.fetch_add(reserve, Ordering::AcqRel);
+            state.counters.shed.fetch_add(1, Ordering::Relaxed);
+            state.counters.errors.fetch_add(1, Ordering::Relaxed);
+            state.rec.count("serve.shed", 1);
+            send(
+                writer,
+                &Response {
+                    id,
+                    body: ResponseBody::Error(ErrorInfo::new(
+                        ErrorClass::Overloaded,
+                        format!(
+                            "request queue is full ({} deep); backing off and retrying will \
+                             succeed once load drops",
+                            state.cfg.queue_depth
+                        ),
+                    )),
+                },
+            );
+        }
+        Err(PushError::Closed) => {
+            account.fetch_add(reserve, Ordering::AcqRel);
+            state.counters.errors.fetch_add(1, Ordering::Relaxed);
+            send(
+                writer,
+                &Response {
+                    id,
+                    body: ResponseBody::Error(ErrorInfo::new(
+                        ErrorClass::ShuttingDown,
+                        "server is shutting down",
+                    )),
+                },
+            );
+        }
+    }
+}
+
+fn watchdog_loop(state: &Arc<State>) {
+    // Keeps ticking through shutdown until the queue has drained and no
+    // job is mid-run: deadlines stay enforced for draining work.
+    while !state.shutting_down() || !state.queue.is_empty() || !lock(&state.watch).is_empty() {
+        {
+            let watch = lock(&state.watch);
+            let now = Instant::now();
+            for (deadline, token) in watch.values() {
+                if now >= *deadline {
+                    token.cancel();
+                }
+            }
+        }
+        std::thread::sleep(WATCHDOG_TICK);
+    }
+}
+
+fn worker_loop(state: &Arc<State>) {
+    while let Some(job) = state.queue.pop() {
+        let now = Instant::now();
+        if now >= job.deadline {
+            // Expired while queued: answer without running. This is the
+            // half of deadline enforcement that bounds p99 under
+            // overload — queued latency counts against the deadline.
+            job.account.fetch_add(job.reserved, Ordering::AcqRel);
+            state.counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            state.counters.errors.fetch_add(1, Ordering::Relaxed);
+            state.rec.count("serve.deadline_expired", 1);
+            send(
+                &job.writer,
+                &Response {
+                    id: job.id,
+                    body: ResponseBody::Error(ErrorInfo::with_stats(
+                        ErrorClass::Deadline,
+                        "deadline expired while queued (no work started)",
+                        SpecStats::default(),
+                    )),
+                },
+            );
+            continue;
+        }
+        match job.kind {
+            JobKind::Fault => run_fault(state, &job),
+            JobKind::Spec(ref spec) => run_spec(state, &job, spec),
+        }
+        state
+            .rec
+            .observe("serve.latency_ns", job.enqueued.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+}
+
+fn run_fault(state: &Arc<State>, job: &Job) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        panic!("injected fault (chaos request)");
+    }));
+    debug_assert!(outcome.is_err());
+    state.counters.panics.fetch_add(1, Ordering::Relaxed);
+    state.counters.errors.fetch_add(1, Ordering::Relaxed);
+    state.rec.count("serve.panics", 1);
+    send(
+        &job.writer,
+        &Response {
+            id: job.id,
+            body: ResponseBody::Error(ErrorInfo::new(
+                ErrorClass::Internal,
+                "worker panicked serving the request (contained); the fault was injected",
+            )),
+        },
+    );
+}
+
+fn run_spec(state: &Arc<State>, job: &Job, spec: &SpecRequest) {
+    let wid = state.watch_register(job.deadline, job.cancel.clone());
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        state.resident.execute_spec(spec, job.cancel.clone(), &state.rec)
+    }));
+    state.watch_remove(wid);
+    match result {
+        Ok(Ok(outcome)) => {
+            // Refund what the run did not spend.
+            let spent = outcome.stats.steps.min(job.reserved);
+            job.account.fetch_add(job.reserved - spent, Ordering::AcqRel);
+            state.counters.ok.fetch_add(1, Ordering::Relaxed);
+            state.rec.count("serve.ok", 1);
+            send(
+                &job.writer,
+                &Response {
+                    id: job.id,
+                    body: ResponseBody::Spec {
+                        entry: outcome.entry,
+                        residual: outcome.residual,
+                        stats: outcome.stats,
+                        memo_hit: outcome.memo_hit,
+                    },
+                },
+            );
+        }
+        Ok(Err(info)) => {
+            let spent = info.stats.map_or(0, |s| s.steps).min(job.reserved);
+            job.account.fetch_add(job.reserved - spent, Ordering::AcqRel);
+            state.counters.errors.fetch_add(1, Ordering::Relaxed);
+            if info.class == ErrorClass::Deadline {
+                state.counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                state.rec.count("serve.deadline_expired", 1);
+            }
+            send(&job.writer, &Response { id: job.id, body: ResponseBody::Error(info) });
+        }
+        Err(_) => {
+            // Panic containment: the reservation is forfeited (we cannot
+            // know what was spent) and the client gets a retryable
+            // `internal` error. The worker itself survives.
+            state.counters.panics.fetch_add(1, Ordering::Relaxed);
+            state.counters.errors.fetch_add(1, Ordering::Relaxed);
+            state.rec.count("serve.panics", 1);
+            send(
+                &job.writer,
+                &Response {
+                    id: job.id,
+                    body: ResponseBody::Error(ErrorInfo::new(
+                        ErrorClass::Internal,
+                        "worker panicked serving the request (contained)",
+                    )),
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use crate::proto::SpecRequest;
+
+    const POWER: &str =
+        "module Power where\npower n x = if n == 1 then x else x * power (n - 1) x\n";
+
+    /// Unbounded polyvariance: `n` static under dynamic control grows
+    /// without bound, driving the pending list forever — *iteratively*
+    /// (no engine recursion), so only a budget or a deadline stops it.
+    const POLY: &str =
+        "module Loop where\ncount n b = if b == 0 then n else count (n + 1) (b - 1)\n";
+
+    fn connect(port: u16) -> TcpStream {
+        let stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        stream.set_nodelay(true).unwrap();
+        stream
+    }
+
+    fn roundtrip(stream: &mut TcpStream, req: &Request) -> Response {
+        stream.write_all(format!("{}\n", req.to_json_compact()).as_bytes()).unwrap();
+        stream.flush().unwrap();
+        read_response(stream)
+    }
+
+    fn read_response(stream: &mut TcpStream) -> Response {
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        Response::from_json_str(line.trim_end()).unwrap()
+    }
+
+    fn test_server(cfg: ServeConfig) -> (Server, TcpHandle) {
+        let server = Server::new(cfg, Recorder::disabled());
+        let handle = server.start_tcp().unwrap();
+        (server, handle)
+    }
+
+    #[test]
+    fn spec_health_and_shutdown_over_tcp() {
+        let (server, handle) = test_server(ServeConfig::default());
+        let mut c = connect(handle.port);
+        let resp = roundtrip(
+            &mut c,
+            &Request {
+                id: 1,
+                kind: RequestKind::Spec(SpecRequest::inline(POWER, "Power.power", "S:3,D")),
+            },
+        );
+        let ResponseBody::Spec { residual, memo_hit, .. } = resp.body else {
+            panic!("expected spec reply, got {resp:?}");
+        };
+        assert!(residual.contains("x * (x * x)"), "{residual}");
+        assert!(!memo_hit);
+
+        let resp = roundtrip(&mut c, &Request { id: 2, kind: RequestKind::Health });
+        let ResponseBody::Health { counters, .. } = resp.body else { panic!("{resp:?}") };
+        assert!(counters.iter().any(|(k, v)| k == "serve.ok" && *v == 1));
+
+        let resp = roundtrip(&mut c, &Request { id: 3, kind: RequestKind::Shutdown });
+        assert_eq!(resp.body, ResponseBody::Ok);
+        handle.join();
+        assert_eq!(server.stats().ok, 1);
+    }
+
+    #[test]
+    fn malformed_frames_get_typed_errors_and_the_server_survives() {
+        let (server, handle) = test_server(ServeConfig { chaos: true, ..ServeConfig::default() });
+        let mut c = connect(handle.port);
+        // Not JSON at all.
+        writeln!(c, "this is not json").unwrap();
+        let resp = read_response(&mut c);
+        let ResponseBody::Error(e) = resp.body else { panic!("{resp:?}") };
+        assert_eq!(e.class, ErrorClass::BadRequest);
+        // Valid JSON, invalid request (id is echoed).
+        c.write_all(b"{\"id\":9,\"kind\":\"teleport\"}\n").unwrap();
+        let resp = read_response(&mut c);
+        assert_eq!(resp.id, 9);
+        let ResponseBody::Error(e) = resp.body else { panic!("{resp:?}") };
+        assert_eq!(e.class, ErrorClass::BadRequest);
+        // A panicking request is contained...
+        let resp = roundtrip(&mut c, &Request { id: 10, kind: RequestKind::Fault });
+        let ResponseBody::Error(e) = resp.body else { panic!("{resp:?}") };
+        assert_eq!(e.class, ErrorClass::Internal);
+        assert!(e.retryable);
+        // ...and the very next request on the same connection works.
+        let resp = roundtrip(
+            &mut c,
+            &Request {
+                id: 11,
+                kind: RequestKind::Spec(SpecRequest::inline(POWER, "Power.power", "S:2,D")),
+            },
+        );
+        assert!(matches!(resp.body, ResponseBody::Spec { .. }), "{resp:?}");
+        server.shutdown();
+        handle.join();
+        assert_eq!(server.stats().panics, 1);
+    }
+
+    #[test]
+    fn admission_denies_over_account_requests() {
+        let cfg = ServeConfig { client_fuel: 1_000, ..ServeConfig::default() };
+        let (server, handle) = test_server(cfg);
+        let mut c = connect(handle.port);
+        let resp = roundtrip(
+            &mut c,
+            &Request {
+                id: 1,
+                kind: RequestKind::Spec(SpecRequest {
+                    fuel: Some(5_000),
+                    ..SpecRequest::inline(POWER, "Power.power", "S:3,D")
+                }),
+            },
+        );
+        let ResponseBody::Error(e) = resp.body else { panic!("{resp:?}") };
+        assert_eq!(e.class, ErrorClass::BudgetDenied);
+        assert!(!e.retryable);
+        // A request that fits still works, and its unused fuel refunds.
+        let resp = roundtrip(
+            &mut c,
+            &Request {
+                id: 2,
+                kind: RequestKind::Spec(SpecRequest {
+                    fuel: Some(900),
+                    ..SpecRequest::inline(POWER, "Power.power", "S:3,D")
+                }),
+            },
+        );
+        assert!(matches!(resp.body, ResponseBody::Spec { .. }), "{resp:?}");
+        let resp = roundtrip(
+            &mut c,
+            &Request {
+                id: 3,
+                kind: RequestKind::Spec(SpecRequest {
+                    fuel: Some(900),
+                    ..SpecRequest::inline(POWER, "Power.power", "S:4,D")
+                }),
+            },
+        );
+        assert!(matches!(resp.body, ResponseBody::Spec { .. }), "{resp:?}");
+        server.shutdown();
+        handle.join();
+        assert_eq!(server.stats().denied, 1);
+    }
+
+    #[test]
+    fn deadline_cancels_a_running_request() {
+        let (server, handle) = test_server(ServeConfig::default());
+        let mut c = connect(handle.port);
+        // An unbounded static loop: only the deadline can stop it.
+        let resp = roundtrip(
+            &mut c,
+            &Request {
+                id: 1,
+                kind: RequestKind::Spec(SpecRequest {
+                    deadline_ms: Some(50),
+                    // Plenty of fuel (but within the connection's
+                    // account, so admission lets it in).
+                    fuel: Some(1_000_000_000),
+                    // Keep the specialisation-count budget out of the
+                    // way: only the deadline may stop this run.
+                    max_spec: Some(usize::MAX),
+                    ..SpecRequest::inline(POLY, "Loop.count", "S:0,D")
+                }),
+            },
+        );
+        let ResponseBody::Error(e) = resp.body else { panic!("{resp:?}") };
+        assert_eq!(e.class, ErrorClass::Deadline, "{e:?}");
+        assert!(e.stats.unwrap().steps > 0, "partial progress expected");
+        server.shutdown();
+        handle.join();
+        assert_eq!(server.stats().deadline_expired, 1);
+    }
+
+    #[test]
+    fn full_queue_sheds_with_overloaded() {
+        // One worker, depth-1 queue: park the worker on a slow request,
+        // fill the queue, and watch the third request shed.
+        let cfg = ServeConfig { workers: 1, queue_depth: 1, ..ServeConfig::default() };
+        let server = Server::new(cfg, Recorder::disabled());
+        let handle = server.start_tcp().unwrap();
+        let mut slow = connect(handle.port);
+        let spin = SpecRequest {
+            deadline_ms: Some(400),
+            fuel: Some(1_000_000_000),
+            max_spec: Some(usize::MAX),
+            ..SpecRequest::inline(POLY, "Loop.count", "S:0,D")
+        };
+        writeln!(
+            slow,
+            "{}",
+            Request { id: 1, kind: RequestKind::Spec(spin.clone()) }.to_json_compact()
+        )
+        .unwrap();
+        slow.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+        // Fill the depth-1 queue.
+        let mut q = connect(handle.port);
+        writeln!(q, "{}", Request { id: 2, kind: RequestKind::Spec(spin.clone()) }.to_json_compact())
+            .unwrap();
+        q.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        // This one must shed immediately.
+        let mut shed = connect(handle.port);
+        let resp = roundtrip(&mut shed, &Request { id: 3, kind: RequestKind::Spec(spin) });
+        let ResponseBody::Error(e) = resp.body else { panic!("{resp:?}") };
+        assert_eq!(e.class, ErrorClass::Overloaded);
+        assert!(e.retryable);
+        server.shutdown();
+        handle.join();
+        assert!(server.stats().shed >= 1);
+    }
+
+    #[test]
+    fn stdio_counters_via_stats_request() {
+        // Exercise the frame handler directly (as serve_stdio does).
+        let server = Server::new(ServeConfig::default(), Recorder::disabled());
+        let buf: SharedWriter = Arc::new(Mutex::new(Box::new(Vec::new()) as Box<dyn Write + Send>));
+        let account = Arc::new(AtomicU64::new(server.state.cfg.client_fuel));
+        handle_frame(
+            &server.state,
+            &Request { id: 5, kind: RequestKind::Stats }.to_json_compact(),
+            &buf,
+            &account,
+        );
+        assert_eq!(server.stats().requests, 1);
+        server.shutdown();
+    }
+}

@@ -44,6 +44,40 @@ timeout 60 ./target/release/mspec trace-check target/telemetry/build-trace.json
 timeout 60 ./target/release/mspec trace-check target/telemetry/trace.json
 timeout 60 ./target/release/mspec trace-check target/telemetry/events.jsonl
 
+echo "==> mspecd daemon smoke (TCP: spec + health + injected fault + shutdown)"
+# Start the daemon on an OS-assigned port with chaos (fault injection)
+# enabled and a telemetry trace, drive one of each request class
+# through the real client, then stop it gracefully. Every step is under
+# timeout: a wedged daemon must fail verify, not hang it.
+rm -rf target/serve-smoke
+mkdir -p target/serve-smoke
+./target/release/mspec serve --port 0 --chaos \
+  --trace target/serve-smoke/daemon-trace.jsonl \
+  > target/serve-smoke/serve.out 2> target/serve-smoke/serve.err &
+SERVE_PID=$!
+for _ in $(seq 1 50); do
+  grep -q 'listening on' target/serve-smoke/serve.out && break
+  sleep 0.1
+done
+SERVE_ADDR=$(grep -o '127\.0\.0\.1:[0-9]*' target/serve-smoke/serve.out)
+echo "    daemon at ${SERVE_ADDR} (pid ${SERVE_PID})"
+timeout 60 ./target/release/mspec client spec examples/programs/power.mspec \
+  --entry Power.power --args S:5,D --connect "${SERVE_ADDR}" \
+  > target/serve-smoke/residual.txt
+timeout 60 ./target/release/mspec spec examples/programs/power.mspec \
+  --entry Power.power --args S:5,D > target/serve-smoke/batch.txt
+cmp target/serve-smoke/residual.txt target/serve-smoke/batch.txt \
+  || { echo "daemon residual differs from mspec spec output"; exit 1; }
+timeout 60 ./target/release/mspec client health --connect "${SERVE_ADDR}"
+# An injected fault must come back as a typed internal error while the
+# daemon survives; the next health probe proves it is still up.
+timeout 60 ./target/release/mspec client fault --connect "${SERVE_ADDR}" --retries 1
+timeout 60 ./target/release/mspec client health --connect "${SERVE_ADDR}"
+timeout 60 ./target/release/mspec client shutdown --connect "${SERVE_ADDR}"
+wait "${SERVE_PID}"
+test -s target/serve-smoke/daemon-trace.jsonl \
+  || { echo "daemon wrote no telemetry trace"; exit 1; }
+
 echo "==> cargo clippy --all-targets -- -D warnings (offline)"
 cargo clippy --all-targets --offline -- -D warnings
 

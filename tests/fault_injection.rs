@@ -6,7 +6,11 @@
 //! * the source program diverges under specialisation (static recursion
 //!   on an unbounded counter), under both exhaustion policies: a
 //!   structured budget error, or the generalising fallback that demotes
-//!   the offending call to a fully-dynamic residual call.
+//!   the offending call to a fully-dynamic residual call,
+//! * the `mspecd` daemon is fed a chaos matrix of malformed frames,
+//!   truncated frames, mid-request disconnects, panicking requests and
+//!   budget-exhausting requests — and must answer every *subsequent*
+//!   request correctly, never dying or stalling.
 
 use mspec_cogen::files::{cogen_module, load_bti, load_gx, CogenError};
 use mspec_cogen::link_dir;
@@ -290,4 +294,131 @@ fn injected_panic_yields_identical_reports_at_every_thread_count() {
         assert_eq!(baseline, got, "build report differs at {t} thread(s)");
     }
     std::env::remove_var("MSPEC_FAULT_PANIC_MODULE");
+}
+
+/// Daemon chaos matrix: one long-lived server, one abuse sequence.
+/// Malformed JSONL, non-UTF-8 bytes, a frame truncated by a mid-request
+/// disconnect, a panicking request and a budget-exhausting request are
+/// thrown at it in order; after each fault the *next* well-formed
+/// request on a fresh or surviving connection must be answered
+/// correctly.
+#[test]
+fn daemon_survives_the_chaos_matrix() {
+    use mspec_serve::{
+        ErrorClass, Request, RequestKind, Response, ResponseBody, ServeConfig, Server, SpecRequest,
+    };
+    use mspec_lang::{FromJson, ToJson};
+    use mspec_telemetry::Recorder;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    const POWER: &str =
+        "module Power where\npower n x = if n == 1 then x else x * power (n - 1) x\n";
+
+    struct Conn {
+        stream: TcpStream,
+        reader: BufReader<TcpStream>,
+    }
+    impl Conn {
+        fn open(port: u16) -> Conn {
+            let stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+            stream.set_nodelay(true).unwrap();
+            let reader = BufReader::new(stream.try_clone().unwrap());
+            Conn { stream, reader }
+        }
+        fn send_raw(&mut self, bytes: &[u8]) {
+            self.stream.write_all(bytes).unwrap();
+            self.stream.flush().unwrap();
+        }
+        fn read_response(&mut self) -> Response {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).unwrap();
+            Response::from_json_str(line.trim_end()).unwrap()
+        }
+        fn roundtrip(&mut self, req: &Request) -> Response {
+            self.send_raw(format!("{}\n", req.to_json_compact()).as_bytes());
+            self.read_response()
+        }
+    }
+
+    let spec_req = |id: u64, n: u64| Request {
+        id,
+        kind: RequestKind::Spec(SpecRequest::inline(POWER, "Power.power", &format!("S:{n},D"))),
+    };
+    let assert_spec_ok = |resp: Response, id: u64| {
+        assert_eq!(resp.id, id);
+        assert!(matches!(resp.body, ResponseBody::Spec { .. }), "{resp:?}");
+    };
+    let assert_error = |resp: Response, class: ErrorClass| {
+        let ResponseBody::Error(e) = resp.body else { panic!("{resp:?}") };
+        assert_eq!(e.class, class);
+        e
+    };
+
+    let server = Server::new(
+        ServeConfig { chaos: true, workers: 2, ..ServeConfig::default() },
+        Recorder::disabled(),
+    );
+    let handle = server.start_tcp().unwrap();
+    let port = handle.port;
+
+    let mut c = Conn::open(port);
+
+    // 1. Not JSON at all → typed bad-request, connection survives.
+    c.send_raw(b"%% total garbage %%\n");
+    assert_error(c.read_response(), ErrorClass::BadRequest);
+    assert_spec_ok(c.roundtrip(&spec_req(1, 2)), 1);
+
+    // 2. Non-UTF-8 bytes → typed bad-request, frame resync at newline.
+    c.send_raw(&[0xFF, 0xFE, 0x80, b'\n']);
+    assert_error(c.read_response(), ErrorClass::BadRequest);
+    assert_spec_ok(c.roundtrip(&spec_req(2, 3)), 2);
+
+    // 3. Structurally valid JSON, nonsense request — id echoed back.
+    c.send_raw(b"{\"id\":42,\"kind\":\"teleport\"}\n");
+    let resp = c.read_response();
+    assert_eq!(resp.id, 42);
+    assert_error(resp, ErrorClass::BadRequest);
+
+    // 4. Truncated frame + mid-request disconnect: half a JSON object,
+    // no newline, then the socket dies. The server must just drop it.
+    let mut half = Conn::open(port);
+    half.send_raw(b"{\"id\":5,\"kind\":\"spec\",\"prog");
+    drop(half);
+
+    // 5. Mid-request disconnect *after* admission: a request is queued,
+    // then the client vanishes before the reply can be written.
+    let mut gone = Conn::open(port);
+    gone.send_raw(format!("{}\n", spec_req(6, 9).to_json_compact()).as_bytes());
+    drop(gone);
+
+    // 6. A panicking request is contained into a typed internal error.
+    let resp = c.roundtrip(&Request { id: 7, kind: RequestKind::Fault });
+    let e = assert_error(resp, ErrorClass::Internal);
+    assert!(e.retryable, "panics are retryable: the server is still up");
+
+    // 7. A budget-exhausting request gets a structured budget error
+    // carrying the partial-progress stats — not a hang, not a death.
+    let resp = c.roundtrip(&Request {
+        id: 8,
+        kind: RequestKind::Spec(SpecRequest {
+            fuel: Some(300),
+            ..SpecRequest::inline(POWER, "Power.power", "S:40,D")
+        }),
+    });
+    let e = assert_error(resp, ErrorClass::Budget);
+    assert!(!e.retryable, "budget exhaustion is terminal for this request");
+    assert!(e.stats.is_some(), "budget replies carry partial stats");
+
+    // After the whole matrix: the surviving connection still works...
+    assert_spec_ok(c.roundtrip(&spec_req(9, 4)), 9);
+    // ...and so does a brand-new one.
+    let mut fresh = Conn::open(port);
+    assert_spec_ok(fresh.roundtrip(&spec_req(10, 5)), 10);
+
+    server.shutdown();
+    handle.join();
+    let stats = server.stats();
+    assert_eq!(stats.panics, 1, "{stats:?}");
+    assert!(stats.bad_frames >= 3, "{stats:?}");
 }

@@ -1,0 +1,174 @@
+//! End-to-end tests for `mspecd`, the specialisation daemon:
+//!
+//! * deadlines cancel a running request with *partial-progress* stats
+//!   while a concurrent cheap request on another connection completes
+//!   unaffected;
+//! * residuals produced through the daemon are byte-identical to the
+//!   batch `mspec spec` CLI output (same pipeline, same pretty-printer);
+//! * the cross-request memo is shared between connections.
+
+use mspec_serve::{
+    ErrorClass, Request, RequestKind, Response, ResponseBody, ServeConfig, Server, SpecRequest,
+};
+use mspec_lang::{FromJson, ToJson};
+use mspec_telemetry::Recorder;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::Command;
+
+const POWER: &str = "module Power where\npower n x = if n == 1 then x else x * power (n - 1) x\n";
+
+/// Unbounded polyvariance: the static counter grows under dynamic
+/// control forever, iteratively — only a budget or deadline stops it.
+const POLY: &str = "module Loop where\ncount n b = if b == 0 then n else count (n + 1) (b - 1)\n";
+
+struct Conn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn open(port: u16) -> Conn {
+        let stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Conn { stream, reader }
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Response {
+        self.stream.write_all(format!("{}\n", req.to_json_compact()).as_bytes()).unwrap();
+        self.stream.flush().unwrap();
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> Response {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).unwrap();
+        Response::from_json_str(line.trim_end()).unwrap()
+    }
+}
+
+fn start(cfg: ServeConfig) -> (Server, mspec_serve::TcpHandle) {
+    let server = Server::new(cfg, Recorder::disabled());
+    let handle = server.start_tcp().unwrap();
+    (server, handle)
+}
+
+/// Satellite: a fuel-heavy request under a short deadline returns a
+/// structured `deadline` error carrying partial-progress stats, while a
+/// concurrent cheap request on a second connection completes normally.
+#[test]
+fn deadline_exceeded_reports_partial_progress_and_peers_complete() {
+    let (server, handle) = start(ServeConfig { workers: 2, ..ServeConfig::default() });
+    let port = handle.port;
+
+    let heavy = std::thread::spawn(move || {
+        let mut c = Conn::open(port);
+        c.roundtrip(&Request {
+            id: 1,
+            kind: RequestKind::Spec(SpecRequest {
+                deadline_ms: Some(60),
+                fuel: Some(1_000_000_000),
+                max_spec: Some(usize::MAX),
+                ..SpecRequest::inline(POLY, "Loop.count", "S:0,D")
+            }),
+        })
+    });
+
+    // While the heavy request burns its deadline, a cheap one on a
+    // fresh connection must go through the second worker untouched.
+    let mut c = Conn::open(port);
+    let cheap = c.roundtrip(&Request {
+        id: 2,
+        kind: RequestKind::Spec(SpecRequest::inline(POWER, "Power.power", "S:4,D")),
+    });
+    let ResponseBody::Spec { residual, .. } = cheap.body else {
+        panic!("cheap request should complete: {cheap:?}");
+    };
+    assert!(residual.contains("x * (x * (x * x))"), "{residual}");
+
+    let heavy = heavy.join().unwrap();
+    assert_eq!(heavy.id, 1);
+    let ResponseBody::Error(e) = heavy.body else {
+        panic!("heavy request should hit its deadline: {heavy:?}");
+    };
+    assert_eq!(e.class, ErrorClass::Deadline);
+    assert!(!e.retryable, "deadline errors are terminal for this request");
+    let stats = e.stats.expect("deadline reply must carry partial-progress stats");
+    assert!(stats.steps > 0, "partial progress should show steps: {stats:?}");
+
+    server.shutdown();
+    handle.join();
+    assert!(server.stats().deadline_expired >= 1);
+}
+
+/// Acceptance: a residual produced via the daemon (spawned over stdio
+/// by `mspec client --spawn`) is byte-identical to `mspec spec` output.
+#[test]
+fn daemon_residuals_are_byte_identical_to_cli() {
+    let exe = env!("CARGO_BIN_EXE_mspec");
+    let dir = std::env::temp_dir().join(format!("mspec-serve-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("power.mspec");
+    std::fs::write(&file, POWER).unwrap();
+
+    let batch = Command::new(exe)
+        .args(["spec", file.to_str().unwrap(), "--entry", "Power.power", "--args", "S:6,D"])
+        .output()
+        .unwrap();
+    assert!(batch.status.success(), "{}", String::from_utf8_lossy(&batch.stderr));
+
+    let served = Command::new(exe)
+        .args([
+            "client",
+            "spec",
+            file.to_str().unwrap(),
+            "--entry",
+            "Power.power",
+            "--args",
+            "S:6,D",
+            "--spawn",
+        ])
+        .output()
+        .unwrap();
+    assert!(served.status.success(), "{}", String::from_utf8_lossy(&served.stderr));
+
+    assert!(!batch.stdout.is_empty());
+    assert_eq!(
+        batch.stdout, served.stdout,
+        "daemon residual must be byte-identical to the CLI's:\n--- cli ---\n{}\n--- daemon ---\n{}",
+        String::from_utf8_lossy(&batch.stdout),
+        String::from_utf8_lossy(&served.stdout)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Resident state: the memo of finished specialisations is shared
+/// across connections — the second identical request is a memo hit.
+#[test]
+fn memo_is_shared_across_connections() {
+    let (server, handle) = start(ServeConfig::default());
+    let req = || Request {
+        id: 7,
+        kind: RequestKind::Spec(SpecRequest::inline(POWER, "Power.power", "S:5,D")),
+    };
+
+    let mut first = Conn::open(handle.port);
+    let r1 = first.roundtrip(&req());
+    let ResponseBody::Spec { residual: res1, memo_hit: hit1, .. } = r1.body else {
+        panic!("{r1:?}");
+    };
+    assert!(!hit1);
+    drop(first);
+
+    let mut second = Conn::open(handle.port);
+    let r2 = second.roundtrip(&req());
+    let ResponseBody::Spec { residual: res2, memo_hit: hit2, .. } = r2.body else {
+        panic!("{r2:?}");
+    };
+    assert!(hit2, "second identical request should hit the resident memo");
+    assert_eq!(res1, res2);
+
+    server.shutdown();
+    handle.join();
+}
