@@ -518,80 +518,118 @@ pub enum FrameRead {
     Frame(String),
     /// Clean end of stream (client closed the connection).
     Eof,
-    /// The line exceeded [`MAX_FRAME_BYTES`]; the reader drained up to
-    /// the next newline (or EOF), so the stream is resynchronised.
+    /// The line exceeded [`MAX_FRAME_BYTES`]; its bytes were discarded
+    /// as they arrived (never buffered past the cap) and the stream is
+    /// resynchronised at the newline that ended it.
     TooLong,
     /// The line was not valid UTF-8; the stream is resynchronised at
     /// the next newline.
     BadUtf8,
     /// The stream should be polled again (read timeout expired with an
-    /// incomplete line buffered; `buf` keeps the partial bytes).
+    /// incomplete line buffered; the [`FrameBuf`] keeps the partial
+    /// state).
     Retry,
     /// A hard I/O error; the connection is unusable.
     Io(std::io::Error),
 }
 
-/// Reads one `\n`-terminated frame, accumulating into `buf` across
+/// Cross-call reader state for [`read_frame`]: the partial line
+/// accumulated so far, plus whether the reader is currently discarding
+/// the remainder of a line that already blew [`MAX_FRAME_BYTES`].
+///
+/// The discard flag is what keeps an oversized line bounded even when
+/// it spans many read timeouts: once the cap is hit the partial bytes
+/// are dropped and every further chunk of that line is consumed
+/// without buffering, until its newline finally arrives.
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    skipping: bool,
+}
+
+impl FrameBuf {
+    /// An empty reader state.
+    pub fn new() -> FrameBuf {
+        FrameBuf::default()
+    }
+
+    /// Whether no partial line is buffered or being discarded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty() && !self.skipping
+    }
+}
+
+/// Reads one `\n`-terminated frame, accumulating into `state` across
 /// calls so that a read *timeout* (used by the server to poll its
 /// shutdown flag) never loses partial bytes: on [`FrameRead::Retry`]
-/// call again with the same `buf`.
-pub fn read_frame(r: &mut impl BufRead, buf: &mut Vec<u8>) -> FrameRead {
+/// call again with the same `state`.
+///
+/// At most [`MAX_FRAME_BYTES`] of one line are ever buffered: the cap
+/// is checked on every chunk the transport delivers, and an over-cap
+/// line switches the reader into discard mode until its newline, at
+/// which point [`FrameRead::TooLong`] reports the resynchronised
+/// stream. A newline-free byte flood therefore costs bounded memory,
+/// not an allocation per chunk.
+pub fn read_frame(r: &mut impl BufRead, state: &mut FrameBuf) -> FrameRead {
     loop {
-        match r.read_until(b'\n', buf) {
-            Ok(0) => {
-                return if buf.is_empty() {
-                    FrameRead::Eof
-                } else {
-                    // A final unterminated line: treat the truncated
-                    // frame as garbage (the sender died mid-write).
-                    buf.clear();
-                    FrameRead::Eof
-                };
+        let (newline, chunk_len) = {
+            let available = match r.fill_buf() {
+                Ok(a) => a,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return FrameRead::Retry;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return FrameRead::Io(e),
+            };
+            if available.is_empty() {
+                // EOF. A final unterminated (or oversized) line is
+                // garbage: the sender died mid-write.
+                state.buf.clear();
+                state.skipping = false;
+                return FrameRead::Eof;
             }
-            Ok(_) => {
-                if buf.last() != Some(&b'\n') {
-                    // read_until can return before the delimiter only
-                    // at EOF, handled above on the next call.
-                    continue;
-                }
-                buf.pop();
-                if buf.last() == Some(&b'\r') {
-                    buf.pop();
-                }
-                if buf.len() > MAX_FRAME_BYTES {
-                    buf.clear();
+            let newline = available.iter().position(|&b| b == b'\n');
+            if !state.skipping {
+                let end = newline.unwrap_or(available.len());
+                state.buf.extend_from_slice(&available[..end]);
+            }
+            (newline, available.len())
+        };
+        match newline {
+            Some(i) => {
+                r.consume(i + 1);
+                if state.skipping {
+                    // The oversized line finally ended: resynchronised.
+                    state.skipping = false;
                     return FrameRead::TooLong;
                 }
-                let frame = std::mem::take(buf);
+                if state.buf.last() == Some(&b'\r') {
+                    state.buf.pop();
+                }
+                if state.buf.len() > MAX_FRAME_BYTES {
+                    state.buf.clear();
+                    return FrameRead::TooLong;
+                }
+                let frame = std::mem::take(&mut state.buf);
                 return match String::from_utf8(frame) {
                     Ok(s) => FrameRead::Frame(s),
                     Err(_) => FrameRead::BadUtf8,
                 };
             }
-            Err(e) if matches!(
-                e.kind(),
-                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-            ) =>
-            {
-                return FrameRead::Retry;
+            None => {
+                r.consume(chunk_len);
+                if state.buf.len() > MAX_FRAME_BYTES {
+                    // Over the cap with no end in sight: drop what we
+                    // buffered and discard the rest of the line.
+                    state.buf.clear();
+                    state.skipping = true;
+                }
             }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => return FrameRead::Io(e),
-        }
-    }
-}
-
-/// Bounds the damage of an overlong line: reads and discards until the
-/// next newline (resynchronising the stream) or EOF.
-pub fn drain_line(r: &mut impl BufRead) -> std::io::Result<()> {
-    let mut byte = [0u8; 1];
-    loop {
-        match r.read(&mut byte) {
-            Ok(0) => return Ok(()),
-            Ok(_) if byte[0] == b'\n' => return Ok(()),
-            Ok(_) => continue,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e),
         }
     }
 }
@@ -780,7 +818,7 @@ mod tests {
     #[test]
     fn read_frame_handles_lines_eof_and_crlf() {
         let mut r = std::io::Cursor::new(b"{\"a\":1}\r\nnext\n".to_vec());
-        let mut buf = Vec::new();
+        let mut buf = FrameBuf::new();
         let FrameRead::Frame(f1) = read_frame(&mut r, &mut buf) else { panic!() };
         assert_eq!(f1, "{\"a\":1}");
         let FrameRead::Frame(f2) = read_frame(&mut r, &mut buf) else { panic!() };
@@ -793,7 +831,7 @@ mod tests {
         // No trailing newline: the unterminated frame is discarded (the
         // sender died mid-write), reported as EOF.
         let mut r = std::io::Cursor::new(b"complete\ntrunca".to_vec());
-        let mut buf = Vec::new();
+        let mut buf = FrameBuf::new();
         assert!(matches!(read_frame(&mut r, &mut buf), FrameRead::Frame(ref s) if s == "complete"));
         assert!(matches!(read_frame(&mut r, &mut buf), FrameRead::Eof));
         assert!(buf.is_empty());
@@ -804,9 +842,37 @@ mod tests {
         let mut bytes = vec![0xFF, 0xFE, b'\n'];
         bytes.extend_from_slice(b"{\"id\":1,\"kind\":\"health\"}\n");
         let mut r = std::io::Cursor::new(bytes);
-        let mut buf = Vec::new();
+        let mut buf = FrameBuf::new();
         assert!(matches!(read_frame(&mut r, &mut buf), FrameRead::BadUtf8));
         assert!(matches!(read_frame(&mut r, &mut buf), FrameRead::Frame(_)));
+    }
+
+    #[test]
+    fn read_frame_bounds_oversized_lines_and_resyncs() {
+        // A line well past the cap, delivered in small transport chunks
+        // (the shape of a newline-free byte flood): the reader must
+        // flip to discard mode instead of buffering, then resync at the
+        // newline and parse the following frame normally.
+        let mut bytes = vec![b'x'; MAX_FRAME_BYTES + 64 * 1024];
+        bytes.push(b'\n');
+        bytes.extend_from_slice(b"{\"id\":1,\"kind\":\"health\"}\n");
+        let mut r = std::io::BufReader::with_capacity(8 * 1024, std::io::Cursor::new(bytes));
+        let mut buf = FrameBuf::new();
+        assert!(matches!(read_frame(&mut r, &mut buf), FrameRead::TooLong));
+        assert!(buf.is_empty(), "nothing buffered after resync");
+        let FrameRead::Frame(f) = read_frame(&mut r, &mut buf) else { panic!() };
+        assert_eq!(f, "{\"id\":1,\"kind\":\"health\"}");
+    }
+
+    #[test]
+    fn read_frame_discard_mode_survives_eof_mid_line() {
+        // Oversized line, then the sender dies with no newline: EOF,
+        // with the reader state fully reset.
+        let bytes = vec![b'x'; MAX_FRAME_BYTES + 4096];
+        let mut r = std::io::BufReader::with_capacity(8 * 1024, std::io::Cursor::new(bytes));
+        let mut buf = FrameBuf::new();
+        assert!(matches!(read_frame(&mut r, &mut buf), FrameRead::Eof));
+        assert!(buf.is_empty());
     }
 
     #[test]

@@ -21,6 +21,11 @@ pub enum PushError {
 struct Inner<T> {
     items: VecDeque<T>,
     closed: bool,
+    /// Items popped but not yet marked done via
+    /// [`BoundedQueue::task_done`]. Incremented under the queue lock at
+    /// pop time, so there is no window in which an item has left the
+    /// queue but [`BoundedQueue::is_idle`] reports idle.
+    in_flight: usize,
 }
 
 /// A bounded multi-producer multi-consumer queue.
@@ -34,7 +39,7 @@ impl<T> BoundedQueue<T> {
     /// A queue holding at most `capacity` items.
     pub fn new(capacity: usize) -> BoundedQueue<T> {
         BoundedQueue {
-            inner: Mutex::new(Inner { items: VecDeque::new(), closed: false }),
+            inner: Mutex::new(Inner { items: VecDeque::new(), closed: false, in_flight: 0 }),
             nonempty: Condvar::new(),
             capacity,
         }
@@ -66,6 +71,10 @@ impl<T> BoundedQueue<T> {
     /// Blocking pop; `None` once the queue is closed *and* drained.
     /// Parks with a bounded timeout, so a lost wakeup costs one period,
     /// never a hang (same discipline as `mspec-sched`).
+    ///
+    /// A popped item counts as *in flight* until the consumer calls
+    /// [`BoundedQueue::task_done`]; [`BoundedQueue::is_idle`] stays
+    /// false in between.
     pub fn pop(&self) -> Option<T> {
         let mut inner = match self.inner.lock() {
             Ok(g) => g,
@@ -73,6 +82,7 @@ impl<T> BoundedQueue<T> {
         };
         loop {
             if let Some(item) = inner.items.pop_front() {
+                inner.in_flight += 1;
                 return Some(item);
             }
             if inner.closed {
@@ -109,6 +119,27 @@ impl<T> BoundedQueue<T> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Marks one previously popped item as fully processed.
+    pub fn task_done(&self) {
+        let mut inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        inner.in_flight = inner.in_flight.saturating_sub(1);
+    }
+
+    /// Whether the queue is empty *and* no popped item is still being
+    /// processed. Both facts are read under one lock, so a consumer
+    /// that has popped the final item can never be missed — this is
+    /// what the server's deadline watchdog keys its exit on.
+    pub fn is_idle(&self) -> bool {
+        let inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        inner.items.is_empty() && inner.in_flight == 0
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +168,20 @@ mod tests {
         assert_eq!(q.try_push(11), Err(PushError::Closed));
         assert_eq!(q.pop(), Some(10));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn popped_items_stay_in_flight_until_done() {
+        let q = BoundedQueue::new(2);
+        assert!(q.is_idle());
+        q.try_push(1).unwrap();
+        assert!(!q.is_idle());
+        assert_eq!(q.pop(), Some(1));
+        // Queue drained, but the item is still being processed.
+        assert!(q.is_empty());
+        assert!(!q.is_idle());
+        q.task_done();
+        assert!(q.is_idle());
     }
 
     #[test]

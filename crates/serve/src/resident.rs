@@ -15,9 +15,14 @@
 //!   `stale-interface`), so the daemon never serves residual code
 //!   linked against an interface that has since changed on disk;
 //! * **memo** — finished specialisations keyed by
-//!   (program, entry, args, budget, strategy), so a repeated request is
-//!   answered without running the engine at all (`memo_hit: true` in
-//!   the reply).
+//!   (program *identity*, entry, args, budget, strategy), so a repeated
+//!   request is answered without running the engine at all
+//!   (`memo_hit: true` in the reply). The identity component is the
+//!   source hash for inline programs and the linked interface
+//!   fingerprints for artefact directories — and the memo is consulted
+//!   only *after* the program loads and revalidates, so a `.bti`
+//!   change on disk invalidates memoised residuals exactly when it
+//!   forces a re-link.
 
 use crate::proto::{parse_division, ErrorClass, ErrorInfo, SpecRequest};
 use mspec_bta::analyse::analyse_program_with;
@@ -57,6 +62,9 @@ struct ArtefactSet {
     gen: Arc<GenProgram>,
     /// `(path, fingerprint)` for every `.bti` present at link time.
     interfaces: Vec<(PathBuf, u64)>,
+    /// Hash of `interfaces` — the set's identity in memo keys, so a
+    /// re-link against changed interfaces orphans the old entries.
+    identity: u64,
 }
 
 /// Counters describing cache behaviour, surfaced via `stats` replies.
@@ -121,13 +129,16 @@ impl Resident {
     ) -> Result<SpecOutcome, ErrorInfo> {
         let args = parse_division(&req.args)
             .map_err(|e| ErrorInfo::new(ErrorClass::BadRequest, format!("bad args: {e}")))?;
-        let memo_key = self.memo_key(req);
+        // Load (and for artefact dirs, revalidate) *before* the memo
+        // lookup: the memo key carries the loaded program's identity,
+        // so a stale memo entry can never shadow a changed artefact.
+        let (gen, source_key) = self.load_program(req, rec)?;
+        let memo_key = memo_key(req, &source_key);
         if let Some(hit) = lock(&self.memo).get(&memo_key) {
             lock(&self.stats).memo_hits += 1;
             return Ok(SpecOutcome { memo_hit: true, ..hit.clone() });
         }
 
-        let gen = self.load_program(req, rec)?;
         let (module, function) = req.entry.split_once('.').ok_or_else(|| {
             ErrorInfo::new(
                 ErrorClass::BadRequest,
@@ -180,30 +191,18 @@ impl Resident {
         lock(&self.memo).clear();
     }
 
-    fn memo_key(&self, req: &SpecRequest) -> String {
-        let source = match (&req.program, &req.dir) {
-            (Some(p), _) => format!("src:{:016x}", fnv64(p.as_bytes())),
-            (None, Some(d)) => format!("dir:{d}"),
-            (None, None) => "none".to_string(),
-        };
-        format!(
-            "{source}|{}|{}|{}|{}|{:?}|{:?}",
-            req.entry,
-            req.args,
-            req.fuel.unwrap_or(0),
-            req.max_spec.unwrap_or(0),
-            req.on_exhaustion,
-            req.strategy,
-        )
-    }
-
+    /// Loads the requested program and returns it together with its
+    /// memo identity: `src:<hash>` for inline source, `dir:<path>@<fp>`
+    /// for artefact directories (where `<fp>` hashes the interface
+    /// fingerprints the set was linked against).
     fn load_program(
         &self,
         req: &SpecRequest,
         rec: &Recorder,
-    ) -> Result<Arc<GenProgram>, ErrorInfo> {
+    ) -> Result<(Arc<GenProgram>, String), ErrorInfo> {
         if let Some(src) = &req.program {
-            return self.load_inline(src, rec);
+            let gen = self.load_inline(src, rec)?;
+            return Ok((gen, format!("src:{:016x}", fnv64(src.as_bytes()))));
         }
         if let Some(dir) = &req.dir {
             return self.load_artefacts(dir);
@@ -229,24 +228,34 @@ impl Resident {
         Ok(gen)
     }
 
-    fn load_artefacts(&self, dir: &str) -> Result<Arc<GenProgram>, ErrorInfo> {
-        if let Some(set) = lock(&self.artefacts).get(dir).cloned() {
+    fn load_artefacts(&self, dir: &str) -> Result<(Arc<GenProgram>, String), ErrorInfo> {
+        // Bind the cached set outside the `if let`: a guard temporary
+        // in the scrutinee would stay locked for the whole block and
+        // self-deadlock on the `remove` below.
+        let cached = lock(&self.artefacts).get(dir).cloned();
+        if let Some(set) = cached {
             if self.revalidate(&set) {
                 lock(&self.stats).artefact_revalidations += 1;
-                return Ok(Arc::clone(&set.gen));
+                return Ok((Arc::clone(&set.gen), dir_key(dir, set.identity)));
             }
-            // An interface changed underneath us: drop and re-link.
+            // An interface changed underneath us: drop and re-link, and
+            // purge memoised residuals for every earlier version of
+            // this directory (their keys can never match again, so
+            // keeping them would only leak).
             lock(&self.artefacts).remove(dir);
+            let stale_prefix = format!("dir:{dir}@");
+            lock(&self.memo).retain(|k, _| !k.starts_with(&stale_prefix));
         }
         let gen = link_dir(dir).map_err(cogen_error_info)?;
-        let interfaces = bti_files(dir)
+        let interfaces: Vec<(PathBuf, u64)> = bti_files(dir)
             .into_iter()
             .filter_map(|p| bti_fingerprint(&p).ok().map(|fp| (p, fp)))
             .collect();
-        let set = Arc::new(ArtefactSet { gen: Arc::new(gen), interfaces });
+        let identity = interfaces_identity(&interfaces);
+        let set = Arc::new(ArtefactSet { gen: Arc::new(gen), interfaces, identity });
         lock(&self.stats).artefact_links += 1;
         lock(&self.artefacts).insert(dir.to_string(), Arc::clone(&set));
-        Ok(Arc::clone(&set.gen))
+        Ok((Arc::clone(&set.gen), dir_key(dir, identity)))
     }
 
     /// `true` when every interface fingerprint recorded at link time
@@ -264,6 +273,33 @@ fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),
     }
+}
+
+/// Memo identity of an artefact directory: path plus the hash of the
+/// interface fingerprints it was linked against, so a changed `.bti`
+/// yields a fresh key instead of hitting pre-change entries.
+fn dir_key(dir: &str, identity: u64) -> String {
+    format!("dir:{dir}@{identity:016x}")
+}
+
+fn interfaces_identity(interfaces: &[(PathBuf, u64)]) -> u64 {
+    let mut desc = String::new();
+    for (path, fp) in interfaces {
+        desc.push_str(&format!("{}={fp:016x};", path.display()));
+    }
+    fnv64(desc.as_bytes())
+}
+
+fn memo_key(req: &SpecRequest, source: &str) -> String {
+    format!(
+        "{source}|{}|{}|{}|{}|{:?}|{:?}",
+        req.entry,
+        req.args,
+        req.fuel.unwrap_or(0),
+        req.max_spec.unwrap_or(0),
+        req.on_exhaustion,
+        req.strategy,
+    )
 }
 
 /// The full sequential build pipeline, stage for stage the same calls
@@ -358,6 +394,48 @@ mod tests {
         assert_eq!(s.programs_built, 1);
         assert_eq!(s.program_hits, 1);
         assert_eq!(s.memo_hits, 0);
+    }
+
+    #[test]
+    fn dir_memo_is_invalidated_when_interfaces_change() {
+        use mspec_cogen::files::cogen_module;
+
+        let dir = std::env::temp_dir().join(format!("mspec-serve-memo-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cogen = |src: &str| {
+            let rp = resolve(parse_program(src).unwrap()).unwrap();
+            let m = rp.program().modules[0].clone();
+            cogen_module(&m, &dir, &BTreeSet::new()).unwrap()
+        };
+        let out1 = cogen("module M where\nf x = x + 1\n");
+        let fp1 = bti_fingerprint(&out1.bti).unwrap();
+
+        let r = Resident::new();
+        let rec = Recorder::disabled();
+        let req = SpecRequest {
+            program: None,
+            dir: Some(dir.to_string_lossy().into_owned()),
+            ..SpecRequest::inline("", "M.f", "D")
+        };
+        let first = r.execute_spec(&req, CancelToken::new(), &rec).unwrap();
+        assert!(!first.memo_hit);
+        assert!(first.residual.contains("x + 1"), "{}", first.residual);
+        let second = r.execute_spec(&req, CancelToken::new(), &rec).unwrap();
+        assert!(second.memo_hit, "unchanged artefacts serve from the memo");
+
+        // Re-cogen with a changed interface (and a changed body for
+        // the entry): the identical request must be answered from the
+        // fresh artefacts, not the pre-change memo entry.
+        let out2 = cogen("module M where\nf x = x + 2\ng y = y\n");
+        let fp2 = bti_fingerprint(&out2.bti).unwrap();
+        assert_ne!(fp1, fp2, "interface change must alter the fingerprint");
+        let third = r.execute_spec(&req, CancelToken::new(), &rec).unwrap();
+        assert!(!third.memo_hit, "memo must not survive an artefact change");
+        assert!(third.residual.contains("x + 2"), "{}", third.residual);
+        assert_eq!(r.stats().artefact_links, 2);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

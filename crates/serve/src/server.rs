@@ -29,8 +29,8 @@
 
 use crate::config::ServeConfig;
 use crate::proto::{
-    read_frame, ErrorClass, ErrorInfo, FrameRead, Request, RequestKind, Response, ResponseBody,
-    SpecRequest,
+    read_frame, ErrorClass, ErrorInfo, FrameBuf, FrameRead, Request, RequestKind, Response,
+    ResponseBody, SpecRequest,
 };
 use crate::queue::{BoundedQueue, PushError};
 use crate::resident::Resident;
@@ -328,8 +328,19 @@ fn finish_trace(state: &State) {
 }
 
 fn accept_loop(state: &Arc<State>, listener: &TcpListener) {
-    let mut conn_threads = Vec::new();
+    let mut conn_threads: Vec<std::thread::JoinHandle<()>> = Vec::new();
     while !state.shutting_down() {
+        // Reap finished connection threads as we go: a long-lived
+        // daemon must not grow this Vec with one dead handle per
+        // connection ever served.
+        let mut i = 0;
+        while i < conn_threads.len() {
+            if conn_threads[i].is_finished() {
+                let _ = conn_threads.swap_remove(i).join();
+            } else {
+                i += 1;
+            }
+        }
         match listener.accept() {
             Ok((stream, _addr)) => {
                 let active = state.clients.load(Ordering::Relaxed);
@@ -395,7 +406,7 @@ fn handle_tcp_connection(state: &Arc<State>, stream: TcpStream) {
 
 fn connection_loop(state: &Arc<State>, reader: &mut impl BufRead, writer: &SharedWriter) {
     let account = Arc::new(AtomicU64::new(state.cfg.client_fuel));
-    let mut buf = Vec::new();
+    let mut buf = FrameBuf::new();
     loop {
         match read_frame(reader, &mut buf) {
             FrameRead::Frame(line) => {
@@ -588,8 +599,11 @@ fn admit(
 
 fn watchdog_loop(state: &Arc<State>) {
     // Keeps ticking through shutdown until the queue has drained and no
-    // job is mid-run: deadlines stay enforced for draining work.
-    while !state.shutting_down() || !state.queue.is_empty() || !lock(&state.watch).is_empty() {
+    // job is mid-run: deadlines stay enforced for draining work. The
+    // in-flight count inside `is_idle` is bumped under the queue lock
+    // at pop time, so a worker that has just taken the final job can
+    // never be missed between the pop and its watch registration.
+    while !state.shutting_down() || !state.queue.is_idle() {
         {
             let watch = lock(&state.watch);
             let now = Instant::now();
@@ -605,36 +619,43 @@ fn watchdog_loop(state: &Arc<State>) {
 
 fn worker_loop(state: &Arc<State>) {
     while let Some(job) = state.queue.pop() {
-        let now = Instant::now();
-        if now >= job.deadline {
-            // Expired while queued: answer without running. This is the
-            // half of deadline enforcement that bounds p99 under
-            // overload — queued latency counts against the deadline.
-            job.account.fetch_add(job.reserved, Ordering::AcqRel);
-            state.counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
-            state.counters.errors.fetch_add(1, Ordering::Relaxed);
-            state.rec.count("serve.deadline_expired", 1);
-            send(
-                &job.writer,
-                &Response {
-                    id: job.id,
-                    body: ResponseBody::Error(ErrorInfo::with_stats(
-                        ErrorClass::Deadline,
-                        "deadline expired while queued (no work started)",
-                        SpecStats::default(),
-                    )),
-                },
-            );
-            continue;
-        }
-        match job.kind {
-            JobKind::Fault => run_fault(state, &job),
-            JobKind::Spec(ref spec) => run_spec(state, &job, spec),
-        }
-        state
-            .rec
-            .observe("serve.latency_ns", job.enqueued.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+        run_job(state, &job);
+        // After the reply is written: the watchdog may now consider the
+        // pool idle as far as this job is concerned.
+        state.queue.task_done();
     }
+}
+
+fn run_job(state: &Arc<State>, job: &Job) {
+    let now = Instant::now();
+    if now >= job.deadline {
+        // Expired while queued: answer without running. This is the
+        // half of deadline enforcement that bounds p99 under
+        // overload — queued latency counts against the deadline.
+        job.account.fetch_add(job.reserved, Ordering::AcqRel);
+        state.counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
+        state.counters.errors.fetch_add(1, Ordering::Relaxed);
+        state.rec.count("serve.deadline_expired", 1);
+        send(
+            &job.writer,
+            &Response {
+                id: job.id,
+                body: ResponseBody::Error(ErrorInfo::with_stats(
+                    ErrorClass::Deadline,
+                    "deadline expired while queued (no work started)",
+                    SpecStats::default(),
+                )),
+            },
+        );
+        return;
+    }
+    match job.kind {
+        JobKind::Fault => run_fault(state, job),
+        JobKind::Spec(ref spec) => run_spec(state, job, spec),
+    }
+    state
+        .rec
+        .observe("serve.latency_ns", job.enqueued.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
 }
 
 fn run_fault(state: &Arc<State>, job: &Job) {
@@ -665,8 +686,11 @@ fn run_spec(state: &Arc<State>, job: &Job, spec: &SpecRequest) {
     state.watch_remove(wid);
     match result {
         Ok(Ok(outcome)) => {
-            // Refund what the run did not spend.
-            let spent = outcome.stats.steps.min(job.reserved);
+            // Refund what the run did not spend. A memo hit ran no
+            // engine work at all — its `stats` are the original run's
+            // counters — so the whole reservation comes back.
+            let spent =
+                if outcome.memo_hit { 0 } else { outcome.stats.steps.min(job.reserved) };
             job.account.fetch_add(job.reserved - spent, Ordering::AcqRel);
             state.counters.ok.fetch_add(1, Ordering::Relaxed);
             state.rec.count("serve.ok", 1);
@@ -860,6 +884,42 @@ mod tests {
         server.shutdown();
         handle.join();
         assert_eq!(server.stats().denied, 1);
+    }
+
+    #[test]
+    fn memo_hits_refund_the_full_reservation() {
+        // Memo hits run no engine work (their `stats` are the original
+        // run's counters), so they must charge the connection's fuel
+        // account nothing. Charging the original step cost per hit
+        // would drain the account into spurious budget-denied replies.
+        const ACCOUNT: u64 = 50_000;
+        let cfg = ServeConfig { client_fuel: ACCOUNT, ..ServeConfig::default() };
+        let (server, handle) = test_server(cfg);
+        let mut c = connect(handle.port);
+        let req = |id| Request {
+            id,
+            kind: RequestKind::Spec(SpecRequest {
+                fuel: Some(5_000),
+                ..SpecRequest::inline(POWER, "Power.power", "S:40,D")
+            }),
+        };
+        let resp = roundtrip(&mut c, &req(1));
+        let ResponseBody::Spec { memo_hit, stats, .. } = resp.body else { panic!("{resp:?}") };
+        assert!(!memo_hit);
+        assert!(stats.steps > 0);
+        // Enough memo hits that per-hit charging of the original step
+        // cost would exhaust the account with room to spare.
+        let hits = ACCOUNT / stats.steps.max(1) + 5;
+        for id in 2..2 + hits {
+            let resp = roundtrip(&mut c, &req(id));
+            let ResponseBody::Spec { memo_hit, .. } = resp.body else {
+                panic!("request {id}: {resp:?}")
+            };
+            assert!(memo_hit, "request {id} should be a memo hit");
+        }
+        server.shutdown();
+        handle.join();
+        assert_eq!(server.stats().denied, 0);
     }
 
     #[test]

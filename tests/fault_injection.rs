@@ -380,24 +380,33 @@ fn daemon_survives_the_chaos_matrix() {
     assert_eq!(resp.id, 42);
     assert_error(resp, ErrorClass::BadRequest);
 
-    // 4. Truncated frame + mid-request disconnect: half a JSON object,
+    // 4. A newline-free byte flood past the frame cap: the server must
+    // discard it with bounded memory (never buffering the whole line),
+    // answer a typed error once the line ends, and keep serving.
+    let flood = vec![b'z'; mspec_serve::proto::MAX_FRAME_BYTES + 64 * 1024];
+    c.send_raw(&flood);
+    c.send_raw(b"\n");
+    assert_error(c.read_response(), ErrorClass::BadRequest);
+    assert_spec_ok(c.roundtrip(&spec_req(4, 6)), 4);
+
+    // 5. Truncated frame + mid-request disconnect: half a JSON object,
     // no newline, then the socket dies. The server must just drop it.
     let mut half = Conn::open(port);
     half.send_raw(b"{\"id\":5,\"kind\":\"spec\",\"prog");
     drop(half);
 
-    // 5. Mid-request disconnect *after* admission: a request is queued,
+    // 6. Mid-request disconnect *after* admission: a request is queued,
     // then the client vanishes before the reply can be written.
     let mut gone = Conn::open(port);
     gone.send_raw(format!("{}\n", spec_req(6, 9).to_json_compact()).as_bytes());
     drop(gone);
 
-    // 6. A panicking request is contained into a typed internal error.
+    // 7. A panicking request is contained into a typed internal error.
     let resp = c.roundtrip(&Request { id: 7, kind: RequestKind::Fault });
     let e = assert_error(resp, ErrorClass::Internal);
     assert!(e.retryable, "panics are retryable: the server is still up");
 
-    // 7. A budget-exhausting request gets a structured budget error
+    // 8. A budget-exhausting request gets a structured budget error
     // carrying the partial-progress stats — not a hang, not a death.
     let resp = c.roundtrip(&Request {
         id: 8,
