@@ -1,0 +1,343 @@
+//! PR 8 tiered-execution table: superinstruction fusion and
+//! compiled-artefact caching.
+//!
+//! Run: `cargo run --release -p mspec-bench --bin run_table`
+//!
+//! Three scenarios:
+//!
+//! * **fusion** — the bytecode VM with and without the peephole
+//!   superinstruction pass (`mspec_lang::fuse`) on the E-series
+//!   residual programs; the two dispatchers are asserted value- and
+//!   fuel-identical before timing, and the one-off cost of the fusion
+//!   pass itself is reported alongside;
+//! * **exec_cache** — `Specialised::run` cold (first call: resolve +
+//!   compile + profiling run) vs warm (every later call: cached, fused
+//!   program straight to dispatch), demonstrating that repeat runs no
+//!   longer re-resolve or re-compile the residual;
+//! * **daemon** — a `run` request against an in-process `mspecd` over
+//!   loopback TCP, cold (engine specialisation + residual compilation)
+//!   vs warm (resident memo hit + compiled-artefact hit).
+//!
+//! Writes machine-readable results to `BENCH_pr8.json`.
+
+use mspec_bench::workloads::{encoded_expr, prepared_library, INTERP, POWER};
+use mspec_bench::{cores, time_min, us};
+use mspec_core::{Pipeline, Recorder, SpecArg, Specialised};
+use mspec_lang::bytecode::compile;
+use mspec_lang::eval::{with_big_stack, Value, DEFAULT_FUEL};
+use mspec_lang::fuse::fuse;
+use mspec_lang::resolve::resolve;
+use mspec_lang::vm::{Vm, VmOpt};
+use mspec_lang::Json;
+use mspec_serve::{Client, ResponseBody, RunRequest, ServeConfig, Server, SpecRequest};
+use std::time::{Duration, Instant};
+
+fn main() {
+    with_big_stack(run);
+}
+
+fn ratio(slow: Duration, fast: Duration) -> f64 {
+    if fast.as_nanos() == 0 {
+        return 0.0;
+    }
+    slow.as_secs_f64() / fast.as_secs_f64()
+}
+
+fn ratio_milli(slow: Duration, fast: Duration) -> Json {
+    Json::Num((ratio(slow, fast) * 1000.0).round().max(0.0) as u128)
+}
+
+/// One fused-vs-unfused measurement on a residual program.
+struct FusionRow {
+    name: &'static str,
+    unfused: Duration,
+    fused: Duration,
+    fuse_pass: Duration,
+    fused_count: u64,
+    instructions: u64,
+}
+
+impl FusionRow {
+    fn to_json(&self) -> (String, Json) {
+        (
+            self.name.replace([' ', '='], "_"),
+            Json::obj([
+                ("unfused_ns", Json::Num(self.unfused.as_nanos())),
+                ("fused_ns", Json::Num(self.fused.as_nanos())),
+                ("fuse_pass_ns", Json::Num(self.fuse_pass.as_nanos())),
+                ("fused_count", Json::Num(u128::from(self.fused_count))),
+                ("instructions", Json::Num(u128::from(self.instructions))),
+                ("ratio_milli", ratio_milli(self.unfused, self.fused)),
+            ]),
+        )
+    }
+}
+
+/// Times one residual under plain and fused dispatch. Both programs are
+/// compiled once up front (the artefact-caching story is measured
+/// separately); the fuse pass itself is timed as the one-off tier-up
+/// cost. Before timing, the two dispatchers are asserted to agree on
+/// the value, the instruction count and the fuel spent — the invariant
+/// the differential suite pins down exhaustively.
+fn fusion_row(
+    name: &'static str,
+    residual: &Specialised,
+    args: Vec<Value>,
+    iters: usize,
+) -> FusionRow {
+    let rp = resolve(residual.residual.program.clone()).expect("residual resolves");
+    let entry = &residual.residual.entry;
+    let bc = compile(&rp).expect("residual compiles");
+    let (fuse_pass, (fused_bc, stats)) = time_min(5, || fuse(&bc));
+
+    let mut plain = Vm::with_fuel(&bc, DEFAULT_FUEL);
+    let a = plain.call(entry, args.clone()).expect("unfused run succeeds");
+    let mut opt = Vm::with_fuel(&fused_bc, DEFAULT_FUEL);
+    let b = opt.call(entry, args.clone()).expect("fused run succeeds");
+    assert_eq!(a, b, "{name}: fused dispatch changed the value");
+    assert_eq!(
+        plain.stats(),
+        opt.stats(),
+        "{name}: fused dispatch changed the run counters"
+    );
+    assert_eq!(
+        plain.fuel_left(),
+        opt.fuel_left(),
+        "{name}: fused dispatch changed the fuel spent"
+    );
+
+    let (unfused, _) = time_min(iters, || {
+        Vm::with_fuel(&bc, DEFAULT_FUEL).call(entry, args.clone()).unwrap()
+    });
+    let (fused, _) = time_min(iters, || {
+        Vm::with_fuel(&fused_bc, DEFAULT_FUEL).call(entry, args.clone()).unwrap()
+    });
+    FusionRow {
+        name,
+        unfused,
+        fused,
+        fuse_pass,
+        fused_count: stats.total(),
+        instructions: plain.stats().instructions,
+    }
+}
+
+/// One cold-vs-warm measurement of the tiered execution cache: the
+/// first `Specialised::run` resolves, compiles and profiles; every
+/// later call reuses the cached (and, once hot, fused) program.
+struct CacheRow {
+    name: &'static str,
+    cold: Duration,
+    warm: Duration,
+    fused: bool,
+}
+
+impl CacheRow {
+    fn to_json(&self) -> (String, Json) {
+        (
+            self.name.replace([' ', '='], "_"),
+            Json::obj([
+                ("cold_first_run_ns", Json::Num(self.cold.as_nanos())),
+                ("warm_run_ns", Json::Num(self.warm.as_nanos())),
+                ("fused", Json::Bool(self.fused)),
+                ("ratio_milli", ratio_milli(self.cold, self.warm)),
+            ]),
+        )
+    }
+}
+
+fn cache_row(
+    name: &'static str,
+    pipeline: &Pipeline,
+    module: &str,
+    function: &str,
+    spec_args: Vec<SpecArg>,
+    args: Vec<Value>,
+    iters: usize,
+) -> CacheRow {
+    // Cold: min over fresh residuals, timing only the first run (the
+    // specialisation itself is the E3 table's subject, not this one's).
+    let mut cold = Duration::MAX;
+    for _ in 0..3 {
+        let spec = pipeline
+            .specialise(module, function, spec_args.clone())
+            .expect("workload specialises");
+        let started = Instant::now();
+        spec.run(args.clone()).expect("cold run succeeds");
+        cold = cold.min(started.elapsed());
+    }
+
+    let spec = pipeline
+        .specialise(module, function, spec_args)
+        .expect("workload specialises");
+    spec.run(args.clone()).expect("warm-up run succeeds");
+    let (warm, _) = time_min(iters, || spec.run(args.clone()).unwrap());
+    CacheRow {
+        name,
+        cold,
+        warm,
+        fused: spec.exec_status().fused,
+    }
+}
+
+/// Cold-vs-warm `run` request against an in-process daemon: the cold
+/// request pays engine specialisation plus residual compilation; the
+/// warm request hits both the resident memo and the compiled-artefact
+/// cache and goes straight to fused dispatch.
+struct DaemonRow {
+    cold: Duration,
+    warm: Duration,
+    instructions: u64,
+}
+
+fn daemon_row() -> DaemonRow {
+    let cfg = ServeConfig { vm_opt: VmOpt::Fuse, ..ServeConfig::default() };
+    let server = Server::new(cfg, Recorder::disabled());
+    let handle = server.start_tcp().expect("daemon listens on loopback");
+    let mut client = Client::tcp(format!("127.0.0.1:{}", handle.port));
+    let req = RunRequest {
+        spec: SpecRequest::inline(POWER, "Power.power", "S:5000,D"),
+        values: "3".to_string(),
+        run_fuel: None,
+    };
+
+    let started = Instant::now();
+    let resp = client.run(req.clone()).expect("cold run request succeeds");
+    let cold = started.elapsed();
+    let ResponseBody::Run { memo_hit, compiled_hit, .. } = resp.body else {
+        panic!("cold run reply: {resp:?}");
+    };
+    assert!(!memo_hit && !compiled_hit, "first request cannot be warm");
+
+    let mut warm = Duration::MAX;
+    let mut instructions = 0;
+    for _ in 0..50 {
+        let started = Instant::now();
+        let resp = client.run(req.clone()).expect("warm run request succeeds");
+        warm = warm.min(started.elapsed());
+        let ResponseBody::Run { memo_hit, compiled_hit, instructions: n, .. } = resp.body else {
+            panic!("warm run reply: {resp:?}");
+        };
+        assert!(memo_hit && compiled_hit, "repeat request must be fully warm");
+        instructions = n;
+    }
+    client.shutdown().expect("daemon shuts down");
+    handle.join();
+    DaemonRow { cold, warm, instructions }
+}
+
+fn run() {
+    // The E-series residuals the fusion pass is aimed at.
+    let power = Pipeline::from_source(POWER).unwrap();
+    let power_residual = power
+        .specialise(
+            "Power",
+            "power",
+            vec![SpecArg::Static(Value::nat(20_000)), SpecArg::Dynamic],
+        )
+        .unwrap();
+    let interp = Pipeline::from_source(INTERP).unwrap();
+    let interp_residual = interp
+        .specialise(
+            "Interp",
+            "run",
+            vec![SpecArg::Static(encoded_expr(8)), SpecArg::Dynamic],
+        )
+        .unwrap();
+    let library = prepared_library(16, 8);
+    let library_residual = library
+        .specialise("Main", "main", vec![SpecArg::Dynamic])
+        .unwrap();
+
+    println!("PR 8: fused vs unfused VM dispatch on residuals (min-of-N, us)");
+    println!(
+        "{:<20} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "residual", "unfused", "fused", "fuse-pass", "#fused", "speedup"
+    );
+    let fusion_rows = vec![
+        fusion_row("power n=20000", &power_residual, vec![Value::nat(3)], 20),
+        fusion_row("interp depth=8", &interp_residual, vec![Value::nat(7)], 20),
+        fusion_row("library 16x8", &library_residual, vec![Value::nat(2)], 50),
+    ];
+    for r in &fusion_rows {
+        println!(
+            "{:<20} {} {} {} {:>8} {:>7.2}x",
+            r.name,
+            us(r.unfused),
+            us(r.fused),
+            us(r.fuse_pass),
+            r.fused_count,
+            ratio(r.unfused, r.fused)
+        );
+    }
+
+    println!("\nPR 8: Specialised::run cold (resolve+compile+profile) vs warm (cached)");
+    println!(
+        "{:<20} {:>10} {:>10} {:>8} {:>8}",
+        "residual", "cold", "warm", "fused", "speedup"
+    );
+    let cache_rows = vec![
+        cache_row(
+            "power n=20000",
+            &power,
+            "Power",
+            "power",
+            vec![SpecArg::Static(Value::nat(20_000)), SpecArg::Dynamic],
+            vec![Value::nat(3)],
+            20,
+        ),
+        cache_row(
+            "interp depth=8",
+            &interp,
+            "Interp",
+            "run",
+            vec![SpecArg::Static(encoded_expr(8)), SpecArg::Dynamic],
+            vec![Value::nat(7)],
+            50,
+        ),
+    ];
+    for r in &cache_rows {
+        println!(
+            "{:<20} {} {} {:>8} {:>7.1}x",
+            r.name,
+            us(r.cold),
+            us(r.warm),
+            r.fused,
+            ratio(r.cold, r.warm)
+        );
+    }
+
+    println!("\nPR 8: daemon `run` request, cold vs warm (loopback TCP, --vm-opt fuse)");
+    let daemon = daemon_row();
+    println!(
+        "power n=5000         cold {}  warm {}  ({:.1}x, {} vm instructions)",
+        us(daemon.cold),
+        us(daemon.warm),
+        ratio(daemon.cold, daemon.warm),
+        daemon.instructions
+    );
+
+    let report = Json::Obj(vec![
+        ("pr".to_string(), Json::str("pr8")),
+        ("cores".to_string(), Json::Num(cores() as u128)),
+        (
+            "vm_fusion".to_string(),
+            Json::Obj(fusion_rows.iter().map(FusionRow::to_json).collect()),
+        ),
+        (
+            "exec_cache".to_string(),
+            Json::Obj(cache_rows.iter().map(CacheRow::to_json).collect()),
+        ),
+        (
+            "daemon".to_string(),
+            Json::obj([
+                ("cold_ns", Json::Num(daemon.cold.as_nanos())),
+                ("warm_ns", Json::Num(daemon.warm.as_nanos())),
+                ("instructions", Json::Num(u128::from(daemon.instructions))),
+                ("ratio_milli", ratio_milli(daemon.cold, daemon.warm)),
+            ]),
+        ),
+    ]);
+    std::fs::write("BENCH_pr8.json", report.write_pretty()).expect("write BENCH_pr8.json");
+    println!("\nwrote BENCH_pr8.json");
+}

@@ -11,6 +11,7 @@
 //! mspec mix     FILE --entry M.f --args DIVISION
 //!                                         monolithic-mix baseline specialiser
 //! mspec run     FILE --entry M.f --args VALUES
+//!               [--runner tree|vm] [--vm-opt none|fuse]
 //!                                         interpret the source program
 //! mspec explain FN --log FILE             provenance of FN's residual
 //!                                         versions from a --metrics log
@@ -18,10 +19,12 @@
 //! mspec serve   [--stdio | --port N]      specialisation-as-a-service daemon
 //!               [--max-clients N] [--queue-depth N] [--deadline-ms N]
 //!               [--client-fuel N] [--threads N] [--chaos] [--trace FILE]
+//!               [--vm-opt none|fuse]
 //! mspec client  ACTION [FILE]             talk to a daemon (ACTION: spec,
-//!               (--connect HOST:PORT | --spawn)   health, stats, fault,
+//!               (--connect HOST:PORT | --spawn)   run, health, stats, fault,
 //!               [--entry M.f --args DIV] [--deadline-ms N]     shutdown)
-//!               [--retries N] [--backoff-ms N]
+//!               [--values VALS] [--run-fuel N]    (run: specialise then
+//!               [--retries N] [--backoff-ms N]     execute the residual)
 //! ```
 //!
 //! Every pipeline command additionally accepts `--trace FILE` (Chrome
@@ -39,7 +42,7 @@
 use mspec_core::telemetry::{self, Snapshot};
 use mspec_core::{
     write_residual, BuildMode, EngineOptions, ModuleOutcome, OnExhaustion, Pipeline,
-    PipelineError, Recorder, Runner, SpecBudget, Strategy,
+    PipelineError, Recorder, Runner, SpecBudget, Strategy, VmOpt,
 };
 use mspec_lang::eval::with_big_stack;
 use mspec_lang::QualName;
@@ -96,7 +99,7 @@ fn usage() -> String {
              [--fuel N] [--max-spec N] [--on-exhaustion error|generalise]\n\
      mix     FILE --entry M.f --args DIV   monolithic-mix baseline specialiser\n\
      run     FILE --entry M.f --args VALS  run the source program\n\
-             [--runner tree|vm]\n\
+             [--runner tree|vm] [--vm-opt none|fuse]\n\
      build   SRCDIR --out DIR              incremental cogen of a module tree\n\
      link-spec DIR --entry M.f --args DIV  specialise from .gx files (no source)\n\
      explain FN --log FILE                 provenance of FN from a --metrics log\n\
@@ -104,9 +107,11 @@ fn usage() -> String {
      serve   [--stdio | --port N]          long-lived specialisation daemon\n\
              [--max-clients N] [--queue-depth N] [--deadline-ms N]\n\
              [--client-fuel N] [--threads N] [--chaos] [--trace FILE]\n\
+             [--vm-opt none|fuse]\n\
      client  ACTION [FILE]                 talk to a daemon; ACTION is one of\n\
-             (--connect HOST:PORT|--spawn)  spec, health, stats, fault, shutdown\n\
-             [--entry M.f --args DIV] [--dir DIR] [--deadline-ms N]\n\
+             (--connect HOST:PORT|--spawn)  spec, run, health, stats, fault,\n\
+             [--entry M.f --args DIV]       shutdown; run also takes\n\
+             [--dir DIR] [--deadline-ms N]  [--values VALS] [--run-fuel N]\n\
              [--retries N] [--backoff-ms N] [--fuel N] [--max-spec N]\n\
      \n\
      spec, mix, build and link-spec also accept --trace FILE (Chrome\n\
@@ -129,6 +134,7 @@ struct Opts {
     max_spec: Option<usize>,
     on_exhaustion: OnExhaustion,
     runner: Runner,
+    vm_opt: VmOpt,
     threads: Option<NonZeroUsize>,
     trace: Option<String>,
     metrics: Option<String>,
@@ -215,6 +221,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         max_spec: None,
         on_exhaustion: OnExhaustion::default(),
         runner: Runner::default(),
+        vm_opt: VmOpt::default(),
         threads: None,
         trace: None,
         metrics: None,
@@ -268,6 +275,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 let v = it.next().ok_or("--runner needs tree or vm")?;
                 opts.runner = Runner::parse(v)
                     .ok_or_else(|| format!("--runner must be tree or vm, got `{v}`"))?;
+            }
+            "--vm-opt" => {
+                let v = it.next().ok_or("--vm-opt needs none or fuse")?;
+                opts.vm_opt = VmOpt::parse(v)
+                    .ok_or_else(|| format!("--vm-opt must be none or fuse, got `{v}`"))?;
             }
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a worker count")?;
@@ -541,7 +553,7 @@ fn run_program(args: &[String]) -> Result<(), String> {
     let values = parse_values(opts.args.as_deref().unwrap_or(""))?;
     let pipeline = build_pipeline(&opts)?;
     let v = pipeline
-        .run_source_with(opts.runner, &m, &f, values)
+        .run_source_opt(opts.runner, opts.vm_opt, &m, &f, values)
         .map_err(|e| e.to_string())?;
     println!("{v}");
     Ok(())
@@ -562,6 +574,12 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
             }
             "--chaos" => {
                 cfg.chaos = true;
+                continue;
+            }
+            "--vm-opt" => {
+                let v = it.next().ok_or("--vm-opt needs none or fuse")?;
+                cfg.vm_opt = VmOpt::parse(v)
+                    .ok_or_else(|| format!("--vm-opt must be none or fuse, got `{v}`"))?;
                 continue;
             }
             "--trace" => {
@@ -629,6 +647,8 @@ fn client_cmd(args: &[String]) -> Result<(), String> {
     let mut chaos = false;
     let mut entry: Option<String> = None;
     let mut division = String::new();
+    let mut values = String::new();
+    let mut run_fuel: Option<u64> = None;
     let mut fuel: Option<u64> = None;
     let mut max_spec: Option<usize> = None;
     let mut deadline_ms: Option<u64> = None;
@@ -641,6 +661,11 @@ fn client_cmd(args: &[String]) -> Result<(), String> {
             "--chaos" => chaos = true,
             "--entry" => entry = Some(it.next().ok_or("--entry needs M.f")?.clone()),
             "--args" => division = it.next().ok_or("--args needs a division")?.clone(),
+            "--values" => values = it.next().ok_or("--values needs literals")?.clone(),
+            "--run-fuel" => {
+                let v = it.next().ok_or("--run-fuel needs a value")?;
+                run_fuel = Some(v.parse().map_err(|_| format!("bad --run-fuel `{v}`"))?);
+            }
             "--dir" => dir = Some(it.next().ok_or("--dir needs a directory")?.clone()),
             "--fuel" => {
                 let v = it.next().ok_or("--fuel needs a value")?;
@@ -677,7 +702,8 @@ fn client_cmd(args: &[String]) -> Result<(), String> {
             }
         }
     }
-    let action = action.ok_or("client needs an ACTION: spec, health, stats, fault or shutdown")?;
+    let action =
+        action.ok_or("client needs an ACTION: spec, run, health, stats, fault or shutdown")?;
     let mut client = if let Some(addr) = connect {
         mspec_serve::Client::tcp(addr)
     } else if spawn {
@@ -691,27 +717,37 @@ fn client_cmd(args: &[String]) -> Result<(), String> {
         return Err("client needs --connect HOST:PORT or --spawn".into());
     }
     .with_policy(policy);
+    let build_spec_request = |action: &str| -> Result<mspec_serve::SpecRequest, String> {
+        let entry = entry
+            .as_deref()
+            .ok_or_else(|| format!("client {action} needs --entry M.f"))?;
+        let mut req = match (&file, &dir) {
+            (Some(f), None) => {
+                mspec_serve::SpecRequest::inline(&read_source(f)?, entry, &division)
+            }
+            (None, Some(d)) => {
+                let mut r = mspec_serve::SpecRequest::inline("", entry, &division);
+                r.program = None;
+                r.dir = Some(d.clone());
+                r
+            }
+            (None, None) => return Err(format!("client {action} needs FILE or --dir DIR")),
+            (Some(_), Some(_)) => {
+                return Err(format!("client {action} takes FILE or --dir, not both"))
+            }
+        };
+        req.fuel = fuel;
+        req.max_spec = max_spec;
+        req.deadline_ms = deadline_ms;
+        Ok(req)
+    };
     let kind = match action.as_str() {
-        "spec" => {
-            let entry = entry.ok_or("client spec needs --entry M.f")?;
-            let mut req = match (&file, &dir) {
-                (Some(f), None) => {
-                    mspec_serve::SpecRequest::inline(&read_source(f)?, &entry, &division)
-                }
-                (None, Some(d)) => {
-                    let mut r = mspec_serve::SpecRequest::inline("", &entry, &division);
-                    r.program = None;
-                    r.dir = Some(d.clone());
-                    r
-                }
-                (None, None) => return Err("client spec needs FILE or --dir DIR".into()),
-                (Some(_), Some(_)) => return Err("client spec takes FILE or --dir, not both".into()),
-            };
-            req.fuel = fuel;
-            req.max_spec = max_spec;
-            req.deadline_ms = deadline_ms;
-            mspec_serve::RequestKind::Spec(req)
-        }
+        "spec" => mspec_serve::RequestKind::Spec(build_spec_request("spec")?),
+        "run" => mspec_serve::RequestKind::Run(mspec_serve::RunRequest {
+            spec: build_spec_request("run")?,
+            values: values.clone(),
+            run_fuel,
+        }),
         "health" => mspec_serve::RequestKind::Health,
         "stats" => mspec_serve::RequestKind::Stats,
         "fault" => mspec_serve::RequestKind::Fault,
@@ -732,6 +768,13 @@ fn client_cmd(args: &[String]) -> Result<(), String> {
             println!("{residual}");
             let hit = if memo_hit { " [memo hit]" } else { "" };
             eprintln!("{}{hit}", stats.summary(entry.as_str()));
+            Ok(())
+        }
+        mspec_serve::ResponseBody::Run { entry, value, memo_hit, compiled_hit, instructions } => {
+            println!("{value}");
+            let memo = if memo_hit { " [memo hit]" } else { "" };
+            let warm = if compiled_hit { " [compiled hit]" } else { "" };
+            eprintln!("{entry}: {instructions} vm instructions{memo}{warm}");
             Ok(())
         }
         mspec_serve::ResponseBody::Health { uptime_ms, counters } => {

@@ -46,7 +46,7 @@ pub use mspec_genext::{
     Strategy,
 };
 pub use parbuild::{module_levels, BuildMode, BuildReport, ModuleBuildError, StageTimes};
-pub use mspec_lang::vm::Runner;
+pub use mspec_lang::vm::{Runner, VmOpt};
 pub use mspec_telemetry as telemetry;
 pub use mspec_telemetry::{ModuleOutcome, Recorder};
-pub use pipeline::{run_source, write_residual, Pipeline, Specialised};
+pub use pipeline::{run_source, write_residual, ExecStatus, Pipeline, Specialised};

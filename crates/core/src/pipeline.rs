@@ -11,13 +11,16 @@ use mspec_lang::ast::{Program, QualName};
 use mspec_lang::eval::{Evaluator, Value, DEFAULT_FUEL};
 use mspec_lang::parser::parse_program;
 use mspec_lang::pretty::pretty_program;
+use mspec_lang::bytecode::{compile as compile_bytecode, BcProgram};
+use mspec_lang::fuse::{fuse_chunks, FuseStats};
 use mspec_lang::resolve::{resolve, ResolvedProgram};
-use mspec_lang::vm::Runner;
+use mspec_lang::vm::{bc_error, Runner, Vm, VmOpt};
 use mspec_telemetry::Recorder;
 use mspec_types::{infer_program, ProgramTypes};
 use std::collections::BTreeSet;
 use std::num::NonZeroUsize;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
 
 /// A fully prepared program: resolved, typed, binding-time analysed and
 /// converted to linked generating extensions. Cheap to specialise many
@@ -236,6 +239,7 @@ impl Pipeline {
             residual,
             stats: *engine.stats(),
             provenance: engine.provenance().to_vec(),
+            exec: Arc::default(),
         })
     }
 
@@ -279,7 +283,12 @@ impl Pipeline {
             threads,
             rec.clone(),
         )?;
-        Ok(Specialised { residual, stats: out.stats, provenance: out.provenance })
+        Ok(Specialised {
+            residual,
+            stats: out.stats,
+            provenance: out.provenance,
+            exec: Arc::default(),
+        })
     }
 
     /// Runs the *source* program directly (the correctness oracle).
@@ -311,8 +320,141 @@ impl Pipeline {
         function: &str,
         args: Vec<Value>,
     ) -> Result<Value, PipelineError> {
+        self.run_source_opt(runner, VmOpt::None, module, function, args)
+    }
+
+    /// [`Pipeline::run_source_with`] at an explicit tier-1 optimisation
+    /// level ([`VmOpt::Fuse`] runs the superinstruction pass before
+    /// dispatch; the tree runner ignores the level).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Eval`] on run-time errors.
+    pub fn run_source_opt(
+        &self,
+        runner: Runner,
+        opt: VmOpt,
+        module: &str,
+        function: &str,
+        args: Vec<Value>,
+    ) -> Result<Value, PipelineError> {
         let entry = QualName::new(module, function);
-        Ok(runner.run(&self.resolved, &entry, args, DEFAULT_FUEL)?)
+        Ok(runner.run_opt(&self.resolved, &entry, args, DEFAULT_FUEL, opt)?)
+    }
+}
+
+/// A function is considered hot — and its chunk handed to the fusion
+/// pass — once the profiling run attributes at least this many
+/// fuel-charging instructions to it. Low on purpose: fusion is cheap
+/// and semantics-preserving, so the threshold only exists to skip
+/// functions that barely execute.
+const FUSE_HOT_MIN: u64 = 32;
+
+/// Where a [`Specialised`]'s tiered execution state currently stands
+/// (see [`Specialised::exec_status`]). Purely observational — used by
+/// telemetry and the cache tests; never consulted for control flow
+/// outside the cache itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStatus {
+    /// The residual has been resolved (and the resolution cached).
+    pub resolved: bool,
+    /// Bytecode has been compiled (and cached).
+    pub compiled: bool,
+    /// The profile-guided fused program has been built (and cached).
+    pub fused: bool,
+    /// Fusion-pass counters, all zero until `fused`.
+    pub fuse_stats: FuseStats,
+}
+
+/// Cached execution artefacts of one residual program — the per-residual
+/// state of the tiered execution layer. Shared across clones of the
+/// owning [`Specialised`] (behind an `Arc`), so a clone handed to
+/// another thread reuses, rather than redoes, the resolve/compile/fuse
+/// work. Each stage is a `OnceLock` filled on first success; errors are
+/// never cached (they are terminal for the caller anyway, and a
+/// residual that fails to resolve once will fail identically again).
+#[derive(Debug, Default)]
+struct ExecCache {
+    /// Stage 1: the resolved residual (kills the per-call
+    /// `clone`+`resolve` this method historically did).
+    resolved: OnceLock<Arc<ResolvedProgram>>,
+    /// Stage 2: compiled flat bytecode, shared with tier-0 fuel
+    /// semantics.
+    compiled: OnceLock<Arc<BcProgram>>,
+    /// Per-chunk instruction counts from the first (profiling) VM run.
+    profile: OnceLock<Vec<u64>>,
+    /// Stage 3: the superinstruction-fused program, built from the
+    /// profile (hot chunks only) before the second VM run.
+    fused: OnceLock<(Arc<BcProgram>, FuseStats)>,
+}
+
+impl ExecCache {
+    fn resolved(&self, residual: &ResidualProgram) -> Result<Arc<ResolvedProgram>, PipelineError> {
+        if let Some(rp) = self.resolved.get() {
+            return Ok(Arc::clone(rp));
+        }
+        let rp = Arc::new(resolve(residual.program.clone())?);
+        // A concurrent first call may have won the race; use whichever
+        // value landed (both are resolutions of the same program).
+        Ok(Arc::clone(self.resolved.get_or_init(|| rp)))
+    }
+
+    fn compiled(&self, rp: &ResolvedProgram) -> Result<Arc<BcProgram>, PipelineError> {
+        if let Some(bc) = self.compiled.get() {
+            return Ok(Arc::clone(bc));
+        }
+        let bc = Arc::new(compile_bytecode(rp).map_err(bc_error)?);
+        Ok(Arc::clone(self.compiled.get_or_init(|| bc)))
+    }
+
+    /// One VM execution at the current tier, advancing the tier state:
+    /// the first run executes unfused with profiling on and banks the
+    /// per-chunk counters; the next run spends them on a profile-guided
+    /// fusion pass; every run after that dispatches the cached fused
+    /// program directly.
+    fn run_vm(
+        &self,
+        residual: &ResidualProgram,
+        entry: &QualName,
+        args: Vec<Value>,
+        fuel: u64,
+    ) -> Result<Value, PipelineError> {
+        let rp = self.resolved(residual)?;
+        if let Some((fused, _)) = self.fused.get() {
+            return Ok(Vm::with_fuel(fused, fuel).call(entry, args)?);
+        }
+        let bc = self.compiled(&rp)?;
+        if let Some(profile) = self.profile.get() {
+            let (fused, _) = self.fused.get_or_init(|| {
+                let (prog, stats) =
+                    fuse_chunks(&bc, |k| profile.get(k).is_some_and(|n| *n >= FUSE_HOT_MIN));
+                (Arc::new(prog), stats)
+            });
+            return Ok(Vm::with_fuel(fused, fuel).call(entry, args)?);
+        }
+        // First run: profile it. The counters survive even an erroring
+        // run (modulo the segment after the last frame transition), so
+        // a fuel-exhausted first run still seeds a useful profile.
+        let mut vm = Vm::with_fuel(&bc, fuel);
+        vm.enable_profiling();
+        let out = vm.call(entry, args);
+        if let Some(p) = vm.profile() {
+            let _ = self.profile.set(p.to_vec());
+        }
+        Ok(out?)
+    }
+
+    fn status(&self) -> ExecStatus {
+        let (fused, fuse_stats) = match self.fused.get() {
+            Some((_, s)) => (true, *s),
+            None => (false, FuseStats::default()),
+        };
+        ExecStatus {
+            resolved: self.resolved.get().is_some(),
+            compiled: self.compiled.get().is_some(),
+            fused,
+            fuse_stats,
+        }
     }
 }
 
@@ -326,6 +468,9 @@ pub struct Specialised {
     /// Per-residual-definition provenance (source function and mask), in
     /// creation order.
     pub provenance: Vec<mspec_genext::Provenance>,
+    /// Tiered execution cache (resolve/compile/fuse once, run many);
+    /// shared across clones.
+    exec: Arc<ExecCache>,
 }
 
 impl Specialised {
@@ -333,6 +478,13 @@ impl Specialised {
     /// execution engine ([`Runner::Vm`] — the compiled fast path; the
     /// tree evaluator remains available as ground truth via
     /// [`Specialised::run_with`]).
+    ///
+    /// Repeat calls are the fast path by design: the residual is
+    /// resolved and compiled once (cached behind the shared
+    /// [`ExecCache`]), the first VM run profiles per-function
+    /// instruction counts, and later runs dispatch a profile-guided
+    /// superinstruction-fused program — all tiers value-, error- and
+    /// fuel-identical (see `mspec_lang::fuse`).
     ///
     /// # Errors
     ///
@@ -352,22 +504,64 @@ impl Specialised {
         runner: Runner,
         dynamic_args: Vec<Value>,
     ) -> Result<Value, PipelineError> {
-        let rp = resolve(self.residual.program.clone())?;
-        Ok(runner.run(&rp, &self.residual.entry, dynamic_args, DEFAULT_FUEL)?)
+        self.run_with_fuel(runner, dynamic_args, DEFAULT_FUEL)
+    }
+
+    /// [`Specialised::run_with`] under an explicit fuel budget (a budget
+    /// of `n` admits exactly `n` charges, identically at every tier).
+    ///
+    /// # Errors
+    ///
+    /// As [`Specialised::run`].
+    pub fn run_with_fuel(
+        &self,
+        runner: Runner,
+        dynamic_args: Vec<Value>,
+        fuel: u64,
+    ) -> Result<Value, PipelineError> {
+        match runner {
+            Runner::Tree => {
+                let rp = self.exec.resolved(&self.residual)?;
+                Ok(Evaluator::with_fuel(&rp, fuel).call(&self.residual.entry, dynamic_args)?)
+            }
+            Runner::Vm => self
+                .exec
+                .run_vm(&self.residual, &self.residual.entry, dynamic_args, fuel),
+        }
+    }
+
+    /// Where the tiered execution cache stands: what has been resolved,
+    /// compiled and fused so far, plus the fusion-pass counters (the
+    /// `vm.fused_*` telemetry feed).
+    pub fn exec_status(&self) -> ExecStatus {
+        self.exec.status()
     }
 
     /// Runs the residual program through the *compiled* evaluator
     /// (slot-resolved), returning the result and the number of
     /// evaluation steps it took — the residual-quality metric used by
-    /// the ablation experiments.
+    /// the ablation experiments. Budget: [`DEFAULT_FUEL`], the same
+    /// constant every other runner shares.
     ///
     /// # Errors
     ///
     /// As [`Specialised::run`].
     pub fn run_compiled(&self, dynamic_args: Vec<Value>) -> Result<(Value, u64), PipelineError> {
-        let rp = resolve(self.residual.program.clone())?;
+        self.run_compiled_with(dynamic_args, DEFAULT_FUEL)
+    }
+
+    /// [`Specialised::run_compiled`] under an explicit fuel budget.
+    ///
+    /// # Errors
+    ///
+    /// As [`Specialised::run`].
+    pub fn run_compiled_with(
+        &self,
+        dynamic_args: Vec<Value>,
+        budget: u64,
+    ) -> Result<(Value, u64), PipelineError> {
+        let rp = self.exec.resolved(&self.residual)?;
         let cp = mspec_lang::compile::compile_program(&rp);
-        let budget = 1_000_000_000;
         let mut ev = mspec_lang::compile::CEvaluator::with_fuel(&cp, budget);
         let v = ev.call_values(&self.residual.entry, dynamic_args)?;
         Ok((v, budget - ev.fuel_left()))
@@ -511,6 +705,83 @@ mod tests {
             run_source(POWER, "Power", "power", vec![Value::nat(3), Value::nat(2)]).unwrap(),
             Value::nat(8)
         );
+    }
+
+    #[test]
+    fn repeat_runs_tier_up_through_the_exec_cache() {
+        let p = Pipeline::from_source(POWER).unwrap();
+        let s = p
+            .specialise(
+                "Power",
+                "power",
+                vec![SpecArg::Static(Value::nat(64)), SpecArg::Dynamic],
+            )
+            .unwrap();
+        assert_eq!(s.exec_status(), ExecStatus::default());
+
+        // Run 1: resolve + compile cached, profiling run.
+        assert_eq!(s.run(vec![Value::nat(1)]).unwrap(), Value::nat(1));
+        let st = s.exec_status();
+        assert!(st.resolved && st.compiled && !st.fused, "{st:?}");
+
+        // Run 2: profile spent on the fusion pass; a residual this
+        // multiplication-heavy must fuse something.
+        assert_eq!(s.run(vec![Value::nat(1)]).unwrap(), Value::nat(1));
+        let st = s.exec_status();
+        assert!(st.fused, "{st:?}");
+        assert!(st.fuse_stats.total() > 0, "{st:?}");
+
+        // Run 3: fused dispatch, same values as ground truth.
+        assert_eq!(
+            s.run(vec![Value::nat(2)]).unwrap(),
+            s.run_with(Runner::Tree, vec![Value::nat(2)]).unwrap()
+        );
+
+        // Clones share the cache: no re-resolve/-compile/-fuse.
+        let clone = s.clone();
+        assert!(clone.exec_status().fused);
+    }
+
+    #[test]
+    fn explicit_fuel_budget_is_shared_across_tiers() {
+        let p = Pipeline::from_source(POWER).unwrap();
+        let s = p
+            .specialise("Power", "power", vec![SpecArg::Dynamic, SpecArg::Dynamic])
+            .unwrap();
+        // Find the exact VM spend out-of-band, then check the breach
+        // point is the same budget at every tier (runs 1..3 walk the
+        // tier ladder).
+        let args = || vec![Value::nat(6), Value::nat(2)];
+        let rp = resolve(s.residual.program.clone()).unwrap();
+        let bc = compile_bytecode(&rp).unwrap();
+        let mut vm = Vm::with_fuel(&bc, DEFAULT_FUEL);
+        vm.call(&s.residual.entry, args()).unwrap();
+        let spent = DEFAULT_FUEL - vm.fuel_left();
+        for _ in 0..3 {
+            assert!(s.run_with_fuel(Runner::Vm, args(), spent).is_ok());
+            assert!(matches!(
+                s.run_with_fuel(Runner::Vm, args(), spent - 1),
+                Err(PipelineError::Eval(mspec_lang::eval::EvalError::FuelExhausted))
+            ));
+        }
+    }
+
+    #[test]
+    fn run_compiled_uses_the_shared_default_budget() {
+        let p = Pipeline::from_source(POWER).unwrap();
+        let s = p
+            .specialise("Power", "power", vec![SpecArg::Dynamic, SpecArg::Dynamic])
+            .unwrap();
+        let (v, steps) = s.run_compiled(vec![Value::nat(3), Value::nat(2)]).unwrap();
+        assert_eq!(v, Value::nat(8));
+        assert!(steps > 0 && steps < DEFAULT_FUEL);
+        // The explicit-budget variant breaches exactly below the spend.
+        assert!(s
+            .run_compiled_with(vec![Value::nat(3), Value::nat(2)], steps)
+            .is_ok());
+        assert!(s
+            .run_compiled_with(vec![Value::nat(3), Value::nat(2)], steps - 1)
+            .is_err());
     }
 
     #[test]

@@ -88,6 +88,20 @@ pub enum Instr {
     /// Pop the current frame; return to the caller (fuel: 0). With no
     /// caller left, the operand-stack top is the program's result.
     Return,
+
+    // Fused superinstructions. Never emitted by [`compile`]; produced
+    // only by the peephole pass in [`crate::fuse`]. Each one charges
+    // exactly the fuel of its constituents, in constituent order, so
+    // `VmStats` and budget breaches are bit-identical to the unfused
+    // sequence (see the fuel-equivalence notes in `crate::fuse`).
+    /// Fused `Load s; Const c; Prim op` (binary `op` only; fuel: 3).
+    LoadConstPrim(u16, u32, PrimOp),
+    /// Fused `Load a; Load b; Prim op` (binary `op` only; fuel: 3).
+    LoadLoadPrim(u16, u16, PrimOp),
+    /// Fused `Const c; JumpIfFalse t` (fuel: 2).
+    ConstJumpIfFalse(u32, u32),
+    /// Fused `Prim op; Return` (fuel: 1 — `Return` is free).
+    PrimReturn(PrimOp),
 }
 
 /// A compiled top-level function.
@@ -152,6 +166,31 @@ impl BcProgram {
         self.fns.len()
     }
 
+    /// Number of chunks (functions + lambdas); chunk `k` is function
+    /// `k` for `k < fn_count()` and lambda `k - fn_count()` otherwise.
+    /// This is the indexing scheme shared by the VM's per-chunk
+    /// profile counters and [`crate::fuse`]'s chunk filter.
+    pub fn chunk_count(&self) -> usize {
+        self.fns.len() + self.lambdas.len()
+    }
+
+    /// Rebuilds a program from transformed parts ([`crate::fuse`]'s
+    /// constructor); the name index is derived from function-table
+    /// order, exactly as [`compile`] builds it.
+    pub(crate) fn from_parts(
+        code: Vec<Instr>,
+        consts: Vec<Const>,
+        fns: Vec<FnEntry>,
+        lambdas: Vec<LambdaEntry>,
+    ) -> BcProgram {
+        let index = fns
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name, i as u32))
+            .collect();
+        BcProgram { code, consts, fns, lambdas, index }
+    }
+
     /// A deterministic, human-readable listing of the whole program:
     /// constant pool, then each function and lambda chunk with absolute
     /// addresses. Used by the golden bytecode tests.
@@ -199,6 +238,14 @@ fn render(i: &Instr) -> String {
         Instr::Bind => "bind".to_string(),
         Instr::Unbind => "unbind".to_string(),
         Instr::Return => "return".to_string(),
+        Instr::LoadConstPrim(s, c, op) => {
+            format!("load+const+prim {s} c{c} {}", op.symbol())
+        }
+        Instr::LoadLoadPrim(a, b, op) => {
+            format!("load+load+prim {a} {b} {}", op.symbol())
+        }
+        Instr::ConstJumpIfFalse(c, t) => format!("const+jumpifnot c{c} {t:04}"),
+        Instr::PrimReturn(op) => format!("prim+return {}", op.symbol()),
     }
 }
 

@@ -1,0 +1,336 @@
+//! Peephole superinstruction fusion over [`crate::bytecode`].
+//!
+//! The tier-1 optimisation pass of the tiered execution layer: the
+//! dominant dyads/triads of residual hot loops — the instruction
+//! sequences the VM's profile counters expose — are fused into single
+//! superinstructions with dedicated arms in [`crate::vm`]'s dispatch
+//! loop:
+//!
+//! | window                    | fused instruction        |
+//! |---------------------------|--------------------------|
+//! | `Load; Const; Prim₂`      | [`Instr::LoadConstPrim`] |
+//! | `Load; Load; Prim₂`       | [`Instr::LoadLoadPrim`]  |
+//! | `Const; JumpIfFalse`      | [`Instr::ConstJumpIfFalse`] |
+//! | `Prim; Return`            | [`Instr::PrimReturn`]    |
+//!
+//! (`Prim₂` = binary primitive only: a unary primitive after two pushes
+//! consumes just one operand, so fusing it would change the stack
+//! protocol.)
+//!
+//! # Fuel equivalence
+//!
+//! Fusion is a *dispatch* optimisation, not a semantic one. Each fused
+//! arm in the VM charges [`Vm::spend`](crate::vm::Vm) once per
+//! constituent instruction, in the constituent order, and evaluates
+//! operands in the same order — so values, error classes, total fuel,
+//! [`crate::vm::VmStats`] and the exact instruction at which a tight
+//! budget breaches are all bit-identical to unfused execution. The
+//! differential suite (`tests/vm_differential.rs`) checks this on
+//! hundreds of random programs.
+//!
+//! # Jump safety
+//!
+//! A window is only fused when no interior address (every address of
+//! the window except the first) is a jump target or a chunk entry;
+//! fusion then *compacts* the stream — a real dispatch reduction, not
+//! `Nop` padding — and rewrites every jump target and every function
+//! and lambda entry through the old→new address map.
+//!
+//! # Profile-guided tiering
+//!
+//! [`fuse_chunks`] takes a per-chunk "hot" predicate (chunk `k` =
+//! function `k`, then lambdas — [`BcProgram::chunk_count`]'s scheme);
+//! the cached execution layer in `mspec-core` feeds it the VM's
+//! per-chunk instruction counters so only functions that actually burn
+//! fuel get rewritten. [`fuse`] fuses every chunk.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use crate::bytecode::{BcProgram, FnEntry, Instr, LambdaEntry};
+
+/// Per-pattern fusion counts for one pass; feeds the `vm.fused_*`
+/// telemetry counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuseStats {
+    /// `Load; Const; Prim` triads fused.
+    pub load_const_prim: u64,
+    /// `Load; Load; Prim` triads fused.
+    pub load_load_prim: u64,
+    /// `Const; JumpIfFalse` dyads fused.
+    pub const_jump_if_false: u64,
+    /// `Prim; Return` dyads fused.
+    pub prim_return: u64,
+}
+
+impl FuseStats {
+    /// Total fused windows.
+    pub fn total(&self) -> u64 {
+        self.load_const_prim + self.load_load_prim + self.const_jump_if_false + self.prim_return
+    }
+
+    /// `(counter-name, count)` pairs, in a fixed order, for telemetry.
+    pub fn pairs(&self) -> [(&'static str, u64); 4] {
+        [
+            ("vm.fused_load_const_prim", self.load_const_prim),
+            ("vm.fused_load_load_prim", self.load_load_prim),
+            ("vm.fused_const_jump_if_false", self.const_jump_if_false),
+            ("vm.fused_prim_return", self.prim_return),
+        ]
+    }
+}
+
+/// Fuses every chunk of a program. See the module docs for the
+/// catalogue and the invariants.
+pub fn fuse(bc: &BcProgram) -> (BcProgram, FuseStats) {
+    fuse_chunks(bc, |_| true)
+}
+
+/// Fuses only the chunks for which `hot` returns `true` (chunk `k` is
+/// function `k` for `k < fn_count()`, lambda `k - fn_count()`
+/// otherwise). Cold chunks are copied through unchanged — their
+/// addresses still move as hot chunks upstream compact, so all jump
+/// targets are rewritten regardless.
+pub fn fuse_chunks(bc: &BcProgram, hot: impl Fn(usize) -> bool) -> (BcProgram, FuseStats) {
+    let code = bc.code();
+    let len = code.len();
+
+    // Addresses that control flow can enter other than by falling
+    // through: jump targets plus every chunk entry. A fusion window may
+    // not contain one of these anywhere but its first address.
+    let mut target = vec![false; len + 1];
+    for i in code {
+        if let Instr::Jump(t) | Instr::JumpIfFalse(t) | Instr::ConstJumpIfFalse(_, t) = i {
+            target[*t as usize] = true;
+        }
+    }
+    for f in bc.fns() {
+        target[f.entry as usize] = true;
+    }
+    for l in bc.lambdas() {
+        target[l.entry as usize] = true;
+    }
+
+    // Chunk starts in address order. Chunks are concatenated functions
+    // first, then lambdas, so the concatenation order *is* address
+    // order and the scan below can advance a single cursor.
+    let mut starts: Vec<(u32, usize)> = bc
+        .fns()
+        .iter()
+        .enumerate()
+        .map(|(k, f)| (f.entry, k))
+        .chain(
+            bc.lambdas()
+                .iter()
+                .enumerate()
+                .map(|(k, l)| (l.entry, bc.fn_count() + k)),
+        )
+        .collect();
+    starts.sort_by_key(|(e, _)| *e);
+
+    let mut out: Vec<Instr> = Vec::with_capacity(len);
+    // map[old] = new address; interior addresses of a fused window map
+    // to the fused instruction (they are unreachable by construction,
+    // so this choice is defensive, not semantic).
+    let mut map = vec![0u32; len + 1];
+    let mut stats = FuseStats::default();
+    let mut pc = 0usize;
+    let mut next_start = 0usize;
+    let mut hot_chunk = false;
+    while pc < len {
+        while next_start < starts.len() && starts[next_start].0 as usize == pc {
+            hot_chunk = hot(starts[next_start].1);
+            next_start += 1;
+        }
+        let new_pc = out.len() as u32;
+        let fusable = |mut interior: std::ops::Range<usize>| interior.all(|a| !target[a]);
+        let window = if !hot_chunk {
+            None
+        } else {
+            match (code.get(pc), code.get(pc + 1), code.get(pc + 2)) {
+                (Some(Instr::Load(s)), Some(Instr::Const(c)), Some(Instr::Prim(op)))
+                    if op.arity() == 2 && fusable(pc + 1..pc + 3) =>
+                {
+                    stats.load_const_prim += 1;
+                    Some((Instr::LoadConstPrim(*s, *c, *op), 3))
+                }
+                (Some(Instr::Load(a)), Some(Instr::Load(b)), Some(Instr::Prim(op)))
+                    if op.arity() == 2 && fusable(pc + 1..pc + 3) =>
+                {
+                    stats.load_load_prim += 1;
+                    Some((Instr::LoadLoadPrim(*a, *b, *op), 3))
+                }
+                (Some(Instr::Const(c)), Some(Instr::JumpIfFalse(t)), _)
+                    if fusable(pc + 1..pc + 2) =>
+                {
+                    stats.const_jump_if_false += 1;
+                    Some((Instr::ConstJumpIfFalse(*c, *t), 2))
+                }
+                (Some(Instr::Prim(op)), Some(Instr::Return), _)
+                    if fusable(pc + 1..pc + 2) =>
+                {
+                    stats.prim_return += 1;
+                    Some((Instr::PrimReturn(*op), 2))
+                }
+                _ => None,
+            }
+        };
+        match window {
+            Some((fused, width)) => {
+                for m in &mut map[pc..pc + width] {
+                    *m = new_pc;
+                }
+                out.push(fused);
+                pc += width;
+            }
+            None => {
+                map[pc] = new_pc;
+                out.push(code[pc]);
+                pc += 1;
+            }
+        }
+    }
+    map[len] = out.len() as u32;
+
+    // Rewrite jump targets through the address map. Targets always
+    // land on non-interior addresses (checked above), so the map is
+    // exact for them.
+    for i in &mut out {
+        match i {
+            Instr::Jump(t) | Instr::JumpIfFalse(t) | Instr::ConstJumpIfFalse(_, t) => {
+                *t = map[*t as usize];
+            }
+            _ => {}
+        }
+    }
+    let fns: Vec<FnEntry> = bc
+        .fns()
+        .iter()
+        .map(|f| FnEntry { entry: map[f.entry as usize], ..f.clone() })
+        .collect();
+    let lambdas: Vec<LambdaEntry> = bc
+        .lambdas()
+        .iter()
+        .map(|l| LambdaEntry { entry: map[l.entry as usize], captures: l.captures.clone() })
+        .collect();
+
+    (
+        BcProgram::from_parts(out, bc.consts().to_vec(), fns, lambdas),
+        stats,
+    )
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::ast::QualName;
+    use crate::bytecode::compile;
+    use crate::eval::{Value, DEFAULT_FUEL};
+    use crate::parser::parse_program;
+    use crate::resolve::resolve;
+    use crate::vm::Vm;
+
+    fn both(src: &str) -> (BcProgram, BcProgram, FuseStats) {
+        let rp = resolve(parse_program(src).unwrap()).unwrap();
+        let bc = compile(&rp).unwrap();
+        let (fused, stats) = fuse(&bc);
+        (bc, fused, stats)
+    }
+
+    const POWER: &str = "module Power where\n\
+         power n x = if n == 1 then x else x * power (n - 1) x\n\
+         main y = power 9 y\n";
+
+    #[test]
+    fn power_fuses_and_agrees_on_value_and_fuel() {
+        let (bc, fused, stats) = both(POWER);
+        assert!(stats.total() > 0, "{stats:?}");
+        assert!(fused.code().len() < bc.code().len());
+        let main = QualName::new("Power", "main");
+        let mut a = Vm::with_fuel(&bc, DEFAULT_FUEL);
+        let mut b = Vm::with_fuel(&fused, DEFAULT_FUEL);
+        let va = a.call(&main, vec![Value::nat(2)]).unwrap();
+        let vb = b.call(&main, vec![Value::nat(2)]).unwrap();
+        assert_eq!(va, vb);
+        assert_eq!(a.fuel_left(), b.fuel_left(), "fuel contract violated");
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn budget_breach_point_is_identical() {
+        let (bc, fused, _) = both(POWER);
+        let main = QualName::new("Power", "main");
+        // Find the exact spend of a full run, then probe every budget
+        // below it: both programs must fail at exactly the same budgets.
+        let mut vm = Vm::with_fuel(&bc, DEFAULT_FUEL);
+        vm.call(&main, vec![Value::nat(2)]).unwrap();
+        let spent = DEFAULT_FUEL - vm.fuel_left();
+        for budget in 0..spent {
+            let ra = Vm::with_fuel(&bc, budget).call(&main, vec![Value::nat(2)]);
+            let rb = Vm::with_fuel(&fused, budget).call(&main, vec![Value::nat(2)]);
+            assert_eq!(ra, rb, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn jump_targets_stay_in_bounds_and_non_interior() {
+        let (_, fused, _) = both(
+            "module M where\n\
+             f x = if x == 0 then 1 else if x == 1 then 2 else f (x - 2)\n\
+             g y = (\\v -> if v < y then v + 1 else v) @ y\n",
+        );
+        for i in fused.code() {
+            if let Instr::Jump(t) | Instr::JumpIfFalse(t) | Instr::ConstJumpIfFalse(_, t) = i {
+                assert!((*t as usize) <= fused.code().len());
+            }
+        }
+        for f in fused.fns() {
+            assert!((f.entry as usize) < fused.code().len());
+        }
+        for l in fused.lambdas() {
+            assert!((l.entry as usize) < fused.code().len());
+        }
+    }
+
+    #[test]
+    fn cold_chunks_are_left_unfused() {
+        let src = "module M where\n\
+                   hot x = x + 1\n\
+                   cold x = x + 2\n";
+        let rp = resolve(parse_program(src).unwrap()).unwrap();
+        let bc = compile(&rp).unwrap();
+        let (fused, stats) = fuse_chunks(&bc, |k| k == 0);
+        // Only `hot` (chunk 0) was rewritten: one Load+Const+Prim triad.
+        assert_eq!(stats.total(), 1, "{stats:?}");
+        let dis = fused.disassemble();
+        assert!(dis.contains("load+const+prim"), "{dis}");
+        // `cold` still carries the unfused sequence.
+        let cold_entry = fused.fns()[1].entry as usize;
+        assert!(matches!(fused.code()[cold_entry], Instr::Load(_)), "{dis}");
+    }
+
+    #[test]
+    fn unary_prims_are_never_fused_into_dyadic_windows() {
+        // `null` after two pushes pops only one operand; fusing it into
+        // LoadLoadPrim would corrupt the stack protocol. (`Prim+Return`
+        // fusion of unary prims is fine and expected.)
+        let (_, fused, _) = both("module M where\nf xs ys = if null ys then xs else ys\n");
+        for i in fused.code() {
+            if let Instr::LoadConstPrim(_, _, op) | Instr::LoadLoadPrim(_, _, op) = i {
+                assert_eq!(op.arity(), 2, "fused unary {op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fusing_twice_is_idempotent_enough_to_stay_correct() {
+        // Not a required property, but the pass must at least not
+        // corrupt an already-fused program if applied again.
+        let (bc, fused, _) = both(POWER);
+        let (refused, _) = fuse(&fused);
+        let main = QualName::new("Power", "main");
+        let va = Vm::with_fuel(&bc, DEFAULT_FUEL).call(&main, vec![Value::nat(3)]);
+        let vb = Vm::with_fuel(&refused, DEFAULT_FUEL).call(&main, vec![Value::nat(3)]);
+        assert_eq!(va, vb);
+    }
+}

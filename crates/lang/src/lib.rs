@@ -26,6 +26,10 @@
 //!   to a flat instruction stream and an explicit-stack VM with no host
 //!   recursion, fuel-metered to the same totals as [`eval`]; the
 //!   [`vm::Runner`] enum selects between the two execution engines,
+//! * [`fuse`] — the tier-1 peephole superinstruction pass: dominant
+//!   dyads/triads fused into single instructions with dedicated VM
+//!   dispatch arms, fuel- and value-identical to unfused execution
+//!   (selected by [`vm::VmOpt`]),
 //! * [`builder`] — an ergonomic API for constructing programs in Rust
 //!   (used by tests, examples and workload generators).
 //!
@@ -55,6 +59,7 @@ pub mod bytecode;
 pub mod compile;
 pub mod error;
 pub mod eval;
+pub mod fuse;
 pub mod intern;
 pub mod json;
 pub mod lexer;
@@ -66,7 +71,8 @@ pub mod span;
 pub mod vm;
 
 pub use ast::{CallName, Def, Expr, Ident, ModName, Module, PrimOp, Program, QualName};
-pub use vm::{Runner, VmStats};
+pub use fuse::FuseStats;
+pub use vm::{Runner, VmOpt, VmStats};
 pub use error::LangError;
 pub use intern::Sym;
 pub use json::{FromJson, Json, JsonError, ToJson};

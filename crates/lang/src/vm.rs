@@ -198,11 +198,13 @@ impl fmt::Display for VmVal {
 }
 
 /// One call frame: the function's (or lambda's) local slots plus where
-/// to resume in the caller.
+/// to resume in the caller, and which chunk the caller was executing
+/// (profile attribution only — control flow never reads it).
 #[derive(Debug)]
 struct Frame {
     locals: Vec<VmVal>,
     ret_pc: usize,
+    ret_chunk: usize,
 }
 
 fn internal(what: &str) -> EvalError {
@@ -245,18 +247,23 @@ pub struct Vm<'p> {
     bc: &'p BcProgram,
     fuel: u64,
     stats: VmStats,
+    /// Per-chunk fuel-charging instruction counts (chunk `k` = function
+    /// `k`, then lambdas — [`BcProgram::chunk_count`]'s scheme). `None`
+    /// unless [`Vm::enable_profiling`] was called; attribution happens
+    /// only at frame transitions, so the hot dispatch path is untouched.
+    profile: Option<Vec<u64>>,
 }
 
 impl<'p> Vm<'p> {
     /// Creates a VM with [`DEFAULT_FUEL`].
     pub fn new(bc: &'p BcProgram) -> Vm<'p> {
-        Vm { bc, fuel: DEFAULT_FUEL, stats: VmStats::default() }
+        Vm { bc, fuel: DEFAULT_FUEL, stats: VmStats::default(), profile: None }
     }
 
     /// Creates a VM with a custom step budget (a budget of `n` admits
     /// exactly `n` fuel-charging instructions).
     pub fn with_fuel(bc: &'p BcProgram, fuel: u64) -> Vm<'p> {
-        Vm { bc, fuel, stats: VmStats::default() }
+        Vm { bc, fuel, stats: VmStats::default(), profile: None }
     }
 
     /// Remaining fuel.
@@ -267,6 +274,23 @@ impl<'p> Vm<'p> {
     /// Execution counters accumulated so far (across calls).
     pub fn stats(&self) -> VmStats {
         self.stats
+    }
+
+    /// Turns on per-chunk profiling: fuel-charging instruction counts
+    /// attributed to the chunk executing them, flushed at frame
+    /// transitions. This is the measurement feeding profile-guided
+    /// fusion ([`crate::fuse::fuse_chunks`]); fuel metering and
+    /// [`VmStats`] are unaffected.
+    pub fn enable_profiling(&mut self) {
+        self.profile = Some(vec![0; self.bc.chunk_count()]);
+    }
+
+    /// Per-chunk instruction counts, if profiling was enabled. A run
+    /// that ended in an error loses only the segment since its last
+    /// frame transition — hot loops transition constantly, so counts
+    /// remain representative.
+    pub fn profile(&self) -> Option<&[u64]> {
+        self.profile.as_deref()
     }
 
     #[inline]
@@ -310,17 +334,33 @@ impl<'p> Vm<'p> {
             .iter()
             .map(VmVal::from_value)
             .collect::<Result<Vec<_>, _>>()?;
-        self.run_at(f.entry, locals)?.to_value()
+        self.run_at(f.entry, idx as usize, locals)?.to_value()
     }
 
-    /// The dispatch loop: executes from `entry` with the given frame
-    /// until the outermost chunk returns.
-    fn run_at(&mut self, entry: u32, locals: Vec<VmVal>) -> Result<VmVal, EvalError> {
+    /// Flushes the instruction delta since `mark` onto `chunk`'s
+    /// profile counter (no-op when profiling is off).
+    #[inline]
+    fn attribute(&mut self, chunk: usize, mark: &mut u64) {
+        if let Some(p) = self.profile.as_mut() {
+            if let Some(slot) = p.get_mut(chunk) {
+                *slot += self.stats.instructions - *mark;
+            }
+            *mark = self.stats.instructions;
+        }
+    }
+
+    /// The dispatch loop: executes from `entry` (an address in chunk
+    /// `chunk`) with the given frame until the outermost chunk returns.
+    fn run_at(&mut self, entry: u32, chunk: usize, locals: Vec<VmVal>) -> Result<VmVal, EvalError> {
         let code = self.bc.code();
         let mut stack: Vec<VmVal> = Vec::with_capacity(32);
-        let mut frames: Vec<Frame> = vec![Frame { locals, ret_pc: 0 }];
+        let mut frames: Vec<Frame> = vec![Frame { locals, ret_pc: 0, ret_chunk: chunk }];
         self.note_depth(frames.len(), stack.len());
         let mut pc = entry as usize;
+        // Profile attribution state: instructions spent since `mark`
+        // belong to `cur_chunk`; flushed at every frame transition.
+        let mut cur_chunk = chunk;
+        let mut mark = self.stats.instructions;
         loop {
             let instr = *code.get(pc).ok_or_else(|| internal("pc out of bounds"))?;
             match instr {
@@ -387,8 +427,12 @@ impl<'p> Vm<'p> {
                         return Err(internal("stack underflow"));
                     }
                     let locals = stack.split_off(stack.len() - n);
-                    frames.push(Frame { locals, ret_pc: pc + 1 });
+                    frames.push(Frame { locals, ret_pc: pc + 1, ret_chunk: cur_chunk });
                     self.note_depth(frames.len(), stack.len());
+                    if self.profile.is_some() {
+                        self.attribute(cur_chunk, &mut mark);
+                    }
+                    cur_chunk = i as usize;
                     pc = f.entry as usize;
                 }
                 Instr::MakeClosure(l) => {
@@ -425,8 +469,12 @@ impl<'p> Vm<'p> {
                                 .ok_or_else(|| internal("lambda index out of range"))?;
                             let mut locals = c.env.clone();
                             locals.push(arg);
-                            frames.push(Frame { locals, ret_pc: pc + 1 });
+                            frames.push(Frame { locals, ret_pc: pc + 1, ret_chunk: cur_chunk });
                             self.note_depth(frames.len(), stack.len());
+                            if self.profile.is_some() {
+                                self.attribute(cur_chunk, &mut mark);
+                            }
+                            cur_chunk = self.bc.fn_count() + c.lambda as usize;
                             pc = lam.entry as usize;
                         }
                         other => {
@@ -457,9 +505,106 @@ impl<'p> Vm<'p> {
                 }
                 Instr::Return => {
                     let fr = frames.pop().ok_or_else(|| internal("no frame"))?;
+                    if self.profile.is_some() {
+                        self.attribute(cur_chunk, &mut mark);
+                    }
+                    cur_chunk = fr.ret_chunk;
                     if frames.is_empty() {
                         return stack.pop().ok_or_else(|| internal("stack underflow"));
                     }
+                    pc = fr.ret_pc;
+                }
+
+                // Fused superinstructions ([`crate::fuse`]): each arm
+                // spends once per constituent, in constituent order,
+                // and evaluates operands in the unfused order, so fuel
+                // totals, `VmStats` and budget-breach points are
+                // bit-identical to the unfused sequence. What they skip
+                // is dispatch and operand-stack traffic — the
+                // intermediates never touch `stack`, which is safe for
+                // `VmStats::max_stack` because stack depth is sampled
+                // only at frame pushes and no fused window contains one.
+                Instr::LoadConstPrim(s, c, op) => {
+                    self.spend()?; // Load
+                    let fr = frames.last().ok_or_else(|| internal("no frame"))?;
+                    let a = fr
+                        .locals
+                        .get(s as usize)
+                        .ok_or_else(|| internal("slot out of range"))?;
+                    self.spend()?; // Const
+                    let k = *self
+                        .bc
+                        .consts()
+                        .get(c as usize)
+                        .ok_or_else(|| internal("constant index out of range"))?;
+                    let b = match k {
+                        Const::Nat(n) => VmVal::Nat(n),
+                        Const::Bool(b) => VmVal::Bool(b),
+                        Const::Nil => VmVal::Nil,
+                    };
+                    self.spend()?; // Prim
+                    let r = apply_prim2(op, a, &b)?;
+                    stack.push(r);
+                    pc += 1;
+                }
+                Instr::LoadLoadPrim(a, b, op) => {
+                    self.spend()?; // Load a
+                    self.spend()?; // Load b
+                    let fr = frames.last().ok_or_else(|| internal("no frame"))?;
+                    let va = fr
+                        .locals
+                        .get(a as usize)
+                        .ok_or_else(|| internal("slot out of range"))?;
+                    let vb = fr
+                        .locals
+                        .get(b as usize)
+                        .ok_or_else(|| internal("slot out of range"))?;
+                    self.spend()?; // Prim
+                    let r = apply_prim2(op, va, vb)?;
+                    stack.push(r);
+                    pc += 1;
+                }
+                Instr::ConstJumpIfFalse(c, t) => {
+                    self.spend()?; // Const
+                    let k = *self
+                        .bc
+                        .consts()
+                        .get(c as usize)
+                        .ok_or_else(|| internal("constant index out of range"))?;
+                    self.spend()?; // JumpIfFalse
+                    match k {
+                        Const::Bool(true) => pc += 1,
+                        Const::Bool(false) => pc = t as usize,
+                        // `Const`'s Display matches `VmVal`'s for
+                        // first-order values, so the message is the
+                        // same one the unfused arm produces.
+                        other => {
+                            return Err(EvalError::TypeMismatch(format!(
+                                "if condition must be boolean, got {other}"
+                            )))
+                        }
+                    }
+                }
+                Instr::PrimReturn(op) => {
+                    self.spend()?; // Prim
+                    let r = if op.arity() == 1 {
+                        let a = stack.pop().ok_or_else(|| internal("stack underflow"))?;
+                        apply_prim1(op, &a)?
+                    } else {
+                        let b = stack.pop().ok_or_else(|| internal("stack underflow"))?;
+                        let a = stack.pop().ok_or_else(|| internal("stack underflow"))?;
+                        apply_prim2(op, &a, &b)?
+                    };
+                    // Return (fuel: 0)
+                    let fr = frames.pop().ok_or_else(|| internal("no frame"))?;
+                    if self.profile.is_some() {
+                        self.attribute(cur_chunk, &mut mark);
+                    }
+                    cur_chunk = fr.ret_chunk;
+                    if frames.is_empty() {
+                        return Ok(r);
+                    }
+                    stack.push(r);
                     pc = fr.ret_pc;
                 }
             }
@@ -534,6 +679,46 @@ pub enum Runner {
     Vm,
 }
 
+/// Which tier-1 optimisation level the VM runs at. `None` executes the
+/// bytecode exactly as compiled; `Fuse` applies the peephole
+/// superinstruction pass ([`crate::fuse`]) first. Both levels are
+/// value-, error- and fuel-identical — the choice is purely a
+/// dispatch-cost trade (fusing costs one pass over the code stream,
+/// worth it for anything that runs more than once or loops at all).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VmOpt {
+    /// Execute the compiled bytecode unmodified.
+    #[default]
+    None,
+    /// Run the superinstruction fusion pass before execution.
+    Fuse,
+}
+
+impl VmOpt {
+    /// Parses an optimisation-level name, as written on the CLI.
+    pub fn parse(s: &str) -> Option<VmOpt> {
+        match s {
+            "none" => Some(VmOpt::None),
+            "fuse" => Some(VmOpt::Fuse),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            VmOpt::None => "none",
+            VmOpt::Fuse => "fuse",
+        }
+    }
+}
+
+impl fmt::Display for VmOpt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 impl Runner {
     /// Parses a runner name, as written on the CLI.
     pub fn parse(s: &str) -> Option<Runner> {
@@ -567,10 +752,31 @@ impl Runner {
         args: Vec<Value>,
         fuel: u64,
     ) -> Result<Value, EvalError> {
+        self.run_opt(rp, entry, args, fuel, VmOpt::None)
+    }
+
+    /// [`Runner::run`] at an explicit tier-1 optimisation level.
+    /// [`Runner::Tree`] ignores the level (tier 0 has no bytecode).
+    ///
+    /// # Errors
+    ///
+    /// As [`Runner::run`].
+    pub fn run_opt(
+        self,
+        rp: &ResolvedProgram,
+        entry: &QualName,
+        args: Vec<Value>,
+        fuel: u64,
+        opt: VmOpt,
+    ) -> Result<Value, EvalError> {
         match self {
             Runner::Tree => Evaluator::with_fuel(rp, fuel).call(entry, args),
             Runner::Vm => {
                 let bc = compile(rp).map_err(bc_error)?;
+                let bc = match opt {
+                    VmOpt::None => bc,
+                    VmOpt::Fuse => crate::fuse::fuse(&bc).0,
+                };
                 Vm::with_fuel(&bc, fuel).call(entry, args)
             }
         }

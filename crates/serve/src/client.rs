@@ -16,7 +16,7 @@
 //! RNG dependency), seeded from the clock and PID, because a thundering
 //! herd of deterministic clients would re-collide on every retry.
 
-use crate::proto::{Request, RequestKind, Response, ResponseBody, SpecRequest};
+use crate::proto::{Request, RequestKind, Response, ResponseBody, RunRequest, SpecRequest};
 use mspec_lang::json::{FromJson, ToJson};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -180,6 +180,16 @@ impl Client {
     /// As [`Client::request`].
     pub fn spec(&mut self, spec: SpecRequest) -> Result<Response, ClientError> {
         self.request(RequestKind::Spec(spec))
+    }
+
+    /// Convenience: a `run` request (specialise, then execute the
+    /// residual on the daemon's resident VM).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn run(&mut self, run: RunRequest) -> Result<Response, ClientError> {
+        self.request(RequestKind::Run(run))
     }
 
     /// Convenience: a `health` request.
@@ -360,6 +370,33 @@ mod tests {
         assert!(residual.contains("x * (x * x)"), "{residual}");
         let resp = client.health().unwrap();
         assert!(matches!(resp.body, ResponseBody::Health { .. }));
+        client.shutdown().unwrap();
+        handle.join();
+    }
+
+    #[test]
+    fn run_roundtrip_reports_warm_caches() {
+        use mspec_lang::vm::VmOpt;
+
+        let cfg = ServeConfig { vm_opt: VmOpt::Fuse, ..ServeConfig::default() };
+        let server = Server::new(cfg, Recorder::disabled());
+        let handle = server.start_tcp().unwrap();
+        let mut client = Client::tcp(format!("127.0.0.1:{}", handle.port));
+        let req = RunRequest {
+            spec: SpecRequest::inline(POWER, "Power.power", "S:4,D"),
+            values: "5".to_string(),
+            run_fuel: None,
+        };
+        let resp = client.run(req.clone()).unwrap();
+        let ResponseBody::Run { value, compiled_hit, .. } = resp.body else { panic!("{resp:?}") };
+        assert_eq!(value, "625");
+        assert!(!compiled_hit);
+        let resp = client.run(req).unwrap();
+        let ResponseBody::Run { value, memo_hit, compiled_hit, .. } = resp.body else {
+            panic!("{resp:?}")
+        };
+        assert_eq!(value, "625");
+        assert!(memo_hit && compiled_hit);
         client.shutdown().unwrap();
         handle.join();
     }

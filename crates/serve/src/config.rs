@@ -5,6 +5,7 @@
 //! error names the *knob the user actually turned* — the `--flag` or
 //! the `MSPEC_*` environment variable — never a bare "invalid value".
 
+use mspec_lang::vm::VmOpt;
 use std::fmt;
 
 /// One tunable server knob. Each knob has a command-line flag and an
@@ -159,6 +160,10 @@ pub struct ServeConfig {
     pub chaos: bool,
     /// Write a JSONL telemetry trace to this path on shutdown.
     pub trace_path: Option<String>,
+    /// Bytecode tier for `run` requests: [`VmOpt::Fuse`] sends every
+    /// residual through the superinstruction pass before it enters the
+    /// compiled-program cache (`--vm-opt fuse`).
+    pub vm_opt: VmOpt,
 }
 
 impl Default for ServeConfig {
@@ -172,6 +177,7 @@ impl Default for ServeConfig {
             workers: 2,
             chaos: false,
             trace_path: None,
+            vm_opt: VmOpt::None,
         }
     }
 }

@@ -50,8 +50,8 @@ pub use client::{Client, ClientError, RetryPolicy};
 pub use config::{KnobOrigin, ServeConfig, ServeConfigError, ServeKnob};
 pub use proto::{
     parse_division, parse_value, parse_values, ErrorClass, ErrorInfo, Request, RequestKind,
-    Response, ResponseBody, SpecRequest,
+    Response, ResponseBody, RunRequest, SpecRequest,
 };
 pub use queue::{BoundedQueue, PushError};
-pub use resident::{Resident, ResidentStats, SpecOutcome};
+pub use resident::{Resident, ResidentStats, RunOutcome, SpecOutcome};
 pub use server::{Server, ServerStats, TcpHandle};

@@ -13,6 +13,7 @@
 //! | kind       | fields                                              |
 //! |------------|-----------------------------------------------------|
 //! | `spec`     | `program` (inline source) *or* `dir` (`.gx` artefact directory), `entry`, `args` (a division: `S:<v>`, `D`, `P:<n>`), optional `fuel`, `max_spec`, `on_exhaustion`, `strategy`, `deadline_ms` |
+//! | `run`      | every `spec` field, plus `values` (comma-separated dynamic argument literals) and optional `run_fuel` — specialises (or memo-hits), then *executes* the residual on the resident compiled-bytecode cache |
 //! | `health`   | — (liveness + counters snapshot)                    |
 //! | `stats`    | — (full counter dump)                               |
 //! | `fault`    | — (panics the worker; only honoured under `--chaos`)|
@@ -59,6 +60,9 @@ pub struct Request {
 pub enum RequestKind {
     /// Specialise an entry function of a program.
     Spec(SpecRequest),
+    /// Specialise (or serve from the memo), then execute the residual
+    /// on dynamic values through the resident compiled-program cache.
+    Run(RunRequest),
     /// Liveness + headline counters.
     Health,
     /// Full counter dump.
@@ -114,6 +118,22 @@ impl SpecRequest {
     }
 }
 
+/// One specialise-then-execute request: the embedded [`SpecRequest`]
+/// names (or produces) the residual; `values` are the dynamic inputs
+/// it runs on. Warm requests skip the engine *and* the bytecode
+/// compiler — the resident caches answer both by the same identity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRequest {
+    /// The specialisation that produces (or names) the residual.
+    pub spec: SpecRequest,
+    /// Dynamic argument values, comma-separated literals
+    /// (see [`parse_values`]).
+    pub values: String,
+    /// Execution fuel for the residual run (default: the engine-wide
+    /// `DEFAULT_FUEL`; a budget of `n` admits exactly `n` charges).
+    pub run_fuel: Option<u64>,
+}
+
 /// A server response frame.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Response {
@@ -139,6 +159,21 @@ pub enum ResponseBody {
         /// Whether this reply came from the resident cross-request
         /// memo rather than a fresh engine run.
         memo_hit: bool,
+    },
+    /// A finished residual execution.
+    Run {
+        /// Residual entry function, `Module.function`.
+        entry: String,
+        /// The computed value, rendered as the CLI renders values.
+        value: String,
+        /// Whether the specialisation came from the resident memo.
+        memo_hit: bool,
+        /// Whether the compiled bytecode came from the resident
+        /// compiled-program cache (a warm run: no engine, no compile,
+        /// straight to fused dispatch).
+        compiled_hit: bool,
+        /// Fuel-charging VM instructions the run executed.
+        instructions: u64,
     },
     /// Health snapshot.
     Health {
@@ -313,6 +348,32 @@ fn counters_from_json(j: &Json) -> Result<Vec<(String, u64)>, JsonError> {
         .collect()
 }
 
+fn push_spec_fields(s: &SpecRequest, fields: &mut Vec<(String, Json)>) {
+    if let Some(p) = &s.program {
+        fields.push(("program".into(), Json::str(p.clone())));
+    }
+    if let Some(d) = &s.dir {
+        fields.push(("dir".into(), Json::str(d.clone())));
+    }
+    fields.push(("entry".into(), Json::str(s.entry.clone())));
+    fields.push(("args".into(), Json::str(s.args.clone())));
+    if let Some(fuel) = s.fuel {
+        fields.push(("fuel".into(), Json::Num(fuel as u128)));
+    }
+    if let Some(m) = s.max_spec {
+        fields.push(("max_spec".into(), Json::Num(m as u128)));
+    }
+    if s.on_exhaustion == OnExhaustion::Generalise {
+        fields.push(("on_exhaustion".into(), Json::str("generalise")));
+    }
+    if s.strategy == Strategy::DepthFirst {
+        fields.push(("strategy".into(), Json::str("df")));
+    }
+    if let Some(d) = s.deadline_ms {
+        fields.push(("deadline_ms".into(), Json::Num(d as u128)));
+    }
+}
+
 impl ToJson for Request {
     fn to_json_value(&self) -> Json {
         let mut fields = vec![("id".to_string(), Json::Num(self.id as u128))];
@@ -323,33 +384,81 @@ impl ToJson for Request {
             RequestKind::Shutdown => fields.push(("kind".into(), Json::str("shutdown"))),
             RequestKind::Spec(s) => {
                 fields.push(("kind".into(), Json::str("spec")));
-                if let Some(p) = &s.program {
-                    fields.push(("program".into(), Json::str(p.clone())));
-                }
-                if let Some(d) = &s.dir {
-                    fields.push(("dir".into(), Json::str(d.clone())));
-                }
-                fields.push(("entry".into(), Json::str(s.entry.clone())));
-                fields.push(("args".into(), Json::str(s.args.clone())));
-                if let Some(fuel) = s.fuel {
-                    fields.push(("fuel".into(), Json::Num(fuel as u128)));
-                }
-                if let Some(m) = s.max_spec {
-                    fields.push(("max_spec".into(), Json::Num(m as u128)));
-                }
-                if s.on_exhaustion == OnExhaustion::Generalise {
-                    fields.push(("on_exhaustion".into(), Json::str("generalise")));
-                }
-                if s.strategy == Strategy::DepthFirst {
-                    fields.push(("strategy".into(), Json::str("df")));
-                }
-                if let Some(d) = s.deadline_ms {
-                    fields.push(("deadline_ms".into(), Json::Num(d as u128)));
+                push_spec_fields(s, &mut fields);
+            }
+            RequestKind::Run(r) => {
+                fields.push(("kind".into(), Json::str("run")));
+                push_spec_fields(&r.spec, &mut fields);
+                fields.push(("values".into(), Json::str(r.values.clone())));
+                if let Some(f) = r.run_fuel {
+                    fields.push(("run_fuel".into(), Json::Num(f as u128)));
                 }
             }
         }
         Json::Obj(fields)
     }
+}
+
+fn spec_from_json(j: &Json) -> Result<SpecRequest, JsonError> {
+    let program = match j.get("program") {
+        Ok(v) => Some(v.as_str()?.to_string()),
+        Err(_) => None,
+    };
+    let dir = match j.get("dir") {
+        Ok(v) => Some(v.as_str()?.to_string()),
+        Err(_) => None,
+    };
+    if program.is_some() == dir.is_some() {
+        return Err(JsonError(
+            "spec needs exactly one of `program` (inline source) or `dir` \
+             (artefact directory)"
+                .into(),
+        ));
+    }
+    let on_exhaustion = match j.get("on_exhaustion") {
+        Ok(v) => match v.as_str()? {
+            "error" => OnExhaustion::Error,
+            "generalise" => OnExhaustion::Generalise,
+            other => {
+                return Err(JsonError(format!(
+                    "on_exhaustion must be error or generalise, got `{other}`"
+                )))
+            }
+        },
+        Err(_) => OnExhaustion::Error,
+    };
+    let strategy = match j.get("strategy") {
+        Ok(v) => match v.as_str()? {
+            "bf" => Strategy::BreadthFirst,
+            "df" => Strategy::DepthFirst,
+            other => {
+                return Err(JsonError(format!(
+                    "strategy must be bf or df, got `{other}`"
+                )))
+            }
+        },
+        Err(_) => Strategy::BreadthFirst,
+    };
+    Ok(SpecRequest {
+        program,
+        dir,
+        entry: j.get("entry")?.as_str()?.to_string(),
+        args: j.get("args")?.as_str()?.to_string(),
+        fuel: match j.get("fuel") {
+            Ok(v) => Some(v.as_u64()?),
+            Err(_) => None,
+        },
+        max_spec: match j.get("max_spec") {
+            Ok(v) => Some(v.as_usize()?),
+            Err(_) => None,
+        },
+        on_exhaustion,
+        strategy,
+        deadline_ms: match j.get("deadline_ms") {
+            Ok(v) => Some(v.as_u64()?),
+            Err(_) => None,
+        },
+    })
 }
 
 impl FromJson for Request {
@@ -360,67 +469,15 @@ impl FromJson for Request {
             "stats" => RequestKind::Stats,
             "fault" => RequestKind::Fault,
             "shutdown" => RequestKind::Shutdown,
-            "spec" => {
-                let program = match j.get("program") {
-                    Ok(v) => Some(v.as_str()?.to_string()),
+            "spec" => RequestKind::Spec(spec_from_json(j)?),
+            "run" => RequestKind::Run(RunRequest {
+                spec: spec_from_json(j)?,
+                values: j.get("values")?.as_str()?.to_string(),
+                run_fuel: match j.get("run_fuel") {
+                    Ok(v) => Some(v.as_u64()?),
                     Err(_) => None,
-                };
-                let dir = match j.get("dir") {
-                    Ok(v) => Some(v.as_str()?.to_string()),
-                    Err(_) => None,
-                };
-                if program.is_some() == dir.is_some() {
-                    return Err(JsonError(
-                        "spec needs exactly one of `program` (inline source) or `dir` \
-                         (artefact directory)"
-                            .into(),
-                    ));
-                }
-                let on_exhaustion = match j.get("on_exhaustion") {
-                    Ok(v) => match v.as_str()? {
-                        "error" => OnExhaustion::Error,
-                        "generalise" => OnExhaustion::Generalise,
-                        other => {
-                            return Err(JsonError(format!(
-                                "on_exhaustion must be error or generalise, got `{other}`"
-                            )))
-                        }
-                    },
-                    Err(_) => OnExhaustion::Error,
-                };
-                let strategy = match j.get("strategy") {
-                    Ok(v) => match v.as_str()? {
-                        "bf" => Strategy::BreadthFirst,
-                        "df" => Strategy::DepthFirst,
-                        other => {
-                            return Err(JsonError(format!(
-                                "strategy must be bf or df, got `{other}`"
-                            )))
-                        }
-                    },
-                    Err(_) => Strategy::BreadthFirst,
-                };
-                RequestKind::Spec(SpecRequest {
-                    program,
-                    dir,
-                    entry: j.get("entry")?.as_str()?.to_string(),
-                    args: j.get("args")?.as_str()?.to_string(),
-                    fuel: match j.get("fuel") {
-                        Ok(v) => Some(v.as_u64()?),
-                        Err(_) => None,
-                    },
-                    max_spec: match j.get("max_spec") {
-                        Ok(v) => Some(v.as_usize()?),
-                        Err(_) => None,
-                    },
-                    on_exhaustion,
-                    strategy,
-                    deadline_ms: match j.get("deadline_ms") {
-                        Ok(v) => Some(v.as_u64()?),
-                        Err(_) => None,
-                    },
-                })
-            }
+                },
+            }),
             other => return Err(JsonError(format!("unknown request kind `{other}`"))),
         };
         Ok(Request { id, kind })
@@ -438,6 +495,15 @@ impl ToJson for Response {
                 fields.push(("residual".into(), Json::str(residual.clone())));
                 fields.push(("stats".into(), stats_to_json(stats)));
                 fields.push(("memo_hit".into(), Json::Bool(*memo_hit)));
+            }
+            ResponseBody::Run { entry, value, memo_hit, compiled_hit, instructions } => {
+                fields.push(("ok".into(), Json::Bool(true)));
+                fields.push(("kind".into(), Json::str("run")));
+                fields.push(("entry".into(), Json::str(entry.clone())));
+                fields.push(("value".into(), Json::str(value.clone())));
+                fields.push(("memo_hit".into(), Json::Bool(*memo_hit)));
+                fields.push(("compiled_hit".into(), Json::Bool(*compiled_hit)));
+                fields.push(("instructions".into(), Json::Num(*instructions as u128)));
             }
             ResponseBody::Health { uptime_ms, counters } => {
                 fields.push(("ok".into(), Json::Bool(true)));
@@ -481,6 +547,13 @@ impl FromJson for Response {
                     residual: j.get("residual")?.as_str()?.to_string(),
                     stats: stats_from_json(j.get("stats")?)?,
                     memo_hit: j.get("memo_hit")?.as_bool()?,
+                },
+                "run" => ResponseBody::Run {
+                    entry: j.get("entry")?.as_str()?.to_string(),
+                    value: j.get("value")?.as_str()?.to_string(),
+                    memo_hit: j.get("memo_hit")?.as_bool()?,
+                    compiled_hit: j.get("compiled_hit")?.as_bool()?,
+                    instructions: j.get("instructions")?.as_u64()?,
                 },
                 "health" => ResponseBody::Health {
                     uptime_ms: j.get("uptime_ms")?.as_u64()?,
@@ -724,6 +797,22 @@ mod tests {
                     ..SpecRequest::inline("module M where\nf x = x\n", "M.f", "S:1,D")
                 }),
             },
+            Request {
+                id: 6,
+                kind: RequestKind::Run(RunRequest {
+                    spec: SpecRequest::inline("module M where\nf x = x\n", "M.f", "S:1,D"),
+                    values: "7".into(),
+                    run_fuel: Some(1000),
+                }),
+            },
+            Request {
+                id: 7,
+                kind: RequestKind::Run(RunRequest {
+                    spec: SpecRequest::inline("module M where\nf x = x\n", "M.f", "D"),
+                    values: "".into(),
+                    run_fuel: None,
+                }),
+            },
         ];
         for r in reqs {
             let text = r.to_json_compact();
@@ -753,6 +842,16 @@ mod tests {
             },
             Response { id: 9, body: ResponseBody::Stats { counters: vec![] } },
             Response { id: 10, body: ResponseBody::Ok },
+            Response {
+                id: 12,
+                body: ResponseBody::Run {
+                    entry: "M.f'1".into(),
+                    value: "128".into(),
+                    memo_hit: true,
+                    compiled_hit: false,
+                    instructions: 314,
+                },
+            },
             Response {
                 id: 11,
                 body: ResponseBody::Error(ErrorInfo::with_stats(

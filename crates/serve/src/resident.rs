@@ -22,9 +22,16 @@
 //!   fingerprints for artefact directories — and the memo is consulted
 //!   only *after* the program loads and revalidates, so a `.bti`
 //!   change on disk invalidates memoised residuals exactly when it
-//!   forces a re-link.
+//!   forces a re-link;
+//! * **compiled residuals** — for `run` requests, the residual's
+//!   bytecode (optionally superinstruction-fused, see
+//!   [`mspec_lang::fuse`]), keyed by `(vm-opt, memo key)`. A warm `run`
+//!   request therefore skips parse, resolve, compile *and* fusion and
+//!   goes straight to VM dispatch; and because the key embeds the memo
+//!   identity, compiled code is invalidated exactly when the memoised
+//!   residual is.
 
-use crate::proto::{parse_division, ErrorClass, ErrorInfo, SpecRequest};
+use crate::proto::{parse_division, parse_values, ErrorClass, ErrorInfo, RunRequest, SpecRequest};
 use mspec_bta::analyse::analyse_program_with;
 use mspec_cogen::compile::compile_program;
 use mspec_cogen::{bti_fingerprint, fnv64, link_dir, CogenError};
@@ -32,9 +39,13 @@ use mspec_genext::{
     CancelToken, Engine, EngineOptions, GenProgram, SpecBudget, SpecError, SpecStats,
 };
 use mspec_lang::ast::QualName;
+use mspec_lang::bytecode::{compile as compile_bytecode, BcProgram};
+use mspec_lang::eval::{EvalError, DEFAULT_FUEL};
+use mspec_lang::fuse::fuse;
 use mspec_lang::parser::parse_program;
 use mspec_lang::pretty::pretty_program;
 use mspec_lang::resolve::resolve;
+use mspec_lang::vm::{Vm, VmOpt};
 use mspec_telemetry::Recorder;
 use mspec_types::infer_program;
 use std::collections::{BTreeSet, HashMap};
@@ -48,12 +59,43 @@ pub struct SpecOutcome {
     pub entry: String,
     /// Residual program concrete syntax (byte-identical to the
     /// sequential CLI path: both are [`pretty_program`] of the engine's
-    /// residual).
-    pub residual: String,
+    /// residual). Rendered exactly once, when the engine run finishes;
+    /// shared behind an `Arc` so a memo hit costs a refcount bump, not
+    /// a copy of the source text.
+    pub residual: Arc<str>,
     /// Engine counters (the original run's, for a memo hit).
     pub stats: SpecStats,
     /// Whether the cross-request memo answered.
     pub memo_hit: bool,
+}
+
+/// A successfully executed residual run (`run` requests).
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Residual entry function, `Module.function`.
+    pub entry: String,
+    /// The computed value, rendered with `Value`'s `Display`.
+    pub value: String,
+    /// Whether the specialisation was answered by the memo.
+    pub memo_hit: bool,
+    /// Whether the compiled bytecode was answered by the resident
+    /// compiled-program cache.
+    pub compiled_hit: bool,
+    /// Fuel-charging VM instructions the run executed.
+    pub instructions: u64,
+    /// The specialisation stage's engine counters (the original run's,
+    /// for a memo hit) — not on the wire, but the server refunds unused
+    /// admission fuel from them exactly as for `spec` replies.
+    pub spec_stats: SpecStats,
+}
+
+/// A residual compiled to (optionally fused) bytecode, resident across
+/// requests. Keyed by the same memo identity as the specialisation that
+/// produced it, so a `.bti` change invalidates residual *executions*
+/// exactly when it invalidates residual *source*.
+struct CompiledResidual {
+    entry: QualName,
+    bc: Arc<BcProgram>,
 }
 
 /// A linked artefact directory plus the interface fingerprints it was
@@ -80,6 +122,11 @@ pub struct ResidentStats {
     pub artefact_revalidations: u64,
     /// Cross-request memo hits.
     pub memo_hits: u64,
+    /// Residuals compiled to bytecode (`run` cache misses).
+    pub residuals_compiled: u64,
+    /// Compiled-residual cache hits (`run` requests that skipped
+    /// straight to dispatch).
+    pub compiled_hits: u64,
 }
 
 /// The resident cache shared by all workers.
@@ -87,6 +134,7 @@ pub struct Resident {
     programs: Mutex<HashMap<u64, Arc<GenProgram>>>,
     artefacts: Mutex<HashMap<String, Arc<ArtefactSet>>>,
     memo: Mutex<HashMap<String, SpecOutcome>>,
+    compiled: Mutex<HashMap<String, Arc<CompiledResidual>>>,
     stats: Mutex<ResidentStats>,
 }
 
@@ -103,6 +151,7 @@ impl Resident {
             programs: Mutex::new(HashMap::new()),
             artefacts: Mutex::new(HashMap::new()),
             memo: Mutex::new(HashMap::new()),
+            compiled: Mutex::new(HashMap::new()),
             stats: Mutex::new(ResidentStats::default()),
         }
     }
@@ -127,6 +176,19 @@ impl Resident {
         cancel: CancelToken,
         rec: &Recorder,
     ) -> Result<SpecOutcome, ErrorInfo> {
+        self.execute_spec_keyed(req, cancel, rec).map(|(outcome, _)| outcome)
+    }
+
+    /// [`Resident::execute_spec`] plus the memo key the outcome was
+    /// stored (or found) under — the identity the compiled-residual
+    /// cache reuses so residual *executions* are invalidated exactly
+    /// when residual *source* is.
+    fn execute_spec_keyed(
+        &self,
+        req: &SpecRequest,
+        cancel: CancelToken,
+        rec: &Recorder,
+    ) -> Result<(SpecOutcome, String), ErrorInfo> {
         let args = parse_division(&req.args)
             .map_err(|e| ErrorInfo::new(ErrorClass::BadRequest, format!("bad args: {e}")))?;
         // Load (and for artefact dirs, revalidate) *before* the memo
@@ -136,7 +198,10 @@ impl Resident {
         let memo_key = memo_key(req, &source_key);
         if let Some(hit) = lock(&self.memo).get(&memo_key) {
             lock(&self.stats).memo_hits += 1;
-            return Ok(SpecOutcome { memo_hit: true, ..hit.clone() });
+            // `residual` is an `Arc<str>`: this clone is a refcount
+            // bump, not a copy of the rendered source.
+            let outcome = SpecOutcome { memo_hit: true, ..hit.clone() };
+            return Ok((outcome, memo_key));
         }
 
         let (module, function) = req.entry.split_once('.').ok_or_else(|| {
@@ -173,14 +238,81 @@ impl Resident {
             Ok(residual) => {
                 let outcome = SpecOutcome {
                     entry: format!("{}", residual.entry),
-                    residual: pretty_program(&residual.program),
+                    residual: pretty_program(&residual.program).into(),
                     stats: *engine.stats(),
                     memo_hit: false,
                 };
-                lock(&self.memo).insert(memo_key, outcome.clone());
-                Ok(outcome)
+                lock(&self.memo).insert(memo_key.clone(), outcome.clone());
+                Ok((outcome, memo_key))
             }
             Err(e) => Err(spec_error_info(e, *engine.stats())),
+        }
+    }
+
+    /// Executes a `run` request: specialise (through the memo), compile
+    /// the residual to bytecode (through the compiled-residual cache),
+    /// then run it on the VM. With [`VmOpt::Fuse`] the bytecode goes
+    /// through the superinstruction pass before caching, so every warm
+    /// request skips straight to fused dispatch.
+    ///
+    /// The VM has no cancellation hook; the run itself is bounded by
+    /// its fuel budget (`run_fuel`, default [`DEFAULT_FUEL`]) rather
+    /// than by `cancel`, which covers the specialisation stage only.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Resident::execute_spec`] can fail with, plus
+    /// `bad-request` for malformed values or a residual evaluation
+    /// error and `budget` when the run exhausts its fuel.
+    pub fn execute_run(
+        &self,
+        req: &RunRequest,
+        cancel: CancelToken,
+        rec: &Recorder,
+        opt: VmOpt,
+    ) -> Result<RunOutcome, ErrorInfo> {
+        let values = parse_values(&req.values)
+            .map_err(|e| ErrorInfo::new(ErrorClass::BadRequest, format!("bad values: {e}")))?;
+        let (outcome, memo_key) = self.execute_spec_keyed(&req.spec, cancel, rec)?;
+        // Unfused and fused programs are distinct residents: a daemon
+        // restarted with another `--vm-opt` must not serve stale tiers.
+        let compiled_key = format!("{}|{memo_key}", opt.name());
+        let cached = lock(&self.compiled).get(&compiled_key).cloned();
+        let (compiled, compiled_hit) = match cached {
+            Some(c) => {
+                lock(&self.stats).compiled_hits += 1;
+                rec.count("serve.run.compiled_hits", 1);
+                (c, true)
+            }
+            None => {
+                let c = {
+                    let _span = rec.span("serve.run.compile");
+                    Arc::new(compile_residual(&outcome, opt, rec)?)
+                };
+                lock(&self.stats).residuals_compiled += 1;
+                lock(&self.compiled).insert(compiled_key, Arc::clone(&c));
+                (c, false)
+            }
+        };
+        let fuel = req.run_fuel.unwrap_or(DEFAULT_FUEL);
+        let mut vm = Vm::with_fuel(&compiled.bc, fuel);
+        match vm.call(&compiled.entry, values) {
+            Ok(v) => Ok(RunOutcome {
+                entry: outcome.entry.clone(),
+                value: format!("{v}"),
+                memo_hit: outcome.memo_hit,
+                compiled_hit,
+                instructions: vm.stats().instructions,
+                spec_stats: outcome.stats,
+            }),
+            Err(EvalError::FuelExhausted) => Err(ErrorInfo::new(
+                ErrorClass::Budget,
+                format!("residual run exhausted its fuel budget of {fuel}"),
+            )),
+            Err(e) => Err(ErrorInfo::new(
+                ErrorClass::BadRequest,
+                format!("residual run failed: {e}"),
+            )),
         }
     }
 
@@ -189,6 +321,7 @@ impl Resident {
         lock(&self.programs).clear();
         lock(&self.artefacts).clear();
         lock(&self.memo).clear();
+        lock(&self.compiled).clear();
     }
 
     /// Loads the requested program and returns it together with its
@@ -300,6 +433,45 @@ fn memo_key(req: &SpecRequest, source: &str) -> String {
         req.on_exhaustion,
         req.strategy,
     )
+}
+
+/// Compiles a specialisation outcome's rendered residual to bytecode,
+/// fusing superinstructions when `opt` asks for it (and emitting the
+/// `vm.fused_*` and `vm.tier_up` counters on that path).
+///
+/// The residual text is our own pretty-printer's output, so parse or
+/// resolve failures here are server bugs, not client errors — they map
+/// to `internal`.
+fn compile_residual(
+    outcome: &SpecOutcome,
+    opt: VmOpt,
+    rec: &Recorder,
+) -> Result<CompiledResidual, ErrorInfo> {
+    fn internal<E: std::fmt::Display>(stage: &'static str) -> impl Fn(E) -> ErrorInfo {
+        move |e| ErrorInfo::new(ErrorClass::Internal, format!("residual {stage} failed: {e}"))
+    }
+    let (module, function) = outcome.entry.split_once('.').ok_or_else(|| {
+        ErrorInfo::new(
+            ErrorClass::Internal,
+            format!("residual entry `{}` is not of the form Module.function", outcome.entry),
+        )
+    })?;
+    let entry = QualName::new(module, function);
+    let program = parse_program(&outcome.residual).map_err(internal("parse"))?;
+    let resolved = resolve(program).map_err(internal("resolve"))?;
+    let bc = compile_bytecode(&resolved).map_err(internal("compile"))?;
+    let bc = match opt {
+        VmOpt::None => bc,
+        VmOpt::Fuse => {
+            let (fused, stats) = fuse(&bc);
+            for (name, n) in stats.pairs() {
+                rec.count(name, n);
+            }
+            rec.count("vm.tier_up", 1);
+            fused
+        }
+    };
+    Ok(CompiledResidual { entry, bc: Arc::new(bc) })
 }
 
 /// The full sequential build pipeline, stage for stage the same calls
@@ -436,6 +608,71 @@ mod tests {
         assert_eq!(r.stats().artefact_links, 2);
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_executes_and_caches_compiled_residuals() {
+        let r = Resident::new();
+        let rec = Recorder::disabled();
+        let req = RunRequest {
+            spec: spec_req("Power.power", "S:5,D"),
+            values: "3".to_string(),
+            run_fuel: None,
+        };
+        for opt in [VmOpt::None, VmOpt::Fuse] {
+            r.clear();
+            let cold = r.execute_run(&req, CancelToken::new(), &rec, opt).unwrap();
+            assert_eq!(cold.value, "243", "3^5 under {opt}");
+            assert!(!cold.compiled_hit);
+            assert!(cold.instructions > 0);
+            let warm = r.execute_run(&req, CancelToken::new(), &rec, opt).unwrap();
+            assert_eq!(warm.value, "243");
+            assert!(warm.memo_hit, "spec answered from the memo");
+            assert!(warm.compiled_hit, "bytecode answered from the compiled cache");
+            assert_eq!(
+                warm.instructions, cold.instructions,
+                "cached and fresh bytecode run the same instruction count"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_and_unfused_runs_agree_on_value_and_fuel() {
+        let r = Resident::new();
+        let rec = Recorder::disabled();
+        let req = RunRequest {
+            spec: spec_req("Power.power", "S:8,D"),
+            values: "2".to_string(),
+            run_fuel: None,
+        };
+        let plain = r.execute_run(&req, CancelToken::new(), &rec, VmOpt::None).unwrap();
+        let fused = r.execute_run(&req, CancelToken::new(), &rec, VmOpt::Fuse).unwrap();
+        assert_eq!(plain.value, "256");
+        assert_eq!(fused.value, plain.value);
+        assert_eq!(fused.instructions, plain.instructions, "fusion preserves the fuel contract");
+        // Distinct vm-opts are distinct cache entries, not hits.
+        assert!(!fused.compiled_hit);
+        assert_eq!(r.stats().residuals_compiled, 2);
+    }
+
+    #[test]
+    fn run_maps_fuel_exhaustion_to_budget_and_bad_values_to_bad_request() {
+        let r = Resident::new();
+        let rec = Recorder::disabled();
+        let starved = RunRequest {
+            spec: spec_req("Power.power", "S:6,D"),
+            values: "2".to_string(),
+            run_fuel: Some(1),
+        };
+        let e = r.execute_run(&starved, CancelToken::new(), &rec, VmOpt::Fuse).unwrap_err();
+        assert_eq!(e.class, ErrorClass::Budget);
+        let malformed = RunRequest {
+            spec: spec_req("Power.power", "S:6,D"),
+            values: "2,oops".to_string(),
+            run_fuel: None,
+        };
+        let e = r.execute_run(&malformed, CancelToken::new(), &rec, VmOpt::None).unwrap_err();
+        assert_eq!(e.class, ErrorClass::BadRequest);
     }
 
     #[test]

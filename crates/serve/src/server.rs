@@ -30,7 +30,7 @@
 use crate::config::ServeConfig;
 use crate::proto::{
     read_frame, ErrorClass, ErrorInfo, FrameBuf, FrameRead, Request, RequestKind, Response,
-    ResponseBody, SpecRequest,
+    ResponseBody, RunRequest, SpecRequest,
 };
 use crate::queue::{BoundedQueue, PushError};
 use crate::resident::Resident;
@@ -101,6 +101,7 @@ pub struct ServerStats {
 
 enum JobKind {
     Spec(SpecRequest),
+    Run(RunRequest),
     Fault,
 }
 
@@ -189,6 +190,8 @@ impl State {
                 ("resident.artefact_links".to_string(), r.artefact_links),
                 ("resident.artefact_revalidations".to_string(), r.artefact_revalidations),
                 ("resident.memo_hits".to_string(), r.memo_hits),
+                ("resident.residuals_compiled".to_string(), r.residuals_compiled),
+                ("resident.compiled_hits".to_string(), r.compiled_hits),
             ]);
         }
         out
@@ -510,6 +513,22 @@ fn handle_frame(state: &Arc<State>, line: &str, writer: &SharedWriter, account: 
                 account,
             );
         }
+        RequestKind::Run(run) => {
+            // Same admission economics as `spec`: the specialisation
+            // stage's fuel is reserved (the residual's own execution is
+            // bounded by `run_fuel`, not by the connection account).
+            let reserve = run.spec.fuel.unwrap_or(SpecBudget::default().steps);
+            let deadline_ms = run.spec.deadline_ms.unwrap_or(state.cfg.deadline_ms);
+            admit(
+                state,
+                req.id,
+                JobKind::Run(run),
+                reserve,
+                Some(deadline_ms.min(state.cfg.deadline_ms)),
+                writer,
+                account,
+            );
+        }
     }
 }
 
@@ -652,6 +671,7 @@ fn run_job(state: &Arc<State>, job: &Job) {
     match job.kind {
         JobKind::Fault => run_fault(state, job),
         JobKind::Spec(ref spec) => run_spec(state, job, spec),
+        JobKind::Run(ref run) => run_run(state, job, run),
     }
     state
         .rec
@@ -700,7 +720,7 @@ fn run_spec(state: &Arc<State>, job: &Job, spec: &SpecRequest) {
                     id: job.id,
                     body: ResponseBody::Spec {
                         entry: outcome.entry,
-                        residual: outcome.residual,
+                        residual: outcome.residual.to_string(),
                         stats: outcome.stats,
                         memo_hit: outcome.memo_hit,
                     },
@@ -721,6 +741,63 @@ fn run_spec(state: &Arc<State>, job: &Job, spec: &SpecRequest) {
             // Panic containment: the reservation is forfeited (we cannot
             // know what was spent) and the client gets a retryable
             // `internal` error. The worker itself survives.
+            state.counters.panics.fetch_add(1, Ordering::Relaxed);
+            state.counters.errors.fetch_add(1, Ordering::Relaxed);
+            state.rec.count("serve.panics", 1);
+            send(
+                &job.writer,
+                &Response {
+                    id: job.id,
+                    body: ResponseBody::Error(ErrorInfo::new(
+                        ErrorClass::Internal,
+                        "worker panicked serving the request (contained)",
+                    )),
+                },
+            );
+        }
+    }
+}
+
+fn run_run(state: &Arc<State>, job: &Job, run: &RunRequest) {
+    let wid = state.watch_register(job.deadline, job.cancel.clone());
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        state.resident.execute_run(run, job.cancel.clone(), &state.rec, state.cfg.vm_opt)
+    }));
+    state.watch_remove(wid);
+    match result {
+        Ok(Ok(outcome)) => {
+            // Refund as for `spec`: only the specialisation stage drew
+            // on the connection account, and a memo hit drew nothing.
+            let spent =
+                if outcome.memo_hit { 0 } else { outcome.spec_stats.steps.min(job.reserved) };
+            job.account.fetch_add(job.reserved - spent, Ordering::AcqRel);
+            state.counters.ok.fetch_add(1, Ordering::Relaxed);
+            state.rec.count("serve.ok", 1);
+            send(
+                &job.writer,
+                &Response {
+                    id: job.id,
+                    body: ResponseBody::Run {
+                        entry: outcome.entry,
+                        value: outcome.value,
+                        memo_hit: outcome.memo_hit,
+                        compiled_hit: outcome.compiled_hit,
+                        instructions: outcome.instructions,
+                    },
+                },
+            );
+        }
+        Ok(Err(info)) => {
+            let spent = info.stats.map_or(0, |s| s.steps).min(job.reserved);
+            job.account.fetch_add(job.reserved - spent, Ordering::AcqRel);
+            state.counters.errors.fetch_add(1, Ordering::Relaxed);
+            if info.class == ErrorClass::Deadline {
+                state.counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                state.rec.count("serve.deadline_expired", 1);
+            }
+            send(&job.writer, &Response { id: job.id, body: ResponseBody::Error(info) });
+        }
+        Err(_) => {
             state.counters.panics.fetch_add(1, Ordering::Relaxed);
             state.counters.errors.fetch_add(1, Ordering::Relaxed);
             state.rec.count("serve.panics", 1);
@@ -804,6 +881,48 @@ mod tests {
         assert_eq!(resp.body, ResponseBody::Ok);
         handle.join();
         assert_eq!(server.stats().ok, 1);
+    }
+
+    #[test]
+    fn run_requests_execute_residuals_and_warm_the_compiled_cache() {
+        use mspec_lang::vm::VmOpt;
+
+        let cfg = ServeConfig { vm_opt: VmOpt::Fuse, ..ServeConfig::default() };
+        let (server, handle) = test_server(cfg);
+        let mut c = connect(handle.port);
+        let req = |id| Request {
+            id,
+            kind: RequestKind::Run(RunRequest {
+                spec: SpecRequest::inline(POWER, "Power.power", "S:5,D"),
+                values: "3".to_string(),
+                run_fuel: None,
+            }),
+        };
+        let resp = roundtrip(&mut c, &req(1));
+        let ResponseBody::Run { value, memo_hit, compiled_hit, instructions, .. } = resp.body
+        else {
+            panic!("expected run reply, got {resp:?}");
+        };
+        assert_eq!(value, "243");
+        assert!(!memo_hit && !compiled_hit);
+        assert!(instructions > 0);
+        let cold_instructions = instructions;
+
+        let resp = roundtrip(&mut c, &req(2));
+        let ResponseBody::Run { value, memo_hit, compiled_hit, instructions, .. } = resp.body
+        else {
+            panic!("{resp:?}");
+        };
+        assert_eq!(value, "243");
+        assert!(memo_hit && compiled_hit, "warm request hits both resident caches");
+        assert_eq!(instructions, cold_instructions);
+
+        let resp = roundtrip(&mut c, &Request { id: 3, kind: RequestKind::Stats });
+        let ResponseBody::Stats { counters } = resp.body else { panic!("{resp:?}") };
+        assert!(counters.iter().any(|(k, v)| k == "resident.compiled_hits" && *v == 1));
+        server.shutdown();
+        handle.join();
+        assert_eq!(server.stats().ok, 2);
     }
 
     #[test]

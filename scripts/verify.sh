@@ -51,7 +51,7 @@ echo "==> mspecd daemon smoke (TCP: spec + health + injected fault + shutdown)"
 # timeout: a wedged daemon must fail verify, not hang it.
 rm -rf target/serve-smoke
 mkdir -p target/serve-smoke
-./target/release/mspec serve --port 0 --chaos \
+./target/release/mspec serve --port 0 --chaos --vm-opt fuse \
   --trace target/serve-smoke/daemon-trace.jsonl \
   > target/serve-smoke/serve.out 2> target/serve-smoke/serve.err &
 SERVE_PID=$!
@@ -69,6 +69,12 @@ timeout 60 ./target/release/mspec spec examples/programs/power.mspec \
 cmp target/serve-smoke/residual.txt target/serve-smoke/batch.txt \
   || { echo "daemon residual differs from mspec spec output"; exit 1; }
 timeout 60 ./target/release/mspec client health --connect "${SERVE_ADDR}"
+# A `run` request executes the residual daemon-side (fused dispatch,
+# since the daemon is serving --vm-opt fuse): power 5 3 = 243.
+RUN_VALUE=$(timeout 60 ./target/release/mspec client run examples/programs/power.mspec \
+  --entry Power.power --args S:5,D --values 3 --connect "${SERVE_ADDR}")
+test "${RUN_VALUE}" = "243" \
+  || { echo "daemon run returned ${RUN_VALUE}, want 243"; exit 1; }
 # An injected fault must come back as a typed internal error while the
 # daemon survives; the next health probe proves it is still up.
 timeout 60 ./target/release/mspec client fault --connect "${SERVE_ADDR}" --retries 1
@@ -77,6 +83,26 @@ timeout 60 ./target/release/mspec client shutdown --connect "${SERVE_ADDR}"
 wait "${SERVE_PID}"
 test -s target/serve-smoke/daemon-trace.jsonl \
   || { echo "daemon wrote no telemetry trace"; exit 1; }
+
+echo "==> tiered-execution smoke (fused CLI run + run_table bench)"
+# The three execution tiers must agree on a real workload end to end
+# through the CLI: tree evaluator (ground truth), plain VM, fused VM.
+TREE=$(timeout 60 ./target/release/mspec run examples/programs/power.mspec \
+  --entry Power.power --args 5,2 --runner tree)
+PLAIN=$(timeout 60 ./target/release/mspec run examples/programs/power.mspec \
+  --entry Power.power --args 5,2 --runner vm --vm-opt none)
+FUSED=$(timeout 60 ./target/release/mspec run examples/programs/power.mspec \
+  --entry Power.power --args 5,2 --runner vm --vm-opt fuse)
+test "${TREE}" = "${PLAIN}" && test "${PLAIN}" = "${FUSED}" \
+  || { echo "tiers disagree: tree=${TREE} vm=${PLAIN} fused=${FUSED}"; exit 1; }
+# The PR 8 bench must run to completion and emit its report (in a
+# scratch directory so a committed BENCH_pr8.json is not clobbered);
+# it asserts value/fuel identity across dispatchers internally.
+rm -rf target/bench-smoke
+mkdir -p target/bench-smoke
+( cd target/bench-smoke && timeout 600 ../../target/release/run_table )
+test -s target/bench-smoke/BENCH_pr8.json \
+  || { echo "run_table wrote no BENCH_pr8.json"; exit 1; }
 
 echo "==> cargo clippy --all-targets -- -D warnings (offline)"
 cargo clippy --all-targets --offline -- -D warnings

@@ -20,6 +20,7 @@
 use mspec_core::{EngineOptions, OnExhaustion, Pipeline, SpecArg, SpecBudget};
 use mspec_lang::bytecode::compile;
 use mspec_lang::eval::{with_big_stack, EvalError, Evaluator, Value, DEFAULT_FUEL};
+use mspec_lang::fuse::fuse;
 use mspec_lang::parser::parse_program;
 use mspec_lang::resolve::{resolve, ResolvedProgram};
 use mspec_lang::vm::{Runner, Vm};
@@ -314,6 +315,164 @@ fn deep_lists_are_vm_territory() {
     });
 }
 
+/// Runs `entry` on the unfused and superinstruction-fused VM with the
+/// same fuel and asserts the outcomes, the full [`mspec_lang::VmStats`]
+/// and the remaining fuel are identical. Returns the outcome and the
+/// fuel spent.
+fn assert_fuse_identical(
+    rp: &ResolvedProgram,
+    entry: &QualName,
+    args: &[Value],
+    fuel: u64,
+    context: &str,
+) -> (Result<Value, EvalError>, u64) {
+    let bc = compile(rp).unwrap();
+    let (fused, _) = fuse(&bc);
+    let mut plain = Vm::with_fuel(&bc, fuel);
+    let a = plain.call(entry, args.to_vec());
+    let mut opt = Vm::with_fuel(&fused, fuel);
+    let b = opt.call(entry, args.to_vec());
+    assert_eq!(a, b, "fused VM diverges on {entry} ({context})");
+    assert_eq!(plain.stats(), opt.stats(), "VmStats diverge on {entry} ({context})");
+    assert_eq!(plain.fuel_left(), opt.fuel_left(), "fuel diverges on {entry} ({context})");
+    (a, fuel - plain.fuel_left())
+}
+
+/// Probes the exact fuel boundary of a terminating run under fusion: at
+/// `spent` both tiers succeed, at `spent - 1` both exhaust — and each
+/// probe re-checks stats equality.
+fn assert_fuse_boundary(rp: &ResolvedProgram, entry: &QualName, args: &[Value], context: &str) {
+    let (outcome, spent) =
+        assert_fuse_identical(rp, entry, args, DEFAULT_FUEL, &format!("{context}, full fuel"));
+    assert!(outcome.is_ok(), "{context}: expected a terminating run, got {outcome:?}");
+    assert!(spent > 0);
+    let (at, _) =
+        assert_fuse_identical(rp, entry, args, spent, &format!("{context}, fuel = spent"));
+    assert_eq!(at, outcome);
+    let (under, _) =
+        assert_fuse_identical(rp, entry, args, spent - 1, &format!("{context}, fuel = spent - 1"));
+    assert_eq!(under, Err(EvalError::FuelExhausted), "{context}");
+}
+
+/// ≥200 random programs: the fused VM is value-, stats- and
+/// budget-breach-identical to the unfused VM, probed at the exact fuel
+/// boundary of every run.
+#[test]
+fn fused_random_programs_agree() {
+    let mut rng = TestRng::seed_from_u64(0xF05E);
+    let mut compared = 0usize;
+    let mut seed = 20_000u64;
+    while compared < 200 {
+        let g = random_program(&GenConfig {
+            modules: 3,
+            defs_per_module: 3,
+            max_depth: 4,
+            seed,
+        });
+        seed += 1;
+        let Some((entry, args)) = pick_entry(&g, &mut rng) else {
+            continue;
+        };
+        let rp = resolve(g.program.clone()).unwrap();
+        assert_fuse_boundary(&rp, &entry, &args, &format!("seed {}", seed - 1));
+        compared += 1;
+    }
+    assert!(compared >= 200);
+}
+
+/// Fused runtime errors match unfused ones exactly (class and fuel).
+#[test]
+fn fused_error_classes_agree() {
+    let rp = resolve(
+        parse_program(
+            "module M where\n\
+             crash x = x / 0\n\
+             behead xs = head xs\n",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let (div, _) = assert_fuse_identical(
+        &rp,
+        &QualName::new("M", "crash"),
+        &[Value::nat(7)],
+        DEFAULT_FUEL,
+        "div",
+    );
+    assert_eq!(div, Err(EvalError::DivByZero));
+    let (hd, _) = assert_fuse_identical(
+        &rp,
+        &QualName::new("M", "behead"),
+        &[Value::Nil],
+        DEFAULT_FUEL,
+        "head",
+    );
+    assert_eq!(hd, Err(EvalError::EmptyList("head")));
+}
+
+/// The E3 `power` residual (static exponent, dynamic base): fused and
+/// unfused execution agree on values, stats and the fuel boundary, and
+/// fusion actually fires on the residual's multiply chain.
+#[test]
+fn fused_e3_power_residual_agrees() {
+    let p = Pipeline::from_source(
+        "module Power where\npower n x = if n == 1 then x else x * power (n - 1) x\n",
+    )
+    .unwrap();
+    let s = p
+        .specialise("Power", "power", vec![SpecArg::Static(Value::nat(16)), SpecArg::Dynamic])
+        .unwrap();
+    let rrp = resolve(s.residual.program.clone()).unwrap();
+    let (_, fstats) = fuse(&compile(&rrp).unwrap());
+    assert!(fstats.total() > 0, "fusion should fire on the residual multiply chain");
+    for x in [0u64, 1, 2, 3] {
+        let (got, _) = assert_fuse_identical(
+            &rrp,
+            &s.residual.entry,
+            &[Value::nat(x)],
+            DEFAULT_FUEL,
+            &format!("power residual, x = {x}"),
+        );
+        assert_eq!(got, Ok(Value::nat(x.pow(16))));
+    }
+    assert_fuse_boundary(&rrp, &s.residual.entry, &[Value::nat(2)], "power residual boundary");
+}
+
+/// The E5 first-Futamura residual (interpreter specialised to a static
+/// program): fused and unfused execution agree on values, stats and the
+/// fuel boundary.
+#[test]
+fn fused_e5_interp_residual_agrees() {
+    let p = Pipeline::from_source(
+        "module ListLib where\n\
+         drop n xs = if n == 0 then xs else drop (n - 1) (tail xs)\n\
+         module Interp where\n\
+         import ListLib\n\
+         size p = if head p == 0 then 2 else if head p == 1 then 1 else 1 + size (tail p) + size (drop (size (tail p)) (tail p))\n\
+         run p x = if head p == 0 then head (tail p) else if head p == 1 then x else if head p == 2 then run (tail p) x + run (drop (size (tail p)) (tail p)) x else run (tail p) x * run (drop (size (tail p)) (tail p)) x\n",
+    )
+    .unwrap();
+    // (x + 2) * x: mul ─ add ─ var, const 2 ─ var, list-encoded.
+    let prog = Value::list(
+        [3u64, 2, 1, 0, 2, 1].into_iter().map(Value::nat).collect(),
+    );
+    let s = p
+        .specialise("Interp", "run", vec![SpecArg::Static(prog), SpecArg::Dynamic])
+        .unwrap();
+    let rrp = resolve(s.residual.program.clone()).unwrap();
+    for x in [0u64, 1, 5, 11] {
+        let (got, _) = assert_fuse_identical(
+            &rrp,
+            &s.residual.entry,
+            &[Value::nat(x)],
+            DEFAULT_FUEL,
+            &format!("interp residual, x = {x}"),
+        );
+        assert_eq!(got, Ok(Value::nat((x + 2) * x)));
+    }
+    assert_fuse_boundary(&rrp, &s.residual.entry, &[Value::nat(5)], "interp residual boundary");
+}
+
 /// Golden disassembly for the E-series `power` workload: the compiled
 /// form is deterministic and pinned byte-for-byte.
 #[test]
@@ -348,4 +507,42 @@ fn golden_bytecode_interp() {
     .unwrap();
     let bc = compile(&rp).unwrap();
     assert_eq!(bc.disassemble(), include_str!("golden/bytecode_interp.txt"));
+}
+
+/// Golden disassembly of the *fused* `power` workload: pins which
+/// windows the superinstruction pass selects and how jump targets are
+/// rewritten after stream compaction.
+#[test]
+fn golden_bytecode_power_fused() {
+    let rp = resolve(
+        parse_program(
+            "module Power where\n\
+             power n x = if n == 1 then x else x * power (n - 1) x\n",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let (fused, stats) = fuse(&compile(&rp).unwrap());
+    assert!(stats.total() > 0);
+    assert_eq!(fused.disassemble(), include_str!("golden/bytecode_power_fused.txt"));
+}
+
+/// Golden disassembly of the *fused* `interp` workload.
+#[test]
+fn golden_bytecode_interp_fused() {
+    let rp = resolve(
+        parse_program(
+            "module ListLib where\n\
+             drop n xs = if n == 0 then xs else drop (n - 1) (tail xs)\n\
+             module Interp where\n\
+             import ListLib\n\
+             size p = if head p == 0 then 2 else if head p == 1 then 1 else 1 + size (tail p) + size (drop (size (tail p)) (tail p))\n\
+             run p x = if head p == 0 then head (tail p) else if head p == 1 then x else if head p == 2 then run (tail p) x + run (drop (size (tail p)) (tail p)) x else run (tail p) x * run (drop (size (tail p)) (tail p)) x\n",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let (fused, stats) = fuse(&compile(&rp).unwrap());
+    assert!(stats.total() > 0);
+    assert_eq!(fused.disassemble(), include_str!("golden/bytecode_interp_fused.txt"));
 }
