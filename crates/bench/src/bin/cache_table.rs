@@ -1,0 +1,302 @@
+//! PR 9 persistence table: the content-addressed residual cache and the
+//! seekable `.gx` format.
+//!
+//! Run: `cargo run --release -p mspec-bench --bin cache_table`
+//!
+//! Three scenarios:
+//!
+//! * **cli** — `mspec spec`-style cold vs warm through a shared
+//!   `--cache-dir`: the cold path builds the pipeline and runs the
+//!   engine (then stores the residual); the warm path derives the key
+//!   and reads the entry back — zero engine steps, byte-identical
+//!   residual (asserted before timing is reported);
+//! * **daemon_restart** — a `spec` request against `mspecd` with a
+//!   `--cache-dir`, then the *same request against a freshly restarted
+//!   daemon* sharing the directory: the restart answers `memo_hit`
+//!   from the persistent tier without re-running the engine;
+//! * **seekable_gx** — a library of many modules linked from v2
+//!   (seekable) `.gx` artefacts, specialising an entry that uses only a
+//!   few functions: bytes *decoded* (offset-table index + the functions
+//!   actually pulled) vs bytes an eager v1-style parse would decode
+//!   (the whole payload of every artefact).
+//!
+//! Writes machine-readable results to `BENCH_pr9.json`.
+
+use mspec_bench::workloads::{library_source, POWER};
+use mspec_bench::{cores, time_min, us};
+use mspec_cache::{inline_source_key, spec_key, CacheEntry, DiskCache};
+use mspec_core::{OnExhaustion, Pipeline, Recorder, SpecArg, Strategy};
+use mspec_lang::eval::{with_big_stack, Value};
+use mspec_lang::{Json, QualName};
+use mspec_serve::{Client, ResponseBody, ServeConfig, Server, SpecRequest};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+fn main() {
+    with_big_stack(run);
+}
+
+fn ratio(slow: Duration, fast: Duration) -> f64 {
+    if fast.as_nanos() == 0 {
+        return 0.0;
+    }
+    slow.as_secs_f64() / fast.as_secs_f64()
+}
+
+fn ratio_milli(slow: Duration, fast: Duration) -> Json {
+    Json::Num((ratio(slow, fast) * 1000.0).round().max(0.0) as u128)
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mspec-bench-cache-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("scratch dir");
+    d
+}
+
+/// `mspec spec`-shaped cold vs warm: the miss path runs the whole
+/// pipeline + engine and stores; the hit path derives the key and reads
+/// the entry back. Byte-identity is asserted, not assumed.
+struct CliRow {
+    cold: Duration,
+    warm: Duration,
+    residual_bytes: usize,
+    engine_steps: u64,
+}
+
+fn cli_row(dir: &Path) -> CliRow {
+    let cache = DiskCache::open(dir).expect("cache opens");
+    let division = "S:5000,D";
+    let key = spec_key(
+        &inline_source_key(POWER),
+        "Power.power",
+        division,
+        None,
+        None,
+        OnExhaustion::default(),
+        Strategy::BreadthFirst,
+    );
+    let (cold, residual) = time_min(3, || {
+        let p = Pipeline::from_source(POWER).expect("workload builds");
+        let s = p
+            .specialise(
+                "Power",
+                "power",
+                vec![SpecArg::Static(Value::nat(5000)), SpecArg::Dynamic],
+            )
+            .expect("workload specialises");
+        let text = s.source().to_string();
+        cache
+            .put(&CacheEntry {
+                key: key.clone(),
+                entry: s.residual.entry.to_string(),
+                residual: text.clone(),
+                stats: s.stats,
+            })
+            .expect("cache stores");
+        text
+    });
+    let (warm, hit) = time_min(20, || cache.get(&key).expect("warm probe hits"));
+    assert_eq!(hit.residual, residual, "warm residual must be byte-identical");
+    assert!(hit.stats.steps > 0, "the stored stats are the original run's");
+    CliRow { cold, warm, residual_bytes: residual.len(), engine_steps: hit.stats.steps }
+}
+
+/// One spec request against a daemon, then the identical request
+/// against a *restarted* daemon sharing the cache directory.
+struct RestartRow {
+    cold: Duration,
+    warm_restart: Duration,
+}
+
+fn restart_row(dir: &Path) -> RestartRow {
+    let cfg = || ServeConfig {
+        cache_dir: Some(dir.display().to_string()),
+        ..ServeConfig::default()
+    };
+    let req = || SpecRequest::inline(POWER, "Power.power", "S:2000,D");
+    let one_request = |expect_warm: bool, baseline: Option<&str>| -> (Duration, String) {
+        let server = Server::new(cfg(), Recorder::disabled());
+        let handle = server.start_tcp().expect("daemon listens");
+        let mut client = Client::tcp(format!("127.0.0.1:{}", handle.port));
+        let started = Instant::now();
+        let resp = client.spec(req()).expect("spec request succeeds");
+        let elapsed = started.elapsed();
+        let ResponseBody::Spec { memo_hit, residual, .. } = resp.body else {
+            panic!("spec reply: {resp:?}");
+        };
+        assert_eq!(
+            memo_hit, expect_warm,
+            "fresh daemon over {} cache dir",
+            if expect_warm { "a warm" } else { "a cold" }
+        );
+        if let Some(b) = baseline {
+            assert_eq!(residual, b, "restart must serve the identical residual");
+        }
+        client.shutdown().expect("daemon shuts down");
+        handle.join();
+        (elapsed, residual)
+    };
+    let (cold, baseline) = one_request(false, None);
+    let (warm_restart, _) = one_request(true, Some(&baseline));
+    RestartRow { cold, warm_restart }
+}
+
+/// Links a many-module library from seekable `.gx` artefacts and
+/// specialises an entry using only a few functions; reports bytes
+/// decoded lazily vs the whole-payload cost an eager parse pays.
+struct SeekRow {
+    modules: usize,
+    gx_file_bytes: u64,
+    eager_decoded: u64,
+    lazy_decoded: u64,
+}
+
+fn seekable_row() -> SeekRow {
+    use mspec_cogen::build::{build_traced, BuildOptions};
+    use mspec_cogen::load_gx_unit;
+    use mspec_genext::{Engine, EngineOptions, GenProgram};
+
+    let dir = scratch("seekable");
+    let (src, shape) = library_source(24, 8);
+    // The builder wants a source tree: one `Module.mspec` per module.
+    let srcdir = dir.join("src");
+    std::fs::create_dir_all(&srcdir).expect("source tree dir");
+    let mut current: Option<(String, String)> = None;
+    let flush = |cur: Option<(String, String)>| {
+        if let Some((name, text)) = cur {
+            std::fs::write(srcdir.join(format!("{name}.mspec")), text).expect("write module");
+        }
+    };
+    for line in src.lines() {
+        if let Some(rest) = line.strip_prefix("module ") {
+            flush(current.take());
+            let name = rest.split_whitespace().next().expect("module name").to_string();
+            current = Some((name, String::new()));
+        }
+        if let Some((_, text)) = &mut current {
+            text.push_str(line);
+            text.push('\n');
+        }
+    }
+    flush(current.take());
+    let out = dir.join("gx");
+    build_traced(&srcdir, &out, &BuildOptions::default(), &Recorder::disabled())
+        .expect("library cogens");
+
+    let mut gx_files: Vec<PathBuf> = std::fs::read_dir(&out)
+        .expect("artefact dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "gx"))
+        .collect();
+    gx_files.sort();
+
+    let mut gx_file_bytes = 0u64;
+    let mut eager_decoded = 0u64; // whole-payload cost of a v1-style parse
+    let mut index_decoded = 0u64; // what the seekable loader parses at load
+    let mut units = Vec::new();
+    for gx in &gx_files {
+        let text = std::fs::read_to_string(gx).expect("gx reads");
+        gx_file_bytes += text.len() as u64;
+        let header_len = text.find('\n').expect("framed artefact") + 1;
+        eager_decoded += (text.len() - header_len) as u64;
+        let gxu = load_gx_unit(gx).expect("gx loads");
+        index_decoded += gxu.eager_decoded;
+        units.push(gxu.unit);
+    }
+    let program = GenProgram::link_units(units).expect("library links");
+    let mut engine =
+        Engine::with_recorder(&program, EngineOptions::default(), Recorder::disabled());
+    engine
+        .specialise(&QualName::new("Main", "main"), vec![SpecArg::Dynamic])
+        .expect("library specialises");
+    let lazy_decoded = index_decoded + program.lazy_decoded_bytes();
+
+    let _ = std::fs::remove_dir_all(&dir);
+    SeekRow { modules: shape.modules, gx_file_bytes, eager_decoded, lazy_decoded }
+}
+
+fn run() {
+    println!("PR 9: persistent residual cache, cold vs warm (min-of-N, us)");
+    let cli_dir = scratch("cli");
+    let cli = cli_row(&cli_dir);
+    let _ = std::fs::remove_dir_all(&cli_dir);
+    println!(
+        "cli spec power n=5000   cold {}  warm {}  ({:.1}x; {} engine steps skipped, {} residual bytes)",
+        us(cli.cold),
+        us(cli.warm),
+        ratio(cli.cold, cli.warm),
+        cli.engine_steps,
+        cli.residual_bytes
+    );
+
+    let restart_dir = scratch("restart");
+    let restart = restart_row(&restart_dir);
+    let _ = std::fs::remove_dir_all(&restart_dir);
+    println!(
+        "daemon restart n=2000   cold {}  warm {}  ({:.1}x across a restart)",
+        us(restart.cold),
+        us(restart.warm_restart),
+        ratio(restart.cold, restart.warm_restart)
+    );
+
+    let seek = seekable_row();
+    assert!(
+        seek.lazy_decoded < seek.eager_decoded,
+        "seekable loading must decode fewer bytes than an eager parse \
+         ({} vs {})",
+        seek.lazy_decoded,
+        seek.eager_decoded
+    );
+    println!(
+        "seekable .gx, {} modules: {} payload bytes, eager parse decodes {}, \
+         lazy decodes {} ({:.0}% saved)",
+        seek.modules,
+        seek.gx_file_bytes,
+        seek.eager_decoded,
+        seek.lazy_decoded,
+        100.0 * (1.0 - seek.lazy_decoded as f64 / seek.eager_decoded as f64)
+    );
+
+    let report = Json::Obj(vec![
+        ("pr".to_string(), Json::str("pr9")),
+        ("cores".to_string(), Json::Num(cores() as u128)),
+        (
+            "cli".to_string(),
+            Json::obj([
+                ("cold_ns", Json::Num(cli.cold.as_nanos())),
+                ("warm_ns", Json::Num(cli.warm.as_nanos())),
+                ("residual_bytes", Json::Num(cli.residual_bytes as u128)),
+                ("engine_steps_skipped", Json::Num(u128::from(cli.engine_steps))),
+                ("ratio_milli", ratio_milli(cli.cold, cli.warm)),
+            ]),
+        ),
+        (
+            "daemon_restart".to_string(),
+            Json::obj([
+                ("cold_ns", Json::Num(restart.cold.as_nanos())),
+                ("warm_restart_ns", Json::Num(restart.warm_restart.as_nanos())),
+                ("ratio_milli", ratio_milli(restart.cold, restart.warm_restart)),
+            ]),
+        ),
+        (
+            "seekable_gx".to_string(),
+            Json::obj([
+                ("modules", Json::Num(seek.modules as u128)),
+                ("gx_file_bytes", Json::Num(u128::from(seek.gx_file_bytes))),
+                ("eager_decoded_bytes", Json::Num(u128::from(seek.eager_decoded))),
+                ("lazy_decoded_bytes", Json::Num(u128::from(seek.lazy_decoded))),
+                (
+                    "saved_permille",
+                    Json::Num(
+                        (1000.0 * (1.0 - seek.lazy_decoded as f64 / seek.eager_decoded as f64))
+                            .round()
+                            .max(0.0) as u128,
+                    ),
+                ),
+            ]),
+        ),
+    ]);
+    std::fs::write("BENCH_pr9.json", report.write_pretty()).expect("write BENCH_pr9.json");
+    println!("\nwrote BENCH_pr9.json");
+}

@@ -1,0 +1,329 @@
+//! A persistent, content-addressed cache of finished residuals.
+//!
+//! The paper's economics — build the generating extension once,
+//! specialise many times — only fully pay off when finished residuals
+//! *persist*: a warm `mspec spec` run, a warm `link-spec` run, or a
+//! daemon restarted against the same cache directory should skip the
+//! engine entirely. This crate provides that cross-session tier:
+//!
+//! * **Keys** are exactly the daemon's memo keys (see [`spec_key`]):
+//!   the program identity (`src:<fnv>` for inline source,
+//!   `dir:<path>@<identity>` for artefact directories, where the
+//!   identity hashes the `.bti` interface fingerprints), the entry
+//!   point, the division, the budget, and the strategy. Because the
+//!   identity embeds interface fingerprints, a changed `.bti` simply
+//!   *orphans* old entries — staleness is the same `StaleInterface`
+//!   revalidation that guards the in-memory memo, and callers must
+//!   revalidate/load the program *before* probing the cache.
+//! * **Entries** are checksummed artefacts (the `.gx`/`.bti` framing
+//!   from `mspec-cogen`) named by the FNV-1a hash of their key, written
+//!   through [`mspec_cogen::atomic_write`]: a crash mid-write never
+//!   leaves a torn entry at the final path, and a torn, truncated or
+//!   bit-flipped entry is a *miss* (rewritten by the next store), never
+//!   served and never fatal.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use mspec_cogen::files::{decode_artefact, encode_artefact};
+use mspec_cogen::{atomic_write, bti_fingerprint, fnv64};
+use mspec_genext::{OnExhaustion, SpecStats, Strategy};
+use mspec_lang::{FromJson, Json, ToJson};
+use std::path::{Path, PathBuf};
+
+/// Artefact kind token for on-disk residual cache entries.
+pub const RESID_KIND: &str = "resid";
+
+/// Environment variable naming the default cache directory.
+pub const CACHE_DIR_ENV: &str = "MSPEC_CACHE_DIR";
+
+/// One finished specialisation, as stored on disk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEntry {
+    /// The full memo key the entry was stored under (verified on read,
+    /// so a filename-hash collision can never serve the wrong residual).
+    pub key: String,
+    /// Residual entry function, `Module.function`.
+    pub entry: String,
+    /// Residual program concrete syntax, byte-identical to what the
+    /// engine produced.
+    pub residual: String,
+    /// The original run's engine counters.
+    pub stats: SpecStats,
+}
+
+impl CacheEntry {
+    /// On-disk payload: one compact-JSON header line (key, entry,
+    /// stats), then the residual text *raw*. A warm read therefore only
+    /// JSON-parses the small header — never the residual, which
+    /// dominates the entry's size — and the residual round-trips
+    /// byte-identically by construction.
+    pub fn encode_payload(&self) -> String {
+        let header = Json::obj([
+            ("key", Json::str(self.key.as_str())),
+            ("entry", Json::str(self.entry.as_str())),
+            ("stats", self.stats.to_json_value()),
+        ]);
+        format!("{}\n{}", header.write_compact(), self.residual)
+    }
+
+    /// Inverse of [`CacheEntry::encode_payload`]; `None` on any
+    /// malformed payload (the caller treats that as a cache miss).
+    pub fn decode_payload(payload: &str) -> Option<CacheEntry> {
+        let (header, residual) = payload.split_once('\n')?;
+        let j = Json::parse(header).ok()?;
+        Some(CacheEntry {
+            key: j.get("key").ok()?.as_str().ok()?.to_string(),
+            entry: j.get("entry").ok()?.as_str().ok()?.to_string(),
+            residual: residual.to_string(),
+            stats: SpecStats::from_json_value(j.get("stats").ok()?).ok()?,
+        })
+    }
+}
+
+/// An on-disk residual cache rooted at one directory.
+#[derive(Debug, Clone)]
+pub struct DiskCache {
+    root: PathBuf,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) a cache rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the directory.
+    pub fn open(root: impl Into<PathBuf>) -> std::io::Result<DiskCache> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(DiskCache { root })
+    }
+
+    /// The cache's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The content-addressed file an entry for `key` lives at.
+    pub fn entry_path(&self, key: &str) -> PathBuf {
+        self.root.join(format!("{:016x}.resid", fnv64(key.as_bytes())))
+    }
+
+    /// Looks up a finished residual. *Any* failure — missing file, torn
+    /// or truncated write, bit flip, malformed payload, or a stored key
+    /// that does not match (filename-hash collision) — is a miss, never
+    /// an error: the next [`DiskCache::put`] simply rewrites the entry.
+    pub fn get(&self, key: &str) -> Option<CacheEntry> {
+        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
+        let (payload, _) = decode_artefact(RESID_KIND, &text).ok()?;
+        let entry = CacheEntry::decode_payload(payload)?;
+        if entry.key != key {
+            return None;
+        }
+        Some(entry)
+    }
+
+    /// Stores a finished residual, atomically (write-to-temp + rename).
+    /// Overwrites any previous entry for the same key — including a
+    /// corrupt one.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the atomic write.
+    pub fn put(&self, entry: &CacheEntry) -> std::io::Result<PathBuf> {
+        let path = self.entry_path(&entry.key);
+        let payload = entry.encode_payload();
+        atomic_write(&path, encode_artefact(RESID_KIND, &payload))?;
+        Ok(path)
+    }
+
+    /// Number of entries currently on disk (corrupt ones included —
+    /// they still occupy their slot until rewritten).
+    pub fn len(&self) -> usize {
+        std::fs::read_dir(&self.root)
+            .map(|rd| {
+                rd.filter_map(Result::ok)
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "resid"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// `true` when the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Memo identity of an inline program: the FNV-1a hash of its source
+/// text. Identical to the daemon's, so CLI and daemon share entries.
+pub fn inline_source_key(src: &str) -> String {
+    format!("src:{:016x}", fnv64(src.as_bytes()))
+}
+
+/// Memo identity of an artefact directory: path plus the hash of the
+/// interface fingerprints it links against, so a changed `.bti` yields
+/// a fresh key instead of hitting pre-change entries.
+pub fn dir_source_key(dir: &str, identity: u64) -> String {
+    format!("dir:{dir}@{identity:016x}")
+}
+
+/// Hashes a sorted `(path, fingerprint)` interface list into the
+/// identity component of [`dir_source_key`].
+pub fn interfaces_identity(interfaces: &[(PathBuf, u64)]) -> u64 {
+    let mut desc = String::new();
+    for (path, fp) in interfaces {
+        desc.push_str(&format!("{}={fp:016x};", path.display()));
+    }
+    fnv64(desc.as_bytes())
+}
+
+/// The `.bti` files of an artefact directory, sorted — the interface
+/// set whose fingerprints make up a directory's identity.
+pub fn bti_files(dir: impl AsRef<Path>) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|e| e == "bti"))
+                .collect()
+        })
+        .unwrap_or_default();
+    files.sort();
+    files
+}
+
+/// Computes an artefact directory's current interface identity by
+/// fingerprinting every `.bti` on disk — i.e. performs the
+/// `StaleInterface`-style revalidation that makes a stale cache entry
+/// unreachable (its key embeds the old identity).
+pub fn dir_identity(dir: impl AsRef<Path>) -> u64 {
+    let interfaces: Vec<(PathBuf, u64)> = bti_files(dir)
+        .into_iter()
+        .filter_map(|p| bti_fingerprint(&p).ok().map(|fp| (p, fp)))
+        .collect();
+    interfaces_identity(&interfaces)
+}
+
+/// The full memo key of one specialisation request — field for field
+/// the daemon's memo key, so the CLI, the daemon's in-memory memo and
+/// the disk cache all address the same entries.
+pub fn spec_key(
+    source: &str,
+    entry: &str,
+    args: &str,
+    fuel: Option<u64>,
+    max_spec: Option<usize>,
+    on_exhaustion: OnExhaustion,
+    strategy: Strategy,
+) -> String {
+    format!(
+        "{source}|{entry}|{args}|{}|{}|{on_exhaustion:?}|{strategy:?}",
+        fuel.unwrap_or(0),
+        max_spec.unwrap_or(0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use std::fs;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mspec-cache-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn entry(key: &str) -> CacheEntry {
+        CacheEntry {
+            key: key.to_string(),
+            entry: "Power.power_5".to_string(),
+            residual: "module Power where\npower_5 x = x * x\n".to_string(),
+            stats: SpecStats { steps: 42, specialisations: 2, ..SpecStats::default() },
+        }
+    }
+
+    #[test]
+    fn put_then_get_roundtrips() {
+        let dir = tmpdir("roundtrip");
+        let c = DiskCache::open(&dir).unwrap();
+        assert!(c.is_empty());
+        let e = entry("src:abc|Power.power|S:5,D|0|0|Error|BreadthFirst");
+        let path = c.put(&e).unwrap();
+        assert!(path.exists());
+        assert_eq!(c.get(&e.key), Some(e.clone()));
+        assert_eq!(c.len(), 1);
+        // A different key is a miss, not the same slot.
+        assert!(c.get("some-other-key").is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_are_misses_and_rewritable() {
+        let dir = tmpdir("corrupt");
+        let c = DiskCache::open(&dir).unwrap();
+        let e = entry("src:abc|M.f|D|0|0|Error|BreadthFirst");
+        let path = c.put(&e).unwrap();
+        // Truncated at several depths, then garbage, then empty.
+        let clean = fs::read(&path).unwrap();
+        for keep in [0, 1, 10, clean.len() / 2, clean.len() - 1] {
+            fs::write(&path, &clean[..keep]).unwrap();
+            assert!(c.get(&e.key).is_none(), "truncation at {keep} must miss");
+        }
+        fs::write(&path, "not an artefact at all").unwrap();
+        assert!(c.get(&e.key).is_none());
+        // The next store repairs the slot.
+        c.put(&e).unwrap();
+        assert_eq!(c.get(&e.key), Some(e));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stored_key_mismatch_is_a_miss() {
+        let dir = tmpdir("collision");
+        let c = DiskCache::open(&dir).unwrap();
+        let e = entry("the-real-key");
+        // Simulate a filename-hash collision: a valid entry for another
+        // key sitting at this key's path.
+        let imposter_path = c.entry_path("victim-key");
+        fs::write(&imposter_path, encode_artefact(RESID_KIND, &e.encode_payload())).unwrap();
+        assert!(c.get("victim-key").is_none(), "stored key must be verified");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keys_embed_every_request_dimension() {
+        let base = spec_key("src:x", "M.f", "S:1,D", None, None, OnExhaustion::Error, Strategy::BreadthFirst);
+        for other in [
+            spec_key("src:y", "M.f", "S:1,D", None, None, OnExhaustion::Error, Strategy::BreadthFirst),
+            spec_key("src:x", "M.g", "S:1,D", None, None, OnExhaustion::Error, Strategy::BreadthFirst),
+            spec_key("src:x", "M.f", "S:2,D", None, None, OnExhaustion::Error, Strategy::BreadthFirst),
+            spec_key("src:x", "M.f", "S:1,D", Some(9), None, OnExhaustion::Error, Strategy::BreadthFirst),
+            spec_key("src:x", "M.f", "S:1,D", None, Some(3), OnExhaustion::Error, Strategy::BreadthFirst),
+            spec_key("src:x", "M.f", "S:1,D", None, None, OnExhaustion::Generalise, Strategy::BreadthFirst),
+            spec_key("src:x", "M.f", "S:1,D", None, None, OnExhaustion::Error, Strategy::DepthFirst),
+        ] {
+            assert_ne!(base, other);
+        }
+    }
+
+    #[test]
+    fn dir_identity_tracks_interface_changes() {
+        let dir = tmpdir("identity");
+        fs::create_dir_all(&dir).unwrap();
+        let id_empty = dir_identity(&dir);
+        // A real .bti written through the cogen changes the identity.
+        let rp = mspec_lang::resolve::resolve(
+            mspec_lang::parser::parse_program("module A where\nf x = x + 1\n").unwrap(),
+        )
+        .unwrap();
+        let m = rp.program().modules[0].clone();
+        mspec_cogen::files::cogen_module(&m, &dir, &std::collections::BTreeSet::new()).unwrap();
+        let id_one = dir_identity(&dir);
+        assert_ne!(id_empty, id_one);
+        // Same artefacts, same identity.
+        assert_eq!(id_one, dir_identity(&dir));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -16,7 +16,7 @@
 //! * [`link_dir`] loads every `.gx` in an artefact directory into a
 //!   runnable [`GenProgram`] — no source needed.
 
-use crate::files::{bti_fingerprint, cogen_module, load_bti, load_gx_full, CogenError};
+use crate::files::{bti_fingerprint, cogen_module, load_bti, load_gx_unit, CogenError};
 use mspec_genext::GenProgram;
 use mspec_lang::ast::{Ident, ModName, Module, Program};
 use mspec_lang::modgraph::ModGraph;
@@ -294,8 +294,11 @@ pub fn link_dir(out_dir: impl AsRef<Path>) -> Result<GenProgram, CogenError> {
 }
 
 /// [`link_dir`] with telemetry: a `link-dir` span, `io.gx_bytes_read` /
-/// `io.bti_bytes_read` counters, and an `io.checksum_ns` histogram over
-/// per-artefact validation (decode + FNV revalidation) times.
+/// `io.bti_bytes_read` counters, an `io.gx_bytes_decoded` counter for
+/// the payload bytes eagerly JSON-parsed (just the offset table for
+/// seekable v2 files — function bodies decode lazily on first lookup),
+/// and an `io.checksum_ns` histogram over per-artefact validation
+/// (decode + FNV revalidation) times.
 ///
 /// # Errors
 ///
@@ -312,15 +315,16 @@ pub fn link_dir_traced(
         .collect();
     gx_files.sort();
     let mut current_fp: BTreeMap<ModName, u64> = BTreeMap::new();
-    let mut modules = Vec::with_capacity(gx_files.len());
+    let mut units = Vec::with_capacity(gx_files.len());
     for path in &gx_files {
         let t0 = Instant::now();
-        let (gx, ifaces) = load_gx_full(path)?;
+        let gxu = load_gx_unit(path)?;
         if rec.is_enabled() {
             rec.observe("io.checksum_ns", t0.elapsed().as_nanos() as u64);
             rec.count("io.gx_bytes_read", file_len(path));
+            rec.count("io.gx_bytes_decoded", gxu.eager_decoded);
         }
-        for (import, recorded) in ifaces {
+        for (import, recorded) in gxu.ifaces {
             let fp = match current_fp.get(&import) {
                 Some(fp) => *fp,
                 None => {
@@ -339,13 +343,13 @@ pub fn link_dir_traced(
                 }
             };
             if fp != recorded {
-                return Err(CogenError::StaleInterface { module: gx.name, import });
+                return Err(CogenError::StaleInterface { module: gxu.unit.name, import });
             }
         }
-        modules.push(gx);
+        units.push(gxu.unit);
     }
-    rec.count("link.modules_linked", modules.len() as u64);
-    Ok(GenProgram::link(modules)?)
+    rec.count("link.modules_linked", units.len() as u64);
+    Ok(GenProgram::link_units(units)?)
 }
 
 fn newer(a: &Path, b: &Path) -> Result<bool, CogenError> {

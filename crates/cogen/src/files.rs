@@ -23,6 +23,13 @@
 //! as its *interface fingerprint*: each `.gx` records the fingerprints
 //! of the interfaces it was generated against, and the linker
 //! revalidates them (see [`CogenError::StaleInterface`]).
+//!
+//! `.gx` files are written at version 2 — a *seekable* layout whose
+//! payload opens with a per-function offset table so a session decodes
+//! only the functions it uses (see [`GX_VERSION_SEEKABLE`] and
+//! [`load_gx_unit`]); v1 files remain readable. All artefacts are
+//! written through [`atomic_write`], so a crash mid-write can never
+//! leave a truncated file at the final path.
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
@@ -30,8 +37,8 @@ use crate::compile::compile_module;
 use crate::textual::textual_genext;
 use mspec_bta::analyse::analyse_module_with;
 use mspec_bta::{BtaError, BtInterface};
-use mspec_genext::{GenModule, SpecError};
-use mspec_lang::ast::{Def, Expr, Ident, ModName, Module};
+use mspec_genext::{FnUnit, GenFn, GenModule, LinkUnit, SpecError};
+use mspec_lang::ast::{Def, Expr, Ident, ModName, QualName, Module};
 use mspec_lang::error::LangError;
 use mspec_lang::parser::parse_module;
 use mspec_lang::{FromJson, Json, JsonError, ToJson};
@@ -40,6 +47,7 @@ use std::error::Error;
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Errors from the file-level cogen pipeline.
 #[derive(Debug)]
@@ -121,6 +129,13 @@ pub const ARTEFACT_MAGIC: &str = "#mspec-artefact";
 /// The artefact format version this build reads and writes.
 pub const ARTEFACT_VERSION: u32 = 1;
 
+/// The seekable `.gx` format version: the payload opens with a compact
+/// offset-table line mapping each function name to the `[start, len]`
+/// byte range of its encoding in the body that follows, so loading can
+/// index a module without parsing any function. v1 `.gx` files (a
+/// single eager JSON document) are still read.
+pub const GX_VERSION_SEEKABLE: u32 = 2;
+
 /// FNV-1a 64-bit hash — the artefact content checksum. Any single-bit
 /// flip or truncation of the payload changes the value.
 pub fn fnv64(bytes: &[u8]) -> u64 {
@@ -135,22 +150,72 @@ fn jerr(e: JsonError) -> CogenError {
     CogenError::Format(e.to_string())
 }
 
+/// Writes `contents` to `path` atomically: the bytes go to a uniquely
+/// named temporary file in the same directory, which is then renamed
+/// over `path`. A crash or kill mid-write can leave at most a stray
+/// temp file — never a truncated artefact at the final path. The temp
+/// name mixes the process id with a process-global counter, so
+/// concurrent builders (threads or separate processes) writing into
+/// the same directory never collide.
+///
+/// # Errors
+///
+/// Any I/O failure from the write or the rename; the temp file is
+/// removed on failure.
+pub fn atomic_write(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> std::io::Result<()> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let path = path.as_ref();
+    let file_name = path
+        .file_name()
+        .map_or_else(|| "artefact".to_string(), |n| n.to_string_lossy().into_owned());
+    let tmp = path.with_file_name(format!(
+        ".{file_name}.tmp-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let result = fs::write(&tmp, contents.as_ref()).and_then(|()| fs::rename(&tmp, path));
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
 /// Frames `payload` with the versioned, checksummed artefact header.
-fn encode_artefact(kind: &str, payload: &str) -> String {
+/// Public so other persistent layers (e.g. the residual disk cache)
+/// store their entries with the same integrity guarantees as
+/// `.bti`/`.gx` files.
+pub fn encode_artefact(kind: &str, payload: &str) -> String {
+    encode_artefact_v(ARTEFACT_VERSION, kind, payload)
+}
+
+/// Frames `payload` with a checksummed header at an explicit version.
+fn encode_artefact_v(version: u32, kind: &str, payload: &str) -> String {
     format!(
-        "{ARTEFACT_MAGIC} v{ARTEFACT_VERSION} {kind} fnv:{:016x}\n{payload}",
+        "{ARTEFACT_MAGIC} v{version} {kind} fnv:{:016x}\n{payload}",
         fnv64(payload.as_bytes())
     )
 }
 
 /// Validates the header of an artefact of the given kind and checks the
 /// payload checksum. Returns the payload and its (verified) checksum.
+pub fn decode_artefact<'a>(kind: &str, text: &'a str) -> Result<(&'a str, u64), CogenError> {
+    let (payload, sum, _) = decode_artefact_versions(kind, text, &[ARTEFACT_VERSION])?;
+    Ok((payload, sum))
+}
+
+/// Validates the header of an artefact of the given kind against a set
+/// of accepted versions and checks the payload checksum. Returns the
+/// payload, its (verified) checksum, and the version found.
 ///
 /// Every failure mode — missing or truncated header, wrong magic, a
 /// version this build does not read, a `.bti` where a `.gx` was
 /// expected, or a payload that does not hash to the recorded value —
 /// is a distinct, descriptive [`CogenError::Format`]; none panics.
-fn decode_artefact<'a>(kind: &str, text: &'a str) -> Result<(&'a str, u64), CogenError> {
+fn decode_artefact_versions<'a>(
+    kind: &str,
+    text: &'a str,
+    accepted: &[u32],
+) -> Result<(&'a str, u64, u32), CogenError> {
     let (header, payload) = text.split_once('\n').ok_or_else(|| {
         CogenError::Format(format!(
             "not a {kind} artefact: missing `{ARTEFACT_MAGIC}` header line (truncated file?)"
@@ -164,11 +229,20 @@ fn decode_artefact<'a>(kind: &str, text: &'a str) -> Result<(&'a str, u64), Coge
         )));
     }
     let version = tokens.next().unwrap_or_default();
-    if version != format!("v{ARTEFACT_VERSION}") {
-        return Err(CogenError::Format(format!(
-            "unsupported artefact version `{version}` (this build reads v{ARTEFACT_VERSION})"
-        )));
-    }
+    let parsed = version.strip_prefix('v').and_then(|v| v.parse::<u32>().ok());
+    let version = match parsed {
+        Some(v) if accepted.contains(&v) => v,
+        _ => {
+            let reads = accepted
+                .iter()
+                .map(|v| format!("v{v}"))
+                .collect::<Vec<_>>()
+                .join("/");
+            return Err(CogenError::Format(format!(
+                "unsupported artefact version `{version}` (this build reads {reads} for {kind})"
+            )));
+        }
+    };
     let got_kind = tokens.next().unwrap_or_default();
     if got_kind != kind {
         return Err(CogenError::Format(format!(
@@ -190,7 +264,7 @@ fn decode_artefact<'a>(kind: &str, text: &'a str) -> Result<(&'a str, u64), Coge
              {stored:016x}, payload hashes to {actual:016x}"
         )));
     }
-    Ok((payload, stored))
+    Ok((payload, stored, version))
 }
 
 /// Writes a genext to a `.gx` file (recording no import fingerprints —
@@ -215,23 +289,72 @@ pub fn store_gx_with(
     gx: &GenModule,
     ifaces: &[(ModName, u64)],
 ) -> Result<(), CogenError> {
-    let payload = Json::obj([
+    // Seekable v2 layout: one compact offset-table line, then the
+    // function encodings concatenated. Offsets are byte positions into
+    // the body region (everything after the table line's newline).
+    let mut body = String::new();
+    let mut table: Vec<Json> = Vec::with_capacity(gx.fns.len());
+    for f in &gx.fns {
+        let enc = f.to_json_compact();
+        table.push(Json::Arr(vec![
+            f.name.to_json_value(),
+            Json::Num(body.len() as u128),
+            Json::Num(enc.len() as u128),
+        ]));
+        body.push_str(&enc);
+    }
+    let index = Json::obj([
+        ("name", Json::str(gx.name.as_str())),
         (
-            "ifaces",
-            Json::Arr(
-                ifaces
-                    .iter()
-                    .map(|(m, fp)| {
-                        Json::Arr(vec![Json::str(m.as_str()), Json::Num(u128::from(*fp))])
-                    })
-                    .collect(),
-            ),
+            "imports",
+            Json::Arr(gx.imports.iter().map(|m| Json::str(m.as_str())).collect()),
         ),
-        ("module", gx.to_json_value()),
+        ("ifaces", ifaces_to_json(ifaces)),
+        ("fns", Json::Arr(table)),
     ])
     .write_compact();
-    fs::write(path, encode_artefact("gx", &payload))?;
+    let payload = format!("{index}\n{body}");
+    atomic_write(path, encode_artefact_v(GX_VERSION_SEEKABLE, "gx", &payload))?;
     Ok(())
+}
+
+fn ifaces_to_json(ifaces: &[(ModName, u64)]) -> Json {
+    Json::Arr(
+        ifaces
+            .iter()
+            .map(|(m, fp)| Json::Arr(vec![Json::str(m.as_str()), Json::Num(u128::from(*fp))]))
+            .collect(),
+    )
+}
+
+fn ifaces_from_json(j: &Json) -> Result<Vec<(ModName, u64)>, CogenError> {
+    j.as_arr()
+        .map_err(jerr)?
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_arr()?;
+            if pair.len() != 2 {
+                return Err(JsonError("interface record is not a [module, fnv] pair".into()));
+            }
+            Ok((ModName::new(pair[0].as_str()?), pair[1].as_u64()?))
+        })
+        .collect::<Result<Vec<_>, JsonError>>()
+        .map_err(jerr)
+}
+
+/// A module loaded from a `.gx` file, functions possibly still encoded.
+#[derive(Debug)]
+pub struct GxUnit {
+    /// The linker-facing module: from a seekable (v2) file its
+    /// functions are [`FnUnit::Encoded`] slices, decoded only on first
+    /// lookup; from a v1 file they are eagerly decoded.
+    pub unit: LinkUnit,
+    /// Interface fingerprints recorded when the genext was generated.
+    pub ifaces: Vec<(ModName, u64)>,
+    /// Payload bytes JSON-parsed at load time: the whole payload for
+    /// v1, just the offset-table line for v2. Feeds the
+    /// `io.gx_bytes_decoded` telemetry counter.
+    pub eager_decoded: u64,
 }
 
 /// Reads a `.gx` file back, validating header and checksum.
@@ -244,7 +367,7 @@ pub fn load_gx(path: impl AsRef<Path>) -> Result<GenModule, CogenError> {
 }
 
 /// Reads a `.gx` file back together with the interface fingerprints
-/// recorded when it was generated.
+/// recorded when it was generated, eagerly decoding every function.
 ///
 /// # Errors
 ///
@@ -252,26 +375,89 @@ pub fn load_gx(path: impl AsRef<Path>) -> Result<GenModule, CogenError> {
 pub fn load_gx_full(
     path: impl AsRef<Path>,
 ) -> Result<(GenModule, Vec<(ModName, u64)>), CogenError> {
+    let gxu = load_gx_unit(path)?;
+    let fns = gxu
+        .unit
+        .fns
+        .into_iter()
+        .map(|f| match f {
+            FnUnit::Ready(g) => Ok(g),
+            FnUnit::Encoded { encoded, .. } => GenFn::from_json_str(&encoded).map_err(jerr),
+        })
+        .collect::<Result<Vec<_>, CogenError>>()?;
+    Ok((GenModule { name: gxu.unit.name, imports: gxu.unit.imports, fns }, gxu.ifaces))
+}
+
+/// Reads a `.gx` file back *without decoding its functions* when the
+/// file is seekable (v2): the whole payload is still read and
+/// checksum-verified (corruption anywhere is detected), but only the
+/// offset-table line is JSON-parsed; each function stays an encoded
+/// slice until [`GenProgram::link_units`](mspec_genext::GenProgram)
+/// first looks it up. v1 files fall back to eager decoding.
+///
+/// # Errors
+///
+/// I/O failures or [`CogenError::Format`] on corrupt content.
+pub fn load_gx_unit(path: impl AsRef<Path>) -> Result<GxUnit, CogenError> {
     let text = fs::read_to_string(path)?;
-    let (payload, _) = decode_artefact("gx", &text)?;
-    let j = Json::parse(payload).map_err(jerr)?;
-    let gx = GenModule::from_json_value(j.get("module").map_err(jerr)?).map_err(jerr)?;
-    let ifaces = j
-        .get("ifaces")
+    let (payload, _, version) =
+        decode_artefact_versions("gx", &text, &[ARTEFACT_VERSION, GX_VERSION_SEEKABLE])?;
+    if version == ARTEFACT_VERSION {
+        // v1: a single JSON document, decoded eagerly.
+        let j = Json::parse(payload).map_err(jerr)?;
+        let gx =
+            GenModule::from_json_value(j.get("module").map_err(jerr)?).map_err(jerr)?;
+        let ifaces = ifaces_from_json(j.get("ifaces").map_err(jerr)?)?;
+        return Ok(GxUnit {
+            unit: LinkUnit::from(gx),
+            ifaces,
+            eager_decoded: payload.len() as u64,
+        });
+    }
+    // v2: offset-table line + concatenated function encodings.
+    let (index_line, body) = payload.split_once('\n').ok_or_else(|| {
+        CogenError::Format("seekable gx payload is missing its offset-table line".into())
+    })?;
+    let j = Json::parse(index_line).map_err(jerr)?;
+    let name = ModName::new(j.get("name").map_err(jerr)?.as_str().map_err(jerr)?);
+    let imports = j
+        .get("imports")
         .map_err(jerr)?
         .as_arr()
         .map_err(jerr)?
         .iter()
-        .map(|pair| {
-            let pair = pair.as_arr()?;
-            if pair.len() != 2 {
-                return Err(JsonError("interface record is not a [module, fnv] pair".into()));
-            }
-            Ok((ModName::new(pair[0].as_str()?), pair[1].as_u64()?))
-        })
+        .map(|m| Ok(ModName::new(m.as_str()?)))
         .collect::<Result<Vec<_>, JsonError>>()
         .map_err(jerr)?;
-    Ok((gx, ifaces))
+    let ifaces = ifaces_from_json(j.get("ifaces").map_err(jerr)?)?;
+    let mut fns = Vec::new();
+    for entry in j.get("fns").map_err(jerr)?.as_arr().map_err(jerr)? {
+        let parts = entry.as_arr().map_err(jerr)?;
+        if parts.len() != 3 {
+            return Err(CogenError::Format(
+                "offset-table entry is not a [name, start, len] triple".into(),
+            ));
+        }
+        let fname = QualName::from_json_value(&parts[0]).map_err(jerr)?;
+        let start = parts[1].as_usize().map_err(jerr)?;
+        let len = parts[2].as_usize().map_err(jerr)?;
+        let encoded = start
+            .checked_add(len)
+            .and_then(|end| body.get(start..end))
+            .ok_or_else(|| {
+                CogenError::Format(format!(
+                    "offset table points outside the function body region \
+                     ({fname}: {start}+{len} of {})",
+                    body.len()
+                ))
+            })?;
+        fns.push(FnUnit::Encoded { name: fname, encoded: encoded.into() });
+    }
+    Ok(GxUnit {
+        unit: LinkUnit { name, imports, fns },
+        ifaces,
+        eager_decoded: index_line.len() as u64 + 1,
+    })
 }
 
 /// Writes a binding-time interface to a `.bti` file.
@@ -281,7 +467,7 @@ pub fn load_gx_full(
 /// I/O or serialisation failures.
 pub fn store_bti(path: impl AsRef<Path>, iface: &BtInterface) -> Result<(), CogenError> {
     let json = iface.to_json().map_err(jerr)?;
-    fs::write(path, encode_artefact("bti", &json))?;
+    atomic_write(path, encode_artefact("bti", &json))?;
     Ok(())
 }
 
@@ -415,7 +601,7 @@ impl SigFile {
 ///
 /// I/O or serialisation failures.
 pub fn store_sig(path: impl AsRef<Path>, sig: &SigFile) -> Result<(), CogenError> {
-    fs::write(path, sig.to_json_pretty())?;
+    atomic_write(path, sig.to_json_pretty())?;
     Ok(())
 }
 
@@ -518,7 +704,7 @@ pub fn cogen_module(
     let sig_path = dir.join(format!("{}.sig", module.name));
     store_bti(&bti_path, &ann.interface)?;
     store_gx_with(&gx_path, &gx, &fingerprints)?;
-    fs::write(&text_path, text)?;
+    atomic_write(&text_path, text)?;
     store_sig(&sig_path, &SigFile::of(module))?;
     Ok(CogenOutput { bti: bti_path, gx: gx_path, gen_text: text_path, sig: sig_path })
 }
@@ -689,6 +875,95 @@ mod tests {
         assert_eq!(ifaces.len(), 1);
         assert_eq!(ifaces[0].0.as_str(), "A");
         assert_eq!(ifaces[0].1, bti_fingerprint(&out_a.bti).unwrap());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gx_files_are_seekable_v2() {
+        let dir = tmpdir("v2");
+        let rp = resolve(
+            parse_program(
+                "module P where\npower n x = if n == 1 then x else x * power (n - 1) x\ntwice x = x + x\n",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let module = rp.program().modules[0].clone();
+        let out = cogen_module(&module, &dir, &BTreeSet::new()).unwrap();
+        let text = fs::read_to_string(&out.gx).unwrap();
+        let (header, payload) = text.split_once('\n').unwrap();
+        assert!(header.starts_with("#mspec-artefact v2 gx fnv:"), "{header}");
+        // The offset table is one JSON line; function bodies follow it.
+        let (index_line, _body) = payload.split_once('\n').unwrap();
+        let j = Json::parse(index_line).unwrap();
+        assert_eq!(j.get("fns").unwrap().as_arr().unwrap().len(), 2);
+        // Lazy loading parses only the table line...
+        let gxu = load_gx_unit(&out.gx).unwrap();
+        assert!(gxu.eager_decoded < payload.len() as u64);
+        assert!(gxu.unit.fns.iter().all(|f| matches!(f, FnUnit::Encoded { .. })));
+        // ...while the eager loader still reconstructs the module.
+        let eager = load_gx(&out.gx).unwrap();
+        assert_eq!(eager.fns.len(), 2);
+        assert!(GenProgram::link(vec![eager]).is_ok());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_gx_files_still_load() {
+        let dir = tmpdir("v1compat");
+        let rp = resolve(
+            parse_program("module P where\npower n x = if n == 1 then x else x * power (n - 1) x\n")
+                .unwrap(),
+        )
+        .unwrap();
+        let module = rp.program().modules[0].clone();
+        let out = cogen_module(&module, &dir, &BTreeSet::new()).unwrap();
+        let modern = load_gx(&out.gx).unwrap();
+        // Rewrite the same module in the v1 single-document layout.
+        let payload = Json::obj([
+            ("ifaces", Json::Arr(vec![])),
+            ("module", modern.to_json_value()),
+        ])
+        .write_compact();
+        fs::write(&out.gx, encode_artefact("gx", &payload)).unwrap();
+        let gxu = load_gx_unit(&out.gx).unwrap();
+        // v1 decodes eagerly: the whole payload counts as decoded.
+        assert_eq!(gxu.eager_decoded, payload.len() as u64);
+        assert!(gxu.unit.fns.iter().all(|f| matches!(f, FnUnit::Ready(_))));
+        assert_eq!(load_gx(&out.gx).unwrap(), modern);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v2_offset_table_out_of_range_is_rejected() {
+        let dir = tmpdir("v2range");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.gx");
+        let payload = "{\"name\":\"M\",\"imports\":[],\"ifaces\":[],\"fns\":[[[\"M\",\"f\"],10,999]]}\nshortbody";
+        fs::write(&path, encode_artefact_v(GX_VERSION_SEEKABLE, "gx", payload)).unwrap();
+        match load_gx_unit(&path) {
+            Err(CogenError::Format(msg)) => assert!(msg.contains("offset table"), "{msg}"),
+            other => panic!("expected Format error, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_replaces_without_leftovers() {
+        let dir = tmpdir("atomic");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("a.gx");
+        atomic_write(&path, "first").unwrap();
+        atomic_write(&path, "second").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "second");
+        // No temp files survive a successful write.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n != "a.gx")
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -29,7 +29,8 @@ pub use build::{build, build_traced, link_dir, link_dir_traced, BuildOptions, Bu
 pub use mspec_telemetry::ModuleOutcome;
 pub use compile::{compile_module, compile_program};
 pub use files::{
-    bti_fingerprint, fnv64, load_bti, load_bti_full, load_gx, load_gx_full, store_bti, store_gx,
-    store_gx_with, CogenError, ARTEFACT_MAGIC, ARTEFACT_VERSION,
+    atomic_write, bti_fingerprint, fnv64, load_bti, load_bti_full, load_gx, load_gx_full,
+    load_gx_unit, store_bti, store_gx, store_gx_with, CogenError, GxUnit, ARTEFACT_MAGIC,
+    ARTEFACT_VERSION, GX_VERSION_SEEKABLE,
 };
 pub use textual::textual_genext;

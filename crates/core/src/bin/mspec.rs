@@ -19,7 +19,7 @@
 //! mspec serve   [--stdio | --port N]      specialisation-as-a-service daemon
 //!               [--max-clients N] [--queue-depth N] [--deadline-ms N]
 //!               [--client-fuel N] [--threads N] [--chaos] [--trace FILE]
-//!               [--vm-opt none|fuse]
+//!               [--vm-opt none|fuse] [--memo-cap N] [--cache-dir DIR]
 //! mspec client  ACTION [FILE]             talk to a daemon (ACTION: spec,
 //!               (--connect HOST:PORT | --spawn)   run, health, stats, fault,
 //!               [--entry M.f --args DIV] [--deadline-ms N]     shutdown)
@@ -107,7 +107,7 @@ fn usage() -> String {
      serve   [--stdio | --port N]          long-lived specialisation daemon\n\
              [--max-clients N] [--queue-depth N] [--deadline-ms N]\n\
              [--client-fuel N] [--threads N] [--chaos] [--trace FILE]\n\
-             [--vm-opt none|fuse]\n\
+             [--vm-opt none|fuse] [--memo-cap N] [--cache-dir DIR]\n\
      client  ACTION [FILE]                 talk to a daemon; ACTION is one of\n\
              (--connect HOST:PORT|--spawn)  spec, run, health, stats, fault,\n\
              [--entry M.f --args DIV]       shutdown; run also takes\n\
@@ -116,6 +116,10 @@ fn usage() -> String {
      \n\
      spec, mix, build and link-spec also accept --trace FILE (Chrome\n\
      trace_event JSON) and --metrics FILE (JSONL event log).\n\
+     spec, link-spec and serve accept --cache-dir DIR (fallback: the\n\
+     MSPEC_CACHE_DIR env var), a persistent residual cache: a warm run\n\
+     with an unchanged program and request serves the stored residual\n\
+     byte-identically with zero engine steps.\n\
      build, spec and link-spec accept --threads N (work-stealing worker\n\
      count; the MSPEC_THREADS env var is the fallback, then\n\
      available_parallelism). Residual output is byte-identical at every\n\
@@ -139,6 +143,7 @@ struct Opts {
     trace: Option<String>,
     metrics: Option<String>,
     log: Option<String>,
+    cache_dir: Option<String>,
 }
 
 impl Opts {
@@ -175,6 +180,20 @@ impl Opts {
                 .map_err(|e| PipelineError::from(e).to_string()),
             Err(_) => Ok(None),
         }
+    }
+
+    /// The run's persistent residual cache: `--cache-dir`, then the
+    /// `MSPEC_CACHE_DIR` environment variable; `Ok(None)` when neither
+    /// is set.
+    fn disk_cache(&self) -> Result<Option<mspec_cache::DiskCache>, String> {
+        let dir = self
+            .cache_dir
+            .clone()
+            .or_else(|| std::env::var(mspec_cache::CACHE_DIR_ENV).ok());
+        let Some(dir) = dir else { return Ok(None) };
+        mspec_cache::DiskCache::open(&dir)
+            .map(Some)
+            .map_err(|e| format!("cannot open cache dir {dir}: {e}"))
     }
 
     /// The run's recorder: enabled iff an output was requested, so
@@ -226,6 +245,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         trace: None,
         metrics: None,
         log: None,
+        cache_dir: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -296,6 +316,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--log" => {
                 opts.log = Some(it.next().ok_or("--log needs a file")?.clone());
+            }
+            "--cache-dir" => {
+                opts.cache_dir = Some(it.next().ok_or("--cache-dir needs a directory")?.clone());
             }
             "--force-residual" => {
                 let v = it.next().ok_or("--force-residual needs M.f[,M.g…]")?;
@@ -390,6 +413,38 @@ fn link_spec(args: &[String]) -> Result<(), String> {
     let division = opts.args.clone().ok_or("link-spec needs --args DIVISION")?;
     let spec_args = parse_division(&division)?;
     let rec = opts.recorder();
+    // Persistent residual cache. The key embeds the directory's current
+    // `.bti` interface identity — recomputing it from disk *is* the
+    // staleness check (the same `StaleInterface` identity the daemon's
+    // memo uses), so a changed interface simply misses and re-links.
+    let cache = opts.disk_cache()?;
+    let key = cache.as_ref().map(|_| {
+        mspec_cache::spec_key(
+            &mspec_cache::dir_source_key(
+                &opts.file,
+                mspec_cache::dir_identity(&opts.file),
+            ),
+            &format!("{m}.{f}"),
+            &division,
+            opts.fuel,
+            opts.max_spec,
+            opts.on_exhaustion,
+            opts.strategy,
+        )
+    });
+    if opts.out.is_none() {
+        if let (Some(c), Some(k)) = (&cache, &key) {
+            if let Some(hit) = c.get(k) {
+                println!("{}", hit.residual);
+                eprintln!("{}", hit.stats.summary(hit.entry.clone()));
+                eprintln!(
+                    "cache hit: residual served from {} (0 engine steps this run)",
+                    c.root().display()
+                );
+                return opts.finish_telemetry(&rec);
+            }
+        }
+    }
     let linked =
         mspec_cogen::build::link_dir_traced(&opts.file, &rec).map_err(|e| e.to_string())?;
     let entry = QualName::new(m.as_str(), f.as_str());
@@ -414,12 +469,29 @@ fn link_spec(args: &[String]) -> Result<(), String> {
             (residual, stats)
         }
     };
-    println!("{}", mspec_lang::pretty::pretty_program(&residual.program));
+    // Bytes of `.gx` function payload decoded on demand during the
+    // run; together with the load-time count in `link_dir_traced` this
+    // is the seekable format's total decode cost.
+    rec.count("io.gx_bytes_decoded", linked.lazy_decoded_bytes());
+    let residual_text = mspec_lang::pretty::pretty_program(&residual.program);
+    println!("{residual_text}");
     eprintln!("{}", stats.summary(residual.entry.to_string()));
     if let Some(dir) = &opts.out {
         let files = write_residual(dir, &residual).map_err(|e| e.to_string())?;
         for f in files {
             eprintln!("wrote {}", f.display());
+        }
+    }
+    if let (Some(c), Some(k)) = (&cache, &key) {
+        let entry = mspec_cache::CacheEntry {
+            key: k.clone(),
+            entry: residual.entry.to_string(),
+            residual: residual_text,
+            stats,
+        };
+        match c.put(&entry) {
+            Ok(path) => eprintln!("cached residual at {}", path.display()),
+            Err(e) => eprintln!("warning: could not store cache entry: {e}"),
         }
     }
     opts.finish_telemetry(&rec)
@@ -479,6 +551,42 @@ fn spec(args: &[String]) -> Result<(), String> {
     let division = opts.args.clone().ok_or("spec needs --args DIVISION")?;
     let spec_args = parse_division(&division)?;
     let rec = opts.recorder();
+    // Persistent residual cache, probed before the pipeline is even
+    // built: a warm run skips parse, BTA, cogen *and* the engine.
+    // `--force-residual` perturbs the residual without being part of
+    // the shared key (the daemon has no such knob), and `--out` needs
+    // the typed residual — both opt out.
+    let cache = if opts.force_residual.is_empty() && opts.out.is_none() {
+        opts.disk_cache()?
+    } else {
+        None
+    };
+    let key = match &cache {
+        Some(_) => {
+            let src = read_source(&opts.file)?;
+            Some(mspec_cache::spec_key(
+                &mspec_cache::inline_source_key(&src),
+                &format!("{m}.{f}"),
+                &division,
+                opts.fuel,
+                opts.max_spec,
+                opts.on_exhaustion,
+                opts.strategy,
+            ))
+        }
+        None => None,
+    };
+    if let (Some(c), Some(k)) = (&cache, &key) {
+        if let Some(hit) = c.get(k) {
+            println!("{}", hit.residual);
+            eprintln!("{}", hit.stats.summary(hit.entry.clone()));
+            eprintln!(
+                "cache hit: residual served from {} (0 engine steps this run)",
+                c.root().display()
+            );
+            return opts.finish_telemetry(&rec);
+        }
+    }
     let pipeline = build_pipeline_traced(&opts, &rec)?;
     let spec = match opts.requested_threads()? {
         Some(n) => pipeline
@@ -495,6 +603,18 @@ fn spec(args: &[String]) -> Result<(), String> {
         let files = write_residual(dir, &spec.residual).map_err(|e| e.to_string())?;
         for f in files {
             eprintln!("wrote {}", f.display());
+        }
+    }
+    if let (Some(c), Some(k)) = (&cache, &key) {
+        let entry = mspec_cache::CacheEntry {
+            key: k.clone(),
+            entry: spec.residual.entry.to_string(),
+            residual: spec.source().to_string(),
+            stats: spec.stats,
+        };
+        match c.put(&entry) {
+            Ok(path) => eprintln!("cached residual at {}", path.display()),
+            Err(e) => eprintln!("warning: could not store cache entry: {e}"),
         }
     }
     opts.finish_telemetry(&rec)
@@ -587,6 +707,11 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
                 cfg.trace_path = Some(v.clone());
                 continue;
             }
+            "--cache-dir" => {
+                let v = it.next().ok_or("--cache-dir needs a directory")?;
+                cfg.cache_dir = Some(v.clone());
+                continue;
+            }
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a value")?;
                 threads = Some(parse_threads(v, ThreadOrigin::Flag).map_err(|e| e.to_string())?);
@@ -597,6 +722,7 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
             "--queue-depth" => ServeKnob::QueueDepth,
             "--deadline-ms" => ServeKnob::DeadlineMs,
             "--client-fuel" => ServeKnob::ClientFuel,
+            "--memo-cap" => ServeKnob::MemoCap,
             other => return Err(format!("serve: unknown option `{other}`")),
         };
         let v = it.next().ok_or_else(|| format!("{} needs a value", knob.flag()))?;
@@ -604,6 +730,17 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
         pinned.push(knob);
     }
     cfg.apply_env(&pinned).map_err(|e| e.to_string())?;
+    if cfg.cache_dir.is_none() {
+        if let Ok(v) = std::env::var(mspec_cache::CACHE_DIR_ENV) {
+            cfg.cache_dir = Some(v);
+        }
+    }
+    // Validate the cache directory up front so a bad path is a startup
+    // error, not a silently cold daemon.
+    if let Some(dir) = &cfg.cache_dir {
+        mspec_cache::DiskCache::open(dir)
+            .map_err(|e| format!("serve: cannot open cache dir {dir}: {e}"))?;
+    }
     match threads {
         Some(n) => cfg.workers = n.get(),
         None => {

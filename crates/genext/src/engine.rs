@@ -39,6 +39,7 @@ use mspec_bta::division::{Division, ParamBt};
 use mspec_bta::BtMask;
 use mspec_lang::ast::{CallName, Def, Expr, Ident, ModName, PrimOp, QualName};
 use mspec_lang::eval::Value;
+use mspec_lang::{FromJson, Json, JsonError, ToJson};
 use mspec_telemetry::{Decision, Recorder, SpecEvent};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::rc::Rc;
@@ -158,6 +159,40 @@ impl SpecStats {
             residual_nodes: self.residual_nodes as u64,
             generalised: self.generalised as u64,
         }
+    }
+}
+
+impl ToJson for SpecStats {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("specialisations", Json::Num(self.specialisations as u128)),
+            ("memo_probes", Json::Num(self.memo_probes as u128)),
+            ("memo_hits", Json::Num(self.memo_hits as u128)),
+            ("unfolds", Json::Num(self.unfolds as u128)),
+            ("steps", Json::Num(u128::from(self.steps))),
+            ("peak_pending", Json::Num(self.peak_pending as u128)),
+            ("peak_open", Json::Num(self.peak_open as u128)),
+            ("residual_nodes", Json::Num(self.residual_nodes as u128)),
+            ("residual_modules", Json::Num(self.residual_modules as u128)),
+            ("generalised", Json::Num(self.generalised as u128)),
+        ])
+    }
+}
+
+impl FromJson for SpecStats {
+    fn from_json_value(j: &Json) -> Result<SpecStats, JsonError> {
+        Ok(SpecStats {
+            specialisations: j.get("specialisations")?.as_usize()?,
+            memo_probes: j.get("memo_probes")?.as_usize()?,
+            memo_hits: j.get("memo_hits")?.as_usize()?,
+            unfolds: j.get("unfolds")?.as_usize()?,
+            steps: j.get("steps")?.as_u64()?,
+            peak_pending: j.get("peak_pending")?.as_usize()?,
+            peak_open: j.get("peak_open")?.as_usize()?,
+            residual_nodes: j.get("residual_nodes")?.as_usize()?,
+            residual_modules: j.get("residual_modules")?.as_usize()?,
+            generalised: j.get("generalised")?.as_usize()?,
+        })
     }
 }
 

@@ -22,7 +22,8 @@ use mspec_lang::ast::{Ident, ModName, PrimOp, QualName};
 use mspec_lang::modgraph::ModGraph;
 use mspec_lang::{FromJson, Json, JsonError, Module, Program, ToJson};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// A compiled binding-time term: evaluating it against a call's
 /// [`BtMask`] costs one AND and one OR.
@@ -485,15 +486,74 @@ impl FromJson for GenModule {
     }
 }
 
+/// One function handed to the linker: either already decoded, or still
+/// the compact JSON slice it occupies inside a seekable `.gx` body
+/// (format v2), to be decoded only if the engine ever looks it up.
+#[derive(Debug)]
+pub enum FnUnit {
+    /// Decoded and ready to specialise.
+    Ready(GenFn),
+    /// Still encoded; the linker indexes it by name without parsing.
+    Encoded {
+        /// The function's qualified name (from the `.gx` offset table).
+        name: QualName,
+        /// The compact JSON encoding of the [`GenFn`].
+        encoded: Box<str>,
+    },
+}
+
+impl FnUnit {
+    /// The function's name, available without decoding.
+    pub fn name(&self) -> QualName {
+        match self {
+            FnUnit::Ready(f) => f.name,
+            FnUnit::Encoded { name, .. } => *name,
+        }
+    }
+}
+
+/// A module's linker-facing skeleton: name, imports, and functions that
+/// may still be encoded. [`GenProgram::link_units`] consumes these;
+/// `From<GenModule>` gives the fully-decoded form.
+#[derive(Debug)]
+pub struct LinkUnit {
+    /// The module's name.
+    pub name: ModName,
+    /// Its direct imports (needed for placement).
+    pub imports: Vec<ModName>,
+    /// Its functions, decoded or lazily encoded.
+    pub fns: Vec<FnUnit>,
+}
+
+impl From<GenModule> for LinkUnit {
+    fn from(m: GenModule) -> LinkUnit {
+        LinkUnit {
+            name: m.name,
+            imports: m.imports,
+            fns: m.fns.into_iter().map(FnUnit::Ready).collect(),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum FnSlot {
+    Ready(GenFn),
+    Lazy { encoded: Box<str>, cell: OnceLock<Option<GenFn>> },
+}
+
 /// A linked program: generating extensions of all modules, ready to run.
 ///
 /// Linking needs no source code — only `.gx` modules — reproducing the
-/// paper's point that library sources stay private.
+/// paper's point that library sources stay private. Functions linked
+/// from seekable (v2) `.gx` files stay encoded until first lookup, so a
+/// session pays decode cost only for the definitions it actually uses;
+/// [`GenProgram::lazy_decoded_bytes`] reports how much was decoded.
 #[derive(Debug)]
 pub struct GenProgram {
-    modules: Vec<GenModule>,
+    modules: Vec<Vec<FnSlot>>,
     index: HashMap<QualName, (usize, usize)>,
     graph: ModGraph,
+    lazy_decoded: AtomicU64,
 }
 
 impl GenProgram {
@@ -506,34 +566,71 @@ impl GenProgram {
     /// [`SpecError::TypeConfusion`] (cannot happen for modules produced
     /// by the cogen from a resolved program).
     pub fn link(modules: Vec<GenModule>) -> Result<GenProgram, SpecError> {
+        GenProgram::link_units(modules.into_iter().map(LinkUnit::from).collect())
+    }
+
+    /// Links modules whose functions may still be encoded (loaded from
+    /// seekable `.gx` files). Indexing uses only the names from the
+    /// offset table; no function body is parsed here.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`GenProgram::link`].
+    pub fn link_units(units: Vec<LinkUnit>) -> Result<GenProgram, SpecError> {
         let mut index = HashMap::new();
-        for (mi, m) in modules.iter().enumerate() {
-            for (fi, f) in m.fns.iter().enumerate() {
-                if index.insert(f.name, (mi, fi)).is_some() {
-                    return Err(SpecError::DuplicateModule(m.name));
+        for (mi, u) in units.iter().enumerate() {
+            for (fi, f) in u.fns.iter().enumerate() {
+                if index.insert(f.name(), (mi, fi)).is_some() {
+                    return Err(SpecError::DuplicateModule(u.name));
                 }
             }
         }
         // Rebuild the import graph from the module skeletons.
         let skeleton = Program::new(
-            modules
+            units
                 .iter()
-                .map(|m| Module::new(m.name, m.imports.clone(), vec![]))
+                .map(|u| Module::new(u.name, u.imports.clone(), vec![]))
                 .collect(),
         );
         let graph = ModGraph::new(&skeleton).map_err(|e| SpecError::TypeConfusion(e.to_string()))?;
-        Ok(GenProgram { modules, index, graph })
+        let modules = units
+            .into_iter()
+            .map(|u| {
+                u.fns
+                    .into_iter()
+                    .map(|f| match f {
+                        FnUnit::Ready(g) => FnSlot::Ready(g),
+                        FnUnit::Encoded { encoded, .. } => {
+                            FnSlot::Lazy { encoded, cell: OnceLock::new() }
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(GenProgram { modules, index, graph, lazy_decoded: AtomicU64::new(0) })
     }
 
-    /// Looks up a function's generating extension.
+    /// Looks up a function's generating extension, decoding it on first
+    /// use if it was linked lazily. A lazily-linked function that fails
+    /// to decode behaves as absent — this cannot happen for artefacts
+    /// that passed the `.gx` checksum, whose offset table and body were
+    /// written together.
     pub fn function(&self, q: &QualName) -> Option<&GenFn> {
         let (mi, fi) = *self.index.get(q)?;
-        Some(&self.modules[mi].fns[fi])
+        match &self.modules[mi][fi] {
+            FnSlot::Ready(f) => Some(f),
+            FnSlot::Lazy { encoded, cell } => cell
+                .get_or_init(|| {
+                    self.lazy_decoded.fetch_add(encoded.len() as u64, Ordering::Relaxed);
+                    GenFn::from_json_str(encoded).ok()
+                })
+                .as_ref(),
+        }
     }
 
-    /// The linked modules.
-    pub fn modules(&self) -> &[GenModule] {
-        &self.modules
+    /// Number of linked modules.
+    pub fn module_count(&self) -> usize {
+        self.modules.len()
     }
 
     /// The (source) module import graph, used by placement.
@@ -544,6 +641,12 @@ impl GenProgram {
     /// Total number of linked functions.
     pub fn fn_count(&self) -> usize {
         self.index.len()
+    }
+
+    /// Bytes of function payload decoded lazily since linking — the
+    /// in-memory counterpart of the `io.gx_bytes_decoded` counter.
+    pub fn lazy_decoded_bytes(&self) -> u64 {
+        self.lazy_decoded.load(Ordering::Relaxed)
     }
 }
 
@@ -621,7 +724,44 @@ mod tests {
         assert!(p.function(&QualName::new("M", "id")).is_some());
         assert!(p.function(&QualName::new("M", "nope")).is_none());
         assert_eq!(p.fn_count(), 1);
-        assert_eq!(p.modules().len(), 1);
+        assert_eq!(p.module_count(), 1);
+    }
+
+    #[test]
+    fn link_units_decodes_lazily_and_counts_bytes() {
+        let m = tiny_module();
+        let encoded: Box<str> = m.fns[0].to_json_compact().into();
+        let encoded_len = encoded.len() as u64;
+        let unit = LinkUnit {
+            name: m.name,
+            imports: vec![],
+            fns: vec![FnUnit::Encoded { name: m.fns[0].name, encoded }],
+        };
+        let p = GenProgram::link_units(vec![unit]).unwrap();
+        // Linking alone decodes nothing.
+        assert_eq!(p.lazy_decoded_bytes(), 0);
+        let q = QualName::new("M", "id");
+        let f = p.function(&q).unwrap();
+        assert_eq!(f.name, q);
+        assert_eq!(p.lazy_decoded_bytes(), encoded_len);
+        // A second lookup reuses the decoded function: no double count.
+        assert!(p.function(&q).is_some());
+        assert_eq!(p.lazy_decoded_bytes(), encoded_len);
+    }
+
+    #[test]
+    fn link_units_rejects_duplicates_without_decoding() {
+        let m = tiny_module();
+        let enc: Box<str> = m.fns[0].to_json_compact().into();
+        let mk = |enc: Box<str>| LinkUnit {
+            name: m.name,
+            imports: vec![],
+            fns: vec![FnUnit::Encoded { name: m.fns[0].name, encoded: enc }],
+        };
+        assert!(matches!(
+            GenProgram::link_units(vec![mk(enc.clone()), mk(enc)]),
+            Err(SpecError::DuplicateModule(_))
+        ));
     }
 
     #[test]

@@ -46,6 +46,6 @@ pub use budget::{BudgetResource, CancelToken, OnExhaustion, SpecBudget};
 pub use emit::{FileSink, MemorySink, ModuleSink, ResidualProgram};
 pub use engine::{CostModel, Engine, EngineOptions, Provenance, SpecArg, SpecStats, Strategy};
 pub use error::SpecError;
-pub use gexp::{BtCode, GExp, GenFn, GenModule, GenProgram};
+pub use gexp::{BtCode, FnUnit, GExp, GenFn, GenModule, GenProgram, LinkUnit};
 pub use parallel::{specialise_streaming_threaded, specialise_threaded, ParallelOutcome};
 pub use value::{Closure, PKey, PVal};

@@ -24,6 +24,9 @@ pub enum ServeKnob {
     DeadlineMs,
     /// Per-connection step-fuel account for admission control.
     ClientFuel,
+    /// Entry cap on each resident cache (programs, artefact sets, memo,
+    /// compiled residuals); oldest entries are evicted past it.
+    MemoCap,
 }
 
 impl ServeKnob {
@@ -35,6 +38,7 @@ impl ServeKnob {
             ServeKnob::QueueDepth => "--queue-depth",
             ServeKnob::DeadlineMs => "--deadline-ms",
             ServeKnob::ClientFuel => "--client-fuel",
+            ServeKnob::MemoCap => "--memo-cap",
         }
     }
 
@@ -46,6 +50,7 @@ impl ServeKnob {
             ServeKnob::QueueDepth => "MSPEC_QUEUE_DEPTH",
             ServeKnob::DeadlineMs => "MSPEC_DEADLINE_MS",
             ServeKnob::ClientFuel => "MSPEC_CLIENT_FUEL",
+            ServeKnob::MemoCap => "MSPEC_MEMO_CAP",
         }
     }
 
@@ -164,6 +169,13 @@ pub struct ServeConfig {
     /// residual through the superinstruction pass before it enters the
     /// compiled-program cache (`--vm-opt fuse`).
     pub vm_opt: VmOpt,
+    /// Entry cap per resident cache; oldest-inserted entries are
+    /// evicted past it (`serve.cache.evictions` counts them).
+    pub memo_cap: usize,
+    /// Root of the persistent residual cache (`--cache-dir`, or the
+    /// `MSPEC_CACHE_DIR` environment variable). `None` disables the
+    /// disk tier.
+    pub cache_dir: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -178,6 +190,8 @@ impl Default for ServeConfig {
             chaos: false,
             trace_path: None,
             vm_opt: VmOpt::None,
+            memo_cap: 1024,
+            cache_dir: None,
         }
     }
 }
@@ -205,6 +219,7 @@ impl ServeConfig {
             ServeKnob::QueueDepth,
             ServeKnob::DeadlineMs,
             ServeKnob::ClientFuel,
+            ServeKnob::MemoCap,
         ] {
             if pinned.contains(&knob) {
                 continue;
@@ -235,6 +250,7 @@ impl ServeConfig {
             ServeKnob::QueueDepth => self.queue_depth = n as usize,
             ServeKnob::DeadlineMs => self.deadline_ms = n,
             ServeKnob::ClientFuel => self.client_fuel = n,
+            ServeKnob::MemoCap => self.memo_cap = n as usize,
         }
         Ok(())
     }
@@ -273,6 +289,18 @@ mod tests {
         assert_eq!(cfg.port, 0);
         let err = cfg.set_flag(ServeKnob::Port, "70000").unwrap_err();
         assert_eq!(err.to_string(), "--port expects a positive integer, got `70000`");
+    }
+
+    #[test]
+    fn memo_cap_knob_applies_and_rejects_zero() {
+        let mut cfg = ServeConfig::default();
+        assert_eq!(cfg.memo_cap, 1024);
+        cfg.set_flag(ServeKnob::MemoCap, "8").unwrap();
+        assert_eq!(cfg.memo_cap, 8);
+        let err = cfg.set_flag(ServeKnob::MemoCap, "0").unwrap_err();
+        assert_eq!(err.to_string(), "--memo-cap requires at least 1 (got 0)");
+        let err = cfg.set(ServeKnob::MemoCap, KnobOrigin::Env, "many").unwrap_err();
+        assert_eq!(err.to_string(), "MSPEC_MEMO_CAP expects a positive integer, got `many`");
     }
 
     #[test]

@@ -30,9 +30,27 @@
 //!   goes straight to VM dispatch; and because the key embeds the memo
 //!   identity, compiled code is invalidated exactly when the memoised
 //!   residual is.
+//!
+//! Each cache is **bounded** ([`ResidentOptions::memo_cap`], the
+//! `--memo-cap` knob): past the cap the oldest-inserted entry is
+//! evicted (counted in `serve.cache.evictions`), so a daemon fed an
+//! endless stream of distinct requests holds steady instead of growing
+//! without bound. Below the in-memory tiers sits an optional
+//! **persistent disk cache** ([`mspec_cache::DiskCache`], the
+//! `--cache-dir` knob): memo misses probe it and finished residuals are
+//! stored to it, so a *restarted* daemon — or a CLI run sharing the
+//! directory — answers warm (`memo_hit: true`) without running the
+//! engine. Keys are derived in `mspec-cache` (identical to the memo's),
+//! so staleness is the same story: the key embeds the interface
+//! identity, and entries for superseded interfaces are simply
+//! unreachable.
 
 use crate::proto::{parse_division, parse_values, ErrorClass, ErrorInfo, RunRequest, SpecRequest};
 use mspec_bta::analyse::analyse_program_with;
+use mspec_cache::{
+    bti_files, dir_source_key, inline_source_key, interfaces_identity, spec_key, CacheEntry,
+    DiskCache,
+};
 use mspec_cogen::compile::compile_program;
 use mspec_cogen::{bti_fingerprint, fnv64, link_dir, CogenError};
 use mspec_genext::{
@@ -48,7 +66,9 @@ use mspec_lang::resolve::resolve;
 use mspec_lang::vm::{Vm, VmOpt};
 use mspec_telemetry::Recorder;
 use mspec_types::infer_program;
-use std::collections::{BTreeSet, HashMap};
+use std::borrow::Borrow;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::hash::Hash;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
@@ -127,14 +147,99 @@ pub struct ResidentStats {
     /// Compiled-residual cache hits (`run` requests that skipped
     /// straight to dispatch).
     pub compiled_hits: u64,
+    /// Entries evicted from any resident cache at its `--memo-cap`.
+    pub evictions: u64,
+    /// Specialisations answered by the on-disk residual cache
+    /// (`--cache-dir`) — warm-restart memo hits.
+    pub disk_hits: u64,
+    /// Finished residuals persisted to the on-disk cache.
+    pub disk_stores: u64,
+}
+
+/// A FIFO-bounded map: at most `cap` live entries, oldest-inserted
+/// evicted first. Re-inserting an existing key refreshes its value but
+/// not its age; `remove`/`retain` leave stale order slots behind, which
+/// the eviction loop skips (each is visited at most once, so the order
+/// queue cannot grow past inserts).
+struct Bounded<K, V> {
+    map: HashMap<K, V>,
+    order: VecDeque<K>,
+    cap: usize,
+}
+
+impl<K: Hash + Eq + Clone, V> Bounded<K, V> {
+    fn new(cap: usize) -> Bounded<K, V> {
+        Bounded { map: HashMap::new(), order: VecDeque::new(), cap: cap.max(1) }
+    }
+
+    fn get<Q>(&self, k: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.map.get(k)
+    }
+
+    /// Inserts, evicting oldest entries past the cap. Returns how many
+    /// entries were evicted (0 or 1 in steady state).
+    fn insert(&mut self, k: K, v: V) -> u64 {
+        if self.map.insert(k.clone(), v).is_none() {
+            self.order.push_back(k);
+        }
+        let mut evicted = 0;
+        while self.map.len() > self.cap {
+            let Some(old) = self.order.pop_front() else { break };
+            if self.map.remove(&old).is_some() {
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    fn remove<Q>(&mut self, k: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.map.remove(k)
+    }
+
+    fn retain(&mut self, f: impl FnMut(&K, &mut V) -> bool) {
+        self.map.retain(f);
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+}
+
+/// Construction options for [`Resident`].
+#[derive(Debug, Clone)]
+pub struct ResidentOptions {
+    /// Entry cap applied to each resident cache (programs, artefact
+    /// sets, memo, compiled residuals); oldest entries are evicted
+    /// first. The `--memo-cap` serve knob.
+    pub memo_cap: usize,
+    /// Optional persistent residual cache (`--cache-dir`): memo misses
+    /// probe it, finished specialisations are stored to it, so a
+    /// restarted daemon pointed at the same directory answers warm.
+    pub disk: Option<DiskCache>,
+}
+
+impl Default for ResidentOptions {
+    fn default() -> ResidentOptions {
+        ResidentOptions { memo_cap: 1024, disk: None }
+    }
 }
 
 /// The resident cache shared by all workers.
 pub struct Resident {
-    programs: Mutex<HashMap<u64, Arc<GenProgram>>>,
-    artefacts: Mutex<HashMap<String, Arc<ArtefactSet>>>,
-    memo: Mutex<HashMap<String, SpecOutcome>>,
-    compiled: Mutex<HashMap<String, Arc<CompiledResidual>>>,
+    programs: Mutex<Bounded<u64, Arc<GenProgram>>>,
+    artefacts: Mutex<Bounded<String, Arc<ArtefactSet>>>,
+    memo: Mutex<Bounded<String, SpecOutcome>>,
+    compiled: Mutex<Bounded<String, Arc<CompiledResidual>>>,
+    disk: Option<DiskCache>,
     stats: Mutex<ResidentStats>,
 }
 
@@ -145,14 +250,28 @@ impl Default for Resident {
 }
 
 impl Resident {
-    /// An empty cache.
+    /// An empty cache with default options.
     pub fn new() -> Resident {
+        Resident::with_options(ResidentOptions::default())
+    }
+
+    /// An empty cache with an explicit entry cap and optional
+    /// persistent disk tier.
+    pub fn with_options(opts: ResidentOptions) -> Resident {
         Resident {
-            programs: Mutex::new(HashMap::new()),
-            artefacts: Mutex::new(HashMap::new()),
-            memo: Mutex::new(HashMap::new()),
-            compiled: Mutex::new(HashMap::new()),
+            programs: Mutex::new(Bounded::new(opts.memo_cap)),
+            artefacts: Mutex::new(Bounded::new(opts.memo_cap)),
+            memo: Mutex::new(Bounded::new(opts.memo_cap)),
+            compiled: Mutex::new(Bounded::new(opts.memo_cap)),
+            disk: opts.disk,
             stats: Mutex::new(ResidentStats::default()),
+        }
+    }
+
+    fn note_evictions(&self, n: u64, rec: &Recorder) {
+        if n > 0 {
+            lock(&self.stats).evictions += n;
+            rec.count("serve.cache.evictions", n);
         }
     }
 
@@ -196,12 +315,33 @@ impl Resident {
         // so a stale memo entry can never shadow a changed artefact.
         let (gen, source_key) = self.load_program(req, rec)?;
         let memo_key = memo_key(req, &source_key);
-        if let Some(hit) = lock(&self.memo).get(&memo_key) {
+        if let Some(hit) = lock(&self.memo).get(memo_key.as_str()) {
             lock(&self.stats).memo_hits += 1;
             // `residual` is an `Arc<str>`: this clone is a refcount
             // bump, not a copy of the rendered source.
             let outcome = SpecOutcome { memo_hit: true, ..hit.clone() };
             return Ok((outcome, memo_key));
+        }
+        // Persistent tier: a finished residual stored by an earlier
+        // process (CLI run or pre-restart daemon) under the same key.
+        // Safe to serve for the same reason the memo is — the program
+        // already loaded and revalidated above, and the key embeds its
+        // identity. Corrupt or torn entries read as `None` (a miss) and
+        // are rewritten below.
+        if let Some(disk) = &self.disk {
+            if let Some(hit) = disk.get(&memo_key) {
+                let outcome = SpecOutcome {
+                    entry: hit.entry,
+                    residual: hit.residual.into(),
+                    stats: hit.stats,
+                    memo_hit: false,
+                };
+                let evicted = lock(&self.memo).insert(memo_key.clone(), outcome.clone());
+                self.note_evictions(evicted, rec);
+                lock(&self.stats).disk_hits += 1;
+                rec.count("serve.cache.disk_hits", 1);
+                return Ok((SpecOutcome { memo_hit: true, ..outcome }, memo_key));
+            }
         }
 
         let (module, function) = req.entry.split_once('.').ok_or_else(|| {
@@ -242,7 +382,22 @@ impl Resident {
                     stats: *engine.stats(),
                     memo_hit: false,
                 };
-                lock(&self.memo).insert(memo_key.clone(), outcome.clone());
+                let evicted = lock(&self.memo).insert(memo_key.clone(), outcome.clone());
+                self.note_evictions(evicted, rec);
+                if let Some(disk) = &self.disk {
+                    let entry = CacheEntry {
+                        key: memo_key.clone(),
+                        entry: outcome.entry.clone(),
+                        residual: outcome.residual.to_string(),
+                        stats: outcome.stats,
+                    };
+                    // A failed store is not a request failure: the
+                    // cache is an accelerator, the residual is in hand.
+                    if disk.put(&entry).is_ok() {
+                        lock(&self.stats).disk_stores += 1;
+                        rec.count("serve.cache.disk_stores", 1);
+                    }
+                }
                 Ok((outcome, memo_key))
             }
             Err(e) => Err(spec_error_info(e, *engine.stats())),
@@ -277,7 +432,7 @@ impl Resident {
         // Unfused and fused programs are distinct residents: a daemon
         // restarted with another `--vm-opt` must not serve stale tiers.
         let compiled_key = format!("{}|{memo_key}", opt.name());
-        let cached = lock(&self.compiled).get(&compiled_key).cloned();
+        let cached = lock(&self.compiled).get(compiled_key.as_str()).cloned();
         let (compiled, compiled_hit) = match cached {
             Some(c) => {
                 lock(&self.stats).compiled_hits += 1;
@@ -290,7 +445,8 @@ impl Resident {
                     Arc::new(compile_residual(&outcome, opt, rec)?)
                 };
                 lock(&self.stats).residuals_compiled += 1;
-                lock(&self.compiled).insert(compiled_key, Arc::clone(&c));
+                let evicted = lock(&self.compiled).insert(compiled_key, Arc::clone(&c));
+                self.note_evictions(evicted, rec);
                 (c, false)
             }
         };
@@ -335,10 +491,10 @@ impl Resident {
     ) -> Result<(Arc<GenProgram>, String), ErrorInfo> {
         if let Some(src) = &req.program {
             let gen = self.load_inline(src, rec)?;
-            return Ok((gen, format!("src:{:016x}", fnv64(src.as_bytes()))));
+            return Ok((gen, inline_source_key(src)));
         }
         if let Some(dir) = &req.dir {
-            return self.load_artefacts(dir);
+            return self.load_artefacts(dir, rec);
         }
         Err(ErrorInfo::new(
             ErrorClass::BadRequest,
@@ -357,11 +513,16 @@ impl Resident {
             .map_err(|msg| ErrorInfo::new(ErrorClass::Compile, msg))?;
         let gen = Arc::new(gen);
         lock(&self.stats).programs_built += 1;
-        lock(&self.programs).insert(key, Arc::clone(&gen));
+        let evicted = lock(&self.programs).insert(key, Arc::clone(&gen));
+        self.note_evictions(evicted, rec);
         Ok(gen)
     }
 
-    fn load_artefacts(&self, dir: &str) -> Result<(Arc<GenProgram>, String), ErrorInfo> {
+    fn load_artefacts(
+        &self,
+        dir: &str,
+        rec: &Recorder,
+    ) -> Result<(Arc<GenProgram>, String), ErrorInfo> {
         // Bind the cached set outside the `if let`: a guard temporary
         // in the scrutinee would stay locked for the whole block and
         // self-deadlock on the `remove` below.
@@ -369,7 +530,7 @@ impl Resident {
         if let Some(set) = cached {
             if self.revalidate(&set) {
                 lock(&self.stats).artefact_revalidations += 1;
-                return Ok((Arc::clone(&set.gen), dir_key(dir, set.identity)));
+                return Ok((Arc::clone(&set.gen), dir_source_key(dir, set.identity)));
             }
             // An interface changed underneath us: drop and re-link, and
             // purge memoised residuals for every earlier version of
@@ -387,8 +548,9 @@ impl Resident {
         let identity = interfaces_identity(&interfaces);
         let set = Arc::new(ArtefactSet { gen: Arc::new(gen), interfaces, identity });
         lock(&self.stats).artefact_links += 1;
-        lock(&self.artefacts).insert(dir.to_string(), Arc::clone(&set));
-        Ok((Arc::clone(&set.gen), dir_key(dir, identity)))
+        let evicted = lock(&self.artefacts).insert(dir.to_string(), Arc::clone(&set));
+        self.note_evictions(evicted, rec);
+        Ok((Arc::clone(&set.gen), dir_source_key(dir, identity)))
     }
 
     /// `true` when every interface fingerprint recorded at link time
@@ -408,28 +570,15 @@ fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
     }
 }
 
-/// Memo identity of an artefact directory: path plus the hash of the
-/// interface fingerprints it was linked against, so a changed `.bti`
-/// yields a fresh key instead of hitting pre-change entries.
-fn dir_key(dir: &str, identity: u64) -> String {
-    format!("dir:{dir}@{identity:016x}")
-}
-
-fn interfaces_identity(interfaces: &[(PathBuf, u64)]) -> u64 {
-    let mut desc = String::new();
-    for (path, fp) in interfaces {
-        desc.push_str(&format!("{}={fp:016x};", path.display()));
-    }
-    fnv64(desc.as_bytes())
-}
-
+/// The memo key of one request, derived in `mspec-cache` so the CLI's
+/// persistent cache and the daemon's memo address the same entries.
 fn memo_key(req: &SpecRequest, source: &str) -> String {
-    format!(
-        "{source}|{}|{}|{}|{}|{:?}|{:?}",
-        req.entry,
-        req.args,
-        req.fuel.unwrap_or(0),
-        req.max_spec.unwrap_or(0),
+    spec_key(
+        source,
+        &req.entry,
+        &req.args,
+        req.fuel,
+        req.max_spec,
         req.on_exhaustion,
         req.strategy,
     )
@@ -483,18 +632,6 @@ fn build_inline(src: &str) -> Result<GenProgram, String> {
     infer_program(&resolved).map_err(|e| format!("types: {e}"))?;
     let ann = analyse_program_with(&resolved, &BTreeSet::new()).map_err(|e| format!("bta: {e}"))?;
     compile_program(&ann).map_err(|e| format!("cogen: {e}"))
-}
-
-fn bti_files(dir: &str) -> Vec<PathBuf> {
-    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
-        .map(|rd| {
-            rd.filter_map(|e| e.ok().map(|e| e.path()))
-                .filter(|p| p.extension().is_some_and(|e| e == "bti"))
-                .collect()
-        })
-        .unwrap_or_default();
-    files.sort();
-    files
 }
 
 fn spec_error_info(e: SpecError, stats: SpecStats) -> ErrorInfo {
@@ -720,6 +857,110 @@ mod tests {
         assert!(!e.retryable);
         let stats = e.stats.expect("partial stats");
         assert!(stats.steps > 0);
+    }
+
+    #[test]
+    fn memo_cap_bounds_the_cache_and_counts_evictions() {
+        let r = Resident::with_options(ResidentOptions { memo_cap: 2, disk: None });
+        let rec = Recorder::disabled();
+        for n in 2..=5 {
+            let req = spec_req("Power.power", &format!("S:{n},D"));
+            r.execute_spec(&req, CancelToken::new(), &rec).unwrap();
+        }
+        // Four distinct memo entries through a cap of two: two evicted.
+        assert_eq!(r.stats().evictions, 2);
+        assert_eq!(lock(&r.memo).map.len(), 2);
+        // The freshest entry is still memoised; the oldest re-runs.
+        let warm = r.execute_spec(&spec_req("Power.power", "S:5,D"), CancelToken::new(), &rec);
+        assert!(warm.unwrap().memo_hit);
+        let cold = r.execute_spec(&spec_req("Power.power", "S:2,D"), CancelToken::new(), &rec);
+        assert!(!cold.unwrap().memo_hit, "evicted entries must re-run the engine");
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let mut b: Bounded<String, u32> = Bounded::new(2);
+        assert_eq!(b.insert("a".into(), 1), 0);
+        assert_eq!(b.insert("b".into(), 2), 0);
+        assert_eq!(b.insert("a".into(), 3), 0, "refresh is not growth");
+        assert_eq!(b.get("a"), Some(&3));
+        assert_eq!(b.insert("c".into(), 4), 1, "third distinct key evicts the oldest");
+        assert!(b.get("a").is_none());
+        // Stale order slots (from remove) are skipped, not counted.
+        b.remove("b");
+        assert_eq!(b.insert("d".into(), 5), 0);
+        assert_eq!(b.insert("e".into(), 6), 1);
+    }
+
+    #[test]
+    fn disk_cache_survives_a_daemon_restart() {
+        let dir = std::env::temp_dir().join(format!("mspec-serve-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let rec = Recorder::disabled();
+        let req = spec_req("Power.power", "S:4,D");
+
+        let opts = || ResidentOptions {
+            memo_cap: 64,
+            disk: DiskCache::open(&dir).ok(),
+        };
+        let first = Resident::with_options(opts());
+        let cold = first.execute_spec(&req, CancelToken::new(), &rec).unwrap();
+        assert!(!cold.memo_hit);
+        assert_eq!(first.stats().disk_stores, 1);
+
+        // A fresh Resident over the same directory is a daemon restart:
+        // empty in-memory caches, warm disk.
+        let second = Resident::with_options(opts());
+        let warm = second.execute_spec(&req, CancelToken::new(), &rec).unwrap();
+        assert!(warm.memo_hit, "restart answers from the persistent cache");
+        assert_eq!(warm.residual, cold.residual, "byte-identical residual");
+        assert_eq!(warm.stats, cold.stats, "original run's counters travel with the entry");
+        let s = second.stats();
+        assert_eq!(s.disk_hits, 1);
+        assert_eq!(s.memo_hits, 0, "the in-memory memo was empty");
+        // The disk hit warmed the memo: a repeat is a memo hit, not a
+        // second disk read.
+        let third = second.execute_spec(&req, CancelToken::new(), &rec).unwrap();
+        assert!(third.memo_hit);
+        assert_eq!(second.stats().memo_hits, 1);
+        assert_eq!(second.stats().disk_hits, 1);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entries_rerun_the_engine_and_are_rewritten() {
+        let dir = std::env::temp_dir().join(format!("mspec-serve-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let rec = Recorder::disabled();
+        let req = spec_req("Power.power", "S:7,D");
+        let opts = || ResidentOptions {
+            memo_cap: 64,
+            disk: DiskCache::open(&dir).ok(),
+        };
+
+        let first = Resident::with_options(opts());
+        let cold = first.execute_spec(&req, CancelToken::new(), &rec).unwrap();
+
+        // Tear every cache entry on disk down to a prefix.
+        for f in std::fs::read_dir(&dir).unwrap().filter_map(Result::ok) {
+            let bytes = std::fs::read(f.path()).unwrap();
+            std::fs::write(f.path(), &bytes[..bytes.len() / 2]).unwrap();
+        }
+
+        let second = Resident::with_options(opts());
+        let redone = second.execute_spec(&req, CancelToken::new(), &rec).unwrap();
+        assert!(!redone.memo_hit, "a torn entry is a miss, never served");
+        assert_eq!(redone.residual, cold.residual);
+        let s = second.stats();
+        assert_eq!(s.disk_hits, 0);
+        assert_eq!(s.disk_stores, 1, "the engine run rewrote the torn entry");
+
+        // And the rewrite repaired the slot for the next restart.
+        let third = Resident::with_options(opts());
+        assert!(third.execute_spec(&req, CancelToken::new(), &rec).unwrap().memo_hit);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -33,7 +33,8 @@ use crate::proto::{
     ResponseBody, RunRequest, SpecRequest,
 };
 use crate::queue::{BoundedQueue, PushError};
-use crate::resident::Resident;
+use crate::resident::{Resident, ResidentOptions};
+use mspec_cache::DiskCache;
 use mspec_genext::{CancelToken, SpecBudget, SpecStats};
 use mspec_lang::json::{FromJson, Json, ToJson};
 use mspec_telemetry::Recorder;
@@ -192,6 +193,9 @@ impl State {
                 ("resident.memo_hits".to_string(), r.memo_hits),
                 ("resident.residuals_compiled".to_string(), r.residuals_compiled),
                 ("resident.compiled_hits".to_string(), r.compiled_hits),
+                ("serve.cache.evictions".to_string(), r.evictions),
+                ("serve.cache.disk_hits".to_string(), r.disk_hits),
+                ("serve.cache.disk_stores".to_string(), r.disk_stores),
             ]);
         }
         out
@@ -242,10 +246,16 @@ impl Server {
     /// Builds the server and spawns `cfg.workers` request workers plus
     /// the deadline watchdog.
     pub fn new(cfg: ServeConfig, rec: Recorder) -> Server {
+        // `serve_cmd` validates `--cache-dir` before the server is
+        // built, so a failed open here (raced directory removal) just
+        // runs without the disk tier rather than refusing to start.
+        let disk = cfg.cache_dir.as_ref().and_then(|d| DiskCache::open(d).ok());
+        let resident =
+            Resident::with_options(ResidentOptions { memo_cap: cfg.memo_cap, disk });
         let state = Arc::new(State {
             queue: BoundedQueue::new(cfg.queue_depth),
             cfg,
-            resident: Resident::new(),
+            resident,
             rec,
             started: Instant::now(),
             shutdown: AtomicBool::new(false),

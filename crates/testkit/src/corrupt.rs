@@ -39,11 +39,14 @@ pub fn flip_bit_at(path: &Path, offset: usize, mask: u8) {
     fs::write(path, bytes).expect("write corrupted artefact");
 }
 
-/// Rewrites the header's `v1` version token to a far-future version,
-/// leaving payload and checksum intact.
+/// Rewrites the header's version token (`v1` or the seekable `v2`) to a
+/// far-future version, leaving payload and checksum intact.
 pub fn bump_version(path: &Path) {
     let text = fs::read_to_string(path).expect("read artefact");
-    let bumped = text.replacen(" v1 ", " v999 ", 1);
-    assert_ne!(text, bumped, "no `v1` version token in {}", path.display());
+    let mut bumped = text.replacen(" v1 ", " v999 ", 1);
+    if bumped == text {
+        bumped = text.replacen(" v2 ", " v999 ", 1);
+    }
+    assert_ne!(text, bumped, "no `v1`/`v2` version token in {}", path.display());
     fs::write(path, bumped).expect("write version-bumped artefact");
 }

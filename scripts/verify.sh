@@ -104,6 +104,55 @@ mkdir -p target/bench-smoke
 test -s target/bench-smoke/BENCH_pr8.json \
   || { echo "run_table wrote no BENCH_pr8.json"; exit 1; }
 
+echo "==> persistent residual cache smoke (warm spec + daemon restart)"
+# Cold then warm `mspec spec` through the same --cache-dir: the second
+# run must answer from the disk cache (zero engine steps) with a
+# byte-identical residual.
+rm -rf target/cache-smoke
+mkdir -p target/cache-smoke
+timeout 60 ./target/release/mspec spec examples/programs/power.mspec \
+  --entry Power.power --args S:5,D --cache-dir target/cache-smoke/cache \
+  > target/cache-smoke/cold.txt 2> target/cache-smoke/cold.err
+timeout 60 ./target/release/mspec spec examples/programs/power.mspec \
+  --entry Power.power --args S:5,D --cache-dir target/cache-smoke/cache \
+  > target/cache-smoke/warm.txt 2> target/cache-smoke/warm.err
+cmp target/cache-smoke/cold.txt target/cache-smoke/warm.txt \
+  || { echo "warm cached residual differs from the cold run"; exit 1; }
+if grep -q 'cache hit' target/cache-smoke/cold.err; then
+  echo "first spec run unexpectedly hit the cache"; exit 1
+fi
+grep -q 'cache hit.*0 engine steps' target/cache-smoke/warm.err \
+  || { echo "second spec run did not hit the cache"; exit 1; }
+# Daemon restart against the same cache directory: the restarted daemon
+# must serve the identical residual as a memo hit without re-running
+# the engine.
+for round in cold warm; do
+  ./target/release/mspec serve --port 0 --cache-dir target/cache-smoke/dcache \
+    > "target/cache-smoke/serve-${round}.out" 2> "target/cache-smoke/serve-${round}.err" &
+  CACHE_SERVE_PID=$!
+  for _ in $(seq 1 50); do
+    grep -q 'listening on' "target/cache-smoke/serve-${round}.out" && break
+    sleep 0.1
+  done
+  CACHE_ADDR=$(grep -o '127\.0\.0\.1:[0-9]*' "target/cache-smoke/serve-${round}.out")
+  timeout 60 ./target/release/mspec client spec examples/programs/power.mspec \
+    --entry Power.power --args S:6,D --connect "${CACHE_ADDR}" \
+    > "target/cache-smoke/daemon-${round}.txt" 2> "target/cache-smoke/daemon-${round}.err"
+  timeout 60 ./target/release/mspec client shutdown --connect "${CACHE_ADDR}"
+  wait "${CACHE_SERVE_PID}"
+done
+cmp target/cache-smoke/daemon-cold.txt target/cache-smoke/daemon-warm.txt \
+  || { echo "restarted daemon served a different residual"; exit 1; }
+if grep -qF '[memo hit]' target/cache-smoke/daemon-cold.err; then
+  echo "cold daemon run unexpectedly hit the memo"; exit 1
+fi
+grep -qF '[memo hit]' target/cache-smoke/daemon-warm.err \
+  || { echo "restarted daemon did not answer from the persistent cache"; exit 1; }
+# The PR 9 bench asserts the cold/warm and eager/lazy wins internally.
+( cd target/bench-smoke && timeout 600 ../../target/release/cache_table )
+test -s target/bench-smoke/BENCH_pr9.json \
+  || { echo "cache_table wrote no BENCH_pr9.json"; exit 1; }
+
 echo "==> cargo clippy --all-targets -- -D warnings (offline)"
 cargo clippy --all-targets --offline -- -D warnings
 

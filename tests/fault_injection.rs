@@ -296,6 +296,125 @@ fn injected_panic_yields_identical_reports_at_every_thread_count() {
     std::env::remove_var("MSPEC_FAULT_PANIC_MODULE");
 }
 
+/// Persistent residual cache under corruption: torn, truncated,
+/// bit-flipped or version-bumped entries are *misses* — never served,
+/// never fatal — and the next store rewrites the slot.
+#[test]
+fn disk_cache_corruption_is_a_miss_never_fatal() {
+    use mspec_cache::{spec_key, CacheEntry, DiskCache};
+    use mspec_genext::{OnExhaustion, SpecStats, Strategy};
+
+    let dir = tmpdir("cache-corrupt");
+    let cache = DiskCache::open(&dir).unwrap();
+    let key = spec_key(
+        "src:deadbeef",
+        "M.f",
+        "S:3,D",
+        None,
+        None,
+        OnExhaustion::Error,
+        Strategy::BreadthFirst,
+    );
+    let entry = CacheEntry {
+        key: key.clone(),
+        entry: "M.f_3".into(),
+        residual: "module M where\nf_3 x = x + 3\n".into(),
+        stats: SpecStats::default(),
+    };
+    let path = cache.put(&entry).unwrap();
+    assert_eq!(cache.get(&key), Some(entry.clone()));
+
+    let clean = fs::read(&path).unwrap();
+    // Torn writes: truncations at a spread of depths.
+    for keep in [0, 1, 10, clean.len() / 3, clean.len() / 2, clean.len() - 1] {
+        fs::write(&path, &clean).unwrap();
+        truncate_file(&path, keep);
+        assert!(cache.get(&key).is_none(), "truncated to {keep} bytes: must miss");
+    }
+    // Bit flips anywhere in the entry: the checksummed framing catches
+    // every one of them.
+    let mut rng = TestRng::seed_from_u64(0xCAC4E);
+    for round in 0..64 {
+        fs::write(&path, &clean).unwrap();
+        let (off, mask) = flip_random_bit(&path, &mut rng);
+        assert!(
+            cache.get(&key).is_none(),
+            "round {round}: entry with bit {mask:#04x} flipped at byte {off} was served"
+        );
+    }
+    // A future format version is a miss too, not an error.
+    fs::write(&path, &clean).unwrap();
+    bump_version(&path);
+    assert!(cache.get(&key).is_none());
+    // The next store repairs the slot, whatever garbage sits there.
+    fs::write(&path, b"torn to shreds").unwrap();
+    cache.put(&entry).unwrap();
+    assert_eq!(cache.get(&key), Some(entry));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The atomic-write path under a kill mid-write: a writer that dies
+/// before its rename leaves only a private temp file — never a partial
+/// artefact at the final path, never a file a directory scan picks up —
+/// and concurrent writers racing one path always leave some writer's
+/// *complete* output.
+#[test]
+fn kill_mid_write_never_exposes_partial_artefacts() {
+    use mspec_cogen::atomic_write;
+    use mspec_cogen::files::encode_artefact;
+
+    let dir = tmpdir("kill-mid-write");
+    let target = dir.join("M.gx");
+    // The exact on-disk state a killed writer leaves behind: its temp
+    // file holding a partial payload, the rename never reached.
+    let stale_tmp = dir.join(".M.gx.tmp-9999-0");
+    fs::write(&stale_tmp, "#mspec-artefact v2 gx fnv:dead").unwrap();
+    assert!(!target.exists(), "a kill mid-write must not expose a partial artefact");
+    // Temp names are invisible to artefact scans: a real module tree
+    // cogens and links cleanly around the dropping.
+    cogen_tree(&dir);
+    assert!(link_dir(&dir).is_ok(), "stale temp files must not break linking");
+
+    // Concurrent writers racing the same final path (distinct temp
+    // names, atomic renames): every read observes one writer's
+    // complete output, never a torn interleaving.
+    let payloads: Vec<String> = (0..4)
+        .map(|i| encode_artefact("gx", &format!("payload-{i}-{}", "x".repeat(4096))))
+        .collect();
+    std::thread::scope(|s| {
+        let target = &target;
+        for p in &payloads {
+            s.spawn(move || {
+                for _ in 0..50 {
+                    atomic_write(target, p).unwrap();
+                }
+            });
+        }
+        let payloads = &payloads;
+        s.spawn(move || {
+            for _ in 0..200 {
+                if let Ok(text) = fs::read_to_string(target) {
+                    assert!(
+                        payloads.contains(&text),
+                        "torn read: {} bytes observed",
+                        text.len()
+                    );
+                }
+            }
+        });
+    });
+    // Every writer cleaned up after itself: the only temp left is the
+    // simulated-kill one.
+    let leftovers: Vec<_> = fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.contains(".tmp-") && *n != ".M.gx.tmp-9999-0")
+        .collect();
+    assert!(leftovers.is_empty(), "temp droppings: {leftovers:?}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
 /// Daemon chaos matrix: one long-lived server, one abuse sequence.
 /// Malformed JSONL, non-UTF-8 bytes, a frame truncated by a mid-request
 /// disconnect, a panicking request and a budget-exhausting request are
