@@ -155,13 +155,21 @@ fn skewed_spec_pipeline() -> (Pipeline, QualName) {
     (Pipeline::from_source_with(&src, &forced).unwrap(), QualName::new("Main", "main"))
 }
 
+/// Scheduler counters of one threaded run: `(row, steals, idle_parks)`.
+type SchedRow = (String, u64, u64);
+
 /// Times one spec workload sequentially and at each thread count;
-/// asserts the residuals agree and returns `(rows, defs)`.
+/// asserts the residuals agree and returns `(rows, defs, sched)`,
+/// where `sched` carries the work-stealing scheduler's `sched.steals`
+/// and `sched.idle_parks` counters from a traced run at each thread
+/// count — the data the pending multi-core validation needs (a steal
+/// count of 0 at `threads > 1` would mean the deque never balanced;
+/// runaway idle parks would mean workers starve).
 fn spec_rows(
     pipeline: &Pipeline,
     entry: &QualName,
     iters: usize,
-) -> (Vec<(String, Duration)>, usize) {
+) -> (Vec<(String, Duration)>, usize, Vec<SchedRow>) {
     let args = || vec![SpecArg::Dynamic];
     let (seq_t, seq) = time_min(iters, || {
         pipeline
@@ -174,6 +182,7 @@ fn spec_rows(
             .unwrap()
     });
     let mut rows = vec![("sequential".to_string(), seq_t)];
+    let mut sched = Vec::new();
     for n in thread_counts() {
         let (t, par) = time_min(iters, || {
             pipeline
@@ -189,8 +198,38 @@ fn spec_rows(
         });
         assert_eq!(seq.source(), par.source(), "threaded residual drifted at {n} threads");
         rows.push((format!("threads_{n}"), t));
+        // One traced (untimed) run to harvest the scheduler counters.
+        let rec = Recorder::enabled();
+        let _ = pipeline
+            .specialise_threaded(
+                entry.module.as_str(),
+                entry.name.as_str(),
+                args(),
+                EngineOptions::default(),
+                NonZeroUsize::new(n).unwrap(),
+                &rec,
+            )
+            .unwrap();
+        let snap = rec.snapshot();
+        let counter = |name: &str| {
+            snap.counters.iter().find(|(k, _)| k == name).map_or(0, |(_, v)| *v)
+        };
+        sched.push((
+            format!("threads_{n}"),
+            counter("sched.steals"),
+            counter("sched.idle_parks"),
+        ));
     }
-    (rows, seq.stats.specialisations)
+    (rows, seq.stats.specialisations, sched)
+}
+
+fn sched_to_json(sched: &[SchedRow]) -> Vec<(String, Json)> {
+    let mut fields = Vec::new();
+    for (row, steals, parks) in sched {
+        fields.push((format!("{row}_steals"), Json::Num(u128::from(*steals))));
+        fields.push((format!("{row}_idle_parks"), Json::Num(u128::from(*parks))));
+    }
+    fields
 }
 
 fn rows_to_json(rows: &[(String, Duration)]) -> Vec<(String, Json)> {
@@ -230,12 +269,18 @@ fn run() {
 
     // --- the concurrent engine: specialise-time scaling --------------
     let (upipe, uentry) = uniform_spec_pipeline();
-    let (uniform_spec, uniform_defs) = spec_rows(&upipe, &uentry, 12);
+    let (uniform_spec, uniform_defs, uniform_sched) = spec_rows(&upipe, &uentry, 12);
     let (spipe, sentry) = skewed_spec_pipeline();
-    let (skewed_spec, skewed_defs) = spec_rows(&spipe, &sentry, 12);
+    let (skewed_spec, skewed_defs, skewed_sched) = spec_rows(&spipe, &sentry, 12);
     print_rows(&format!("specialise, uniform polyvariant library ({uniform_defs} defs)"),
         &uniform_spec);
     print_rows(&format!("specialise, skewed chain-vs-fan ({skewed_defs} defs)"), &skewed_spec);
+    println!("scheduler counters (steals / idle parks):");
+    for (label, sched) in [("uniform", &uniform_sched), ("skewed", &skewed_sched)] {
+        for (row, steals, parks) in sched.iter() {
+            println!("  {label:<8} {row:<12} {steals:>6} / {parks}");
+        }
+    }
 
     let u1 = ratio_vs_sequential(&uniform_spec, "threads_1");
     let s1 = ratio_vs_sequential(&skewed_spec, "threads_1");
@@ -266,23 +311,25 @@ fn run() {
             obj(vec![
                 (
                     "uniform".to_string(),
-                    section(
-                        &uniform_spec,
-                        vec![
+                    section(&uniform_spec, {
+                        let mut extra = vec![
                             ("defs".to_string(), Json::Num(uniform_defs as u128)),
                             ("threads1_vs_sequential_milli".to_string(), milli_ratio(u1)),
-                        ],
-                    ),
+                        ];
+                        extra.extend(sched_to_json(&uniform_sched));
+                        extra
+                    }),
                 ),
                 (
                     "skewed".to_string(),
-                    section(
-                        &skewed_spec,
-                        vec![
+                    section(&skewed_spec, {
+                        let mut extra = vec![
                             ("defs".to_string(), Json::Num(skewed_defs as u128)),
                             ("threads1_vs_sequential_milli".to_string(), milli_ratio(s1)),
-                        ],
-                    ),
+                        ];
+                        extra.extend(sched_to_json(&skewed_sched));
+                        extra
+                    }),
                 ),
             ]),
         ),

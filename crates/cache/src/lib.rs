@@ -152,6 +152,85 @@ impl DiskCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Prunes the cache: entries whose modification time is older than
+    /// `max_age_secs` are removed, and if the surviving entries still
+    /// exceed `max_bytes`, the oldest are removed first until the total
+    /// fits. `None` disables the corresponding bound, so
+    /// `gc(None, None)` only reports sizes. Content-addressing makes
+    /// removal always safe — a pruned entry is simply a future miss,
+    /// rebuilt and re-stored by the next request for its key.
+    ///
+    /// Unreadable entries are skipped (the next `put` rewrites them);
+    /// a failed removal is skipped too, so a concurrent reader or a
+    /// second GC racing this one is harmless.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors listing the cache directory. Per-entry stat/remove
+    /// failures are *not* errors.
+    pub fn gc(
+        &self,
+        max_age_secs: Option<u64>,
+        max_bytes: Option<u64>,
+    ) -> std::io::Result<GcReport> {
+        let now = std::time::SystemTime::now();
+        // (age_secs, bytes, path), oldest first.
+        let mut entries: Vec<(u64, u64, PathBuf)> = Vec::new();
+        for item in std::fs::read_dir(&self.root)? {
+            let Ok(item) = item else { continue };
+            let path = item.path();
+            if path.extension().is_none_or(|x| x != "resid") {
+                continue;
+            }
+            let Ok(meta) = item.metadata() else { continue };
+            let age = meta
+                .modified()
+                .ok()
+                .and_then(|m| now.duration_since(m).ok())
+                .map_or(0, |d| d.as_secs());
+            entries.push((age, meta.len(), path));
+        }
+        entries.sort_by_key(|e| std::cmp::Reverse(e.0));
+
+        let mut report = GcReport {
+            scanned: entries.len(),
+            bytes_before: entries.iter().map(|e| e.1).sum(),
+            ..GcReport::default()
+        };
+        let mut live_bytes = report.bytes_before;
+        for (age, bytes, path) in &entries {
+            let expired = max_age_secs.is_some_and(|max| *age > max);
+            let oversized = max_bytes.is_some_and(|max| live_bytes > max);
+            if !(expired || oversized) {
+                // Entries are oldest-first, so once one survives both
+                // bounds every younger entry does too.
+                break;
+            }
+            if std::fs::remove_file(path).is_ok() {
+                report.removed += 1;
+                report.bytes_removed += bytes;
+                live_bytes = live_bytes.saturating_sub(*bytes);
+            }
+        }
+        report.bytes_after = live_bytes;
+        Ok(report)
+    }
+}
+
+/// What one [`DiskCache::gc`] pass did.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GcReport {
+    /// `.resid` entries found on disk.
+    pub scanned: usize,
+    /// Entries removed (by age or to meet the byte bound).
+    pub removed: usize,
+    /// Total entry bytes before the pass.
+    pub bytes_before: u64,
+    /// Bytes freed by removals.
+    pub bytes_removed: u64,
+    /// Total entry bytes surviving the pass.
+    pub bytes_after: u64,
 }
 
 /// Memo identity of an inline program: the FNV-1a hash of its source
@@ -306,6 +385,68 @@ mod tests {
         ] {
             assert_ne!(base, other);
         }
+    }
+
+    /// Backdates an entry's mtime by `secs` so GC age bounds can be
+    /// tested without sleeping.
+    fn backdate(path: &Path, secs: u64) {
+        let f = fs::File::options().append(true).open(path).unwrap();
+        let then = std::time::SystemTime::now() - std::time::Duration::from_secs(secs);
+        f.set_modified(then).unwrap();
+    }
+
+    #[test]
+    fn gc_without_bounds_only_reports() {
+        let dir = tmpdir("gc-report");
+        let c = DiskCache::open(&dir).unwrap();
+        let e = entry("k1");
+        c.put(&e).unwrap();
+        let r = c.gc(None, None).unwrap();
+        assert_eq!(r.scanned, 1);
+        assert_eq!(r.removed, 0);
+        assert!(r.bytes_before > 0);
+        assert_eq!(r.bytes_after, r.bytes_before);
+        assert_eq!(c.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_prunes_by_age() {
+        let dir = tmpdir("gc-age");
+        let c = DiskCache::open(&dir).unwrap();
+        let old = entry("old-key");
+        let fresh = entry("fresh-key");
+        let old_path = c.put(&old).unwrap();
+        c.put(&fresh).unwrap();
+        backdate(&old_path, 3600);
+        let r = c.gc(Some(600), None).unwrap();
+        assert_eq!((r.scanned, r.removed), (2, 1));
+        assert!(c.get(&old.key).is_none(), "expired entry must be gone");
+        assert_eq!(c.get(&fresh.key), Some(fresh));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_prunes_oldest_first_to_meet_byte_bound() {
+        let dir = tmpdir("gc-bytes");
+        let c = DiskCache::open(&dir).unwrap();
+        let mut paths = Vec::new();
+        for (i, key) in ["a", "b", "c"].iter().enumerate() {
+            let p = c.put(&entry(key)).unwrap();
+            // Distinct ages: "a" oldest, "c" newest.
+            backdate(&p, 300 - 100 * i as u64);
+            paths.push(p);
+        }
+        let total: u64 = paths.iter().map(|p| fs::metadata(p).unwrap().len()).sum();
+        let one = total / 3;
+        // Keep roughly one entry's worth: the two oldest must go.
+        let r = c.gc(None, Some(one + 1)).unwrap();
+        assert_eq!((r.scanned, r.removed), (3, 2));
+        assert!(r.bytes_after <= one + 1);
+        assert!(c.get("a").is_none());
+        assert!(c.get("b").is_none());
+        assert!(c.get("c").is_some(), "newest entry must survive");
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

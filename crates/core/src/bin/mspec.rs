@@ -13,16 +13,24 @@
 //! mspec run     FILE --entry M.f --args VALUES
 //!               [--runner tree|vm] [--vm-opt none|fuse]
 //!                                         interpret the source program
-//! mspec explain FN --log FILE             provenance of FN's residual
+//! mspec explain FN --log FILE [--req ID]  provenance of FN's residual
 //!                                         versions from a --metrics log
+//!                                         (--req: one request's stream)
 //! mspec trace-check FILE                  validate a trace/metrics file
+//! mspec trace flame FILE [--req ID]       fold a JSONL trace into
+//!                                         collapsed stacks (flamegraph)
+//! mspec cache gc --cache-dir DIR          prune the residual cache
+//!               [--max-age-secs N] [--max-bytes N]
+//! mspec top     --connect HOST:PORT       live daemon dashboard
+//!               [--interval-ms N] [--once]
 //! mspec serve   [--stdio | --port N]      specialisation-as-a-service daemon
 //!               [--max-clients N] [--queue-depth N] [--deadline-ms N]
 //!               [--client-fuel N] [--threads N] [--chaos] [--trace FILE]
 //!               [--vm-opt none|fuse] [--memo-cap N] [--cache-dir DIR]
+//!               [--cache-gc-bytes N] [--crash-dir DIR]
 //! mspec client  ACTION [FILE]             talk to a daemon (ACTION: spec,
-//!               (--connect HOST:PORT | --spawn)   run, health, stats, fault,
-//!               [--entry M.f --args DIV] [--deadline-ms N]     shutdown)
+//!               (--connect HOST:PORT | --spawn)   run, health, stats, metrics,
+//!               [--entry M.f --args DIV] [--deadline-ms N]  fault, shutdown)
 //!               [--values VALS] [--run-fuel N]    (run: specialise then
 //!               [--retries N] [--backoff-ms N]     execute the residual)
 //! ```
@@ -78,8 +86,11 @@ fn run(args: &[String]) -> Result<(), String> {
         "run" => run_program(&args[1..]),
         "explain" => explain_cmd(&args[1..]),
         "trace-check" => trace_check_cmd(&args[1..]),
+        "trace" => trace_cmd(&args[1..]),
+        "cache" => cache_cmd(&args[1..]),
         "serve" => serve_cmd(&args[1..]),
         "client" => client_cmd(&args[1..]),
+        "top" => top_cmd(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -89,7 +100,7 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: mspec <check|analyse|cogen|spec|mix|run|build|link-spec|explain|trace-check|serve|client> FILE [options]\n\
+    "usage: mspec <check|analyse|cogen|spec|mix|run|build|link-spec|explain|trace-check|trace|cache|serve|client|top> FILE [options]\n\
      \n\
      check   FILE                          typecheck, print schemes\n\
      analyse FILE [--force-residual M.f,…] print BT schemes + annotations\n\
@@ -102,17 +113,26 @@ fn usage() -> String {
              [--runner tree|vm] [--vm-opt none|fuse]\n\
      build   SRCDIR --out DIR              incremental cogen of a module tree\n\
      link-spec DIR --entry M.f --args DIV  specialise from .gx files (no source)\n\
-     explain FN --log FILE                 provenance of FN from a --metrics log\n\
-     trace-check FILE                      validate a --trace/--metrics file\n\
+     explain FN --log FILE [--req ID]      provenance of FN from a --metrics\n\
+                                           log (--req: one request's stream)\n\
+     trace-check FILE                      validate a --trace/--metrics/\n\
+                                           metrics-exposition file\n\
+     trace flame FILE [--req ID]           fold a JSONL trace into collapsed\n\
+                                           stacks (flamegraph.pl/speedscope)\n\
+     cache gc --cache-dir DIR              prune the residual cache by age\n\
+             [--max-age-secs N] [--max-bytes N]   and/or size, oldest first\n\
      serve   [--stdio | --port N]          long-lived specialisation daemon\n\
              [--max-clients N] [--queue-depth N] [--deadline-ms N]\n\
              [--client-fuel N] [--threads N] [--chaos] [--trace FILE]\n\
              [--vm-opt none|fuse] [--memo-cap N] [--cache-dir DIR]\n\
+             [--cache-gc-bytes N] [--crash-dir DIR]\n\
      client  ACTION [FILE]                 talk to a daemon; ACTION is one of\n\
-             (--connect HOST:PORT|--spawn)  spec, run, health, stats, fault,\n\
-             [--entry M.f --args DIV]       shutdown; run also takes\n\
+             (--connect HOST:PORT|--spawn)  spec, run, health, stats, metrics,\n\
+             [--entry M.f --args DIV]       fault, shutdown; run also takes\n\
              [--dir DIR] [--deadline-ms N]  [--values VALS] [--run-fuel N]\n\
              [--retries N] [--backoff-ms N] [--fuel N] [--max-spec N]\n\
+     top     --connect HOST:PORT           live dashboard over the daemon's\n\
+             [--interval-ms N] [--once]     health + metrics endpoints\n\
      \n\
      spec, mix, build and link-spec also accept --trace FILE (Chrome\n\
      trace_event JSON) and --metrics FILE (JSONL event log).\n\
@@ -144,6 +164,9 @@ struct Opts {
     metrics: Option<String>,
     log: Option<String>,
     cache_dir: Option<String>,
+    /// Request-scoped trace id filter (`--req`, for `explain` and
+    /// `trace flame` over daemon traces).
+    req: Option<u64>,
 }
 
 impl Opts {
@@ -246,6 +269,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         metrics: None,
         log: None,
         cache_dir: None,
+        req: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -319,6 +343,15 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--cache-dir" => {
                 opts.cache_dir = Some(it.next().ok_or("--cache-dir needs a directory")?.clone());
+            }
+            "--req" => {
+                let v = it.next().ok_or("--req needs a request trace id")?;
+                // Daemon trace ids are fnv64 hashes printed in hex by
+                // `trace-check`; accept decimal and 0x-prefixed hex.
+                let parsed = v
+                    .strip_prefix("0x")
+                    .map_or_else(|| v.parse::<u64>(), |h| u64::from_str_radix(h, 16));
+                opts.req = Some(parsed.map_err(|_| format!("bad --req value `{v}`"))?);
             }
             "--force-residual" => {
                 let v = it.next().ok_or("--force-residual needs M.f[,M.g…]")?;
@@ -650,13 +683,85 @@ fn explain_cmd(args: &[String]) -> Result<(), String> {
         .ok_or("explain needs --log FILE (a JSONL event log written by --metrics)")?;
     let text = read_source(log)?;
     let snap = Snapshot::parse_jsonl(&text).map_err(|e| format!("{log}: {e}"))?;
-    match telemetry::explain(&snap, &opts.file) {
+    match telemetry::explain_req(&snap, &opts.file, opts.req) {
         Some(report) => {
             println!("{report}");
             Ok(())
         }
-        None => Err(format!("no specialisation events for `{}` in {log}", opts.file)),
+        None => {
+            let scope = opts.req.map_or(String::new(), |r| format!(" for request {r:#x}"));
+            Err(format!("no specialisation events for `{}`{scope} in {log}", opts.file))
+        }
     }
+}
+
+/// `mspec trace flame FILE [--req ID]`: fold a JSONL trace's span tree
+/// into collapsed-stack lines (`frame;frame value`), the input format
+/// of `flamegraph.pl` and speedscope. The value is self time in µs.
+fn trace_cmd(args: &[String]) -> Result<(), String> {
+    let Some(sub) = args.first() else {
+        return Err("trace needs a subcommand: flame".to_string());
+    };
+    if sub != "flame" {
+        return Err(format!("trace: unknown subcommand `{sub}` (expected flame)"));
+    }
+    let opts = parse_opts(&args[1..])?;
+    let text = read_source(&opts.file)?;
+    let snap = Snapshot::parse_jsonl(&text).map_err(|e| format!("{}: {e}", opts.file))?;
+    let folded = telemetry::collapsed_stacks(&snap, opts.req);
+    if folded.is_empty() {
+        let scope = opts.req.map_or(String::new(), |r| format!(" for request {r:#x}"));
+        return Err(format!("no spans{scope} in {}", opts.file));
+    }
+    print!("{folded}");
+    Ok(())
+}
+
+/// `mspec cache gc`: prune a persistent residual cache by age and/or
+/// total size (oldest entries first). Safe against concurrent readers —
+/// a pruned entry is a future cache miss, nothing more.
+fn cache_cmd(args: &[String]) -> Result<(), String> {
+    let Some(sub) = args.first() else {
+        return Err("cache needs a subcommand: gc".to_string());
+    };
+    if sub != "gc" {
+        return Err(format!("cache: unknown subcommand `{sub}` (expected gc)"));
+    }
+    let mut dir: Option<String> = None;
+    let mut max_age_secs: Option<u64> = None;
+    let mut max_bytes: Option<u64> = None;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cache-dir" => dir = Some(it.next().ok_or("--cache-dir needs a directory")?.clone()),
+            "--max-age-secs" => {
+                let v = it.next().ok_or("--max-age-secs needs a value")?;
+                max_age_secs = Some(v.parse().map_err(|_| format!("bad --max-age-secs `{v}`"))?);
+            }
+            "--max-bytes" => {
+                let v = it.next().ok_or("--max-bytes needs a value")?;
+                max_bytes = Some(v.parse().map_err(|_| format!("bad --max-bytes `{v}`"))?);
+            }
+            other => return Err(format!("cache gc: unknown option `{other}`")),
+        }
+    }
+    let dir = dir
+        .or_else(|| std::env::var(mspec_cache::CACHE_DIR_ENV).ok())
+        .ok_or("cache gc needs --cache-dir DIR (or MSPEC_CACHE_DIR)")?;
+    let cache = mspec_cache::DiskCache::open(&dir)
+        .map_err(|e| format!("cannot open cache dir {dir}: {e}"))?;
+    let r = cache
+        .gc(max_age_secs, max_bytes)
+        .map_err(|e| format!("cache gc failed in {dir}: {e}"))?;
+    println!(
+        "{dir}: {} entr{} scanned, {} removed, {} bytes freed, {} bytes kept",
+        r.scanned,
+        if r.scanned == 1 { "y" } else { "ies" },
+        r.removed,
+        r.bytes_removed,
+        r.bytes_after
+    );
+    Ok(())
 }
 
 fn trace_check_cmd(args: &[String]) -> Result<(), String> {
@@ -712,6 +817,11 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
                 cfg.cache_dir = Some(v.clone());
                 continue;
             }
+            "--crash-dir" => {
+                let v = it.next().ok_or("--crash-dir needs a directory")?;
+                cfg.crash_dir = Some(v.clone());
+                continue;
+            }
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a value")?;
                 threads = Some(parse_threads(v, ThreadOrigin::Flag).map_err(|e| e.to_string())?);
@@ -723,6 +833,7 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
             "--deadline-ms" => ServeKnob::DeadlineMs,
             "--client-fuel" => ServeKnob::ClientFuel,
             "--memo-cap" => ServeKnob::MemoCap,
+            "--cache-gc-bytes" => ServeKnob::CacheGcBytes,
             other => return Err(format!("serve: unknown option `{other}`")),
         };
         let v = it.next().ok_or_else(|| format!("{} needs a value", knob.flag()))?;
@@ -887,6 +998,7 @@ fn client_cmd(args: &[String]) -> Result<(), String> {
         }),
         "health" => mspec_serve::RequestKind::Health,
         "stats" => mspec_serve::RequestKind::Stats,
+        "metrics" => mspec_serve::RequestKind::Metrics,
         "fault" => mspec_serve::RequestKind::Fault,
         "shutdown" => mspec_serve::RequestKind::Shutdown,
         other => return Err(format!("client: unknown action `{other}`")),
@@ -927,6 +1039,11 @@ fn client_cmd(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
+        mspec_serve::ResponseBody::Metrics { text } => {
+            // The raw exposition, scrapeable as-is.
+            print!("{text}");
+            Ok(())
+        }
         mspec_serve::ResponseBody::Ok => {
             println!("ok");
             Ok(())
@@ -949,6 +1066,114 @@ fn client_cmd(args: &[String]) -> Result<(), String> {
             }
         }
     }
+}
+
+/// `mspec top`: a live TTY dashboard over the daemon's read-only
+/// `metrics` endpoint. Each frame is one `metrics` round-trip —
+/// answered inline by the daemon, so the view keeps refreshing while
+/// the worker pool is saturated. `--once` prints a single frame and
+/// exits (scriptable smoke check); otherwise the screen is cleared and
+/// redrawn every `--interval-ms` (default 1000) until interrupted.
+fn top_cmd(args: &[String]) -> Result<(), String> {
+    let mut connect: Option<String> = None;
+    let mut interval_ms: u64 = 1_000;
+    let mut once = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--connect" => connect = Some(it.next().ok_or("--connect needs HOST:PORT")?.clone()),
+            "--interval-ms" => {
+                let v = it.next().ok_or("--interval-ms needs a value")?;
+                interval_ms = v.parse().map_err(|_| format!("bad --interval-ms `{v}`"))?;
+            }
+            "--once" => once = true,
+            other => return Err(format!("top: unknown option `{other}`")),
+        }
+    }
+    let addr = connect.ok_or("top needs --connect HOST:PORT")?;
+    let mut client = mspec_serve::Client::tcp(addr.clone());
+    loop {
+        let reply = client.metrics().map_err(|e| format!("top: {e}"))?;
+        let mspec_serve::ResponseBody::Metrics { text } = reply.body else {
+            return Err("top: daemon did not answer the metrics request".to_string());
+        };
+        let frame = render_top(&addr, &text);
+        if once {
+            print!("{frame}");
+            return Ok(());
+        }
+        // ANSI clear + home, then the refreshed frame. Plain escape
+        // codes keep this zero-dependency.
+        print!("\x1b[2J\x1b[H{frame}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(100)));
+    }
+}
+
+/// One `mspec top` frame, rendered from a metrics exposition. Pure
+/// text-in/text-out (unit-tested); unknown or missing samples render
+/// as `-` so a newer/older daemon degrades gracefully.
+fn render_top(addr: &str, metrics: &str) -> String {
+    let mut samples = std::collections::BTreeMap::new();
+    for line in metrics.lines() {
+        if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        if let Some((name, value)) = line.rsplit_once(' ') {
+            samples.insert(name.to_string(), value.to_string());
+        }
+    }
+    let get = |k: &str| samples.get(k).cloned().unwrap_or_else(|| "-".to_string());
+    let uptime = samples
+        .get("mspecd_uptime_ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map_or_else(|| "-".to_string(), |ms| format!("{}.{:01}s", ms / 1000, (ms % 1000) / 100));
+    let mut out = String::new();
+    out.push_str(&format!("mspecd @ {addr}   up {uptime}\n\n"));
+    out.push_str(&format!(
+        "  req/s {:<8} shed/s {:<8} memo-hit {}\n",
+        get("mspecd_req_rate"),
+        get("mspecd_shed_rate"),
+        get("mspecd_memo_hit_ratio"),
+    ));
+    out.push_str(&format!(
+        "  requests {:<7} ok {:<7} errors {:<5} shed {:<5} panics {:<4} deadline {}\n",
+        get("mspecd_requests_total"),
+        get("mspecd_ok_total"),
+        get("mspecd_errors_total"),
+        get("mspecd_shed_total"),
+        get("mspecd_panics_total"),
+        get("mspecd_deadline_expired_total"),
+    ));
+    out.push_str(&format!(
+        "  queue {:<4} in-flight {:<4} clients {}\n",
+        get("mspecd_queue_depth"),
+        get("mspecd_in_flight"),
+        get("mspecd_clients"),
+    ));
+    out.push_str(&format!(
+        "  latency-us p50 {:<8} p90 {:<8} p99 {:<8} (n={})\n",
+        get("mspecd_latency_us{quantile=\"0.5\"}"),
+        get("mspecd_latency_us{quantile=\"0.9\"}"),
+        get("mspecd_latency_us{quantile=\"0.99\"}"),
+        get("mspecd_latency_us_count"),
+    ));
+    out.push_str(&format!(
+        "  cache: programs {} artefacts {} memo {} compiled {} evictions {}\n",
+        get("mspecd_cache_programs"),
+        get("mspecd_cache_artefacts"),
+        get("mspecd_cache_memo"),
+        get("mspecd_cache_compiled"),
+        get("mspecd_cache_evictions_total"),
+    ));
+    out.push_str(&format!(
+        "  disk: hits {} stores {}   flight events {}\n",
+        get("mspecd_cache_disk_hits_total"),
+        get("mspecd_cache_disk_stores_total"),
+        get("mspecd_flight_recorded_total"),
+    ));
+    out
 }
 
 #[cfg(test)]
@@ -1074,6 +1299,42 @@ mod tests {
             ["p.mspec", "--threads", "many"].iter().map(|s| s.to_string()).collect();
         let err = parse_opts(&garbage).err().unwrap();
         assert!(err.contains("positive integer"), "{err}");
+    }
+
+    #[test]
+    fn parses_req_filter_in_decimal_and_hex() {
+        let dec: Vec<String> =
+            ["t.jsonl", "--req", "12345"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(parse_opts(&dec).unwrap().req, Some(12345));
+        let hex: Vec<String> =
+            ["t.jsonl", "--req", "0xdeadbeef"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(parse_opts(&hex).unwrap().req, Some(0xdead_beef));
+        let bad: Vec<String> =
+            ["t.jsonl", "--req", "nope"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_opts(&bad).is_err());
+    }
+
+    #[test]
+    fn top_frame_renders_known_samples_and_degrades_on_missing_ones() {
+        let metrics = "# HELP mspecd_uptime_ms x\n# TYPE mspecd_uptime_ms gauge\n\
+                       mspecd_uptime_ms 12345\n\
+                       # TYPE mspecd_requests_total counter\n\
+                       mspecd_requests_total 42\n\
+                       # TYPE mspecd_req_rate gauge\n\
+                       mspecd_req_rate 4.200\n\
+                       # TYPE mspecd_latency_us summary\n\
+                       mspecd_latency_us{quantile=\"0.5\"} 210\n\
+                       mspecd_latency_us_count 7\n";
+        let frame = render_top("127.0.0.1:9", metrics);
+        assert!(frame.contains("mspecd @ 127.0.0.1:9"), "{frame}");
+        assert!(frame.contains("up 12.3s"), "{frame}");
+        assert!(frame.contains("requests 42"), "{frame}");
+        assert!(frame.contains("req/s 4.200"), "{frame}");
+        assert!(frame.contains("p50 210"), "{frame}");
+        assert!(frame.contains("(n=7)"), "{frame}");
+        // Samples the daemon did not send render as "-", not a panic.
+        assert!(frame.contains("p90 -"), "{frame}");
+        assert!(frame.contains("queue -"), "{frame}");
     }
 
     #[test]

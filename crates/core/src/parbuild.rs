@@ -369,6 +369,7 @@ fn build_workstealing(
     );
     rec.count("sched.tasks", outcome.stats.tasks);
     rec.count("sched.steals", outcome.stats.steals);
+    rec.count("sched.idle_parks", outcome.stats.idle_parks);
     let mut results = outcome.results;
     results.sort_by_key(|r| index[&r.name]);
     results

@@ -1031,6 +1031,7 @@ pub fn specialise_streaming_threaded(
     let mut entry_def = true;
     let mut sched_tasks = 0u64;
     let mut sched_steals = 0u64;
+    let mut sched_idle_parks = 0u64;
 
     // One scheduler session for the whole specialisation: the worker
     // threads *and* their engines are built once and reused round after
@@ -1072,6 +1073,7 @@ pub fn specialise_streaming_threaded(
                 let outcome = round(seeds);
                 sched_tasks += outcome.stats.tasks;
                 sched_steals += outcome.stats.steals;
+                sched_idle_parks += outcome.stats.idle_parks;
                 let mut results = outcome.results;
                 results.sort_by_key(|(i, _)| *i);
                 let mut next: Vec<ParPending> = Vec::new();
@@ -1107,6 +1109,7 @@ pub fn specialise_streaming_threaded(
     if recorder.is_enabled() {
         recorder.count("sched.tasks", sched_tasks);
         recorder.count("sched.steals", sched_steals);
+        recorder.count("sched.idle_parks", sched_idle_parks);
     }
     Ok(ParallelOutcome {
         entry: entry_resid,

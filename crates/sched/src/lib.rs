@@ -127,6 +127,11 @@ pub struct SchedStats {
     pub tasks: u64,
     /// Tasks obtained by stealing from another worker's deque.
     pub steals: u64,
+    /// Bounded condvar parks taken by workers that found no task (own
+    /// deque, injector and every steal sweep all empty). High values
+    /// relative to `tasks` mean the frontier is too narrow for the
+    /// worker count — the signal the round-barrier park tuning needs.
+    pub idle_parks: u64,
 }
 
 /// Everything a [`run`] produced: per-task results in completion order
@@ -176,6 +181,7 @@ struct Shared<T> {
     abort: AtomicBool,
     steals: AtomicU64,
     tasks: AtomicU64,
+    idle_parks: AtomicU64,
 }
 
 impl<T> Shared<T> {
@@ -276,6 +282,7 @@ fn round_worker<T, R, S>(
                 if let Ok(guard) = shared.sleep_lock.lock() {
                     // Bounded park: a pusher's notify may race past us,
                     // so never sleep unconditionally.
+                    shared.idle_parks.fetch_add(1, Ordering::Relaxed);
                     let _ = shared.cv.wait_timeout(guard, park);
                 }
                 park = (park * 2).min(PARK_MAX);
@@ -323,6 +330,7 @@ where
             abort: AtomicBool::new(false),
             steals: AtomicU64::new(0),
             tasks: AtomicU64::new(0),
+            idle_parks: AtomicU64::new(0),
         },
         epoch: AtomicU64::new(0),
         published: AtomicUsize::new(0),
@@ -385,6 +393,7 @@ where
         let mut round = |seeds: Vec<T>| -> RunOutcome<R> {
             let tasks0 = ss.work.tasks.load(Ordering::Relaxed);
             let steals0 = ss.work.steals.load(Ordering::Relaxed);
+            let parks0 = ss.work.idle_parks.load(Ordering::Relaxed);
             ss.published.store(0, Ordering::SeqCst);
             ss.work.in_flight.store(seeds.len(), Ordering::SeqCst);
             // Seed round-robin across the workers' own deques so the
@@ -444,6 +453,7 @@ where
                 stats: SchedStats {
                     tasks: ss.work.tasks.load(Ordering::Relaxed) - tasks0,
                     steals: ss.work.steals.load(Ordering::Relaxed) - steals0,
+                    idle_parks: ss.work.idle_parks.load(Ordering::Relaxed) - parks0,
                 },
             }
         };

@@ -201,6 +201,16 @@ impl Client {
         self.request(RequestKind::Health)
     }
 
+    /// Convenience: a `metrics` request (the Prometheus-style text
+    /// exposition; `mspec top` polls this).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn metrics(&mut self) -> Result<Response, ClientError> {
+        self.request(RequestKind::Metrics)
+    }
+
     /// Convenience: a `shutdown` request.
     ///
     /// # Errors

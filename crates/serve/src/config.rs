@@ -27,6 +27,9 @@ pub enum ServeKnob {
     /// Entry cap on each resident cache (programs, artefact sets, memo,
     /// compiled residuals); oldest entries are evicted past it.
     MemoCap,
+    /// Byte budget for the persistent disk cache: at startup the server
+    /// prunes `.resid` files oldest-first until the cache fits.
+    CacheGcBytes,
 }
 
 impl ServeKnob {
@@ -39,6 +42,7 @@ impl ServeKnob {
             ServeKnob::DeadlineMs => "--deadline-ms",
             ServeKnob::ClientFuel => "--client-fuel",
             ServeKnob::MemoCap => "--memo-cap",
+            ServeKnob::CacheGcBytes => "--cache-gc-bytes",
         }
     }
 
@@ -51,6 +55,7 @@ impl ServeKnob {
             ServeKnob::DeadlineMs => "MSPEC_DEADLINE_MS",
             ServeKnob::ClientFuel => "MSPEC_CLIENT_FUEL",
             ServeKnob::MemoCap => "MSPEC_MEMO_CAP",
+            ServeKnob::CacheGcBytes => "MSPEC_CACHE_GC_BYTES",
         }
     }
 
@@ -176,6 +181,12 @@ pub struct ServeConfig {
     /// `MSPEC_CACHE_DIR` environment variable). `None` disables the
     /// disk tier.
     pub cache_dir: Option<String>,
+    /// Startup garbage-collection byte budget for the disk cache
+    /// (`--cache-gc-bytes`); `None` skips the startup sweep.
+    pub cache_gc_bytes: Option<u64>,
+    /// Directory crash dumps are written to (`--crash-dir`); `None`
+    /// means the daemon's working directory.
+    pub crash_dir: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -192,6 +203,8 @@ impl Default for ServeConfig {
             vm_opt: VmOpt::None,
             memo_cap: 1024,
             cache_dir: None,
+            cache_gc_bytes: None,
+            crash_dir: None,
         }
     }
 }
@@ -220,6 +233,7 @@ impl ServeConfig {
             ServeKnob::DeadlineMs,
             ServeKnob::ClientFuel,
             ServeKnob::MemoCap,
+            ServeKnob::CacheGcBytes,
         ] {
             if pinned.contains(&knob) {
                 continue;
@@ -251,6 +265,7 @@ impl ServeConfig {
             ServeKnob::DeadlineMs => self.deadline_ms = n,
             ServeKnob::ClientFuel => self.client_fuel = n,
             ServeKnob::MemoCap => self.memo_cap = n as usize,
+            ServeKnob::CacheGcBytes => self.cache_gc_bytes = Some(n),
         }
         Ok(())
     }
@@ -301,6 +316,16 @@ mod tests {
         assert_eq!(err.to_string(), "--memo-cap requires at least 1 (got 0)");
         let err = cfg.set(ServeKnob::MemoCap, KnobOrigin::Env, "many").unwrap_err();
         assert_eq!(err.to_string(), "MSPEC_MEMO_CAP expects a positive integer, got `many`");
+    }
+
+    #[test]
+    fn cache_gc_bytes_knob_applies() {
+        let mut cfg = ServeConfig::default();
+        assert_eq!(cfg.cache_gc_bytes, None);
+        cfg.set_flag(ServeKnob::CacheGcBytes, "65536").unwrap();
+        assert_eq!(cfg.cache_gc_bytes, Some(65_536));
+        let err = cfg.set_flag(ServeKnob::CacheGcBytes, "0").unwrap_err();
+        assert_eq!(err.to_string(), "--cache-gc-bytes requires at least 1 (got 0)");
     }
 
     #[test]

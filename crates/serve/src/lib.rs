@@ -28,6 +28,12 @@
 //!   watchdog thread fires the engine's [`mspec_genext::CancelToken`]
 //!   and the reply is a structured `deadline` error carrying
 //!   partial-progress stats ([`server`]);
+//! * **observability** — every admitted request is tagged with a
+//!   stable trace id ([`request_trace_id`]) that every `--trace` event
+//!   carries, a read-only `metrics` request answers with a
+//!   Prometheus-style exposition without queueing behind spec work, and
+//!   an always-on flight ring of recent events is dumped to a
+//!   `crash-<pid>-<seq>.jsonl` file when a worker panics ([`server`]);
 //! * **resident state** — compiled generating extensions, linked `.gx`
 //!   artefact sets (revalidated against their `.bti` interface
 //!   fingerprints on every reuse) and a cross-request memo of finished
@@ -54,4 +60,4 @@ pub use proto::{
 };
 pub use queue::{BoundedQueue, PushError};
 pub use resident::{Resident, ResidentStats, RunOutcome, SpecOutcome};
-pub use server::{Server, ServerStats, TcpHandle};
+pub use server::{request_trace_id, Server, ServerStats, TcpHandle};

@@ -14,8 +14,9 @@
 //! |------------|-----------------------------------------------------|
 //! | `spec`     | `program` (inline source) *or* `dir` (`.gx` artefact directory), `entry`, `args` (a division: `S:<v>`, `D`, `P:<n>`), optional `fuel`, `max_spec`, `on_exhaustion`, `strategy`, `deadline_ms` |
 //! | `run`      | every `spec` field, plus `values` (comma-separated dynamic argument literals) and optional `run_fuel` — specialises (or memo-hits), then *executes* the residual on the resident compiled-bytecode cache |
-//! | `health`   | — (liveness + counters snapshot)                    |
+//! | `health`   | — (liveness + headline counters snapshot)           |
 //! | `stats`    | — (full counter dump)                               |
+//! | `metrics`  | — (Prometheus-style text exposition: windowed rates, latency quantiles, cache occupancy; read-only, answered inline on the connection thread, never queued behind spec work) |
 //! | `fault`    | — (panics the worker; only honoured under `--chaos`)|
 //! | `shutdown` | — (drain and stop the daemon)                       |
 //!
@@ -67,6 +68,10 @@ pub enum RequestKind {
     Health,
     /// Full counter dump.
     Stats,
+    /// Prometheus-style text exposition (rates, quantiles, occupancy).
+    /// Read-only and bounded-cost: answered inline on the connection
+    /// thread, never queued behind spec work.
+    Metrics,
     /// Chaos hook: panic the worker that picks this up. Only honoured
     /// when the server was started with fault injection enabled;
     /// otherwise answered with `bad-request`.
@@ -186,6 +191,12 @@ pub enum ResponseBody {
     Stats {
         /// Counters, name/value pairs in deterministic order.
         counters: Vec<(String, u64)>,
+    },
+    /// A metrics exposition.
+    Metrics {
+        /// The Prometheus-style exposition text
+        /// (see `mspec_telemetry::Exposition`).
+        text: String,
     },
     /// Acknowledgement with no payload (e.g. `shutdown`).
     Ok,
@@ -380,6 +391,7 @@ impl ToJson for Request {
         match &self.kind {
             RequestKind::Health => fields.push(("kind".into(), Json::str("health"))),
             RequestKind::Stats => fields.push(("kind".into(), Json::str("stats"))),
+            RequestKind::Metrics => fields.push(("kind".into(), Json::str("metrics"))),
             RequestKind::Fault => fields.push(("kind".into(), Json::str("fault"))),
             RequestKind::Shutdown => fields.push(("kind".into(), Json::str("shutdown"))),
             RequestKind::Spec(s) => {
@@ -467,6 +479,7 @@ impl FromJson for Request {
         let kind = match j.get("kind")?.as_str()? {
             "health" => RequestKind::Health,
             "stats" => RequestKind::Stats,
+            "metrics" => RequestKind::Metrics,
             "fault" => RequestKind::Fault,
             "shutdown" => RequestKind::Shutdown,
             "spec" => RequestKind::Spec(spec_from_json(j)?),
@@ -516,6 +529,11 @@ impl ToJson for Response {
                 fields.push(("kind".into(), Json::str("stats")));
                 fields.push(("counters".into(), counters_to_json(counters)));
             }
+            ResponseBody::Metrics { text } => {
+                fields.push(("ok".into(), Json::Bool(true)));
+                fields.push(("kind".into(), Json::str("metrics")));
+                fields.push(("text".into(), Json::str(text.clone())));
+            }
             ResponseBody::Ok => {
                 fields.push(("ok".into(), Json::Bool(true)));
                 fields.push(("kind".into(), Json::str("ok")));
@@ -561,6 +579,9 @@ impl FromJson for Response {
                 },
                 "stats" => ResponseBody::Stats {
                     counters: counters_from_json(j.get("counters")?)?,
+                },
+                "metrics" => ResponseBody::Metrics {
+                    text: j.get("text")?.as_str()?.to_string(),
                 },
                 "ok" => ResponseBody::Ok,
                 other => return Err(JsonError(format!("unknown response kind `{other}`"))),
@@ -784,6 +805,7 @@ mod tests {
         let reqs = vec![
             Request { id: 1, kind: RequestKind::Health },
             Request { id: 2, kind: RequestKind::Stats },
+            Request { id: 13, kind: RequestKind::Metrics },
             Request { id: 3, kind: RequestKind::Fault },
             Request { id: 4, kind: RequestKind::Shutdown },
             Request {
@@ -841,6 +863,12 @@ mod tests {
                 },
             },
             Response { id: 9, body: ResponseBody::Stats { counters: vec![] } },
+            Response {
+                id: 13,
+                body: ResponseBody::Metrics {
+                    text: "# TYPE up gauge\nup 1\n".into(),
+                },
+            },
             Response { id: 10, body: ResponseBody::Ok },
             Response {
                 id: 12,

@@ -129,6 +129,15 @@ impl<T> BoundedQueue<T> {
         inner.in_flight = inner.in_flight.saturating_sub(1);
     }
 
+    /// Items popped but not yet marked done — requests currently being
+    /// executed by workers.
+    pub fn in_flight(&self) -> usize {
+        match self.inner.lock() {
+            Ok(g) => g.in_flight,
+            Err(poisoned) => poisoned.into_inner().in_flight,
+        }
+    }
+
     /// Whether the queue is empty *and* no popped item is still being
     /// processed. Both facts are read under one lock, so a consumer
     /// that has popped the final item can never be missed — this is
@@ -180,8 +189,10 @@ mod tests {
         // Queue drained, but the item is still being processed.
         assert!(q.is_empty());
         assert!(!q.is_idle());
+        assert_eq!(q.in_flight(), 1);
         q.task_done();
         assert!(q.is_idle());
+        assert_eq!(q.in_flight(), 0);
     }
 
     #[test]

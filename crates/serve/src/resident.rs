@@ -280,6 +280,19 @@ impl Resident {
         *lock(&self.stats)
     }
 
+    /// Current entry counts of each resident cache tier, in a fixed
+    /// order: `(programs, artefact sets, memo, compiled residuals)`.
+    /// Cheap (four lock/len pairs) — health and metrics replies call
+    /// this on the connection thread.
+    pub fn cache_sizes(&self) -> (usize, usize, usize, usize) {
+        (
+            lock(&self.programs).map.len(),
+            lock(&self.artefacts).map.len(),
+            lock(&self.memo).map.len(),
+            lock(&self.compiled).map.len(),
+        )
+    }
+
     /// Executes one specialisation request against the resident caches.
     /// `cancel` is polled by the engine every
     /// [`CancelToken::CHECK_MASK`]`+1` steps — the deadline watchdog's

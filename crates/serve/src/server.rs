@@ -35,9 +35,10 @@ use crate::proto::{
 use crate::queue::{BoundedQueue, PushError};
 use crate::resident::{Resident, ResidentOptions};
 use mspec_cache::DiskCache;
+use mspec_cogen::{atomic_write, fnv64};
 use mspec_genext::{CancelToken, SpecBudget, SpecStats};
 use mspec_lang::json::{FromJson, Json, ToJson};
-use mspec_telemetry::Recorder;
+use mspec_telemetry::{Exposition, FlightRing, LogHistogram, RateWindow, Recorder};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -57,6 +58,11 @@ const _: fn() = || {
 /// the granularity of deadline enforcement.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
 const WATCHDOG_TICK: Duration = Duration::from_millis(1);
+
+/// Capacity of the always-on crash flight ring: the last N
+/// request-lifecycle events (admissions, sheds, completions, errors)
+/// kept in fixed memory for postmortems.
+const FLIGHT_CAPACITY: usize = 256;
 
 type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
 
@@ -108,6 +114,10 @@ enum JobKind {
 
 struct Job {
     id: u64,
+    /// Request-scoped trace id (see [`request_trace_id`]).
+    req: u64,
+    /// Daemon-minted connection id (1-based; 0 = unscoped).
+    conn: u64,
     kind: JobKind,
     writer: SharedWriter,
     enqueued: Instant,
@@ -115,6 +125,37 @@ struct Job {
     cancel: CancelToken,
     reserved: u64,
     account: Arc<AtomicU64>,
+}
+
+/// Always-on live metrics, cheap enough to run with tracing off: one
+/// log2-bucket observation per finished job plus a few short
+/// uncontended lock acquisitions per request.
+struct Live {
+    /// Admission-to-reply latency of executed jobs, microseconds.
+    latency_us: LogHistogram,
+    /// Frames received, over a sliding window.
+    req_window: Mutex<RateWindow>,
+    /// Requests shed by the bounded queue, over the same window.
+    shed_window: Mutex<RateWindow>,
+    /// Spec/run lookups answered by the resident memo...
+    hit_window: Mutex<RateWindow>,
+    /// ...out of all finished spec/run lookups.
+    lookup_window: Mutex<RateWindow>,
+}
+
+impl Default for Live {
+    fn default() -> Live {
+        // 10 slots of 1s: rates answer "what is happening now" with a
+        // ten-second memory.
+        let w = || Mutex::new(RateWindow::new(10, 1_000));
+        Live {
+            latency_us: LogHistogram::default(),
+            req_window: w(),
+            shed_window: w(),
+            hit_window: w(),
+            lookup_window: w(),
+        }
+    }
 }
 
 struct State {
@@ -128,11 +169,25 @@ struct State {
     counters: Counters,
     next_watch: AtomicU64,
     watch: Mutex<HashMap<u64, (Instant, CancelToken)>>,
+    /// Connection-id mint; ids start at 1 (0 = unscoped in telemetry).
+    next_conn: AtomicU64,
+    /// Crash-dump sequence number (one per contained panic).
+    crash_seq: AtomicU64,
+    /// The crash flight recorder (always on).
+    flight: FlightRing,
+    /// Always-on rate windows and latency histogram for `metrics`.
+    live: Live,
 }
 
 impl State {
     fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Milliseconds since the server started — the monotone clock every
+    /// rate window runs on.
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
     }
 
     fn begin_shutdown(&self) {
@@ -176,8 +231,16 @@ impl State {
             ("serve.shed".to_string(), s.shed),
             ("serve.panics".to_string(), s.panics),
             ("serve.queue_len".to_string(), self.queue.len() as u64),
+            ("serve.in_flight".to_string(), self.queue.in_flight() as u64),
             ("serve.clients".to_string(), self.clients.load(Ordering::Relaxed) as u64),
         ];
+        let (programs, artefacts, memo, compiled) = self.resident.cache_sizes();
+        out.extend([
+            ("resident.cache.programs".to_string(), programs as u64),
+            ("resident.cache.artefacts".to_string(), artefacts as u64),
+            ("resident.cache.memo".to_string(), memo as u64),
+            ("resident.cache.compiled".to_string(), compiled as u64),
+        ]);
         if full {
             let r = self.resident.stats();
             out.extend([
@@ -250,6 +313,15 @@ impl Server {
         // built, so a failed open here (raced directory removal) just
         // runs without the disk tier rather than refusing to start.
         let disk = cfg.cache_dir.as_ref().and_then(|d| DiskCache::open(d).ok());
+        // Startup GC: bound the disk tier before serving so a
+        // long-lived cache directory cannot grow without limit. GC
+        // failure is non-fatal for the same reason a failed open is.
+        if let (Some(disk), Some(max)) = (disk.as_ref(), cfg.cache_gc_bytes) {
+            if let Ok(report) = disk.gc(None, Some(max)) {
+                rec.count("serve.cache.gc_removed", report.removed as u64);
+                rec.count("serve.cache.gc_bytes_removed", report.bytes_removed);
+            }
+        }
         let resident =
             Resident::with_options(ResidentOptions { memo_cap: cfg.memo_cap, disk });
         let state = Arc::new(State {
@@ -263,6 +335,10 @@ impl Server {
             counters: Counters::default(),
             next_watch: AtomicU64::new(0),
             watch: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+            crash_seq: AtomicU64::new(0),
+            flight: FlightRing::new(FLIGHT_CAPACITY),
+            live: Live::default(),
         });
         for i in 0..state.cfg.workers.max(1) {
             let st = Arc::clone(&state);
@@ -418,6 +494,9 @@ fn handle_tcp_connection(state: &Arc<State>, stream: TcpStream) {
 }
 
 fn connection_loop(state: &Arc<State>, reader: &mut impl BufRead, writer: &SharedWriter) {
+    // Connection ids start at 1: 0 is the "unscoped" sentinel in
+    // telemetry events and the flight ring.
+    let conn = state.next_conn.fetch_add(1, Ordering::Relaxed) + 1;
     let account = Arc::new(AtomicU64::new(state.cfg.client_fuel));
     let mut buf = FrameBuf::new();
     loop {
@@ -426,7 +505,7 @@ fn connection_loop(state: &Arc<State>, reader: &mut impl BufRead, writer: &Share
                 if line.trim().is_empty() {
                     continue;
                 }
-                handle_frame(state, &line, writer, &account);
+                handle_frame(state, &line, writer, &account, conn);
             }
             FrameRead::Retry => {
                 if state.shutting_down() {
@@ -450,9 +529,31 @@ fn bad_request(id: u64, msg: &str) -> Response {
     Response { id, body: ResponseBody::Error(ErrorInfo::new(ErrorClass::BadRequest, msg)) }
 }
 
-fn handle_frame(state: &Arc<State>, line: &str, writer: &SharedWriter, account: &Arc<AtomicU64>) {
+/// The request-scoped trace id: FNV-1a over `"{conn}:{id}"`, where
+/// `conn` is the daemon-minted connection id and `id` is the client's
+/// correlation id. Deterministic, so clients and operators can
+/// recompute the id offline and point `mspec explain --req` or
+/// `mspec trace flame --req` at one request's event stream. Never 0
+/// (0 means "unscoped" throughout telemetry).
+pub fn request_trace_id(conn: u64, id: u64) -> u64 {
+    let h = fnv64(format!("{conn}:{id}").as_bytes());
+    if h == 0 {
+        1
+    } else {
+        h
+    }
+}
+
+fn handle_frame(
+    state: &Arc<State>,
+    line: &str,
+    writer: &SharedWriter,
+    account: &Arc<AtomicU64>,
+    conn: u64,
+) {
     state.counters.requests.fetch_add(1, Ordering::Relaxed);
     state.rec.count("serve.requests", 1);
+    lock(&state.live.req_window).record(state.now_ms(), 1);
 
     // Parse in two steps so a structurally-valid frame with bad fields
     // still gets its `id` echoed back.
@@ -495,6 +596,18 @@ fn handle_frame(state: &Arc<State>, line: &str, writer: &SharedWriter, account: 
                 },
             );
         }
+        RequestKind::Metrics => {
+            // Read-only and bounded cost by construction (counter loads,
+            // four cache len()s, one histogram walk): safe to answer
+            // inline even while the worker pool is saturated.
+            send(
+                writer,
+                &Response {
+                    id: req.id,
+                    body: ResponseBody::Metrics { text: metrics_text(state) },
+                },
+            );
+        }
         RequestKind::Shutdown => {
             send(writer, &Response { id: req.id, body: ResponseBody::Ok });
             state.begin_shutdown();
@@ -508,14 +621,18 @@ fn handle_frame(state: &Arc<State>, line: &str, writer: &SharedWriter, account: 
                 );
                 return;
             }
-            admit(state, req.id, JobKind::Fault, 0, None, writer, account);
+            let rid = request_trace_id(conn, req.id);
+            admit(state, req.id, rid, conn, JobKind::Fault, 0, None, writer, account);
         }
         RequestKind::Spec(spec) => {
             let reserve = spec.fuel.unwrap_or(SpecBudget::default().steps);
             let deadline_ms = spec.deadline_ms.unwrap_or(state.cfg.deadline_ms);
+            let rid = request_trace_id(conn, req.id);
             admit(
                 state,
                 req.id,
+                rid,
+                conn,
                 JobKind::Spec(spec),
                 reserve,
                 Some(deadline_ms.min(state.cfg.deadline_ms)),
@@ -529,9 +646,12 @@ fn handle_frame(state: &Arc<State>, line: &str, writer: &SharedWriter, account: 
             // bounded by `run_fuel`, not by the connection account).
             let reserve = run.spec.fuel.unwrap_or(SpecBudget::default().steps);
             let deadline_ms = run.spec.deadline_ms.unwrap_or(state.cfg.deadline_ms);
+            let rid = request_trace_id(conn, req.id);
             admit(
                 state,
                 req.id,
+                rid,
+                conn,
                 JobKind::Run(run),
                 reserve,
                 Some(deadline_ms.min(state.cfg.deadline_ms)),
@@ -542,15 +662,23 @@ fn handle_frame(state: &Arc<State>, line: &str, writer: &SharedWriter, account: 
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn admit(
     state: &Arc<State>,
     id: u64,
+    req: u64,
+    conn: u64,
     kind: JobKind,
     reserve: u64,
     deadline_ms: Option<u64>,
     writer: &SharedWriter,
     account: &Arc<AtomicU64>,
 ) {
+    let kind_name = match kind {
+        JobKind::Spec(_) => "spec",
+        JobKind::Run(_) => "run",
+        JobKind::Fault => "fault",
+    };
     if reserve > 0 {
         let claimed = account
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| cur.checked_sub(reserve));
@@ -558,6 +686,7 @@ fn admit(
             state.counters.denied.fetch_add(1, Ordering::Relaxed);
             state.counters.errors.fetch_add(1, Ordering::Relaxed);
             state.rec.count("serve.denied", 1);
+            state.flight.record(req, conn, "denied", format!("{kind_name} id {id} needs {reserve} fuel"));
             send(
                 writer,
                 &Response {
@@ -579,6 +708,8 @@ fn admit(
     let deadline = now + Duration::from_millis(deadline_ms.unwrap_or(state.cfg.deadline_ms));
     let job = Job {
         id,
+        req,
+        conn,
         kind,
         writer: Arc::clone(writer),
         enqueued: now,
@@ -588,12 +719,16 @@ fn admit(
         account: Arc::clone(account),
     };
     match state.queue.try_push(job) {
-        Ok(()) => {}
+        Ok(()) => {
+            state.flight.record(req, conn, "admit", format!("{kind_name} id {id}"));
+        }
         Err(PushError::Full) => {
             account.fetch_add(reserve, Ordering::AcqRel);
             state.counters.shed.fetch_add(1, Ordering::Relaxed);
             state.counters.errors.fetch_add(1, Ordering::Relaxed);
             state.rec.count("serve.shed", 1);
+            lock(&state.live.shed_window).record(state.now_ms(), 1);
+            state.flight.record(req, conn, "shed", format!("{kind_name} id {id}"));
             send(
                 writer,
                 &Response {
@@ -612,6 +747,7 @@ fn admit(
         Err(PushError::Closed) => {
             account.fetch_add(reserve, Ordering::AcqRel);
             state.counters.errors.fetch_add(1, Ordering::Relaxed);
+            state.flight.record(req, conn, "closed", format!("{kind_name} id {id}"));
             send(
                 writer,
                 &Response {
@@ -665,6 +801,7 @@ fn run_job(state: &Arc<State>, job: &Job) {
         state.counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
         state.counters.errors.fetch_add(1, Ordering::Relaxed);
         state.rec.count("serve.deadline_expired", 1);
+        state.flight.record(job.req, job.conn, "deadline", format!("id {} expired while queued", job.id));
         send(
             &job.writer,
             &Response {
@@ -683,9 +820,20 @@ fn run_job(state: &Arc<State>, job: &Job) {
         JobKind::Spec(ref spec) => run_spec(state, job, spec),
         JobKind::Run(ref run) => run_run(state, job, run),
     }
+    let elapsed = job.enqueued.elapsed();
+    state.live.latency_us.observe(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
     state
         .rec
-        .observe("serve.latency_ns", job.enqueued.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+        .observe("serve.latency_ns", elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
+}
+
+/// One finished spec/run lookup for the windowed hit-ratio gauges.
+fn note_lookup(state: &State, hit: bool) {
+    let now = state.now_ms();
+    lock(&state.live.lookup_window).record(now, 1);
+    if hit {
+        lock(&state.live.hit_window).record(now, 1);
+    }
 }
 
 fn run_fault(state: &Arc<State>, job: &Job) {
@@ -696,6 +844,8 @@ fn run_fault(state: &Arc<State>, job: &Job) {
     state.counters.panics.fetch_add(1, Ordering::Relaxed);
     state.counters.errors.fetch_add(1, Ordering::Relaxed);
     state.rec.count("serve.panics", 1);
+    state.flight.record(job.req, job.conn, "panic", format!("fault id {} (injected)", job.id));
+    crash_dump(state, job, "worker panicked: injected fault (chaos request)");
     send(
         &job.writer,
         &Response {
@@ -709,9 +859,13 @@ fn run_fault(state: &Arc<State>, job: &Job) {
 }
 
 fn run_spec(state: &Arc<State>, job: &Job, spec: &SpecRequest) {
+    // Every span, counter and spec-decision event the engine emits for
+    // this job carries the request's trace id: the recorder handle is
+    // request-scoped, the shared event sink is not.
+    let rec = state.rec.with_request(job.req, job.conn);
     let wid = state.watch_register(job.deadline, job.cancel.clone());
     let result = catch_unwind(AssertUnwindSafe(|| {
-        state.resident.execute_spec(spec, job.cancel.clone(), &state.rec)
+        state.resident.execute_spec(spec, job.cancel.clone(), &rec)
     }));
     state.watch_remove(wid);
     match result {
@@ -723,7 +877,9 @@ fn run_spec(state: &Arc<State>, job: &Job, spec: &SpecRequest) {
                 if outcome.memo_hit { 0 } else { outcome.stats.steps.min(job.reserved) };
             job.account.fetch_add(job.reserved - spent, Ordering::AcqRel);
             state.counters.ok.fetch_add(1, Ordering::Relaxed);
-            state.rec.count("serve.ok", 1);
+            rec.count("serve.ok", 1);
+            note_lookup(state, outcome.memo_hit);
+            state.flight.record(job.req, job.conn, "done", format!("spec id {}", job.id));
             send(
                 &job.writer,
                 &Response {
@@ -745,6 +901,7 @@ fn run_spec(state: &Arc<State>, job: &Job, spec: &SpecRequest) {
                 state.counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
                 state.rec.count("serve.deadline_expired", 1);
             }
+            state.flight.record(job.req, job.conn, "error", format!("id {}: {}", job.id, info.class));
             send(&job.writer, &Response { id: job.id, body: ResponseBody::Error(info) });
         }
         Err(_) => {
@@ -754,6 +911,8 @@ fn run_spec(state: &Arc<State>, job: &Job, spec: &SpecRequest) {
             state.counters.panics.fetch_add(1, Ordering::Relaxed);
             state.counters.errors.fetch_add(1, Ordering::Relaxed);
             state.rec.count("serve.panics", 1);
+            state.flight.record(job.req, job.conn, "panic", format!("id {}", job.id));
+            crash_dump(state, job, "worker panicked serving the request");
             send(
                 &job.writer,
                 &Response {
@@ -769,9 +928,10 @@ fn run_spec(state: &Arc<State>, job: &Job, spec: &SpecRequest) {
 }
 
 fn run_run(state: &Arc<State>, job: &Job, run: &RunRequest) {
+    let rec = state.rec.with_request(job.req, job.conn);
     let wid = state.watch_register(job.deadline, job.cancel.clone());
     let result = catch_unwind(AssertUnwindSafe(|| {
-        state.resident.execute_run(run, job.cancel.clone(), &state.rec, state.cfg.vm_opt)
+        state.resident.execute_run(run, job.cancel.clone(), &rec, state.cfg.vm_opt)
     }));
     state.watch_remove(wid);
     match result {
@@ -782,7 +942,9 @@ fn run_run(state: &Arc<State>, job: &Job, run: &RunRequest) {
                 if outcome.memo_hit { 0 } else { outcome.spec_stats.steps.min(job.reserved) };
             job.account.fetch_add(job.reserved - spent, Ordering::AcqRel);
             state.counters.ok.fetch_add(1, Ordering::Relaxed);
-            state.rec.count("serve.ok", 1);
+            rec.count("serve.ok", 1);
+            note_lookup(state, outcome.memo_hit);
+            state.flight.record(job.req, job.conn, "done", format!("run id {}", job.id));
             send(
                 &job.writer,
                 &Response {
@@ -805,12 +967,15 @@ fn run_run(state: &Arc<State>, job: &Job, run: &RunRequest) {
                 state.counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
                 state.rec.count("serve.deadline_expired", 1);
             }
+            state.flight.record(job.req, job.conn, "error", format!("id {}: {}", job.id, info.class));
             send(&job.writer, &Response { id: job.id, body: ResponseBody::Error(info) });
         }
         Err(_) => {
             state.counters.panics.fetch_add(1, Ordering::Relaxed);
             state.counters.errors.fetch_add(1, Ordering::Relaxed);
             state.rec.count("serve.panics", 1);
+            state.flight.record(job.req, job.conn, "panic", format!("id {}", job.id));
+            crash_dump(state, job, "worker panicked serving the request");
             send(
                 &job.writer,
                 &Response {
@@ -823,6 +988,100 @@ fn run_run(state: &Arc<State>, job: &Job, run: &RunRequest) {
             );
         }
     }
+}
+
+/// Renders the live metrics exposition: monotone counters from the
+/// server's atomics, instantaneous gauges (queue depth, in-flight,
+/// cache occupancy), windowed rates (req/s, shed/s, memo hit ratio)
+/// and latency quantiles estimated from the always-on log2 histogram.
+/// Bounded cost by construction — no allocation proportional to
+/// traffic, no engine state touched.
+fn metrics_text(state: &State) -> String {
+    let s = state.stats();
+    let now_ms = state.now_ms();
+    let mut exp = Exposition::new();
+    exp.gauge("mspecd_uptime_ms", "Milliseconds since the daemon started", now_ms);
+    exp.counter("mspecd_requests_total", "Frames received (including malformed)", s.requests);
+    exp.counter("mspecd_ok_total", "Successful spec/run replies", s.ok);
+    exp.counter("mspecd_errors_total", "Typed error replies of any class", s.errors);
+    exp.counter("mspecd_shed_total", "Requests shed by the bounded queue", s.shed);
+    exp.counter("mspecd_panics_total", "Worker panics contained", s.panics);
+    exp.counter(
+        "mspecd_deadline_expired_total",
+        "Requests whose wall-clock deadline fired",
+        s.deadline_expired,
+    );
+    exp.gauge("mspecd_queue_depth", "Jobs currently queued", state.queue.len() as u64);
+    exp.gauge("mspecd_in_flight", "Jobs currently executing", state.queue.in_flight() as u64);
+    exp.gauge(
+        "mspecd_clients",
+        "Currently connected clients",
+        state.clients.load(Ordering::Relaxed) as u64,
+    );
+    exp.gauge_milli(
+        "mspecd_req_rate",
+        "Frames per second over the sliding window",
+        lock(&state.live.req_window).rate_milli_per_sec(now_ms),
+    );
+    exp.gauge_milli(
+        "mspecd_shed_rate",
+        "Sheds per second over the sliding window",
+        lock(&state.live.shed_window).rate_milli_per_sec(now_ms),
+    );
+    let hits = lock(&state.live.hit_window).total(now_ms);
+    let lookups = lock(&state.live.lookup_window).total(now_ms);
+    exp.gauge_milli(
+        "mspecd_memo_hit_ratio",
+        "Share of finished spec/run lookups answered by the resident memo, sliding window",
+        hits.saturating_mul(1000).checked_div(lookups).unwrap_or(0),
+    );
+    exp.summary(
+        "mspecd_latency_us",
+        "Admission-to-reply latency of executed jobs, microseconds",
+        &state.live.latency_us.nonzero_buckets(),
+    );
+    let (programs, artefacts, memo, compiled) = state.resident.cache_sizes();
+    exp.gauge("mspecd_cache_programs", "Resident compiled inline programs", programs as u64);
+    exp.gauge("mspecd_cache_artefacts", "Resident linked artefact sets", artefacts as u64);
+    exp.gauge("mspecd_cache_memo", "Resident memoised specialisations", memo as u64);
+    exp.gauge("mspecd_cache_compiled", "Resident compiled residuals", compiled as u64);
+    let r = state.resident.stats();
+    exp.counter("mspecd_cache_evictions_total", "Entries evicted at the memo cap", r.evictions);
+    exp.counter("mspecd_cache_disk_hits_total", "Disk-tier residual cache hits", r.disk_hits);
+    exp.counter("mspecd_cache_disk_stores_total", "Residuals persisted to the disk tier", r.disk_stores);
+    exp.counter("mspecd_flight_recorded_total", "Events ever written to the flight ring", state.flight.recorded());
+    exp.render()
+}
+
+/// Writes a crash dump for a contained worker panic: one header line
+/// naming the offending request (trace id, connection, correlation id)
+/// and the server's posture at the moment of the crash (queue depth,
+/// in-flight count, the connection's remaining fuel), then the flight
+/// ring oldest-first. Written via the atomic temp-file + rename
+/// machinery, so a dump is never observed half-written; the sequence
+/// number gives each incident its own file.
+fn crash_dump(state: &State, job: &Job, message: &str) {
+    let seq = state.crash_seq.fetch_add(1, Ordering::Relaxed);
+    let pid = std::process::id();
+    let dir = state.cfg.crash_dir.clone().unwrap_or_else(|| ".".to_string());
+    let path = std::path::Path::new(&dir).join(format!("crash-{pid}-{seq}.jsonl"));
+    let header = Json::obj([
+        ("kind", Json::str("crash")),
+        ("pid", Json::Num(u128::from(pid))),
+        ("seq", Json::Num(u128::from(seq))),
+        ("req", Json::Num(u128::from(job.req))),
+        ("conn", Json::Num(u128::from(job.conn))),
+        ("id", Json::Num(u128::from(job.id))),
+        ("queue_len", Json::Num(state.queue.len() as u128)),
+        ("in_flight", Json::Num(state.queue.in_flight() as u128)),
+        ("fuel_remaining", Json::Num(u128::from(job.account.load(Ordering::Relaxed)))),
+        ("uptime_ms", Json::Num(u128::from(state.now_ms()))),
+        ("message", Json::str(message)),
+    ]);
+    let mut text = header.write_compact();
+    text.push('\n');
+    text.push_str(&state.flight.to_jsonl());
+    let _ = atomic_write(&path, text.as_bytes());
 }
 
 #[cfg(test)]
@@ -860,7 +1119,12 @@ mod tests {
         Response::from_json_str(line.trim_end()).unwrap()
     }
 
-    fn test_server(cfg: ServeConfig) -> (Server, TcpHandle) {
+    fn test_server(mut cfg: ServeConfig) -> (Server, TcpHandle) {
+        // Crash dumps default to the cwd; tests that trip the panic
+        // path must never litter the crate directory.
+        if cfg.crash_dir.is_none() {
+            cfg.crash_dir = Some(std::env::temp_dir().to_string_lossy().into_owned());
+        }
         let server = Server::new(cfg, Recorder::disabled());
         let handle = server.start_tcp().unwrap();
         (server, handle)
@@ -886,6 +1150,8 @@ mod tests {
         let resp = roundtrip(&mut c, &Request { id: 2, kind: RequestKind::Health });
         let ResponseBody::Health { counters, .. } = resp.body else { panic!("{resp:?}") };
         assert!(counters.iter().any(|(k, v)| k == "serve.ok" && *v == 1));
+        assert!(counters.iter().any(|(k, _)| k == "serve.in_flight"));
+        assert!(counters.iter().any(|(k, v)| k == "resident.cache.memo" && *v == 1));
 
         let resp = roundtrip(&mut c, &Request { id: 3, kind: RequestKind::Shutdown });
         assert_eq!(resp.body, ResponseBody::Ok);
@@ -1120,6 +1386,173 @@ mod tests {
     }
 
     #[test]
+    fn metrics_request_is_answered_inline_and_schema_checks() {
+        let (server, handle) = test_server(ServeConfig::default());
+        let mut c = connect(handle.port);
+        // Run one request so latency/rate metrics have substance.
+        let resp = roundtrip(
+            &mut c,
+            &Request {
+                id: 1,
+                kind: RequestKind::Spec(SpecRequest::inline(POWER, "Power.power", "S:3,D")),
+            },
+        );
+        assert!(matches!(resp.body, ResponseBody::Spec { .. }), "{resp:?}");
+        // The reply races the worker's post-send latency observation by
+        // a few microseconds, so scrape until the count lands.
+        let mut text = String::new();
+        for i in 2..40u64 {
+            let resp = roundtrip(&mut c, &Request { id: i, kind: RequestKind::Metrics });
+            let ResponseBody::Metrics { text: t } = resp.body else { panic!("{resp:?}") };
+            text = t;
+            if text.contains("mspecd_latency_us_count 1\n") {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let report = mspec_telemetry::metrics::check_exposition(&text).unwrap();
+        assert!(report.families >= 15, "{report:?}\n{text}");
+        assert!(text.contains("mspecd_ok_total 1\n"), "{text}");
+        assert!(text.contains("mspecd_latency_us_count 1\n"), "{text}");
+        assert!(text.contains("mspecd_cache_memo 1\n"), "{text}");
+        server.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn request_trace_ids_are_deterministic_nonzero_and_distinct() {
+        assert_eq!(request_trace_id(1, 7), request_trace_id(1, 7));
+        assert_ne!(request_trace_id(1, 7), request_trace_id(2, 7));
+        assert_ne!(request_trace_id(1, 7), request_trace_id(1, 8));
+        assert_ne!(request_trace_id(1, 7), 0);
+    }
+
+    #[test]
+    fn daemon_traces_carry_request_ids_and_replay_per_request() {
+        let rec = Recorder::enabled();
+        let server = Server::new(ServeConfig::default(), rec.clone());
+        let handle = server.start_tcp().unwrap();
+        let mut c = connect(handle.port);
+        for (id, n) in [(1u64, 3u64), (2, 4)] {
+            let resp = roundtrip(
+                &mut c,
+                &Request {
+                    id,
+                    kind: RequestKind::Spec(SpecRequest::inline(
+                        POWER,
+                        "Power.power",
+                        &format!("S:{n},D"),
+                    )),
+                },
+            );
+            assert!(matches!(resp.body, ResponseBody::Spec { .. }), "{resp:?}");
+        }
+        server.shutdown();
+        handle.join();
+        let snap = rec.snapshot();
+        let rid1 = request_trace_id(1, 1);
+        let rid2 = request_trace_id(1, 2);
+        for rid in [rid1, rid2] {
+            assert!(
+                snap.events.iter().any(|e| e.req == rid),
+                "no events tagged with request {rid}"
+            );
+        }
+        // Each request's stream replays independently through explain:
+        // filtering to one rid must reproduce that request's private
+        // provenance (one residual version each), and the S:3 / S:4
+        // runs unfold different numbers of static call sites, so the
+        // two per-request answers are distinguishable.
+        let one = mspec_telemetry::explain_req(&snap, "Power.power", Some(rid1)).unwrap();
+        assert!(one.contains("1 residual version(s)"), "{one}");
+        let two = mspec_telemetry::explain_req(&snap, "Power.power", Some(rid2)).unwrap();
+        assert!(two.contains("1 residual version(s)"), "{two}");
+        assert_ne!(one, two, "per-request streams must not bleed into each other");
+        // An unknown request id matches no events at all.
+        assert!(mspec_telemetry::explain_req(&snap, "Power.power", Some(0xdead)).is_none());
+    }
+
+    #[test]
+    fn startup_gc_bounds_the_disk_cache() {
+        let dir = std::env::temp_dir().join(format!("mspec-serve-gc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = DiskCache::open(&dir).unwrap();
+        for i in 0..4u32 {
+            cache.put(&mspec_cache::CacheEntry {
+                key: format!("k{i}"),
+                entry: "M.f".to_string(),
+                residual: "module M where\nf x = x\n".repeat(8),
+                stats: mspec_genext::SpecStats::default(),
+            }).unwrap();
+        }
+        assert_eq!(cache.len(), 4);
+        let cfg = ServeConfig {
+            cache_dir: Some(dir.to_string_lossy().into_owned()),
+            cache_gc_bytes: Some(1),
+            ..ServeConfig::default()
+        };
+        let server = Server::new(cfg, Recorder::disabled());
+        // A 1-byte bound prunes every pre-existing entry at startup.
+        assert_eq!(cache.len(), 0);
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn contained_panic_writes_exactly_one_crash_dump_and_serving_continues() {
+        let dir = std::env::temp_dir().join(format!("mspec-crash-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = ServeConfig {
+            chaos: true,
+            crash_dir: Some(dir.to_string_lossy().into_owned()),
+            ..ServeConfig::default()
+        };
+        let (server, handle) = test_server(cfg);
+        let mut c = connect(handle.port);
+        let resp = roundtrip(&mut c, &Request { id: 3, kind: RequestKind::Fault });
+        let ResponseBody::Error(e) = resp.body else { panic!("{resp:?}") };
+        assert_eq!(e.class, ErrorClass::Internal);
+        // The daemon keeps serving after the contained panic.
+        let resp = roundtrip(
+            &mut c,
+            &Request {
+                id: 4,
+                kind: RequestKind::Spec(SpecRequest::inline(POWER, "Power.power", "S:2,D")),
+            },
+        );
+        assert!(matches!(resp.body, ResponseBody::Spec { .. }), "{resp:?}");
+        server.shutdown();
+        handle.join();
+        let dumps: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|f| f.file_name().to_string_lossy().starts_with("crash-"))
+            .collect();
+        assert_eq!(dumps.len(), 1, "exactly one crash dump per incident");
+        let text = std::fs::read_to_string(dumps[0].path()).unwrap();
+        let mut lines = text.lines();
+        let header = Json::parse(lines.next().unwrap()).unwrap();
+        assert_eq!(header.get("kind").unwrap().as_str().unwrap(), "crash");
+        assert_eq!(header.get("id").unwrap().as_u64().unwrap(), 3);
+        assert_eq!(
+            header.get("req").unwrap().as_u64().unwrap(),
+            request_trace_id(1, 3),
+            "the dump names the offending request's trace id"
+        );
+        // Every ring line parses, and the fault's own admission is in it.
+        let mut admits = 0;
+        for line in lines {
+            let j = Json::parse(line).unwrap();
+            if j.get("kind").unwrap().as_str().unwrap() == "admit" {
+                admits += 1;
+            }
+        }
+        assert!(admits >= 1, "the ring holds the fault's admission\n{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn stdio_counters_via_stats_request() {
         // Exercise the frame handler directly (as serve_stdio does).
         let server = Server::new(ServeConfig::default(), Recorder::disabled());
@@ -1130,6 +1563,7 @@ mod tests {
             &Request { id: 5, kind: RequestKind::Stats }.to_json_compact(),
             &buf,
             &account,
+            1,
         );
         assert_eq!(server.stats().requests, 1);
         server.shutdown();

@@ -18,11 +18,18 @@
 use mspec_lang::{Json, JsonError};
 
 /// One timed record: nanoseconds since the recorder started, the small
-/// sequential id of the recording thread, and the payload.
+/// sequential id of the recording thread, the request scope the
+/// recording handle carried (0 = unscoped, omitted from the JSON so
+/// batch traces are unchanged), and the payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Event {
     pub ts_ns: u64,
     pub tid: u64,
+    /// Request id the recording [`crate::Recorder`] handle was scoped
+    /// to (see [`crate::Recorder::with_request`]); 0 = unscoped.
+    pub req: u64,
+    /// Connection id of the request's origin; 0 = unscoped.
+    pub conn: u64,
     pub kind: EventKind,
 }
 
@@ -141,6 +148,14 @@ impl Event {
             ("ts".to_string(), Json::Num(u128::from(self.ts_ns))),
             ("tid".to_string(), Json::Num(u128::from(self.tid))),
         ];
+        // Request scope only when present: unscoped (batch) traces stay
+        // byte-identical to the pre-request-tracing format.
+        if self.req != 0 {
+            fields.push(("req".to_string(), Json::Num(u128::from(self.req))));
+        }
+        if self.conn != 0 {
+            fields.push(("conn".to_string(), Json::Num(u128::from(self.conn))));
+        }
         match &self.kind {
             EventKind::SpanBegin { id, parent, name, detail } => {
                 fields.push(("id".to_string(), Json::Num(u128::from(*id))));
@@ -181,6 +196,14 @@ impl Event {
         let ev = j.get("ev")?.as_str()?;
         let ts_ns = j.get("ts")?.as_u64()?;
         let tid = j.get("tid")?.as_u64()?;
+        let req = match j.get("req") {
+            Ok(v) => v.as_u64()?,
+            Err(_) => 0,
+        };
+        let conn = match j.get("conn") {
+            Ok(v) => v.as_u64()?,
+            Err(_) => 0,
+        };
         let kind = match ev {
             "b" => EventKind::SpanBegin {
                 id: j.get("id")?.as_u64()?,
@@ -213,7 +236,7 @@ impl Event {
             })),
             other => return Err(JsonError(format!("unknown event kind {other:?}"))),
         };
-        Ok(Event { ts_ns, tid, kind })
+        Ok(Event { ts_ns, tid, req, conn, kind })
     }
 }
 
@@ -250,6 +273,8 @@ mod tests {
             Event {
                 ts_ns: 10,
                 tid: 0,
+                req: 0,
+                conn: 0,
                 kind: EventKind::SpanBegin {
                     id: 1,
                     parent: 0,
@@ -260,12 +285,16 @@ mod tests {
             Event {
                 ts_ns: 11,
                 tid: 1,
+                req: 9,
+                conn: 2,
                 kind: EventKind::Instant { name: "tick".to_string(), detail: String::new() },
             },
-            Event { ts_ns: 12, tid: 0, kind: EventKind::Spec(Box::new(spec)) },
+            Event { ts_ns: 12, tid: 0, req: 3, conn: 1, kind: EventKind::Spec(Box::new(spec)) },
             Event {
                 ts_ns: 13,
                 tid: 0,
+                req: 0,
+                conn: 0,
                 kind: EventKind::SpanEnd { id: 1, name: "build".to_string() },
             },
         ];
@@ -273,6 +302,24 @@ mod tests {
             let j = Json::parse(&ev.to_json().write_compact()).unwrap();
             assert_eq!(&Event::from_json(&j).unwrap(), ev);
         }
+    }
+
+    #[test]
+    fn unscoped_events_omit_req_and_conn_fields() {
+        let ev = Event {
+            ts_ns: 1,
+            tid: 0,
+            req: 0,
+            conn: 0,
+            kind: EventKind::Instant { name: "tick".to_string(), detail: String::new() },
+        };
+        let text = ev.to_json().write_compact();
+        assert!(!text.contains("req"), "{text}");
+        assert!(!text.contains("conn"), "{text}");
+        let tagged = Event { req: 5, conn: 2, ..ev };
+        let text = tagged.to_json().write_compact();
+        assert!(text.contains("\"req\":5"), "{text}");
+        assert!(text.contains("\"conn\":2"), "{text}");
     }
 
     #[test]

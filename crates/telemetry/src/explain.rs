@@ -12,9 +12,18 @@ use std::fmt::Write as _;
 /// residual name (`power_1` or `Spec.power_1`). Returns `None` when no
 /// spec event mentions it.
 pub fn explain(snap: &Snapshot, query: &str) -> Option<String> {
+    explain_req(snap, query, None)
+}
+
+/// [`explain`] restricted to one request's event stream: only spec
+/// events whose `req` tag matches are replayed, so a multi-client
+/// daemon trace answers exactly as that request's single-request batch
+/// trace would. `None` as the request keeps every event.
+pub fn explain_req(snap: &Snapshot, query: &str, req: Option<u64>) -> Option<String> {
     let specs: Vec<&SpecEvent> = snap
         .events
         .iter()
+        .filter(|e| req.is_none_or(|r| e.req == r))
         .filter_map(|e| match &e.kind {
             EventKind::Spec(s) => Some(s.as_ref()),
             _ => None,
@@ -177,6 +186,31 @@ mod tests {
     #[test]
     fn unknown_function_returns_none() {
         assert!(explain(&sample(), "nope").is_none());
+    }
+
+    #[test]
+    fn request_filter_replays_one_stream() {
+        // Two interleaved request streams in one session: the filtered
+        // replay of request 1 must match a session that only ran it.
+        let tagged = {
+            let rec = Recorder::enabled();
+            let r1 = rec.with_request(1, 10);
+            let r2 = rec.with_request(2, 10);
+            r1.spec(ev("Power.power", Decision::Entry, "Spec.power_1", "", ""));
+            r2.spec(ev("Loop.count", Decision::Entry, "Spec.count_1", "", ""));
+            r1.spec(ev(
+                "Power.power",
+                Decision::Residualise,
+                "Spec.power_2",
+                "Spec.power_1",
+                "unfold term t0 = D under {D,S}",
+            ));
+            rec.snapshot()
+        };
+        let only = explain_req(&tagged, "power", Some(1)).unwrap();
+        assert!(only.contains("2 residual version(s)"), "{only}");
+        assert!(explain_req(&tagged, "count", Some(1)).is_none());
+        assert!(explain_req(&tagged, "count", Some(2)).is_some());
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Collapsed-stack (flamegraph) rendering of span trees.
+//!
+//! A JSONL trace's `b`/`e` events form per-thread span trees; this
+//! module folds them into the `frame;frame;frame value` text format
+//! that `flamegraph.pl`, speedscope and friends consume directly. The
+//! value is *self time in microseconds*: each span's duration minus the
+//! time covered by its children, so the flamegraph's widths add up
+//! instead of double-counting nested work.
+
+use crate::{EventKind, Snapshot};
+use std::collections::BTreeMap;
+
+struct OpenSpan {
+    id: u64,
+    name: String,
+    start_ns: u64,
+    child_ns: u64,
+}
+
+/// Folds `snap`'s span events into collapsed-stack lines, one per
+/// distinct stack, sorted lexicographically (deterministic given the
+/// event stream). `req` filters to one request's events (an event is
+/// kept iff its `req` field matches); `None` keeps everything.
+///
+/// Unbalanced spans are tolerated: an end without a begin is ignored,
+/// and spans still open when the stream ends contribute the time up to
+/// the last event seen on their thread.
+pub fn collapsed_stacks(snap: &Snapshot, req: Option<u64>) -> String {
+    // Per-(tid) open-span stacks, replayed in event order.
+    let mut stacks: BTreeMap<u64, Vec<OpenSpan>> = BTreeMap::new();
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    let mut last_ts: BTreeMap<u64, u64> = BTreeMap::new();
+
+    let close = |stack: &mut Vec<OpenSpan>, upto: usize, end_ns: u64,
+                     folded: &mut BTreeMap<String, u64>| {
+        while stack.len() > upto {
+            let done = match stack.pop() {
+                Some(s) => s,
+                None => break,
+            };
+            let total = end_ns.saturating_sub(done.start_ns);
+            let self_ns = total.saturating_sub(done.child_ns);
+            let mut path: Vec<&str> = stack.iter().map(|s| s.name.as_str()).collect();
+            path.push(&done.name);
+            *folded.entry(path.join(";")).or_insert(0) += self_ns / 1_000;
+            if let Some(parent) = stack.last_mut() {
+                parent.child_ns += total;
+            }
+        }
+    };
+
+    for ev in &snap.events {
+        if let Some(r) = req {
+            if ev.req != r {
+                continue;
+            }
+        }
+        last_ts.insert(ev.tid, ev.ts_ns);
+        let stack = stacks.entry(ev.tid).or_default();
+        match &ev.kind {
+            EventKind::SpanBegin { id, name, .. } => {
+                stack.push(OpenSpan {
+                    id: *id,
+                    name: name.clone(),
+                    start_ns: ev.ts_ns,
+                    child_ns: 0,
+                });
+            }
+            EventKind::SpanEnd { id, .. } => {
+                if let Some(pos) = stack.iter().rposition(|s| s.id == *id) {
+                    close(stack, pos, ev.ts_ns, &mut folded);
+                }
+            }
+            EventKind::Instant { .. } | EventKind::Spec(_) => {}
+        }
+    }
+    // Spans left open (e.g. a trace cut mid-request) are closed at the
+    // thread's last timestamp so their time is not silently dropped.
+    for (tid, mut stack) in stacks {
+        let end = last_ts.get(&tid).copied().unwrap_or(0);
+        close(&mut stack, 0, end, &mut folded);
+    }
+
+    let mut out = String::new();
+    for (path, us) in folded {
+        out.push_str(&format!("{path} {us}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Event;
+
+    fn ev(ts_us: u64, req: u64, kind: EventKind) -> Event {
+        Event { ts_ns: ts_us * 1_000, tid: 0, req, conn: 0, kind }
+    }
+
+    fn begin(id: u64, parent: u64, name: &str) -> EventKind {
+        EventKind::SpanBegin {
+            id,
+            parent,
+            name: name.to_string(),
+            detail: String::new(),
+        }
+    }
+
+    fn end(id: u64, name: &str) -> EventKind {
+        EventKind::SpanEnd { id, name: name.to_string() }
+    }
+
+    #[test]
+    fn nested_spans_fold_with_self_time() {
+        let snap = Snapshot {
+            events: vec![
+                ev(0, 0, begin(1, 0, "specialise")),
+                ev(10, 0, begin(2, 1, "link")),
+                ev(40, 0, end(2, "link")),
+                ev(100, 0, end(1, "specialise")),
+            ],
+            ..Snapshot::default()
+        };
+        let text = collapsed_stacks(&snap, None);
+        assert_eq!(text, "specialise 70\nspecialise;link 30\n");
+    }
+
+    #[test]
+    fn request_filter_selects_one_stream() {
+        let snap = Snapshot {
+            events: vec![
+                ev(0, 7, begin(1, 0, "a")),
+                ev(5, 8, begin(2, 0, "b")),
+                ev(20, 8, end(2, "b")),
+                ev(30, 7, end(1, "a")),
+            ],
+            ..Snapshot::default()
+        };
+        assert_eq!(collapsed_stacks(&snap, Some(7)), "a 30\n");
+        assert_eq!(collapsed_stacks(&snap, Some(8)), "b 15\n");
+        let all = collapsed_stacks(&snap, None);
+        // Unfiltered, b nests inside a on the same thread.
+        assert_eq!(all, "a 15\na;b 15\n");
+    }
+
+    #[test]
+    fn unclosed_spans_are_attributed_to_the_last_timestamp() {
+        let snap = Snapshot {
+            events: vec![ev(0, 0, begin(1, 0, "hung")), ev(50, 0, EventKind::Instant {
+                name: "tick".to_string(),
+                detail: String::new(),
+            })],
+            ..Snapshot::default()
+        };
+        assert_eq!(collapsed_stacks(&snap, None), "hung 50\n");
+    }
+}

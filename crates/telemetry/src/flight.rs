@@ -1,0 +1,153 @@
+//! The crash flight recorder: an always-on bounded ring of the last N
+//! request-lifecycle events.
+//!
+//! The daemon's `--trace` recorder is opt-in and unbounded; the flight
+//! ring is the opposite — always on, fixed memory, and cheap enough to
+//! leave enabled in production (a slot claim is one `fetch_add`; the
+//! per-slot write is an uncontended `Mutex` store, contended only when
+//! the ring wraps onto a slot another thread is still writing). When a
+//! worker panics or hits an internal error, the ring's contents become
+//! the postmortem: the last N admissions, completions, sheds and
+//! errors across *all* requests, dumped oldest-first.
+
+use mspec_lang::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One flight-ring record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEntry {
+    /// Milliseconds since the ring was created.
+    pub ts_ms: u64,
+    /// Request id (0 when the event is not request-scoped).
+    pub req: u64,
+    /// Connection id (0 when not request-scoped).
+    pub conn: u64,
+    /// Event kind, e.g. `admit`, `shed`, `done`, `error`, `panic`.
+    pub kind: &'static str,
+    /// Free-form context, kept short by callers.
+    pub detail: String,
+}
+
+impl FlightEntry {
+    /// One compact JSON object (one line of a crash dump).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("ts_ms", Json::Num(u128::from(self.ts_ms))),
+            ("req", Json::Num(u128::from(self.req))),
+            ("conn", Json::Num(u128::from(self.conn))),
+            ("kind", Json::str(self.kind)),
+            ("detail", Json::str(self.detail.as_str())),
+        ])
+    }
+}
+
+/// A fixed-capacity ring of [`FlightEntry`] records. Writers claim a
+/// slot index with one atomic `fetch_add` (no lock on the claim path),
+/// then store the entry under that slot's own mutex; the ring never
+/// allocates after construction beyond each entry's detail string.
+pub struct FlightRing {
+    start: Instant,
+    head: AtomicU64,
+    slots: Vec<Mutex<Option<FlightEntry>>>,
+}
+
+impl FlightRing {
+    /// A ring holding the last `capacity` records (at least 1).
+    pub fn new(capacity: usize) -> FlightRing {
+        FlightRing {
+            start: Instant::now(),
+            head: AtomicU64::new(0),
+            slots: (0..capacity.max(1)).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Records one event, overwriting the oldest when full.
+    pub fn record(&self, req: u64, conn: u64, kind: &'static str, detail: String) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let ts_ms = self.start.elapsed().as_millis() as u64;
+        let idx = (seq % self.slots.len() as u64) as usize;
+        if let Ok(mut slot) = self.slots[idx].lock() {
+            *slot = Some(FlightEntry { ts_ms, req, conn, kind, detail });
+        }
+    }
+
+    /// Total records ever written (≥ the ring's current occupancy).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// The ring's current contents, oldest-first.
+    pub fn snapshot(&self) -> Vec<FlightEntry> {
+        let head = self.head.load(Ordering::Relaxed);
+        let n = self.slots.len() as u64;
+        let oldest = head.saturating_sub(n);
+        (oldest..head)
+            .filter_map(|seq| {
+                let idx = (seq % n) as usize;
+                self.slots[idx].lock().ok().and_then(|s| s.clone())
+            })
+            .collect()
+    }
+
+    /// The ring rendered as JSONL, oldest-first (the body of a crash
+    /// dump, after the caller's header line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in self.snapshot() {
+            out.push_str(&e.to_json().write_compact());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_last_n_entries_oldest_first() {
+        let ring = FlightRing::new(3);
+        for i in 0..5u64 {
+            ring.record(i, 1, "admit", format!("job {i}"));
+        }
+        let entries = ring.snapshot();
+        assert_eq!(ring.recorded(), 5);
+        let reqs: Vec<u64> = entries.iter().map(|e| e.req).collect();
+        assert_eq!(reqs, vec![2, 3, 4], "ring keeps the newest 3, oldest first");
+    }
+
+    #[test]
+    fn concurrent_writers_never_lose_the_ring() {
+        let ring = std::sync::Arc::new(FlightRing::new(8));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let ring = std::sync::Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        ring.record(t * 1000 + i, t, "done", String::new());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ring.recorded(), 400);
+        let snap = ring.snapshot();
+        assert!(snap.len() <= 8);
+        assert!(!snap.is_empty());
+    }
+
+    #[test]
+    fn jsonl_lines_parse_back() {
+        let ring = FlightRing::new(2);
+        ring.record(7, 3, "panic", "worker 1".to_string());
+        let text = ring.to_jsonl();
+        let j = Json::parse(text.trim()).unwrap();
+        assert_eq!(j.get("req").unwrap().as_u64().unwrap(), 7);
+        assert_eq!(j.get("kind").unwrap().as_str().unwrap(), "panic");
+    }
+}

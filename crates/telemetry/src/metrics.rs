@@ -1,0 +1,279 @@
+//! Windowed rate aggregation and Prometheus-style text exposition.
+//!
+//! The recorder's counters are monotone totals and its histograms are
+//! log2 buckets; an operator watching a daemon needs *rates* (req/s,
+//! shed/s, hit rate over the last few seconds) and *quantiles* (p50 /
+//! p90 / p99 latency). [`RateWindow`] turns increments into a sliding
+//! window of per-slot counts, and [`Exposition`] renders counters,
+//! gauges and histogram summaries as the plain `name{label} value` text
+//! format Prometheus-family scrapers understand.
+//!
+//! Time is *injected*: every [`RateWindow`] method takes `now_ms`
+//! (milliseconds on any monotone clock, e.g. since daemon start). That
+//! keeps the arithmetic deterministic and makes fake-clock tests
+//! trivial — there is no hidden `Instant::now()` anywhere in this
+//! module.
+
+use crate::quantile_from_buckets;
+
+/// A sliding window of event counts: `slots` ring slots, each
+/// `slot_ms` wide. Recording advances the ring, zeroing any slots the
+/// clock skipped over, so a burst followed by silence decays to zero
+/// within one window span.
+#[derive(Debug, Clone)]
+pub struct RateWindow {
+    slot_ms: u64,
+    counts: Vec<u64>,
+    /// Absolute index (`now_ms / slot_ms`) of the slot currently being
+    /// filled; `counts[cur % slots]` is that slot's count.
+    cur: u64,
+}
+
+impl RateWindow {
+    /// A window of `slots` ring slots, each `slot_ms` milliseconds wide
+    /// (both clamped to at least 1).
+    pub fn new(slots: usize, slot_ms: u64) -> RateWindow {
+        RateWindow { slot_ms: slot_ms.max(1), counts: vec![0; slots.max(1)], cur: 0 }
+    }
+
+    /// The window's total span in milliseconds.
+    pub fn window_ms(&self) -> u64 {
+        self.slot_ms * self.counts.len() as u64
+    }
+
+    fn advance(&mut self, now_ms: u64) {
+        let slot = now_ms / self.slot_ms;
+        if slot <= self.cur {
+            return; // same slot, or a clock that went backwards: keep counting here
+        }
+        let n = self.counts.len() as u64;
+        if slot - self.cur >= n {
+            self.counts.iter_mut().for_each(|c| *c = 0);
+        } else {
+            for k in self.cur + 1..=slot {
+                self.counts[(k % n) as usize] = 0;
+            }
+        }
+        self.cur = slot;
+    }
+
+    /// Adds `n` events at time `now_ms`.
+    pub fn record(&mut self, now_ms: u64, n: u64) {
+        self.advance(now_ms);
+        let idx = (self.cur % self.counts.len() as u64) as usize;
+        self.counts[idx] = self.counts[idx].saturating_add(n);
+    }
+
+    /// Total events inside the window as of `now_ms`.
+    pub fn total(&mut self, now_ms: u64) -> u64 {
+        self.advance(now_ms);
+        self.counts.iter().sum()
+    }
+
+    /// Events per second over the window as of `now_ms`, in
+    /// milli-events (so 1500 means 1.5 events/s — integer arithmetic
+    /// keeps the exposition deterministic).
+    pub fn rate_milli_per_sec(&mut self, now_ms: u64) -> u64 {
+        let total = self.total(now_ms);
+        total.saturating_mul(1_000_000) / self.window_ms()
+    }
+}
+
+/// Formats a milli-scaled integer as a fixed three-decimal number
+/// (`1500` → `"1.500"`), the float-free way every exposition value is
+/// printed.
+pub fn milli(v: u64) -> String {
+    format!("{}.{:03}", v / 1000, v % 1000)
+}
+
+/// A Prometheus-style text exposition under construction: `# TYPE`
+/// headers, `name value` samples, and `{quantile="…"}` summaries
+/// estimated from log2 histogram buckets.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+}
+
+impl Exposition {
+    pub fn new() -> Exposition {
+        Exposition::default()
+    }
+
+    fn header(&mut self, name: &str, kind: &str, help: &str) {
+        self.out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+    }
+
+    /// A monotone counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, "counter", help);
+        self.out.push_str(&format!("{name} {value}\n"));
+    }
+
+    /// An instantaneous gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, "gauge", help);
+        self.out.push_str(&format!("{name} {value}\n"));
+    }
+
+    /// A gauge holding a milli-scaled fixed-point value (rates, ratios).
+    pub fn gauge_milli(&mut self, name: &str, help: &str, value_milli: u64) {
+        self.header(name, "gauge", help);
+        self.out.push_str(&format!("{name} {}\n", milli(value_milli)));
+    }
+
+    /// A summary (p50/p90/p99 + `_count`) estimated from log2 buckets.
+    /// An empty histogram renders only the `_count 0` line.
+    pub fn summary(&mut self, name: &str, help: &str, buckets: &[(u32, u64)]) {
+        self.header(name, "summary", help);
+        for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+            if let Some(v) = quantile_from_buckets(buckets, q) {
+                self.out.push_str(&format!("{name}{{quantile=\"{label}\"}} {v}\n"));
+            }
+        }
+        let count: u64 = buckets.iter().map(|&(_, n)| n).sum();
+        self.out.push_str(&format!("{name}_count {count}\n"));
+    }
+
+    /// The finished exposition text.
+    pub fn render(self) -> String {
+        self.out
+    }
+}
+
+/// What [`check_exposition`] verified about an exposition document.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct ExpositionReport {
+    /// `name value` sample lines.
+    pub samples: usize,
+    /// Distinct metric families (`# TYPE` headers).
+    pub families: usize,
+}
+
+/// Schema-checks a Prometheus-style exposition: every sample line must
+/// be `name[{labels}] value` with a numeric value, every sample must
+/// belong to a family declared by a preceding `# TYPE` header, and
+/// `# TYPE` kinds must be known.
+///
+/// # Errors
+///
+/// A one-line description of the first malformed line.
+pub fn check_exposition(text: &str) -> Result<ExpositionReport, String> {
+    let mut report = ExpositionReport::default();
+    let mut families: Vec<String> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().ok_or(format!("line {n}: # TYPE without a name"))?;
+            let kind = parts.next().ok_or(format!("line {n}: # TYPE without a kind"))?;
+            if !["counter", "gauge", "summary", "histogram", "untyped"].contains(&kind) {
+                return Err(format!("line {n}: unknown metric type `{kind}`"));
+            }
+            families.push(name.to_string());
+            report.families += 1;
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        let (name_part, value) = line
+            .rsplit_once(' ')
+            .ok_or(format!("line {n}: sample line without a value: `{line}`"))?;
+        let name = name_part.split('{').next().unwrap_or(name_part);
+        if name.is_empty()
+            || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(format!("line {n}: bad metric name `{name}`"));
+        }
+        if value.parse::<f64>().is_err() {
+            return Err(format!("line {n}: non-numeric value `{value}`"));
+        }
+        let fam =
+            name.strip_suffix("_count").or_else(|| name.strip_suffix("_sum")).unwrap_or(name);
+        if !families.iter().any(|f| f == fam || f == name) {
+            return Err(format!("line {n}: sample `{name}` has no preceding # TYPE header"));
+        }
+        report.samples += 1;
+    }
+    if report.samples == 0 {
+        return Err("no samples in exposition".to_string());
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_under_a_fake_clock() {
+        // 4 slots × 250ms = a 1s window.
+        let mut w = RateWindow::new(4, 250);
+        w.record(0, 10);
+        w.record(100, 10);
+        assert_eq!(w.total(100), 20);
+        assert_eq!(w.rate_milli_per_sec(100), 20_000, "20 events over a 1s window");
+        // 600ms later the events still sit inside the window…
+        assert_eq!(w.total(700), 20);
+        // …and a full window of silence decays the rate to zero.
+        assert_eq!(w.total(1800), 0);
+        assert_eq!(w.rate_milli_per_sec(1800), 0);
+    }
+
+    #[test]
+    fn window_slides_slot_by_slot() {
+        let mut w = RateWindow::new(2, 100);
+        w.record(0, 4); // slot 0
+        w.record(150, 6); // slot 1
+        assert_eq!(w.total(150), 10);
+        // Slot 2 evicts slot 0's 4 events, keeps slot 1's 6.
+        assert_eq!(w.total(250), 6);
+        // Slot 3 evicts slot 1 as well.
+        assert_eq!(w.total(350), 0);
+    }
+
+    #[test]
+    fn clock_going_backwards_is_tolerated() {
+        let mut w = RateWindow::new(4, 100);
+        w.record(500, 1);
+        w.record(100, 1); // late event: counted in the current slot
+        assert_eq!(w.total(500), 2);
+    }
+
+    #[test]
+    fn exposition_renders_and_checks() {
+        let mut exp = Exposition::new();
+        exp.counter("serve_requests_total", "Requests accepted", 42);
+        exp.gauge("serve_queue_depth", "Jobs queued", 3);
+        exp.gauge_milli("serve_req_rate", "Requests per second", 1500);
+        exp.summary("serve_latency_us", "Request latency", &[(4, 10), (5, 10)]);
+        let text = exp.render();
+        assert!(text.contains("# TYPE serve_requests_total counter\n"), "{text}");
+        assert!(text.contains("serve_req_rate 1.500\n"), "{text}");
+        assert!(text.contains("serve_latency_us{quantile=\"0.5\"}"), "{text}");
+        assert!(text.contains("serve_latency_us_count 20\n"), "{text}");
+        let report = check_exposition(&text).unwrap();
+        assert_eq!(report.families, 4);
+        assert!(report.samples >= 7, "{report:?}");
+    }
+
+    #[test]
+    fn check_rejects_malformed_expositions() {
+        assert!(check_exposition("").is_err());
+        assert!(check_exposition("# TYPE x counter\nx notanumber\n").is_err());
+        assert!(check_exposition("orphan 1\n").is_err());
+        assert!(check_exposition("# TYPE x wibble\nx 1\n").is_err());
+        // _count samples resolve to their summary family.
+        assert!(check_exposition("# TYPE lat summary\nlat_count 0\n").is_ok());
+    }
+
+    #[test]
+    fn milli_formats_three_decimals() {
+        assert_eq!(milli(0), "0.000");
+        assert_eq!(milli(1500), "1.500");
+        assert_eq!(milli(12), "0.012");
+    }
+}

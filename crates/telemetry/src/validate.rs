@@ -38,11 +38,26 @@ impl fmt::Display for ValidateReport {
 /// Validates a trace file's text. Returns the census on success and a
 /// line-anchored message on the first structural problem.
 pub fn validate(text: &str) -> Result<ValidateReport, String> {
-    if looks_like_chrome(text.trim_start()) {
+    let trimmed = text.trim_start();
+    if looks_like_chrome(trimmed) {
         validate_chrome(text)
+    } else if trimmed.starts_with('#') {
+        // A Prometheus-style exposition always opens with a `# HELP` or
+        // `# TYPE` header; JSON never starts with `#`.
+        validate_metrics(text)
     } else {
         validate_jsonl(text)
     }
+}
+
+fn validate_metrics(text: &str) -> Result<ValidateReport, String> {
+    let report = crate::metrics::check_exposition(text)?;
+    Ok(ValidateReport {
+        format: "metrics",
+        events: report.samples,
+        counters: report.families,
+        ..ValidateReport::default()
+    })
 }
 
 /// A Chrome document is a single JSON object whose first key is
@@ -217,6 +232,16 @@ mod tests {
         let log = r#"{"ev":"b","ts":1,"tid":0,"id":1,"parent":0,"name":"x","detail":""}"#;
         let err = validate(log).unwrap_err();
         assert!(err.contains("never ends"), "{err}");
+    }
+
+    #[test]
+    fn metrics_exposition_is_sniffed_and_checked() {
+        let text = "# HELP up 1 when serving\n# TYPE up gauge\nup 1\n";
+        let r = validate(text).unwrap();
+        assert_eq!(r.format, "metrics");
+        assert_eq!(r.events, 1);
+        assert_eq!(r.counters, 1);
+        assert!(validate("# TYPE x counter\nx notanumber\n").is_err());
     }
 
     #[test]

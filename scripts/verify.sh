@@ -50,9 +50,10 @@ echo "==> mspecd daemon smoke (TCP: spec + health + injected fault + shutdown)"
 # through the real client, then stop it gracefully. Every step is under
 # timeout: a wedged daemon must fail verify, not hang it.
 rm -rf target/serve-smoke
-mkdir -p target/serve-smoke
+mkdir -p target/serve-smoke/crashes
 ./target/release/mspec serve --port 0 --chaos --vm-opt fuse \
   --trace target/serve-smoke/daemon-trace.jsonl \
+  --crash-dir target/serve-smoke/crashes \
   > target/serve-smoke/serve.out 2> target/serve-smoke/serve.err &
 SERVE_PID=$!
 for _ in $(seq 1 50); do
@@ -75,14 +76,54 @@ RUN_VALUE=$(timeout 60 ./target/release/mspec client run examples/programs/power
   --entry Power.power --args S:5,D --values 3 --connect "${SERVE_ADDR}")
 test "${RUN_VALUE}" = "243" \
   || { echo "daemon run returned ${RUN_VALUE}, want 243"; exit 1; }
+# Metrics under load, schema-checked: four concurrent spec clients
+# load the worker pool while a scrape runs; the exposition must pass
+# the same validator as the traces (trace-check sniffs the format).
+for i in 1 2 3 4; do
+  timeout 60 ./target/release/mspec client spec examples/programs/power.mspec \
+    --entry Power.power --args "S:$((100 + i)),D" --connect "${SERVE_ADDR}" \
+    > /dev/null 2>&1 &
+  LOAD_PIDS[i]=$!
+done
+timeout 60 ./target/release/mspec client metrics --connect "${SERVE_ADDR}" \
+  > target/serve-smoke/metrics.txt
+wait "${LOAD_PIDS[@]}"
+timeout 60 ./target/release/mspec trace-check target/serve-smoke/metrics.txt
+grep -q '^mspecd_ok_total ' target/serve-smoke/metrics.txt \
+  || { echo "metrics exposition is missing mspecd_ok_total"; exit 1; }
+# One `mspec top` frame renders from the same endpoint.
+timeout 60 ./target/release/mspec top --connect "${SERVE_ADDR}" --once \
+  > target/serve-smoke/top.txt
+grep -q 'latency-us p50' target/serve-smoke/top.txt \
+  || { echo "mspec top --once rendered no dashboard frame"; exit 1; }
 # An injected fault must come back as a typed internal error while the
 # daemon survives; the next health probe proves it is still up.
 timeout 60 ./target/release/mspec client fault --connect "${SERVE_ADDR}" --retries 1
 timeout 60 ./target/release/mspec client health --connect "${SERVE_ADDR}"
+# Chaos evidence: the contained panic left exactly one well-formed
+# crash dump (header line naming the request, then the flight ring),
+# and the daemon kept serving (the health probe above).
+CRASHES=$(ls target/serve-smoke/crashes/crash-*.jsonl 2>/dev/null | wc -l)
+test "${CRASHES}" = "1" \
+  || { echo "expected exactly one crash dump, found ${CRASHES}"; exit 1; }
+head -1 target/serve-smoke/crashes/crash-*.jsonl | grep -q '"kind":"crash"' \
+  || { echo "crash dump header is malformed"; exit 1; }
+head -1 target/serve-smoke/crashes/crash-*.jsonl | grep -q '"req":' \
+  || { echo "crash dump header names no request"; exit 1; }
+test "$(wc -l < target/serve-smoke/crashes/crash-*.jsonl)" -ge 2 \
+  || { echo "crash dump carries no flight-ring events"; exit 1; }
 timeout 60 ./target/release/mspec client shutdown --connect "${SERVE_ADDR}"
 wait "${SERVE_PID}"
 test -s target/serve-smoke/daemon-trace.jsonl \
   || { echo "daemon wrote no telemetry trace"; exit 1; }
+# The daemon trace is req-tagged: replay one request's decisions from
+# it, and render the whole trace as collapsed flame stacks.
+grep -q '"req":' target/serve-smoke/daemon-trace.jsonl \
+  || { echo "daemon trace carries no request ids"; exit 1; }
+timeout 60 ./target/release/mspec trace flame target/serve-smoke/daemon-trace.jsonl \
+  > target/serve-smoke/stacks.txt
+test -s target/serve-smoke/stacks.txt \
+  || { echo "trace flame produced no stacks"; exit 1; }
 
 echo "==> tiered-execution smoke (fused CLI run + run_table bench)"
 # The three execution tiers must agree on a real workload end to end

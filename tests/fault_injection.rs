@@ -475,7 +475,14 @@ fn daemon_survives_the_chaos_matrix() {
     };
 
     let server = Server::new(
-        ServeConfig { chaos: true, workers: 2, ..ServeConfig::default() },
+        ServeConfig {
+            chaos: true,
+            workers: 2,
+            // Keep the contained panic's crash dump out of the crate
+            // directory (the default crash dir is the cwd).
+            crash_dir: Some(std::env::temp_dir().to_string_lossy().into_owned()),
+            ..ServeConfig::default()
+        },
         Recorder::disabled(),
     );
     let handle = server.start_tcp().unwrap();

@@ -48,7 +48,12 @@ impl Conn {
     }
 }
 
-fn start(cfg: ServeConfig) -> (Server, mspec_serve::TcpHandle) {
+fn start(mut cfg: ServeConfig) -> (Server, mspec_serve::TcpHandle) {
+    // Crash dumps default to the cwd; tests that trip the panic path
+    // must never litter the crate directory.
+    if cfg.crash_dir.is_none() {
+        cfg.crash_dir = Some(std::env::temp_dir().to_string_lossy().into_owned());
+    }
     let server = Server::new(cfg, Recorder::disabled());
     let handle = server.start_tcp().unwrap();
     (server, handle)
@@ -171,4 +176,108 @@ fn memo_is_shared_across_connections() {
 
     server.shutdown();
     handle.join();
+}
+
+/// One fully traced daemon run: a single connection issues two spec
+/// requests against a one-worker server, so conn ids, request ids,
+/// thread ids and event order are all deterministic. Only the event
+/// stream is kept (counter and hist lines aggregate wall-clock
+/// timings), with timestamps scrubbed.
+fn traced_daemon_event_log() -> String {
+    let rec = Recorder::enabled();
+    let cfg = ServeConfig { workers: 1, ..ServeConfig::default() };
+    let server = Server::new(cfg, rec.clone());
+    let handle = server.start_tcp().unwrap();
+    let mut c = Conn::open(handle.port);
+    for (id, spec) in [(1u64, "S:3,D"), (2, "S:4,D")] {
+        let resp = c.roundtrip(&Request {
+            id,
+            kind: RequestKind::Spec(SpecRequest::inline(POWER, "Power.power", spec)),
+        });
+        assert!(matches!(resp.body, ResponseBody::Spec { .. }), "{resp:?}");
+    }
+    drop(c);
+    server.shutdown();
+    handle.join();
+    let events: String = mspec_testkit::scrub_timestamps(&rec.snapshot().to_jsonl())
+        .lines()
+        .filter(|l| !l.contains("\"ev\":\"counter\"") && !l.contains("\"ev\":\"hist\""))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    events
+}
+
+/// Satellite: the daemon's scrubbed per-request event stream matches a
+/// checked-in golden file byte for byte — every admitted request's
+/// events carry its `req`/`conn` tags. Regenerate with
+/// `MSPEC_BLESS=1 cargo test -p mspec-core --test serve_daemon`.
+#[test]
+fn golden_daemon_trace_is_req_tagged() {
+    let got = traced_daemon_event_log();
+    let rid1 = mspec_serve::request_trace_id(1, 1);
+    let rid2 = mspec_serve::request_trace_id(1, 2);
+    assert!(got.contains(&format!("\"req\":{rid1},\"conn\":1")), "{got}");
+    assert!(got.contains(&format!("\"req\":{rid2},\"conn\":1")), "{got}");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden/events_daemon.jsonl");
+    if std::env::var_os("MSPEC_BLESS").is_some() {
+        std::fs::write(&path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(got, want, "golden daemon trace drifted; bless with MSPEC_BLESS=1");
+}
+
+/// Satellite: the daemon's metrics exposition surface — family names,
+/// types, help text, label sets and sample ordering — matches a golden
+/// file with every sample value scrubbed to 0 (the values are live;
+/// the *schema* is the contract scrape configs depend on). Regenerate
+/// with `MSPEC_BLESS=1 cargo test -p mspec-core --test serve_daemon`.
+#[test]
+fn golden_metrics_exposition_schema() {
+    let (server, handle) = start(ServeConfig::default());
+    let mut c = Conn::open(handle.port);
+    for id in [1u64, 2] {
+        // Same spec twice: the second is a memo hit, so both cache and
+        // latency families have data.
+        let resp = c.roundtrip(&Request {
+            id,
+            kind: RequestKind::Spec(SpecRequest::inline(POWER, "Power.power", "S:6,D")),
+        });
+        assert!(matches!(resp.body, ResponseBody::Spec { .. }), "{resp:?}");
+    }
+    // Latency is observed after the reply is sent; retry until both
+    // observations landed so the quantile lines are present.
+    let mut text = String::new();
+    for id in 3u64..40 {
+        let resp = c.roundtrip(&Request { id, kind: RequestKind::Metrics });
+        let ResponseBody::Metrics { text: t } = resp.body else { panic!("{resp:?}") };
+        text = t;
+        if text.contains("mspecd_latency_us_count 2\n") {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    server.shutdown();
+    handle.join();
+
+    let scrubbed: String = text
+        .lines()
+        .map(|l| {
+            if l.starts_with('#') {
+                format!("{l}\n")
+            } else {
+                let (name, _value) = l.rsplit_once(' ').expect("sample line");
+                format!("{name} 0\n")
+            }
+        })
+        .collect();
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden/metrics_exposition.txt");
+    if std::env::var_os("MSPEC_BLESS").is_some() {
+        std::fs::write(&path, &scrubbed).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(scrubbed, want, "metrics exposition schema drifted; bless with MSPEC_BLESS=1");
 }
